@@ -1,0 +1,400 @@
+//! Object-container-style files: header, data blocks, sync markers.
+
+use common::error::{Error, Result};
+use common::{Row, Value};
+
+use crate::codec::Codec;
+use crate::schema::{AvroSchema, AvroType};
+use crate::varint::{read_long, write_long};
+
+const MAGIC: &[u8; 4] = b"Avr\x01";
+const SYNC: &[u8; 16] = b"fabric-sync-mark";
+/// Rows per data block; small enough to bound decode memory, large
+/// enough to amortize block framing.
+const DEFAULT_BLOCK_ROWS: usize = 4096;
+
+/// Encode one row into `out` using the Avro binary encoding: each field
+/// is a `["null", T]` union — a zigzag branch index (0 = null) followed
+/// by the branch value.
+pub(crate) fn encode_row_raw(schema: &AvroSchema, row: &Row, out: &mut Vec<u8>) -> Result<()> {
+    if row.len() != schema.fields.len() {
+        return Err(Error::SchemaMismatch(format!(
+            "row has {} values, avro schema has {} fields",
+            row.len(),
+            schema.fields.len()
+        )));
+    }
+    for (value, (name, ty)) in row.values().iter().zip(schema.fields.iter()) {
+        match value {
+            Value::Null => write_long(0, out),
+            _ => {
+                write_long(1, out);
+                match (ty, value) {
+                    (AvroType::Boolean, Value::Boolean(b)) => out.push(*b as u8),
+                    (AvroType::Long, Value::Int64(i)) => write_long(*i, out),
+                    (AvroType::Double, Value::Float64(f)) => {
+                        out.extend_from_slice(&f.to_le_bytes())
+                    }
+                    // Int widens to double on the wire, matching column
+                    // affinity in the engines.
+                    (AvroType::Double, Value::Int64(i)) => {
+                        out.extend_from_slice(&(*i as f64).to_le_bytes())
+                    }
+                    (AvroType::String, Value::Varchar(s)) => {
+                        write_long(s.len() as i64, out);
+                        out.extend_from_slice(s.as_bytes());
+                    }
+                    (ty, v) => {
+                        return Err(Error::TypeMismatch {
+                            expected: ty.avro_name().to_string(),
+                            found: v.type_name().to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let _ = name;
+    }
+    Ok(())
+}
+
+/// Decode one row from `input`; returns the row and bytes consumed.
+pub(crate) fn decode_row_raw(schema: &AvroSchema, input: &[u8]) -> Result<(Row, usize)> {
+    let mut pos = 0usize;
+    let mut values = Vec::with_capacity(schema.fields.len());
+    for (name, ty) in &schema.fields {
+        let (branch, n) = read_long(&input[pos..])?;
+        pos += n;
+        match branch {
+            0 => values.push(Value::Null),
+            1 => match ty {
+                AvroType::Boolean => {
+                    let Some(&b) = input.get(pos) else {
+                        return Err(Error::Parse(format!("truncated boolean field {name}")));
+                    };
+                    pos += 1;
+                    values.push(Value::Boolean(b != 0));
+                }
+                AvroType::Long => {
+                    let (v, n) = read_long(&input[pos..])?;
+                    pos += n;
+                    values.push(Value::Int64(v));
+                }
+                AvroType::Double => {
+                    let Some(bytes) = input.get(pos..pos + 8) else {
+                        return Err(Error::Parse(format!("truncated double field {name}")));
+                    };
+                    pos += 8;
+                    values.push(Value::Float64(f64::from_le_bytes(
+                        bytes.try_into().expect("slice is 8 bytes"),
+                    )));
+                }
+                AvroType::String => {
+                    let (len, n) = read_long(&input[pos..])?;
+                    pos += n;
+                    if len < 0 {
+                        return Err(Error::Parse(format!("negative string length in {name}")));
+                    }
+                    let len = len as usize;
+                    let Some(bytes) = input.get(pos..pos + len) else {
+                        return Err(Error::Parse(format!("truncated string field {name}")));
+                    };
+                    pos += len;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|e| Error::Parse(format!("bad utf8 in {name}: {e}")))?;
+                    values.push(Value::Varchar(s.to_string()));
+                }
+            },
+            other => {
+                return Err(Error::Parse(format!(
+                    "bad union branch {other} for field {name}"
+                )))
+            }
+        }
+    }
+    Ok((Row::new(values), pos))
+}
+
+/// Streaming writer producing a container file in memory.
+pub struct Writer {
+    schema: AvroSchema,
+    codec: Codec,
+    block_rows: usize,
+    out: Vec<u8>,
+    pending: Vec<u8>,
+    pending_rows: usize,
+    rows_written: u64,
+}
+
+impl Writer {
+    pub fn new(schema: AvroSchema, codec: Codec) -> Writer {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(MAGIC);
+        let schema_json = schema.to_json();
+        write_long(schema_json.len() as i64, &mut out);
+        out.extend_from_slice(schema_json.as_bytes());
+        let codec_name = codec.name();
+        write_long(codec_name.len() as i64, &mut out);
+        out.extend_from_slice(codec_name.as_bytes());
+        out.extend_from_slice(SYNC);
+        Writer {
+            schema,
+            codec,
+            block_rows: DEFAULT_BLOCK_ROWS,
+            out,
+            pending: Vec::new(),
+            pending_rows: 0,
+            rows_written: 0,
+        }
+    }
+
+    /// Override the rows-per-block threshold (mostly for tests).
+    pub fn with_block_rows(mut self, rows: usize) -> Writer {
+        assert!(rows > 0);
+        self.block_rows = rows;
+        self
+    }
+
+    pub fn schema(&self) -> &AvroSchema {
+        &self.schema
+    }
+
+    pub fn write_row(&mut self, row: &Row) -> Result<()> {
+        encode_row_raw(&self.schema, row, &mut self.pending)?;
+        self.pending_rows += 1;
+        self.rows_written += 1;
+        if self.pending_rows >= self.block_rows {
+            self.flush_block();
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) {
+        if self.pending_rows == 0 {
+            return;
+        }
+        let payload = self.codec.compress(&self.pending);
+        write_long(self.pending_rows as i64, &mut self.out);
+        write_long(payload.len() as i64, &mut self.out);
+        self.out.extend_from_slice(&payload);
+        self.out.extend_from_slice(SYNC);
+        self.pending.clear();
+        self.pending_rows = 0;
+    }
+
+    pub fn rows_written(&self) -> u64 {
+        self.rows_written
+    }
+
+    /// Finish the file and return its bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush_block();
+        self.out
+    }
+}
+
+/// Reader over a container file.
+pub struct Reader {
+    schema: AvroSchema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl Reader {
+    pub fn new(data: &[u8]) -> Result<Reader> {
+        if data.len() < 4 || &data[..4] != MAGIC {
+            return Err(Error::Parse("bad avro container magic".into()));
+        }
+        let mut pos = 4usize;
+        let (schema_len, n) = read_long(&data[pos..])?;
+        pos += n;
+        let schema_json = std::str::from_utf8(
+            data.get(pos..pos + schema_len as usize)
+                .ok_or_else(|| Error::Parse("truncated schema json".into()))?,
+        )
+        .map_err(|e| Error::Parse(format!("schema json not utf8: {e}")))?;
+        pos += schema_len as usize;
+        let schema = AvroSchema::from_json(schema_json)?;
+
+        let (codec_len, n) = read_long(&data[pos..])?;
+        pos += n;
+        let codec_name = std::str::from_utf8(
+            data.get(pos..pos + codec_len as usize)
+                .ok_or_else(|| Error::Parse("truncated codec name".into()))?,
+        )
+        .map_err(|e| Error::Parse(format!("codec name not utf8: {e}")))?;
+        pos += codec_len as usize;
+        let codec = Codec::from_name(codec_name)?;
+
+        expect_sync(data, &mut pos)?;
+
+        let mut rows = Vec::new();
+        while pos < data.len() {
+            let (count, n) = read_long(&data[pos..])?;
+            pos += n;
+            let (payload_len, n) = read_long(&data[pos..])?;
+            pos += n;
+            let payload = data
+                .get(pos..pos + payload_len as usize)
+                .ok_or_else(|| Error::Parse("truncated block payload".into()))?;
+            pos += payload_len as usize;
+            let decoded = codec.decompress(payload)?;
+            let mut off = 0usize;
+            for _ in 0..count {
+                let (row, n) = decode_row_raw(&schema, &decoded[off..])?;
+                off += n;
+                rows.push(row);
+            }
+            if off != decoded.len() {
+                return Err(Error::Parse(format!(
+                    "block has {} trailing bytes after {count} rows",
+                    decoded.len() - off
+                )));
+            }
+            expect_sync(data, &mut pos)?;
+        }
+
+        Ok(Reader {
+            schema,
+            rows: rows.into_iter(),
+        })
+    }
+
+    pub fn schema(&self) -> &AvroSchema {
+        &self.schema
+    }
+
+    /// Read all remaining rows.
+    pub fn read_all(self) -> Vec<Row> {
+        self.rows.collect()
+    }
+}
+
+impl Iterator for Reader {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        self.rows.next()
+    }
+}
+
+fn expect_sync(data: &[u8], pos: &mut usize) -> Result<()> {
+    let Some(marker) = data.get(*pos..*pos + 16) else {
+        return Err(Error::Parse("missing sync marker".into()));
+    };
+    if marker != SYNC {
+        return Err(Error::Parse("corrupt sync marker".into()));
+    }
+    *pos += 16;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::row;
+    use common::{DataType, Schema};
+
+    fn schema() -> AvroSchema {
+        AvroSchema::from_schema(
+            "t",
+            &Schema::from_pairs(&[
+                ("id", DataType::Int64),
+                ("x", DataType::Float64),
+                ("ok", DataType::Boolean),
+                ("s", DataType::Varchar),
+            ]),
+        )
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            row![1i64, 1.5f64, true, "hello"],
+            Row::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]),
+            row![-42i64, -0.25f64, false, "κόσμος"],
+        ]
+    }
+
+    #[test]
+    fn container_round_trip_null_codec() {
+        let mut w = Writer::new(schema(), Codec::Null);
+        for r in sample_rows() {
+            w.write_row(&r).unwrap();
+        }
+        assert_eq!(w.rows_written(), 3);
+        let bytes = w.finish();
+        let reader = Reader::new(&bytes).unwrap();
+        assert_eq!(reader.schema(), &schema());
+        assert_eq!(reader.read_all(), sample_rows());
+    }
+
+    #[test]
+    fn container_round_trip_rle_codec_many_blocks() {
+        let mut w = Writer::new(schema(), Codec::Rle).with_block_rows(2);
+        let rows: Vec<Row> = (0..7)
+            .map(|i| row![i as i64, 0.0f64, i % 2 == 0, "xxxxxxxxxxxxxxxx"])
+            .collect();
+        for r in &rows {
+            w.write_row(r).unwrap();
+        }
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).unwrap().read_all(), rows);
+    }
+
+    #[test]
+    fn int_widens_to_double_column() {
+        let s = AvroSchema::new("t", vec![("x".into(), AvroType::Double)]);
+        let mut w = Writer::new(s.clone(), Codec::Null);
+        w.write_row(&row![5i64]).unwrap();
+        let rows = Reader::new(&w.finish()).unwrap().read_all();
+        assert_eq!(rows[0], row![5.0f64]);
+    }
+
+    #[test]
+    fn empty_file_round_trip() {
+        let w = Writer::new(schema(), Codec::Rle);
+        let bytes = w.finish();
+        assert!(Reader::new(&bytes).unwrap().read_all().is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut w = Writer::new(schema(), Codec::Null);
+        assert!(w.write_row(&row![1i64]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let s = AvroSchema::new("t", vec![("b".into(), AvroType::Boolean)]);
+        let mut w = Writer::new(s, Codec::Null);
+        assert!(w.write_row(&row!["not a bool"]).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut w = Writer::new(schema(), Codec::Null);
+        w.write_row(&sample_rows()[0]).unwrap();
+        let mut bytes = w.finish();
+        bytes[0] = b'X';
+        assert!(Reader::new(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_sync_marker_rejected() {
+        let mut w = Writer::new(schema(), Codec::Null);
+        w.write_row(&sample_rows()[0]).unwrap();
+        let mut bytes = w.finish();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(Reader::new(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut w = Writer::new(schema(), Codec::Null);
+        for r in sample_rows() {
+            w.write_row(&r).unwrap();
+        }
+        let bytes = w.finish();
+        assert!(Reader::new(&bytes[..bytes.len() - 20]).is_err());
+    }
+}

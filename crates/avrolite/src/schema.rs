@@ -1,0 +1,233 @@
+//! Avro record schemas over the fabric's primitive types.
+
+use common::error::{Error, Result};
+use common::{DataType, Field, Schema};
+
+/// Avro primitive types used by the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvroType {
+    Boolean,
+    Long,
+    Double,
+    String,
+}
+
+impl AvroType {
+    pub fn avro_name(&self) -> &'static str {
+        match self {
+            AvroType::Boolean => "boolean",
+            AvroType::Long => "long",
+            AvroType::Double => "double",
+            AvroType::String => "string",
+        }
+    }
+
+    pub fn from_avro_name(name: &str) -> Result<AvroType> {
+        match name {
+            "boolean" => Ok(AvroType::Boolean),
+            "long" => Ok(AvroType::Long),
+            "double" => Ok(AvroType::Double),
+            "string" => Ok(AvroType::String),
+            other => Err(Error::Parse(format!("unknown avro type {other:?}"))),
+        }
+    }
+
+    pub fn to_data_type(&self) -> DataType {
+        match self {
+            AvroType::Boolean => DataType::Boolean,
+            AvroType::Long => DataType::Int64,
+            AvroType::Double => DataType::Float64,
+            AvroType::String => DataType::Varchar,
+        }
+    }
+
+    pub fn from_data_type(t: DataType) -> AvroType {
+        match t {
+            DataType::Boolean => AvroType::Boolean,
+            DataType::Int64 => AvroType::Long,
+            DataType::Float64 => AvroType::Double,
+            DataType::Varchar => AvroType::String,
+        }
+    }
+}
+
+/// A record schema. All fields are nullable unions `["null", T]`, which
+/// is how the real connector encodes tabular data with SQL NULLs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvroSchema {
+    pub name: String,
+    pub fields: Vec<(String, AvroType)>,
+}
+
+impl AvroSchema {
+    pub fn new(name: impl Into<String>, fields: Vec<(String, AvroType)>) -> AvroSchema {
+        AvroSchema {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    pub fn from_schema(name: impl Into<String>, schema: &Schema) -> AvroSchema {
+        AvroSchema {
+            name: name.into(),
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| (f.name.clone(), AvroType::from_data_type(f.dtype)))
+                .collect(),
+        }
+    }
+
+    pub fn to_schema(&self) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|(n, t)| Field::new(n.clone(), t.to_data_type()))
+                .collect(),
+        )
+    }
+
+    /// Render the schema as Avro's canonical JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"record\",\"name\":\"{}\",\"fields\":[",
+            escape_json(&self.name)
+        ));
+        for (i, (name, ty)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"type\":[\"null\",\"{}\"]}}",
+                escape_json(name),
+                ty.avro_name()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse the canonical JSON form emitted by [`AvroSchema::to_json`].
+    ///
+    /// This is a purpose-built parser for our own canonical output (a
+    /// container file must be readable by the peer that wrote it), not a
+    /// general JSON parser.
+    pub fn from_json(json: &str) -> Result<AvroSchema> {
+        let name = extract_after(json, "\"name\":\"")
+            .ok_or_else(|| Error::Parse("avro schema json missing record name".into()))?;
+        let fields_start = json
+            .find("\"fields\":[")
+            .ok_or_else(|| Error::Parse("avro schema json missing fields".into()))?
+            + "\"fields\":[".len();
+        let fields_json = &json[fields_start..];
+        let mut fields = Vec::new();
+        let mut rest = fields_json;
+        while let Some(start) = rest.find("{\"name\":\"") {
+            let after = &rest[start + "{\"name\":\"".len()..];
+            let Some(name_end) = find_unescaped_quote(after) else {
+                return Err(Error::Parse("unterminated field name".into()));
+            };
+            let fname = unescape_json(&after[..name_end]);
+            let after_name = &after[name_end..];
+            let ty_marker = "\"type\":[\"null\",\"";
+            let Some(ty_start) = after_name.find(ty_marker) else {
+                return Err(Error::Parse("field missing nullable union type".into()));
+            };
+            let ty_str = &after_name[ty_start + ty_marker.len()..];
+            let Some(ty_end) = ty_str.find('"') else {
+                return Err(Error::Parse("unterminated field type".into()));
+            };
+            fields.push((fname, AvroType::from_avro_name(&ty_str[..ty_end])?));
+            rest = &ty_str[ty_end..];
+        }
+        Ok(AvroSchema { name, fields })
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn find_unescaped_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn extract_after(json: &str, marker: &str) -> Option<String> {
+    let start = json.find(marker)? + marker.len();
+    let rest = &json[start..];
+    let end = find_unescaped_quote(rest)?;
+    Some(unescape_json(&rest[..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AvroSchema {
+        AvroSchema::new(
+            "tweets",
+            vec![
+                ("tweet_id".into(), AvroType::Long),
+                ("tweet_text".into(), AvroType::String),
+            ],
+        )
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let json = s.to_json();
+        assert!(json.contains("\"type\":\"record\""));
+        assert!(json.contains("[\"null\",\"long\"]"));
+        assert_eq!(AvroSchema::from_json(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn json_round_trip_with_special_chars() {
+        let s = AvroSchema::new("weird\"name", vec![("col\\umn".into(), AvroType::Double)]);
+        assert_eq!(AvroSchema::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn conversion_to_and_from_common_schema() {
+        let common = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("x", DataType::Float64),
+            ("ok", DataType::Boolean),
+            ("s", DataType::Varchar),
+        ]);
+        let avro = AvroSchema::from_schema("t", &common);
+        assert_eq!(avro.fields[0].1, AvroType::Long);
+        assert_eq!(avro.to_schema(), common);
+    }
+
+    #[test]
+    fn unknown_type_is_error() {
+        assert!(AvroType::from_avro_name("bytes").is_err());
+    }
+}

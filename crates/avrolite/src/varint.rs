@@ -1,0 +1,111 @@
+//! Avro's variable-length zigzag integer encoding.
+
+use common::error::{Error, Result};
+
+/// Zigzag-map a signed long onto an unsigned one (small magnitudes →
+/// small codes).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append the zigzag varint encoding of `v` to `out`.
+pub fn write_long(v: i64, out: &mut Vec<u8>) {
+    let mut z = zigzag(v);
+    loop {
+        let byte = (z & 0x7f) as u8;
+        z >>= 7;
+        if z == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a zigzag varint long from the front of `input`, returning the
+/// value and the number of bytes consumed.
+pub fn read_long(input: &[u8]) -> Result<(i64, usize)> {
+    let mut acc: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if shift >= 64 {
+            return Err(Error::Parse("varint too long".into()));
+        }
+        acc |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((unzigzag(acc), i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::Parse("truncated varint".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_examples_from_avro_spec() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(2), 4);
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            300,
+            -300,
+            1 << 20,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut buf = Vec::new();
+            write_long(v, &mut buf);
+            let (back, n) = read_long(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in -64i64..=63 {
+            let mut buf = Vec::new();
+            write_long(v, &mut buf);
+            assert_eq!(buf.len(), 1, "value {v} took {} bytes", buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        let mut buf = Vec::new();
+        write_long(i64::MAX, &mut buf);
+        assert!(read_long(&buf[..buf.len() - 1]).is_err());
+        assert!(read_long(&[]).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_is_error() {
+        let buf = [0x80u8; 11];
+        assert!(read_long(&buf).is_err());
+    }
+}

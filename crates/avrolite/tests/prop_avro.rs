@@ -1,0 +1,86 @@
+//! Property tests: arbitrary rows survive the container round trip under
+//! both codecs, and the RLE codec is an exact inverse pair.
+
+use avrolite::schema::{AvroSchema, AvroType};
+use avrolite::{Codec, Reader, Writer};
+use common::{Row, Value};
+use proptest::prelude::*;
+
+fn arb_avro_type() -> impl Strategy<Value = AvroType> {
+    prop_oneof![
+        Just(AvroType::Boolean),
+        Just(AvroType::Long),
+        Just(AvroType::Double),
+        Just(AvroType::String),
+    ]
+}
+
+fn arb_value_for(ty: AvroType) -> BoxedStrategy<Value> {
+    match ty {
+        AvroType::Boolean => {
+            prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Boolean)].boxed()
+        }
+        AvroType::Long => {
+            prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Int64)].boxed()
+        }
+        AvroType::Double => prop_oneof![
+            Just(Value::Null),
+            any::<f64>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(Value::Float64)
+        ]
+        .boxed(),
+        AvroType::String => {
+            prop_oneof![Just(Value::Null), ".{0,40}".prop_map(Value::Varchar)].boxed()
+        }
+    }
+}
+
+fn arb_schema_and_rows() -> impl Strategy<Value = (AvroSchema, Vec<Row>)> {
+    proptest::collection::vec(arb_avro_type(), 1..6).prop_flat_map(|types| {
+        let schema = AvroSchema::new(
+            "t",
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("f{i}"), *t))
+                .collect(),
+        );
+        let row_strategy = types
+            .iter()
+            .map(|t| arb_value_for(*t))
+            .collect::<Vec<_>>()
+            .prop_map(Row::new);
+        let rows = proptest::collection::vec(row_strategy, 0..30);
+        (Just(schema), rows)
+    })
+}
+
+proptest! {
+    #[test]
+    fn container_round_trip((schema, rows) in arb_schema_and_rows(), use_rle in any::<bool>()) {
+        let codec = if use_rle { Codec::Rle } else { Codec::Null };
+        let mut w = Writer::new(schema.clone(), codec).with_block_rows(5);
+        for r in &rows {
+            w.write_row(r).unwrap();
+        }
+        let bytes = w.finish();
+        let reader = Reader::new(&bytes).unwrap();
+        prop_assert_eq!(reader.schema(), &schema);
+        prop_assert_eq!(reader.read_all(), rows);
+    }
+
+    #[test]
+    fn rle_codec_round_trip(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let compressed = Codec::Rle.compress(&data);
+        prop_assert_eq!(Codec::Rle.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_compresses_runs(byte in any::<u8>(), len in 100usize..1000) {
+        let data = vec![byte; len];
+        let compressed = Codec::Rle.compress(&data);
+        // Pure runs collapse to 2 bytes per 130 input bytes.
+        prop_assert!(compressed.len() <= data.len() / 16 + 32);
+    }
+}

@@ -1,0 +1,16 @@
+//! Comparison baselines from the paper's Sec. 4.7.
+//!
+//! * [`jdbc`] — the engine's generic JDBC DefaultSource analog
+//!   (Sec. 4.7.1): parallel loads require a user-supplied integer
+//!   column with known min/max bounds, every query routes through the
+//!   single configured host (inducing internal shuffle), saves are
+//!   INSERT batches without cross-task transaction control — partial
+//!   and duplicate loads are possible by design.
+//! * [`hdfs_io`] — the engine's native DFS read/write (Sec. 4.7.2):
+//!   one columnar part-file per partition on the block-based DFS.
+
+pub mod hdfs_io;
+pub mod jdbc;
+
+pub use hdfs_io::{DfsSource, DFS_FORMAT};
+pub use jdbc::{JdbcDefaultSource, JDBC_FORMAT};

@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks: real wall time of the connector's hot
+//! paths at laboratory scale. These complement the simulated
+//! experiments — they measure our implementation, not the paper's
+//! cluster.
+
+use bench::datasets;
+use bench::TestBed;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sparklet::{Options, SaveMode};
+
+fn bench_s2v_save(c: &mut Criterion) {
+    let bed = TestBed::new(4, 8);
+    let (schema, rows) = datasets::d1(2_000, 100, 42);
+    let mut n = 0u64;
+    c.bench_function("s2v_save_2k_rows_x100cols", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                (
+                    bed.dataframe(schema.clone(), rows.clone(), 8),
+                    format!("bench_save_{n}"),
+                )
+            },
+            |(df, table)| {
+                df.write()
+                    .format(connector::DEFAULT_SOURCE)
+                    .options(
+                        Options::new()
+                            .with("host", 0)
+                            .with("table", table)
+                            .with("numPartitions", 8),
+                    )
+                    .mode(SaveMode::Overwrite)
+                    .save()
+                    .unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_v2s_load(c: &mut Criterion) {
+    let bed = TestBed::new(4, 8);
+    let (schema, rows) = datasets::d1(2_000, 100, 42);
+    let df = bed.dataframe(schema, rows, 8);
+    df.write()
+        .format(connector::DEFAULT_SOURCE)
+        .options(
+            Options::new()
+                .with("host", 0)
+                .with("table", "bench_load")
+                .with("numPartitions", 8),
+        )
+        .mode(SaveMode::Overwrite)
+        .save()
+        .unwrap();
+    c.bench_function("v2s_load_2k_rows_x100cols", |b| {
+        b.iter(|| {
+            let loaded = bed
+                .ctx
+                .read()
+                .format(connector::DEFAULT_SOURCE)
+                .option("host", 0)
+                .option("table", "bench_load")
+                .option("numPartitions", 8)
+                .load()
+                .unwrap();
+            assert_eq!(loaded.collect().unwrap().len(), 2_000);
+        })
+    });
+    c.bench_function("v2s_count_pushdown", |b| {
+        b.iter(|| {
+            let loaded = bed
+                .ctx
+                .read()
+                .format(connector::DEFAULT_SOURCE)
+                .option("host", 0)
+                .option("table", "bench_load")
+                .option("numPartitions", 8)
+                .load()
+                .unwrap();
+            assert_eq!(loaded.count().unwrap(), 2_000);
+        })
+    });
+}
+
+fn bench_avro_round_trip(c: &mut Criterion) {
+    let (schema, rows) = datasets::d1(2_000, 100, 7);
+    let avro_schema = avrolite::AvroSchema::from_schema("bench", &schema);
+    c.bench_function("avro_encode_2k_rows_x100cols", |b| {
+        b.iter(|| {
+            let mut w = avrolite::Writer::new(avro_schema.clone(), avrolite::Codec::Rle);
+            for r in &rows {
+                w.write_row(r).unwrap();
+            }
+            w.finish().len()
+        })
+    });
+    let mut w = avrolite::Writer::new(avro_schema.clone(), avrolite::Codec::Rle);
+    for r in &rows {
+        w.write_row(r).unwrap();
+    }
+    let bytes = w.finish();
+    c.bench_function("avro_decode_2k_rows_x100cols", |b| {
+        b.iter(|| avrolite::Reader::new(&bytes).unwrap().read_all().len())
+    });
+}
+
+fn bench_copy_csv(c: &mut Criterion) {
+    let bed = TestBed::new(4, 8);
+    let (_, rows) = datasets::d1(2_000, 100, 9);
+    {
+        let mut s = bed.db.connect(0).unwrap();
+        let cols: Vec<String> = (0..100).map(|i| format!("c{i} FLOAT")).collect();
+        s.execute(&format!("CREATE TABLE bench_copy ({})", cols.join(", ")))
+            .unwrap();
+    }
+    let text = common::csv::encode_rows(&rows, ',');
+    c.bench_function("copy_csv_2k_rows_x100cols", |b| {
+        b.iter(|| {
+            let mut s = bed.db.connect(0).unwrap();
+            let result = s
+                .copy(
+                    "bench_copy",
+                    mppdb::CopySource::Csv {
+                        text: text.clone(),
+                        delimiter: ',',
+                    },
+                    mppdb::CopyOptions::default(),
+                )
+                .unwrap();
+            assert_eq!(result.loaded, 2_000);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_s2v_save,
+    bench_v2s_load,
+    bench_avro_round_trip,
+    bench_copy_csv
+);
+criterion_main!(benches);

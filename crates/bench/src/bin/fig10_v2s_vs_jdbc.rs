@@ -1,0 +1,11 @@
+//! Regenerates Fig. 10: load via V2S vs JDBC default source.
+use bench::experiments::fig10_v2s_vs_jdbc::run;
+use bench::report;
+
+fn main() {
+    let (rows, _) = run();
+    report::print(
+        "Fig. 10 — V2S vs JDBC DefaultSource load (5% selectivity)",
+        &rows,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 11: save via S2V vs JDBC default source.
+use bench::experiments::fig11_s2v_vs_jdbc::run;
+use bench::report;
+
+fn main() {
+    let (rows, _) = run();
+    report::print("Fig. 11 — S2V vs JDBC DefaultSource save", &rows);
+}

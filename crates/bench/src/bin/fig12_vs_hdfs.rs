@@ -1,0 +1,11 @@
+//! Regenerates Fig. 12: connector I/O vs native DFS read/write.
+use bench::experiments::fig12_vs_hdfs::run;
+use bench::report;
+
+fn main() {
+    let (rows, _) = run();
+    report::print(
+        "Fig. 12 — V2S/S2V vs DFS read/write (separate 4:8 clusters)",
+        &rows,
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6: execution time vs number of partitions.
+use bench::experiments::fig6_parallelism::{run, PARTITION_SWEEP};
+use bench::report;
+
+fn main() {
+    let (rows, _) = run(PARTITION_SWEEP);
+    report::print(
+        "Fig. 6 — varying the number of partitions (D1, 4:8 cluster)",
+        &rows,
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7: execution time vs data size (log-log linear).
+use bench::experiments::fig7_data_scaling::{run, ROW_SWEEP};
+use bench::report;
+
+fn main() {
+    let (rows, _) = run(ROW_SWEEP);
+    report::print(
+        "Fig. 7 — varying the data size (D1, V2S@32 / S2V@128)",
+        &rows,
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 8: cluster scalability at fixed data per node.
+use bench::experiments::fig8_cluster_scaling::{run, CLUSTER_SWEEP};
+use bench::report;
+
+fn main() {
+    let (rows, _) = run(CLUSTER_SWEEP);
+    report::print(
+        "Fig. 8 — varying the cluster sizes (2:4 / 4:8 / 8:16)",
+        &rows,
+    );
+}

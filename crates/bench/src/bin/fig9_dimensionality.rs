@@ -1,0 +1,11 @@
+//! Regenerates Fig. 9: same cells, different shapes.
+use bench::experiments::fig9_dimensionality::run;
+use bench::report;
+
+fn main() {
+    let (rows, _) = run();
+    report::print(
+        "Fig. 9 — varying the data dimensionality (10,000M cells)",
+        &rows,
+    );
+}

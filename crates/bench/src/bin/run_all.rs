@@ -1,0 +1,26 @@
+//! Runs every experiment in sequence — the full evaluation section.
+use bench::experiments as ex;
+use bench::report;
+
+fn main() {
+    let (rows, _) = ex::fig6_parallelism::run(ex::fig6_parallelism::PARTITION_SWEEP);
+    report::print("Fig. 6 — varying the number of partitions", &rows);
+    let (rows, _) = ex::table2_resources::run();
+    report::print("Table 2 — node resource usage during V2S", &rows);
+    let (rows, _) = ex::fig7_data_scaling::run(ex::fig7_data_scaling::ROW_SWEEP);
+    report::print("Fig. 7 — varying the data size", &rows);
+    let (rows, _) = ex::fig8_cluster_scaling::run(ex::fig8_cluster_scaling::CLUSTER_SWEEP);
+    report::print("Fig. 8 — varying the cluster sizes", &rows);
+    let (rows, _) = ex::fig9_dimensionality::run();
+    report::print("Fig. 9 — varying the data dimensionality", &rows);
+    let (rows, _) = ex::table3_dataset_d2::run();
+    report::print("Table 3 — dataset D2", &rows);
+    let (rows, _) = ex::fig10_v2s_vs_jdbc::run();
+    report::print("Fig. 10 — V2S vs JDBC DefaultSource load", &rows);
+    let (rows, _) = ex::fig11_s2v_vs_jdbc::run();
+    report::print("Fig. 11 — S2V vs JDBC DefaultSource save", &rows);
+    let (rows, _) = ex::fig12_vs_hdfs::run();
+    report::print("Fig. 12 — V2S/S2V vs DFS read/write", &rows);
+    let (rows, _, _) = ex::table4_vs_copy::run(ex::table4_vs_copy::PART_SWEEP);
+    report::print("Table 4 — S2V vs native COPY", &rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2: per-node CPU and network during V2S.
+use bench::experiments::table2_resources::run;
+use bench::report;
+
+fn main() {
+    let (rows, _) = run();
+    report::print(
+        "Table 2 — node resource usage during V2S (steady state)",
+        &rows,
+    );
+}

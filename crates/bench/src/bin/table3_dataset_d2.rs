@@ -1,0 +1,8 @@
+//! Regenerates Table 3: performance with dataset D2.
+use bench::experiments::table3_dataset_d2::run;
+use bench::report;
+
+fn main() {
+    let (rows, _) = run();
+    report::print("Table 3 — dataset D2 (1.46B tweet rows)", &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4: S2V vs the native parallel COPY.
+use bench::experiments::table4_vs_copy::{run, PART_SWEEP};
+use bench::report;
+
+fn main() {
+    let (rows, _, _) = run(PART_SWEEP);
+    report::print("Table 4 — S2V vs native bulk-load COPY", &rows);
+}

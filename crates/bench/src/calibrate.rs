@@ -1,0 +1,169 @@
+//! Cost-model calibration.
+//!
+//! Constants are anchored to the paper's hardware section (Sec. 4.1)
+//! and to a handful of its measured values:
+//!
+//! * 1 GbE NICs → 125 MB/s per direction; the paper installs database
+//!   traffic and engine traffic on separate interfaces.
+//! * Table 2: a single V2S connection reaches ~38 MBps steady state →
+//!   the per-connection stream cap of 40 MB/s; at 8 connections per
+//!   node the NIC saturates (~120 MBps) — both reproduced.
+//! * Client-server result sets and INSERT statements are text-encoded
+//!   (`Row::text_wire_size`), which is why 100M rows × 100 floats is
+//!   ≈230 GB on the wire, not 80 GB — this is what puts V2S's best
+//!   time near the paper's 475–497 s.
+//! * Fig. 11's "1M rows via INSERTs took >3 hours" anchors the
+//!   per-INSERT server cost (~11 ms/row).
+//! * Fig. 9 / Table 3 anchor the per-row Avro encode/parse costs.
+//! * Fig. 12 anchors the DFS disk rates (concurrent block reads ~60
+//!   MB/s per spindle; sequential ingest writes ~250 MB/s with the page
+//!   cache absorbing bursts).
+
+/// Seconds of CPU per (row, byte) for one labeled unit of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkRate {
+    pub sec_per_row: f64,
+    pub sec_per_byte: f64,
+}
+
+impl WorkRate {
+    pub const fn new(sec_per_row: f64, sec_per_byte: f64) -> WorkRate {
+        WorkRate {
+            sec_per_row,
+            sec_per_byte,
+        }
+    }
+
+    pub fn seconds(&self, rows: f64, bytes: f64) -> f64 {
+        self.sec_per_row * rows + self.sec_per_byte * bytes
+    }
+}
+
+/// All model constants.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// NIC bandwidth per direction (bytes/s): 1 GbE.
+    pub link_bw: f64,
+    /// DFS-internal (replication) NIC bandwidth.
+    pub dfs_int_bw: f64,
+    /// Single client-connection stream cap (Table 2's ~38 MBps).
+    pub db_stream_cap: f64,
+    /// Database-internal shuffle stream cap.
+    pub internal_stream_cap: f64,
+    /// DFS concurrent block-read disk rate per node.
+    pub dfs_disk_read: f64,
+    /// DFS sequential ingest disk rate per node.
+    pub dfs_disk_write: f64,
+    /// Cores available per database node (2×8 physical).
+    pub db_cores: f64,
+    /// Task-usable cores per compute node (75% of 32 logical).
+    pub compute_cores: f64,
+    /// Cores on auxiliary nodes (driver/client, DFS datanodes).
+    pub aux_cores: f64,
+    /// CPU cost of pushing bytes onto / pulling them off the wire.
+    pub net_send_cpu_per_byte: f64,
+    pub net_recv_cpu_per_byte: f64,
+    /// Database-side result-set encode CPU per byte sent (drives the
+    /// ~5%/~20% CPU utilizations of Table 2).
+    pub db_send_cpu_per_byte: f64,
+    /// Database node local data-disk bandwidth (COPY file reads).
+    pub db_disk_bw: f64,
+    /// Serialized cost of one writing commit on the global commit path.
+    pub commit_seconds: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Calibration {
+        Calibration {
+            link_bw: 125e6,
+            dfs_int_bw: 250e6,
+            db_stream_cap: 40e6,
+            internal_stream_cap: 80e6,
+            dfs_disk_read: 60e6,
+            dfs_disk_write: 250e6,
+            db_cores: 16.0,
+            compute_cores: 24.0,
+            aux_cores: 8.0,
+            net_send_cpu_per_byte: 1.0e-9,
+            net_recv_cpu_per_byte: 1.0e-9,
+            db_send_cpu_per_byte: 25.0e-9,
+            db_disk_bw: 190e6,
+            commit_seconds: 0.25,
+        }
+    }
+}
+
+impl Calibration {
+    /// CPU cost of a labeled work item.
+    pub fn work_rate(&self, label: &str) -> WorkRate {
+        match label {
+            // Hash-range scan: every visible row is decoded and hashed;
+            // dominated by bytes touched (≈1 GB/s/core scan+hash).
+            "scan_hash" => WorkRate::new(0.02e-6, 0.4e-9),
+            "scan_local" => WorkRate::new(0.02e-6, 0.5e-9),
+            "filter_eval" => WorkRate::new(0.05e-6, 0.0),
+            // Insert routing: hash + buffer per row.
+            "route_hash" => WorkRate::new(0.15e-6, 1.0e-9),
+            // Avro encode in the engine (Fig. 9's per-row S2V overhead).
+            "avro_encode" => WorkRate::new(2.0e-6, 5.0e-9),
+            // COPY-side Avro parse/unpack (the other half of Fig. 9).
+            "copy_parse_avro" => WorkRate::new(3.0e-6, 30.0e-9),
+            // CSV parse for native COPY (Table 4).
+            "copy_parse_csv" => WorkRate::new(0.3e-6, 10.0e-9),
+            // JDBC INSERT path: per-statement planning dominates — the
+            // paper's 1M rows > 3 h anchor (≈11 ms/row).
+            "jdbc_insert_parse" => WorkRate::new(11.0e-3, 0.0),
+            "jdbc_insert_encode" => WorkRate::new(2.0e-6, 2.0e-9),
+            // Columnar file encode/decode in the engine.
+            "colfile_encode" => WorkRate::new(0.2e-6, 2.0e-9),
+            "colfile_decode" => WorkRate::new(0.2e-6, 2.0e-9),
+            "udf_eval" => WorkRate::new(1.0e-6, 0.0),
+            "delete_mark" => WorkRate::new(0.2e-6, 0.0),
+            // Append-mode final copy of staging into target (Sec. 5).
+            "s2v_append_copy" => WorkRate::new(0.5e-6, 3.0e-9),
+            _ => WorkRate::new(0.1e-6, 1.0e-9),
+        }
+    }
+
+    /// Fixed latency of a labeled setup step.
+    pub fn setup_delay(&self, label: &str) -> f64 {
+        match label {
+            "v2s_connect" | "s2v_connect" => 0.5,
+            "jdbc_connect" => 1.0,
+            // S2V's protocol-table create/teardown — "on the order of a
+            // few seconds" (Sec. 4.7.1).
+            "s2v_setup_tables" => 2.0,
+            "s2v_teardown_tables" => 1.5,
+            // Overwrite's final commit: an atomic rename.
+            "s2v_atomic_rename" => 1.0,
+            _ => 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_rate_math() {
+        let r = WorkRate::new(1e-6, 1e-9);
+        assert!((r.seconds(1e6, 1e9) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchors_hold() {
+        let c = Calibration::default();
+        // Table 2: one stream ≈ 38–40 MB/s, eight saturate the NIC.
+        assert!(c.db_stream_cap <= c.link_bw / 3.0);
+        assert!(8.0 * c.db_stream_cap > c.link_bw);
+        // Fig. 11: 1M INSERTed rows on one connection exceed 3 hours.
+        let insert = c.work_rate("jdbc_insert_parse").seconds(1e6, 0.0);
+        assert!(insert > 3.0 * 3600.0, "{insert}");
+        // S2V per-row costs exceed V2S's (Fig. 9's asymmetric flip).
+        assert!(
+            c.work_rate("avro_encode").sec_per_row + c.work_rate("copy_parse_avro").sec_per_row
+                > c.work_rate("scan_hash").sec_per_row * 10.0
+        );
+    }
+}

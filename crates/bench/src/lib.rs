@@ -1,0 +1,32 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (Sec. 4).
+//!
+//! # Two-layer measurement
+//!
+//! The paper's numbers are wall-clock times of terabyte-scale transfers
+//! on a 24-machine cluster. This harness reproduces their *shape* with
+//! a two-layer design (see DESIGN.md §1):
+//!
+//! 1. **Functional layer** — the real pipeline (real rows through the
+//!    real connector/database/engine code) runs at a reduced scale;
+//!    every transfer and unit of work is recorded with its byte/row
+//!    volumes.
+//! 2. **Timing layer** — the recorded events, linearly scaled to the
+//!    paper's dataset sizes, are replayed through the `netsim`
+//!    discrete-event simulator against a topology calibrated to the
+//!    paper's hardware (1 GbE NICs, per-connection stream caps, CPU
+//!    cost coefficients — see [`calibrate`]).
+//!
+//! Every experiment prints a paper-vs-simulated table; EXPERIMENTS.md
+//! records the comparison.
+
+pub mod calibrate;
+pub mod datasets;
+pub mod experiments;
+pub mod fabric;
+pub mod model;
+pub mod report;
+
+pub use calibrate::Calibration;
+pub use fabric::TestBed;
+pub use model::{simulate, SimOutcome, SimParams};

@@ -1,0 +1,467 @@
+//! Event-log → simulator-workload reconstruction.
+//!
+//! The functional run leaves a [`netsim::record`] log: per-task
+//! ordered sequences of setup steps, labeled CPU work, and transfers.
+//! This module scales the volumes to paper size, maps endpoints onto a
+//! calibrated cluster topology, and runs the discrete-event simulation.
+
+use std::collections::BTreeMap;
+
+use netsim::record::{Event, EventKind, NetClass, NodeRef};
+use netsim::{FlowSpec, Phase, ResourceId, SimEngine, SimResult, SimTask, Topology, Workload};
+
+use crate::calibrate::Calibration;
+
+/// Simulation inputs.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    pub db_nodes: usize,
+    pub compute_nodes: usize,
+    pub dfs_nodes: usize,
+    /// Linear volume scale from the functional run to paper size
+    /// (e.g. paper rows / lab rows).
+    pub scale: f64,
+    pub calib: Calibration,
+}
+
+impl SimParams {
+    pub fn new(db_nodes: usize, compute_nodes: usize, scale: f64) -> SimParams {
+        SimParams {
+            db_nodes,
+            compute_nodes,
+            dfs_nodes: 0,
+            scale,
+            calib: Calibration::default(),
+        }
+    }
+
+    pub fn with_dfs(mut self, dfs_nodes: usize) -> SimParams {
+        self.dfs_nodes = dfs_nodes;
+        self
+    }
+}
+
+/// The calibrated topology with resource handles for reporting.
+pub struct FabricTopology {
+    pub topo: Topology,
+    pub db_ext_out: Vec<ResourceId>,
+    pub db_ext_in: Vec<ResourceId>,
+    pub db_int_out: Vec<ResourceId>,
+    pub db_int_in: Vec<ResourceId>,
+    pub db_cpu: Vec<ResourceId>,
+    pub comp_out: Vec<ResourceId>,
+    pub comp_in: Vec<ResourceId>,
+    pub comp_cpu: Vec<ResourceId>,
+    pub dfs_out: Vec<ResourceId>,
+    pub dfs_in: Vec<ResourceId>,
+    pub dfs_int_out: Vec<ResourceId>,
+    pub dfs_int_in: Vec<ResourceId>,
+    pub dfs_cpu: Vec<ResourceId>,
+    pub dfs_disk_read: Vec<ResourceId>,
+    pub dfs_disk_write: Vec<ResourceId>,
+    pub client_out: ResourceId,
+    pub client_in: ResourceId,
+    pub client_cpu: ResourceId,
+    /// The engine's global commit/epoch serialization point.
+    pub db_commit: ResourceId,
+    /// Database nodes' local data disks (COPY file reads).
+    pub db_disk: Vec<ResourceId>,
+}
+
+impl FabricTopology {
+    pub fn build(params: &SimParams) -> FabricTopology {
+        let c = &params.calib;
+        let mut topo = Topology::new();
+        let mut db_ext_out = Vec::new();
+        let mut db_ext_in = Vec::new();
+        let mut db_int_out = Vec::new();
+        let mut db_int_in = Vec::new();
+        let mut db_cpu = Vec::new();
+        for i in 0..params.db_nodes {
+            db_ext_out.push(topo.add_resource(format!("db{i}.ext.out"), c.link_bw));
+            db_ext_in.push(topo.add_resource(format!("db{i}.ext.in"), c.link_bw));
+            db_int_out.push(topo.add_resource(format!("db{i}.int.out"), c.link_bw));
+            db_int_in.push(topo.add_resource(format!("db{i}.int.in"), c.link_bw));
+            db_cpu.push(topo.add_resource(format!("db{i}.cpu"), c.db_cores));
+        }
+        let mut db_disk = Vec::new();
+        for i in 0..params.db_nodes {
+            db_disk.push(topo.add_resource(format!("db{i}.disk"), c.db_disk_bw));
+        }
+        let mut comp_out = Vec::new();
+        let mut comp_in = Vec::new();
+        let mut comp_cpu = Vec::new();
+        for i in 0..params.compute_nodes {
+            comp_out.push(topo.add_resource(format!("comp{i}.out"), c.link_bw));
+            comp_in.push(topo.add_resource(format!("comp{i}.in"), c.link_bw));
+            comp_cpu.push(topo.add_resource(format!("comp{i}.cpu"), c.compute_cores));
+        }
+        let mut dfs_out = Vec::new();
+        let mut dfs_in = Vec::new();
+        let mut dfs_int_out = Vec::new();
+        let mut dfs_int_in = Vec::new();
+        let mut dfs_cpu = Vec::new();
+        let mut dfs_disk_read = Vec::new();
+        let mut dfs_disk_write = Vec::new();
+        for i in 0..params.dfs_nodes {
+            dfs_out.push(topo.add_resource(format!("dfs{i}.out"), c.link_bw));
+            dfs_in.push(topo.add_resource(format!("dfs{i}.in"), c.link_bw));
+            dfs_int_out.push(topo.add_resource(format!("dfs{i}.int.out"), c.dfs_int_bw));
+            dfs_int_in.push(topo.add_resource(format!("dfs{i}.int.in"), c.dfs_int_bw));
+            dfs_cpu.push(topo.add_resource(format!("dfs{i}.cpu"), c.aux_cores));
+            dfs_disk_read.push(topo.add_resource(format!("dfs{i}.disk.rd"), c.dfs_disk_read));
+            dfs_disk_write.push(topo.add_resource(format!("dfs{i}.disk.wr"), c.dfs_disk_write));
+        }
+        let client_out = topo.add_resource("client.out", c.link_bw);
+        let client_in = topo.add_resource("client.in", c.link_bw);
+        let client_cpu = topo.add_resource("client.cpu", c.aux_cores);
+        let db_commit = topo.add_untraced_resource("db.commit", 1.0);
+        FabricTopology {
+            topo,
+            db_ext_out,
+            db_ext_in,
+            db_int_out,
+            db_int_in,
+            db_cpu,
+            comp_out,
+            comp_in,
+            comp_cpu,
+            dfs_out,
+            dfs_in,
+            dfs_int_out,
+            dfs_int_in,
+            dfs_cpu,
+            dfs_disk_read,
+            dfs_disk_write,
+            client_out,
+            client_in,
+            client_cpu,
+            db_commit,
+            db_disk,
+        }
+    }
+
+    fn egress(&self, node: NodeRef, class: NetClass) -> ResourceId {
+        match (node, class) {
+            (NodeRef::Db(i), NetClass::DbInternal) => self.db_int_out[i],
+            (NodeRef::Db(i), NetClass::External) => self.db_ext_out[i],
+            (NodeRef::Compute(i), _) => self.comp_out[i],
+            (NodeRef::Dfs(i), NetClass::DbInternal) => self.dfs_int_out[i],
+            (NodeRef::Dfs(i), NetClass::External) => self.dfs_out[i],
+            (NodeRef::Client, _) => self.client_out,
+        }
+    }
+
+    fn ingress(&self, node: NodeRef, class: NetClass) -> ResourceId {
+        match (node, class) {
+            (NodeRef::Db(i), NetClass::DbInternal) => self.db_int_in[i],
+            (NodeRef::Db(i), NetClass::External) => self.db_ext_in[i],
+            (NodeRef::Compute(i), _) => self.comp_in[i],
+            (NodeRef::Dfs(i), NetClass::DbInternal) => self.dfs_int_in[i],
+            (NodeRef::Dfs(i), NetClass::External) => self.dfs_in[i],
+            (NodeRef::Client, _) => self.client_in,
+        }
+    }
+
+    fn cpu(&self, node: NodeRef) -> ResourceId {
+        match node {
+            NodeRef::Db(i) => self.db_cpu[i],
+            NodeRef::Compute(i) => self.comp_cpu[i],
+            NodeRef::Dfs(i) => self.dfs_cpu[i],
+            NodeRef::Client => self.client_cpu,
+        }
+    }
+}
+
+/// Simulation output.
+pub struct SimOutcome {
+    /// Simulated elapsed seconds for the whole operation.
+    pub seconds: f64,
+    pub result: SimResult,
+    pub topology: FabricTopology,
+}
+
+/// Convert the recorded event log into a simulator workload and run it.
+pub fn simulate(events: &[Event], params: &SimParams) -> SimOutcome {
+    let fabric = FabricTopology::build(params);
+    let calib = &params.calib;
+    let scale = params.scale;
+
+    // Partition events: driver (None-task) events before the first task
+    // event, per-task sequences, driver events after.
+    let mut pre: Vec<&Event> = Vec::new();
+    let mut post: Vec<&Event> = Vec::new();
+    let mut tasks: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    let mut seen_task = false;
+    for e in events {
+        match e.task {
+            Some(t) => {
+                seen_task = true;
+                tasks.entry(t).or_default().push(e);
+            }
+            None if !seen_task => pre.push(e),
+            None => post.push(e),
+        }
+    }
+
+    let mut workload = Workload::new();
+    let driver_pool = workload.add_pool("driver", 1);
+    let comp_pools: Vec<_> = (0..params.compute_nodes)
+        .map(|i| workload.add_pool(format!("executor{i}"), calib.compute_cores as usize))
+        .collect();
+
+    // Internal (intra-cluster) transfers are pipelined with the client
+    // stream that produced them: they become parallel side tasks rather
+    // than sequential phases of the producing task.
+    let mut side_flows: Vec<FlowSpec> = Vec::new();
+
+    let build_transfer = |src: &NodeRef, dst: &NodeRef, class: &NetClass, bytes: u64| {
+        let volume = bytes as f64 * scale;
+        if volume <= 0.0 {
+            return None;
+        }
+        let send_cpu = if matches!(src, NodeRef::Db(_)) {
+            calib.db_send_cpu_per_byte
+        } else {
+            calib.net_send_cpu_per_byte
+        };
+        let mut flow = FlowSpec::new(volume)
+            .on(fabric.egress(*src, *class), 1.0)
+            .on(fabric.ingress(*dst, *class), 1.0)
+            .on(fabric.cpu(*src), send_cpu)
+            .on(fabric.cpu(*dst), calib.net_recv_cpu_per_byte);
+        // Stream caps: client connections to the database are single
+        // TCP streams; internal shuffle streams are capped a little
+        // higher; DFS ingest/readout is disk-gated instead.
+        let db_endpoint = matches!(src, NodeRef::Db(_)) || matches!(dst, NodeRef::Db(_));
+        match class {
+            NetClass::External if db_endpoint => {
+                flow = flow.capped(calib.db_stream_cap);
+            }
+            NetClass::DbInternal if db_endpoint => {
+                flow = flow.capped(calib.internal_stream_cap);
+            }
+            _ => {}
+        }
+        if let NodeRef::Dfs(i) = src {
+            // Block reads hit the spindle; replication hops stream the
+            // just-written block from the page cache.
+            if matches!(class, NetClass::External) {
+                flow = flow.on(fabric.dfs_disk_read[*i], 1.0);
+            }
+        }
+        if let NodeRef::Dfs(i) = dst {
+            flow = flow.on(fabric.dfs_disk_write[*i], 1.0);
+        }
+        Some(flow)
+    };
+
+    let mut phases_for = |evs: &[&Event]| -> Vec<Phase> {
+        let mut phases = Vec::new();
+        for e in evs {
+            match &e.kind {
+                EventKind::Setup { label, .. } => {
+                    phases.push(Phase::Delay(calib.setup_delay(label)));
+                }
+                EventKind::Work {
+                    node,
+                    label,
+                    rows,
+                    bytes,
+                } => {
+                    if *label == "local_disk_read" {
+                        // COPY reading its local file part: a flow on
+                        // the node's data disk, pipelined with the
+                        // parse that consumes it.
+                        if let NodeRef::Db(i) = node {
+                            side_flows.push(
+                                FlowSpec::new(*bytes as f64 * scale).on(fabric.db_disk[*i], 1.0),
+                            );
+                        }
+                        continue;
+                    }
+                    if *label == "db_commit" {
+                        // Commits serialize on the global commit path
+                        // (a fixed cost each, NOT scaled by volume).
+                        phases.push(Phase::Flow(
+                            FlowSpec::new(calib.commit_seconds * *rows as f64)
+                                .on(fabric.db_commit, 1.0)
+                                .capped(1.0),
+                        ));
+                        continue;
+                    }
+                    let secs = calib
+                        .work_rate(label)
+                        .seconds(*rows as f64 * scale, *bytes as f64 * scale);
+                    if secs > 0.0 {
+                        // One core of the node, for `secs` core-seconds.
+                        phases.push(Phase::Flow(
+                            FlowSpec::new(secs).on(fabric.cpu(*node), 1.0).capped(1.0),
+                        ));
+                    }
+                }
+                EventKind::Transfer {
+                    src,
+                    dst,
+                    class,
+                    bytes,
+                    ..
+                } => {
+                    let Some(flow) = build_transfer(src, dst, class, *bytes) else {
+                        continue;
+                    };
+                    if matches!(class, NetClass::DbInternal) {
+                        side_flows.push(flow);
+                    } else {
+                        phases.push(Phase::Flow(flow));
+                    }
+                }
+            }
+        }
+        phases
+    };
+
+    // Driver setup task.
+    let mut pre_task = SimTask::new(driver_pool, "driver-setup");
+    pre_task.phases = phases_for(&pre);
+    let pre_id = workload.add_task(pre_task);
+
+    // Per-partition tasks on their executor pools.
+    let mut task_ids = vec![pre_id];
+    for (task, evs) in &tasks {
+        let pool = comp_pools[*task as usize % params.compute_nodes.max(1)];
+        let mut sim_task = SimTask::new(pool, format!("task{task}")).after(pre_id);
+        sim_task.phases = phases_for(evs);
+        task_ids.push(workload.add_task(sim_task));
+    }
+
+    // Driver teardown after everything.
+    let mut post_task =
+        SimTask::new(driver_pool, "driver-teardown").after_all(task_ids.iter().copied());
+    post_task.phases = phases_for(&post);
+    let post_id = workload.add_task(post_task);
+    let _ = post_id;
+
+    // Pipelined internal transfers: parallel side tasks on a pool wide
+    // enough never to queue.
+    if !side_flows.is_empty() {
+        let side_pool = workload.add_pool("internal-shuffle", side_flows.len());
+        for (i, flow) in side_flows.into_iter().enumerate() {
+            workload.add_task(
+                SimTask::new(side_pool, format!("shuffle{i}"))
+                    .after(pre_id)
+                    .flow(flow),
+            );
+        }
+    }
+
+    let engine = SimEngine::new(fabric.topo.clone()).with_sample_dt(1.0);
+    let result = engine.run(&workload);
+    SimOutcome {
+        seconds: result.makespan,
+        result,
+        topology: fabric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::record::Recorder;
+
+    fn params() -> SimParams {
+        SimParams::new(4, 8, 1.0)
+    }
+
+    #[test]
+    fn empty_log_is_instant() {
+        let out = simulate(&[], &params());
+        assert_eq!(out.seconds, 0.0);
+    }
+
+    #[test]
+    fn single_capped_transfer_timing() {
+        let rec = Recorder::new();
+        rec.transfer(
+            Some(0),
+            NodeRef::Db(0),
+            NodeRef::Compute(0),
+            NetClass::External,
+            400_000_000,
+            1000,
+        );
+        let out = simulate(&rec.drain(), &params());
+        // 400 MB capped at the 40 MB/s stream: 10 s.
+        assert!((out.seconds - 10.0).abs() < 0.2, "{}", out.seconds);
+    }
+
+    #[test]
+    fn parallel_streams_saturate_the_nic() {
+        let rec = Recorder::new();
+        // Eight streams out of one db node: aggregate demand 320 MB/s,
+        // NIC 125 MB/s → 8×100MB = 800MB at 125 MB/s ≈ 6.4 s.
+        for t in 0..8 {
+            rec.transfer(
+                Some(t),
+                NodeRef::Db(0),
+                NodeRef::Compute(t as usize % 8),
+                NetClass::External,
+                100_000_000,
+                100,
+            );
+        }
+        let out = simulate(&rec.drain(), &params());
+        assert!((out.seconds - 6.4).abs() < 0.5, "{}", out.seconds);
+    }
+
+    #[test]
+    fn scale_multiplies_volumes() {
+        let rec = Recorder::new();
+        rec.transfer(
+            Some(0),
+            NodeRef::Db(0),
+            NodeRef::Compute(0),
+            NetClass::External,
+            4_000_000,
+            10,
+        );
+        let events = rec.drain();
+        let small = simulate(&events, &params());
+        let big = simulate(&events, &SimParams::new(4, 8, 100.0));
+        assert!(big.seconds > small.seconds * 50.0);
+    }
+
+    #[test]
+    fn work_runs_on_one_core() {
+        let rec = Recorder::new();
+        // A work item costing N core-seconds is capped at 1 core, so it
+        // takes N wall seconds even on a 16-core node.
+        let rate = Calibration::default().work_rate("scan_hash");
+        let bytes = (10.0 / rate.sec_per_byte) as u64;
+        rec.work(Some(0), NodeRef::Db(1), "scan_hash", 0, bytes);
+        let out = simulate(&rec.drain(), &params());
+        assert!((out.seconds - 10.0).abs() < 0.2, "{}", out.seconds);
+    }
+
+    #[test]
+    fn driver_events_frame_the_job() {
+        let rec = Recorder::new();
+        rec.setup(None, NodeRef::Db(0), "s2v_setup_tables"); // 2.0 s
+        rec.work(Some(0), NodeRef::Compute(0), "avro_encode", 1_000_000, 0); // 2.0 s
+        rec.setup(None, NodeRef::Db(0), "s2v_teardown_tables"); // 1.5 s
+        let out = simulate(&rec.drain(), &params());
+        assert!((out.seconds - 5.5).abs() < 0.1, "{}", out.seconds);
+    }
+
+    #[test]
+    fn executor_slots_create_waves() {
+        let rec = Recorder::new();
+        // 48 one-second tasks all on compute node 0 (task % 8 == 0):
+        // 24 slots → 2 waves.
+        for t in 0..48u64 {
+            rec.work(Some(t * 8), NodeRef::Compute(0), "udf_eval", 1_000_000, 0);
+        }
+        let out = simulate(&rec.drain(), &params());
+        assert!((out.seconds - 2.0).abs() < 0.3, "{}", out.seconds);
+    }
+}

@@ -1,0 +1,90 @@
+//! Report printing: paper-vs-simulated tables.
+
+/// One row of an experiment report.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    pub label: String,
+    /// The paper's reported value, when it printed one.
+    pub paper: Option<f64>,
+    /// Our simulated value.
+    pub simulated: f64,
+    pub unit: &'static str,
+}
+
+impl ReportRow {
+    pub fn new(label: impl Into<String>, paper: Option<f64>, simulated: f64) -> ReportRow {
+        ReportRow {
+            label: label.into(),
+            paper,
+            simulated,
+            unit: "s",
+        }
+    }
+
+    pub fn with_unit(mut self, unit: &'static str) -> ReportRow {
+        self.unit = unit;
+        self
+    }
+}
+
+/// Render a titled experiment table.
+pub fn render(title: &str, rows: &[ReportRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max("condition".len());
+    out.push_str(&format!(
+        "{:<label_w$}  {:>12}  {:>12}  {:>8}\n",
+        "condition", "paper", "simulated", "ratio"
+    ));
+    out.push_str(&format!(
+        "{:-<label_w$}  {:->12}  {:->12}  {:->8}\n",
+        "", "", "", ""
+    ));
+    for r in rows {
+        let paper = match r.paper {
+            Some(p) => format!("{p:.0} {}", r.unit),
+            None => "-".to_string(),
+        };
+        let ratio = match r.paper {
+            Some(p) if p > 0.0 => format!("{:.2}x", r.simulated / p),
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<label_w$}  {:>12}  {:>12}  {:>8}\n",
+            r.label,
+            paper,
+            format!("{:.0} {}", r.simulated, r.unit),
+            ratio
+        ));
+    }
+    out
+}
+
+/// Render and print.
+pub fn print(title: &str, rows: &[ReportRow]) {
+    println!("{}", render(title, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_ratio_and_dashes() {
+        let rows = vec![
+            ReportRow::new("V2S 32 partitions", Some(497.0), 480.0),
+            ReportRow::new("V2S 4 partitions", None, 1400.0),
+        ];
+        let text = render("Fig 6", &rows);
+        assert!(text.contains("Fig 6"));
+        assert!(text.contains("497 s"));
+        assert!(text.contains("0.97x"));
+        assert!(text.contains("V2S 4 partitions"));
+        assert!(text.contains("   -"));
+    }
+}

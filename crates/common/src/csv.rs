@@ -1,0 +1,179 @@
+//! A small CSV codec.
+//!
+//! Used by the database's COPY bulk-load path and by the HDFS-baseline
+//! text files (the paper stores all datasets "as delimited text files
+//! (CSV)" in HDFS, Sec. 4.1). Supports RFC-4180-style quoting with
+//! embedded delimiters, quotes, and newlines.
+
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Encode one row as a CSV line (no trailing newline).
+pub fn encode_row(row: &Row, delimiter: char) -> String {
+    let mut out = String::with_capacity(row.len() * 8);
+    for (i, v) in row.values().iter().enumerate() {
+        if i > 0 {
+            out.push(delimiter);
+        }
+        encode_field(&mut out, v, delimiter);
+    }
+    out
+}
+
+fn encode_field(out: &mut String, v: &Value, delimiter: char) {
+    let text = v.to_string();
+    let needs_quotes = text.contains(delimiter)
+        || text.contains('"')
+        || text.contains('\n')
+        || text.contains('\r');
+    if needs_quotes {
+        out.push('"');
+        for c in text.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(&text);
+    }
+}
+
+/// Split a CSV line into raw fields, honouring quoting.
+pub fn split_line(line: &str, delimiter: char) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(Error::Parse(format!(
+            "unterminated quote in CSV line: {line:?}"
+        )));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parse a CSV line into a typed row under `schema`.
+pub fn parse_row(line: &str, schema: &Schema, delimiter: char) -> Result<Row> {
+    let fields = split_line(line, delimiter)?;
+    if fields.len() != schema.len() {
+        return Err(Error::SchemaMismatch(format!(
+            "CSV line has {} fields, schema has {} columns",
+            fields.len(),
+            schema.len()
+        )));
+    }
+    let values = fields
+        .iter()
+        .zip(schema.fields())
+        .map(|(text, field)| Value::parse_typed(text, field.dtype))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Row::new(values))
+}
+
+/// Encode many rows into a single CSV document.
+pub fn encode_rows(rows: &[Row], delimiter: char) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&encode_row(row, delimiter));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a CSV document into rows, skipping blank lines.
+pub fn parse_rows(text: &str, schema: &Schema, delimiter: char) -> Result<Vec<Row>> {
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| parse_row(l, schema, delimiter))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("x", DataType::Float64),
+            ("name", DataType::Varchar),
+        ])
+    }
+
+    #[test]
+    fn round_trip_simple_row() {
+        let r = row![7i64, 1.25f64, "bob"];
+        let line = encode_row(&r, ',');
+        assert_eq!(line, "7,1.25,bob");
+        assert_eq!(parse_row(&line, &schema(), ',').unwrap(), r);
+    }
+
+    #[test]
+    fn quoting_of_delimiters_and_quotes() {
+        let r = row![1i64, 0.0f64, "a,\"b\""];
+        let line = encode_row(&r, ',');
+        assert_eq!(line, "1,0,\"a,\"\"b\"\"\"");
+        assert_eq!(parse_row(&line, &schema(), ',').unwrap(), r);
+    }
+
+    #[test]
+    fn null_round_trips_as_empty() {
+        let r = Row::new(vec![Value::Null, Value::Float64(2.0), Value::Null]);
+        let line = encode_row(&r, ',');
+        assert_eq!(line, ",2,");
+        assert_eq!(parse_row(&line, &schema(), ',').unwrap(), r);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        assert!(parse_row("1,2", &schema(), ',').is_err());
+        assert!(parse_row("1,2,3,4", &schema(), ',').is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(split_line("\"abc", ',').is_err());
+    }
+
+    #[test]
+    fn alternative_delimiter() {
+        let r = row![1i64, 2.0f64, "x|y"];
+        let line = encode_row(&r, '|');
+        assert_eq!(line, "1|2|\"x|y\"");
+        assert_eq!(parse_row(&line, &schema(), '|').unwrap(), r);
+    }
+
+    #[test]
+    fn multi_row_document() {
+        let rows = vec![row![1i64, 1.0f64, "a"], row![2i64, 2.0f64, "b"]];
+        let doc = encode_rows(&rows, ',');
+        assert_eq!(parse_rows(&doc, &schema(), ',').unwrap(), rows);
+    }
+}

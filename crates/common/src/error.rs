@@ -1,0 +1,37 @@
+//! Shared error type for schema/type/parse failures.
+
+use std::fmt;
+
+/// Convenience alias used throughout the `common` crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the shared data-model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column name did not resolve against a schema.
+    UnknownColumn(String),
+    /// Two schemas (or a row and a schema) did not line up.
+    SchemaMismatch(String),
+    /// A value had the wrong type for an operation.
+    TypeMismatch { expected: String, found: String },
+    /// Text could not be parsed into a value.
+    Parse(String),
+    /// An expression could not be evaluated.
+    Eval(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            Error::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

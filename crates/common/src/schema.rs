@@ -1,0 +1,210 @@
+//! Column metadata: fields and schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::value::DataType;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered list of fields. Cheap to clone (used pervasively by both
+/// engines), hence the `Arc` inside.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// Build a schema from `(name, type)` pairs, all nullable.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Schema {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Resolve a column name (case-insensitive) to its ordinal.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema containing only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.index_of(n).map(|i| self.fields[i].clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(fields))
+    }
+
+    /// Check that a row is storable under this schema (arity, types,
+    /// nullability).
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.len() {
+            return Err(Error::SchemaMismatch(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.len()
+            )));
+        }
+        for (value, field) in row.values().iter().zip(self.fields.iter()) {
+            if value.is_null() {
+                if !field.nullable {
+                    return Err(Error::SchemaMismatch(format!(
+                        "NULL in non-nullable column {}",
+                        field.name
+                    )));
+                }
+            } else if !value.fits(field.dtype) {
+                return Err(Error::TypeMismatch {
+                    expected: field.dtype.sql_name().to_string(),
+                    found: value.type_name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Two schemas are compatible for data transfer when they have the
+    /// same arity and column types (names may differ).
+    pub fn compatible_with(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|(a, b)| a.dtype == b.dtype)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fd| format!("{} {}", fd.name, fd.dtype))
+            .collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn abc() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int64),
+            ("b", DataType::Float64),
+            ("c", DataType::Varchar),
+        ])
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = abc();
+        assert_eq!(s.index_of("A").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let s = abc();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.column_names(), vec!["c", "a"]);
+        assert_eq!(p.field(0).dtype, DataType::Varchar);
+    }
+
+    #[test]
+    fn validate_row_checks_arity_types_nullability() {
+        let s = Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("x", DataType::Float64),
+        ]);
+        assert!(s
+            .validate_row(&Row::new(vec![Value::Int64(1), Value::Float64(2.0)]))
+            .is_ok());
+        // Int widens to float.
+        assert!(s
+            .validate_row(&Row::new(vec![Value::Int64(1), Value::Int64(2)]))
+            .is_ok());
+        // NULL rejected in NOT NULL column.
+        assert!(s
+            .validate_row(&Row::new(vec![Value::Null, Value::Null]))
+            .is_err());
+        // Arity mismatch.
+        assert!(s.validate_row(&Row::new(vec![Value::Int64(1)])).is_err());
+        // Type mismatch.
+        assert!(s
+            .validate_row(&Row::new(vec![Value::Varchar("x".into()), Value::Null]))
+            .is_err());
+    }
+
+    #[test]
+    fn compatibility_ignores_names() {
+        let a = Schema::from_pairs(&[("x", DataType::Int64)]);
+        let b = Schema::from_pairs(&[("y", DataType::Int64)]);
+        let c = Schema::from_pairs(&[("y", DataType::Varchar)]);
+        assert!(a.compatible_with(&b));
+        assert!(!a.compatible_with(&c));
+    }
+}

@@ -1,0 +1,350 @@
+//! Dynamically typed cell values and their types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Column data types supported by both engines.
+///
+/// This is the intersection the paper actually exercises: dataset D1 is
+/// 100 `Float64` columns, dataset D2 is one `Int64` plus one `Varchar`
+/// column, and the ML pipelines add `Boolean` labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Boolean,
+    Int64,
+    Float64,
+    Varchar,
+}
+
+impl DataType {
+    /// SQL spelling of the type, as used by the `mppdb` SQL layer.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Boolean => "BOOLEAN",
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "FLOAT",
+            DataType::Varchar => "VARCHAR",
+        }
+    }
+
+    /// Parse a SQL type name (case-insensitive, with common aliases).
+    pub fn from_sql_name(name: &str) -> Result<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => Ok(DataType::Boolean),
+            "BIGINT" | "INT" | "INTEGER" | "INT8" => Ok(DataType::Int64),
+            "FLOAT" | "DOUBLE" | "FLOAT8" | "REAL" => Ok(DataType::Float64),
+            "VARCHAR" | "TEXT" | "STRING" | "CHAR" => Ok(DataType::Varchar),
+            other => Err(Error::Parse(format!("unknown data type: {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single dynamically typed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Boolean(bool),
+    Int64(i64),
+    Float64(f64),
+    Varchar(String),
+}
+
+impl Value {
+    /// The type of this value, or `None` for SQL NULL (typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Boolean(_) => Some(DataType::Boolean),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Varchar(_) => Some(DataType::Varchar),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value is storable in a column of type `dtype`.
+    /// NULL is storable in any (nullable) column; `Int64` widens to
+    /// `Float64` as in most SQL engines.
+    pub fn fits(&self, dtype: DataType) -> bool {
+        match (self, dtype) {
+            (Value::Null, _) => true,
+            (Value::Int64(_), DataType::Float64) => true,
+            (v, t) => v.data_type() == Some(t),
+        }
+    }
+
+    /// Coerce into the given type where a lossless conversion exists.
+    pub fn coerce(self, dtype: DataType) -> Result<Value> {
+        match (self, dtype) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int64(i), DataType::Float64) => Ok(Value::Float64(i as f64)),
+            (v, t) if v.data_type() == Some(t) => Ok(v),
+            (v, t) => Err(Error::TypeMismatch {
+                expected: t.sql_name().to_string(),
+                found: v.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// Human-readable type name, including "NULL".
+    pub fn type_name(&self) -> &'static str {
+        match self.data_type() {
+            None => "NULL",
+            Some(t) => t.sql_name(),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Boolean(b) => Ok(*b),
+            other => Err(Error::TypeMismatch {
+                expected: "BOOLEAN".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int64(i) => Ok(*i),
+            other => Err(Error::TypeMismatch {
+                expected: "BIGINT".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Numeric view: integers widen to floats.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int64(i) => Ok(*i as f64),
+            Value::Float64(f) => Ok(*f),
+            other => Err(Error::TypeMismatch {
+                expected: "FLOAT".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Varchar(s) => Ok(s),
+            other => Err(Error::TypeMismatch {
+                expected: "VARCHAR".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// SQL-style three-valued comparison: NULL compares as unknown (`None`).
+    /// Numeric types compare cross-type (Int64 vs Float64).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
+            (Int64(a), Int64(b)) => Some(a.cmp(b)),
+            (Varchar(a), Varchar(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64().ok()?, b.as_f64().ok()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Approximate in-memory size of the value in bytes, used by the
+    /// cost model to account for wire volume.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Boolean(_) => 1,
+            Value::Int64(_) => 8,
+            Value::Float64(_) => 8,
+            Value::Varchar(s) => 4 + s.len(),
+        }
+    }
+
+    /// Approximate textual (CSV/JDBC-style) size of the value in
+    /// bytes. Client-server row transfer in the modeled systems is
+    /// text-encoded, so the cost model charges this, not the binary
+    /// size.
+    pub fn text_wire_size(&self) -> usize {
+        // Each value carries ~6 bytes of protocol framing (length
+        // prefix, type tag, nullability) on top of its text.
+        const FRAMING: usize = 6;
+        FRAMING
+            + match self {
+                Value::Null => 0,
+                Value::Boolean(_) => 5,
+                Value::Int64(i) => {
+                    let mut n = if *i < 0 { 1 } else { 0 };
+                    let mut v = i.unsigned_abs();
+                    loop {
+                        n += 1;
+                        v /= 10;
+                        if v == 0 {
+                            break;
+                        }
+                    }
+                    n
+                }
+                // Round-trippable float formatting averages ~17 chars.
+                Value::Float64(_) => 17,
+                Value::Varchar(s) => s.len(),
+            }
+    }
+
+    /// Parse a textual literal into a value of the given type. Empty
+    /// strings parse as NULL, mirroring typical bulk-load behaviour.
+    pub fn parse_typed(text: &str, dtype: DataType) -> Result<Value> {
+        if text.is_empty() {
+            return Ok(Value::Null);
+        }
+        match dtype {
+            DataType::Boolean => match text.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Ok(Value::Boolean(true)),
+                "false" | "f" | "0" => Ok(Value::Boolean(false)),
+                other => Err(Error::Parse(format!("bad boolean literal: {other}"))),
+            },
+            DataType::Int64 => text
+                .parse::<i64>()
+                .map(Value::Int64)
+                .map_err(|e| Error::Parse(format!("bad integer literal {text:?}: {e}"))),
+            DataType::Float64 => text
+                .parse::<f64>()
+                .map(Value::Float64)
+                .map_err(|e| Error::Parse(format!("bad float literal {text:?}: {e}"))),
+            DataType::Varchar => Ok(Value::Varchar(text.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Int64(i) => write!(f, "{i}"),
+            Value::Float64(x) => write!(f, "{x}"),
+            Value::Varchar(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Boolean(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int64(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float64(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Varchar(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Varchar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_sql_round_trip() {
+        for t in [
+            DataType::Boolean,
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Varchar,
+        ] {
+            assert_eq!(DataType::from_sql_name(t.sql_name()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn data_type_aliases() {
+        assert_eq!(DataType::from_sql_name("int").unwrap(), DataType::Int64);
+        assert_eq!(
+            DataType::from_sql_name("double").unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(DataType::from_sql_name("text").unwrap(), DataType::Varchar);
+        assert!(DataType::from_sql_name("blob").is_err());
+    }
+
+    #[test]
+    fn fits_and_coerce() {
+        assert!(Value::Null.fits(DataType::Varchar));
+        assert!(Value::Int64(3).fits(DataType::Float64));
+        assert!(!Value::Float64(3.0).fits(DataType::Int64));
+        assert_eq!(
+            Value::Int64(3).coerce(DataType::Float64).unwrap(),
+            Value::Float64(3.0)
+        );
+        assert!(Value::Varchar("x".into()).coerce(DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn sql_cmp_three_valued() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int64(1)), None);
+        assert_eq!(
+            Value::Int64(2).sql_cmp(&Value::Float64(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Varchar("a".into()).sql_cmp(&Value::Varchar("b".into())),
+            Some(Ordering::Less)
+        );
+        // Cross-type non-numeric comparison is unknown.
+        assert_eq!(
+            Value::Boolean(true).sql_cmp(&Value::Varchar("t".into())),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_typed_values() {
+        assert_eq!(
+            Value::parse_typed("42", DataType::Int64).unwrap(),
+            Value::Int64(42)
+        );
+        assert_eq!(
+            Value::parse_typed("", DataType::Int64).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Value::parse_typed("t", DataType::Boolean).unwrap(),
+            Value::Boolean(true)
+        );
+        assert!(Value::parse_typed("nope", DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn wire_size_accounts_for_strings() {
+        assert_eq!(Value::Int64(0).wire_size(), 8);
+        assert_eq!(Value::Varchar("abcd".into()).wire_size(), 8);
+    }
+}

@@ -1,0 +1,92 @@
+//! The database connector for the compute engine — the paper's primary
+//! contribution.
+//!
+//! Three components, matching Fig. 1 of the paper:
+//!
+//! * **V2S** ([`v2s`]) — parallel, locality-aware load of database
+//!   tables (and views) into DataFrames. Each task formulates a hash-
+//!   range query for data *local* to the node it connects to,
+//!   eliminating internal shuffle; all tasks read at one pinned epoch,
+//!   so the load is a consistent snapshot with exactly-once semantics
+//!   regardless of task retries (Sec. 3.1).
+//! * **S2V** ([`s2v`]) — parallel save of DataFrames into the database
+//!   with exactly-once semantics. Stateless tasks coordinate through
+//!   durable protocol tables *in the database itself* (staging, task
+//!   status, last committer, final status), surviving task failures,
+//!   restarts, speculative duplicates, and total engine failure
+//!   (Sec. 3.2).
+//! * **MD** ([`md`]) — PMML model deployment: store documents in the
+//!   database's internal DFS with a metadata table, and score them from
+//!   SQL via the generic `PMMLPredict` UDx (Sec. 3.3).
+//!
+//! The connector plugs into the engine's External Data Source API under
+//! the format name [`DEFAULT_SOURCE`], so the user-facing surface is
+//! exactly the paper's Table 1:
+//!
+//! ```text
+//! df.read.format(DEFAULT_SOURCE).options(opts).load()
+//! df.write.format(DEFAULT_SOURCE).options(opts).mode(mode).save()
+//! ```
+
+pub mod md;
+pub mod options;
+pub mod s2v;
+pub mod two_stage;
+pub mod v2s;
+
+use std::sync::Arc;
+
+use mppdb::Cluster;
+use sparklet::{DataFrame, DataSourceProvider, Options, SaveMode, ScanRelation, SparkContext};
+
+pub use md::ModelDeployment;
+pub use options::ConnectorOptions;
+pub use s2v::{save_to_db, S2vReport};
+pub use two_stage::{load_via_dfs, save_via_dfs, TwoStageConfig, TwoStageReport};
+pub use v2s::DbRelation;
+
+/// The format name the connector registers under — the paper's
+/// implementation-specific DefaultSource string.
+pub const DEFAULT_SOURCE: &str = "com.vertica.spark.datasource.DefaultSource";
+
+/// The connector's `DataSourceProvider`: one instance per database
+/// cluster it connects to.
+pub struct DefaultSource {
+    cluster: Arc<Cluster>,
+}
+
+impl DefaultSource {
+    pub fn new(cluster: Arc<Cluster>) -> Arc<DefaultSource> {
+        Arc::new(DefaultSource { cluster })
+    }
+
+    /// Register the connector with an engine context under
+    /// [`DEFAULT_SOURCE`].
+    pub fn register(ctx: &SparkContext, cluster: Arc<Cluster>) {
+        ctx.register_format(DEFAULT_SOURCE, DefaultSource::new(cluster));
+    }
+}
+
+impl DataSourceProvider for DefaultSource {
+    fn create_relation(
+        &self,
+        _ctx: &SparkContext,
+        options: &Options,
+    ) -> sparklet::SparkResult<Arc<dyn ScanRelation>> {
+        let opts = ConnectorOptions::parse(options)?;
+        let relation = DbRelation::open(Arc::clone(&self.cluster), &opts)
+            .map_err(|e| sparklet::SparkError::DataSource(e.to_string()))?;
+        Ok(Arc::new(relation))
+    }
+
+    fn save(
+        &self,
+        ctx: &SparkContext,
+        options: &Options,
+        df: &DataFrame,
+        mode: SaveMode,
+    ) -> sparklet::SparkResult<()> {
+        let opts = ConnectorOptions::parse(options)?;
+        save_to_db(ctx, &self.cluster, df, &opts, mode).map(|_report| ())
+    }
+}

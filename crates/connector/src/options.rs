@@ -1,0 +1,149 @@
+//! Connector options: the `key=value` pairs of the paper's Table 1.
+
+use sparklet::{Options, SparkError, SparkResult};
+
+/// Parsed connector options.
+///
+/// The real connector takes `host`, `user`, `password`, `db`, `table`,
+/// `numPartitions`, and a rejected-rows tolerance. Ours accepts the
+/// same keys; credentials are accepted but unused (there is no auth
+/// surface in the in-process database).
+#[derive(Debug, Clone)]
+pub struct ConnectorOptions {
+    /// The single database node the API is pointed at (all node
+    /// addresses are looked up from it during setup, Sec. 3.2).
+    pub host: usize,
+    /// Target or source table (or view, for V2S).
+    pub table: String,
+    /// Desired parallelism; defaults per direction (Sec. 4.2 found 32
+    /// best-practice for V2S, 128 for S2V on the 4:8 cluster).
+    pub num_partitions: Option<usize>,
+    /// S2V: tolerated fraction of rejected rows (0.0 = none), the
+    /// paper's "failed rows percentage" tolerance.
+    pub failed_rows_percent_tolerance: f64,
+    /// S2V: bulk-load directly into read-optimized storage.
+    pub copy_direct: bool,
+    /// S2V: unique job name; auto-derived from the table when absent.
+    pub job_name: Option<String>,
+    /// Resource pool every connector session joins (the paper isolates
+    /// data movement in a dedicated pool, Sec. 4.1). Must exist.
+    pub resource_pool: Option<String>,
+    /// S2V: pre-hash the DataFrame to the target table's segmentation
+    /// so every task loads only node-local data (paper Sec. 5's first
+    /// future-work optimization; eliminates database-internal shuffle
+    /// at the cost of an engine-side shuffle).
+    pub prehash: bool,
+}
+
+impl ConnectorOptions {
+    pub fn parse(options: &Options) -> SparkResult<ConnectorOptions> {
+        let host_raw = options.get("host").unwrap_or("0");
+        // Accept both bare indices ("2") and db-style names ("db2").
+        let host = host_raw
+            .trim_start_matches("db")
+            .parse::<usize>()
+            .map_err(|_| {
+                SparkError::Usage(format!("option host={host_raw} is not a node address"))
+            })?;
+        let table = options.require("table")?.to_string();
+        let num_partitions = options.get_parsed::<usize>("numpartitions")?;
+        if num_partitions == Some(0) {
+            return Err(SparkError::Usage("numPartitions must be positive".into()));
+        }
+        let failed_rows_percent_tolerance = options
+            .get_parsed::<f64>("failed_rows_percent_tolerance")?
+            .unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&failed_rows_percent_tolerance) {
+            return Err(SparkError::Usage(
+                "failed_rows_percent_tolerance must be in [0, 1]".into(),
+            ));
+        }
+        let copy_direct = options.get_parsed::<bool>("copy_direct")?.unwrap_or(true);
+        let job_name = options.get("job_name").map(str::to_string);
+        let prehash = options.get_parsed::<bool>("prehash")?.unwrap_or(false);
+        let resource_pool = options.get("resource_pool").map(str::to_string);
+        Ok(ConnectorOptions {
+            host,
+            table,
+            num_partitions,
+            failed_rows_percent_tolerance,
+            copy_direct,
+            job_name,
+            resource_pool,
+            prehash,
+        })
+    }
+
+    /// Basic options for a table.
+    pub fn for_table(table: &str) -> ConnectorOptions {
+        ConnectorOptions {
+            host: 0,
+            table: table.to_string(),
+            num_partitions: None,
+            failed_rows_percent_tolerance: 0.0,
+            copy_direct: true,
+            job_name: None,
+            resource_pool: None,
+            prehash: false,
+        }
+    }
+
+    pub fn with_partitions(mut self, n: usize) -> ConnectorOptions {
+        self.num_partitions = Some(n);
+        self
+    }
+
+    pub fn with_host(mut self, host: usize) -> ConnectorOptions {
+        self.host = host;
+        self
+    }
+
+    pub fn with_tolerance(mut self, fraction: f64) -> ConnectorOptions {
+        self.failed_rows_percent_tolerance = fraction;
+        self
+    }
+
+    pub fn with_prehash(mut self) -> ConnectorOptions {
+        self.prehash = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table_1_style_options() {
+        let o = Options::new()
+            .with("host", "db2")
+            .with("user", "dbadmin")
+            .with("password", "secret")
+            .with("table", "lineitem")
+            .with("numPartitions", 32)
+            .with("failed_rows_percent_tolerance", 0.02);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert_eq!(parsed.host, 2);
+        assert_eq!(parsed.table, "lineitem");
+        assert_eq!(parsed.num_partitions, Some(32));
+        assert!((parsed.failed_rows_percent_tolerance - 0.02).abs() < 1e-12);
+        assert!(parsed.copy_direct);
+    }
+
+    #[test]
+    fn table_is_required() {
+        assert!(ConnectorOptions::parse(&Options::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let o = Options::new().with("table", "t").with("numPartitions", 0);
+        assert!(ConnectorOptions::parse(&o).is_err());
+        let o = Options::new()
+            .with("table", "t")
+            .with("failed_rows_percent_tolerance", 1.5);
+        assert!(ConnectorOptions::parse(&o).is_err());
+        let o = Options::new().with("table", "t").with("host", "not-a-host");
+        assert!(ConnectorOptions::parse(&o).is_err());
+    }
+}

@@ -1,0 +1,708 @@
+//! S2V: saving DataFrames into the database with exactly-once semantics
+//! (paper Sec. 3.2).
+//!
+//! The engine's tasks are stateless and cannot talk to each other, so
+//! the protocol uses tables *in the database* as a durable log:
+//!
+//! * a **staging table** with the target's schema,
+//! * a **task status table** (one pre-created row per task: id, rows
+//!   loaded/rejected, done flag),
+//! * a **last committer table** (the leader-election slot),
+//! * a permanent **final status table** recording every job's outcome —
+//!   consultable even after a total engine failure.
+//!
+//! Each task walks the five phases of the paper's Fig. 5:
+//!
+//! 1. bulk-load its partition into the staging table and set its
+//!    status-row `done` flag, *in one transaction*, aborting if the
+//!    flag is already set (a duplicate attempt saved it first);
+//! 2. read the status table; if any task is not done, terminate;
+//! 3. race to write its id into the empty last-committer table;
+//! 4. read it back; losers terminate;
+//! 5. the single winner verifies the rejected-row tolerance and commits
+//!    the staging table into the target, flipping the final status to
+//!    finished — again conditionally, so a speculative duplicate of the
+//!    committer cannot commit twice.
+//!
+//! In overwrite mode the final commit is the atomic swap of staging
+//! into target (charged to the cost model as a constant-time rename);
+//! in append mode it copies the staging rows (the slower path the
+//! paper's Sec. 5 discusses).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use avrolite::{AvroSchema, Codec, Writer};
+use common::Value;
+use mppdb::catalog::{Segmentation, TableDef};
+use mppdb::{Cluster, CopyOptions, CopySource, DbError, DbResult, QuerySpec, Session};
+use netsim::record::{NetClass, NodeRef};
+use sparklet::{DataFrame, SaveMode, SparkContext, SparkError, SparkResult};
+
+use crate::options::ConnectorOptions;
+
+/// Outcome of a successful save.
+#[derive(Debug, Clone, PartialEq)]
+pub struct S2vReport {
+    pub job_name: String,
+    pub rows_loaded: u64,
+    pub rows_rejected: u64,
+    /// Task id that won the final-commit race.
+    pub committer_task: u64,
+    /// Per-task samples of rejected rows — "a sample of the rejected
+    /// rows is provided" (Sec. 3.2): `(task, first rejection reason)`.
+    pub rejected_samples: Vec<(u64, String)>,
+}
+
+/// Job-name uniquifier for auto-derived names.
+static JOB_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Per-task terminal outcome (driver-side bookkeeping only; the durable
+/// record is in the database tables).
+#[derive(Debug, Clone, PartialEq)]
+enum TaskEnd {
+    /// Finished its phases without being the committer.
+    Done,
+    /// Won the race and committed.
+    Committed { loaded: u64, rejected: u64 },
+    /// Won the race but the tolerance check failed; the job fails.
+    ToleranceExceeded { loaded: u64, rejected: u64 },
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+struct JobTables {
+    staging: String,
+    status: String,
+    committer: String,
+}
+
+/// The permanent record of all S2V jobs (paper: "this table is always
+/// available; users can consult this table any time").
+pub const FINAL_STATUS_TABLE: &str = "s2v_job_final_status";
+
+fn db_err(e: DbError) -> SparkError {
+    SparkError::DataSource(e.to_string())
+}
+
+/// Save `df` into `opts.table` with exactly-once semantics.
+pub fn save_to_db(
+    ctx: &SparkContext,
+    cluster: &Arc<Cluster>,
+    df: &DataFrame,
+    opts: &ConnectorOptions,
+    mode: SaveMode,
+) -> SparkResult<S2vReport> {
+    let target = sanitize(&opts.table);
+    let job_name = opts
+        .job_name
+        .clone()
+        .map(|j| sanitize(&j))
+        .unwrap_or_else(|| format!("s2v_{}_{}", target, JOB_SEQ.fetch_add(1, Ordering::AcqRel)));
+
+    // ----- setup phase (driver) --------------------------------------
+    let mut session = cluster.connect(opts.host).map_err(db_err)?;
+    let exists = cluster.has_table(&target);
+    match mode {
+        SaveMode::ErrorIfExists if exists => {
+            return Err(SparkError::DataSource(format!(
+                "table {target} already exists (mode=ErrorIfExists)"
+            )))
+        }
+        SaveMode::Ignore if exists => {
+            return Ok(S2vReport {
+                job_name,
+                rows_loaded: 0,
+                rows_rejected: 0,
+                committer_task: 0,
+                rejected_samples: Vec::new(),
+            })
+        }
+        _ => {}
+    }
+    if exists {
+        let def = cluster.table_def(&target).map_err(db_err)?;
+        if !def.schema.compatible_with(df.schema()) {
+            return Err(SparkError::DataSource(format!(
+                "DataFrame schema {} incompatible with target table {}",
+                df.schema(),
+                def.schema
+            )));
+        }
+    } else {
+        cluster
+            .create_table(
+                TableDef::new(&target, df.schema().clone(), Segmentation::ByHash(vec![]))
+                    .map_err(db_err)?,
+            )
+            .map_err(db_err)?;
+    }
+
+    // Decide the parallelism (a coalesce when reducing, per Sec. 3.2).
+    let current_parts = df.num_partitions()?;
+    let df = match opts.num_partitions {
+        Some(n) if n < current_parts => df.coalesce(n)?,
+        Some(n) if n > current_parts => df.repartition(n)?,
+        _ => df.clone(),
+    };
+    let partitions = df.num_partitions()?;
+
+    // Create the protocol tables.
+    let tables = JobTables {
+        staging: format!("{job_name}_staging"),
+        status: format!("{job_name}_status"),
+        committer: format!("{job_name}_committer"),
+    };
+    let target_def = cluster.table_def(&target).map_err(db_err)?;
+
+    // Sec. 5 future-work optimization: pre-hash the DataFrame to the
+    // target's segmentation so partition `p` holds exactly the rows
+    // node `p % N` owns — its task then connects there and the bulk
+    // load induces zero database-internal shuffle.
+    let df = if opts.prehash && target_def.is_segmented() {
+        prehash_dataframe(ctx, cluster, &df, &target_def, partitions)?
+    } else {
+        df
+    };
+    cluster
+        .create_table(
+            TableDef::new(
+                &tables.staging,
+                target_def.schema.clone(),
+                target_def.segmentation.clone(),
+            )
+            .map_err(db_err)?
+            .temp(),
+        )
+        .map_err(db_err)?;
+    session
+        .execute(&format!(
+            "CREATE TEMP TABLE {} (task_id INT NOT NULL, rows_loaded INT, \
+             rows_rejected INT, done BOOLEAN, reject_sample VARCHAR) \
+             UNSEGMENTED ALL NODES",
+            tables.status
+        ))
+        .map_err(db_err)?;
+    session
+        .execute(&format!(
+            "CREATE TEMP TABLE {} (task_id INT) UNSEGMENTED ALL NODES",
+            tables.committer
+        ))
+        .map_err(db_err)?;
+    session
+        .execute(&format!(
+            "CREATE TABLE IF NOT EXISTS {FINAL_STATUS_TABLE} \
+             (job_name VARCHAR NOT NULL, failed_pct FLOAT, status VARCHAR) \
+             UNSEGMENTED ALL NODES"
+        ))
+        .map_err(db_err)?;
+    // One status row per task, done=false.
+    if partitions > 0 {
+        let values: Vec<String> = (0..partitions)
+            .map(|p| format!("({p}, 0, 0, FALSE, '')"))
+            .collect();
+        session
+            .execute(&format!(
+                "INSERT INTO {} VALUES {}",
+                tables.status,
+                values.join(", ")
+            ))
+            .map_err(db_err)?;
+    }
+    session
+        .execute(&format!(
+            "INSERT INTO {FINAL_STATUS_TABLE} VALUES ('{job_name}', 0.0, 'in_progress')"
+        ))
+        .map_err(db_err)?;
+    cluster
+        .recorder()
+        .setup(None, NodeRef::Db(opts.host), "s2v_setup_tables");
+
+    // Node addresses are looked up once so tasks spread connections.
+    let up_nodes = cluster.up_nodes();
+    if up_nodes.is_empty() {
+        return Err(SparkError::DataSource("no live database nodes".into()));
+    }
+
+    // ----- the job ----------------------------------------------------
+    let rdd = df.rdd()?;
+    let schema = df.schema().clone();
+    let avro_schema = AvroSchema::from_schema(&target, &schema);
+    let tolerance = opts.failed_rows_percent_tolerance;
+    let copy_direct = opts.copy_direct;
+    let cluster_for_tasks = Arc::clone(cluster);
+    let tables_ref = &tables;
+    let job_ref = job_name.as_str();
+    let target_ref = target.as_str();
+    let up_nodes_ref = &up_nodes;
+    let avro_ref = &avro_schema;
+
+    let pool_ref = opts.resource_pool.as_deref();
+    let outcomes = ctx.run_job(&rdd, move |tc, rows| {
+        run_task_phases(
+            &cluster_for_tasks,
+            tc,
+            rows,
+            avro_ref,
+            tables_ref,
+            job_ref,
+            target_ref,
+            up_nodes_ref,
+            tolerance,
+            copy_direct,
+            mode,
+            partitions,
+            pool_ref,
+        )
+        .map_err(db_err)
+    })?;
+
+    // ----- driver wrap-up ---------------------------------------------
+    let mut committed: Option<(u64, u64, u64)> = None;
+    for (task, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            TaskEnd::Committed { loaded, rejected } => {
+                committed = Some((task as u64, *loaded, *rejected));
+            }
+            TaskEnd::ToleranceExceeded { loaded, rejected } => {
+                return Err(SparkError::DataSource(format!(
+                    "S2V job {job_name} failed: {rejected} of {} rows rejected exceeds \
+                     tolerance {tolerance}",
+                    loaded + rejected
+                )));
+            }
+            TaskEnd::Done => {}
+        }
+    }
+    // When the committer's attempt was killed *after* phase 5 committed
+    // (the post-commit failure of Sec. 2.2.2), its retry sees "finished"
+    // and reports Done — recover the outcome from the durable final
+    // status table, which is the ground truth.
+    let (committer_task, rows_loaded, rows_rejected) = match committed {
+        Some(c) => c,
+        None => {
+            let status = session
+                .execute(&format!(
+                    "SELECT status FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
+                ))
+                .map_err(db_err)?
+                .rows()
+                .map_err(db_err)?;
+            let finished = status
+                .rows
+                .first()
+                .map(|r| r.get(0) == &Value::Varchar("finished".into()))
+                .unwrap_or(false);
+            if !finished {
+                return Err(SparkError::DataSource(format!(
+                    "S2V job {job_name}: no task committed (job incomplete)"
+                )));
+            }
+            let totals = session
+                .execute(&format!(
+                    "SELECT SUM(rows_loaded), SUM(rows_rejected) FROM {}",
+                    tables.status
+                ))
+                .map_err(db_err)?
+                .rows()
+                .map_err(db_err)?;
+            let winner = session
+                .execute(&format!("SELECT task_id FROM {} LIMIT 1", tables.committer))
+                .map_err(db_err)?
+                .rows()
+                .map_err(db_err)?;
+            (
+                winner.rows[0]
+                    .get(0)
+                    .as_i64()
+                    .map_err(|e| db_err(e.into()))? as u64,
+                totals.rows[0]
+                    .get(0)
+                    .as_i64()
+                    .map_err(|e| db_err(e.into()))? as u64,
+                totals.rows[0]
+                    .get(1)
+                    .as_i64()
+                    .map_err(|e| db_err(e.into()))? as u64,
+            )
+        }
+    };
+
+    // Harvest the rejected-row samples before the temp tables go away.
+    let sample_rows = session
+        .execute(&format!(
+            "SELECT task_id, reject_sample FROM {} WHERE rows_rejected > 0 \
+             ORDER BY task_id",
+            tables.status
+        ))
+        .map_err(db_err)?
+        .rows()
+        .map_err(db_err)?;
+    let rejected_samples: Vec<(u64, String)> = sample_rows
+        .rows
+        .iter()
+        .filter_map(|r| {
+            Some((
+                r.get(0).as_i64().ok()? as u64,
+                r.get(1).as_str().ok()?.to_string(),
+            ))
+        })
+        .collect();
+
+    // Temp protocol tables are deleted on success; the final status
+    // table is permanent.
+    for t in [&tables.staging, &tables.status, &tables.committer] {
+        cluster.drop_table(t).map_err(db_err)?;
+    }
+    cluster
+        .recorder()
+        .setup(None, NodeRef::Db(opts.host), "s2v_teardown_tables");
+
+    Ok(S2vReport {
+        job_name,
+        rows_loaded,
+        rows_rejected,
+        committer_task,
+        rejected_samples,
+    })
+}
+
+/// Shuffle the DataFrame so partition `p` holds exactly the rows owned
+/// by database node `p % N` under the target's segmentation — the
+/// paper's Sec. 5 pre-hashing. The engine-side shuffle it costs is
+/// recorded (ring pattern over the compute NICs); the database-internal
+/// shuffle it saves simply never happens.
+fn prehash_dataframe(
+    ctx: &SparkContext,
+    cluster: &Arc<Cluster>,
+    df: &DataFrame,
+    def: &TableDef,
+    partitions: usize,
+) -> SparkResult<DataFrame> {
+    let map = cluster.segment_map();
+    let n = map.node_count();
+    if partitions < n {
+        return Err(SparkError::Usage(format!(
+            "prehash requires numPartitions >= the {n} database nodes"
+        )));
+    }
+    if cluster.up_nodes().len() != n {
+        return Err(SparkError::DataSource(
+            "prehash requires every database node up (owner-aligned connections)".into(),
+        ));
+    }
+    let rows = df.collect()?;
+    let shuffled_bytes: u64 = rows.iter().map(|r| r.wire_size() as u64).sum();
+
+    let mut buckets: Vec<Vec<common::Row>> = vec![Vec::new(); partitions];
+    let mut cursor = vec![0usize; n];
+    for row in rows {
+        // Hash exactly what the insert path will hash: the coerced row.
+        let coerced: Vec<Value> = row
+            .values()
+            .iter()
+            .zip(def.schema.fields())
+            .map(|(v, f)| v.clone().coerce(f.dtype).unwrap_or(Value::Null))
+            .collect();
+        let owner = map.owner_of_hash(common::hash::hash_row_columns(
+            &common::Row::new(coerced),
+            &def.seg_columns,
+        ));
+        // Buckets for this owner are owner, owner+n, owner+2n, ...
+        let per_owner = (partitions - owner).div_ceil(n);
+        let bucket = owner + cursor[owner] * n;
+        cursor[owner] = (cursor[owner] + 1) % per_owner;
+        buckets[bucket].push(row);
+    }
+
+    // Charge the engine-side shuffle: ~(1-1/C) of the bytes cross the
+    // compute cluster's links, pipelined with the rest of setup.
+    let compute = ctx.conf().nodes;
+    if compute > 1 {
+        let per_link = shuffled_bytes * (compute as u64 - 1) / (compute as u64 * compute as u64);
+        for i in 0..compute {
+            cluster.recorder().transfer(
+                None,
+                NodeRef::Compute(i),
+                NodeRef::Compute((i + 1) % compute),
+                netsim::record::NetClass::DbInternal,
+                per_link,
+                0,
+            );
+        }
+    }
+
+    DataFrame::from_partitions(ctx.clone(), df.schema().clone(), buckets)
+}
+
+/// The five phases of one task (Fig. 5). Runs once per attempt; every
+/// phase re-checks durable state so reruns and duplicates are harmless.
+#[allow(clippy::too_many_arguments)]
+fn run_task_phases(
+    cluster: &Arc<Cluster>,
+    tc: &sparklet::TaskContext,
+    rows: Vec<common::Row>,
+    avro_schema: &AvroSchema,
+    tables: &JobTables,
+    job_name: &str,
+    target: &str,
+    up_nodes: &[usize],
+    tolerance: f64,
+    copy_direct: bool,
+    mode: SaveMode,
+    partitions: usize,
+    resource_pool: Option<&str>,
+) -> DbResult<TaskEnd> {
+    let p = tc.partition;
+    let node = up_nodes[p % up_nodes.len()];
+    let mut session = cluster.connect(node)?;
+    session.set_task_tag(Some(p as u64));
+    if let Some(pool) = resource_pool {
+        session.set_resource_pool(pool)?;
+    }
+    cluster
+        .recorder()
+        .setup(Some(p as u64), NodeRef::Db(node), "s2v_connect");
+
+    // ----- Phase 1: save into staging + conditional done flag --------
+    session.begin()?;
+    let phase1 = phase1_save(
+        cluster,
+        &mut session,
+        tc,
+        rows,
+        avro_schema,
+        tables,
+        node,
+        copy_direct,
+    );
+    match phase1 {
+        Ok(true) => {
+            session.commit()?;
+        }
+        Ok(false) => {
+            // A duplicate attempt already saved this partition; discard
+            // our staged copy.
+            session.rollback()?;
+        }
+        Err(e) => {
+            session.rollback()?;
+            return Err(e);
+        }
+    }
+
+    // ----- Phase 2: are all tasks done? -------------------------------
+    let not_done = session
+        .execute(&format!(
+            "SELECT COUNT(*) FROM {} WHERE done = FALSE",
+            tables.status
+        ))?
+        .rows()?
+        .rows[0]
+        .get(0)
+        .as_i64()
+        .map_err(DbError::Data)?;
+    if not_done > 0 {
+        return Ok(TaskEnd::Done);
+    }
+    debug_assert!(partitions > 0);
+
+    // ----- Phase 3: race to become the last committer -----------------
+    session.begin()?;
+    let committer_count = session
+        .execute(&format!("SELECT COUNT(*) FROM {}", tables.committer))?
+        .rows()?
+        .rows[0]
+        .get(0)
+        .as_i64()
+        .map_err(DbError::Data)?;
+    if committer_count == 0 {
+        session.execute(&format!("INSERT INTO {} VALUES ({p})", tables.committer))?;
+        session.commit()?;
+    } else {
+        session.rollback()?;
+    }
+
+    // ----- Phase 4: did we win? ---------------------------------------
+    let winner = session
+        .execute(&format!("SELECT task_id FROM {} LIMIT 1", tables.committer))?
+        .rows()?
+        .rows[0]
+        .get(0)
+        .as_i64()
+        .map_err(DbError::Data)?;
+    if winner != p as i64 {
+        return Ok(TaskEnd::Done);
+    }
+
+    // ----- Phase 5: tolerance check + final atomic commit -------------
+    session.begin()?;
+    let totals = session.execute(&format!(
+        "SELECT SUM(rows_loaded), SUM(rows_rejected) FROM {}",
+        tables.status
+    ))?;
+    let totals = totals.rows()?;
+    let loaded = totals.rows[0].get(0).as_i64().map_err(DbError::Data)? as u64;
+    let rejected = totals.rows[0].get(1).as_i64().map_err(DbError::Data)? as u64;
+    let attempted = loaded + rejected;
+    let failed_pct = if attempted == 0 {
+        0.0
+    } else {
+        rejected as f64 / attempted as f64
+    };
+
+    if failed_pct > tolerance {
+        session.execute(&format!(
+            "UPDATE {FINAL_STATUS_TABLE} SET failed_pct = {failed_pct}, \
+             status = 'failed_tolerance' WHERE job_name = '{job_name}'"
+        ))?;
+        session.commit()?;
+        return Ok(TaskEnd::ToleranceExceeded { loaded, rejected });
+    }
+
+    // Conditional: only commit if the job is not already finished (a
+    // speculative duplicate of the committer may race us here).
+    let status = session
+        .execute(&format!(
+            "SELECT status FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
+        ))?
+        .rows()?;
+    let current = status.rows[0]
+        .get(0)
+        .as_str()
+        .map_err(DbError::Data)?
+        .to_string();
+    if current == "finished" {
+        session.rollback()?;
+        return Ok(TaskEnd::Done);
+    }
+
+    // Commit staging into target. Overwrite is the atomic swap (a
+    // constant-time rename in the paper; realized here as a
+    // transactional replace with the physical row copy muted in the
+    // cost log and charged as a rename); append copies for real — the
+    // slower path Sec. 5 discusses.
+    match mode {
+        SaveMode::Append => {
+            let staging_rows = session.query(&QuerySpec::scan(&tables.staging))?;
+            cluster.recorder().work(
+                Some(p as u64),
+                NodeRef::Db(node),
+                "s2v_append_copy",
+                staging_rows.rows.len() as u64,
+                staging_rows.wire_bytes(),
+            );
+            session.insert(target, staging_rows.rows)?;
+        }
+        _ => {
+            cluster
+                .recorder()
+                .setup(Some(p as u64), NodeRef::Db(node), "s2v_atomic_rename");
+            let _mute = cluster.recorder().mute();
+            let staging_rows = session.query(&QuerySpec::scan(&tables.staging))?;
+            session.execute(&format!("DELETE FROM {target}"))?;
+            session.insert(target, staging_rows.rows)?;
+        }
+    }
+    session.execute(&format!(
+        "UPDATE {FINAL_STATUS_TABLE} SET failed_pct = {failed_pct}, \
+         status = 'finished' WHERE job_name = '{job_name}'"
+    ))?;
+    session.commit()?;
+    Ok(TaskEnd::Committed { loaded, rejected })
+}
+
+/// Phase 1 body (inside an open transaction): encode, ship, COPY, and
+/// conditionally flip the done flag. Returns whether the transaction
+/// should commit.
+#[allow(clippy::too_many_arguments)]
+fn phase1_save(
+    cluster: &Arc<Cluster>,
+    session: &mut Session,
+    tc: &sparklet::TaskContext,
+    rows: Vec<common::Row>,
+    avro_schema: &AvroSchema,
+    tables: &JobTables,
+    node: usize,
+    copy_direct: bool,
+) -> DbResult<bool> {
+    let p = tc.partition;
+    let row_count = rows.len() as u64;
+
+    // Encode the partition in the Avro binary format (Sec. 3.2.2).
+    let mut writer = Writer::new(avro_schema.clone(), Codec::Rle);
+    let mut encode_errors = 0u64;
+    for row in &rows {
+        // Rows that cannot be encoded count as rejected.
+        if writer.write_row(row).is_err() {
+            encode_errors += 1;
+        }
+    }
+    let payload = writer.finish();
+    cluster.recorder().work(
+        Some(p as u64),
+        NodeRef::Compute(tc.executor_node),
+        "avro_encode",
+        row_count,
+        payload.len() as u64,
+    );
+    cluster.recorder().transfer(
+        Some(p as u64),
+        NodeRef::Compute(tc.executor_node),
+        NodeRef::Db(node),
+        NetClass::External,
+        payload.len() as u64,
+        row_count,
+    );
+
+    // Bulk-load into staging; local rejections are tallied, the global
+    // tolerance is enforced by the last committer in phase 5.
+    let copy = session.copy(
+        &tables.staging,
+        CopySource::Avro(payload),
+        CopyOptions {
+            direct: copy_direct,
+            rejected_max: u64::MAX,
+        },
+    )?;
+    let loaded = copy.loaded;
+    let rejected = copy.rejected + encode_errors;
+    let sample = copy
+        .rejected_sample
+        .first()
+        .map(|(line, reason)| format!("line {line}: {reason}"))
+        .unwrap_or_default()
+        .replace('\'', "''");
+
+    // Conditional flip of the done flag (the duplicate-save guard).
+    let done = session
+        .execute(&format!(
+            "SELECT done FROM {} WHERE task_id = {p}",
+            tables.status
+        ))?
+        .rows()?;
+    if done.rows.is_empty() {
+        return Err(DbError::Execution(format!(
+            "status row for task {p} missing"
+        )));
+    }
+    if done.rows[0].get(0) == &Value::Boolean(true) {
+        return Ok(false);
+    }
+    session.execute(&format!(
+        "UPDATE {} SET done = TRUE, rows_loaded = {loaded}, rows_rejected = {rejected}, \
+         reject_sample = '{sample}' WHERE task_id = {p}",
+        tables.status
+    ))?;
+    Ok(true)
+}

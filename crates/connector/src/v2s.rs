@@ -1,0 +1,467 @@
+//! V2S: loading database tables into the compute engine (paper Sec. 3.1).
+//!
+//! Each engine task formulates a unique query for a non-overlapping
+//! subset of the table, and the union of all queries is exactly the
+//! table:
+//!
+//! * **Segmented tables** use the hash ring (Sec. 3.1.2): the segment
+//!   boundaries come from the system catalog, each partition is
+//!   assigned one or more contiguous hash ranges, and — the key
+//!   locality property — every range is requested through a connection
+//!   to *the node that owns it*, so no data shuffles between database
+//!   nodes.
+//! * **Views and unsegmented tables** get *synthetic* ranges (Sec.
+//!   3.1.1): row-order windows over the relation's stable output.
+//!
+//! All queries are pinned to the epoch captured when the relation was
+//! opened, so concurrent commits and task retries cannot produce an
+//! inconsistent view.
+
+use std::sync::Arc;
+
+use common::expr::Expr;
+use common::{Row, Schema};
+use mppdb::segmentation::{HashRange, SegmentMap};
+use mppdb::{Cluster, DbError, QuerySpec};
+use netsim::record::{NetClass, NodeRef};
+use sparklet::rdd::PartitionSource;
+use sparklet::{Rdd, ScanRelation, SparkContext, SparkError, SparkResult};
+
+use crate::options::ConnectorOptions;
+
+/// How a relation's rows are divided among partitions.
+#[derive(Debug, Clone)]
+enum RelationKind {
+    /// Hash-segmented table: locality-aware hash ranges.
+    Segmented,
+    /// View or unsegmented table: synthetic row ranges.
+    RowOrdered,
+}
+
+/// A loaded database relation (the V2S read side).
+pub struct DbRelation {
+    cluster: Arc<Cluster>,
+    table: String,
+    schema: Schema,
+    kind: RelationKind,
+    /// Epoch pinned at open time — the paper's "same epoch (e.g., last
+    /// epoch)" shared by every task's query.
+    epoch: u64,
+    num_partitions: usize,
+    host: usize,
+    resource_pool: Option<String>,
+}
+
+/// One partition's work: queries to issue, each against a specific node.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    pub pieces: Vec<(usize, RangeSpec)>,
+}
+
+/// One query's restriction: a hash range (segmented tables) or a
+/// synthetic row window (views/unsegmented tables).
+#[derive(Debug, Clone)]
+pub enum RangeSpec {
+    Hash(HashRange),
+    Rows(u64, u64),
+}
+
+impl DbRelation {
+    /// Open a relation: resolve the table or view, pin the epoch, and
+    /// pick the partition count.
+    pub fn open(cluster: Arc<Cluster>, opts: &ConnectorOptions) -> Result<DbRelation, DbError> {
+        let epoch = cluster.current_epoch();
+        let num_partitions = opts.num_partitions.unwrap_or(cluster.node_count());
+        if let Ok(def) = cluster.table_def(&opts.table) {
+            let kind = if def.is_segmented() {
+                RelationKind::Segmented
+            } else {
+                RelationKind::RowOrdered
+            };
+            return Ok(DbRelation {
+                cluster,
+                table: def.name.clone(),
+                schema: def.schema,
+                kind,
+                epoch,
+                num_partitions,
+                host: opts.host,
+                resource_pool: opts.resource_pool.clone(),
+            });
+        }
+        // A view: discover the schema by executing it with LIMIT 1.
+        let mut session = cluster.connect(opts.host)?;
+        let probe = session.query(&QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch))?;
+        Ok(DbRelation {
+            cluster: Arc::clone(&cluster),
+            table: opts.table.clone(),
+            schema: probe.schema,
+            kind: RelationKind::RowOrdered,
+            epoch,
+            num_partitions,
+            host: opts.host,
+            resource_pool: opts.resource_pool.clone(),
+        })
+    }
+
+    /// The epoch every partition query is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Build the per-partition plans.
+    fn plan(&self) -> Result<Vec<PartitionPlan>, DbError> {
+        match &self.kind {
+            RelationKind::Segmented => Ok(plan_hash_partitions(
+                self.cluster.segment_map(),
+                self.num_partitions,
+            )),
+            RelationKind::RowOrdered => {
+                // Synthetic ranges need the relation's current size at
+                // the pinned epoch.
+                let mut session = self.cluster.connect(self.host)?;
+                let total = session
+                    .query(&QuerySpec::scan(&self.table).at_epoch(self.epoch).count())?
+                    .count;
+                Ok(plan_row_partitions(
+                    total,
+                    self.num_partitions,
+                    &self.cluster.up_nodes(),
+                ))
+            }
+        }
+    }
+}
+
+/// AND a filter list into one predicate.
+fn and_filters(filters: &[Expr]) -> Option<Expr> {
+    let mut iter = filters.iter().cloned();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, f| acc.and(f)))
+}
+
+/// Assign hash ranges to partitions per the paper's Fig. 4: with fewer
+/// partitions than segments each partition takes a contiguous run of
+/// whole segments; with more, each segment is split into equal
+/// subranges. Every range is paired with its owning node.
+pub fn plan_hash_partitions(map: &SegmentMap, partitions: usize) -> Vec<PartitionPlan> {
+    let segments = map.node_count();
+    let mut plans = Vec::with_capacity(partitions);
+    if partitions <= segments {
+        // Fig. 4(a): contiguous groups of whole segments.
+        for p in 0..partitions {
+            let lo = segments * p / partitions;
+            let hi = segments * (p + 1) / partitions;
+            let pieces = (lo..hi)
+                .map(|s| (s, RangeSpec::Hash(map.segment_range(s))))
+                .collect();
+            plans.push(PartitionPlan { pieces });
+        }
+    } else {
+        // Fig. 4(b): split each segment into per-segment shares.
+        let base = partitions / segments;
+        let extra = partitions % segments;
+        for s in 0..segments {
+            let parts = base + usize::from(s < extra);
+            for sub in map.segment_range(s).split(parts) {
+                plans.push(PartitionPlan {
+                    pieces: vec![(s, RangeSpec::Hash(sub))],
+                });
+            }
+        }
+    }
+    plans
+}
+
+/// Synthetic row-range assignment for views/unsegmented tables, with
+/// connections spread round-robin over the live nodes.
+pub fn plan_row_partitions(
+    total_rows: u64,
+    partitions: usize,
+    up_nodes: &[usize],
+) -> Vec<PartitionPlan> {
+    assert!(!up_nodes.is_empty(), "no live database nodes");
+    (0..partitions)
+        .map(|p| {
+            let lo = total_rows * p as u64 / partitions as u64;
+            let hi = total_rows * (p as u64 + 1) / partitions as u64;
+            PartitionPlan {
+                pieces: vec![(up_nodes[p % up_nodes.len()], RangeSpec::Rows(lo, hi))],
+            }
+        })
+        .collect()
+}
+
+/// The RDD partition source: each partition issues its planned queries
+/// through its own connection(s) and pulls the results.
+struct V2sSource {
+    cluster: Arc<Cluster>,
+    relation_table: String,
+    epoch: u64,
+    plans: Vec<PartitionPlan>,
+    projection: Option<Vec<String>>,
+    filters: Vec<Expr>,
+    compute_nodes: usize,
+    resource_pool: Option<String>,
+}
+
+impl V2sSource {
+    fn run_piece(
+        &self,
+        partition: usize,
+        node: usize,
+        spec: &QuerySpec,
+    ) -> SparkResult<mppdb::QueryResult> {
+        // Prefer the owning node (locality); fail over to any live node
+        // when it is down (k-safety serves the segment from a buddy).
+        let connect_node = if self.cluster.is_node_up(node) {
+            node
+        } else {
+            *self
+                .cluster
+                .up_nodes()
+                .first()
+                .ok_or_else(|| SparkError::DataSource("no live database nodes".into()))?
+        };
+        let mut session = self
+            .cluster
+            .connect(connect_node)
+            .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        session.set_task_tag(Some(partition as u64));
+        if let Some(pool) = &self.resource_pool {
+            session
+                .set_resource_pool(pool)
+                .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        }
+        self.cluster.recorder().setup(
+            Some(partition as u64),
+            NodeRef::Db(connect_node),
+            "v2s_connect",
+        );
+        let result = session
+            .query(spec)
+            .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        // The result set crosses the system boundary to the executor.
+        let executor = partition % self.compute_nodes;
+        // Result sets cross the boundary in the client protocol's
+        // text encoding (what a JDBC result set actually ships).
+        let (bytes, rows) = if spec.count_only {
+            (8, 1)
+        } else {
+            (result.text_wire_bytes(), result.rows.len() as u64)
+        };
+        self.cluster.recorder().transfer(
+            Some(partition as u64),
+            NodeRef::Db(connect_node),
+            NodeRef::Compute(executor),
+            NetClass::External,
+            bytes,
+            rows,
+        );
+        Ok(result)
+    }
+}
+
+impl PartitionSource<Row> for V2sSource {
+    fn num_partitions(&self) -> usize {
+        self.plans.len()
+    }
+
+    fn compute(&self, partition: usize) -> SparkResult<Vec<Row>> {
+        let _ = self.epoch; // pinned inside each spec
+        let mut rows = Vec::new();
+        for (node, range) in &self.plans[partition].pieces {
+            let spec = build_piece_spec(
+                &self.relation_table,
+                self.epoch,
+                range,
+                self.projection.as_deref(),
+                &self.filters,
+                false,
+            );
+            rows.extend(self.run_piece(partition, *node, &spec)?.rows);
+        }
+        Ok(rows)
+    }
+}
+
+fn build_piece_spec(
+    table: &str,
+    epoch: u64,
+    range: &RangeSpec,
+    projection: Option<&[String]>,
+    filters: &[Expr],
+    count_only: bool,
+) -> QuerySpec {
+    let mut spec = QuerySpec::scan(table).at_epoch(epoch);
+    match range {
+        RangeSpec::Hash(r) => spec.hash_range = Some(*r),
+        RangeSpec::Rows(lo, hi) => spec.row_range = Some((*lo, *hi)),
+    }
+    spec.projection = projection.map(|p| p.to_vec());
+    spec.predicate = and_filters(filters);
+    spec.count_only = count_only;
+    spec
+}
+
+impl ScanRelation for DbRelation {
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn scan(
+        &self,
+        ctx: &SparkContext,
+        projection: Option<&[String]>,
+        filters: &[Expr],
+    ) -> SparkResult<Rdd<Row>> {
+        let plans = self
+            .plan()
+            .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        let source = V2sSource {
+            cluster: Arc::clone(&self.cluster),
+            relation_table: self.table.clone(),
+            epoch: self.epoch,
+            plans,
+            projection: projection.map(|p| p.to_vec()),
+            filters: filters.to_vec(),
+            compute_nodes: ctx.conf().nodes,
+            resource_pool: self.resource_pool.clone(),
+        };
+        Ok(Rdd::from_source(ctx.clone(), Arc::new(source)))
+    }
+
+    /// Count pushdown: every partition ships back an 8-byte count
+    /// instead of rows.
+    fn count(&self, ctx: &SparkContext, filters: &[Expr]) -> SparkResult<u64> {
+        let plans = self
+            .plan()
+            .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        let source = V2sSource {
+            cluster: Arc::clone(&self.cluster),
+            relation_table: self.table.clone(),
+            epoch: self.epoch,
+            plans,
+            projection: None,
+            filters: filters.to_vec(),
+            compute_nodes: ctx.conf().nodes,
+            resource_pool: self.resource_pool.clone(),
+        };
+        let counts = ctx.run_partitions(source.num_partitions(), |tc| {
+            let mut total = 0u64;
+            for (node, range) in &source.plans[tc.partition].pieces {
+                let spec = build_piece_spec(
+                    &source.relation_table,
+                    source.epoch,
+                    range,
+                    None,
+                    &source.filters,
+                    true,
+                );
+                total += source.run_piece(tc.partition, *node, &spec)?.count;
+            }
+            Ok(total)
+        })?;
+        Ok(counts.into_iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_partitions_take_whole_segments() {
+        let map = SegmentMap::new(4);
+        let plans = plan_hash_partitions(&map, 2);
+        assert_eq!(plans.len(), 2);
+        // Fig. 4(a): each partition requests 2 whole segments.
+        assert_eq!(plans[0].pieces.len(), 2);
+        assert_eq!(plans[1].pieces.len(), 2);
+        // Locality: each piece targets the segment's owner.
+        for plan in &plans {
+            for (node, range) in &plan.pieces {
+                let RangeSpec::Hash(r) = range else { panic!() };
+                assert_eq!(*r, map.segment_range(*node));
+            }
+        }
+    }
+
+    #[test]
+    fn more_partitions_split_segments() {
+        let map = SegmentMap::new(4);
+        let plans = plan_hash_partitions(&map, 8);
+        assert_eq!(plans.len(), 8);
+        // Fig. 4(b): each partition gets half a segment, all local.
+        for plan in &plans {
+            assert_eq!(plan.pieces.len(), 1);
+            let (node, RangeSpec::Hash(r)) = &plan.pieces[0] else {
+                panic!()
+            };
+            assert!(map.segment_range(*node).intersect(r).is_some());
+            let owner_lo = map.owner_of_hash(r.start);
+            assert_eq!(owner_lo, *node, "range is local to its node");
+        }
+    }
+
+    #[test]
+    fn hash_plans_tile_the_ring_exactly() {
+        for (segments, partitions) in [(4, 1), (4, 3), (4, 4), (4, 7), (4, 32), (3, 8), (8, 256)] {
+            let map = SegmentMap::new(segments);
+            let plans = plan_hash_partitions(&map, partitions);
+            let mut ranges: Vec<HashRange> = plans
+                .iter()
+                .flat_map(|p| {
+                    p.pieces.iter().map(|(_, r)| match r {
+                        RangeSpec::Hash(h) => *h,
+                        RangeSpec::Rows(..) => panic!("hash plan expected"),
+                    })
+                })
+                .collect();
+            ranges.sort_by_key(|r| r.start);
+            assert_eq!(ranges[0].start, 0, "{segments}:{partitions}");
+            assert_eq!(ranges.last().unwrap().end, None);
+            for w in ranges.windows(2) {
+                assert_eq!(
+                    w[0].end,
+                    Some(w[1].start),
+                    "gap/overlap at {segments}:{partitions}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_plans_cover_all_rows() {
+        let plans = plan_row_partitions(100, 7, &[0, 1, 2, 3]);
+        assert_eq!(plans.len(), 7);
+        let mut covered = 0u64;
+        for plan in &plans {
+            let (_, RangeSpec::Rows(lo, hi)) = &plan.pieces[0] else {
+                panic!()
+            };
+            covered += hi - lo;
+        }
+        assert_eq!(covered, 100);
+        // Nodes round-robin.
+        let nodes: Vec<usize> = plans.iter().map(|p| p.pieces[0].0).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn and_filters_combines() {
+        assert!(and_filters(&[]).is_none());
+        let one = and_filters(&[Expr::col("a").gt(Expr::lit(1i64))]).unwrap();
+        assert_eq!(one.to_sql(), "(a > 1)");
+        let two = and_filters(&[
+            Expr::col("a").gt(Expr::lit(1i64)),
+            Expr::col("b").lt(Expr::lit(2i64)),
+        ])
+        .unwrap();
+        assert_eq!(two.to_sql(), "((a > 1) AND (b < 2))");
+    }
+}

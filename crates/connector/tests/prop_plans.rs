@@ -1,0 +1,76 @@
+//! Property tests over the V2S partition planner: for any cluster size
+//! and parallelism the planned ranges tile the hash ring exactly once
+//! and every range targets the node that owns it (the paper's locality
+//! and exactly-once-coverage invariants).
+
+use connector::v2s::{plan_hash_partitions, plan_row_partitions, RangeSpec};
+use mppdb::segmentation::SegmentMap;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hash_plans_tile_exactly_and_stay_local(
+        nodes in 1usize..12,
+        partitions in 1usize..300,
+    ) {
+        let map = SegmentMap::new(nodes);
+        let plans = plan_hash_partitions(&map, partitions);
+        prop_assert!(!plans.is_empty());
+        prop_assert!(plans.len() <= partitions);
+
+        let mut ranges = Vec::new();
+        for plan in &plans {
+            prop_assert!(!plan.pieces.is_empty(), "a partition with no work");
+            for (node, spec) in &plan.pieces {
+                let RangeSpec::Hash(range) = spec else {
+                    prop_assert!(false, "hash plan produced a row range");
+                    unreachable!()
+                };
+                // Locality: the whole range lies in the node's segment.
+                let seg = map.segment_range(*node);
+                prop_assert!(seg.intersect(range).is_some());
+                prop_assert!(range.start >= seg.start);
+                match (range.end, seg.end) {
+                    (None, None) => {}
+                    (Some(re), Some(se)) => prop_assert!(re <= se),
+                    (Some(_), None) => {}
+                    (None, Some(_)) => prop_assert!(false, "range escapes segment"),
+                }
+                ranges.push(*range);
+            }
+        }
+        // Coverage: sorted ranges tile [0, 2^64) without gap or overlap.
+        ranges.sort_by_key(|r| r.start);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, None);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, Some(w[1].start));
+        }
+    }
+
+    #[test]
+    fn row_plans_cover_without_overlap(
+        total in 0u64..100_000,
+        partitions in 1usize..64,
+        nodes in 1usize..8,
+    ) {
+        let up: Vec<usize> = (0..nodes).collect();
+        let plans = plan_row_partitions(total, partitions, &up);
+        prop_assert_eq!(plans.len(), partitions);
+        let mut covered = 0u64;
+        let mut prev_end = 0u64;
+        for plan in &plans {
+            let (node, RangeSpec::Rows(lo, hi)) = &plan.pieces[0] else {
+                prop_assert!(false, "row plan produced a hash range");
+                unreachable!()
+            };
+            prop_assert!(*node < nodes);
+            prop_assert!(lo <= hi);
+            prop_assert_eq!(*lo, prev_end, "gap or overlap in row windows");
+            prev_end = *hi;
+            covered += hi - lo;
+        }
+        prop_assert_eq!(covered, total);
+        prop_assert_eq!(prev_end, total);
+    }
+}

@@ -1,0 +1,150 @@
+//! Two-stage (DFS landing zone) transfer tests — the Sec. 5 / Redshift
+//! alternative.
+
+use std::sync::Arc;
+
+use common::{row, DataType, Row, Schema};
+use connector::{load_via_dfs, save_via_dfs, TwoStageConfig};
+use dfslite::{DfsClusterSim, DfsConfig};
+use mppdb::{Cluster, ClusterConfig, QuerySpec};
+use sparklet::{FailureMode, SparkConf, SparkContext};
+
+fn setup() -> (SparkContext, Arc<Cluster>, Arc<DfsClusterSim>) {
+    let db = Cluster::new(ClusterConfig::default());
+    let ctx = SparkContext::new(SparkConf {
+        nodes: 8,
+        cores_per_node: 4,
+        max_task_attempts: 4,
+        thread_cap: 8,
+    });
+    let dfs = DfsClusterSim::new(DfsConfig {
+        nodes: 4,
+        block_size: 1 << 16,
+        replication: 3,
+    });
+    (ctx, db, dfs)
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)])
+}
+
+fn rows(n: usize) -> Vec<Row> {
+    (0..n).map(|i| row![i as i64, i as f64 / 3.0]).collect()
+}
+
+#[test]
+fn two_stage_save_round_trip() {
+    let (ctx, db, dfs) = setup();
+    let df = ctx.create_dataframe(rows(600), schema(), 6).unwrap();
+    let report = save_via_dfs(
+        &ctx,
+        &db,
+        &dfs,
+        &df,
+        "landed",
+        &TwoStageConfig::new("/staging/landed"),
+    )
+    .unwrap();
+    assert_eq!(report.rows, 600);
+    assert_eq!(report.part_files, 6);
+    assert!(report.staged_bytes > 0);
+    // The landing zone was cleaned up.
+    assert!(dfs.list("/staging/landed/").is_empty());
+
+    let mut session = db.connect(0).unwrap();
+    let mut loaded = session.query(&QuerySpec::scan("landed")).unwrap().rows;
+    loaded.sort_by_key(|r| r.get(0).as_i64().unwrap());
+    assert_eq!(loaded, rows(600));
+}
+
+#[test]
+fn two_stage_save_is_atomic_under_stage1_retries() {
+    let (ctx, db, dfs) = setup();
+    let df = ctx.create_dataframe(rows(300), schema(), 6).unwrap();
+    // A task that writes its file and then dies is retried and replaces
+    // its own file — no duplicates reach the database.
+    ctx.failures().fail_task(2, 1, FailureMode::AfterWork);
+    let report = save_via_dfs(
+        &ctx,
+        &db,
+        &dfs,
+        &df,
+        "retried",
+        &TwoStageConfig::new("/staging/retried"),
+    )
+    .unwrap();
+    ctx.failures().clear();
+    assert_eq!(report.rows, 300);
+    let mut session = db.connect(1).unwrap();
+    assert_eq!(
+        session
+            .query(&QuerySpec::scan("retried").count())
+            .unwrap()
+            .count,
+        300
+    );
+}
+
+#[test]
+fn two_stage_save_killed_mid_stage1_leaves_target_absent() {
+    let (ctx, db, dfs) = setup();
+    let df = ctx.create_dataframe(rows(400), schema(), 32).unwrap();
+    ctx.failures().kill_job_after(3);
+    let err = save_via_dfs(
+        &ctx,
+        &db,
+        &dfs,
+        &df,
+        "never_landed",
+        &TwoStageConfig::new("/staging/never"),
+    )
+    .unwrap_err();
+    ctx.failures().clear();
+    assert!(err.to_string().contains("killed"), "{err}");
+    // Stage 2 never ran: the table was never created/loaded. Staged
+    // leftovers may exist (the decoupling trade-off), but the database
+    // is clean.
+    assert!(!db.has_table("never_landed"));
+}
+
+#[test]
+fn two_stage_load_exports_a_consistent_snapshot() {
+    let (ctx, db, dfs) = setup();
+    {
+        let mut s = db.connect(0).unwrap();
+        s.execute("CREATE TABLE src (id INT, x FLOAT)").unwrap();
+        s.insert("src", rows(500)).unwrap();
+    }
+    let df = load_via_dfs(&ctx, &db, &dfs, "src", &TwoStageConfig::new("/staging/out")).unwrap();
+    assert_eq!(df.num_partitions().unwrap(), 4, "one export per node");
+    let mut loaded = df.collect().unwrap();
+    loaded.sort_by_key(|r| r.get(0).as_i64().unwrap());
+    assert_eq!(loaded, rows(500));
+
+    // A mutation after the export does not affect re-reads of the
+    // already-staged files.
+    {
+        let mut s = db.connect(2).unwrap();
+        s.execute("DELETE FROM src WHERE id < 100").unwrap();
+    }
+    assert_eq!(df.count().unwrap(), 500, "staged copy is a stable snapshot");
+}
+
+#[test]
+fn two_stage_round_trips_unsegmented_tables() {
+    let (ctx, db, dfs) = setup();
+    {
+        let mut s = db.connect(0).unwrap();
+        s.execute("CREATE TABLE dim (id INT, x FLOAT) UNSEGMENTED ALL NODES")
+            .unwrap();
+        s.insert("dim", rows(120)).unwrap();
+    }
+    let df = load_via_dfs(&ctx, &db, &dfs, "dim", &TwoStageConfig::new("/staging/dim")).unwrap();
+    assert_eq!(
+        df.num_partitions().unwrap(),
+        1,
+        "replicated table exports once"
+    );
+    assert_eq!(df.count().unwrap(), 120);
+}

@@ -1,0 +1,344 @@
+//! A columnar (parquet-like) file format with row groups.
+//!
+//! The paper's Fig. 12 baseline reads and writes Spark DataFrames "for
+//! parquet files using DataFrames". This format captures the relevant
+//! structure: a header magic, consecutive row groups each storing its
+//! columns contiguously, and a footer with the schema and row-group
+//! offsets so readers can fetch row groups independently.
+//!
+//! Layout:
+//! ```text
+//! [magic "COL1"]
+//! [row group 0][row group 1]...
+//! [footer: schema + row-group (offset, len, rows) table]
+//! [footer length: u32 LE][magic "COL1"]
+//! ```
+
+use common::{DataType, Field, Row, Schema, Value};
+
+use crate::cluster::DfsError;
+
+const MAGIC: &[u8; 4] = b"COL1";
+/// Default rows per row group.
+pub const DEFAULT_ROW_GROUP: usize = 4096;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], pos: usize) -> Result<u32, DfsError> {
+    data.get(pos..pos + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .ok_or_else(|| DfsError::Corrupt("truncated u32".into()))
+}
+
+fn get_u64(data: &[u8], pos: usize) -> Result<u64, DfsError> {
+    data.get(pos..pos + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or_else(|| DfsError::Corrupt("truncated u64".into()))
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Boolean => 0,
+        DataType::Int64 => 1,
+        DataType::Float64 => 2,
+        DataType::Varchar => 3,
+    }
+}
+
+fn tag_dtype(tag: u8) -> Result<DataType, DfsError> {
+    Ok(match tag {
+        0 => DataType::Boolean,
+        1 => DataType::Int64,
+        2 => DataType::Float64,
+        3 => DataType::Varchar,
+        other => return Err(DfsError::Corrupt(format!("bad dtype tag {other}"))),
+    })
+}
+
+/// Serialize rows under `schema` into the columnar format.
+pub fn write(schema: &Schema, rows: &[Row], rows_per_group: usize) -> Vec<u8> {
+    assert!(rows_per_group > 0);
+    let mut out = Vec::with_capacity(rows.len() * 16 + 256);
+    out.extend_from_slice(MAGIC);
+
+    let mut groups: Vec<(u64, u64, u64)> = Vec::new(); // (offset, len, rows)
+    for chunk in rows.chunks(rows_per_group).filter(|c| !c.is_empty()) {
+        let offset = out.len() as u64;
+        // Column-major within the group.
+        for (c, _field) in schema.fields().iter().enumerate() {
+            for row in chunk {
+                encode_value(&mut out, row.get(c));
+            }
+        }
+        groups.push((offset, out.len() as u64 - offset, chunk.len() as u64));
+    }
+
+    // Footer.
+    let footer_start = out.len();
+    put_u32(&mut out, schema.len() as u32);
+    for field in schema.fields() {
+        out.push(dtype_tag(field.dtype));
+        out.push(u8::from(field.nullable));
+        put_u32(&mut out, field.name.len() as u32);
+        out.extend_from_slice(field.name.as_bytes());
+    }
+    put_u32(&mut out, groups.len() as u32);
+    for (offset, len, count) in &groups {
+        put_u64(&mut out, *offset);
+        put_u64(&mut out, *len);
+        put_u64(&mut out, *count);
+    }
+    let footer_len = (out.len() - footer_start) as u32;
+    put_u32(&mut out, footer_len);
+    out.extend_from_slice(MAGIC);
+    out
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Boolean(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int64(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float64(f) => {
+            out.push(1);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Varchar(s) => {
+            out.push(1);
+            put_u32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn decode_value(data: &[u8], pos: &mut usize, dtype: DataType) -> Result<Value, DfsError> {
+    let flag = *data
+        .get(*pos)
+        .ok_or_else(|| DfsError::Corrupt("truncated null flag".into()))?;
+    *pos += 1;
+    if flag == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(match dtype {
+        DataType::Boolean => {
+            let b = *data
+                .get(*pos)
+                .ok_or_else(|| DfsError::Corrupt("truncated bool".into()))?;
+            *pos += 1;
+            Value::Boolean(b != 0)
+        }
+        DataType::Int64 => {
+            let v = get_u64(data, *pos)? as i64;
+            *pos += 8;
+            Value::Int64(v)
+        }
+        DataType::Float64 => {
+            let v = f64::from_bits(get_u64(data, *pos)?);
+            *pos += 8;
+            Value::Float64(v)
+        }
+        DataType::Varchar => {
+            let len = get_u32(data, *pos)? as usize;
+            *pos += 4;
+            let bytes = data
+                .get(*pos..*pos + len)
+                .ok_or_else(|| DfsError::Corrupt("truncated string".into()))?;
+            *pos += len;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|e| DfsError::Corrupt(format!("bad utf8: {e}")))?;
+            Value::Varchar(s.to_string())
+        }
+    })
+}
+
+/// Parsed footer: schema plus row-group table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColFileMeta {
+    pub schema: Schema,
+    /// `(offset, byte length, row count)` per row group.
+    pub groups: Vec<(u64, u64, u64)>,
+}
+
+/// Parse the footer of a columnar file.
+pub fn read_meta(data: &[u8]) -> Result<ColFileMeta, DfsError> {
+    if data.len() < 12 || &data[..4] != MAGIC || &data[data.len() - 4..] != MAGIC {
+        return Err(DfsError::Corrupt("bad colfile magic".into()));
+    }
+    let footer_len = get_u32(data, data.len() - 8)? as usize;
+    let mut pos = data
+        .len()
+        .checked_sub(8 + footer_len)
+        .ok_or_else(|| DfsError::Corrupt("bad footer length".into()))?;
+
+    let column_count = get_u32(data, pos)? as usize;
+    pos += 4;
+    let mut fields = Vec::with_capacity(column_count);
+    for _ in 0..column_count {
+        let dtype = tag_dtype(
+            *data
+                .get(pos)
+                .ok_or_else(|| DfsError::Corrupt("truncated field".into()))?,
+        )?;
+        let nullable = data.get(pos + 1) == Some(&1);
+        pos += 2;
+        let name_len = get_u32(data, pos)? as usize;
+        pos += 4;
+        let name = std::str::from_utf8(
+            data.get(pos..pos + name_len)
+                .ok_or_else(|| DfsError::Corrupt("truncated field name".into()))?,
+        )
+        .map_err(|e| DfsError::Corrupt(format!("bad field name: {e}")))?;
+        pos += name_len;
+        fields.push(Field {
+            name: name.to_string(),
+            dtype,
+            nullable,
+        });
+    }
+    let group_count = get_u32(data, pos)? as usize;
+    pos += 4;
+    let mut groups = Vec::with_capacity(group_count);
+    for _ in 0..group_count {
+        let offset = get_u64(data, pos)?;
+        let len = get_u64(data, pos + 8)?;
+        let rows = get_u64(data, pos + 16)?;
+        pos += 24;
+        groups.push((offset, len, rows));
+    }
+    Ok(ColFileMeta {
+        schema: Schema::new(fields),
+        groups,
+    })
+}
+
+/// Decode one row group (by index) into rows.
+pub fn read_group(data: &[u8], meta: &ColFileMeta, group: usize) -> Result<Vec<Row>, DfsError> {
+    let (offset, len, rows) = *meta
+        .groups
+        .get(group)
+        .ok_or_else(|| DfsError::Corrupt(format!("no row group {group}")))?;
+    let end = (offset + len) as usize;
+    if end > data.len() {
+        return Err(DfsError::Corrupt("row group overruns file".into()));
+    }
+    let mut pos = offset as usize;
+    let rows = rows as usize;
+    let cols = meta.schema.len();
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(cols);
+    for field in meta.schema.fields() {
+        let mut column = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            column.push(decode_value(data, &mut pos, field.dtype)?);
+        }
+        columns.push(column);
+    }
+    if pos != end {
+        return Err(DfsError::Corrupt(format!(
+            "row group {group} has {} unread bytes",
+            end - pos
+        )));
+    }
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        out.push(Row::new(columns.iter().map(|c| c[r].clone()).collect()));
+    }
+    Ok(out)
+}
+
+/// Decode all rows of a file.
+pub fn read_all(data: &[u8]) -> Result<(Schema, Vec<Row>), DfsError> {
+    let meta = read_meta(data)?;
+    let mut rows = Vec::new();
+    for g in 0..meta.groups.len() {
+        rows.extend(read_group(data, &meta, g)?);
+    }
+    Ok((meta.schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::row;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("x", DataType::Float64),
+            ("ok", DataType::Boolean),
+            ("s", DataType::Varchar),
+        ])
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Row::new(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+                } else {
+                    row![i as i64, i as f64 / 4.0, i % 2 == 0, format!("str{i}")]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_single_group() {
+        let data = write(&schema(), &rows(10), DEFAULT_ROW_GROUP);
+        let (s, r) = read_all(&data).unwrap();
+        assert_eq!(s, schema());
+        assert_eq!(r, rows(10));
+    }
+
+    #[test]
+    fn round_trip_many_groups_with_random_access() {
+        let all = rows(25);
+        let data = write(&schema(), &all, 10);
+        let meta = read_meta(&data).unwrap();
+        assert_eq!(meta.groups.len(), 3);
+        assert_eq!(meta.groups.iter().map(|g| g.2).sum::<u64>(), 25);
+        let g1 = read_group(&data, &meta, 1).unwrap();
+        assert_eq!(g1, all[10..20].to_vec());
+        let g2 = read_group(&data, &meta, 2).unwrap();
+        assert_eq!(g2, all[20..].to_vec());
+    }
+
+    #[test]
+    fn empty_file_round_trip() {
+        let data = write(&schema(), &[], 16);
+        let (s, r) = read_all(&data).unwrap();
+        assert_eq!(s, schema());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut data = write(&schema(), &rows(3), 16);
+        data[0] = b'X';
+        assert!(read_meta(&data).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let data = write(&schema(), &rows(3), 16);
+        assert!(read_meta(&data[..data.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_group_rejected() {
+        let data = write(&schema(), &rows(3), 16);
+        let meta = read_meta(&data).unwrap();
+        assert!(read_group(&data, &meta, 1).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! An HDFS-like distributed file system (the comparison substrate of
+//! paper Sec. 4.7.2 and the origin of all experimental data, Sec. 4.1).
+//!
+//! Files are split into fixed-size blocks (64 MB by default, the
+//! paper's HDFS configuration), each replicated onto `replication`
+//! datanodes (default 3×). A namenode tracks file → block → location
+//! metadata. There are no transactions and no update-in-place — exactly
+//! the property the paper contrasts against the database ("since HDFS
+//! is not a database and HDFS files are not updated in place, there are
+//! no issues that can cause an inconsistent view of the data").
+//!
+//! [`colfile`] adds a columnar (parquet-like) file format with row
+//! groups, used by the compute engine's native DFS read/write baseline.
+
+pub mod cluster;
+pub mod colfile;
+
+pub use cluster::{DfsClusterSim, DfsConfig, DfsError};

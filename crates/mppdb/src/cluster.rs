@@ -1,0 +1,717 @@
+//! The database cluster: nodes, routing, transactions, DDL, and
+//! maintenance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::hash;
+use common::{Row, Value};
+use netsim::record::{NetClass, NodeRef, Recorder};
+use parking_lot::{Mutex, RwLock};
+
+use crate::catalog::{normalize, Catalog, TableDef};
+use crate::dfs::Dfs;
+use crate::error::{DbError, DbResult};
+use crate::resource::ResourcePool;
+use crate::segmentation::SegmentMap;
+use crate::session::Session;
+use crate::sql::ast::SelectStmt;
+use crate::storage::store::RowLoc;
+use crate::storage::{NodeTableStore, StorageStats};
+use crate::txn::{LockManager, LockMode, TxnHandle};
+use crate::udf::ScalarUdf;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub node_count: usize,
+    /// Number of node failures tolerated before data loss; each segment
+    /// is replicated to this many buddy nodes. The paper's experiments
+    /// run with k-safety 0 "for clarity of evaluation of data movement".
+    pub k_safety: usize,
+    /// Per-node client session limit (the paper raises
+    /// MAX-CLIENT-SESSIONS to 100 for the parallelism experiments).
+    pub max_client_sessions: usize,
+    /// Committed WOS rows per node-table that trigger an automatic
+    /// tuple-mover moveout after commit.
+    pub moveout_threshold: usize,
+    /// Lock wait timeout (deadlock resolution).
+    pub lock_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            node_count: 4,
+            k_safety: 0,
+            max_client_sessions: 100,
+            moveout_threshold: 16 * 1024,
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn with_nodes(node_count: usize) -> ClusterConfig {
+        ClusterConfig {
+            node_count,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+pub(crate) struct NodeState {
+    pub up: AtomicBool,
+    pub open_sessions: AtomicUsize,
+    pub stores: RwLock<HashMap<String, NodeTableStore>>,
+}
+
+/// A multi-node MPP database running in-process.
+pub struct Cluster {
+    config: ClusterConfig,
+    seg_map: SegmentMap,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) catalog: RwLock<Catalog>,
+    epoch: AtomicU64,
+    commit_lock: Mutex<()>,
+    pub(crate) locks: LockManager,
+    next_txn: AtomicU64,
+    recorder: Arc<Recorder>,
+    udfs: RwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
+    dfs: Dfs,
+    pools: RwLock<HashMap<String, Arc<ResourcePool>>>,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Arc<Cluster> {
+        assert!(config.node_count > 0, "cluster needs at least one node");
+        assert!(
+            config.k_safety < config.node_count,
+            "k-safety must be below the node count"
+        );
+        let nodes = (0..config.node_count)
+            .map(|_| NodeState {
+                up: AtomicBool::new(true),
+                open_sessions: AtomicUsize::new(0),
+                stores: RwLock::new(HashMap::new()),
+            })
+            .collect();
+        let seg_map = SegmentMap::new(config.node_count);
+        let mut pools = HashMap::new();
+        pools.insert(
+            "general".to_string(),
+            Arc::new(ResourcePool::new("general", 32 << 30, usize::MAX)),
+        );
+        Arc::new(Cluster {
+            config,
+            seg_map,
+            nodes,
+            catalog: RwLock::new(Catalog::new()),
+            epoch: AtomicU64::new(0),
+            commit_lock: Mutex::new(()),
+            locks: LockManager::new(),
+            next_txn: AtomicU64::new(1),
+            recorder: Recorder::new(),
+            udfs: RwLock::new(HashMap::new()),
+            dfs: Dfs::new(),
+            pools: RwLock::new(pools),
+        })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.config.node_count
+    }
+
+    pub fn segment_map(&self) -> &SegmentMap {
+        &self.seg_map
+    }
+
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The last committed epoch (0 before any commit). A snapshot read
+    /// at this epoch sees all committed data (the paper's "last epoch").
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    // ----- sessions -------------------------------------------------
+
+    /// Open a client session against `node` (the JDBC connect analog).
+    pub fn connect(self: &Arc<Cluster>, node: usize) -> DbResult<Session> {
+        let state = self.nodes.get(node).ok_or(DbError::NodeUnavailable(node))?;
+        if !state.up.load(Ordering::Acquire) {
+            return Err(DbError::NodeUnavailable(node));
+        }
+        // Optimistic increment with bound check.
+        let prev = state.open_sessions.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.config.max_client_sessions {
+            state.open_sessions.fetch_sub(1, Ordering::AcqRel);
+            return Err(DbError::TooManySessions {
+                node,
+                limit: self.config.max_client_sessions,
+            });
+        }
+        Ok(Session::new(Arc::clone(self), node))
+    }
+
+    pub(crate) fn close_session(&self, node: usize) {
+        self.nodes[node]
+            .open_sessions
+            .fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub fn open_sessions(&self, node: usize) -> usize {
+        self.nodes[node].open_sessions.load(Ordering::Acquire)
+    }
+
+    /// All node indices that are currently up — what the connector's
+    /// setup phase looks up so tasks can spread their connections
+    /// (paper Sec. 3.2: "all Vertica node IPs are looked up during
+    /// setup").
+    pub fn up_nodes(&self) -> Vec<usize> {
+        (0..self.config.node_count)
+            .filter(|&n| self.nodes[n].up.load(Ordering::Acquire))
+            .collect()
+    }
+
+    pub fn is_node_up(&self, node: usize) -> bool {
+        self.nodes
+            .get(node)
+            .is_some_and(|n| n.up.load(Ordering::Acquire))
+    }
+
+    /// Mark a node down (fault injection for k-safety tests).
+    pub fn set_node_down(&self, node: usize) {
+        self.nodes[node].up.store(false, Ordering::Release);
+    }
+
+    pub fn set_node_up(&self, node: usize) {
+        self.nodes[node].up.store(true, Ordering::Release);
+    }
+
+    // ----- DDL ------------------------------------------------------
+
+    /// Create a table cluster-wide.
+    pub fn create_table(&self, def: TableDef) -> DbResult<()> {
+        let mut catalog = self.catalog.write();
+        let columns = def.schema.len();
+        let name = def.name.clone();
+        catalog.create_table(def)?;
+        for node in &self.nodes {
+            node.stores
+                .write()
+                .insert(name.clone(), NodeTableStore::new(columns));
+        }
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let mut catalog = self.catalog.write();
+        let def = catalog.drop_table(name)?;
+        for node in &self.nodes {
+            node.stores.write().remove(&def.name);
+        }
+        Ok(())
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().has_table(name)
+    }
+
+    pub fn table_def(&self, name: &str) -> DbResult<TableDef> {
+        self.catalog.read().table(name).cloned()
+    }
+
+    pub fn create_view(&self, name: &str, select: SelectStmt) -> DbResult<()> {
+        self.catalog.write().create_view(name, select)
+    }
+
+    pub fn drop_view(&self, name: &str) -> DbResult<()> {
+        self.catalog.write().drop_view(name).map(|_| ())
+    }
+
+    // ----- transactions ---------------------------------------------
+
+    pub(crate) fn begin_txn(&self) -> TxnHandle {
+        TxnHandle::new(self.next_txn.fetch_add(1, Ordering::AcqRel))
+    }
+
+    /// Acquire `table`'s lock for the transaction (re-entrant).
+    pub(crate) fn lock_table(
+        &self,
+        txn: &mut TxnHandle,
+        table: &str,
+        mode: LockMode,
+    ) -> DbResult<()> {
+        let table = normalize(table);
+        self.locks
+            .acquire(txn.id, &table, mode, self.config.lock_timeout)?;
+        txn.locked.insert(table);
+        Ok(())
+    }
+
+    /// Commit: stamp all pending work with the next epoch, publish it,
+    /// release locks, and run the tuple mover where the WOS grew large.
+    pub(crate) fn commit_txn(&self, txn: TxnHandle) -> u64 {
+        let epoch;
+        {
+            let _guard = self.commit_lock.lock();
+            epoch = self.epoch.load(Ordering::Acquire) + 1;
+            for table in &txn.touched {
+                for node in &self.nodes {
+                    let mut stores = node.stores.write();
+                    if let Some(store) = stores.get_mut(table) {
+                        store.commit(txn.id, epoch);
+                    }
+                }
+            }
+            self.epoch.store(epoch, Ordering::Release);
+        }
+        self.locks.release_all(txn.id);
+        // Post-commit maintenance: moveout of large WOS'es.
+        for table in &txn.touched {
+            for node in &self.nodes {
+                let mut stores = node.stores.write();
+                if let Some(store) = stores.get_mut(table) {
+                    if store.wos_committed_rows() >= self.config.moveout_threshold {
+                        store.moveout();
+                    }
+                }
+            }
+        }
+        epoch
+    }
+
+    pub(crate) fn abort_txn(&self, txn: TxnHandle) {
+        for table in &txn.touched {
+            for node in &self.nodes {
+                let mut stores = node.stores.write();
+                if let Some(store) = stores.get_mut(table) {
+                    store.abort(txn.id);
+                }
+            }
+        }
+        self.locks.release_all(txn.id);
+    }
+
+    // ----- DML ------------------------------------------------------
+
+    /// Validate and coerce a row against a table schema.
+    fn coerce_row(def: &TableDef, row: Row) -> DbResult<Row> {
+        if row.len() != def.schema.len() {
+            return Err(DbError::Data(common::Error::SchemaMismatch(format!(
+                "row has {} values, table {} has {} columns",
+                row.len(),
+                def.name,
+                def.schema.len()
+            ))));
+        }
+        let values = row
+            .into_values()
+            .into_iter()
+            .zip(def.schema.fields())
+            .map(|(v, f)| {
+                if v.is_null() && !f.nullable {
+                    return Err(DbError::Data(common::Error::SchemaMismatch(format!(
+                        "NULL in non-nullable column {}",
+                        f.name
+                    ))));
+                }
+                v.coerce(f.dtype).map_err(DbError::Data)
+            })
+            .collect::<DbResult<Vec<Value>>>()?;
+        Ok(Row::new(values))
+    }
+
+    /// Insert rows under an open transaction, routing by segmentation
+    /// and replicating per k-safety. `direct` loads straight into ROS
+    /// (the COPY DIRECT path). `initiator` is the session's node; rows
+    /// routed elsewhere are internal shuffle traffic.
+    pub(crate) fn insert_rows(
+        &self,
+        txn: &mut TxnHandle,
+        initiator: usize,
+        task: Option<u64>,
+        table: &str,
+        rows: Vec<Row>,
+        direct: bool,
+    ) -> DbResult<u64> {
+        let def = self.table_def(table)?;
+        self.lock_table(txn, &def.name, LockMode::Shared)?;
+        txn.touched.insert(def.name.clone());
+
+        let n = rows.len() as u64;
+        // Per-target batches of (row, hash).
+        let mut batches: Vec<Vec<(Row, u64)>> =
+            (0..self.config.node_count).map(|_| Vec::new()).collect();
+        for row in rows {
+            let row = Self::coerce_row(&def, row)?;
+            if def.is_segmented() {
+                let h = hash::hash_row_columns(&row, &def.seg_columns);
+                let owner = self.seg_map.owner_of_hash(h);
+                for &target in std::iter::once(&owner)
+                    .chain(self.seg_map.buddies(owner, self.config.k_safety).iter())
+                {
+                    batches[target].push((row.clone(), h));
+                }
+            } else {
+                // Unsegmented: replicate everywhere; the hash over all
+                // columns is kept for bookkeeping only.
+                let all: Vec<usize> = (0..row.len()).collect();
+                let h = hash::hash_row_columns(&row, &all);
+                for batch in batches.iter_mut() {
+                    batch.push((row.clone(), h));
+                }
+            }
+        }
+
+        self.recorder
+            .work(task, NodeRef::Db(initiator), "route_hash", n, 0);
+
+        for (target, batch) in batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            if !self.is_node_up(target) {
+                if self.config.k_safety == 0 || !def.is_segmented() {
+                    // Without replication a down target is fatal; for
+                    // unsegmented tables we tolerate missing replicas as
+                    // long as one node holds the data.
+                    if def.is_segmented() {
+                        return Err(DbError::NodeUnavailable(target));
+                    }
+                }
+                continue;
+            }
+            if target != initiator {
+                let bytes: usize = batch.iter().map(|(r, _)| r.wire_size()).sum();
+                self.recorder.transfer(
+                    task,
+                    NodeRef::Db(initiator),
+                    NodeRef::Db(target),
+                    NetClass::DbInternal,
+                    bytes as u64,
+                    batch.len() as u64,
+                );
+            }
+            let mut stores = self.nodes[target].stores.write();
+            let store = stores
+                .get_mut(&def.name)
+                .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
+            if direct {
+                store.insert_pending_direct(batch, txn.id);
+            } else {
+                store.insert_pending(batch, txn.id);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Scan primary rows of `table` on `node` visible at `as_of` (plus
+    /// the transaction's own pending work): for segmented tables only
+    /// rows whose segment the node owns; for unsegmented tables the
+    /// whole local replica.
+    pub(crate) fn scan_node_primary(
+        &self,
+        node: usize,
+        def: &TableDef,
+        as_of: u64,
+        my_txn: Option<u64>,
+    ) -> DbResult<Vec<(RowLoc, Row, u64)>> {
+        let stores = self.nodes[node].stores.read();
+        let store = stores
+            .get(&def.name)
+            .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
+        let range = if def.is_segmented() {
+            Some(self.seg_map.segment_range(node))
+        } else {
+            None
+        };
+        Ok(store
+            .scan(as_of, my_txn, range.as_ref())
+            .into_iter()
+            .map(|v| (v.loc, v.row, v.hash))
+            .collect())
+    }
+
+    /// Delete rows matching `predicate` (already bound to the table
+    /// schema). Returns the count of (logical) rows deleted.
+    pub(crate) fn delete_where(
+        &self,
+        txn: &mut TxnHandle,
+        initiator: usize,
+        task: Option<u64>,
+        table: &str,
+        predicate: Option<&common::Expr>,
+    ) -> DbResult<u64> {
+        let def = self.table_def(table)?;
+        self.lock_table(txn, &def.name, LockMode::Exclusive)?;
+        txn.touched.insert(def.name.clone());
+        let as_of = self.current_epoch();
+
+        let mut deleted = 0u64;
+        for node in 0..self.config.node_count {
+            let stores = self.nodes[node].stores.read();
+            let Some(store) = stores.get(&def.name) else {
+                continue;
+            };
+            // Match against every replica; buddy copies of the same
+            // logical row must be deleted too, but only primaries count.
+            let matched: Vec<(RowLoc, bool)> = store
+                .scan(as_of, Some(txn.id), None)
+                .into_iter()
+                .filter(|v| match predicate {
+                    Some(p) => p.matches(&v.row).unwrap_or(false),
+                    None => true,
+                })
+                .map(|v| {
+                    let primary = !def.is_segmented() && node == 0
+                        || def.is_segmented() && self.seg_map.owner_of_hash(v.hash) == node;
+                    (v.loc, primary)
+                })
+                .collect();
+            drop(stores);
+            let locs: Vec<RowLoc> = matched.iter().map(|(l, _)| *l).collect();
+            deleted += matched.iter().filter(|(_, primary)| *primary).count() as u64;
+            if !locs.is_empty() {
+                let mut stores = self.nodes[node].stores.write();
+                if let Some(store) = stores.get_mut(&def.name) {
+                    store.delete_pending(&locs, txn.id);
+                }
+                self.recorder
+                    .work(task, NodeRef::Db(node), "delete_mark", locs.len() as u64, 0);
+            }
+        }
+        let _ = initiator;
+        Ok(deleted)
+    }
+
+    // ----- maintenance & introspection -------------------------------
+
+    /// Run the tuple mover's moveout on every node-table store. Returns
+    /// the number of rows moved.
+    pub fn moveout_all(&self) -> usize {
+        let mut moved = 0;
+        for node in &self.nodes {
+            for store in node.stores.write().values_mut() {
+                moved += store.moveout();
+            }
+        }
+        moved
+    }
+
+    /// Storage statistics per node for a table.
+    pub fn table_stats(&self, table: &str) -> DbResult<Vec<StorageStats>> {
+        let def = self.table_def(table)?;
+        Ok(self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.stores
+                    .read()
+                    .get(&def.name)
+                    .map(|s| s.stats())
+                    .unwrap_or_default()
+            })
+            .collect())
+    }
+
+    // ----- UDx ------------------------------------------------------
+
+    pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
+        self.udfs
+            .write()
+            .insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    pub fn udf(&self, name: &str) -> Option<Arc<dyn ScalarUdf>> {
+        self.udfs.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    // ----- resource pools --------------------------------------------
+
+    /// Create (or replace) a resource pool.
+    pub fn create_resource_pool(&self, pool: ResourcePool) {
+        self.pools
+            .write()
+            .insert(pool.name().to_string(), Arc::new(pool));
+    }
+
+    pub fn resource_pool(&self, name: &str) -> Option<Arc<ResourcePool>> {
+        self.pools.read().get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Segmentation;
+    use common::{row, DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)])
+    }
+
+    fn cluster4() -> Arc<Cluster> {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn make_table(cluster: &Cluster, name: &str) {
+        cluster
+            .create_table(
+                TableDef::new(name, schema(), Segmentation::ByHash(vec!["id".into()])).unwrap(),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn create_and_drop_table_everywhere() {
+        let c = cluster4();
+        make_table(&c, "t");
+        assert!(c.has_table("T"));
+        assert_eq!(c.table_stats("t").unwrap().len(), 4);
+        c.drop_table("t").unwrap();
+        assert!(!c.has_table("t"));
+        assert!(c.table_stats("t").is_err());
+    }
+
+    #[test]
+    fn insert_commit_advances_epoch_and_distributes() {
+        let c = cluster4();
+        make_table(&c, "t");
+        assert_eq!(c.current_epoch(), 0);
+        let mut txn = c.begin_txn();
+        let rows: Vec<Row> = (0..1000).map(|i| row![i as i64, i as f64]).collect();
+        c.insert_rows(&mut txn, 0, None, "t", rows, false).unwrap();
+        let epoch = c.commit_txn(txn);
+        assert_eq!(epoch, 1);
+        assert_eq!(c.current_epoch(), 1);
+        // Rows spread over all nodes, roughly evenly.
+        let stats = c.table_stats("t").unwrap();
+        let total: usize = stats.iter().map(|s| s.wos_rows + s.ros_rows).sum();
+        assert_eq!(total, 1000);
+        for (i, s) in stats.iter().enumerate() {
+            let n = s.wos_rows + s.ros_rows;
+            assert!(n > 100, "node {i} got only {n} rows");
+        }
+    }
+
+    #[test]
+    fn k_safety_replicates_rows() {
+        let c = Cluster::new(ClusterConfig {
+            k_safety: 1,
+            ..ClusterConfig::default()
+        });
+        make_table(&c, "t");
+        let mut txn = c.begin_txn();
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, 0.0f64]).collect();
+        c.insert_rows(&mut txn, 0, None, "t", rows, false).unwrap();
+        c.commit_txn(txn);
+        let total: usize = c
+            .table_stats("t")
+            .unwrap()
+            .iter()
+            .map(|s| s.wos_rows + s.ros_rows)
+            .sum();
+        assert_eq!(total, 200, "each row stored twice under k=1");
+    }
+
+    #[test]
+    fn abort_leaves_no_trace() {
+        let c = cluster4();
+        make_table(&c, "t");
+        let mut txn = c.begin_txn();
+        c.insert_rows(&mut txn, 0, None, "t", vec![row![1i64, 1.0f64]], false)
+            .unwrap();
+        c.abort_txn(txn);
+        assert_eq!(c.current_epoch(), 0);
+        let total: usize = c.table_stats("t").unwrap().iter().map(|s| s.wos_rows).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn insert_shuffle_recorded() {
+        let c = cluster4();
+        make_table(&c, "t");
+        c.recorder().clear();
+        let mut txn = c.begin_txn();
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, 0.0f64]).collect();
+        c.insert_rows(&mut txn, 0, None, "t", rows, false).unwrap();
+        c.commit_txn(txn);
+        // ~3/4 of rows belong to other nodes and shuffle internally.
+        let bytes = c.recorder().total_bytes(NetClass::DbInternal);
+        assert!(bytes > 0, "expected internal shuffle from initiator");
+    }
+
+    #[test]
+    fn session_limit_enforced() {
+        let c = Cluster::new(ClusterConfig {
+            max_client_sessions: 2,
+            ..ClusterConfig::default()
+        });
+        let s1 = c.connect(0).unwrap();
+        let _s2 = c.connect(0).unwrap();
+        assert!(matches!(c.connect(0), Err(DbError::TooManySessions { .. })));
+        drop(s1);
+        let _s3 = c.connect(0).unwrap();
+    }
+
+    #[test]
+    fn down_node_refuses_connections() {
+        let c = cluster4();
+        c.set_node_down(2);
+        assert!(matches!(c.connect(2), Err(DbError::NodeUnavailable(2))));
+        assert_eq!(c.up_nodes(), vec![0, 1, 3]);
+        c.set_node_up(2);
+        assert!(c.connect(2).is_ok());
+    }
+
+    #[test]
+    fn delete_where_counts_primaries_once_under_replication() {
+        let c = Cluster::new(ClusterConfig {
+            k_safety: 1,
+            ..ClusterConfig::default()
+        });
+        make_table(&c, "t");
+        let mut txn = c.begin_txn();
+        let rows: Vec<Row> = (0..50).map(|i| row![i as i64, i as f64]).collect();
+        c.insert_rows(&mut txn, 0, None, "t", rows, false).unwrap();
+        c.commit_txn(txn);
+
+        let pred = common::Expr::col("id")
+            .lt(common::Expr::lit(10i64))
+            .bind(&schema())
+            .unwrap();
+        let mut txn = c.begin_txn();
+        let deleted = c.delete_where(&mut txn, 0, None, "t", Some(&pred)).unwrap();
+        c.commit_txn(txn);
+        assert_eq!(deleted, 10);
+    }
+
+    #[test]
+    fn moveout_all_compacts() {
+        let c = cluster4();
+        make_table(&c, "t");
+        let mut txn = c.begin_txn();
+        let rows: Vec<Row> = (0..500).map(|i| row![i as i64, 0.0f64]).collect();
+        c.insert_rows(&mut txn, 0, None, "t", rows, false).unwrap();
+        c.commit_txn(txn);
+        let moved = c.moveout_all();
+        assert_eq!(moved, 500);
+        let stats = c.table_stats("t").unwrap();
+        assert!(stats.iter().all(|s| s.wos_rows == 0));
+        assert_eq!(stats.iter().map(|s| s.ros_rows).sum::<usize>(), 500);
+    }
+}

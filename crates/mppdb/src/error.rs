@@ -1,0 +1,92 @@
+//! Database error type.
+
+use std::fmt;
+
+use common::error::Error as CommonError;
+
+pub type DbResult<T> = std::result::Result<T, DbError>;
+
+/// Errors surfaced by the database engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Catalog: object not found.
+    UnknownTable(String),
+    /// Catalog: object already exists.
+    TableExists(String),
+    /// Node index out of range or node is down.
+    NodeUnavailable(usize),
+    /// Per-node session limit (MAX_CLIENT_SESSIONS) reached.
+    TooManySessions { node: usize, limit: usize },
+    /// Lock wait timed out (possible deadlock); transaction aborted.
+    LockTimeout { table: String },
+    /// Statement requires an active transaction or is invalid in one.
+    TxnState(String),
+    /// Data/type problems from the shared layer.
+    Data(CommonError),
+    /// SQL syntax error.
+    Syntax(String),
+    /// Semantic errors during planning/execution.
+    Execution(String),
+    /// COPY exceeded the rejected-rows tolerance.
+    CopyRejected { rejected: u64, tolerance: u64 },
+    /// UDF not found or misused.
+    Udf(String),
+    /// DFS path errors.
+    Dfs(String),
+    /// Query referenced an epoch that does not exist yet.
+    BadEpoch { requested: u64, current: u64 },
+    /// Not enough live nodes to serve a segment (exceeded k-safety).
+    DataUnavailable { segment: usize },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table or view: {t}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NodeUnavailable(n) => write!(f, "node {n} unavailable"),
+            DbError::TooManySessions { node, limit } => {
+                write!(
+                    f,
+                    "node {node} refused session: MAX_CLIENT_SESSIONS={limit}"
+                )
+            }
+            DbError::LockTimeout { table } => {
+                write!(f, "lock wait timeout on table {table}; transaction aborted")
+            }
+            DbError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
+            DbError::Data(e) => write!(f, "data error: {e}"),
+            DbError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            DbError::Execution(msg) => write!(f, "execution error: {msg}"),
+            DbError::CopyRejected {
+                rejected,
+                tolerance,
+            } => write!(
+                f,
+                "COPY aborted: {rejected} rows rejected exceeds tolerance {tolerance}"
+            ),
+            DbError::Udf(msg) => write!(f, "UDF error: {msg}"),
+            DbError::Dfs(msg) => write!(f, "DFS error: {msg}"),
+            DbError::BadEpoch { requested, current } => {
+                write!(
+                    f,
+                    "epoch {requested} not available (current epoch {current})"
+                )
+            }
+            DbError::DataUnavailable { segment } => {
+                write!(
+                    f,
+                    "segment {segment} unavailable: too many nodes down for k-safety"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<CommonError> for DbError {
+    fn from(e: CommonError) -> DbError {
+        DbError::Data(e)
+    }
+}

@@ -1,0 +1,460 @@
+//! Programmatic scan execution: the engine's physical access path.
+//!
+//! A [`QuerySpec`] is the lowered form of a single-table read. It is
+//! what the SQL planner produces for simple selects, and — more
+//! importantly — what database clients (the connector, the JDBC-style
+//! baseline) submit directly. It expresses everything the paper's V2S
+//! needs to push down: projection, filter, count, an epoch pin, and a
+//! hash range (or a synthetic row range for unsegmented tables and
+//! views).
+
+use common::{Expr, Row, Schema};
+use netsim::record::{NetClass, NodeRef};
+
+use crate::catalog::TableDef;
+use crate::cluster::Cluster;
+use crate::error::{DbError, DbResult};
+use crate::segmentation::HashRange;
+
+/// A single-table read request.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub table: String,
+    /// Column names to return; `None` = all columns.
+    pub projection: Option<Vec<String>>,
+    /// Filter over the table's columns (pushed down: evaluated on the
+    /// serving nodes before any data moves).
+    pub predicate: Option<Expr>,
+    /// Restrict to rows whose segmentation hash falls in the range.
+    /// Only valid for segmented tables.
+    pub hash_range: Option<HashRange>,
+    /// Restrict to a window `[start, end)` of the stable row order.
+    /// Only valid for unsegmented tables and views (the connector's
+    /// "synthetic hash ranges", Sec. 3.1.1).
+    pub row_range: Option<(u64, u64)>,
+    /// Epoch to read as of; `None` = the last committed epoch.
+    pub as_of_epoch: Option<u64>,
+    /// Return only the row count (the `.count()` pushdown).
+    pub count_only: bool,
+    pub limit: Option<u64>,
+}
+
+impl QuerySpec {
+    pub fn scan(table: impl Into<String>) -> QuerySpec {
+        QuerySpec {
+            table: table.into(),
+            projection: None,
+            predicate: None,
+            hash_range: None,
+            row_range: None,
+            as_of_epoch: None,
+            count_only: false,
+            limit: None,
+        }
+    }
+
+    pub fn project(mut self, columns: &[&str]) -> QuerySpec {
+        self.projection = Some(columns.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    pub fn filter(mut self, predicate: Expr) -> QuerySpec {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    pub fn with_hash_range(mut self, range: HashRange) -> QuerySpec {
+        self.hash_range = Some(range);
+        self
+    }
+
+    pub fn with_row_range(mut self, start: u64, end: u64) -> QuerySpec {
+        self.row_range = Some((start, end));
+        self
+    }
+
+    pub fn at_epoch(mut self, epoch: u64) -> QuerySpec {
+        self.as_of_epoch = Some(epoch);
+        self
+    }
+
+    pub fn count(mut self) -> QuerySpec {
+        self.count_only = true;
+        self
+    }
+
+    pub fn with_limit(mut self, limit: u64) -> QuerySpec {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+/// The result of a read.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    /// Row count: `rows.len()` for materializing reads, the count for
+    /// `count_only` reads.
+    pub count: u64,
+    /// The epoch the read was served at.
+    pub epoch: u64,
+}
+
+impl QueryResult {
+    /// Total wire size of the materialized rows.
+    pub fn wire_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.wire_size() as u64).sum()
+    }
+
+    /// Total textual (JDBC result set) wire size of the rows.
+    pub fn text_wire_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.text_wire_size() as u64).sum()
+    }
+}
+
+/// Apply a spec's row window, predicate, projection, count, and limit
+/// to already-materialized rows (views and system tables).
+pub(crate) fn apply_spec_to_rows(
+    schema: Schema,
+    mut rows: Vec<Row>,
+    spec: &QuerySpec,
+    epoch: u64,
+) -> DbResult<QueryResult> {
+    if let Some((start, end)) = spec.row_range {
+        let start = (start as usize).min(rows.len());
+        let end = (end as usize).min(rows.len());
+        rows = rows[start..end].to_vec();
+    }
+    if let Some(pred) = &spec.predicate {
+        let bound = pred.bind(&schema).map_err(DbError::Data)?;
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if bound.matches(&row).map_err(DbError::Data)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+    let (schema, mut rows) = match &spec.projection {
+        Some(cols) => {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let projected = schema.project(&refs).map_err(DbError::Data)?;
+            let idx: Vec<usize> = cols
+                .iter()
+                .map(|c| schema.index_of(c))
+                .collect::<Result<_, _>>()
+                .map_err(DbError::Data)?;
+            (
+                projected,
+                rows.into_iter().map(|r| r.project(&idx)).collect(),
+            )
+        }
+        None => (schema, rows),
+    };
+    let count = rows.len() as u64;
+    if spec.count_only {
+        return Ok(QueryResult {
+            schema,
+            rows: Vec::new(),
+            count,
+            epoch,
+        });
+    }
+    if let Some(limit) = spec.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(QueryResult {
+        count: rows.len() as u64,
+        schema,
+        rows,
+        epoch,
+    })
+}
+
+/// Execution context: where the query entered the cluster and on whose
+/// behalf.
+#[derive(Clone, Copy)]
+pub(crate) struct ExecCtx<'a> {
+    pub cluster: &'a Cluster,
+    /// The node the client session is connected to.
+    pub node: usize,
+    /// Task attribution for the recorder.
+    pub task: Option<u64>,
+    /// Open transaction id, for read-your-writes visibility.
+    pub txn: Option<u64>,
+}
+
+pub(crate) fn resolve_epoch(cluster: &Cluster, requested: Option<u64>) -> DbResult<u64> {
+    let current = cluster.current_epoch();
+    match requested {
+        None => Ok(current),
+        Some(e) if e <= current => Ok(e),
+        Some(e) => Err(DbError::BadEpoch {
+            requested: e,
+            current,
+        }),
+    }
+}
+
+/// Execute a table scan (not a view — the SQL executor handles views by
+/// running their stored select).
+pub(crate) fn execute_table_scan(ctx: ExecCtx<'_>, spec: &QuerySpec) -> DbResult<QueryResult> {
+    let def = ctx.cluster.table_def(&spec.table)?;
+    let as_of = resolve_epoch(ctx.cluster, spec.as_of_epoch)?;
+
+    let predicate = match &spec.predicate {
+        Some(p) => Some(p.bind(&def.schema)?),
+        None => None,
+    };
+    let projection_idx: Option<Vec<usize>> = match &spec.projection {
+        Some(cols) => Some(
+            cols.iter()
+                .map(|c| def.schema.index_of(c))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(DbError::Data)?,
+        ),
+        None => None,
+    };
+    let out_schema = match &spec.projection {
+        Some(cols) => {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            def.schema.project(&refs).map_err(DbError::Data)?
+        }
+        None => def.schema.clone(),
+    };
+
+    let mut rows = if def.is_segmented() {
+        if spec.row_range.is_some() {
+            return Err(DbError::Execution(format!(
+                "row ranges apply to unsegmented tables and views; {} is segmented",
+                def.name
+            )));
+        }
+        scan_segmented(
+            ctx,
+            &def,
+            as_of,
+            spec,
+            predicate.as_ref(),
+            projection_idx.as_deref(),
+        )?
+    } else {
+        if spec.hash_range.is_some() {
+            return Err(DbError::Execution(format!(
+                "hash ranges apply to segmented tables; {} is unsegmented",
+                def.name
+            )));
+        }
+        scan_unsegmented(
+            ctx,
+            &def,
+            as_of,
+            spec,
+            predicate.as_ref(),
+            projection_idx.as_deref(),
+        )?
+    };
+
+    let count = rows.len() as u64;
+    if spec.count_only {
+        return Ok(QueryResult {
+            schema: out_schema,
+            rows: Vec::new(),
+            count,
+            epoch: as_of,
+        });
+    }
+    if let Some(limit) = spec.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(QueryResult {
+        count: rows.len() as u64,
+        schema: out_schema,
+        rows,
+        epoch: as_of,
+    })
+}
+
+/// Approximate stored width of a column, for scan-cost accounting.
+fn column_width(dtype: common::DataType) -> u64 {
+    match dtype {
+        common::DataType::Boolean => 1,
+        common::DataType::Int64 | common::DataType::Float64 => 8,
+        common::DataType::Varchar => 32,
+    }
+}
+
+fn scan_segmented(
+    ctx: ExecCtx<'_>,
+    def: &TableDef,
+    as_of: u64,
+    spec: &QuerySpec,
+    predicate: Option<&Expr>,
+    projection: Option<&[usize]>,
+) -> DbResult<Vec<Row>> {
+    let cluster = ctx.cluster;
+    let map = cluster.segment_map();
+    let range = spec.hash_range.unwrap_or_else(HashRange::full);
+    let k = cluster.config().k_safety;
+    let mut out = Vec::new();
+
+    // Columnar scan cost: every visible row is examined, but only the
+    // *referenced* columns are decoded for it — the segmentation
+    // expression's columns when a hash range restricts the query, plus
+    // the predicate's columns. Matched rows additionally materialize
+    // their full (projected) width; that part is the recorded wire
+    // volume below.
+    let mut examined_width: u64 = 0;
+    if spec.hash_range.is_some() {
+        examined_width += def
+            .seg_columns
+            .iter()
+            .map(|&i| column_width(def.schema.field(i).dtype))
+            .sum::<u64>();
+    }
+    if let Some(p) = &spec.predicate {
+        let mut cols = Vec::new();
+        p.referenced_columns(&mut cols);
+        examined_width += cols
+            .iter()
+            .filter_map(|c| def.schema.index_of(c).ok())
+            .map(|i| column_width(def.schema.field(i).dtype))
+            .sum::<u64>();
+    }
+
+    for (segment, subrange) in map.segments_intersecting(&range) {
+        // Serve from the owner, failing over to buddies.
+        let serving = if cluster.is_node_up(segment) {
+            segment
+        } else {
+            map.buddies(segment, k)
+                .into_iter()
+                .find(|&b| cluster.is_node_up(b))
+                .ok_or(DbError::DataUnavailable { segment })?
+        };
+
+        let (node_rows, examined) = {
+            let stores = cluster.nodes[serving].stores.read();
+            let store = stores
+                .get(&def.name)
+                .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
+            // A range query has no hash index: the node examines every
+            // visible row to test it against the range — the per-query
+            // overhead that makes very high parallelism lose (Fig. 6).
+            (
+                store.scan(as_of, ctx.txn, Some(&subrange)),
+                store.visible_count(as_of, ctx.txn) as u64,
+            )
+        };
+        let scanned = node_rows.len() as u64;
+
+        // Push the filter and projection down to the serving node.
+        let mut seg_rows: Vec<Row> = Vec::with_capacity(node_rows.len());
+        for v in node_rows {
+            if let Some(p) = predicate {
+                if !p.matches(&v.row).map_err(DbError::Data)? {
+                    continue;
+                }
+            }
+            seg_rows.push(match projection {
+                Some(idx) => v.row.project(idx),
+                None => v.row,
+            });
+        }
+        // Only surviving rows materialize their full projected width.
+        let matched_bytes: u64 = seg_rows.iter().map(|r| r.wire_size() as u64).sum();
+        cluster.recorder().work(
+            ctx.task,
+            NodeRef::Db(serving),
+            "scan_hash",
+            examined,
+            examined * examined_width + matched_bytes,
+        );
+        if predicate.is_some() {
+            cluster
+                .recorder()
+                .work(ctx.task, NodeRef::Db(serving), "filter_eval", scanned, 0);
+        }
+
+        // Only post-pushdown rows cross between database nodes; a
+        // count-only request ships just the count.
+        if serving != ctx.node {
+            let (bytes, rows) = if spec.count_only {
+                (8, 1)
+            } else {
+                (
+                    seg_rows.iter().map(|r| r.wire_size() as u64).sum(),
+                    seg_rows.len() as u64,
+                )
+            };
+            cluster.recorder().transfer(
+                ctx.task,
+                NodeRef::Db(serving),
+                NodeRef::Db(ctx.node),
+                NetClass::DbInternal,
+                bytes,
+                rows,
+            );
+        }
+        out.extend(seg_rows);
+    }
+    Ok(out)
+}
+
+fn scan_unsegmented(
+    ctx: ExecCtx<'_>,
+    def: &TableDef,
+    as_of: u64,
+    spec: &QuerySpec,
+    predicate: Option<&Expr>,
+    projection: Option<&[usize]>,
+) -> DbResult<Vec<Row>> {
+    let cluster = ctx.cluster;
+    // Unsegmented tables are replicated everywhere: serve from the local
+    // replica — no inter-node traffic at all.
+    let serving = if cluster.is_node_up(ctx.node) {
+        ctx.node
+    } else {
+        return Err(DbError::NodeUnavailable(ctx.node));
+    };
+    let node_rows = {
+        let stores = cluster.nodes[serving].stores.read();
+        let store = stores
+            .get(&def.name)
+            .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
+        store.scan(as_of, ctx.txn, None)
+    };
+    cluster.recorder().work(
+        ctx.task,
+        NodeRef::Db(serving),
+        "scan_local",
+        node_rows.len() as u64,
+        0,
+    );
+
+    let windowed: Box<dyn Iterator<Item = Row>> = match spec.row_range {
+        Some((start, end)) => Box::new(
+            node_rows
+                .into_iter()
+                .map(|v| v.row)
+                .skip(start as usize)
+                .take((end.saturating_sub(start)) as usize),
+        ),
+        None => Box::new(node_rows.into_iter().map(|v| v.row)),
+    };
+
+    let mut out = Vec::new();
+    for row in windowed {
+        if let Some(p) = predicate {
+            if !p.matches(&row).map_err(DbError::Data)? {
+                continue;
+            }
+        }
+        out.push(match projection {
+            Some(idx) => row.project(idx),
+            None => row,
+        });
+    }
+    Ok(out)
+}

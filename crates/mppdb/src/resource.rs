@@ -1,0 +1,121 @@
+//! Resource pools: named admission-control buckets for query workloads.
+//!
+//! The paper isolates the connector's data-movement traffic in a
+//! dedicated pool sized at half the machine RAM (Sec. 4.1). Our pools
+//! track memory budget and bound concurrent statement admissions; the
+//! benchmark harness reads the high-water marks when reporting resource
+//! usage.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A named resource pool.
+#[derive(Debug)]
+pub struct ResourcePool {
+    name: String,
+    memory_bytes: u64,
+    max_concurrency: usize,
+    active: Mutex<usize>,
+    released: Condvar,
+    high_water: AtomicUsize,
+}
+
+impl ResourcePool {
+    pub fn new(name: impl Into<String>, memory_bytes: u64, max_concurrency: usize) -> ResourcePool {
+        ResourcePool {
+            name: name.into(),
+            memory_bytes,
+            max_concurrency: max_concurrency.max(1),
+            active: Mutex::new(0),
+            released: Condvar::new(),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_bytes
+    }
+
+    pub fn max_concurrency(&self) -> usize {
+        self.max_concurrency
+    }
+
+    /// Admit one statement, queueing while the pool is full (Vertica
+    /// queues rather than rejects). Returns a guard releasing the slot.
+    pub fn admit(self: &Arc<Self>) -> PoolGuard {
+        let mut active = self.active.lock();
+        while *active >= self.max_concurrency {
+            self.released.wait(&mut active);
+        }
+        *active += 1;
+        self.high_water.fetch_max(*active, Ordering::AcqRel);
+        PoolGuard {
+            pool: Arc::clone(self),
+        }
+    }
+
+    pub fn active(&self) -> usize {
+        *self.active.lock()
+    }
+
+    /// Highest concurrent admission count observed.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water.load(Ordering::Acquire)
+    }
+}
+
+/// RAII admission guard.
+pub struct PoolGuard {
+    pool: Arc<ResourcePool>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let mut active = self.pool.active.lock();
+        *active -= 1;
+        self.pool.released.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_tracks_active_and_high_water() {
+        let pool = Arc::new(ResourcePool::new("p", 1 << 30, 8));
+        let g1 = pool.admit();
+        let g2 = pool.admit();
+        assert_eq!(pool.active(), 2);
+        drop(g1);
+        assert_eq!(pool.active(), 1);
+        drop(g2);
+        assert_eq!(pool.active(), 0);
+        assert_eq!(pool.high_water_mark(), 2);
+    }
+
+    #[test]
+    fn concurrency_bound_enforced() {
+        let pool = Arc::new(ResourcePool::new("p", 1 << 30, 2));
+        let observed_max = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                let observed = Arc::clone(&observed_max);
+                s.spawn(move || {
+                    let _g = pool.admit();
+                    observed.fetch_max(pool.active(), Ordering::AcqRel);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                });
+            }
+        });
+        assert!(observed_max.load(Ordering::Acquire) <= 2);
+        assert_eq!(pool.active(), 0);
+    }
+}

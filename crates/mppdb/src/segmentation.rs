@@ -1,0 +1,232 @@
+//! The hash ring: segment boundaries and node placement.
+//!
+//! The 64-bit hash space is split into `n` contiguous segments, one per
+//! node (paper Fig. 4's inner ring). The segment map is part of the
+//! system catalog and is queryable by clients — this is the information
+//! the connector uses to formulate node-local hash-range queries.
+
+use common::hash;
+use common::Row;
+
+/// A half-open hash range `[start, end)`; `end == None` means the range
+/// extends to the top of the 64-bit space (inclusive of `u64::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashRange {
+    pub start: u64,
+    pub end: Option<u64>,
+}
+
+impl HashRange {
+    pub fn new(start: u64, end: Option<u64>) -> HashRange {
+        if let Some(e) = end {
+            assert!(start <= e, "range start must not exceed end");
+        }
+        HashRange { start, end }
+    }
+
+    /// The full hash space.
+    pub fn full() -> HashRange {
+        HashRange {
+            start: 0,
+            end: None,
+        }
+    }
+
+    pub fn contains(&self, h: u64) -> bool {
+        h >= self.start && self.end.is_none_or(|e| h < e)
+    }
+
+    /// Intersection of two ranges, or `None` when disjoint.
+    pub fn intersect(&self, other: &HashRange) -> Option<HashRange> {
+        let start = self.start.max(other.start);
+        let end = match (self.end, other.end) {
+            (None, None) => None,
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+        match end {
+            Some(e) if start >= e => None,
+            _ => Some(HashRange { start, end }),
+        }
+    }
+
+    /// Split the range into `parts` near-equal contiguous subranges.
+    /// Used by the connector to fan one segment out over several tasks
+    /// (Fig. 4(b)) and to produce synthetic ranges.
+    pub fn split(&self, parts: usize) -> Vec<HashRange> {
+        assert!(parts > 0);
+        let start = self.start as u128;
+        let end = self.end.map(|e| e as u128).unwrap_or(1u128 << 64);
+        let width = end - start;
+        let mut out = Vec::with_capacity(parts);
+        for i in 0..parts {
+            let lo = start + width * i as u128 / parts as u128;
+            let hi = start + width * (i + 1) as u128 / parts as u128;
+            if lo == hi {
+                continue; // range narrower than parts
+            }
+            out.push(HashRange {
+                start: lo as u64,
+                end: if hi == 1u128 << 64 {
+                    None
+                } else {
+                    Some(hi as u64)
+                },
+            });
+        }
+        out
+    }
+}
+
+/// The cluster's segment map: segment `i` of `node_count` covers an
+/// equal slice of the hash space and is owned by node `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMap {
+    node_count: usize,
+}
+
+impl SegmentMap {
+    pub fn new(node_count: usize) -> SegmentMap {
+        assert!(node_count > 0, "cluster needs at least one node");
+        SegmentMap { node_count }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Boundaries of segment `i` as a hash range.
+    pub fn segment_range(&self, segment: usize) -> HashRange {
+        assert!(segment < self.node_count);
+        let width = (1u128 << 64) / self.node_count as u128;
+        let start = (width * segment as u128) as u64;
+        let end = if segment + 1 == self.node_count {
+            None
+        } else {
+            Some((width * (segment + 1) as u128) as u64)
+        };
+        HashRange { start, end }
+    }
+
+    /// The node owning the segment that contains hash `h`.
+    pub fn owner_of_hash(&self, h: u64) -> usize {
+        let width = (1u128 << 64) / self.node_count as u128;
+        let seg = (h as u128 / width) as usize;
+        seg.min(self.node_count - 1)
+    }
+
+    /// The node owning a row given the segmentation column ordinals.
+    pub fn owner_of_row(&self, row: &Row, seg_columns: &[usize]) -> usize {
+        self.owner_of_hash(hash::hash_row_columns(row, seg_columns))
+    }
+
+    /// Buddy nodes holding replicas of node `n`'s segment under
+    /// k-safety `k` (the next `k` nodes around the ring).
+    pub fn buddies(&self, node: usize, k: usize) -> Vec<usize> {
+        (1..=k.min(self.node_count - 1))
+            .map(|i| (node + i) % self.node_count)
+            .collect()
+    }
+
+    /// All `(segment, intersection)` pairs whose segment intersects the
+    /// requested range.
+    pub fn segments_intersecting(&self, range: &HashRange) -> Vec<(usize, HashRange)> {
+        (0..self.node_count)
+            .filter_map(|s| self.segment_range(s).intersect(range).map(|r| (s, r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::row;
+
+    #[test]
+    fn segments_partition_the_ring() {
+        let map = SegmentMap::new(4);
+        // Consecutive segments tile the space.
+        for s in 0..3 {
+            let cur = map.segment_range(s);
+            let next = map.segment_range(s + 1);
+            assert_eq!(cur.end, Some(next.start));
+        }
+        assert_eq!(map.segment_range(0).start, 0);
+        assert_eq!(map.segment_range(3).end, None);
+    }
+
+    #[test]
+    fn owner_matches_segment_range() {
+        let map = SegmentMap::new(4);
+        for h in [0u64, 1, u64::MAX / 4, u64::MAX / 2, u64::MAX] {
+            let owner = map.owner_of_hash(h);
+            assert!(map.segment_range(owner).contains(h), "hash {h:x}");
+        }
+    }
+
+    #[test]
+    fn row_owner_is_deterministic() {
+        let map = SegmentMap::new(3);
+        let r = row![17i64, "abc"];
+        assert_eq!(map.owner_of_row(&r, &[0]), map.owner_of_row(&r, &[0]));
+    }
+
+    #[test]
+    fn buddies_wrap_around() {
+        let map = SegmentMap::new(4);
+        assert_eq!(map.buddies(3, 1), vec![0]);
+        assert_eq!(map.buddies(2, 2), vec![3, 0]);
+        // k capped at node_count - 1.
+        assert_eq!(map.buddies(0, 10).len(), 3);
+    }
+
+    #[test]
+    fn range_contains_and_intersect() {
+        let a = HashRange::new(10, Some(20));
+        let b = HashRange::new(15, Some(30));
+        assert!(a.contains(10));
+        assert!(!a.contains(20));
+        assert_eq!(a.intersect(&b), Some(HashRange::new(15, Some(20))));
+        let c = HashRange::new(20, Some(25));
+        assert_eq!(a.intersect(&c), None);
+        let full = HashRange::full();
+        assert_eq!(full.intersect(&a), Some(a));
+        assert!(full.contains(u64::MAX));
+    }
+
+    #[test]
+    fn split_covers_exactly() {
+        let r = HashRange::full();
+        for parts in [1usize, 2, 3, 7, 64] {
+            let splits = r.split(parts);
+            assert_eq!(splits.len(), parts);
+            assert_eq!(splits[0].start, 0);
+            assert_eq!(splits[parts - 1].end, None);
+            for w in splits.windows(2) {
+                assert_eq!(w[0].end, Some(w[1].start));
+            }
+        }
+    }
+
+    #[test]
+    fn split_of_narrow_range() {
+        let r = HashRange::new(5, Some(7));
+        let splits = r.split(4);
+        // Only 2 non-empty subranges exist.
+        assert_eq!(splits.len(), 2);
+        assert!(splits.iter().all(|s| s.end.is_some()));
+    }
+
+    #[test]
+    fn segments_intersecting_subrange() {
+        let map = SegmentMap::new(4);
+        // A range spanning the middle two segments.
+        let q1 = map.segment_range(1);
+        let q2 = map.segment_range(2);
+        let r = HashRange::new(q1.start + 5, Some(q2.end.unwrap() - 5));
+        let hits = map.segments_intersecting(&r);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 2);
+    }
+}

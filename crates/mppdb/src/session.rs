@@ -1,0 +1,229 @@
+//! Client sessions: the JDBC-connection analog.
+//!
+//! A session is pinned to one cluster node — exactly like a JDBC
+//! connection to one host — which is what makes the connector's
+//! locality story meaningful: a task that connects to node `n` and asks
+//! only for node-`n`-local hash ranges induces no internal shuffle.
+
+use std::sync::Arc;
+
+use common::Row;
+
+use crate::cluster::Cluster;
+use crate::copy::{run_copy, CopyOptions, CopyResult, CopySource};
+use crate::error::{DbError, DbResult};
+use crate::query::{execute_table_scan, resolve_epoch, ExecCtx, QueryResult, QuerySpec};
+use crate::sql::exec::{execute_statement, SqlResult};
+use crate::sql::parser::parse_statement;
+use crate::txn::TxnHandle;
+use netsim::record::NodeRef;
+
+/// An open client session against one node.
+pub struct Session {
+    cluster: Arc<Cluster>,
+    node: usize,
+    pub(crate) txn: Option<TxnHandle>,
+    task_tag: Option<u64>,
+    pool: String,
+}
+
+impl Session {
+    pub(crate) fn new(cluster: Arc<Cluster>, node: usize) -> Session {
+        Session {
+            cluster,
+            node,
+            txn: None,
+            task_tag: None,
+            pool: "general".to_string(),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Attribute subsequent recorded work to a logical task (partition).
+    pub fn set_task_tag(&mut self, tag: Option<u64>) {
+        self.task_tag = tag;
+    }
+
+    pub fn task_tag(&self) -> Option<u64> {
+        self.task_tag
+    }
+
+    /// Switch the session's resource pool (must exist).
+    pub fn set_resource_pool(&mut self, name: &str) -> DbResult<()> {
+        if self.cluster.resource_pool(name).is_none() {
+            return Err(DbError::Execution(format!("no such resource pool: {name}")));
+        }
+        self.pool = name.to_string();
+        Ok(())
+    }
+
+    pub fn resource_pool_name(&self) -> &str {
+        &self.pool
+    }
+
+    // ----- transactions ---------------------------------------------
+
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    pub fn begin(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::TxnState("transaction already open".into()));
+        }
+        self.txn = Some(self.cluster.begin_txn());
+        Ok(())
+    }
+
+    /// Commit the open transaction, returning its commit epoch.
+    pub fn commit(&mut self) -> DbResult<u64> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::TxnState("no open transaction".into()))?;
+        self.record_commit(!txn.touched.is_empty());
+        Ok(self.cluster.commit_txn(txn))
+    }
+
+    /// Commits serialize on the engine's global commit/epoch path; the
+    /// cost model charges each writing commit against that shared
+    /// resource.
+    fn record_commit(&self, wrote: bool) {
+        if wrote {
+            self.cluster
+                .recorder()
+                .work(self.task_tag, NodeRef::Db(self.node), "db_commit", 1, 0);
+        }
+    }
+
+    pub fn rollback(&mut self) -> DbResult<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::TxnState("no open transaction".into()))?;
+        self.cluster.abort_txn(txn);
+        Ok(())
+    }
+
+    /// Run `op` inside the open transaction or an auto-commit one. On
+    /// error in auto-commit mode the implicit transaction is aborted.
+    pub(crate) fn with_txn<T>(
+        &mut self,
+        op: impl FnOnce(&Cluster, &mut TxnHandle, usize, Option<u64>) -> DbResult<T>,
+    ) -> DbResult<T> {
+        let node = self.node;
+        let tag = self.task_tag;
+        if let Some(txn) = self.txn.as_mut() {
+            return op(&self.cluster, txn, node, tag);
+        }
+        let mut txn = self.cluster.begin_txn();
+        match op(&self.cluster, &mut txn, node, tag) {
+            Ok(v) => {
+                self.record_commit(!txn.touched.is_empty());
+                self.cluster.commit_txn(txn);
+                Ok(v)
+            }
+            Err(e) => {
+                self.cluster.abort_txn(txn);
+                Err(e)
+            }
+        }
+    }
+
+    // ----- data operations -------------------------------------------
+
+    /// Insert rows (routed by segmentation, replicated per k-safety).
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> DbResult<u64> {
+        self.with_txn(|cluster, txn, node, tag| {
+            cluster.insert_rows(txn, node, tag, table, rows, false)
+        })
+    }
+
+    /// Bulk load (the COPY utility).
+    pub fn copy(
+        &mut self,
+        table: &str,
+        source: CopySource,
+        options: CopyOptions,
+    ) -> DbResult<CopyResult> {
+        self.with_txn(|cluster, txn, node, tag| {
+            run_copy(cluster, txn, node, tag, table, source, &options)
+        })
+    }
+
+    /// Execute a programmatic read. Outside a transaction this is a
+    /// pure epoch-snapshot read and never blocks; inside one it takes
+    /// the table lock for serializability and sees the transaction's
+    /// own writes.
+    pub fn query(&mut self, spec: &QuerySpec) -> DbResult<QueryResult> {
+        if !self.cluster.is_node_up(self.node) {
+            return Err(DbError::NodeUnavailable(self.node));
+        }
+        let _admission = self.cluster.resource_pool(&self.pool).map(|p| p.admit());
+        // System tables are read-only catalog views.
+        if let Some((schema, rows)) = crate::system::scan_system_table(&self.cluster, &spec.table) {
+            if spec.hash_range.is_some() {
+                return Err(DbError::Execution(format!(
+                    "hash ranges do not apply to system table {}",
+                    spec.table
+                )));
+            }
+            let epoch = self.resolve_epoch(spec.as_of_epoch)?;
+            return crate::query::apply_spec_to_rows(schema, rows, spec, epoch);
+        }
+        // Views route through the SQL executor.
+        let is_view = self.cluster.catalog.read().view(&spec.table).is_some();
+        if is_view {
+            return crate::sql::exec::execute_view_scan(self, spec);
+        }
+        let txn_id = if let Some(txn) = self.txn.as_mut() {
+            self.cluster
+                .lock_table(txn, &spec.table, crate::txn::LockMode::Exclusive)?;
+            txn.touched.insert(crate::catalog::normalize(&spec.table));
+            Some(txn.id)
+        } else {
+            None
+        };
+        let ctx = ExecCtx {
+            cluster: &self.cluster,
+            node: self.node,
+            task: self.task_tag,
+            txn: txn_id,
+        };
+        execute_table_scan(ctx, spec)
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> DbResult<SqlResult> {
+        let stmt = parse_statement(sql)?;
+        execute_statement(self, stmt)
+    }
+
+    /// The last committed epoch visible to this session.
+    pub fn current_epoch(&self) -> u64 {
+        self.cluster.current_epoch()
+    }
+
+    /// Validate an epoch request against the current epoch.
+    pub fn resolve_epoch(&self, requested: Option<u64>) -> DbResult<u64> {
+        resolve_epoch(&self.cluster, requested)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A dropped session aborts any open transaction — exactly what a
+        // failed client (a killed Spark task) does to its connection.
+        if let Some(txn) = self.txn.take() {
+            self.cluster.abort_txn(txn);
+        }
+        self.cluster.close_session(self.node);
+    }
+}

@@ -1,0 +1,270 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (unquoted, stored as written).
+    Ident(String),
+    /// `"quoted identifier"`.
+    QuotedIdent(String),
+    /// Numeric literal text (parsed later as int or float).
+    Number(String),
+    /// `'string literal'` with `''` escapes resolved.
+    String(String),
+    Symbol(Symbol),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl Token {
+    /// Keyword check, case-insensitive (identifiers double as keywords).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 character.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                        None => return Err(DbError::Syntax("unterminated string literal".into())),
+                    }
+                }
+                tokens.push(Token::String(s));
+            }
+            b'"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DbError::Syntax("unterminated quoted identifier".into()))
+                        }
+                    }
+                }
+                tokens.push(Token::QuotedIdent(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i - 1), Some(b'e' | b'E'))))
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            b'(' => {
+                tokens.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token::Symbol(Symbol::Dot));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Symbol(Symbol::Semicolon));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Symbol(Symbol::NotEq));
+                i += 2;
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Symbol(Symbol::LtEq));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Symbol(Symbol::NotEq));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Symbol::GtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(DbError::Syntax(format!(
+                    "unexpected character {:?} at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_numbers_strings() {
+        let toks = tokenize("SELECT a, 'o''brien', 1.5e-3 FROM t WHERE x >= 10").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[3], Token::String("o'brien".into()));
+        assert_eq!(toks[5], Token::Number("1.5e-3".into()));
+        assert!(toks.contains(&Token::Symbol(Symbol::GtEq)));
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        let toks = tokenize("a <> b -- comment\n <= >= != < >").unwrap();
+        let syms: Vec<&Token> = toks
+            .iter()
+            .filter(|t| matches!(t, Token::Symbol(_)))
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                &Token::Symbol(Symbol::NotEq),
+                &Token::Symbol(Symbol::LtEq),
+                &Token::Symbol(Symbol::GtEq),
+                &Token::Symbol(Symbol::NotEq),
+                &Token::Symbol(Symbol::Lt),
+                &Token::Symbol(Symbol::Gt),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("\"weird name\" \"with\"\"quote\"").unwrap();
+        assert_eq!(toks[0], Token::QuotedIdent("weird name".into()));
+        assert_eq!(toks[1], Token::QuotedIdent("with\"quote".into()));
+    }
+
+    #[test]
+    fn unterminated_literals_error() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'κόσμος'").unwrap();
+        assert_eq!(toks[0], Token::String("κόσμος".into()));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(tokenize("SELECT @x").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! The SQL layer: lexer, AST, parser, and executor.
+//!
+//! Dialect coverage is driven by the paper: DDL with segmentation
+//! clauses (`SEGMENTED BY HASH(...) ALL NODES` / `UNSEGMENTED ALL
+//! NODES`), INSERT/UPDATE/DELETE for the S2V protocol tables, epoch-
+//! pinned SELECT (`AT EPOCH n`) with filters and projections for V2S
+//! pushdown, joins and grouped aggregates (so views can embody the
+//! pushdowns the Data Source API cannot express, Sec. 3.1.1), scalar
+//! UDx invocation with `USING PARAMETERS` (the `PMMLPredict` example of
+//! Sec. 3.3), and transaction control.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ExprAst, SelectStmt, Statement};
+pub use exec::SqlResult;
+pub use parser::parse_statement;

@@ -1,0 +1,894 @@
+//! Recursive-descent SQL parser.
+
+use common::{DataType, Value};
+
+use crate::error::{DbError, DbResult};
+use crate::sql::ast::{
+    BinaryOp, ColumnDef, ExprAst, Join, OrderKey, OrderTarget, SegmentationClause, SelectItem,
+    SelectStmt, Statement, TableRef,
+};
+use crate::sql::lexer::{tokenize, Symbol, Token};
+
+/// Parse a single SQL statement (an optional trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> DbResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_symbol(Symbol::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(DbError::Syntax(format!(
+            "unexpected trailing tokens after statement: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Syntax(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if self.peek() == Some(&Token::Symbol(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> DbResult<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(DbError::Syntax(format!(
+                "expected {sym:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> DbResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            other => Err(DbError::Syntax(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_number_u64(&mut self) -> DbResult<u64> {
+        match self.next() {
+            Some(Token::Number(n)) => n
+                .parse::<u64>()
+                .map_err(|e| DbError::Syntax(format!("bad integer {n}: {e}"))),
+            other => Err(DbError::Syntax(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("explain") {
+            // EXPLAIN [AT EPOCH n] SELECT ...
+            let inner = self.parse_statement()?;
+            return match inner {
+                Statement::Select(select) => Ok(Statement::Explain(select)),
+                other => Err(DbError::Syntax(format!(
+                    "EXPLAIN supports SELECT statements, got {other:?}"
+                ))),
+            };
+        }
+        // Optional Vertica-style epoch prefix: AT EPOCH n SELECT ...
+        if self.peek_kw("at") {
+            self.pos += 1;
+            self.expect_kw("epoch")?;
+            let epoch = if self.eat_kw("latest") {
+                None
+            } else {
+                Some(self.expect_number_u64()?)
+            };
+            self.expect_kw("select")?;
+            let mut select = self.parse_select_body()?;
+            select.at_epoch = epoch;
+            return Ok(Statement::Select(select));
+        }
+        if self.eat_kw("select") {
+            return Ok(Statement::Select(self.parse_select_body()?));
+        }
+        if self.eat_kw("create") {
+            return self.parse_create();
+        }
+        if self.eat_kw("drop") {
+            if self.eat_kw("view") {
+                let name = self.expect_ident()?;
+                return Ok(Statement::DropView { name });
+            }
+            self.expect_kw("table")?;
+            let if_exists = if self.eat_kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_kw("insert") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("update") {
+            return self.parse_update();
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.expect_ident()?;
+            let predicate = if self.eat_kw("where") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_kw("begin") {
+            self.eat_kw("work");
+            self.eat_kw("transaction");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("commit") {
+            self.eat_kw("work");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("rollback") || self.eat_kw("abort") {
+            self.eat_kw("work");
+            return Ok(Statement::Rollback);
+        }
+        Err(DbError::Syntax(format!(
+            "unrecognized statement start: {:?}",
+            self.peek()
+        )))
+    }
+
+    fn parse_create(&mut self) -> DbResult<Statement> {
+        let temp = self.eat_kw("temp") || self.eat_kw("temporary");
+        if self.eat_kw("view") {
+            let name = self.expect_ident()?;
+            self.expect_kw("as")?;
+            self.expect_kw("select")?;
+            let select = self.parse_select_body()?;
+            return Ok(Statement::CreateView { name, select });
+        }
+        self.expect_kw("table")?;
+        let if_not_exists = if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.expect_ident()?;
+            let type_name = self.expect_ident()?;
+            let dtype =
+                DataType::from_sql_name(&type_name).map_err(|e| DbError::Syntax(e.to_string()))?;
+            // Optional VARCHAR(n) length, accepted and ignored.
+            if self.eat_symbol(Symbol::LParen) {
+                self.expect_number_u64()?;
+                self.expect_symbol(Symbol::RParen)?;
+            }
+            let not_null = if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                true
+            } else {
+                false
+            };
+            columns.push(ColumnDef {
+                name: col_name,
+                dtype,
+                not_null,
+            });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::RParen)?;
+
+        let segmentation = if self.eat_kw("segmented") {
+            self.expect_kw("by")?;
+            self.expect_kw("hash")?;
+            self.expect_symbol(Symbol::LParen)?;
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            self.expect_kw("all")?;
+            self.expect_kw("nodes")?;
+            SegmentationClause::ByHash(cols)
+        } else if self.eat_kw("unsegmented") {
+            self.expect_kw("all")?;
+            self.expect_kw("nodes")?;
+            SegmentationClause::Unsegmented
+        } else {
+            SegmentationClause::Default
+        };
+
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            segmentation,
+            if_not_exists,
+            temp,
+        })
+    }
+
+    fn parse_insert(&mut self) -> DbResult<Statement> {
+        self.expect_kw("into")?;
+        let table = self.expect_ident()?;
+        // INSERT INTO t SELECT ...
+        if self.eat_kw("select") {
+            let select = self.parse_select_body()?;
+            return Ok(Statement::InsertSelect { table, select });
+        }
+        let columns = if self.eat_symbol(Symbol::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Symbol::LParen)?;
+            let mut exprs = Vec::new();
+            loop {
+                exprs.push(self.parse_expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            rows.push(exprs);
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn parse_update(&mut self) -> DbResult<Statement> {
+        let table = self.expect_ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_symbol(Symbol::Eq)?;
+            assignments.push((col, self.parse_expr()?));
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn parse_select_body(&mut self) -> DbResult<SelectStmt> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(Symbol::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.expect_ident()?)
+                } else {
+                    match self.peek() {
+                        // Bare alias (identifier that is not a clause
+                        // keyword).
+                        Some(Token::Ident(s)) if !is_clause_keyword(s) => {
+                            Some(self.expect_ident()?)
+                        }
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+
+        let from = if self.eat_kw("from") {
+            Some(self.parse_table_ref()?)
+        } else {
+            None
+        };
+
+        let mut joins = Vec::new();
+        while self.eat_kw("join")
+            || (self.peek_kw("inner") && {
+                self.pos += 1;
+                self.expect_kw("join")?;
+                true
+            })
+        {
+            let table = self.parse_table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            joins.push(Join { table, on });
+        }
+
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let key = match self.peek() {
+                    Some(Token::Number(_)) => {
+                        OrderTarget::Position(self.expect_number_u64()? as usize)
+                    }
+                    _ => OrderTarget::Column(self.expect_ident()?),
+                };
+                let descending = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { key, descending });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            Some(self.expect_number_u64()?)
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            predicate,
+            group_by,
+            order_by,
+            at_epoch: None,
+            limit,
+        })
+    }
+
+    fn parse_table_ref(&mut self) -> DbResult<TableRef> {
+        let table = self.expect_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.expect_ident()?),
+                _ => None,
+            }
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // Expression grammar, lowest to highest precedence.
+    fn parse_expr(&mut self) -> DbResult<ExprAst> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> DbResult<ExprAst> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = ExprAst::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> DbResult<ExprAst> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = ExprAst::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> DbResult<ExprAst> {
+        if self.eat_kw("not") {
+            Ok(ExprAst::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> DbResult<ExprAst> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(if negated {
+                ExprAst::IsNotNull(Box::new(left))
+            } else {
+                ExprAst::IsNull(Box::new(left))
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = match self.next() {
+                Some(Token::String(s)) => s,
+                other => {
+                    return Err(DbError::Syntax(format!(
+                        "LIKE pattern must be a string literal, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(ExprAst::Like {
+                expr: Box::new(left),
+                pattern,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Symbol::Eq)) => Some(BinaryOp::Eq),
+            Some(Token::Symbol(Symbol::NotEq)) => Some(BinaryOp::NotEq),
+            Some(Token::Symbol(Symbol::Lt)) => Some(BinaryOp::Lt),
+            Some(Token::Symbol(Symbol::LtEq)) => Some(BinaryOp::LtEq),
+            Some(Token::Symbol(Symbol::Gt)) => Some(BinaryOp::Gt),
+            Some(Token::Symbol(Symbol::GtEq)) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(ExprAst::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> DbResult<ExprAst> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Plus)) => BinaryOp::Add,
+                Some(Token::Symbol(Symbol::Minus)) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = ExprAst::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> DbResult<ExprAst> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Star)) => BinaryOp::Mul,
+                Some(Token::Symbol(Symbol::Slash)) => BinaryOp::Div,
+                Some(Token::Symbol(Symbol::Percent)) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = ExprAst::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> DbResult<ExprAst> {
+        if self.eat_symbol(Symbol::Minus) {
+            return Ok(ExprAst::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_symbol(Symbol::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> DbResult<ExprAst> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if n.contains(['.', 'e', 'E']) {
+                    n.parse::<f64>()
+                        .map(|f| ExprAst::Literal(Value::Float64(f)))
+                        .map_err(|e| DbError::Syntax(format!("bad float {n}: {e}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| ExprAst::Literal(Value::Int64(i)))
+                        .map_err(|e| DbError::Syntax(format!("bad integer {n}: {e}")))
+                }
+            }
+            Some(Token::String(s)) => Ok(ExprAst::Literal(Value::Varchar(s))),
+            Some(Token::Symbol(Symbol::LParen)) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Symbol(Symbol::Star)) => Ok(ExprAst::Star),
+            Some(Token::Ident(name)) => self.parse_ident_expr(name),
+            Some(Token::QuotedIdent(name)) => self.parse_ident_expr(name),
+            other => Err(DbError::Syntax(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_ident_expr(&mut self, name: String) -> DbResult<ExprAst> {
+        // Literals spelled as keywords.
+        if name.eq_ignore_ascii_case("true") {
+            return Ok(ExprAst::Literal(Value::Boolean(true)));
+        }
+        if name.eq_ignore_ascii_case("false") {
+            return Ok(ExprAst::Literal(Value::Boolean(false)));
+        }
+        if name.eq_ignore_ascii_case("null") {
+            return Ok(ExprAst::Literal(Value::Null));
+        }
+        // Reserved clause keywords cannot start an expression; quote
+        // them to use as column names.
+        if is_clause_keyword(&name) {
+            return Err(DbError::Syntax(format!(
+                "unexpected keyword {name} in expression"
+            )));
+        }
+        // Function call.
+        if self.eat_symbol(Symbol::LParen) {
+            let mut args = Vec::new();
+            let mut parameters = Vec::new();
+            if !self.eat_symbol(Symbol::RParen) {
+                loop {
+                    if !self.peek_kw("using") {
+                        args.push(self.parse_expr()?);
+                        if self.eat_symbol(Symbol::Comma) {
+                            continue;
+                        }
+                        if !self.peek_kw("using") {
+                            self.expect_symbol(Symbol::RParen)?;
+                            break;
+                        }
+                    }
+                    {
+                        self.pos += 1;
+                        self.expect_kw("parameters")?;
+                        loop {
+                            let key = self.expect_ident()?;
+                            self.expect_symbol(Symbol::Eq)?;
+                            let value = match self.next() {
+                                Some(Token::String(s)) => Value::Varchar(s),
+                                Some(Token::Number(n)) => {
+                                    if n.contains('.') {
+                                        Value::Float64(n.parse().map_err(|e| {
+                                            DbError::Syntax(format!("bad parameter {n}: {e}"))
+                                        })?)
+                                    } else {
+                                        Value::Int64(n.parse().map_err(|e| {
+                                            DbError::Syntax(format!("bad parameter {n}: {e}"))
+                                        })?)
+                                    }
+                                }
+                                other => {
+                                    return Err(DbError::Syntax(format!(
+                                        "bad USING PARAMETERS value: {other:?}"
+                                    )))
+                                }
+                            };
+                            parameters.push((key, value));
+                            if !self.eat_symbol(Symbol::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(Symbol::RParen)?;
+                        break;
+                    }
+                }
+            }
+            return Ok(ExprAst::FuncCall {
+                name,
+                args,
+                parameters,
+            });
+        }
+        // Qualified column.
+        if self.eat_symbol(Symbol::Dot) {
+            let col = self.expect_ident()?;
+            return Ok(ExprAst::Column {
+                qualifier: Some(name),
+                name: col,
+            });
+        }
+        Ok(ExprAst::Column {
+            qualifier: None,
+            name,
+        })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    [
+        "from", "where", "group", "limit", "join", "inner", "on", "as", "at", "and", "or", "not",
+        "like", "is", "values", "set", "order", "using",
+    ]
+    .iter()
+    .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::SelectItem;
+
+    #[test]
+    fn parse_create_table_segmented() {
+        let stmt = parse_statement(
+            "CREATE TABLE t (id INT NOT NULL, x FLOAT, name VARCHAR(80)) \
+             SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+        let Statement::CreateTable {
+            name,
+            columns,
+            segmentation,
+            temp,
+            ..
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(name, "t");
+        assert_eq!(columns.len(), 3);
+        assert!(columns[0].not_null);
+        assert!(!columns[1].not_null);
+        assert_eq!(segmentation, SegmentationClause::ByHash(vec!["id".into()]));
+        assert!(!temp);
+    }
+
+    #[test]
+    fn parse_create_temp_unsegmented() {
+        let stmt = parse_statement("CREATE TEMP TABLE s (a INT) UNSEGMENTED ALL NODES;").unwrap();
+        let Statement::CreateTable {
+            segmentation, temp, ..
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(segmentation, SegmentationClause::Unsegmented);
+        assert!(temp);
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(columns, Some(vec!["a".into(), "b".into()]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], ExprAst::Literal(Value::Null));
+    }
+
+    #[test]
+    fn parse_select_with_everything() {
+        let stmt = parse_statement(
+            "SELECT a, t.b AS bee, COUNT(*) FROM t JOIN u ON t.id = u.id \
+             WHERE x > 1.5 AND name LIKE 'ab%' GROUP BY a, t.b LIMIT 10",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.items.len(), 3);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert_eq!(s.joins.len(), 1);
+        assert!(s.predicate.is_some());
+        assert_eq!(s.group_by.len(), 2);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_at_epoch_prefix() {
+        let stmt = parse_statement("AT EPOCH 7 SELECT * FROM t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.at_epoch, Some(7));
+        let stmt = parse_statement("AT EPOCH LATEST SELECT * FROM t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.at_epoch, None);
+    }
+
+    #[test]
+    fn parse_udf_with_parameters() {
+        let stmt = parse_statement(
+            "SELECT PMMLPredict(sepal_length, sepal_width USING PARAMETERS \
+             model_name='regression', version=2) FROM IrisTable",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr {
+            expr:
+                ExprAst::FuncCall {
+                    name,
+                    args,
+                    parameters,
+                },
+            ..
+        } = &s.items[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name, "PMMLPredict");
+        assert_eq!(args.len(), 2);
+        assert_eq!(
+            parameters[0],
+            (
+                "model_name".to_string(),
+                Value::Varchar("regression".into())
+            )
+        );
+        assert_eq!(parameters[1], ("version".to_string(), Value::Int64(2)));
+    }
+
+    #[test]
+    fn parse_update_delete_txn() {
+        assert!(matches!(
+            parse_statement("UPDATE s SET done = TRUE WHERE task_id = 3").unwrap(),
+            Statement::Update { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM s WHERE done").unwrap(),
+            Statement::Delete { .. }
+        ));
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT WORK").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn parse_operator_precedence() {
+        let stmt = parse_statement("SELECT 1 + 2 * 3 FROM t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        // Must parse as 1 + (2 * 3).
+        let ExprAst::Binary {
+            op: BinaryOp::Add,
+            right,
+            ..
+        } = expr
+        else {
+            panic!("expected Add at top: {expr:?}")
+        };
+        assert!(matches!(
+            **right,
+            ExprAst::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_statement("SELEC * FROM t").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statement("SELECT * FROM t extra garbage !").is_err());
+    }
+
+    #[test]
+    fn parse_views() {
+        let stmt = parse_statement("CREATE VIEW v AS SELECT a, SUM(b) FROM t GROUP BY a").unwrap();
+        assert!(matches!(stmt, Statement::CreateView { .. }));
+        assert!(matches!(
+            parse_statement("DROP VIEW v").unwrap(),
+            Statement::DropView { .. }
+        ));
+    }
+}

@@ -1,0 +1,7 @@
+//! Node-local storage: write-optimized buffer (WOS), read-optimized
+//! encoded containers (ROS), delete vectors, and the tuple mover.
+
+pub mod encoding;
+pub mod store;
+
+pub use store::{CommitState, NodeTableStore, RowLoc, StorageStats, VisibleRow};

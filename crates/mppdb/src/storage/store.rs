@@ -1,0 +1,533 @@
+//! The per-node, per-table MVCC store: WOS + ROS with pending-until-
+//! commit visibility and delete vectors.
+
+use common::{Row, Value};
+
+use crate::segmentation::HashRange;
+use crate::storage::encoding::{encode_auto, EncodedColumn};
+
+/// Commit state of a stored row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitState {
+    /// Written by a still-open transaction; visible only to it.
+    Pending(u64),
+    /// Committed at the given epoch.
+    Committed(u64),
+}
+
+/// Delete state of a stored row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeleteState {
+    NotDeleted,
+    /// Delete staged by an open transaction.
+    Pending(u64),
+    /// Delete committed at the given epoch.
+    Committed(u64),
+}
+
+/// Location of a row within a node-table store, stable while the store's
+/// lock is held (the tuple mover may relocate rows between statements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowLoc {
+    Wos(usize),
+    Ros { container: u64, idx: usize },
+}
+
+/// A row surfaced by a scan.
+#[derive(Debug, Clone)]
+pub struct VisibleRow {
+    pub loc: RowLoc,
+    pub row: Row,
+    /// Segmentation hash computed at insert time.
+    pub hash: u64,
+}
+
+#[derive(Debug)]
+struct WosRow {
+    row: Row,
+    hash: u64,
+    commit: CommitState,
+    delete: DeleteState,
+}
+
+#[derive(Debug)]
+struct RosContainer {
+    id: u64,
+    columns: Vec<EncodedColumn>,
+    hashes: Vec<u64>,
+    commits: Vec<CommitState>,
+    deletes: Vec<DeleteState>,
+}
+
+impl RosContainer {
+    fn row(&self, idx: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.get(idx)).collect())
+    }
+
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+/// Aggregate storage statistics for one node-table store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StorageStats {
+    pub wos_rows: usize,
+    pub ros_rows: usize,
+    pub ros_containers: usize,
+    /// Decoded (wire) size of ROS data in bytes.
+    pub ros_raw_bytes: usize,
+    /// Encoded size of ROS data in bytes.
+    pub ros_encoded_bytes: usize,
+}
+
+/// The storage for one table on one node. All methods expect the caller
+/// (the cluster) to hold the appropriate synchronization; the struct
+/// itself is single-threaded data.
+#[derive(Debug, Default)]
+pub struct NodeTableStore {
+    wos: Vec<WosRow>,
+    ros: Vec<RosContainer>,
+    next_container_id: u64,
+    column_count: usize,
+}
+
+fn row_visible(commit: CommitState, delete: DeleteState, as_of: u64, my_txn: Option<u64>) -> bool {
+    let inserted = match commit {
+        CommitState::Committed(e) => e <= as_of,
+        CommitState::Pending(t) => Some(t) == my_txn,
+    };
+    if !inserted {
+        return false;
+    }
+    match delete {
+        DeleteState::NotDeleted => true,
+        // A delete staged by my own transaction hides the row from me;
+        // one staged by another transaction is not yet real.
+        DeleteState::Pending(t) => Some(t) != my_txn,
+        DeleteState::Committed(e) => e > as_of,
+    }
+}
+
+impl NodeTableStore {
+    pub fn new(column_count: usize) -> NodeTableStore {
+        NodeTableStore {
+            column_count,
+            ..NodeTableStore::default()
+        }
+    }
+
+    /// Stage rows in the WOS under an open transaction.
+    pub fn insert_pending(&mut self, rows: Vec<(Row, u64)>, txn: u64) {
+        self.wos.reserve(rows.len());
+        for (row, hash) in rows {
+            debug_assert_eq!(row.len(), self.column_count);
+            self.wos.push(WosRow {
+                row,
+                hash,
+                commit: CommitState::Pending(txn),
+                delete: DeleteState::NotDeleted,
+            });
+        }
+    }
+
+    /// Stage rows directly as an encoded ROS container (the COPY DIRECT
+    /// path, bypassing the WOS for bulk loads).
+    pub fn insert_pending_direct(&mut self, rows: Vec<(Row, u64)>, txn: u64) {
+        if rows.is_empty() {
+            return;
+        }
+        let n = rows.len();
+        let mut hashes = Vec::with_capacity(n);
+        let mut column_values: Vec<Vec<Value>> = (0..self.column_count)
+            .map(|_| Vec::with_capacity(n))
+            .collect();
+        for (row, hash) in rows {
+            debug_assert_eq!(row.len(), self.column_count);
+            hashes.push(hash);
+            for (c, v) in row.into_values().into_iter().enumerate() {
+                column_values[c].push(v);
+            }
+        }
+        let columns = column_values
+            .into_iter()
+            .map(|vals| {
+                // Data type is only advisory for encoding choice.
+                encode_auto(&vals, common::DataType::Varchar)
+            })
+            .collect();
+        let id = self.next_container_id;
+        self.next_container_id += 1;
+        self.ros.push(RosContainer {
+            id,
+            columns,
+            hashes,
+            commits: vec![CommitState::Pending(txn); n],
+            deletes: vec![DeleteState::NotDeleted; n],
+        });
+    }
+
+    /// Stage deletes for the given row locations.
+    pub fn delete_pending(&mut self, locs: &[RowLoc], txn: u64) {
+        for loc in locs {
+            match loc {
+                RowLoc::Wos(i) => self.wos[*i].delete = DeleteState::Pending(txn),
+                RowLoc::Ros { container, idx } => {
+                    let c = self
+                        .ros
+                        .iter_mut()
+                        .find(|c| c.id == *container)
+                        .expect("delete references unknown container");
+                    c.deletes[*idx] = DeleteState::Pending(txn);
+                }
+            }
+        }
+    }
+
+    /// Stamp all of `txn`'s pending work with the commit epoch.
+    pub fn commit(&mut self, txn: u64, epoch: u64) {
+        for r in &mut self.wos {
+            if r.commit == CommitState::Pending(txn) {
+                r.commit = CommitState::Committed(epoch);
+            }
+            if r.delete == DeleteState::Pending(txn) {
+                r.delete = DeleteState::Committed(epoch);
+            }
+        }
+        for c in &mut self.ros {
+            for s in &mut c.commits {
+                if *s == CommitState::Pending(txn) {
+                    *s = CommitState::Committed(epoch);
+                }
+            }
+            for s in &mut c.deletes {
+                if *s == DeleteState::Pending(txn) {
+                    *s = DeleteState::Committed(epoch);
+                }
+            }
+        }
+    }
+
+    /// Discard all of `txn`'s pending work.
+    pub fn abort(&mut self, txn: u64) {
+        self.wos.retain(|r| r.commit != CommitState::Pending(txn));
+        for r in &mut self.wos {
+            if r.delete == DeleteState::Pending(txn) {
+                r.delete = DeleteState::NotDeleted;
+            }
+        }
+        for c in &mut self.ros {
+            // Containers staged by the txn: all rows pending. Mixed
+            // containers cannot occur (a container is created whole).
+            if c.commits.first() == Some(&CommitState::Pending(txn)) {
+                c.hashes.clear();
+                c.commits.clear();
+                c.deletes.clear();
+                c.columns = Vec::new();
+            }
+            for s in &mut c.deletes {
+                if *s == DeleteState::Pending(txn) {
+                    *s = DeleteState::NotDeleted;
+                }
+            }
+        }
+        self.ros.retain(|c| !c.hashes.is_empty());
+    }
+
+    /// Scan rows visible at `as_of` (plus `my_txn`'s own pending work),
+    /// optionally restricted to a hash range. Rows are returned in
+    /// stable storage order: ROS containers by id, then the WOS.
+    pub fn scan(
+        &self,
+        as_of: u64,
+        my_txn: Option<u64>,
+        hash_range: Option<&HashRange>,
+    ) -> Vec<VisibleRow> {
+        let mut out = Vec::new();
+        for c in &self.ros {
+            for idx in 0..c.len() {
+                if !row_visible(c.commits[idx], c.deletes[idx], as_of, my_txn) {
+                    continue;
+                }
+                let h = c.hashes[idx];
+                if let Some(r) = hash_range {
+                    if !r.contains(h) {
+                        continue;
+                    }
+                }
+                out.push(VisibleRow {
+                    loc: RowLoc::Ros {
+                        container: c.id,
+                        idx,
+                    },
+                    row: c.row(idx),
+                    hash: h,
+                });
+            }
+        }
+        for (i, r) in self.wos.iter().enumerate() {
+            if !row_visible(r.commit, r.delete, as_of, my_txn) {
+                continue;
+            }
+            if let Some(range) = hash_range {
+                if !range.contains(r.hash) {
+                    continue;
+                }
+            }
+            out.push(VisibleRow {
+                loc: RowLoc::Wos(i),
+                row: r.row.clone(),
+                hash: r.hash,
+            });
+        }
+        out
+    }
+
+    /// Count rows visible at `as_of` (plus `my_txn`'s pending work)
+    /// without materializing them — the rows a range scan must examine.
+    pub fn visible_count(&self, as_of: u64, my_txn: Option<u64>) -> usize {
+        let mut count = 0;
+        for c in &self.ros {
+            for idx in 0..c.len() {
+                if row_visible(c.commits[idx], c.deletes[idx], as_of, my_txn) {
+                    count += 1;
+                }
+            }
+        }
+        count
+            + self
+                .wos
+                .iter()
+                .filter(|r| row_visible(r.commit, r.delete, as_of, my_txn))
+                .count()
+    }
+
+    /// Move committed WOS rows into a new encoded ROS container (the
+    /// tuple mover's "moveout" operation). Pending rows stay put.
+    /// Returns the number of rows moved.
+    pub fn moveout(&mut self) -> usize {
+        let moving: Vec<usize> = self
+            .wos
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.commit, CommitState::Committed(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if moving.is_empty() {
+            return 0;
+        }
+        let n = moving.len();
+        let mut hashes = Vec::with_capacity(n);
+        let mut commits = Vec::with_capacity(n);
+        let mut deletes = Vec::with_capacity(n);
+        let mut column_values: Vec<Vec<Value>> = (0..self.column_count)
+            .map(|_| Vec::with_capacity(n))
+            .collect();
+        for &i in &moving {
+            let r = &self.wos[i];
+            hashes.push(r.hash);
+            commits.push(r.commit);
+            deletes.push(r.delete);
+            for (c, v) in r.row.values().iter().enumerate() {
+                column_values[c].push(v.clone());
+            }
+        }
+        let columns = column_values
+            .into_iter()
+            .map(|vals| encode_auto(&vals, common::DataType::Varchar))
+            .collect();
+        let id = self.next_container_id;
+        self.next_container_id += 1;
+        self.ros.push(RosContainer {
+            id,
+            columns,
+            hashes,
+            commits,
+            deletes,
+        });
+        // Drop moved rows from the WOS (keep pending ones).
+        let mut keep = Vec::with_capacity(self.wos.len() - n);
+        for (i, r) in self.wos.drain(..).enumerate() {
+            if !moving.contains(&i) {
+                keep.push(r);
+            }
+        }
+        self.wos = keep;
+        n
+    }
+
+    /// Number of committed rows currently in the WOS (the moveout
+    /// trigger input).
+    pub fn wos_committed_rows(&self) -> usize {
+        self.wos
+            .iter()
+            .filter(|r| matches!(r.commit, CommitState::Committed(_)))
+            .count()
+    }
+
+    pub fn stats(&self) -> StorageStats {
+        let mut ros_rows = 0;
+        let mut raw = 0;
+        let mut encoded = 0;
+        for c in &self.ros {
+            ros_rows += c.len();
+            for col in &c.columns {
+                encoded += col.encoded_size();
+            }
+            for idx in 0..c.len() {
+                raw += c.row(idx).wire_size();
+            }
+        }
+        StorageStats {
+            wos_rows: self.wos.len(),
+            ros_rows,
+            ros_containers: self.ros.len(),
+            ros_raw_bytes: raw,
+            ros_encoded_bytes: encoded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::row;
+
+    fn rows3() -> Vec<(Row, u64)> {
+        vec![
+            (row![1i64, "a"], 100),
+            (row![2i64, "b"], 200),
+            (row![3i64, "c"], 300),
+        ]
+    }
+
+    #[test]
+    fn pending_rows_invisible_to_others() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 7);
+        assert!(s.scan(u64::MAX, None, None).is_empty());
+        assert_eq!(s.scan(u64::MAX, Some(7), None).len(), 3);
+        s.commit(7, 5);
+        assert_eq!(s.scan(5, None, None).len(), 3);
+        // Epoch-based snapshot: before the commit epoch nothing visible.
+        assert_eq!(s.scan(4, None, None).len(), 0);
+    }
+
+    #[test]
+    fn abort_discards_pending_inserts() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 7);
+        s.abort(7);
+        assert!(s.scan(u64::MAX, Some(7), None).is_empty());
+        assert_eq!(s.stats().wos_rows, 0);
+    }
+
+    #[test]
+    fn delete_visibility_and_abort() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 1);
+        s.commit(1, 2);
+        let visible = s.scan(2, None, None);
+        // Txn 9 stages a delete of the first row.
+        s.delete_pending(&[visible[0].loc], 9);
+        // Others still see it; txn 9 does not.
+        assert_eq!(s.scan(2, None, None).len(), 3);
+        assert_eq!(s.scan(2, Some(9), None).len(), 2);
+        s.abort(9);
+        assert_eq!(s.scan(2, Some(9), None).len(), 3);
+        // Now commit a delete at epoch 4 and check epoch visibility.
+        let visible = s.scan(2, None, None);
+        s.delete_pending(&[visible[0].loc], 10);
+        s.commit(10, 4);
+        assert_eq!(
+            s.scan(3, None, None).len(),
+            3,
+            "old epoch still sees the row"
+        );
+        assert_eq!(s.scan(4, None, None).len(), 2, "new epoch does not");
+    }
+
+    #[test]
+    fn hash_range_filtering() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 1);
+        s.commit(1, 1);
+        let r = HashRange::new(150, Some(250));
+        let hits = s.scan(1, None, Some(&r));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].hash, 200);
+    }
+
+    #[test]
+    fn moveout_preserves_rows_and_visibility() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 1);
+        s.commit(1, 3);
+        // A pending row must stay in the WOS.
+        s.insert_pending(vec![(row![4i64, "d"], 400)], 2);
+        let moved = s.moveout();
+        assert_eq!(moved, 3);
+        let stats = s.stats();
+        assert_eq!(stats.ros_rows, 3);
+        assert_eq!(stats.wos_rows, 1);
+        assert_eq!(stats.ros_containers, 1);
+        // Visibility unchanged.
+        assert_eq!(s.scan(3, None, None).len(), 3);
+        assert_eq!(s.scan(2, None, None).len(), 0);
+        assert_eq!(s.scan(3, Some(2), None).len(), 4);
+        // Deletes still work against ROS locations.
+        let visible = s.scan(3, None, None);
+        s.delete_pending(&[visible[1].loc], 5);
+        s.commit(5, 6);
+        assert_eq!(s.scan(6, None, None).len(), 2);
+        assert_eq!(s.scan(5, None, None).len(), 3);
+    }
+
+    #[test]
+    fn direct_load_creates_container() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending_direct(rows3(), 1);
+        assert_eq!(s.stats().ros_containers, 1);
+        assert!(s.scan(10, None, None).is_empty());
+        s.commit(1, 2);
+        assert_eq!(s.scan(2, None, None).len(), 3);
+    }
+
+    #[test]
+    fn direct_load_abort_removes_container() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending_direct(rows3(), 1);
+        s.abort(1);
+        assert_eq!(s.stats().ros_containers, 0);
+        s.insert_pending_direct(rows3(), 2);
+        s.commit(2, 2);
+        assert_eq!(s.scan(2, None, None).len(), 3);
+    }
+
+    #[test]
+    fn scan_order_is_stable() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 1);
+        s.commit(1, 1);
+        s.moveout();
+        s.insert_pending(vec![(row![4i64, "d"], 400)], 2);
+        s.commit(2, 2);
+        let rows: Vec<i64> = s
+            .scan(2, None, None)
+            .iter()
+            .map(|v| v.row.get(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(rows, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insert_then_delete_same_txn() {
+        let mut s = NodeTableStore::new(2);
+        s.insert_pending(rows3(), 1);
+        let mine = s.scan(0, Some(1), None);
+        s.delete_pending(&[mine[0].loc], 1);
+        assert_eq!(s.scan(0, Some(1), None).len(), 2);
+        s.commit(1, 5);
+        assert_eq!(s.scan(5, None, None).len(), 2);
+    }
+}

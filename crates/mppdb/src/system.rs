@@ -1,0 +1,98 @@
+//! Virtual system tables.
+//!
+//! The connector's locality planning rests on the fact that "the
+//! hash-ring segmentation boundaries, along with the node that contains
+//! each segment ... is stored in the Vertica system catalog and can be
+//! queried" (paper Sec. 3.1.2). These read-only virtual tables expose
+//! that metadata to SQL:
+//!
+//! * `v_segments` — one row per hash-ring segment: its owning node and
+//!   its boundaries (hex, since the ring is the full 64-bit space),
+//! * `v_tables` — catalog objects with their segmentation,
+//! * `v_nodes` — node liveness and open session counts.
+
+use common::{DataType, Row, Schema, Value};
+
+use crate::cluster::Cluster;
+
+/// Names of the available system tables.
+pub const SYSTEM_TABLES: &[&str] = &["v_segments", "v_tables", "v_nodes"];
+
+/// Produce the contents of a system table, or `None` if `name` isn't one.
+pub(crate) fn scan_system_table(cluster: &Cluster, name: &str) -> Option<(Schema, Vec<Row>)> {
+    match name.to_ascii_lowercase().as_str() {
+        "v_segments" => {
+            let schema = Schema::from_pairs(&[
+                ("segment", DataType::Int64),
+                ("node", DataType::Int64),
+                ("start_hash", DataType::Varchar),
+                ("end_hash", DataType::Varchar),
+            ]);
+            let map = cluster.segment_map();
+            let rows = (0..map.node_count())
+                .map(|s| {
+                    let range = map.segment_range(s);
+                    Row::new(vec![
+                        Value::Int64(s as i64),
+                        Value::Int64(s as i64),
+                        Value::Varchar(format!("{:016x}", range.start)),
+                        Value::Varchar(
+                            range
+                                .end
+                                .map(|e| format!("{e:016x}"))
+                                .unwrap_or_else(|| "ffffffffffffffff+1".to_string()),
+                        ),
+                    ])
+                })
+                .collect();
+            Some((schema, rows))
+        }
+        "v_tables" => {
+            let schema = Schema::from_pairs(&[
+                ("table_name", DataType::Varchar),
+                ("segmented", DataType::Boolean),
+                ("segmentation_columns", DataType::Varchar),
+                ("column_count", DataType::Int64),
+                ("is_temp", DataType::Boolean),
+            ]);
+            let catalog = cluster.catalog.read();
+            let rows = catalog
+                .table_names()
+                .into_iter()
+                .filter_map(|name| {
+                    let def = catalog.table(&name).ok()?;
+                    let seg_cols = match &def.segmentation {
+                        crate::catalog::Segmentation::ByHash(cols) => cols.join(","),
+                        crate::catalog::Segmentation::Unsegmented => String::new(),
+                    };
+                    Some(Row::new(vec![
+                        Value::Varchar(def.name.clone()),
+                        Value::Boolean(def.is_segmented()),
+                        Value::Varchar(seg_cols),
+                        Value::Int64(def.schema.len() as i64),
+                        Value::Boolean(def.is_temp),
+                    ]))
+                })
+                .collect();
+            Some((schema, rows))
+        }
+        "v_nodes" => {
+            let schema = Schema::from_pairs(&[
+                ("node", DataType::Int64),
+                ("is_up", DataType::Boolean),
+                ("open_sessions", DataType::Int64),
+            ]);
+            let rows = (0..cluster.node_count())
+                .map(|n| {
+                    Row::new(vec![
+                        Value::Int64(n as i64),
+                        Value::Boolean(cluster.is_node_up(n)),
+                        Value::Int64(cluster.open_sessions(n) as i64),
+                    ])
+                })
+                .collect();
+            Some((schema, rows))
+        }
+        _ => None,
+    }
+}

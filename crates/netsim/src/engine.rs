@@ -1,0 +1,434 @@
+//! The discrete-event simulation engine.
+
+use std::collections::VecDeque;
+
+use crate::flow::max_min_rates;
+use crate::resource::Topology;
+use crate::task::{Phase, TaskId, Workload};
+use crate::trace::UtilizationTrace;
+
+const EPS: f64 = 1e-9;
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Simulated seconds until the last task finished.
+    pub makespan: f64,
+    /// Per-task start times (admission to a slot), indexed by `TaskId`.
+    pub task_start: Vec<f64>,
+    /// Per-task finish times, indexed by `TaskId`.
+    pub task_finish: Vec<f64>,
+    /// Utilization time series for traced resources.
+    pub trace: UtilizationTrace,
+}
+
+#[derive(Debug)]
+enum TaskState {
+    /// Not all dependencies finished yet.
+    Waiting {
+        unmet_deps: usize,
+    },
+    /// In the pool's FIFO queue.
+    Queued,
+    /// Occupying a slot, executing `phase` with `remaining` work
+    /// (seconds for delays, volume units for flows).
+    Running {
+        phase: usize,
+        remaining: f64,
+    },
+    Done,
+}
+
+/// Runs a [`Workload`] against a [`Topology`] and produces timings plus
+/// utilization traces.
+pub struct SimEngine {
+    topology: Topology,
+    sample_dt: f64,
+}
+
+impl SimEngine {
+    pub fn new(topology: Topology) -> SimEngine {
+        SimEngine {
+            topology,
+            sample_dt: 1.0,
+        }
+    }
+
+    /// Width of the utilization trace bins (default 1 simulated second).
+    pub fn with_sample_dt(mut self, dt: f64) -> SimEngine {
+        assert!(dt > 0.0);
+        self.sample_dt = dt;
+        self
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Run the workload to completion.
+    ///
+    /// Panics if the workload can never finish (circular waits cannot be
+    /// constructed thanks to `Workload::add_task`'s dep check, so the
+    /// only panic path is an internal invariant failure).
+    pub fn run(&self, workload: &Workload) -> SimResult {
+        let n = workload.tasks.len();
+        let mut states: Vec<TaskState> = Vec::with_capacity(n);
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (i, task) in workload.tasks.iter().enumerate() {
+            for dep in &task.deps {
+                dependents[dep.0].push(TaskId(i));
+            }
+            states.push(TaskState::Waiting {
+                unmet_deps: task.deps.len(),
+            });
+        }
+
+        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); workload.pools.len()];
+        let mut free_slots: Vec<usize> = workload.pools.iter().map(|p| p.slots).collect();
+        let mut task_start = vec![f64::NAN; n];
+        let mut task_finish = vec![f64::NAN; n];
+        let mut trace = UtilizationTrace::new(&self.topology, self.sample_dt);
+        let mut time = 0.0f64;
+        let mut done_count = 0usize;
+
+        // Tasks with no deps enter their pool queue in id order (Spark
+        // launches partition tasks in order).
+        for i in 0..n {
+            if let TaskState::Waiting { unmet_deps: 0 } = states[i] {
+                states[i] = TaskState::Queued;
+                queues[workload.tasks[i].pool.0].push_back(TaskId(i));
+            }
+        }
+
+        // Admission helper is inlined below (borrow-checker friendliness).
+        loop {
+            // Admit queued tasks into free slots.
+            let mut just_finished: Vec<TaskId> = Vec::new();
+            for pool in 0..queues.len() {
+                while free_slots[pool] > 0 {
+                    let Some(tid) = queues[pool].pop_front() else {
+                        break;
+                    };
+                    free_slots[pool] -= 1;
+                    task_start[tid.0] = time;
+                    let task = &workload.tasks[tid.0];
+                    if task.phases.is_empty() {
+                        // Zero-work task: completes instantly.
+                        states[tid.0] = TaskState::Done;
+                        task_finish[tid.0] = time;
+                        done_count += 1;
+                        free_slots[pool] += 1;
+                        just_finished.push(tid);
+                    } else {
+                        let remaining = phase_work(&task.phases[0]);
+                        states[tid.0] = TaskState::Running {
+                            phase: 0,
+                            remaining,
+                        };
+                    }
+                }
+            }
+            // Propagate completions of zero-work tasks (may unblock deps
+            // into the same pools; loop until stable).
+            while let Some(tid) = just_finished.pop() {
+                for &dep_tid in &dependents[tid.0] {
+                    if let TaskState::Waiting { unmet_deps } = &mut states[dep_tid.0] {
+                        *unmet_deps -= 1;
+                        if *unmet_deps == 0 {
+                            states[dep_tid.0] = TaskState::Queued;
+                            let pool = workload.tasks[dep_tid.0].pool.0;
+                            queues[pool].push_back(dep_tid);
+                            if free_slots[pool] > 0 {
+                                // Re-run admission by falling through: we
+                                // emulate by admitting inline.
+                                let tid2 = queues[pool].pop_back().unwrap();
+                                debug_assert_eq!(tid2, dep_tid);
+                                free_slots[pool] -= 1;
+                                task_start[tid2.0] = time;
+                                let task = &workload.tasks[tid2.0];
+                                if task.phases.is_empty() {
+                                    states[tid2.0] = TaskState::Done;
+                                    task_finish[tid2.0] = time;
+                                    done_count += 1;
+                                    free_slots[pool] += 1;
+                                    just_finished.push(tid2);
+                                } else {
+                                    let remaining = phase_work(&task.phases[0]);
+                                    states[tid2.0] = TaskState::Running {
+                                        phase: 0,
+                                        remaining,
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if done_count == n {
+                break;
+            }
+
+            // Gather running phases.
+            let running: Vec<TaskId> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, TaskState::Running { .. }))
+                .map(|(i, _)| TaskId(i))
+                .collect();
+            assert!(
+                !running.is_empty(),
+                "simulation stalled: no running tasks but {} unfinished",
+                n - done_count
+            );
+
+            // Compute rates for flow phases.
+            let flow_specs: Vec<(usize, &crate::flow::FlowSpec)> = running
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, tid)| {
+                    let TaskState::Running { phase, .. } = &states[tid.0] else {
+                        unreachable!()
+                    };
+                    match &workload.tasks[tid.0].phases[*phase] {
+                        Phase::Flow(f) => Some((slot, f)),
+                        Phase::Delay(_) => None,
+                    }
+                })
+                .collect();
+            let specs_only: Vec<&crate::flow::FlowSpec> =
+                flow_specs.iter().map(|(_, f)| *f).collect();
+            let rates = max_min_rates(&self.topology, &specs_only);
+
+            // Per running task: progress rate (units/sec) for its phase.
+            let mut task_rate = vec![1.0f64; running.len()]; // delays tick at 1 s/s
+            for ((slot, _), &rate) in flow_specs.iter().zip(rates.iter()) {
+                task_rate[*slot] = rate;
+            }
+
+            // Earliest completion.
+            let mut dt = f64::INFINITY;
+            for (slot, tid) in running.iter().enumerate() {
+                let TaskState::Running { remaining, .. } = states[tid.0] else {
+                    unreachable!()
+                };
+                let rate = task_rate[slot];
+                let t_done = if rate.is_infinite() {
+                    0.0
+                } else {
+                    remaining / rate
+                };
+                dt = dt.min(t_done);
+            }
+            assert!(
+                dt.is_finite(),
+                "simulation stalled: all running flows have zero rate"
+            );
+            let dt = dt.max(0.0);
+
+            // Charge the trace for this interval.
+            if dt > 0.0 {
+                for ((slot, flow), &rate) in flow_specs.iter().zip(rates.iter()) {
+                    let _ = slot;
+                    if rate.is_finite() {
+                        for &(rid, w) in &flow.demands {
+                            trace.add_usage(rid, time, time + dt, w * rate);
+                        }
+                    }
+                }
+            }
+            time += dt;
+
+            // Advance running phases.
+            for (slot, tid) in running.iter().enumerate() {
+                let rate = task_rate[slot];
+                let TaskState::Running { phase, remaining } = &mut states[tid.0] else {
+                    unreachable!()
+                };
+                let progressed = if rate.is_infinite() {
+                    *remaining
+                } else {
+                    rate * dt
+                };
+                *remaining -= progressed;
+                if *remaining <= EPS {
+                    // Phase complete; advance or finish.
+                    let task = &workload.tasks[tid.0];
+                    let next = *phase + 1;
+                    if next < task.phases.len() {
+                        states[tid.0] = TaskState::Running {
+                            phase: next,
+                            remaining: phase_work(&task.phases[next]),
+                        };
+                    } else {
+                        states[tid.0] = TaskState::Done;
+                        task_finish[tid.0] = time;
+                        done_count += 1;
+                        free_slots[task.pool.0] += 1;
+                        for &dep_tid in &dependents[tid.0] {
+                            if let TaskState::Waiting { unmet_deps } = &mut states[dep_tid.0] {
+                                *unmet_deps -= 1;
+                                if *unmet_deps == 0 {
+                                    states[dep_tid.0] = TaskState::Queued;
+                                    queues[workload.tasks[dep_tid.0].pool.0].push_back(dep_tid);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        SimResult {
+            makespan: time,
+            task_start,
+            task_finish,
+            trace,
+        }
+    }
+}
+
+fn phase_work(phase: &Phase) -> f64 {
+    match phase {
+        Phase::Delay(s) => *s,
+        Phase::Flow(f) => f.volume,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::task::SimTask;
+
+    fn topo_link(cap: f64) -> (Topology, crate::resource::ResourceId) {
+        let mut t = Topology::new();
+        let l = t.add_resource("link", cap);
+        (t, l)
+    }
+
+    #[test]
+    fn single_transfer_time() {
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 4);
+        w.add_task(SimTask::new(pool, "xfer").flow(FlowSpec::new(1000.0).on(l, 1.0)));
+        let res = SimEngine::new(t).run(&w);
+        assert!((res.makespan - 10.0).abs() < 1e-6, "{}", res.makespan);
+    }
+
+    #[test]
+    fn shared_link_doubles_time() {
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 4);
+        for i in 0..2 {
+            w.add_task(SimTask::new(pool, format!("x{i}")).flow(FlowSpec::new(1000.0).on(l, 1.0)));
+        }
+        let res = SimEngine::new(t).run(&w);
+        assert!((res.makespan - 20.0).abs() < 1e-6, "{}", res.makespan);
+    }
+
+    #[test]
+    fn slot_limit_serializes_tasks() {
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 1);
+        for i in 0..3 {
+            w.add_task(SimTask::new(pool, format!("x{i}")).flow(FlowSpec::new(500.0).on(l, 1.0)));
+        }
+        let res = SimEngine::new(t).run(&w);
+        // 3 sequential transfers of 5s each.
+        assert!((res.makespan - 15.0).abs() < 1e-6, "{}", res.makespan);
+        assert!((res.task_start[1] - 5.0).abs() < 1e-6);
+        assert!((res.task_start[2] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delays_and_flows_sequence() {
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 4);
+        w.add_task(
+            SimTask::new(pool, "x")
+                .delay(2.0)
+                .flow(FlowSpec::new(300.0).on(l, 1.0))
+                .delay(1.0),
+        );
+        let res = SimEngine::new(t).run(&w);
+        assert!((res.makespan - 6.0).abs() < 1e-6, "{}", res.makespan);
+    }
+
+    #[test]
+    fn dependencies_gate_start() {
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 4);
+        let a = w.add_task(SimTask::new(pool, "a").flow(FlowSpec::new(400.0).on(l, 1.0)));
+        let b = w.add_task(SimTask::new(pool, "b").after(a).delay(1.0));
+        let res = SimEngine::new(t).run(&w);
+        assert!((res.task_start[b.0] - 4.0).abs() < 1e-6);
+        assert!((res.makespan - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_dependency_chain_completes() {
+        let (t, _l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 1);
+        let a = w.add_task(SimTask::new(pool, "a"));
+        let b = w.add_task(SimTask::new(pool, "b").after(a));
+        let c = w.add_task(SimTask::new(pool, "c").after(b));
+        let res = SimEngine::new(t).run(&w);
+        assert_eq!(res.makespan, 0.0);
+        assert_eq!(res.task_finish[c.0], 0.0);
+    }
+
+    #[test]
+    fn trace_captures_saturation() {
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 8);
+        for i in 0..4 {
+            w.add_task(SimTask::new(pool, format!("x{i}")).flow(FlowSpec::new(250.0).on(l, 1.0)));
+        }
+        let res = SimEngine::new(t).with_sample_dt(1.0).run(&w);
+        // Link saturated for the whole 10s run.
+        assert!((res.makespan - 10.0).abs() < 1e-6);
+        for b in 0..10 {
+            assert!(
+                (res.trace.utilization(l, b) - 1.0).abs() < 1e-6,
+                "bin {b}: {}",
+                res.trace.utilization(l, b)
+            );
+        }
+    }
+
+    #[test]
+    fn faster_flow_frees_bandwidth_for_slower() {
+        // Two flows share a 100-unit/s link; one has 200 units, one 600.
+        // Phase 1 (both active): each at 50/s; small one done at t=4.
+        // Then big one alone at 100/s with 400 left: done at t=8.
+        let (t, l) = topo_link(100.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 4);
+        let small = w.add_task(SimTask::new(pool, "s").flow(FlowSpec::new(200.0).on(l, 1.0)));
+        let big = w.add_task(SimTask::new(pool, "b").flow(FlowSpec::new(600.0).on(l, 1.0)));
+        let res = SimEngine::new(t).run(&w);
+        assert!((res.task_finish[small.0] - 4.0).abs() < 1e-6);
+        assert!((res.task_finish[big.0] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_flow_cap_via_private_resource() {
+        // A single flow capped at 40 units/s on a 100 link: 400 units in 10 s.
+        let mut t = Topology::new();
+        let l = t.add_resource("link", 100.0);
+        let cap = t.add_untraced_resource("cap", 40.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 4);
+        w.add_task(SimTask::new(pool, "x").flow(FlowSpec::new(400.0).on(l, 1.0).on(cap, 1.0)));
+        let res = SimEngine::new(t).run(&w);
+        assert!((res.makespan - 10.0).abs() < 1e-6, "{}", res.makespan);
+    }
+}

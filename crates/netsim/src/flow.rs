@@ -1,0 +1,273 @@
+//! Flows and the weighted max-min fair rate allocator.
+
+use crate::resource::{ResourceId, Topology};
+
+/// A capacity-consuming piece of work.
+///
+/// A flow progresses at some rate `r` (units/second, chosen by the
+/// allocator); while active it consumes `weight × r` on every resource
+/// in `demands`. It completes after transferring `volume` units.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// `(resource, weight)` pairs. Weights must be positive.
+    pub demands: Vec<(ResourceId, f64)>,
+    /// Total units to move (e.g. bytes).
+    pub volume: f64,
+    /// Optional per-flow rate ceiling (e.g. the single-stream
+    /// throughput of one client connection).
+    pub rate_cap: Option<f64>,
+}
+
+impl FlowSpec {
+    pub fn new(volume: f64) -> FlowSpec {
+        assert!(volume >= 0.0, "flow volume must be non-negative");
+        FlowSpec {
+            demands: Vec::new(),
+            volume,
+            rate_cap: None,
+        }
+    }
+
+    /// Bound the flow's rate regardless of available capacity.
+    pub fn capped(mut self, cap: f64) -> FlowSpec {
+        assert!(cap > 0.0, "rate cap must be positive");
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Add a resource demand. `weight` is the amount of the resource
+    /// consumed per unit of flow rate (1.0 for a link carrying the
+    /// bytes; `cpu_seconds_per_byte` for a CPU touching them).
+    pub fn on(mut self, resource: ResourceId, weight: f64) -> FlowSpec {
+        assert!(weight > 0.0, "flow demand weight must be positive");
+        self.demands.push((resource, weight));
+        self
+    }
+}
+
+/// Compute weighted max-min fair rates for the given active flows.
+///
+/// Progressive filling: repeatedly find the bottleneck resource — the
+/// one whose remaining capacity divided by the total weight of its
+/// still-unfixed flows is smallest — and freeze those flows at that
+/// fair rate. Flows with no demands get an infinite rate (represented
+/// as `f64::INFINITY`; the engine treats such flows as completing
+/// instantly).
+///
+/// Returns one rate per input flow, in order.
+pub fn max_min_rates(topology: &Topology, flows: &[&FlowSpec]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![f64::INFINITY; n];
+    if n == 0 {
+        return rates;
+    }
+
+    let r_count = topology.len();
+    let mut remaining: Vec<f64> = (0..r_count)
+        .map(|i| topology.capacity(ResourceId(i)))
+        .collect();
+    // Total unfixed weight per resource.
+    let mut weight_sum = vec![0.0f64; r_count];
+    for flow in flows {
+        for &(rid, w) in &flow.demands {
+            weight_sum[rid.0] += w;
+        }
+    }
+    let mut fixed = vec![false; n];
+    let mut fixed_count = 0usize;
+    for (i, f) in flows.iter().enumerate() {
+        if f.demands.is_empty() {
+            fixed[i] = true;
+            fixed_count += 1;
+            if let Some(cap) = f.rate_cap {
+                rates[i] = cap;
+            }
+        }
+    }
+
+    while fixed_count < n {
+        // Find the bottleneck resource among those with unfixed demand.
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for r in 0..r_count {
+            if weight_sum[r] <= 1e-12 {
+                continue;
+            }
+            let fair = remaining[r].max(0.0) / weight_sum[r];
+            match bottleneck {
+                Some((_, best)) if fair >= best => {}
+                _ => bottleneck = Some((r, fair)),
+            }
+        }
+        let fair_rate = bottleneck.map(|(_, f)| f).unwrap_or(f64::INFINITY);
+        // Per-flow caps below the bottleneck's fair share freeze first:
+        // they release capacity back to the open flows.
+        let mut froze_capped = false;
+        for (i, flow) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            if let Some(cap) = flow.rate_cap {
+                if cap <= fair_rate {
+                    fixed[i] = true;
+                    fixed_count += 1;
+                    rates[i] = cap;
+                    for &(rid, w) in &flow.demands {
+                        remaining[rid.0] -= w * cap;
+                        weight_sum[rid.0] -= w;
+                    }
+                    froze_capped = true;
+                }
+            }
+        }
+        if froze_capped {
+            continue;
+        }
+        let Some((bneck, fair_rate)) = bottleneck else {
+            // No resource constrains the remaining flows: unbounded.
+            break;
+        };
+        // Freeze every unfixed flow that traverses the bottleneck.
+        for (i, flow) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            if flow.demands.iter().any(|&(rid, _)| rid.0 == bneck) {
+                fixed[i] = true;
+                fixed_count += 1;
+                rates[i] = fair_rate;
+                for &(rid, w) in &flow.demands {
+                    remaining[rid.0] -= w * fair_rate;
+                    weight_sum[rid.0] -= w;
+                }
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo_one_link(cap: f64) -> (Topology, ResourceId) {
+        let mut t = Topology::new();
+        let l = t.add_resource("link", cap);
+        (t, l)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let (t, l) = topo_one_link(100.0);
+        let f = FlowSpec::new(1000.0).on(l, 1.0);
+        let rates = max_min_rates(&t, &[&f]);
+        assert_eq!(rates, vec![100.0]);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let (t, l) = topo_one_link(100.0);
+        let f1 = FlowSpec::new(1.0).on(l, 1.0);
+        let f2 = FlowSpec::new(1.0).on(l, 1.0);
+        let rates = max_min_rates(&t, &[&f1, &f2]);
+        assert_eq!(rates, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn capped_flow_releases_capacity_to_others() {
+        // One flow privately capped at 10, the other takes the rest.
+        let mut t = Topology::new();
+        let link = t.add_resource("link", 100.0);
+        let cap = t.add_untraced_resource("cap", 10.0);
+        let slow = FlowSpec::new(1.0).on(link, 1.0).on(cap, 1.0);
+        let fast = FlowSpec::new(1.0).on(link, 1.0);
+        let rates = max_min_rates(&t, &[&slow, &fast]);
+        assert!((rates[0] - 10.0).abs() < 1e-9, "capped flow: {}", rates[0]);
+        assert!((rates[1] - 90.0).abs() < 1e-9, "open flow: {}", rates[1]);
+    }
+
+    #[test]
+    fn multi_resource_bottleneck() {
+        // Flow A uses link1 only, flow B uses link1+link2, link2 is tight.
+        let mut t = Topology::new();
+        let l1 = t.add_resource("l1", 100.0);
+        let l2 = t.add_resource("l2", 20.0);
+        let a = FlowSpec::new(1.0).on(l1, 1.0);
+        let b = FlowSpec::new(1.0).on(l1, 1.0).on(l2, 1.0);
+        let rates = max_min_rates(&t, &[&a, &b]);
+        assert!((rates[1] - 20.0).abs() < 1e-9);
+        assert!((rates[0] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_demand_consumes_proportionally() {
+        // CPU capacity 4 cores; a flow needing 0.01 cpu per unit can run
+        // at 400 units/s alone.
+        let mut t = Topology::new();
+        let cpu = t.add_resource("cpu", 4.0);
+        let f = FlowSpec::new(1.0).on(cpu, 0.01);
+        let rates = max_min_rates(&t, &[&f]);
+        assert!((rates[0] - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn native_rate_cap_limits_and_releases() {
+        let (t, l) = topo_one_link(100.0);
+        let slow = FlowSpec::new(1.0).on(l, 1.0).capped(10.0);
+        let fast = FlowSpec::new(1.0).on(l, 1.0);
+        let rates = max_min_rates(&t, &[&slow, &fast]);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 90.0).abs() < 1e-9);
+        // A cap above the fair share has no effect.
+        let loose = FlowSpec::new(1.0).on(l, 1.0).capped(500.0);
+        let other = FlowSpec::new(1.0).on(l, 1.0);
+        let rates = max_min_rates(&t, &[&loose, &other]);
+        assert!((rates[0] - 50.0).abs() < 1e-9);
+        assert!((rates[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_demand_flow_is_unbounded() {
+        let (t, _l) = topo_one_link(1.0);
+        let f = FlowSpec::new(1.0);
+        let rates = max_min_rates(&t, &[&f]);
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn allocation_never_exceeds_capacity() {
+        // Randomized-ish mix checked against the capacity invariant.
+        let mut t = Topology::new();
+        let links: Vec<_> = (0..4)
+            .map(|i| t.add_resource(format!("l{i}"), 10.0 + i as f64))
+            .collect();
+        let flows: Vec<FlowSpec> = (0..20)
+            .map(|i| {
+                let mut f = FlowSpec::new(100.0);
+                for (j, &l) in links.iter().enumerate() {
+                    if (i + j) % 3 != 0 {
+                        f = f.on(l, 0.5 + (j as f64) * 0.25);
+                    }
+                }
+                if f.demands.is_empty() {
+                    f = f.on(links[0], 1.0);
+                }
+                f
+            })
+            .collect();
+        let refs: Vec<&FlowSpec> = flows.iter().collect();
+        let rates = max_min_rates(&t, &refs);
+        let mut usage = vec![0.0f64; t.len()];
+        for (f, &r) in flows.iter().zip(rates.iter()) {
+            assert!(r > 0.0, "every constrained flow makes progress");
+            for &(rid, w) in &f.demands {
+                usage[rid.0] += w * r;
+            }
+        }
+        for (i, &u) in usage.iter().enumerate() {
+            assert!(
+                u <= t.capacity(ResourceId(i)) + 1e-6,
+                "resource {i} overcommitted: {u}"
+            );
+        }
+    }
+}

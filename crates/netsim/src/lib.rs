@@ -1,0 +1,64 @@
+//! A discrete-event fluid-flow simulator for cluster workloads.
+//!
+//! The paper's evaluation (Figs. 6–12, Tables 2–4) measures wall-clock
+//! times of data transfers on a 24-machine cluster with 1 GbE NICs. We
+//! cannot measure those on a laptop, so the benchmark harness runs the
+//! real connector code at a reduced scale, records what moved where (via
+//! [`record::Recorder`]), scales the recorded volumes back up to paper
+//! size, and replays them through this simulator to obtain the reported
+//! timings and the per-node utilization traces of Table 2.
+//!
+//! # Model
+//!
+//! Everything that consumes capacity over time is a *resource* with a
+//! fixed capacity in units/second: a NIC direction is a resource in
+//! bytes/s, a node's CPU is a resource in core-seconds/s. A *flow* is a
+//! piece of work with a total volume and a weight on each resource it
+//! touches (e.g. a transfer of `B` bytes consumes `1×rate` on the source
+//! egress NIC, `1×rate` on the destination ingress NIC, and
+//! `cpu_per_byte×rate` on each endpoint's CPU). At any instant, active
+//! flows share resources by **weighted max-min fairness** (progressive
+//! filling); per-flow rate caps are expressed as private single-flow
+//! resources, which keeps the allocator uniform.
+//!
+//! Tasks are sequences of phases ([`Phase::Delay`] for fixed latencies
+//! such as connection setup, [`Phase::Flow`] for capacity-consuming
+//! work). Tasks run on executor *pools* with bounded slots — this models
+//! the Spark executor cores that gate how many of the N partitions run
+//! concurrently — and may depend on other tasks (used for barrier steps
+//! such as S2V's final commit).
+//!
+//! ```
+//! use netsim::{FlowSpec, SimEngine, SimTask, Topology, Workload};
+//!
+//! // One 125 MB/s NIC; two tasks each move 500 MB through it, but the
+//! // pool admits them one at a time.
+//! let mut topo = Topology::new();
+//! let nic = topo.add_resource("nic", 125e6);
+//! let mut workload = Workload::new();
+//! let pool = workload.add_pool("executors", 1);
+//! for i in 0..2 {
+//!     workload.add_task(
+//!         SimTask::new(pool, format!("task{i}"))
+//!             .delay(0.5) // connection setup
+//!             .flow(FlowSpec::new(500e6).on(nic, 1.0)),
+//!     );
+//! }
+//! let result = SimEngine::new(topo).run(&workload);
+//! // 2 × (0.5 s setup + 4 s transfer) serialized on the single slot.
+//! assert!((result.makespan - 9.0).abs() < 1e-6);
+//! ```
+
+pub mod engine;
+pub mod flow;
+pub mod record;
+pub mod resource;
+pub mod task;
+pub mod trace;
+
+pub use engine::{SimEngine, SimResult};
+pub use flow::FlowSpec;
+pub use record::{EventKind, NetClass, NodeRef, Recorder};
+pub use resource::{ResourceId, Topology};
+pub use task::{Phase, PoolId, SimTask, TaskId, Workload};
+pub use trace::UtilizationTrace;

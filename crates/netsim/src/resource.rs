@@ -1,0 +1,122 @@
+//! Capacity resources: NIC directions, CPUs, and private rate caps.
+
+/// Identifies a resource within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Resource {
+    pub name: String,
+    pub capacity: f64,
+    /// Whether the utilization trace should sample this resource.
+    pub traced: bool,
+}
+
+/// The set of resources a simulation runs against.
+///
+/// The benchmark harness builds one topology per experiment: for the
+/// paper's 4:8 cluster that is, per database node, an internal-NIC
+/// egress/ingress pair, an external-NIC egress/ingress pair and a CPU
+/// resource, and per compute node an external NIC pair and a CPU.
+#[derive(Debug, Default, Clone)]
+pub struct Topology {
+    pub(crate) resources: Vec<Resource>,
+}
+
+impl Topology {
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a resource with the given capacity (units per simulated
+    /// second). Returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        self.add_resource_inner(name.into(), capacity, true)
+    }
+
+    /// Add a resource that is excluded from utilization traces (used for
+    /// private per-flow rate caps, which are not physical).
+    pub fn add_untraced_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        self.add_resource_inner(name.into(), capacity, false)
+    }
+
+    fn add_resource_inner(&mut self, name: String, capacity: f64, traced: bool) -> ResourceId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource {name} must have positive finite capacity, got {capacity}"
+        );
+        let id = ResourceId(self.resources.len());
+        self.resources.push(Resource {
+            name,
+            capacity,
+            traced,
+        });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    pub fn capacity(&self, id: ResourceId) -> f64 {
+        self.resources[id.0].capacity
+    }
+
+    pub fn name(&self, id: ResourceId) -> &str {
+        &self.resources[id.0].name
+    }
+
+    pub fn is_traced(&self, id: ResourceId) -> bool {
+        self.resources[id.0].traced
+    }
+
+    /// Look a resource up by name (linear scan; topologies are small).
+    pub fn find(&self, name: &str) -> Option<ResourceId> {
+        self.resources
+            .iter()
+            .position(|r| r.name == name)
+            .map(ResourceId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut topo = Topology::new();
+        let a = topo.add_resource("nic0.out", 125e6);
+        let b = topo.add_resource("cpu0", 16.0);
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo.capacity(a), 125e6);
+        assert_eq!(topo.name(b), "cpu0");
+        assert_eq!(topo.find("cpu0"), Some(b));
+        assert_eq!(topo.find("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite capacity")]
+    fn zero_capacity_rejected() {
+        Topology::new().add_resource("bad", 0.0);
+    }
+
+    #[test]
+    fn untraced_resources_flagged() {
+        let mut topo = Topology::new();
+        let cap = topo.add_untraced_resource("flow-cap", 40e6);
+        let nic = topo.add_resource("nic", 125e6);
+        assert!(!topo.is_traced(cap));
+        assert!(topo.is_traced(nic));
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulated tasks: phase sequences gated by executor pools and
+//! dependencies.
+
+use crate::flow::FlowSpec;
+
+/// Index of a task within a [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Index of an executor pool within a [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolId(pub usize);
+
+/// One step of a task.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// A fixed latency (connection setup, query planning, commit fsync).
+    Delay(f64),
+    /// Capacity-consuming work allocated by max-min fairness.
+    Flow(FlowSpec),
+}
+
+/// A task: an ordered list of phases, bound to an executor pool, with
+/// optional predecessors that must finish first.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    pub pool: PoolId,
+    pub phases: Vec<Phase>,
+    pub deps: Vec<TaskId>,
+    /// Label carried through to results, for debugging/reporting.
+    pub label: String,
+}
+
+impl SimTask {
+    pub fn new(pool: PoolId, label: impl Into<String>) -> SimTask {
+        SimTask {
+            pool,
+            phases: Vec::new(),
+            deps: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    pub fn delay(mut self, seconds: f64) -> SimTask {
+        assert!(seconds >= 0.0, "delay must be non-negative");
+        if seconds > 0.0 {
+            self.phases.push(Phase::Delay(seconds));
+        }
+        self
+    }
+
+    pub fn flow(mut self, flow: FlowSpec) -> SimTask {
+        if flow.volume > 0.0 {
+            self.phases.push(Phase::Flow(flow));
+        }
+        self
+    }
+
+    pub fn after(mut self, dep: TaskId) -> SimTask {
+        self.deps.push(dep);
+        self
+    }
+
+    pub fn after_all(mut self, deps: impl IntoIterator<Item = TaskId>) -> SimTask {
+        self.deps.extend(deps);
+        self
+    }
+}
+
+/// A pool of executor slots. Tasks assigned to the pool wait FIFO for a
+/// free slot; this models Spark's bounded executor cores (a 256-partition
+/// job on a cluster with 192 task slots runs in waves, which is part of
+/// why very high partition counts lose in Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Pool {
+    pub name: String,
+    pub slots: usize,
+}
+
+/// A complete simulated workload: pools plus tasks.
+#[derive(Debug, Default, Clone)]
+pub struct Workload {
+    pub(crate) pools: Vec<Pool>,
+    pub(crate) tasks: Vec<SimTask>,
+}
+
+impl Workload {
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    pub fn add_pool(&mut self, name: impl Into<String>, slots: usize) -> PoolId {
+        assert!(slots > 0, "pool must have at least one slot");
+        let id = PoolId(self.pools.len());
+        self.pools.push(Pool {
+            name: name.into(),
+            slots,
+        });
+        id
+    }
+
+    pub fn add_task(&mut self, task: SimTask) -> TaskId {
+        assert!(
+            task.pool.0 < self.pools.len(),
+            "task references unknown pool"
+        );
+        for dep in &task.deps {
+            assert!(dep.0 < self.tasks.len(), "task depends on a later task");
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        id
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Topology;
+
+    #[test]
+    fn builder_drops_zero_phases() {
+        let mut topo = Topology::new();
+        let link = topo.add_resource("l", 1.0);
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 2);
+        let t = SimTask::new(pool, "t")
+            .delay(0.0)
+            .flow(FlowSpec::new(0.0).on(link, 1.0))
+            .delay(1.0);
+        assert_eq!(t.phases.len(), 1);
+        w.add_task(t);
+        assert_eq!(w.task_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on a later task")]
+    fn forward_deps_rejected() {
+        let mut w = Workload::new();
+        let pool = w.add_pool("p", 1);
+        w.add_task(SimTask::new(pool, "t").after(TaskId(5)));
+    }
+}

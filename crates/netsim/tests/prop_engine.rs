@@ -1,0 +1,120 @@
+//! Property tests for the discrete-event engine: makespans respect
+//! physical lower bounds, determinism holds, and slot limits behave.
+
+use netsim::{FlowSpec, SimEngine, SimTask, Topology, Workload};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomJob {
+    link_capacity: f64,
+    slots: usize,
+    /// Per task: (delay seconds, transfer volume).
+    tasks: Vec<(f64, f64)>,
+}
+
+fn arb_job() -> impl Strategy<Value = RandomJob> {
+    (
+        10.0f64..1000.0,
+        1usize..8,
+        proptest::collection::vec((0.0f64..5.0, 0.0f64..5000.0), 1..20),
+    )
+        .prop_map(|(link_capacity, slots, tasks)| RandomJob {
+            link_capacity,
+            slots,
+            tasks,
+        })
+}
+
+fn run(job: &RandomJob) -> netsim::SimResult {
+    let mut topo = Topology::new();
+    let link = topo.add_resource("link", job.link_capacity);
+    let mut workload = Workload::new();
+    let pool = workload.add_pool("p", job.slots);
+    for (i, &(delay, volume)) in job.tasks.iter().enumerate() {
+        workload.add_task(
+            SimTask::new(pool, format!("t{i}"))
+                .delay(delay)
+                .flow(FlowSpec::new(volume).on(link, 1.0)),
+        );
+    }
+    SimEngine::new(topo).run(&workload)
+}
+
+proptest! {
+    #[test]
+    fn makespan_respects_lower_bounds(job in arb_job()) {
+        let result = run(&job);
+
+        // Bound 1: total volume over link capacity.
+        let total_volume: f64 = job.tasks.iter().map(|t| t.1).sum();
+        let volume_bound = total_volume / job.link_capacity;
+        // Bound 2: the longest single task run alone.
+        let task_bound = job
+            .tasks
+            .iter()
+            .map(|&(d, v)| d + v / job.link_capacity)
+            .fold(0.0, f64::max);
+        // Bound 3: critical path through the slot-limited pool
+        // (delays + transfers cannot beat total work / slots).
+        let work_bound = job
+            .tasks
+            .iter()
+            .map(|&(d, v)| d + v / job.link_capacity)
+            .sum::<f64>()
+            / job.slots as f64;
+
+        let lower = volume_bound.max(task_bound).max(work_bound * 0.999_999);
+        prop_assert!(
+            result.makespan >= lower * (1.0 - 1e-6) - 1e-9,
+            "makespan {} below lower bound {}",
+            result.makespan,
+            lower
+        );
+
+        // Upper bound: fully serialized execution.
+        let serial: f64 = job
+            .tasks
+            .iter()
+            .map(|&(d, v)| d + v / job.link_capacity)
+            .sum();
+        prop_assert!(
+            result.makespan <= serial * (1.0 + 1e-6) + 1e-9,
+            "makespan {} exceeds serial bound {}",
+            result.makespan,
+            serial
+        );
+
+        // Every task finished, in-window.
+        for (i, &finish) in result.task_finish.iter().enumerate() {
+            prop_assert!(finish.is_finite(), "task {i} never finished");
+            prop_assert!(finish <= result.makespan + 1e-9);
+            prop_assert!(result.task_start[i] <= finish + 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(job in arb_job()) {
+        let a = run(&job);
+        let b = run(&job);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.task_finish, b.task_finish);
+    }
+
+    #[test]
+    fn single_slot_pool_serializes_exactly(
+        tasks in proptest::collection::vec((0.1f64..2.0, 10.0f64..500.0), 1..10)
+    ) {
+        let job = RandomJob {
+            link_capacity: 100.0,
+            slots: 1,
+            tasks,
+        };
+        let result = run(&job);
+        let serial: f64 = job
+            .tasks
+            .iter()
+            .map(|&(d, v)| d + v / job.link_capacity)
+            .sum();
+        prop_assert!((result.makespan - serial).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the weighted max-min fair allocator: capacity
+//! feasibility, cap respect, progress, and work conservation on
+//! arbitrary topologies.
+
+use netsim::flow::max_min_rates;
+use netsim::{FlowSpec, Topology};
+use proptest::prelude::*;
+
+/// Per flow: demands as `(resource index, weight)`, optional cap.
+type RawFlow = (Vec<(usize, f64)>, Option<f64>);
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    capacities: Vec<f64>,
+    flows: Vec<RawFlow>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let caps = proptest::collection::vec(1.0f64..1000.0, 1..6);
+    caps.prop_flat_map(|capacities| {
+        let r = capacities.len();
+        let demand = (0..r, 0.1f64..4.0);
+        let flow = (
+            proptest::collection::vec(demand, 1..4),
+            proptest::option::of(0.5f64..500.0),
+        );
+        let flows = proptest::collection::vec(flow, 1..12);
+        (Just(capacities), flows).prop_map(|(capacities, raw)| Scenario {
+            capacities,
+            flows: raw
+                .into_iter()
+                .map(|(mut demands, cap)| {
+                    // Deduplicate resources within a flow (weights add).
+                    demands.sort_by_key(|&(r, _)| r);
+                    demands.dedup_by(|a, b| {
+                        if a.0 == b.0 {
+                            b.1 += a.1;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    (demands, cap)
+                })
+                .collect(),
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn allocation_invariants(scenario in arb_scenario()) {
+        let mut topo = Topology::new();
+        let ids: Vec<_> = scenario
+            .capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| topo.add_resource(format!("r{i}"), c))
+            .collect();
+        let flows: Vec<FlowSpec> = scenario
+            .flows
+            .iter()
+            .map(|(demands, cap)| {
+                let mut f = FlowSpec::new(1.0);
+                for &(r, w) in demands {
+                    f = f.on(ids[r], w);
+                }
+                if let Some(c) = cap {
+                    f = f.capped(*c);
+                }
+                f
+            })
+            .collect();
+        let refs: Vec<&FlowSpec> = flows.iter().collect();
+        let rates = max_min_rates(&topo, &refs);
+
+        // 1. Feasibility: no resource overcommitted.
+        let mut usage = vec![0.0f64; scenario.capacities.len()];
+        for (f, &rate) in flows.iter().zip(&rates) {
+            prop_assert!(rate.is_finite());
+            for &(rid, w) in &f.demands {
+                usage[rid.index()] += w * rate;
+            }
+        }
+        for (u, &c) in usage.iter().zip(&scenario.capacities) {
+            prop_assert!(*u <= c * (1.0 + 1e-6), "overcommitted: {u} > {c}");
+        }
+
+        // 2. Caps respected; every flow makes progress.
+        for (f, &rate) in flows.iter().zip(&rates) {
+            prop_assert!(rate > 0.0, "constrained flow starved");
+            if let Some(cap) = f.rate_cap {
+                prop_assert!(rate <= cap * (1.0 + 1e-9), "cap violated: {rate} > {cap}");
+            }
+        }
+
+        // 3. Work conservation: a flow below its cap must be limited by
+        //    some (nearly) saturated resource it traverses.
+        for (f, &rate) in flows.iter().zip(&rates) {
+            let at_cap = f.rate_cap.is_some_and(|c| rate >= c * (1.0 - 1e-6));
+            if at_cap {
+                continue;
+            }
+            let bottlenecked = f.demands.iter().any(|&(rid, _)| {
+                usage[rid.index()] >= scenario.capacities[rid.index()] * (1.0 - 1e-6)
+            });
+            prop_assert!(
+                bottlenecked,
+                "flow at rate {rate} has headroom on every resource it uses"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_flows_get_identical_rates(
+        n in 2usize..10,
+        cap in 10.0f64..1000.0,
+    ) {
+        let mut topo = Topology::new();
+        let link = topo.add_resource("link", cap);
+        let flows: Vec<FlowSpec> =
+            (0..n).map(|_| FlowSpec::new(1.0).on(link, 1.0)).collect();
+        let refs: Vec<&FlowSpec> = flows.iter().collect();
+        let rates = max_min_rates(&topo, &refs);
+        for &r in &rates {
+            prop_assert!((r - cap / n as f64).abs() < 1e-6);
+        }
+    }
+}

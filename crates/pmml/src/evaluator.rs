@@ -1,0 +1,215 @@
+//! Model evaluators — the "generic model evaluator for models whose
+//! input is a numeric vector and the output is a number" of Sec. 3.3.
+
+use common::error::{Error, Result};
+
+use crate::model::{MiningFunction, NormalizationMethod, PmmlDocument, PmmlModel};
+
+/// An executable form of a parsed PMML document.
+///
+/// All supported models take a numeric feature vector and produce a
+/// number: the regression value, the positive-class probability (logit
+/// models), or the nearest cluster index. This matches the scoring UDF
+/// contract the paper's `PMMLPredict` exposes to SQL.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    inputs: Vec<String>,
+    kind: EvalKind,
+}
+
+#[derive(Debug, Clone)]
+enum EvalKind {
+    Regression {
+        intercept: f64,
+        coefficients: Vec<f64>,
+        normalization: NormalizationMethod,
+        classification: bool,
+    },
+    Clustering {
+        centers: Vec<Vec<f64>>,
+    },
+}
+
+impl Evaluator {
+    pub fn from_document(doc: &PmmlDocument) -> Result<Evaluator> {
+        match &doc.model {
+            PmmlModel::Regression(m) => Ok(Evaluator {
+                inputs: m.coefficients.iter().map(|(n, _)| n.clone()).collect(),
+                kind: EvalKind::Regression {
+                    intercept: m.intercept,
+                    coefficients: m.coefficients.iter().map(|(_, c)| *c).collect(),
+                    normalization: m.normalization,
+                    classification: m.function == MiningFunction::Classification,
+                },
+            }),
+            PmmlModel::Clustering(m) => {
+                if m.clusters.is_empty() {
+                    return Err(Error::Eval("clustering model has no clusters".into()));
+                }
+                Ok(Evaluator {
+                    inputs: m.fields.clone(),
+                    kind: EvalKind::Clustering {
+                        centers: m.clusters.iter().map(|(_, c)| c.clone()).collect(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Parse a PMML XML string and build its evaluator.
+    pub fn from_xml(xml: &str) -> Result<Evaluator> {
+        Evaluator::from_document(&PmmlDocument::from_xml(xml)?)
+    }
+
+    /// Input field names, in the order `predict` expects them.
+    pub fn input_fields(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Score a feature vector.
+    pub fn predict(&self, features: &[f64]) -> Result<f64> {
+        if features.len() != self.inputs.len() {
+            return Err(Error::Eval(format!(
+                "model expects {} features, got {}",
+                self.inputs.len(),
+                features.len()
+            )));
+        }
+        Ok(match &self.kind {
+            EvalKind::Regression {
+                intercept,
+                coefficients,
+                normalization,
+                ..
+            } => {
+                let score = intercept
+                    + coefficients
+                        .iter()
+                        .zip(features)
+                        .map(|(c, x)| c * x)
+                        .sum::<f64>();
+                match normalization {
+                    NormalizationMethod::None => score,
+                    NormalizationMethod::Logit => 1.0 / (1.0 + (-score).exp()),
+                }
+            }
+            EvalKind::Clustering { centers } => {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (i, center) in centers.iter().enumerate() {
+                    let d: f64 = center
+                        .iter()
+                        .zip(features)
+                        .map(|(c, x)| (c - x) * (c - x))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                best as f64
+            }
+        })
+    }
+
+    /// Binary class decision for classification models: probability
+    /// thresholded at 0.5. Errors for non-classification models.
+    pub fn predict_class(&self, features: &[f64]) -> Result<bool> {
+        match &self.kind {
+            EvalKind::Regression {
+                classification: true,
+                ..
+            } => Ok(self.predict(features)? >= 0.5),
+            _ => Err(Error::Eval(
+                "predict_class requires a classification model".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ClusteringModel, RegressionModel};
+
+    fn linear_doc() -> PmmlDocument {
+        PmmlDocument::new(
+            "m",
+            "test",
+            PmmlModel::Regression(RegressionModel {
+                function: MiningFunction::Regression,
+                normalization: NormalizationMethod::None,
+                intercept: 1.0,
+                coefficients: vec![("a".into(), 2.0), ("b".into(), -1.0)],
+                target: "y".into(),
+            }),
+        )
+    }
+
+    #[test]
+    fn linear_regression_prediction() {
+        let e = Evaluator::from_document(&linear_doc()).unwrap();
+        assert_eq!(e.predict(&[3.0, 4.0]).unwrap(), 1.0 + 6.0 - 4.0);
+        assert_eq!(e.input_fields(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn logistic_prediction_is_probability() {
+        let doc = PmmlDocument::new(
+            "m",
+            "test",
+            PmmlModel::Regression(RegressionModel {
+                function: MiningFunction::Classification,
+                normalization: NormalizationMethod::Logit,
+                intercept: 0.0,
+                coefficients: vec![("x".into(), 1.0)],
+                target: "label".into(),
+            }),
+        );
+        let e = Evaluator::from_document(&doc).unwrap();
+        let p0 = e.predict(&[0.0]).unwrap();
+        assert!((p0 - 0.5).abs() < 1e-12);
+        let p_hi = e.predict(&[10.0]).unwrap();
+        assert!(p_hi > 0.999);
+        assert!(e.predict_class(&[10.0]).unwrap());
+        assert!(!e.predict_class(&[-10.0]).unwrap());
+    }
+
+    #[test]
+    fn clustering_prediction_nearest_center() {
+        let doc = PmmlDocument::new(
+            "m",
+            "test",
+            PmmlModel::Clustering(ClusteringModel {
+                fields: vec!["a".into(), "b".into()],
+                clusters: vec![
+                    ("c0".into(), vec![0.0, 0.0]),
+                    ("c1".into(), vec![10.0, 10.0]),
+                ],
+            }),
+        );
+        let e = Evaluator::from_document(&doc).unwrap();
+        assert_eq!(e.predict(&[1.0, 1.0]).unwrap(), 0.0);
+        assert_eq!(e.predict(&[9.0, 8.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let e = Evaluator::from_document(&linear_doc()).unwrap();
+        assert!(e.predict(&[1.0]).is_err());
+        assert!(e.predict(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn predict_class_requires_classification() {
+        let e = Evaluator::from_document(&linear_doc()).unwrap();
+        assert!(e.predict_class(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn xml_round_trip_to_evaluator() {
+        let xml = linear_doc().to_xml();
+        let e = Evaluator::from_xml(&xml).unwrap();
+        assert_eq!(e.predict(&[1.0, 1.0]).unwrap(), 2.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! PMML (Predictive Model Markup Language) support — a mini-JPMML.
+//!
+//! The paper's MD component (Sec. 3.3) exports models trained in the
+//! compute engine's ML library as PMML, deploys the documents into the
+//! database's internal DFS, and evaluates them from SQL via a generic
+//! scoring UDF whose input is a numeric vector and whose output is a
+//! number. This crate provides everything that requires:
+//!
+//! * a small XML writer and parser ([`xml`]),
+//! * the PMML document model ([`model`]): header, data dictionary, and
+//!   the model families the paper names — regression (linear & logistic)
+//!   and clustering (k-means),
+//! * evaluators ([`evaluator`]) that re-execute a parsed document.
+
+pub mod evaluator;
+pub mod model;
+pub mod xml;
+
+pub use evaluator::Evaluator;
+pub use model::{
+    ClusteringModel, DataField, MiningFunction, NormalizationMethod, PmmlDocument, PmmlModel,
+    RegressionModel,
+};

@@ -1,0 +1,490 @@
+//! The PMML document model and its XML (de)serialization.
+//!
+//! We target the PMML 4.1 general structure the paper cites: a `PMML`
+//! root with `Header` and `DataDictionary`, followed by one model
+//! element. Two model families cover what the paper's pipeline exports:
+//! `RegressionModel` (linear regression, and binary logistic regression
+//! via the logit normalization method) and `ClusteringModel` (k-means
+//! with squared Euclidean comparison).
+
+use common::error::{Error, Result};
+
+use crate::xml::{parse, XmlElement};
+
+/// PMML mining functions used by the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiningFunction {
+    Regression,
+    Classification,
+    Clustering,
+}
+
+impl MiningFunction {
+    fn pmml_name(&self) -> &'static str {
+        match self {
+            MiningFunction::Regression => "regression",
+            MiningFunction::Classification => "classification",
+            MiningFunction::Clustering => "clustering",
+        }
+    }
+
+    fn from_pmml_name(name: &str) -> Result<MiningFunction> {
+        match name {
+            "regression" => Ok(MiningFunction::Regression),
+            "classification" => Ok(MiningFunction::Classification),
+            "clustering" => Ok(MiningFunction::Clustering),
+            other => Err(Error::Parse(format!("unknown mining function {other:?}"))),
+        }
+    }
+}
+
+/// Output normalization for regression models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormalizationMethod {
+    #[default]
+    None,
+    /// Logistic link: `1 / (1 + e^-score)` — binary logistic regression.
+    Logit,
+}
+
+impl NormalizationMethod {
+    fn pmml_name(&self) -> &'static str {
+        match self {
+            NormalizationMethod::None => "none",
+            NormalizationMethod::Logit => "logit",
+        }
+    }
+
+    fn from_pmml_name(name: &str) -> Result<NormalizationMethod> {
+        match name {
+            "none" => Ok(NormalizationMethod::None),
+            "logit" => Ok(NormalizationMethod::Logit),
+            other => Err(Error::Parse(format!(
+                "unknown normalization method {other:?}"
+            ))),
+        }
+    }
+}
+
+/// An entry of the data dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataField {
+    pub name: String,
+    /// "continuous" or "categorical".
+    pub optype: String,
+    /// PMML data type name, e.g. "double".
+    pub dtype: String,
+}
+
+impl DataField {
+    pub fn continuous(name: impl Into<String>) -> DataField {
+        DataField {
+            name: name.into(),
+            optype: "continuous".into(),
+            dtype: "double".into(),
+        }
+    }
+}
+
+/// A (linear or logistic) regression model: `score = intercept +
+/// Σ coefficient_i · feature_i`, optionally normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionModel {
+    pub function: MiningFunction,
+    pub normalization: NormalizationMethod,
+    pub intercept: f64,
+    /// `(field name, coefficient)` pairs, in feature order.
+    pub coefficients: Vec<(String, f64)>,
+    /// Name of the predicted field.
+    pub target: String,
+}
+
+/// A clustering model: centers compared by squared Euclidean distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringModel {
+    /// Feature field names, in center-coordinate order.
+    pub fields: Vec<String>,
+    /// `(cluster id, center coordinates)` pairs.
+    pub clusters: Vec<(String, Vec<f64>)>,
+}
+
+/// The model payload of a document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmmlModel {
+    Regression(RegressionModel),
+    Clustering(ClusteringModel),
+}
+
+impl PmmlModel {
+    /// Names of the input fields in evaluation order.
+    pub fn input_fields(&self) -> Vec<String> {
+        match self {
+            PmmlModel::Regression(m) => m.coefficients.iter().map(|(n, _)| n.clone()).collect(),
+            PmmlModel::Clustering(m) => m.fields.clone(),
+        }
+    }
+
+    /// A short type tag ("regression", "classification", "clustering")
+    /// used as model metadata by the deployment tables.
+    pub fn model_type(&self) -> &'static str {
+        match self {
+            PmmlModel::Regression(m) => m.function.pmml_name(),
+            PmmlModel::Clustering(_) => "clustering",
+        }
+    }
+}
+
+/// A complete PMML document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmmlDocument {
+    pub version: String,
+    /// Producing application name recorded in the header.
+    pub application: String,
+    pub model_name: String,
+    pub model: PmmlModel,
+}
+
+impl PmmlDocument {
+    pub fn new(
+        model_name: impl Into<String>,
+        application: impl Into<String>,
+        model: PmmlModel,
+    ) -> PmmlDocument {
+        PmmlDocument {
+            version: "4.1".into(),
+            application: application.into(),
+            model_name: model_name.into(),
+            model,
+        }
+    }
+
+    /// Serialize to a PMML XML document.
+    pub fn to_xml(&self) -> String {
+        let mut root = XmlElement::new("PMML")
+            .attr("version", &self.version)
+            .attr("xmlns", "http://www.dmg.org/PMML-4_1");
+        root = root.child(
+            XmlElement::new("Header")
+                .attr("description", "fabric model export")
+                .child(XmlElement::new("Application").attr("name", &self.application)),
+        );
+
+        // Data dictionary from the model's fields.
+        let mut dict = XmlElement::new("DataDictionary");
+        let mut fields: Vec<DataField> = self
+            .model
+            .input_fields()
+            .into_iter()
+            .map(DataField::continuous)
+            .collect();
+        if let PmmlModel::Regression(m) = &self.model {
+            fields.push(DataField {
+                name: m.target.clone(),
+                optype: "continuous".into(),
+                dtype: "double".into(),
+            });
+        }
+        dict = dict.attr("numberOfFields", fields.len());
+        for f in &fields {
+            dict = dict.child(
+                XmlElement::new("DataField")
+                    .attr("name", &f.name)
+                    .attr("optype", &f.optype)
+                    .attr("dataType", &f.dtype),
+            );
+        }
+        root = root.child(dict);
+
+        root = root.child(match &self.model {
+            PmmlModel::Regression(m) => regression_to_xml(&self.model_name, m),
+            PmmlModel::Clustering(m) => clustering_to_xml(&self.model_name, m),
+        });
+        root.to_document()
+    }
+
+    /// Parse a PMML XML document.
+    pub fn from_xml(xml: &str) -> Result<PmmlDocument> {
+        let root = parse(xml)?;
+        if root.name != "PMML" {
+            return Err(Error::Parse(format!(
+                "root element is <{}>, not <PMML>",
+                root.name
+            )));
+        }
+        let version = root.get_attr("version").unwrap_or("4.1").to_string();
+        let application = root
+            .find("Header")
+            .and_then(|h| h.find("Application"))
+            .and_then(|a| a.get_attr("name"))
+            .unwrap_or("unknown")
+            .to_string();
+
+        if let Some(el) = root.find("RegressionModel") {
+            let (name, model) = regression_from_xml(el)?;
+            return Ok(PmmlDocument {
+                version,
+                application,
+                model_name: name,
+                model: PmmlModel::Regression(model),
+            });
+        }
+        if let Some(el) = root.find("ClusteringModel") {
+            let (name, model) = clustering_from_xml(el)?;
+            return Ok(PmmlDocument {
+                version,
+                application,
+                model_name: name,
+                model: PmmlModel::Clustering(model),
+            });
+        }
+        Err(Error::Parse(
+            "no supported model element in PMML document".into(),
+        ))
+    }
+}
+
+fn mining_schema(inputs: &[String], target: Option<&str>) -> XmlElement {
+    let mut schema = XmlElement::new("MiningSchema");
+    for f in inputs {
+        schema = schema.child(
+            XmlElement::new("MiningField")
+                .attr("name", f)
+                .attr("usageType", "active"),
+        );
+    }
+    if let Some(t) = target {
+        schema = schema.child(
+            XmlElement::new("MiningField")
+                .attr("name", t)
+                .attr("usageType", "predicted"),
+        );
+    }
+    schema
+}
+
+fn regression_to_xml(model_name: &str, m: &RegressionModel) -> XmlElement {
+    let inputs: Vec<String> = m.coefficients.iter().map(|(n, _)| n.clone()).collect();
+    let mut table = XmlElement::new("RegressionTable").attr("intercept", m.intercept);
+    if m.function == MiningFunction::Classification {
+        table = table.attr("targetCategory", "1");
+    }
+    for (name, coef) in &m.coefficients {
+        table = table.child(
+            XmlElement::new("NumericPredictor")
+                .attr("name", name)
+                .attr("coefficient", coef),
+        );
+    }
+    XmlElement::new("RegressionModel")
+        .attr("modelName", model_name)
+        .attr("functionName", m.function.pmml_name())
+        .attr("normalizationMethod", m.normalization.pmml_name())
+        .child(mining_schema(&inputs, Some(&m.target)))
+        .child(table)
+}
+
+fn regression_from_xml(el: &XmlElement) -> Result<(String, RegressionModel)> {
+    let model_name = el.get_attr("modelName").unwrap_or("model").to_string();
+    let function = MiningFunction::from_pmml_name(el.require_attr("functionName")?)?;
+    let normalization = match el.get_attr("normalizationMethod") {
+        Some(n) => NormalizationMethod::from_pmml_name(n)?,
+        None => NormalizationMethod::None,
+    };
+    let table = el.require("RegressionTable")?;
+    let intercept = parse_f64(table.require_attr("intercept")?)?;
+    let mut coefficients = Vec::new();
+    for p in table.find_all("NumericPredictor") {
+        coefficients.push((
+            p.require_attr("name")?.to_string(),
+            parse_f64(p.require_attr("coefficient")?)?,
+        ));
+    }
+    let target = el
+        .find("MiningSchema")
+        .and_then(|s| {
+            s.find_all("MiningField")
+                .find(|f| f.get_attr("usageType") == Some("predicted"))
+        })
+        .and_then(|f| f.get_attr("name"))
+        .unwrap_or("prediction")
+        .to_string();
+    Ok((
+        model_name,
+        RegressionModel {
+            function,
+            normalization,
+            intercept,
+            coefficients,
+            target,
+        },
+    ))
+}
+
+fn clustering_to_xml(model_name: &str, m: &ClusteringModel) -> XmlElement {
+    let mut el = XmlElement::new("ClusteringModel")
+        .attr("modelName", model_name)
+        .attr("functionName", "clustering")
+        .attr("modelClass", "centerBased")
+        .attr("numberOfClusters", m.clusters.len())
+        .child(mining_schema(&m.fields, None))
+        .child(
+            XmlElement::new("ComparisonMeasure")
+                .attr("kind", "distance")
+                .child(XmlElement::new("squaredEuclidean")),
+        );
+    for f in &m.fields {
+        el = el.child(
+            XmlElement::new("ClusteringField")
+                .attr("field", f)
+                .attr("compareFunction", "absDiff"),
+        );
+    }
+    for (id, center) in &m.clusters {
+        let coords: Vec<String> = center.iter().map(|c| c.to_string()).collect();
+        el = el.child(
+            XmlElement::new("Cluster").attr("id", id).child(
+                XmlElement::new("Array")
+                    .attr("n", center.len())
+                    .attr("type", "real")
+                    .with_text(coords.join(" ")),
+            ),
+        );
+    }
+    el
+}
+
+fn clustering_from_xml(el: &XmlElement) -> Result<(String, ClusteringModel)> {
+    let model_name = el.get_attr("modelName").unwrap_or("model").to_string();
+    let fields: Vec<String> = el
+        .find_all("ClusteringField")
+        .map(|f| f.require_attr("field").map(str::to_string))
+        .collect::<Result<_>>()?;
+    let mut clusters = Vec::new();
+    for c in el.find_all("Cluster") {
+        let id = c.require_attr("id")?.to_string();
+        let array = c.require("Array")?;
+        let coords = array
+            .text
+            .split_whitespace()
+            .map(parse_f64)
+            .collect::<Result<Vec<_>>>()?;
+        if coords.len() != fields.len() {
+            return Err(Error::Parse(format!(
+                "cluster {id} has {} coordinates for {} fields",
+                coords.len(),
+                fields.len()
+            )));
+        }
+        clusters.push((id, coords));
+    }
+    if clusters.is_empty() {
+        return Err(Error::Parse("clustering model has no clusters".into()));
+    }
+    Ok((model_name, ClusteringModel { fields, clusters }))
+}
+
+fn parse_f64(s: &str) -> Result<f64> {
+    s.parse::<f64>()
+        .map_err(|e| Error::Parse(format!("bad number {s:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear() -> PmmlDocument {
+        PmmlDocument::new(
+            "price_model",
+            "sparklet-mllib",
+            PmmlModel::Regression(RegressionModel {
+                function: MiningFunction::Regression,
+                normalization: NormalizationMethod::None,
+                intercept: 1.5,
+                coefficients: vec![("sqft".into(), 0.25), ("rooms".into(), -3.0)],
+                target: "price".into(),
+            }),
+        )
+    }
+
+    fn logistic() -> PmmlDocument {
+        PmmlDocument::new(
+            "churn",
+            "sparklet-mllib",
+            PmmlModel::Regression(RegressionModel {
+                function: MiningFunction::Classification,
+                normalization: NormalizationMethod::Logit,
+                intercept: -0.5,
+                coefficients: vec![("x1".into(), 2.0), ("x2".into(), 0.125)],
+                target: "label".into(),
+            }),
+        )
+    }
+
+    fn kmeans() -> PmmlDocument {
+        PmmlDocument::new(
+            "segments",
+            "sparklet-mllib",
+            PmmlModel::Clustering(ClusteringModel {
+                fields: vec!["a".into(), "b".into()],
+                clusters: vec![("0".into(), vec![0.0, 0.0]), ("1".into(), vec![10.0, -1.5])],
+            }),
+        )
+    }
+
+    #[test]
+    fn regression_round_trip() {
+        let doc = linear();
+        let xml = doc.to_xml();
+        assert!(xml.contains("functionName=\"regression\""));
+        assert_eq!(PmmlDocument::from_xml(&xml).unwrap(), doc);
+    }
+
+    #[test]
+    fn logistic_round_trip_keeps_logit() {
+        let doc = logistic();
+        let back = PmmlDocument::from_xml(&doc.to_xml()).unwrap();
+        assert_eq!(back, doc);
+        let PmmlModel::Regression(m) = &back.model else {
+            panic!()
+        };
+        assert_eq!(m.normalization, NormalizationMethod::Logit);
+        assert_eq!(m.function, MiningFunction::Classification);
+    }
+
+    #[test]
+    fn clustering_round_trip() {
+        let doc = kmeans();
+        let xml = doc.to_xml();
+        assert!(xml.contains("squaredEuclidean"));
+        assert_eq!(PmmlDocument::from_xml(&xml).unwrap(), doc);
+    }
+
+    #[test]
+    fn input_fields_order() {
+        assert_eq!(linear().model.input_fields(), vec!["sqft", "rooms"]);
+        assert_eq!(kmeans().model.input_fields(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn model_type_tags() {
+        assert_eq!(linear().model.model_type(), "regression");
+        assert_eq!(logistic().model.model_type(), "classification");
+        assert_eq!(kmeans().model.model_type(), "clustering");
+    }
+
+    #[test]
+    fn rejects_document_without_model() {
+        let xml = XmlElement::new("PMML").attr("version", "4.1").to_document();
+        assert!(PmmlDocument::from_xml(&xml).is_err());
+    }
+
+    #[test]
+    fn rejects_cluster_arity_mismatch() {
+        let mut doc = kmeans();
+        let PmmlModel::Clustering(m) = &mut doc.model else {
+            panic!()
+        };
+        m.clusters[0].1.push(9.0);
+        assert!(PmmlDocument::from_xml(&doc.to_xml()).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! A small XML element model with writer and parser.
+//!
+//! PMML is XML; rather than pull in an XML dependency this module
+//! implements the subset PMML documents need: nested elements,
+//! attributes, text content, the `<?xml ?>` declaration, comments, and
+//! the five standard entities.
+
+use std::fmt::Write as _;
+
+use common::error::{Error, Result};
+
+/// An XML element: name, attributes, children, and (leaf) text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlElement>,
+    pub text: String,
+}
+
+impl XmlElement {
+    pub fn new(name: impl Into<String>) -> XmlElement {
+        XmlElement {
+            name: name.into(),
+            ..XmlElement::default()
+        }
+    }
+
+    pub fn attr(mut self, name: impl Into<String>, value: impl ToString) -> XmlElement {
+        self.attrs.push((name.into(), value.to_string()));
+        self
+    }
+
+    pub fn child(mut self, child: XmlElement) -> XmlElement {
+        self.children.push(child);
+        self
+    }
+
+    pub fn with_text(mut self, text: impl Into<String>) -> XmlElement {
+        self.text = text.into();
+        self
+    }
+
+    /// Value of the named attribute, if present.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required attribute, with a descriptive error.
+    pub fn require_attr(&self, name: &str) -> Result<&str> {
+        self.get_attr(name).ok_or_else(|| {
+            Error::Parse(format!(
+                "element <{}> missing attribute {name:?}",
+                self.name
+            ))
+        })
+    }
+
+    /// First child with the given element name.
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Required child element, with a descriptive error.
+    pub fn require(&self, name: &str) -> Result<&XmlElement> {
+        self.find(name)
+            .ok_or_else(|| Error::Parse(format!("element <{}> missing child <{name}>", self.name)))
+    }
+
+    /// All children with the given element name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serialize with an XML declaration and 2-space indentation.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}=\"{}\"", escape(v));
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write_indented(out, depth + 1);
+            }
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+        let _ = writeln!(out, "</{}>", self.name);
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp..];
+        let Some(semi) = after.find(';') else {
+            return Err(Error::Parse("unterminated entity".into()));
+        };
+        match &after[..=semi] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => return Err(Error::Parse(format!("unknown entity {other}"))),
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parse an XML document into its root element.
+pub fn parse(input: &str) -> Result<XmlElement> {
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_whitespace_and_comments()?;
+    if parser.pos != parser.input.len() {
+        return Err(Error::Parse("trailing content after root element".into()));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                let Some(end) = find_from(self.input, self.pos, b"-->") else {
+                    return Err(Error::Parse("unterminated comment".into()));
+                };
+                self.pos = end + 3;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            let Some(end) = find_from(self.input, self.pos, b"?>") else {
+                return Err(Error::Parse("unterminated xml declaration".into()));
+            };
+            self.pos = end + 2;
+        }
+        self.skip_whitespace_and_comments()
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b':' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::Parse(format!("expected name at byte {}", self.pos)));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement> {
+        if self.peek() != Some(b'<') {
+            return Err(Error::Parse(format!("expected '<' at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(name);
+
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(Error::Parse("expected '>' after '/'".into()));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(Error::Parse(format!("attribute {attr_name} missing '='")));
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(Error::Parse(format!(
+                            "attribute {attr_name} value not quoted"
+                        )));
+                    }
+                    let quote = quote.unwrap();
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(Error::Parse(format!(
+                            "unterminated value for attribute {attr_name}"
+                        )));
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    element.attrs.push((attr_name, unescape(&raw)?));
+                }
+                None => return Err(Error::Parse("unexpected end of input in tag".into())),
+            }
+        }
+
+        // Content: text and child elements until the closing tag.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                let Some(end) = find_from(self.input, self.pos, b"-->") else {
+                    return Err(Error::Parse("unterminated comment".into()));
+                };
+                self.pos = end + 3;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != element.name {
+                    return Err(Error::Parse(format!(
+                        "mismatched close tag: <{}> closed by </{close}>",
+                        element.name
+                    )));
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(Error::Parse("expected '>' in close tag".into()));
+                }
+                self.pos += 1;
+                element.text = text.trim().to_string();
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => element.children.push(self.parse_element()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    text.push_str(&unescape(&raw)?);
+                }
+                None => {
+                    return Err(Error::Parse(format!(
+                        "unexpected end of input inside <{}>",
+                        element.name
+                    )))
+                }
+            }
+        }
+    }
+}
+
+fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let doc = XmlElement::new("PMML")
+            .attr("version", "4.1")
+            .child(XmlElement::new("Header").attr("description", "test"))
+            .child(XmlElement::new("Note").with_text("a < b & c"));
+        let xml = doc.to_document();
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("<Header description=\"test\"/>"));
+        assert!(xml.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let doc = XmlElement::new("Root")
+            .attr("a", "1")
+            .attr("b", "x \"quoted\" & <odd>")
+            .child(
+                XmlElement::new("Child")
+                    .attr("k", "v")
+                    .with_text("hello & goodbye"),
+            )
+            .child(XmlElement::new("Empty"));
+        let xml = doc.to_document();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_with_comments_and_declaration() {
+        let xml = r#"<?xml version="1.0"?>
+        <!-- leading comment -->
+        <A x='single'>
+            <!-- inner comment -->
+            <B/>
+        </A>
+        <!-- trailing comment -->"#;
+        let parsed = parse(xml).unwrap();
+        assert_eq!(parsed.name, "A");
+        assert_eq!(parsed.get_attr("x"), Some("single"));
+        assert_eq!(parsed.children.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<A><B></A></B>").is_err());
+        assert!(parse("<A>").is_err());
+        assert!(parse("<A></A><B></B>").is_err());
+    }
+
+    #[test]
+    fn helpers_find_and_require() {
+        let doc = XmlElement::new("M")
+            .child(XmlElement::new("F").attr("name", "x"))
+            .child(XmlElement::new("F").attr("name", "y"))
+            .child(XmlElement::new("G"));
+        assert_eq!(doc.find_all("F").count(), 2);
+        assert!(doc.require("G").is_ok());
+        assert!(doc.require("H").is_err());
+        assert!(doc.children[0].require_attr("name").is_ok());
+        assert!(doc.children[2].require_attr("name").is_err());
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        assert!(parse("<A>&unknown;</A>").is_err());
+    }
+
+    #[test]
+    fn text_trimmed_but_entities_kept() {
+        let parsed = parse("<A>  1.5 2.5 &amp; 3  </A>").unwrap();
+        assert_eq!(parsed.text, "1.5 2.5 & 3");
+    }
+}

@@ -1,0 +1,354 @@
+//! DataFrames: schema-carrying row datasets with the reader/writer API
+//! of the paper's Table 1.
+
+use std::sync::Arc;
+
+use common::{Expr, Row, Schema};
+
+use crate::context::SparkContext;
+use crate::datasource::{Options, SaveMode, ScanRelation};
+use crate::error::{SparkError, SparkResult};
+use crate::rdd::Rdd;
+
+/// A DataFrame: either a materialized row RDD or a lazy reference to an
+/// external relation with accumulated pushdowns.
+#[derive(Clone)]
+pub struct DataFrame {
+    ctx: SparkContext,
+    schema: Schema,
+    plan: Plan,
+}
+
+#[derive(Clone)]
+enum Plan {
+    Rdd(Rdd<Row>),
+    Source {
+        relation: Arc<dyn ScanRelation>,
+        filters: Vec<Expr>,
+        projection: Option<Vec<String>>,
+    },
+}
+
+impl DataFrame {
+    pub(crate) fn from_rdd(rdd: Rdd<Row>, schema: Schema) -> DataFrame {
+        DataFrame {
+            ctx: rdd.context().clone(),
+            schema,
+            plan: Plan::Rdd(rdd),
+        }
+    }
+
+    /// Attach a schema to an existing row RDD. The caller asserts the
+    /// rows conform; violations surface as type errors downstream.
+    pub fn from_row_rdd(rdd: Rdd<Row>, schema: Schema) -> DataFrame {
+        DataFrame::from_rdd(rdd, schema)
+    }
+
+    /// Build a DataFrame with an explicit partition layout.
+    pub fn from_partitions(
+        ctx: SparkContext,
+        schema: Schema,
+        partitions: Vec<Vec<Row>>,
+    ) -> SparkResult<DataFrame> {
+        for p in &partitions {
+            for r in p {
+                schema.validate_row(r)?;
+            }
+        }
+        let rdd = Rdd::from_partitions(ctx, partitions);
+        Ok(DataFrame::from_rdd(rdd, schema))
+    }
+
+    /// Wrap an external relation (produced by `read().load()`).
+    pub fn from_relation(ctx: SparkContext, relation: Arc<dyn ScanRelation>) -> DataFrame {
+        let schema = relation.schema();
+        DataFrame {
+            ctx,
+            schema,
+            plan: Plan::Source {
+                relation,
+                filters: Vec::new(),
+                projection: None,
+            },
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn context(&self) -> &SparkContext {
+        &self.ctx
+    }
+
+    /// Keep only the named columns. Pushed down to the source when the
+    /// DataFrame is still lazy.
+    pub fn select(&self, columns: &[&str]) -> SparkResult<DataFrame> {
+        let new_schema = self.schema.project(columns)?;
+        match &self.plan {
+            Plan::Source {
+                relation,
+                filters,
+                projection: _,
+            } => Ok(DataFrame {
+                ctx: self.ctx.clone(),
+                schema: new_schema,
+                plan: Plan::Source {
+                    relation: Arc::clone(relation),
+                    filters: filters.clone(),
+                    projection: Some(columns.iter().map(|c| c.to_string()).collect()),
+                },
+            }),
+            Plan::Rdd(rdd) => {
+                let idx: Vec<usize> = columns
+                    .iter()
+                    .map(|c| self.schema.index_of(c))
+                    .collect::<Result<_, _>>()?;
+                let mapped = rdd.map(move |row: Row| row.project(&idx));
+                Ok(DataFrame::from_rdd(mapped, new_schema))
+            }
+        }
+    }
+
+    /// Filter rows by a predicate over the *base* columns. Pushed down
+    /// to the source when the DataFrame is still lazy (paper Sec.
+    /// 3.1.1).
+    pub fn filter(&self, predicate: Expr) -> SparkResult<DataFrame> {
+        match &self.plan {
+            Plan::Source {
+                relation,
+                filters,
+                projection,
+            } => {
+                // Validate the predicate against the relation schema.
+                predicate.bind(&relation.schema())?;
+                let mut filters = filters.clone();
+                filters.push(predicate);
+                Ok(DataFrame {
+                    ctx: self.ctx.clone(),
+                    schema: self.schema.clone(),
+                    plan: Plan::Source {
+                        relation: Arc::clone(relation),
+                        filters,
+                        projection: projection.clone(),
+                    },
+                })
+            }
+            Plan::Rdd(rdd) => {
+                let bound = predicate.bind(&self.schema)?;
+                let filtered = rdd.filter(move |row: &Row| bound.matches(row).unwrap_or(false));
+                Ok(DataFrame::from_rdd(filtered, self.schema.clone()))
+            }
+        }
+    }
+
+    /// Row count; uses the source's count pushdown when lazy.
+    pub fn count(&self) -> SparkResult<u64> {
+        match &self.plan {
+            Plan::Source {
+                relation, filters, ..
+            } => relation.count(&self.ctx, filters),
+            Plan::Rdd(rdd) => rdd.count(),
+        }
+    }
+
+    /// Materialize into a row RDD (resolving source pushdowns).
+    pub fn rdd(&self) -> SparkResult<Rdd<Row>> {
+        match &self.plan {
+            Plan::Rdd(rdd) => Ok(rdd.clone()),
+            Plan::Source {
+                relation,
+                filters,
+                projection,
+            } => relation.scan(&self.ctx, projection.as_deref(), filters),
+        }
+    }
+
+    /// Collect all rows on the driver.
+    pub fn collect(&self) -> SparkResult<Vec<Row>> {
+        self.rdd()?.collect()
+    }
+
+    pub fn num_partitions(&self) -> SparkResult<usize> {
+        Ok(self.rdd()?.num_partitions())
+    }
+
+    /// Redistribute into `n` partitions (shuffle).
+    pub fn repartition(&self, n: usize) -> SparkResult<DataFrame> {
+        Ok(DataFrame::from_rdd(
+            self.rdd()?.repartition(n),
+            self.schema.clone(),
+        ))
+    }
+
+    /// Merge into `n` partitions without a shuffle.
+    pub fn coalesce(&self, n: usize) -> SparkResult<DataFrame> {
+        Ok(DataFrame::from_rdd(
+            self.rdd()?.coalesce(n),
+            self.schema.clone(),
+        ))
+    }
+
+    pub fn union(&self, other: &DataFrame) -> SparkResult<DataFrame> {
+        if !self.schema.compatible_with(&other.schema) {
+            return Err(SparkError::Usage(format!(
+                "union of incompatible schemas {} and {}",
+                self.schema, other.schema
+            )));
+        }
+        Ok(DataFrame::from_rdd(
+            self.rdd()?.union(&other.rdd()?),
+            self.schema.clone(),
+        ))
+    }
+
+    /// Begin a save (paper Table 1's `df.write`).
+    pub fn write(&self) -> DataFrameWriter {
+        DataFrameWriter {
+            df: self.clone(),
+            format: None,
+            options: Options::new(),
+            mode: SaveMode::default(),
+        }
+    }
+}
+
+/// Builder for loads: `ctx.read().format(...).option(k, v).load()`.
+pub struct DataFrameReader {
+    ctx: SparkContext,
+    format: Option<String>,
+    options: Options,
+}
+
+impl DataFrameReader {
+    pub(crate) fn new(ctx: SparkContext) -> DataFrameReader {
+        DataFrameReader {
+            ctx,
+            format: None,
+            options: Options::new(),
+        }
+    }
+
+    pub fn format(mut self, name: &str) -> DataFrameReader {
+        self.format = Some(name.to_string());
+        self
+    }
+
+    pub fn option(mut self, key: &str, value: impl ToString) -> DataFrameReader {
+        self.options.set(key, value);
+        self
+    }
+
+    pub fn options(mut self, options: Options) -> DataFrameReader {
+        self.options = options;
+        self
+    }
+
+    pub fn load(self) -> SparkResult<DataFrame> {
+        let format = self
+            .format
+            .ok_or_else(|| SparkError::Usage("read requires .format(...)".into()))?;
+        let provider = self.ctx.format_provider(&format)?;
+        let relation = provider.create_relation(&self.ctx, &self.options)?;
+        Ok(DataFrame::from_relation(self.ctx, relation))
+    }
+}
+
+/// Builder for saves: `df.write().format(...).mode(...).save()`.
+pub struct DataFrameWriter {
+    df: DataFrame,
+    format: Option<String>,
+    options: Options,
+    mode: SaveMode,
+}
+
+impl DataFrameWriter {
+    pub fn format(mut self, name: &str) -> DataFrameWriter {
+        self.format = Some(name.to_string());
+        self
+    }
+
+    pub fn option(mut self, key: &str, value: impl ToString) -> DataFrameWriter {
+        self.options.set(key, value);
+        self
+    }
+
+    pub fn options(mut self, options: Options) -> DataFrameWriter {
+        self.options = options;
+        self
+    }
+
+    pub fn mode(mut self, mode: SaveMode) -> DataFrameWriter {
+        self.mode = mode;
+        self
+    }
+
+    pub fn save(self) -> SparkResult<()> {
+        let format = self
+            .format
+            .ok_or_else(|| SparkError::Usage("write requires .format(...)".into()))?;
+        let provider = self.df.ctx.format_provider(&format)?;
+        provider.save(&self.df.ctx, &self.options, &self.df, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SparkConf;
+    use common::{row, DataType, Value};
+
+    fn df() -> DataFrame {
+        let ctx = SparkContext::new(SparkConf::default());
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("score", DataType::Float64),
+            ("name", DataType::Varchar),
+        ]);
+        let rows = vec![
+            row![1i64, 0.5f64, "a"],
+            row![2i64, 1.5f64, "b"],
+            row![3i64, 2.5f64, "c"],
+        ];
+        ctx.create_dataframe(rows, schema, 2).unwrap()
+    }
+
+    #[test]
+    fn select_and_filter_on_materialized_frames() {
+        let d = df();
+        let out = d
+            .filter(Expr::col("score").gt(Expr::lit(1.0f64)))
+            .unwrap()
+            .select(&["name"])
+            .unwrap();
+        assert_eq!(out.schema().column_names(), vec!["name"]);
+        let rows = out.collect().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::Varchar("b".into()));
+        assert_eq!(d.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn union_requires_compatible_schemas() {
+        let a = df();
+        let b = df();
+        assert_eq!(a.union(&b).unwrap().count().unwrap(), 6);
+        let c = a.select(&["id"]).unwrap();
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn repartition_and_coalesce() {
+        let d = df().repartition(3).unwrap();
+        assert_eq!(d.num_partitions().unwrap(), 3);
+        let d2 = d.coalesce(1).unwrap();
+        assert_eq!(d2.num_partitions().unwrap(), 1);
+        assert_eq!(d2.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn writer_requires_format() {
+        let d = df();
+        assert!(d.write().save().is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! The External Data Source API (paper Sec. 2.1.2, Table 1).
+//!
+//! A connector registers a [`DataSourceProvider`] under its format name
+//! (ours uses the paper's `com.vertica.spark.datasource.DefaultSource`).
+//! Loads produce a [`ScanRelation`] supporting projection, filter, and
+//! count pushdown; saves receive the DataFrame, the option map, and a
+//! [`SaveMode`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use common::{Expr, Row, Schema};
+
+use crate::context::SparkContext;
+use crate::dataframe::DataFrame;
+use crate::error::{SparkError, SparkResult};
+use crate::rdd::Rdd;
+
+/// Save semantics for `df.write.mode(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SaveMode {
+    /// Fail if the target exists.
+    #[default]
+    ErrorIfExists,
+    /// Add rows to an existing target (create it if missing).
+    Append,
+    /// Replace the target atomically.
+    Overwrite,
+    /// Do nothing if the target exists.
+    Ignore,
+}
+
+impl SaveMode {
+    pub fn from_name(name: &str) -> SparkResult<SaveMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "error" | "errorifexists" | "default" => Ok(SaveMode::ErrorIfExists),
+            "append" => Ok(SaveMode::Append),
+            "overwrite" => Ok(SaveMode::Overwrite),
+            "ignore" => Ok(SaveMode::Ignore),
+            other => Err(SparkError::Usage(format!("unknown save mode: {other}"))),
+        }
+    }
+}
+
+/// The `key=value` option map of Table 1 (host, user, table, numPartitions,
+/// ...). Keys are case-insensitive.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    map: HashMap<String, String>,
+}
+
+impl Options {
+    pub fn new() -> Options {
+        Options::default()
+    }
+
+    pub fn set(&mut self, key: &str, value: impl ToString) -> &mut Options {
+        self.map.insert(key.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    pub fn with(mut self, key: &str, value: impl ToString) -> Options {
+        self.set(key, value);
+        self
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(&key.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    pub fn require(&self, key: &str) -> SparkResult<&str> {
+        self.get(key)
+            .ok_or_else(|| SparkError::Usage(format!("missing required option {key:?}")))
+    }
+
+    /// Parse an option into any `FromStr` type.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> SparkResult<Option<T>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| SparkError::Usage(format!("option {key}={raw} is not a valid value"))),
+        }
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+}
+
+/// A loaded relation supporting pushdown scans.
+pub trait ScanRelation: Send + Sync {
+    /// The relation's full schema.
+    fn schema(&self) -> Schema;
+
+    /// Produce the row RDD for this relation, with `projection` and
+    /// `filters` pushed down (both may be empty). Filters reference the
+    /// *base* schema's column names.
+    fn scan(
+        &self,
+        ctx: &SparkContext,
+        projection: Option<&[String]>,
+        filters: &[Expr],
+    ) -> SparkResult<Rdd<Row>>;
+
+    /// Count pushdown (`df.count()`); the default materializes a scan.
+    fn count(&self, ctx: &SparkContext, filters: &[Expr]) -> SparkResult<u64> {
+        // Project down to nothing we can avoid: use full rows.
+        self.scan(ctx, None, filters)?.count()
+    }
+}
+
+/// A data source format implementation.
+pub trait DataSourceProvider: Send + Sync {
+    /// `df.read.format(...).options(...).load()`.
+    fn create_relation(
+        &self,
+        ctx: &SparkContext,
+        options: &Options,
+    ) -> SparkResult<Arc<dyn ScanRelation>>;
+
+    /// `df.write.format(...).options(...).mode(...).save()`.
+    fn save(
+        &self,
+        ctx: &SparkContext,
+        options: &Options,
+        df: &DataFrame,
+        mode: SaveMode,
+    ) -> SparkResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_case_insensitive_and_typed() {
+        let mut o = Options::new();
+        o.set("NumPartitions", 32).set("host", "db0");
+        assert_eq!(o.get("numpartitions"), Some("32"));
+        assert_eq!(o.get_parsed::<usize>("numPartitions").unwrap(), Some(32));
+        assert_eq!(o.get_parsed::<usize>("missing").unwrap(), None);
+        assert!(o.get_parsed::<usize>("host").is_err());
+        assert!(o.require("host").is_ok());
+        assert!(o.require("password").is_err());
+    }
+
+    #[test]
+    fn save_mode_names() {
+        assert_eq!(
+            SaveMode::from_name("Overwrite").unwrap(),
+            SaveMode::Overwrite
+        );
+        assert_eq!(SaveMode::from_name("APPEND").unwrap(), SaveMode::Append);
+        assert_eq!(
+            SaveMode::from_name("errorifexists").unwrap(),
+            SaveMode::ErrorIfExists
+        );
+        assert!(SaveMode::from_name("upsert").is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Compute-engine errors.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub type SparkResult<T> = std::result::Result<T, SparkError>;
+
+/// Errors surfaced by the compute engine.
+#[derive(Debug, Clone)]
+pub enum SparkError {
+    /// A task exhausted its retry budget; the job fails.
+    TaskFailed {
+        partition: usize,
+        attempts: u32,
+        last_error: String,
+    },
+    /// The job was killed mid-flight (total engine failure injection).
+    JobKilled { completed_tasks: u64 },
+    /// Injected task fault (internal; converted to retries).
+    InjectedFault { partition: usize, attempt: u32 },
+    /// Data/type errors from the shared layer.
+    Data(common::Error),
+    /// Data source errors (connector-provided message).
+    DataSource(String),
+    /// Anything raised by user code running in a task.
+    User(Arc<dyn std::error::Error + Send + Sync>),
+    /// Misuse of the API (bad options, unknown format, ...).
+    Usage(String),
+}
+
+impl fmt::Display for SparkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkError::TaskFailed {
+                partition,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "task for partition {partition} failed after {attempts} attempts: {last_error}"
+            ),
+            SparkError::JobKilled { completed_tasks } => {
+                write!(f, "job killed after {completed_tasks} task completions")
+            }
+            SparkError::InjectedFault { partition, attempt } => {
+                write!(
+                    f,
+                    "injected fault in partition {partition} attempt {attempt}"
+                )
+            }
+            SparkError::Data(e) => write!(f, "data error: {e}"),
+            SparkError::DataSource(msg) => write!(f, "data source error: {msg}"),
+            SparkError::User(e) => write!(f, "task error: {e}"),
+            SparkError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparkError {}
+
+impl From<common::Error> for SparkError {
+    fn from(e: common::Error) -> SparkError {
+        SparkError::Data(e)
+    }
+}
+
+impl SparkError {
+    /// Wrap an arbitrary task error.
+    pub fn user(e: impl std::error::Error + Send + Sync + 'static) -> SparkError {
+        SparkError::User(Arc::new(e))
+    }
+}

@@ -1,0 +1,189 @@
+//! K-means clustering (Lloyd's algorithm) with distributed assignment.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::{SparkError, SparkResult};
+use crate::mllib::linalg::squared_distance;
+use crate::rdd::Rdd;
+use crate::scheduler::TaskContext;
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    pub centers: Vec<Vec<f64>>,
+}
+
+impl KMeansModel {
+    /// Index of the nearest center.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        self.centers
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                squared_distance(a, point).total_cmp(&squared_distance(b, point))
+            })
+            .map(|(i, _)| i)
+            .expect("model has at least one center")
+    }
+
+    /// Total within-cluster sum of squared distances over a dataset.
+    pub fn cost(&self, data: &Rdd<Vec<f64>>) -> SparkResult<f64> {
+        let centers = self.centers.clone();
+        let partials =
+            data.context()
+                .run_job(data, move |_tc: &TaskContext, pts: Vec<Vec<f64>>| {
+                    Ok(pts
+                        .iter()
+                        .map(|p| {
+                            centers
+                                .iter()
+                                .map(|c| squared_distance(c, p))
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .sum::<f64>())
+                })?;
+        Ok(partials.into_iter().sum())
+    }
+}
+
+/// Lloyd's algorithm: seeded sampling for initial centers, then
+/// assignment + recentering rounds, each a scheduler job.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    pub k: usize,
+    pub iterations: usize,
+    pub seed: u64,
+}
+
+impl KMeans {
+    pub fn new(k: usize) -> KMeans {
+        KMeans {
+            k,
+            iterations: 20,
+            seed: 42,
+        }
+    }
+
+    pub fn fit(&self, data: &Rdd<Vec<f64>>) -> SparkResult<KMeansModel> {
+        assert!(self.k > 0, "k must be positive");
+        let ctx = data.context().clone();
+
+        // Sample candidate centers: a handful per partition.
+        let k = self.k;
+        let samples = ctx.run_job(data, move |_tc: &TaskContext, pts: Vec<Vec<f64>>| {
+            Ok(pts.into_iter().take(4 * k).collect::<Vec<_>>())
+        })?;
+        let mut candidates: Vec<Vec<f64>> = samples.into_iter().flatten().collect();
+        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.dedup();
+        if candidates.len() < self.k {
+            return Err(SparkError::Usage(format!(
+                "need at least k={} distinct points, found {}",
+                self.k,
+                candidates.len()
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        candidates.shuffle(&mut rng);
+        let mut centers: Vec<Vec<f64>> = candidates.into_iter().take(self.k).collect();
+
+        for _round in 0..self.iterations {
+            let bcast = centers.clone();
+            let dim = bcast[0].len();
+            let partials = ctx.run_job(data, move |_tc: &TaskContext, pts: Vec<Vec<f64>>| {
+                let mut sums = vec![vec![0.0f64; dim]; bcast.len()];
+                let mut counts = vec![0u64; bcast.len()];
+                for p in &pts {
+                    let nearest = bcast
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            squared_distance(a, p).total_cmp(&squared_distance(b, p))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("k > 0");
+                    counts[nearest] += 1;
+                    for (s, x) in sums[nearest].iter_mut().zip(p) {
+                        *s += x;
+                    }
+                }
+                Ok((sums, counts))
+            })?;
+            let dim = centers[0].len();
+            let mut sums = vec![vec![0.0f64; dim]; self.k];
+            let mut counts = vec![0u64; self.k];
+            for (ps, pc) in partials {
+                for (i, s) in ps.into_iter().enumerate() {
+                    for (a, b) in sums[i].iter_mut().zip(s) {
+                        *a += b;
+                    }
+                    counts[i] += pc[i];
+                }
+            }
+            let mut moved = 0.0;
+            for i in 0..self.k {
+                if counts[i] == 0 {
+                    continue; // keep the old center for empty clusters
+                }
+                let new_center: Vec<f64> = sums[i].iter().map(|s| s / counts[i] as f64).collect();
+                moved += squared_distance(&centers[i], &new_center);
+                centers[i] = new_center;
+            }
+            if moved < 1e-12 {
+                break;
+            }
+        }
+        Ok(KMeansModel { centers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SparkConf, SparkContext};
+    use rand::RngExt;
+
+    #[test]
+    fn separates_two_blobs() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut points = Vec::new();
+        for _ in 0..500 {
+            points.push(vec![
+                10.0 + rng.random_range(-1.0..1.0),
+                10.0 + rng.random_range(-1.0..1.0),
+            ]);
+            points.push(vec![
+                -10.0 + rng.random_range(-1.0..1.0),
+                -10.0 + rng.random_range(-1.0..1.0),
+            ]);
+        }
+        let rdd = ctx.parallelize(points, 8);
+        let model = KMeans::new(2).fit(&rdd).unwrap();
+        assert_eq!(model.centers.len(), 2);
+        let a = model.predict(&[10.0, 10.0]);
+        let b = model.predict(&[-10.0, -10.0]);
+        assert_ne!(a, b);
+        // Centers converge near the blob means.
+        let mut xs: Vec<f64> = model.centers.iter().map(|c| c[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!((xs[0] + 10.0).abs() < 0.5, "center near -10: {}", xs[0]);
+        assert!((xs[1] - 10.0).abs() < 0.5, "center near +10: {}", xs[1]);
+        // Cost is small relative to spread.
+        let cost = model.cost(&rdd).unwrap();
+        assert!(
+            cost / 1000.0 < 1.5,
+            "avg within-cluster cost {}",
+            cost / 1000.0
+        );
+    }
+
+    #[test]
+    fn too_few_distinct_points_is_error() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let rdd = ctx.parallelize(vec![vec![1.0, 1.0]; 10], 2);
+        assert!(KMeans::new(3).fit(&rdd).is_err());
+    }
+}

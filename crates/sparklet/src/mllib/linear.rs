@@ -1,0 +1,159 @@
+//! Linear regression via distributed normal equations.
+
+use crate::error::{SparkError, SparkResult};
+use crate::mllib::linalg::{dot, solve};
+use crate::mllib::LabeledPoint;
+use crate::rdd::Rdd;
+use crate::scheduler::TaskContext;
+
+/// A fitted linear model: `ŷ = intercept + w · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegressionModel {
+    pub intercept: f64,
+    pub weights: Vec<f64>,
+}
+
+impl LinearRegressionModel {
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.intercept + dot(&self.weights, features)
+    }
+}
+
+/// Ordinary least squares (optionally ridge-regularized), solved by
+/// aggregating the Gram matrix `Σ zzᵀ` and moment vector `Σ zy` over
+/// partitions (`z = [1, x]`), then solving on the driver.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// L2 penalty applied to the non-intercept weights.
+    pub l2: f64,
+}
+
+impl Default for LinearRegression {
+    fn default() -> LinearRegression {
+        LinearRegression { l2: 0.0 }
+    }
+}
+
+impl LinearRegression {
+    pub fn fit(&self, data: &Rdd<LabeledPoint>) -> SparkResult<LinearRegressionModel> {
+        let ctx = data.context().clone();
+        // One pass: per-partition partial Gram + moments.
+        let partials = ctx.run_job(data, |_tc: &TaskContext, points: Vec<LabeledPoint>| {
+            let Some(first) = points.first() else {
+                return Ok(None);
+            };
+            let d = first.features.len() + 1;
+            let mut gram = vec![vec![0.0f64; d]; d];
+            let mut moments = vec![0.0f64; d];
+            for p in &points {
+                if p.features.len() + 1 != d {
+                    return Err(SparkError::Usage(format!(
+                        "inconsistent feature dimension: {} vs {}",
+                        p.features.len(),
+                        d - 1
+                    )));
+                }
+                let z: Vec<f64> = std::iter::once(1.0)
+                    .chain(p.features.iter().copied())
+                    .collect();
+                for i in 0..d {
+                    for j in i..d {
+                        gram[i][j] += z[i] * z[j];
+                    }
+                    moments[i] += z[i] * p.label;
+                }
+            }
+            Ok(Some((gram, moments)))
+        })?;
+
+        let mut merged: Option<(Vec<Vec<f64>>, Vec<f64>)> = None;
+        for partial in partials.into_iter().flatten() {
+            match merged.as_mut() {
+                None => merged = Some(partial),
+                Some((gram, moments)) => {
+                    if gram.len() != partial.0.len() {
+                        return Err(SparkError::Usage(
+                            "inconsistent feature dimension across partitions".into(),
+                        ));
+                    }
+                    for (gi, pi) in gram.iter_mut().zip(&partial.0) {
+                        for (g, p) in gi.iter_mut().zip(pi) {
+                            *g += p;
+                        }
+                    }
+                    for (m, p) in moments.iter_mut().zip(&partial.1) {
+                        *m += p;
+                    }
+                }
+            }
+        }
+        let (mut gram, moments) =
+            merged.ok_or_else(|| SparkError::Usage("cannot fit on an empty RDD".into()))?;
+        let d = moments.len();
+        // Mirror the upper triangle and apply ridge to non-intercept
+        // diagonal entries.
+        #[allow(clippy::needless_range_loop)] // symmetric-matrix index math
+        for i in 0..d {
+            for j in 0..i {
+                gram[i][j] = gram[j][i];
+            }
+            if i > 0 {
+                gram[i][i] += self.l2;
+            }
+        }
+        let w = solve(gram, moments)?;
+        Ok(LinearRegressionModel {
+            intercept: w[0],
+            weights: w[1..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SparkConf, SparkContext};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn recovers_known_coefficients() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        // y = 3 + 2 x1 - 0.5 x2 with small noise.
+        let points: Vec<LabeledPoint> = (0..2000)
+            .map(|_| {
+                let x1: f64 = rng.random_range(-5.0..5.0);
+                let x2: f64 = rng.random_range(-5.0..5.0);
+                let noise: f64 = rng.random_range(-0.01..0.01);
+                LabeledPoint::new(3.0 + 2.0 * x1 - 0.5 * x2 + noise, vec![x1, x2])
+            })
+            .collect();
+        let rdd = ctx.parallelize(points, 8);
+        let model = LinearRegression::default().fit(&rdd).unwrap();
+        assert!((model.intercept - 3.0).abs() < 0.01, "{}", model.intercept);
+        assert!((model.weights[0] - 2.0).abs() < 0.01);
+        assert!((model.weights[1] + 0.5).abs() < 0.01);
+        assert!((model.predict(&[1.0, 2.0]) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_rdd_is_error() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let rdd = ctx.parallelize(Vec::<LabeledPoint>::new(), 4);
+        assert!(LinearRegression::default().fit(&rdd).is_err());
+    }
+
+    #[test]
+    fn inconsistent_dimensions_rejected() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let rdd = ctx.parallelize(
+            vec![
+                LabeledPoint::new(1.0, vec![1.0]),
+                LabeledPoint::new(2.0, vec![1.0, 2.0]),
+            ],
+            1,
+        );
+        assert!(LinearRegression::default().fit(&rdd).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Binary logistic regression via distributed batch gradient descent.
+
+use crate::error::{SparkError, SparkResult};
+use crate::mllib::linalg::dot;
+use crate::mllib::LabeledPoint;
+use crate::rdd::Rdd;
+use crate::scheduler::TaskContext;
+
+/// A fitted binary logistic model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegressionModel {
+    pub intercept: f64,
+    pub weights: Vec<f64>,
+}
+
+impl LogisticRegressionModel {
+    /// Probability of the positive class.
+    pub fn predict_probability(&self, features: &[f64]) -> f64 {
+        let score = self.intercept + dot(&self.weights, features);
+        1.0 / (1.0 + (-score).exp())
+    }
+
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_probability(features) >= 0.5
+    }
+}
+
+/// Batch gradient descent over the negative log-likelihood; each
+/// iteration aggregates per-partition gradient contributions through a
+/// scheduler job, mirroring MLlib's `GradientDescent`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    pub iterations: usize,
+    pub step_size: f64,
+    pub l2: f64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> LogisticRegression {
+        LogisticRegression {
+            iterations: 100,
+            step_size: 1.0,
+            l2: 0.0,
+        }
+    }
+}
+
+impl LogisticRegression {
+    pub fn fit(&self, data: &Rdd<LabeledPoint>) -> SparkResult<LogisticRegressionModel> {
+        let ctx = data.context().clone();
+        let n = data.count()? as f64;
+        if n == 0.0 {
+            return Err(SparkError::Usage("cannot fit on an empty RDD".into()));
+        }
+        let dims = ctx.run_job(data, |_tc: &TaskContext, pts: Vec<LabeledPoint>| {
+            Ok(pts.first().map(|p| p.features.len()))
+        })?;
+        let d = dims
+            .into_iter()
+            .flatten()
+            .next()
+            .ok_or_else(|| SparkError::Usage("cannot fit on an empty RDD".into()))?;
+
+        // w[0] is the intercept; w[1..] the feature weights.
+        let mut w = vec![0.0f64; d + 1];
+        for _iter in 0..self.iterations {
+            let w_bcast = w.clone();
+            let partials =
+                ctx.run_job(data, move |_tc: &TaskContext, pts: Vec<LabeledPoint>| {
+                    let mut grad = vec![0.0f64; w_bcast.len()];
+                    for p in &pts {
+                        if p.features.len() + 1 != w_bcast.len() {
+                            return Err(SparkError::Usage("inconsistent feature dimension".into()));
+                        }
+                        let score = w_bcast[0] + dot(&w_bcast[1..], &p.features);
+                        let prob = 1.0 / (1.0 + (-score).exp());
+                        let err = prob - p.label;
+                        grad[0] += err;
+                        for (g, x) in grad[1..].iter_mut().zip(&p.features) {
+                            *g += err * x;
+                        }
+                    }
+                    Ok(grad)
+                })?;
+            let mut grad = vec![0.0f64; d + 1];
+            for partial in partials {
+                for (g, p) in grad.iter_mut().zip(&partial) {
+                    *g += p;
+                }
+            }
+            for (i, wi) in w.iter_mut().enumerate() {
+                let reg = if i == 0 { 0.0 } else { self.l2 * *wi };
+                *wi -= self.step_size * (grad[i] / n + reg);
+            }
+        }
+        Ok(LogisticRegressionModel {
+            intercept: w[0],
+            weights: w[1..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SparkConf, SparkContext};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn separates_two_classes() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        // Positive class around (2, 2), negative around (-2, -2).
+        let points: Vec<LabeledPoint> = (0..1000)
+            .map(|i| {
+                let label = (i % 2) as f64;
+                let center = if label > 0.5 { 2.0 } else { -2.0 };
+                let x: f64 = center + rng.random_range(-1.0..1.0);
+                let y: f64 = center + rng.random_range(-1.0..1.0);
+                LabeledPoint::new(label, vec![x, y])
+            })
+            .collect();
+        let rdd = ctx.parallelize(points.clone(), 6);
+        let model = LogisticRegression {
+            iterations: 150,
+            step_size: 1.0,
+            l2: 0.0,
+        }
+        .fit(&rdd)
+        .unwrap();
+        let correct = points
+            .iter()
+            .filter(|p| model.predict(&p.features) == (p.label > 0.5))
+            .count();
+        assert!(
+            correct as f64 / points.len() as f64 > 0.98,
+            "accuracy {correct}/1000"
+        );
+        assert!(model.predict_probability(&[3.0, 3.0]) > 0.9);
+        assert!(model.predict_probability(&[-3.0, -3.0]) < 0.1);
+    }
+
+    #[test]
+    fn empty_rdd_is_error() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let rdd = ctx.parallelize(Vec::<LabeledPoint>::new(), 2);
+        assert!(LogisticRegression::default().fit(&rdd).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Evaluation metrics.
+
+/// Mean squared error of paired predictions and labels.
+pub fn mean_squared_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|(pred, label)| (pred - label) * (pred - label))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+/// Fraction of correct binary predictions.
+pub fn accuracy(pairs: &[(bool, bool)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().filter(|(p, l)| p == l).count() as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_values() {
+        assert_eq!(mean_squared_error(&[(1.0, 1.0), (3.0, 1.0)]), 2.0);
+        assert_eq!(mean_squared_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_known_values() {
+        assert_eq!(
+            accuracy(&[(true, true), (false, true), (false, false), (true, true)]),
+            0.75
+        );
+        assert_eq!(accuracy(&[]), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! MLlib-lite: the machine-learning library of the compute engine.
+//!
+//! The paper's analytics pipeline trains models in the engine over data
+//! loaded from the database (V2S) and deploys them back for in-database
+//! scoring (MD). We implement the three model families its examples
+//! name — linear regression, (binary) logistic regression, and k-means
+//! — each trained *through the scheduler* over RDD partitions, the way
+//! MLlib distributes its aggregations.
+
+pub mod kmeans;
+pub mod linalg;
+pub mod linear;
+pub mod logistic;
+pub mod metrics;
+pub mod scaler;
+
+pub use kmeans::{KMeans, KMeansModel};
+pub use linear::{LinearRegression, LinearRegressionModel};
+pub use logistic::{LogisticRegression, LogisticRegressionModel};
+pub use scaler::StandardScaler;
+
+/// A labeled training example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    pub label: f64,
+    pub features: Vec<f64>,
+}
+
+impl LabeledPoint {
+    pub fn new(label: f64, features: Vec<f64>) -> LabeledPoint {
+        LabeledPoint { label, features }
+    }
+}

@@ -1,0 +1,112 @@
+//! Feature standardization.
+
+use crate::error::{SparkError, SparkResult};
+use crate::rdd::Rdd;
+use crate::scheduler::TaskContext;
+
+/// A fitted standardizer: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScalerModel {
+    pub means: Vec<f64>,
+    pub stds: Vec<f64>,
+}
+
+impl StandardScalerModel {
+    pub fn transform_point(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| if *s > 0.0 { (x - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    pub fn transform(&self, data: &Rdd<Vec<f64>>) -> Rdd<Vec<f64>> {
+        let model = self.clone();
+        data.map(move |p| model.transform_point(&p))
+    }
+}
+
+/// Computes per-feature mean and standard deviation in one distributed
+/// pass (sum and sum of squares per partition).
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler;
+
+impl StandardScaler {
+    pub fn fit(&self, data: &Rdd<Vec<f64>>) -> SparkResult<StandardScalerModel> {
+        let ctx = data.context().clone();
+        let partials = ctx.run_job(data, |_tc: &TaskContext, pts: Vec<Vec<f64>>| {
+            let Some(first) = pts.first() else {
+                return Ok(None);
+            };
+            let d = first.len();
+            let mut sum = vec![0.0f64; d];
+            let mut sum_sq = vec![0.0f64; d];
+            let mut n = 0u64;
+            for p in &pts {
+                if p.len() != d {
+                    return Err(SparkError::Usage("inconsistent dimensions".into()));
+                }
+                n += 1;
+                for i in 0..d {
+                    sum[i] += p[i];
+                    sum_sq[i] += p[i] * p[i];
+                }
+            }
+            Ok(Some((sum, sum_sq, n)))
+        })?;
+        let mut total: Option<(Vec<f64>, Vec<f64>, u64)> = None;
+        for p in partials.into_iter().flatten() {
+            match total.as_mut() {
+                None => total = Some(p),
+                Some((s, q, n)) => {
+                    for (a, b) in s.iter_mut().zip(&p.0) {
+                        *a += b;
+                    }
+                    for (a, b) in q.iter_mut().zip(&p.1) {
+                        *a += b;
+                    }
+                    *n += p.2;
+                }
+            }
+        }
+        let (sum, sum_sq, n) =
+            total.ok_or_else(|| SparkError::Usage("cannot fit on an empty RDD".into()))?;
+        let n = n as f64;
+        let means: Vec<f64> = sum.iter().map(|s| s / n).collect();
+        let stds: Vec<f64> = sum_sq
+            .iter()
+            .zip(&means)
+            .map(|(q, m)| ((q / n - m * m).max(0.0)).sqrt())
+            .collect();
+        Ok(StandardScalerModel { means, stds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SparkConf, SparkContext};
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 10.0]).collect();
+        let rdd = ctx.parallelize(pts, 4);
+        let model = StandardScaler.fit(&rdd).unwrap();
+        assert!((model.means[0] - 49.5).abs() < 1e-9);
+        assert_eq!(model.means[1], 10.0);
+        assert_eq!(model.stds[1], 0.0);
+        let transformed = model.transform(&rdd).collect().unwrap();
+        let mean: f64 = transformed.iter().map(|p| p[0]).sum::<f64>() / transformed.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        // Constant features map to 0 rather than dividing by zero.
+        assert!(transformed.iter().all(|p| p[1] == 0.0));
+    }
+
+    #[test]
+    fn empty_rdd_is_error() {
+        let ctx = SparkContext::new(SparkConf::default());
+        let rdd = ctx.parallelize(Vec::<Vec<f64>>::new(), 2);
+        assert!(StandardScaler.fit(&rdd).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! PMML export of trained models (the paper's Sec. 3.3 input: "Spark
+//! now supports export of some models in PMML").
+
+use pmml::{
+    ClusteringModel, MiningFunction, NormalizationMethod, PmmlDocument, PmmlModel, RegressionModel,
+};
+
+use crate::mllib::{KMeansModel, LinearRegressionModel, LogisticRegressionModel};
+
+fn feature_names(given: Option<&[String]>, d: usize) -> Vec<String> {
+    match given {
+        Some(names) => {
+            assert_eq!(names.len(), d, "feature name count must match dimension");
+            names.to_vec()
+        }
+        None => (0..d).map(|i| format!("x{i}")).collect(),
+    }
+}
+
+/// Export a linear regression model.
+pub fn linear_to_pmml(
+    model: &LinearRegressionModel,
+    model_name: &str,
+    features: Option<&[String]>,
+    target: &str,
+) -> PmmlDocument {
+    let names = feature_names(features, model.weights.len());
+    PmmlDocument::new(
+        model_name,
+        "sparklet-mllib",
+        PmmlModel::Regression(RegressionModel {
+            function: MiningFunction::Regression,
+            normalization: NormalizationMethod::None,
+            intercept: model.intercept,
+            coefficients: names
+                .into_iter()
+                .zip(model.weights.iter().copied())
+                .collect(),
+            target: target.to_string(),
+        }),
+    )
+}
+
+/// Export a binary logistic regression model (logit normalization).
+pub fn logistic_to_pmml(
+    model: &LogisticRegressionModel,
+    model_name: &str,
+    features: Option<&[String]>,
+    target: &str,
+) -> PmmlDocument {
+    let names = feature_names(features, model.weights.len());
+    PmmlDocument::new(
+        model_name,
+        "sparklet-mllib",
+        PmmlModel::Regression(RegressionModel {
+            function: MiningFunction::Classification,
+            normalization: NormalizationMethod::Logit,
+            intercept: model.intercept,
+            coefficients: names
+                .into_iter()
+                .zip(model.weights.iter().copied())
+                .collect(),
+            target: target.to_string(),
+        }),
+    )
+}
+
+/// Export a k-means model.
+pub fn kmeans_to_pmml(
+    model: &KMeansModel,
+    model_name: &str,
+    features: Option<&[String]>,
+) -> PmmlDocument {
+    let d = model.centers.first().map(Vec::len).unwrap_or(0);
+    let names = feature_names(features, d);
+    PmmlDocument::new(
+        model_name,
+        "sparklet-mllib",
+        PmmlModel::Clustering(ClusteringModel {
+            fields: names,
+            clusters: model
+                .centers
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i.to_string(), c.clone()))
+                .collect(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmml::Evaluator;
+
+    #[test]
+    fn linear_export_round_trips_through_evaluator() {
+        let model = LinearRegressionModel {
+            intercept: 1.0,
+            weights: vec![2.0, -0.5],
+        };
+        let doc = linear_to_pmml(&model, "m", None, "y");
+        let eval = Evaluator::from_xml(&doc.to_xml()).unwrap();
+        let x = [3.0, 4.0];
+        assert!((eval.predict(&x).unwrap() - model.predict(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_export_preserves_probabilities() {
+        let model = LogisticRegressionModel {
+            intercept: -0.25,
+            weights: vec![1.5],
+        };
+        let doc = logistic_to_pmml(&model, "m", Some(&["f1".to_string()]), "label");
+        let eval = Evaluator::from_xml(&doc.to_xml()).unwrap();
+        for x in [-2.0, 0.0, 2.0] {
+            assert!((eval.predict(&[x]).unwrap() - model.predict_probability(&[x])).abs() < 1e-12);
+        }
+        assert_eq!(eval.input_fields(), &["f1".to_string()]);
+    }
+
+    #[test]
+    fn kmeans_export_matches_assignments() {
+        let model = KMeansModel {
+            centers: vec![vec![0.0, 0.0], vec![5.0, 5.0]],
+        };
+        let doc = kmeans_to_pmml(&model, "m", None);
+        let eval = Evaluator::from_xml(&doc.to_xml()).unwrap();
+        for p in [[1.0, 0.5], [4.0, 6.0], [-1.0, -1.0]] {
+            assert_eq!(eval.predict(&p).unwrap() as usize, model.predict(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature name count")]
+    fn wrong_feature_name_count_panics() {
+        let model = LinearRegressionModel {
+            intercept: 0.0,
+            weights: vec![1.0, 2.0],
+        };
+        linear_to_pmml(&model, "m", Some(&["only_one".to_string()]), "y");
+    }
+}

@@ -1,0 +1,403 @@
+//! The batch task scheduler.
+//!
+//! An action becomes a *job*; a job launches one independent, stateless
+//! task per partition. Tasks run on a bounded pool of executor slots
+//! (real threads here), retry on failure up to a budget, may be
+//! speculatively duplicated, and the whole job can be killed mid-run.
+//! Tasks do not communicate — everything the paper's Sec. 2.2 says
+//! about MapReduce-class schedulers holds by construction.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{SparkError, SparkResult};
+use crate::failure::{FailureInjector, FailureMode};
+
+/// Per-attempt context handed to task closures.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskContext {
+    /// Partition index this task computes.
+    pub partition: usize,
+    /// 1-based attempt number (speculative copies get their own).
+    pub attempt: u32,
+    /// Whether this attempt is a speculative duplicate.
+    pub speculative: bool,
+    /// Compute-cluster node this attempt runs on.
+    pub executor_node: usize,
+    /// Job id (unique within the context).
+    pub job_id: u64,
+}
+
+/// Scheduler configuration derived from the engine conf.
+#[derive(Debug, Clone)]
+pub(crate) struct SchedulerConf {
+    pub nodes: usize,
+    pub total_slots: usize,
+    pub max_task_attempts: u32,
+    /// Upper bound on real worker threads per job.
+    pub thread_cap: usize,
+}
+
+struct JobState<R> {
+    queue: VecDeque<(usize, u32, bool)>, // (partition, attempt, speculative)
+    results: Vec<Option<R>>,
+    succeeded: usize,
+    completions: u64,
+    attempts_launched: Vec<u32>,
+    live: Vec<u32>,
+    fatal: Option<SparkError>,
+    killed: bool,
+    kill_after: Option<u64>,
+    outstanding: usize,
+}
+
+pub(crate) struct Scheduler {
+    conf: SchedulerConf,
+    next_job: std::sync::atomic::AtomicU64,
+}
+
+impl Scheduler {
+    pub fn new(conf: SchedulerConf) -> Scheduler {
+        Scheduler {
+            conf,
+            next_job: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Run one job: `task_fn` once per partition (plus retries and
+    /// speculative copies), gathering one result per partition.
+    pub fn run_job<R: Send>(
+        &self,
+        partitions: usize,
+        failures: &FailureInjector,
+        task_fn: &(dyn Fn(&TaskContext) -> SparkResult<R> + Sync),
+    ) -> SparkResult<Vec<R>> {
+        if partitions == 0 {
+            return Ok(Vec::new());
+        }
+        let job_id = self
+            .next_job
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+
+        let mut queue = VecDeque::new();
+        let mut attempts_launched = vec![0u32; partitions];
+        let mut live = vec![0u32; partitions];
+        for p in 0..partitions {
+            queue.push_back((p, 1, false));
+            attempts_launched[p] = 1;
+            live[p] += 1;
+            let copies = failures.speculative_copies(p);
+            for c in 0..copies {
+                queue.push_back((p, 2 + c, true));
+                attempts_launched[p] += 1;
+                live[p] += 1;
+            }
+        }
+
+        let state = Mutex::new(JobState::<R> {
+            queue,
+            results: (0..partitions).map(|_| None).collect(),
+            succeeded: 0,
+            completions: 0,
+            attempts_launched,
+            live,
+            fatal: None,
+            killed: false,
+            kill_after: failures.take_kill_after(),
+            outstanding: 0,
+        });
+        let wakeup = Condvar::new();
+
+        let workers = self
+            .conf
+            .total_slots
+            .min(partitions * 2)
+            .min(self.conf.thread_cap)
+            .max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    self.worker_loop(partitions, job_id, &state, &wakeup, failures, task_fn)
+                });
+            }
+        });
+
+        let mut final_state = state.into_inner();
+        if let Some(e) = final_state.fatal.take() {
+            return Err(e);
+        }
+        let results: Option<Vec<R>> = final_state.results.into_iter().collect();
+        results.ok_or_else(|| SparkError::Usage("job ended with missing partitions".into()))
+    }
+
+    fn worker_loop<R: Send>(
+        &self,
+        partitions: usize,
+        job_id: u64,
+        state: &Mutex<JobState<R>>,
+        wakeup: &Condvar,
+        failures: &FailureInjector,
+        task_fn: &(dyn Fn(&TaskContext) -> SparkResult<R> + Sync),
+    ) {
+        loop {
+            let attempt = {
+                let mut st = state.lock();
+                loop {
+                    if st.fatal.is_some() || st.killed || st.succeeded == partitions {
+                        wakeup.notify_all();
+                        return;
+                    }
+                    if let Some(a) = st.queue.pop_front() {
+                        st.outstanding += 1;
+                        break a;
+                    }
+                    if st.outstanding == 0 {
+                        // Nothing queued, nothing running, job not done:
+                        // every remaining partition exhausted retries.
+                        if st.fatal.is_none() {
+                            st.fatal = Some(SparkError::Usage(
+                                "scheduler stalled with incomplete partitions".into(),
+                            ));
+                        }
+                        wakeup.notify_all();
+                        return;
+                    }
+                    wakeup.wait(&mut st);
+                }
+            };
+
+            let (partition, attempt_no, speculative) = attempt;
+            let ctx = TaskContext {
+                partition,
+                attempt: attempt_no,
+                speculative,
+                executor_node: (partition + (attempt_no as usize - 1)) % self.conf.nodes,
+                job_id,
+            };
+
+            // Failure injection wraps the user function. Panics in
+            // task code are caught and treated as task failures so the
+            // scheduler's bookkeeping (and retries) stay sound.
+            let run_guarded = || -> SparkResult<R> {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task_fn(&ctx)))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "task panicked".to_string());
+                        Err(SparkError::Usage(format!("task panic: {msg}")))
+                    })
+            };
+            let outcome: SparkResult<R> = match failures.failure_for(partition, attempt_no) {
+                Some(FailureMode::BeforeWork) => Err(SparkError::InjectedFault {
+                    partition,
+                    attempt: attempt_no,
+                }),
+                Some(FailureMode::AfterWork) => {
+                    // The work happens — side effects included — and
+                    // then the attempt is reported dead.
+                    let _ = run_guarded();
+                    Err(SparkError::InjectedFault {
+                        partition,
+                        attempt: attempt_no,
+                    })
+                }
+                None => run_guarded(),
+            };
+
+            let mut st = state.lock();
+            st.outstanding -= 1;
+            st.live[partition] -= 1;
+            st.completions += 1;
+            if let Some(kill_at) = st.kill_after {
+                if st.completions >= kill_at && !st.killed {
+                    st.killed = true;
+                    st.fatal = Some(SparkError::JobKilled {
+                        completed_tasks: st.completions,
+                    });
+                }
+            }
+            match outcome {
+                Ok(r) => {
+                    if st.results[partition].is_none() {
+                        st.results[partition] = Some(r);
+                        st.succeeded += 1;
+                    }
+                }
+                Err(e) => {
+                    if st.results[partition].is_none() && !st.killed {
+                        if st.attempts_launched[partition] < self.conf.max_task_attempts {
+                            let next = st.attempts_launched[partition] + 1;
+                            st.attempts_launched[partition] = next;
+                            st.live[partition] += 1;
+                            st.queue.push_back((partition, next, false));
+                        } else if st.live[partition] == 0 {
+                            st.fatal = Some(SparkError::TaskFailed {
+                                partition,
+                                attempts: st.attempts_launched[partition],
+                                last_error: e.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            wakeup.notify_all();
+        }
+    }
+}
+
+// Give the failure injector a crate-visible consume-on-read for the
+// job-kill trigger (scripted per job).
+impl FailureInjector {
+    pub(crate) fn take_kill_after(&self) -> Option<u64> {
+        let v = self.kill_after();
+        if v.is_some() {
+            // Clear so only one job dies.
+            self.clear_kill();
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sched(slots: usize) -> Scheduler {
+        Scheduler::new(SchedulerConf {
+            nodes: 4,
+            total_slots: slots,
+            max_task_attempts: 4,
+            thread_cap: 16,
+        })
+    }
+
+    #[test]
+    fn runs_every_partition_once() {
+        let s = sched(8);
+        let failures = FailureInjector::new();
+        let calls = AtomicU64::new(0);
+        let results = s
+            .run_job(10, &failures, &|ctx: &TaskContext| {
+                calls.fetch_add(1, Ordering::AcqRel);
+                Ok(ctx.partition * 2)
+            })
+            .unwrap();
+        assert_eq!(results, (0..10).map(|p| p * 2).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Acquire), 10);
+    }
+
+    #[test]
+    fn retries_failed_tasks() {
+        let s = sched(4);
+        let failures = FailureInjector::new();
+        failures.fail_task(3, 1, FailureMode::BeforeWork);
+        failures.fail_task(3, 2, FailureMode::BeforeWork);
+        let results = s
+            .run_job(5, &failures, &|ctx: &TaskContext| Ok(ctx.attempt))
+            .unwrap();
+        assert_eq!(results[3], 3, "partition 3 succeeded on attempt 3");
+        assert_eq!(results[0], 1);
+    }
+
+    #[test]
+    fn after_work_failures_rerun_side_effects() {
+        let s = sched(4);
+        let failures = FailureInjector::new();
+        failures.fail_task(0, 1, FailureMode::AfterWork);
+        let side_effects = AtomicU64::new(0);
+        let results = s
+            .run_job(1, &failures, &|_ctx: &TaskContext| {
+                side_effects.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        // The work ran twice: once in the doomed attempt, once in the
+        // retry — the duplication hazard of Sec. 2.2.2.
+        assert_eq!(side_effects.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_job() {
+        let s = sched(4);
+        let failures = FailureInjector::new();
+        for attempt in 1..=4 {
+            failures.fail_task(1, attempt, FailureMode::BeforeWork);
+        }
+        let err = s
+            .run_job(3, &failures, &|_ctx: &TaskContext| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, SparkError::TaskFailed { partition: 1, .. }));
+    }
+
+    #[test]
+    fn speculative_copies_run_concurrently_and_first_wins() {
+        let s = sched(8);
+        let failures = FailureInjector::new();
+        failures.speculate(0, 2);
+        let executions = AtomicU64::new(0);
+        let results = s
+            .run_job(2, &failures, &|ctx: &TaskContext| {
+                executions.fetch_add(1, Ordering::AcqRel);
+                Ok(ctx.partition)
+            })
+            .unwrap();
+        assert_eq!(results, vec![0, 1]);
+        // Partition 0 executed 3 times (primary + 2 copies), partition
+        // 1 once.
+        assert_eq!(executions.load(Ordering::Acquire), 4);
+    }
+
+    #[test]
+    fn job_kill_aborts() {
+        let s = sched(2);
+        let failures = FailureInjector::new();
+        failures.kill_job_after(3);
+        let err = s
+            .run_job(10, &failures, &|_ctx: &TaskContext| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, SparkError::JobKilled { .. }));
+        // The next job is unaffected.
+        assert!(s
+            .run_job(4, &failures, &|_ctx: &TaskContext| Ok(()))
+            .is_ok());
+    }
+
+    #[test]
+    fn executor_nodes_round_robin() {
+        let s = sched(8);
+        let failures = FailureInjector::new();
+        let results = s
+            .run_job(8, &failures, &|ctx: &TaskContext| Ok(ctx.executor_node))
+            .unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_partitions_is_trivially_done() {
+        let s = sched(4);
+        let failures = FailureInjector::new();
+        let results: Vec<()> = s
+            .run_job(0, &failures, &|_ctx: &TaskContext| Ok(()))
+            .unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn speculative_failure_does_not_kill_job() {
+        let s = sched(8);
+        let failures = FailureInjector::new();
+        failures.speculate(0, 1);
+        // The speculative copy (attempt 2) dies; the primary succeeds.
+        failures.fail_task(0, 2, FailureMode::BeforeWork);
+        let results = s
+            .run_job(1, &failures, &|ctx: &TaskContext| Ok(ctx.partition))
+            .unwrap();
+        assert_eq!(results, vec![0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The full analytics loop of the paper's Fig. 1: V2S → train in the
+//! engine's ML library → export PMML → deploy into the database (MD) →
+//! score from SQL with `PMMLPredict`.
+//!
+//! The dataset is an iris-like flower table, matching the paper's
+//! Sec. 3.3 example query.
+//!
+//! ```sh
+//! cargo run --example ml_pipeline
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sparklet::mllib::{KMeans, LabeledPoint, LogisticRegression};
+use sparklet::pmml_export::{kmeans_to_pmml, logistic_to_pmml};
+use vertica_spark_fabric::prelude::*;
+
+fn main() {
+    let db = Cluster::new(ClusterConfig::default());
+    let ctx = SparkContext::new(SparkConf::default());
+    DefaultSource::register(&ctx, db.clone());
+
+    // --- Mission-critical data lives in the database ------------------
+    {
+        let mut s = db.connect(0).unwrap();
+        s.execute(
+            "CREATE TABLE IrisTable (sepal_length FLOAT, sepal_width FLOAT, \
+             petal_length FLOAT, petal_width FLOAT, species VARCHAR)",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let rows: Vec<Row> = (0..600)
+            .map(|i| {
+                // Two synthetic species with separated petal geometry.
+                let setosa = i % 2 == 0;
+                let (pl, pw) = if setosa {
+                    (
+                        1.4 + rng.random_range(-0.3..0.3),
+                        0.2 + rng.random_range(-0.1..0.15),
+                    )
+                } else {
+                    (
+                        4.9 + rng.random_range(-0.6..0.6),
+                        1.8 + rng.random_range(-0.4..0.4),
+                    )
+                };
+                row![
+                    5.0 + rng.random_range(-0.8..0.8),
+                    3.2 + rng.random_range(-0.6..0.6),
+                    pl,
+                    pw,
+                    if setosa { "setosa" } else { "virginica" }
+                ]
+            })
+            .collect();
+        s.insert("IrisTable", rows).unwrap();
+    }
+    println!("seeded IrisTable with 600 flowers");
+
+    // --- V2S: load into the engine ------------------------------------
+    let df = ctx
+        .read()
+        .format(DEFAULT_SOURCE)
+        .option("host", 0)
+        .option("table", "IrisTable")
+        .option("numPartitions", 8)
+        .load()
+        .unwrap();
+
+    // --- Train two models with MLlib ----------------------------------
+    let training = df.rdd().unwrap().map(|r: Row| {
+        let label = if r.get(4).as_str().unwrap() == "virginica" {
+            1.0
+        } else {
+            0.0
+        };
+        LabeledPoint::new(
+            label,
+            vec![
+                r.get(0).as_f64().unwrap(),
+                r.get(1).as_f64().unwrap(),
+                r.get(2).as_f64().unwrap(),
+                r.get(3).as_f64().unwrap(),
+            ],
+        )
+    });
+    let classifier = LogisticRegression::default().fit(&training).unwrap();
+    println!(
+        "trained logistic regression: intercept {:.3}, weights {:?}",
+        classifier.intercept,
+        classifier
+            .weights
+            .iter()
+            .map(|w| (w * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    let points = training.map(|p: LabeledPoint| p.features);
+    let clusters = KMeans::new(2).fit(&points).unwrap();
+    println!("trained k-means with {} centers", clusters.centers.len());
+
+    // --- MD: export PMML and deploy into the database ------------------
+    let features = [
+        "sepal_length".to_string(),
+        "sepal_width".to_string(),
+        "petal_length".to_string(),
+        "petal_width".to_string(),
+    ];
+    let md = ModelDeployment::new(db.clone()).unwrap();
+    md.deploy_pmml_model(
+        &logistic_to_pmml(
+            &classifier,
+            "species_model",
+            Some(&features),
+            "is_virginica",
+        ),
+        false,
+    )
+    .unwrap();
+    md.deploy_pmml_model(
+        &kmeans_to_pmml(&clusters, "segments", Some(&features)),
+        false,
+    )
+    .unwrap();
+    for m in md.list_models().unwrap() {
+        println!(
+            "deployed {} ({}; {} features, {} bytes of PMML)",
+            m.name, m.model_type, m.num_features, m.size_bytes
+        );
+    }
+
+    // --- In-database scoring via SQL (the paper's Sec. 3.3 query) -----
+    let mut s = db.connect(1).unwrap();
+    let scored = s
+        .execute(
+            "SELECT species, PMMLPredict(sepal_length, sepal_width, petal_length, \
+             petal_width USING PARAMETERS model_name='species_model') AS p \
+             FROM IrisTable",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+    let correct = scored
+        .rows
+        .iter()
+        .filter(|r| {
+            let is_virginica = r.get(0).as_str().unwrap() == "virginica";
+            let p = r.get(1).as_f64().unwrap();
+            (p >= 0.5) == is_virginica
+        })
+        .count();
+    println!(
+        "\nPMMLPredict scored {} rows in-database; accuracy {:.1}%",
+        scored.rows.len(),
+        100.0 * correct as f64 / scored.rows.len() as f64
+    );
+    assert!(correct as f64 / scored.rows.len() as f64 > 0.98);
+
+    let segmented = s
+        .execute(
+            "SELECT PMMLPredict(sepal_length, sepal_width, petal_length, petal_width \
+             USING PARAMETERS model_name='segments') AS cluster, COUNT(*) \
+             FROM IrisTable GROUP BY PMMLPredict(sepal_length, sepal_width, \
+             petal_length, petal_width USING PARAMETERS model_name='segments')",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+    println!("k-means segments (scored in-database):");
+    for r in &segmented.rows {
+        println!("  cluster {} -> {} flowers", r.get(0), r.get(1));
+    }
+}

@@ -1,0 +1,64 @@
+//! # vertica-spark-fabric
+//!
+//! A from-scratch Rust reproduction of *"Building the Enterprise Fabric
+//! for Big Data with Vertica and Spark Integration"* (SIGMOD 2016): an
+//! MPP column-store database, a Spark-style batch compute engine, and —
+//! the paper's contribution — a connector between them providing
+//!
+//! * **V2S**: parallel, locality-aware, epoch-consistent loads of
+//!   database tables into DataFrames,
+//! * **S2V**: parallel saves with exactly-once semantics under task
+//!   failure, restart, speculation, and total engine failure,
+//! * **MD**: PMML model deployment and in-database scoring.
+//!
+//! This crate re-exports the workspace's public API. Quick tour:
+//!
+//! ```
+//! use vertica_spark_fabric::prelude::*;
+//!
+//! // A 4-node database and an 8-node compute engine.
+//! let db = Cluster::new(ClusterConfig::default());
+//! let ctx = SparkContext::new(SparkConf::default());
+//! DefaultSource::register(&ctx, db.clone());
+//!
+//! // Make a DataFrame and save it with exactly-once semantics.
+//! let schema = Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)]);
+//! let rows = (0..100i64).map(|i| row![i, i as f64]).collect();
+//! let df = ctx.create_dataframe(rows, schema, 4).unwrap();
+//! df.write()
+//!     .format(DEFAULT_SOURCE)
+//!     .option("table", "points")
+//!     .option("numPartitions", 8)
+//!     .mode(SaveMode::Overwrite)
+//!     .save()
+//!     .unwrap();
+//!
+//! // Load it back through locality-aware range queries.
+//! let loaded = ctx.read()
+//!     .format(DEFAULT_SOURCE)
+//!     .option("table", "points")
+//!     .load()
+//!     .unwrap();
+//! assert_eq!(loaded.count().unwrap(), 100);
+//! ```
+//!
+//! See `examples/` for full pipelines and `DESIGN.md` for the system
+//! inventory.
+
+pub use avrolite;
+pub use baselines;
+pub use common;
+pub use connector;
+pub use dfslite;
+pub use mppdb;
+pub use netsim;
+pub use pmml;
+pub use sparklet;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use common::{row, DataType, Expr, Field, Row, Schema, Value};
+    pub use connector::{DefaultSource, ModelDeployment, DEFAULT_SOURCE};
+    pub use mppdb::{Cluster, ClusterConfig, CopyOptions, CopySource, QuerySpec, Session};
+    pub use sparklet::{DataFrame, FailureMode, Options, SaveMode, SparkConf, SparkContext};
+}

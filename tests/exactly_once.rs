@@ -1,0 +1,121 @@
+//! Property-based exactly-once testing: randomized failure schedules
+//! over randomized workloads must never lose or duplicate a row.
+
+use proptest::prelude::*;
+use vertica_spark_fabric::prelude::*;
+
+fn setup() -> (SparkContext, std::sync::Arc<mppdb::Cluster>) {
+    let db = Cluster::new(ClusterConfig::default());
+    let ctx = SparkContext::new(SparkConf {
+        nodes: 4,
+        cores_per_node: 4,
+        max_task_attempts: 6,
+        thread_cap: 8,
+    });
+    DefaultSource::register(&ctx, db.clone());
+    (ctx, db)
+}
+
+#[derive(Debug, Clone)]
+struct FailurePlanSpec {
+    /// `(partition, attempt, after_work)` scripted failures.
+    scripted: Vec<(usize, u32, bool)>,
+    /// `(partition, copies)` speculation.
+    speculative: Vec<(usize, u32)>,
+}
+
+fn arb_plan(partitions: usize) -> impl Strategy<Value = FailurePlanSpec> {
+    let scripted = proptest::collection::vec((0..partitions, 1u32..3, any::<bool>()), 0..4);
+    let speculative = proptest::collection::vec((0..partitions, 1u32..3), 0..2);
+    (scripted, speculative).prop_map(|(scripted, speculative)| FailurePlanSpec {
+        scripted,
+        speculative,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn s2v_is_exactly_once_under_random_failures(
+        rows in 50usize..400,
+        partitions in 2usize..12,
+        plan in arb_plan(12),
+    ) {
+        let (ctx, db) = setup();
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)]);
+        let data: Vec<Row> = (0..rows).map(|i| row![i as i64, i as f64]).collect();
+        let df = ctx.create_dataframe(data, schema, partitions).unwrap();
+
+        for (p, attempt, after) in &plan.scripted {
+            if *p < partitions {
+                let mode = if *after { FailureMode::AfterWork } else { FailureMode::BeforeWork };
+                ctx.failures().fail_task(*p, *attempt, mode);
+            }
+        }
+        for (p, copies) in &plan.speculative {
+            if *p < partitions {
+                ctx.failures().speculate(*p, *copies);
+            }
+        }
+
+        df.write()
+            .format(DEFAULT_SOURCE)
+            .options(Options::new().with("table", "prop_target").with("numPartitions", partitions))
+            .mode(SaveMode::Overwrite)
+            .save()
+            .unwrap();
+        ctx.failures().clear();
+
+        let mut s = db.connect(0).unwrap();
+        let result = s.query(&QuerySpec::scan("prop_target")).unwrap();
+        prop_assert_eq!(result.rows.len(), rows, "row count");
+        let mut ids: Vec<i64> = result.rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        ids.sort();
+        let expected: Vec<i64> = (0..rows as i64).collect();
+        prop_assert_eq!(ids, expected, "every id exactly once");
+    }
+
+    #[test]
+    fn v2s_load_is_complete_under_random_failures(
+        rows in 50usize..300,
+        partitions in 2usize..16,
+        plan in arb_plan(16),
+    ) {
+        let (ctx, db) = setup();
+        {
+            let mut s = db.connect(0).unwrap();
+            s.execute("CREATE TABLE prop_src (id INT, x FLOAT)").unwrap();
+            s.insert("prop_src", (0..rows).map(|i| row![i as i64, 0.5f64]).collect()).unwrap();
+        }
+        for (p, attempt, after) in &plan.scripted {
+            if *p < partitions {
+                let mode = if *after { FailureMode::AfterWork } else { FailureMode::BeforeWork };
+                ctx.failures().fail_task(*p, *attempt, mode);
+            }
+        }
+        for (p, copies) in &plan.speculative {
+            if *p < partitions {
+                ctx.failures().speculate(*p, *copies);
+            }
+        }
+        let loaded = ctx
+            .read()
+            .format(DEFAULT_SOURCE)
+            .option("table", "prop_src")
+            .option("numPartitions", partitions)
+            .load()
+            .unwrap()
+            .collect()
+            .unwrap();
+        ctx.failures().clear();
+        prop_assert_eq!(loaded.len(), rows);
+        let mut ids: Vec<i64> = loaded.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), rows, "no duplicated rows from retried tasks");
+    }
+}
