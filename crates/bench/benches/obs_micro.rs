@@ -1,0 +1,97 @@
+//! Data-collector overhead on the S2V hot path: the same save measured
+//! with the collector recording and with it disabled (the runtime
+//! no-op toggle). The instrumentation budget is <5% of S2V wall time;
+//! compare the two medians after a run to verify.
+
+use bench::datasets;
+use bench::TestBed;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sparklet::{Options, SaveMode};
+
+fn save_once(bed: &TestBed, df: sparklet::DataFrame, table: String) {
+    df.write()
+        .format(connector::DEFAULT_SOURCE)
+        .options(
+            Options::new()
+                .with("host", 0)
+                .with("table", table)
+                .with("numPartitions", 8),
+        )
+        .mode(SaveMode::Overwrite)
+        .save()
+        .unwrap();
+    let _ = bed;
+}
+
+fn bench_s2v_obs_enabled(c: &mut Criterion) {
+    let bed = TestBed::new(4, 8);
+    let (schema, rows) = datasets::d1(2_000, 100, 42);
+    let mut n = 0u64;
+    obs::global().set_enabled(true);
+    c.bench_function("s2v_save_obs_enabled", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                (
+                    bed.dataframe(schema.clone(), rows.clone(), 8),
+                    format!("obs_on_{n}"),
+                )
+            },
+            |(df, table)| save_once(&bed, df, table),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_s2v_obs_disabled(c: &mut Criterion) {
+    let bed = TestBed::new(4, 8);
+    let (schema, rows) = datasets::d1(2_000, 100, 42);
+    let mut n = 0u64;
+    obs::global().set_enabled(false);
+    c.bench_function("s2v_save_obs_disabled", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                (
+                    bed.dataframe(schema.clone(), rows.clone(), 8),
+                    format!("obs_off_{n}"),
+                )
+            },
+            |(df, table)| save_once(&bed, df, table),
+            BatchSize::PerIteration,
+        )
+    });
+    obs::global().set_enabled(true);
+}
+
+fn bench_collector_primitives(c: &mut Criterion) {
+    let collector = obs::Collector::new();
+    c.bench_function("obs_counter_add", |b| {
+        b.iter(|| collector.add("bench.counter", 1))
+    });
+    c.bench_function("obs_emit_event", |b| {
+        b.iter(|| {
+            collector.emit(obs::EventKind::TaskLaunch, |e| {
+                e.task = Some(1);
+                e.detail = "attempt 1".to_string();
+            })
+        })
+    });
+    collector.set_enabled(false);
+    c.bench_function("obs_emit_event_disabled", |b| {
+        b.iter(|| {
+            collector.emit(obs::EventKind::TaskLaunch, |e| {
+                e.task = Some(1);
+                e.detail = "attempt 1".to_string();
+            })
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_s2v_obs_enabled,
+    bench_s2v_obs_disabled,
+    bench_collector_primitives
+);
+criterion_main!(benches);

@@ -10,6 +10,7 @@ use netsim::record::{NetClass, NodeRef};
 use sparklet::{Options, SaveMode};
 
 fn main() {
+    let before = report::begin();
     let bed = TestBed::new(4, 8);
     let (schema, rows) = datasets::d1(LAB_D1_ROWS, 100, 42);
     let spec = specs::d1_100m(LAB_D1_ROWS as u64);
@@ -65,12 +66,14 @@ fn main() {
         .unwrap();
     let insert = simulate(&bed.db.recorder().drain(), &params).seconds;
 
-    report::print(
+    report::publish(
+        "ablation_encoding",
         "Ablation — S2V transport encoding",
         &[
             ReportRow::new("Avro + COPY (the connector)", None, avro),
             ReportRow::new("CSV + COPY", None, csv),
             ReportRow::new("INSERT batches (JDBC-style)", None, insert),
         ],
+        &before,
     );
 }

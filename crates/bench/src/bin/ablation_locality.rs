@@ -12,6 +12,7 @@ use bench::{simulate, SimParams, TestBed};
 use netsim::record::NetClass;
 
 fn main() {
+    let before = report::begin();
     let bed = TestBed::new(4, 8);
     let (schema, rows) = datasets::d1_with_int_column(LAB_D1_ROWS, 100, 42);
     seed_table(&bed, schema, rows, "ablate");
@@ -71,12 +72,14 @@ fn main() {
         .sum();
     let b = simulate(&events, &params).seconds;
 
-    report::print(
+    report::publish(
+        "ablation_locality",
         "Ablation — locality-aware range queries",
         &[
             ReportRow::new("locality-aware (connector)", None, a),
             ReportRow::new("single-host funnel (JDBC-style)", None, b),
         ],
+        &before,
     );
     println!(
         "internal shuffle: locality-aware {} bytes, single-host {} bytes (lab scale)",

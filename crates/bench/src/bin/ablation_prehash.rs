@@ -27,6 +27,7 @@ fn db_internal_bytes(events: &[netsim::record::Event]) -> u64 {
 }
 
 fn main() {
+    let before = report::begin();
     let bed = TestBed::new(4, 8);
     let (schema, rows) = datasets::d1(LAB_D1_ROWS, 100, 42);
     let spec = specs::d1_100m(LAB_D1_ROWS as u64);
@@ -54,5 +55,10 @@ fn main() {
         println!("{label}: database-internal shuffle {shuffle_gb:.1} GB (paper scale)");
         out.push(ReportRow::new(label, None, secs));
     }
-    report::print("Ablation — pre-hashed S2V (Sec. 5)", &out);
+    report::publish(
+        "ablation_prehash",
+        "Ablation — pre-hashed S2V (Sec. 5)",
+        &out,
+        &before,
+    );
 }

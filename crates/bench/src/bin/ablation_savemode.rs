@@ -8,6 +8,7 @@ use bench::{simulate, SimParams, TestBed};
 use sparklet::{Options, SaveMode};
 
 fn main() {
+    let before = report::begin();
     let bed = TestBed::new(4, 8);
     let (schema, rows) = datasets::d1(LAB_D1_ROWS, 100, 42);
     let spec = specs::d1_100m(LAB_D1_ROWS as u64);
@@ -34,6 +35,11 @@ fn main() {
         let secs = simulate(&bed.db.recorder().drain(), &params).seconds;
         out.push(ReportRow::new(label, None, secs));
     }
-    report::print("Ablation — S2V final-commit mode", &out);
+    report::publish(
+        "ablation_savemode",
+        "Ablation — S2V final-commit mode",
+        &out,
+        &before,
+    );
     println!("(the paper's Sec. 5 notes append's final copy is the drawback)");
 }

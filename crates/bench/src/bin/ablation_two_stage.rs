@@ -20,6 +20,7 @@ fn merged_events(bed: &TestBed) -> Vec<Event> {
 }
 
 fn main() {
+    let before = report::begin();
     let bed = TestBed::new(4, 8).with_dfs(4, 256 << 10);
     let (schema, rows) = datasets::d1(LAB_D1_ROWS, 100, 42);
     let spec = specs::d1_100m(LAB_D1_ROWS as u64);
@@ -58,7 +59,8 @@ fn main() {
     assert_eq!(loaded.count().unwrap() as usize, LAB_D1_ROWS);
     let staged_load = simulate(&merged_events(&bed), &params).seconds;
 
-    report::print(
+    report::publish(
+        "ablation_two_stage",
         "Ablation — direct connector vs two-stage DFS landing zone",
         &[
             ReportRow::new("save: direct (S2V @128)", None, direct_save),
@@ -66,6 +68,7 @@ fn main() {
             ReportRow::new("load: direct (V2S @32)", None, direct_load),
             ReportRow::new("load: two-stage via DFS", None, staged_load),
         ],
+        &before,
     );
     println!(
         "two-stage penalty: save {:.2}x, load {:.2}x — the paper's predicted \

@@ -3,9 +3,12 @@ use bench::experiments::fig10_v2s_vs_jdbc::run;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run();
-    report::print(
+    report::publish(
+        "fig10_v2s_vs_jdbc",
         "Fig. 10 — V2S vs JDBC DefaultSource load (5% selectivity)",
         &rows,
+        &before,
     );
 }

@@ -3,6 +3,12 @@ use bench::experiments::fig11_s2v_vs_jdbc::run;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run();
-    report::print("Fig. 11 — S2V vs JDBC DefaultSource save", &rows);
+    report::publish(
+        "fig11_s2v_vs_jdbc",
+        "Fig. 11 — S2V vs JDBC DefaultSource save",
+        &rows,
+        &before,
+    );
 }

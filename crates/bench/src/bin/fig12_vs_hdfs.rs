@@ -3,9 +3,12 @@ use bench::experiments::fig12_vs_hdfs::run;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run();
-    report::print(
+    report::publish(
+        "fig12_vs_hdfs",
         "Fig. 12 — V2S/S2V vs DFS read/write (separate 4:8 clusters)",
         &rows,
+        &before,
     );
 }

@@ -3,9 +3,12 @@ use bench::experiments::fig6_parallelism::{run, PARTITION_SWEEP};
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run(PARTITION_SWEEP);
-    report::print(
+    report::publish(
+        "fig6_parallelism",
         "Fig. 6 — varying the number of partitions (D1, 4:8 cluster)",
         &rows,
+        &before,
     );
 }

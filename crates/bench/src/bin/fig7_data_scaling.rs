@@ -3,9 +3,12 @@ use bench::experiments::fig7_data_scaling::{run, ROW_SWEEP};
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run(ROW_SWEEP);
-    report::print(
+    report::publish(
+        "fig7_data_scaling",
         "Fig. 7 — varying the data size (D1, V2S@32 / S2V@128)",
         &rows,
+        &before,
     );
 }

@@ -3,9 +3,12 @@ use bench::experiments::fig8_cluster_scaling::{run, CLUSTER_SWEEP};
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run(CLUSTER_SWEEP);
-    report::print(
+    report::publish(
+        "fig8_cluster_scaling",
         "Fig. 8 — varying the cluster sizes (2:4 / 4:8 / 8:16)",
         &rows,
+        &before,
     );
 }

@@ -3,9 +3,12 @@ use bench::experiments::fig9_dimensionality::run;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run();
-    report::print(
+    report::publish(
+        "fig9_dimensionality",
         "Fig. 9 — varying the data dimensionality (10,000M cells)",
         &rows,
+        &before,
     );
 }

@@ -1,26 +1,83 @@
 //! Runs every experiment in sequence — the full evaluation section.
+//! Each experiment also lands a `BENCH_<name>.json` report carrying
+//! the data-collector counters it moved.
 use bench::experiments as ex;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = ex::fig6_parallelism::run(ex::fig6_parallelism::PARTITION_SWEEP);
-    report::print("Fig. 6 — varying the number of partitions", &rows);
+    report::publish(
+        "fig6_parallelism",
+        "Fig. 6 — varying the number of partitions",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::table2_resources::run();
-    report::print("Table 2 — node resource usage during V2S", &rows);
+    report::publish(
+        "table2_resources",
+        "Table 2 — node resource usage during V2S",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::fig7_data_scaling::run(ex::fig7_data_scaling::ROW_SWEEP);
-    report::print("Fig. 7 — varying the data size", &rows);
+    report::publish(
+        "fig7_data_scaling",
+        "Fig. 7 — varying the data size",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::fig8_cluster_scaling::run(ex::fig8_cluster_scaling::CLUSTER_SWEEP);
-    report::print("Fig. 8 — varying the cluster sizes", &rows);
+    report::publish(
+        "fig8_cluster_scaling",
+        "Fig. 8 — varying the cluster sizes",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::fig9_dimensionality::run();
-    report::print("Fig. 9 — varying the data dimensionality", &rows);
+    report::publish(
+        "fig9_dimensionality",
+        "Fig. 9 — varying the data dimensionality",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::table3_dataset_d2::run();
-    report::print("Table 3 — dataset D2", &rows);
+    report::publish("table3_dataset_d2", "Table 3 — dataset D2", &rows, &before);
+    let before = report::begin();
     let (rows, _) = ex::fig10_v2s_vs_jdbc::run();
-    report::print("Fig. 10 — V2S vs JDBC DefaultSource load", &rows);
+    report::publish(
+        "fig10_v2s_vs_jdbc",
+        "Fig. 10 — V2S vs JDBC DefaultSource load",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::fig11_s2v_vs_jdbc::run();
-    report::print("Fig. 11 — S2V vs JDBC DefaultSource save", &rows);
+    report::publish(
+        "fig11_s2v_vs_jdbc",
+        "Fig. 11 — S2V vs JDBC DefaultSource save",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _) = ex::fig12_vs_hdfs::run();
-    report::print("Fig. 12 — V2S/S2V vs DFS read/write", &rows);
+    report::publish(
+        "fig12_vs_hdfs",
+        "Fig. 12 — V2S/S2V vs DFS read/write",
+        &rows,
+        &before,
+    );
+    let before = report::begin();
     let (rows, _, _) = ex::table4_vs_copy::run(ex::table4_vs_copy::PART_SWEEP);
-    report::print("Table 4 — S2V vs native COPY", &rows);
+    report::publish(
+        "table4_vs_copy",
+        "Table 4 — S2V vs native COPY",
+        &rows,
+        &before,
+    );
 }

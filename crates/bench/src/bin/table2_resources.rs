@@ -3,9 +3,12 @@ use bench::experiments::table2_resources::run;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run();
-    report::print(
+    report::publish(
+        "table2_resources",
         "Table 2 — node resource usage during V2S (steady state)",
         &rows,
+        &before,
     );
 }

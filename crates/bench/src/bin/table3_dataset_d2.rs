@@ -3,6 +3,12 @@ use bench::experiments::table3_dataset_d2::run;
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _) = run();
-    report::print("Table 3 — dataset D2 (1.46B tweet rows)", &rows);
+    report::publish(
+        "table3_dataset_d2",
+        "Table 3 — dataset D2 (1.46B tweet rows)",
+        &rows,
+        &before,
+    );
 }

@@ -3,6 +3,12 @@ use bench::experiments::table4_vs_copy::{run, PART_SWEEP};
 use bench::report;
 
 fn main() {
+    let before = report::begin();
     let (rows, _, _) = run(PART_SWEEP);
-    report::print("Table 4 — S2V vs native bulk-load COPY", &rows);
+    report::publish(
+        "table4_vs_copy",
+        "Table 4 — S2V vs native bulk-load COPY",
+        &rows,
+        &before,
+    );
 }

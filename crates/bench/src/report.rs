@@ -1,4 +1,9 @@
-//! Report printing: paper-vs-simulated tables.
+//! Report printing: paper-vs-simulated tables, plus machine-readable
+//! `BENCH_<name>.json` reports carrying the data-collector counters
+//! each experiment moved (rows, bytes, retries, ...).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// One row of an experiment report.
 #[derive(Debug, Clone)]
@@ -70,6 +75,95 @@ pub fn print(title: &str, rows: &[ReportRow]) {
     println!("{}", render(title, rows));
 }
 
+/// Mark the start of an experiment: snapshot the data collector so
+/// [`publish`] can report only the counters this experiment moved.
+pub fn begin() -> obs::Snapshot {
+    obs::global().snapshot()
+}
+
+/// Print the table and write `BENCH_<name>.json` beside it: the same
+/// rows plus the collector-counter deltas since [`begin`].
+pub fn publish(name: &str, title: &str, rows: &[ReportRow], before: &obs::Snapshot) {
+    print(title, rows);
+    let counters = obs::global().snapshot().counters_since(before);
+    match write_json(name, title, rows, &counters) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("report: failed to write BENCH_{name}.json: {e}"),
+    }
+}
+
+/// Where the JSON reports land: `$BENCH_OUT_DIR` or the current dir.
+fn out_dir() -> PathBuf {
+    std::env::var_os("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize one experiment to JSON (hand-rolled; the workspace has no
+/// serde and the shape is fixed).
+pub fn to_json(
+    name: &str,
+    title: &str,
+    rows: &[ReportRow],
+    counters: &BTreeMap<String, u64>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", json_escape(name)));
+    out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(title)));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let paper = r
+            .paper
+            .map(|p| format!("{p}"))
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"paper\": {paper}, \"simulated\": {}, \"unit\": \"{}\"}}{}\n",
+            json_escape(&r.label),
+            r.simulated,
+            json_escape(r.unit),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"counters\": {\n");
+    for (i, (k, v)) in counters.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {v}{}\n",
+            json_escape(k),
+            if i + 1 < counters.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn write_json(
+    name: &str,
+    title: &str,
+    rows: &[ReportRow],
+    counters: &BTreeMap<String, u64>,
+) -> std::io::Result<PathBuf> {
+    let path = out_dir().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, to_json(name, title, rows, counters))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +180,22 @@ mod tests {
         assert!(text.contains("0.97x"));
         assert!(text.contains("V2S 4 partitions"));
         assert!(text.contains("   -"));
+    }
+
+    #[test]
+    fn json_report_carries_rows_and_counters() {
+        let rows = vec![
+            ReportRow::new("a \"quoted\" label", Some(10.0), 9.5),
+            ReportRow::new("plain", None, 1.0),
+        ];
+        let mut counters = BTreeMap::new();
+        counters.insert("s2v.rows_loaded".to_string(), 8000u64);
+        counters.insert("sched.task_retries".to_string(), 3u64);
+        let json = to_json("fig6", "Fig. 6", &rows, &counters);
+        assert!(json.contains("\"experiment\": \"fig6\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"paper\": null"));
+        assert!(json.contains("\"s2v.rows_loaded\": 8000"));
+        assert!(json.contains("\"sched.task_retries\": 3"));
     }
 }

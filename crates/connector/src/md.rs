@@ -89,12 +89,20 @@ impl ModelDeployment {
         session.insert(
             MODEL_TABLE,
             vec![Row::new(vec![
-                Value::Varchar(name),
+                Value::Varchar(name.clone()),
                 Value::Varchar(doc.model.model_type().to_string()),
                 Value::Int64(xml.len() as i64),
                 Value::Int64(num_features),
             ])],
         )?;
+        obs::global().emit(obs::EventKind::MdScore, |e| {
+            e.bytes = xml.len() as u64;
+            e.detail = format!(
+                "deployed model {name} ({}, {num_features} features)",
+                doc.model.model_type()
+            );
+        });
+        obs::global().add("md.models_deployed", 1);
         Ok(())
     }
 
@@ -171,6 +179,12 @@ impl PmmlPredictUdf {
             Evaluator::from_xml(xml)
                 .map_err(|e| DbError::Udf(format!("model {name} failed to parse: {e}")))?,
         );
+        // One event per cache fill, not per row — the per-row scoring
+        // throughput lives in the md.predictions counter.
+        obs::global().emit(obs::EventKind::MdScore, |e| {
+            e.bytes = bytes.len() as u64;
+            e.detail = format!("model {name} parsed into the scoring cache");
+        });
         self.cache
             .lock()
             .insert(name.to_string(), Arc::clone(&evaluator));
@@ -196,6 +210,7 @@ impl ScalarUdf for PmmlPredictUdf {
         let score = evaluator
             .predict(&features)
             .map_err(|e| DbError::Udf(e.to_string()))?;
+        obs::global().add("md.predictions", 1);
         Ok(Value::Float64(score))
     }
 }

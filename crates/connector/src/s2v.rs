@@ -52,7 +52,41 @@ pub struct S2vReport {
     /// Per-task samples of rejected rows — "a sample of the rejected
     /// rows is provided" (Sec. 3.2): `(task, first rejection reason)`.
     pub rejected_samples: Vec<(u64, String)>,
+    /// Scheduler job id this save ran as (0 if no tasks ran); keys into
+    /// [`sparklet::SparkContext::job_stats`] and the data collector's
+    /// `job` event column via [`sparklet::job_label`].
+    pub engine_job_id: u64,
+    /// Cumulative microseconds spent in each of the five Fig. 5 phases,
+    /// summed across every task attempt of this job.
+    pub phase_us: [u64; 5],
 }
+
+/// Lock-free accumulator the task closures write their phase timings
+/// into; the driver folds it into the [`S2vReport`].
+#[derive(Default)]
+struct PhaseAcc {
+    engine_job_id: AtomicU64,
+    phase_us: [AtomicU64; 5],
+}
+
+impl PhaseAcc {
+    fn record(&self, phase: usize, dur: std::time::Duration) {
+        self.phase_us[phase - 1].fetch_add(dur.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot_us(&self) -> [u64; 5] {
+        [0, 1, 2, 3, 4].map(|i| self.phase_us[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Per-phase timer names in the data collector.
+const PHASE_TIMERS: [&str; 5] = [
+    "s2v.phase1_us",
+    "s2v.phase2_us",
+    "s2v.phase3_us",
+    "s2v.phase4_us",
+    "s2v.phase5_us",
+];
 
 /// Job-name uniquifier for auto-derived names.
 static JOB_SEQ: AtomicU64 = AtomicU64::new(1);
@@ -103,6 +137,7 @@ pub fn save_to_db(
     opts: &ConnectorOptions,
     mode: SaveMode,
 ) -> SparkResult<S2vReport> {
+    let save_started = std::time::Instant::now();
     let target = sanitize(&opts.table);
     let job_name = opts
         .job_name
@@ -126,6 +161,8 @@ pub fn save_to_db(
                 rows_rejected: 0,
                 committer_task: 0,
                 rejected_samples: Vec::new(),
+                engine_job_id: 0,
+                phase_us: [0; 5],
             })
         }
         _ => {}
@@ -248,7 +285,10 @@ pub fn save_to_db(
     let avro_ref = &avro_schema;
 
     let pool_ref = opts.resource_pool.as_deref();
+    let acc = PhaseAcc::default();
+    let acc_ref = &acc;
     let outcomes = ctx.run_job(&rdd, move |tc, rows| {
+        acc_ref.engine_job_id.store(tc.job_id, Ordering::Release);
         run_task_phases(
             &cluster_for_tasks,
             tc,
@@ -263,6 +303,7 @@ pub fn save_to_db(
             mode,
             partitions,
             pool_ref,
+            acc_ref,
         )
         .map_err(db_err)
     })?;
@@ -368,12 +409,19 @@ pub fn save_to_db(
         .recorder()
         .setup(None, NodeRef::Db(opts.host), "s2v_teardown_tables");
 
+    obs::global().add("s2v.jobs", 1);
+    obs::global().add("s2v.rows_loaded", rows_loaded);
+    obs::global().add("s2v.rows_rejected", rows_rejected);
+    obs::global().record_time("s2v.save_us", save_started.elapsed());
+
     Ok(S2vReport {
         job_name,
         rows_loaded,
         rows_rejected,
         committer_task,
         rejected_samples,
+        engine_job_id: acc.engine_job_id.load(Ordering::Acquire),
+        phase_us: acc.snapshot_us(),
     })
 }
 
@@ -462,6 +510,7 @@ fn run_task_phases(
     mode: SaveMode,
     partitions: usize,
     resource_pool: Option<&str>,
+    acc: &PhaseAcc,
 ) -> DbResult<TaskEnd> {
     let p = tc.partition;
     let node = up_nodes[p % up_nodes.len()];
@@ -474,7 +523,24 @@ fn run_task_phases(
         .recorder()
         .setup(Some(p as u64), NodeRef::Db(node), "s2v_connect");
 
+    // One S2vPhase event (+ timer + report accumulation) per phase exit;
+    // `detail` says how the phase ended so the event log reads as the
+    // Fig. 5 walk of each attempt.
+    let mark = |phase: usize, started: std::time::Instant, detail: String| {
+        let dur = started.elapsed();
+        obs::global().emit(obs::EventKind::S2vPhase, |e| {
+            e.job = Some(job_name.to_string());
+            e.task = Some(p as u64);
+            e.node = Some(node as u64);
+            e.dur_us = dur.as_micros() as u64;
+            e.detail = detail;
+        });
+        obs::global().record_time(PHASE_TIMERS[phase - 1], dur);
+        acc.record(phase, dur);
+    };
+
     // ----- Phase 1: save into staging + conditional done flag --------
+    let phase_started = std::time::Instant::now();
     session.begin()?;
     let phase1 = phase1_save(
         cluster,
@@ -489,19 +555,27 @@ fn run_task_phases(
     match phase1 {
         Ok(true) => {
             session.commit()?;
+            mark(1, phase_started, format!("phase 1 saved partition {p}"));
         }
         Ok(false) => {
             // A duplicate attempt already saved this partition; discard
             // our staged copy.
             session.rollback()?;
+            mark(
+                1,
+                phase_started,
+                format!("phase 1 duplicate of {p}, rolled back"),
+            );
         }
         Err(e) => {
             session.rollback()?;
+            mark(1, phase_started, format!("phase 1 failed: {e}"));
             return Err(e);
         }
     }
 
     // ----- Phase 2: are all tasks done? -------------------------------
+    let phase_started = std::time::Instant::now();
     let not_done = session
         .execute(&format!(
             "SELECT COUNT(*) FROM {} WHERE done = FALSE",
@@ -513,11 +587,18 @@ fn run_task_phases(
         .as_i64()
         .map_err(DbError::Data)?;
     if not_done > 0 {
+        mark(
+            2,
+            phase_started,
+            format!("phase 2: {not_done} tasks pending, terminating"),
+        );
         return Ok(TaskEnd::Done);
     }
+    mark(2, phase_started, "phase 2: all tasks done".to_string());
     debug_assert!(partitions > 0);
 
     // ----- Phase 3: race to become the last committer -----------------
+    let phase_started = std::time::Instant::now();
     session.begin()?;
     let committer_count = session
         .execute(&format!("SELECT COUNT(*) FROM {}", tables.committer))?
@@ -529,11 +610,22 @@ fn run_task_phases(
     if committer_count == 0 {
         session.execute(&format!("INSERT INTO {} VALUES ({p})", tables.committer))?;
         session.commit()?;
+        mark(
+            3,
+            phase_started,
+            format!("phase 3: task {p} claimed the committer slot"),
+        );
     } else {
         session.rollback()?;
+        mark(
+            3,
+            phase_started,
+            "phase 3: committer slot taken".to_string(),
+        );
     }
 
     // ----- Phase 4: did we win? ---------------------------------------
+    let phase_started = std::time::Instant::now();
     let winner = session
         .execute(&format!("SELECT task_id FROM {} LIMIT 1", tables.committer))?
         .rows()?
@@ -542,10 +634,21 @@ fn run_task_phases(
         .as_i64()
         .map_err(DbError::Data)?;
     if winner != p as i64 {
+        mark(
+            4,
+            phase_started,
+            format!("phase 4: task {winner} won, terminating"),
+        );
         return Ok(TaskEnd::Done);
     }
+    mark(
+        4,
+        phase_started,
+        format!("phase 4: task {p} is the committer"),
+    );
 
     // ----- Phase 5: tolerance check + final atomic commit -------------
+    let phase_started = std::time::Instant::now();
     session.begin()?;
     let totals = session.execute(&format!(
         "SELECT SUM(rows_loaded), SUM(rows_rejected) FROM {}",
@@ -567,6 +670,11 @@ fn run_task_phases(
              status = 'failed_tolerance' WHERE job_name = '{job_name}'"
         ))?;
         session.commit()?;
+        mark(
+            5,
+            phase_started,
+            format!("phase 5: tolerance exceeded ({rejected} rejected)"),
+        );
         return Ok(TaskEnd::ToleranceExceeded { loaded, rejected });
     }
 
@@ -584,6 +692,11 @@ fn run_task_phases(
         .to_string();
     if current == "finished" {
         session.rollback()?;
+        mark(
+            5,
+            phase_started,
+            "phase 5: already finished, terminating".to_string(),
+        );
         return Ok(TaskEnd::Done);
     }
 
@@ -619,6 +732,15 @@ fn run_task_phases(
          status = 'finished' WHERE job_name = '{job_name}'"
     ))?;
     session.commit()?;
+    // The exactly-once witness: this exact detail string appears once
+    // per job no matter how many attempts, retries, or speculative
+    // duplicates ran — tests/exactly_once.rs asserts on it.
+    mark(
+        5,
+        phase_started,
+        format!("phase 5 final commit by task {p}, {loaded} loaded"),
+    );
+    obs::global().add("s2v.final_commits", 1);
     Ok(TaskEnd::Committed { loaded, rejected })
 }
 

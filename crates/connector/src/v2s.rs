@@ -242,6 +242,7 @@ impl V2sSource {
             NodeRef::Db(connect_node),
             "v2s_connect",
         );
+        let piece_started = std::time::Instant::now();
         let result = session
             .query(spec)
             .map_err(|e| SparkError::DataSource(e.to_string()))?;
@@ -262,6 +263,45 @@ impl V2sSource {
             bytes,
             rows,
         );
+        let pushdown = format!(
+            "{}{}{}",
+            if spec.count_only { "count" } else { "scan" },
+            if spec.projection.is_some() {
+                ", projected"
+            } else {
+                ""
+            },
+            if spec.predicate.is_some() {
+                ", filtered"
+            } else {
+                ""
+            },
+        );
+        obs::global().emit(obs::EventKind::V2sPiece, |e| {
+            e.task = Some(partition as u64);
+            e.node = Some(connect_node as u64);
+            e.rows = rows;
+            e.bytes = bytes;
+            e.dur_us = piece_started.elapsed().as_micros() as u64;
+            e.detail = format!(
+                "{} from {} ({pushdown}{})",
+                match (spec.hash_range, spec.row_range) {
+                    (Some(_), _) => "hash range",
+                    (_, Some(_)) => "row range",
+                    _ => "full scan",
+                },
+                self.relation_table,
+                if connect_node == node {
+                    ""
+                } else {
+                    ", failover"
+                },
+            );
+        });
+        obs::global().add("v2s.pieces", 1);
+        obs::global().add("v2s.rows", rows);
+        obs::global().add("v2s.bytes", bytes);
+        obs::global().record_time("v2s.piece_us", piece_started.elapsed());
         Ok(result)
     }
 }

@@ -856,7 +856,8 @@ fn s2v_report_carries_rejected_row_samples() {
     let (ctx, cluster) = setup();
     {
         let mut s = cluster.connect(0).unwrap();
-        s.execute("CREATE TABLE picky (id INT NOT NULL, x FLOAT)").unwrap();
+        s.execute("CREATE TABLE picky (id INT NOT NULL, x FLOAT)")
+            .unwrap();
     }
     let schema = Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)]);
     let rows: Vec<Row> = (0..60)

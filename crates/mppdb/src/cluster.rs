@@ -163,13 +163,23 @@ impl Cluster {
                 limit: self.config.max_client_sessions,
             });
         }
+        obs::global().emit(obs::EventKind::SessionOpen, |e| {
+            e.node = Some(node as u64);
+            e.detail = format!("{} open", prev + 1);
+        });
+        obs::global().incr("db.sessions_opened");
         Ok(Session::new(Arc::clone(self), node))
     }
 
     pub(crate) fn close_session(&self, node: usize) {
-        self.nodes[node]
+        let before = self.nodes[node]
             .open_sessions
             .fetch_sub(1, Ordering::AcqRel);
+        obs::global().emit(obs::EventKind::SessionClose, |e| {
+            e.node = Some(node as u64);
+            e.detail = format!("{} open", before.saturating_sub(1));
+        });
+        obs::global().incr("db.sessions_closed");
     }
 
     pub fn open_sessions(&self, node: usize) -> usize {
@@ -245,7 +255,12 @@ impl Cluster {
     // ----- transactions ---------------------------------------------
 
     pub(crate) fn begin_txn(&self) -> TxnHandle {
-        TxnHandle::new(self.next_txn.fetch_add(1, Ordering::AcqRel))
+        let id = self.next_txn.fetch_add(1, Ordering::AcqRel);
+        obs::global().emit(obs::EventKind::TxnBegin, |e| {
+            e.task = Some(id);
+        });
+        obs::global().incr("db.txn_begin");
+        TxnHandle::new(id)
     }
 
     /// Acquire `table`'s lock for the transaction (re-entrant).
@@ -265,6 +280,7 @@ impl Cluster {
     /// Commit: stamp all pending work with the next epoch, publish it,
     /// release locks, and run the tuple mover where the WOS grew large.
     pub(crate) fn commit_txn(&self, txn: TxnHandle) -> u64 {
+        let commit_started = std::time::Instant::now();
         let epoch;
         {
             let _guard = self.commit_lock.lock();
@@ -280,6 +296,18 @@ impl Cluster {
             self.epoch.store(epoch, Ordering::Release);
         }
         self.locks.release_all(txn.id);
+        obs::global().emit(obs::EventKind::TxnCommit, |e| {
+            e.task = Some(txn.id);
+            e.dur_us = commit_started.elapsed().as_micros() as u64;
+            e.detail = format!("epoch {epoch}, {} tables", txn.touched.len());
+        });
+        obs::global().incr("db.txn_commit");
+        obs::global().emit(obs::EventKind::EpochAdvance, |e| {
+            e.task = Some(txn.id);
+            e.detail = format!("epoch {epoch}");
+        });
+        obs::global().incr("db.epoch_advance");
+        obs::global().record_time("db.commit_us", commit_started.elapsed());
         // Post-commit maintenance: moveout of large WOS'es.
         for table in &txn.touched {
             for node in &self.nodes {
@@ -304,6 +332,11 @@ impl Cluster {
             }
         }
         self.locks.release_all(txn.id);
+        obs::global().emit(obs::EventKind::TxnAbort, |e| {
+            e.task = Some(txn.id);
+            e.detail = format!("{} tables", txn.touched.len());
+        });
+        obs::global().incr("db.txn_abort");
     }
 
     // ----- DML ------------------------------------------------------

@@ -75,6 +75,15 @@ pub(crate) fn run_copy(
     options: &CopyOptions,
 ) -> DbResult<CopyResult> {
     let def = cluster.table_def(table)?;
+    let copy_started = std::time::Instant::now();
+    let (format, input_bytes) = match &source {
+        CopySource::Csv { text, .. } => ("csv", text.len() as u64),
+        CopySource::Avro(bytes) => ("avro", bytes.len() as u64),
+        CopySource::Rows(rows) => (
+            "rows",
+            rows.iter().map(|r| r.wire_size() as u64).sum::<u64>(),
+        ),
+    };
     let mut good: Vec<Row> = Vec::new();
     let mut rejected = 0u64;
     let mut sample: Vec<(u64, String)> = Vec::new();
@@ -140,6 +149,7 @@ pub(crate) fn run_copy(
     }
 
     if rejected > options.rejected_max {
+        obs::global().add("db.copy_rejects", rejected);
         return Err(DbError::CopyRejected {
             rejected,
             tolerance: options.rejected_max,
@@ -147,6 +157,21 @@ pub(crate) fn run_copy(
     }
 
     let loaded = cluster.insert_rows(txn, node, task, table, good, options.direct)?;
+    obs::global().emit(obs::EventKind::CopyLoad, |e| {
+        e.node = Some(node as u64);
+        e.task = task;
+        e.rows = loaded;
+        e.bytes = input_bytes;
+        e.dur_us = copy_started.elapsed().as_micros() as u64;
+        e.detail = format!(
+            "{format} into {table}, {rejected} rejected{}",
+            if options.direct { ", direct" } else { "" }
+        );
+    });
+    obs::global().add("db.copy_rows", loaded);
+    obs::global().add("db.copy_bytes", input_bytes);
+    obs::global().add("db.copy_rejects", rejected);
+    obs::global().record_time("db.copy_us", copy_started.elapsed());
     Ok(CopyResult {
         loaded,
         rejected,

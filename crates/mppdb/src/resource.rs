@@ -49,12 +49,30 @@ impl ResourcePool {
     /// Admit one statement, queueing while the pool is full (Vertica
     /// queues rather than rejects). Returns a guard releasing the slot.
     pub fn admit(self: &Arc<Self>) -> PoolGuard {
+        let started = std::time::Instant::now();
         let mut active = self.active.lock();
+        let queued = *active >= self.max_concurrency;
         while *active >= self.max_concurrency {
             self.released.wait(&mut active);
         }
         *active += 1;
         self.high_water.fetch_max(*active, Ordering::AcqRel);
+        let now_active = *active;
+        drop(active);
+        let waited = started.elapsed();
+        obs::global().emit(obs::EventKind::PoolAdmit, |e| {
+            e.dur_us = waited.as_micros() as u64;
+            e.detail = format!(
+                "pool {}, {now_active} active{}",
+                self.name,
+                if queued { ", queued" } else { "" }
+            );
+        });
+        obs::global().add("db.pool_admissions", 1);
+        if queued {
+            obs::global().add("db.pool_queued", 1);
+        }
+        obs::global().record_time("db.pool_admit_wait_us", waited);
         PoolGuard {
             pool: Arc::clone(self),
         }

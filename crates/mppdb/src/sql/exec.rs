@@ -82,7 +82,9 @@ fn explain_select(session: &mut Session, select: &SelectStmt) -> DbResult<QueryR
                     lines.push(format!(
                         "  segment {s} on node {s}: [{:016x}, {})",
                         r.start,
-                        r.end.map(|e| format!("{e:016x}")).unwrap_or_else(|| "2^64".into())
+                        r.end
+                            .map(|e| format!("{e:016x}"))
+                            .unwrap_or_else(|| "2^64".into())
                     ));
                 }
             } else {
@@ -107,7 +109,10 @@ fn explain_select(session: &mut Session, select: &SelectStmt) -> DbResult<QueryR
             Ok(e) if select.joins.is_empty() && !aggregating => {
                 lines.push(format!("filter: {} [pushed down to storage]", e.to_sql()));
             }
-            Ok(e) => lines.push(format!("filter: {} [applied after join/aggregate]", e.to_sql())),
+            Ok(e) => lines.push(format!(
+                "filter: {} [applied after join/aggregate]",
+                e.to_sql()
+            )),
             Err(_) => lines.push("filter: (contains functions; evaluated in the executor)".into()),
         }
     }

@@ -4,95 +4,258 @@
 //! hash-ring segmentation boundaries, along with the node that contains
 //! each segment ... is stored in the Vertica system catalog and can be
 //! queried" (paper Sec. 3.1.2). These read-only virtual tables expose
-//! that metadata to SQL:
+//! that metadata — and the data-collector's observability feed — to
+//! SQL:
 //!
 //! * `v_segments` — one row per hash-ring segment: its owning node and
 //!   its boundaries (hex, since the ring is the full 64-bit space),
 //! * `v_tables` — catalog objects with their segmentation,
-//! * `v_nodes` — node liveness and open session counts.
+//! * `v_nodes` — node liveness and open session counts,
+//! * `dc_events` — the structured event log from the process-wide
+//!   data collector (task launches, transactions, COPY loads, S2V
+//!   phases, ...), one row per event in sequence order,
+//! * `dc_counters` — monotonic counters plus flattened timer
+//!   statistics (`<timer>.count`, `.sum_us`, `.min_us`, `.max_us`,
+//!   `.p50_us`, `.p99_us`) as name/value pairs.
+//!
+//! All tables are defined in one place ([`DEFS`]): the name list and
+//! the scan dispatch both derive from it, so they cannot drift apart.
 
 use common::{DataType, Row, Schema, Value};
 
 use crate::cluster::Cluster;
 
+/// A virtual-table definition: its name and the function producing its
+/// contents. The single source of truth for both [`SYSTEM_TABLES`] and
+/// [`scan_system_table`].
+struct SystemTableDef {
+    name: &'static str,
+    scan: fn(&Cluster) -> (Schema, Vec<Row>),
+}
+
+static DEFS: &[SystemTableDef] = &[
+    SystemTableDef {
+        name: "v_segments",
+        scan: scan_segments,
+    },
+    SystemTableDef {
+        name: "v_tables",
+        scan: scan_tables,
+    },
+    SystemTableDef {
+        name: "v_nodes",
+        scan: scan_nodes,
+    },
+    SystemTableDef {
+        name: "dc_events",
+        scan: scan_dc_events,
+    },
+    SystemTableDef {
+        name: "dc_counters",
+        scan: scan_dc_counters,
+    },
+];
+
 /// Names of the available system tables.
-pub const SYSTEM_TABLES: &[&str] = &["v_segments", "v_tables", "v_nodes"];
+pub const SYSTEM_TABLES: &[&str] = &[
+    "v_segments",
+    "v_tables",
+    "v_nodes",
+    "dc_events",
+    "dc_counters",
+];
 
 /// Produce the contents of a system table, or `None` if `name` isn't one.
 pub(crate) fn scan_system_table(cluster: &Cluster, name: &str) -> Option<(Schema, Vec<Row>)> {
-    match name.to_ascii_lowercase().as_str() {
-        "v_segments" => {
-            let schema = Schema::from_pairs(&[
-                ("segment", DataType::Int64),
-                ("node", DataType::Int64),
-                ("start_hash", DataType::Varchar),
-                ("end_hash", DataType::Varchar),
-            ]);
-            let map = cluster.segment_map();
-            let rows = (0..map.node_count())
-                .map(|s| {
-                    let range = map.segment_range(s);
-                    Row::new(vec![
-                        Value::Int64(s as i64),
-                        Value::Int64(s as i64),
-                        Value::Varchar(format!("{:016x}", range.start)),
-                        Value::Varchar(
-                            range
-                                .end
-                                .map(|e| format!("{e:016x}"))
-                                .unwrap_or_else(|| "ffffffffffffffff+1".to_string()),
-                        ),
-                    ])
-                })
-                .collect();
-            Some((schema, rows))
+    let name = name.to_ascii_lowercase();
+    DEFS.iter()
+        .find(|d| d.name == name)
+        .map(|d| (d.scan)(cluster))
+}
+
+fn scan_segments(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("segment", DataType::Int64),
+        ("node", DataType::Int64),
+        ("start_hash", DataType::Varchar),
+        ("end_hash", DataType::Varchar),
+    ]);
+    let map = cluster.segment_map();
+    let rows = (0..map.node_count())
+        .map(|s| {
+            let range = map.segment_range(s);
+            Row::new(vec![
+                Value::Int64(s as i64),
+                Value::Int64(s as i64),
+                Value::Varchar(format!("{:016x}", range.start)),
+                Value::Varchar(
+                    range
+                        .end
+                        .map(|e| format!("{e:016x}"))
+                        .unwrap_or_else(|| "ffffffffffffffff+1".to_string()),
+                ),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_tables(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("table_name", DataType::Varchar),
+        ("segmented", DataType::Boolean),
+        ("segmentation_columns", DataType::Varchar),
+        ("column_count", DataType::Int64),
+        ("is_temp", DataType::Boolean),
+    ]);
+    let catalog = cluster.catalog.read();
+    let rows = catalog
+        .table_names()
+        .into_iter()
+        .filter_map(|name| {
+            let def = catalog.table(&name).ok()?;
+            let seg_cols = match &def.segmentation {
+                crate::catalog::Segmentation::ByHash(cols) => cols.join(","),
+                crate::catalog::Segmentation::Unsegmented => String::new(),
+            };
+            Some(Row::new(vec![
+                Value::Varchar(def.name.clone()),
+                Value::Boolean(def.is_segmented()),
+                Value::Varchar(seg_cols),
+                Value::Int64(def.schema.len() as i64),
+                Value::Boolean(def.is_temp),
+            ]))
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_nodes(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("node", DataType::Int64),
+        ("is_up", DataType::Boolean),
+        ("open_sessions", DataType::Int64),
+    ]);
+    let rows = (0..cluster.node_count())
+        .map(|n| {
+            Row::new(vec![
+                Value::Int64(n as i64),
+                Value::Boolean(cluster.is_node_up(n)),
+                Value::Int64(cluster.open_sessions(n) as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_dc_events(_cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("seq", DataType::Int64),
+        ("ts_us", DataType::Int64),
+        ("dur_us", DataType::Int64),
+        ("kind", DataType::Varchar),
+        ("job", DataType::Varchar),
+        ("task", DataType::Int64),
+        ("node", DataType::Int64),
+        ("rows", DataType::Int64),
+        ("bytes", DataType::Int64),
+        ("detail", DataType::Varchar),
+    ]);
+    let snap = obs::global().snapshot();
+    let rows = snap
+        .events
+        .into_iter()
+        .map(|e| {
+            Row::new(vec![
+                Value::Int64(e.seq as i64),
+                Value::Int64(e.ts_us as i64),
+                Value::Int64(e.dur_us as i64),
+                Value::Varchar(e.kind.as_str().to_string()),
+                e.job.map(Value::Varchar).unwrap_or(Value::Null),
+                e.task
+                    .map(|t| Value::Int64(t as i64))
+                    .unwrap_or(Value::Null),
+                e.node
+                    .map(|n| Value::Int64(n as i64))
+                    .unwrap_or(Value::Null),
+                Value::Int64(e.rows as i64),
+                Value::Int64(e.bytes as i64),
+                Value::Varchar(e.detail),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_dc_counters(_cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[("name", DataType::Varchar), ("value", DataType::Int64)]);
+    let snap = obs::global().snapshot();
+    let mut rows: Vec<Row> = snap
+        .counters
+        .iter()
+        .map(|(name, value)| {
+            Row::new(vec![
+                Value::Varchar(name.clone()),
+                Value::Int64(*value as i64),
+            ])
+        })
+        .collect();
+    for (name, t) in &snap.timers {
+        for (suffix, value) in [
+            ("count", t.count),
+            ("sum_us", t.sum_us),
+            ("min_us", t.min_us),
+            ("max_us", t.max_us),
+            ("p50_us", t.p50_us),
+            ("p99_us", t.p99_us),
+        ] {
+            rows.push(Row::new(vec![
+                Value::Varchar(format!("{name}.{suffix}")),
+                Value::Int64(value as i64),
+            ]));
         }
-        "v_tables" => {
-            let schema = Schema::from_pairs(&[
-                ("table_name", DataType::Varchar),
-                ("segmented", DataType::Boolean),
-                ("segmentation_columns", DataType::Varchar),
-                ("column_count", DataType::Int64),
-                ("is_temp", DataType::Boolean),
-            ]);
-            let catalog = cluster.catalog.read();
-            let rows = catalog
-                .table_names()
-                .into_iter()
-                .filter_map(|name| {
-                    let def = catalog.table(&name).ok()?;
-                    let seg_cols = match &def.segmentation {
-                        crate::catalog::Segmentation::ByHash(cols) => cols.join(","),
-                        crate::catalog::Segmentation::Unsegmented => String::new(),
-                    };
-                    Some(Row::new(vec![
-                        Value::Varchar(def.name.clone()),
-                        Value::Boolean(def.is_segmented()),
-                        Value::Varchar(seg_cols),
-                        Value::Int64(def.schema.len() as i64),
-                        Value::Boolean(def.is_temp),
-                    ]))
-                })
-                .collect();
-            Some((schema, rows))
+    }
+    rows.push(Row::new(vec![
+        Value::Varchar("dc.dropped_events".to_string()),
+        Value::Int64(snap.dropped_events as i64),
+    ]));
+    (schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    /// `SYSTEM_TABLES` (the public const) must stay in bijection with
+    /// the scan dispatch in `DEFS` — the drift this guards against is a
+    /// table that is advertised but not scannable, or vice versa.
+    #[test]
+    fn system_tables_const_matches_defs() {
+        let from_defs: Vec<&str> = DEFS.iter().map(|d| d.name).collect();
+        assert_eq!(SYSTEM_TABLES, from_defs.as_slice());
+        // Every advertised table actually scans.
+        let cluster = Cluster::new(ClusterConfig::default());
+        for name in SYSTEM_TABLES {
+            assert!(
+                scan_system_table(&cluster, name).is_some(),
+                "{name} is advertised but does not scan"
+            );
         }
-        "v_nodes" => {
-            let schema = Schema::from_pairs(&[
-                ("node", DataType::Int64),
-                ("is_up", DataType::Boolean),
-                ("open_sessions", DataType::Int64),
-            ]);
-            let rows = (0..cluster.node_count())
-                .map(|n| {
-                    Row::new(vec![
-                        Value::Int64(n as i64),
-                        Value::Boolean(cluster.is_node_up(n)),
-                        Value::Int64(cluster.open_sessions(n) as i64),
-                    ])
-                })
-                .collect();
-            Some((schema, rows))
-        }
-        _ => None,
+    }
+
+    #[test]
+    fn dc_tables_have_stable_schemas() {
+        let cluster = Cluster::new(ClusterConfig::default());
+        let (events_schema, _) = scan_system_table(&cluster, "dc_events").unwrap();
+        assert_eq!(events_schema.len(), 10);
+        assert_eq!(events_schema.fields()[0].name, "seq");
+        assert_eq!(events_schema.fields()[3].name, "kind");
+        let (counters_schema, counter_rows) = scan_system_table(&cluster, "dc_counters").unwrap();
+        assert_eq!(counters_schema.len(), 2);
+        // dc.dropped_events is always present.
+        assert!(counter_rows.iter().any(
+            |r| matches!(r.values().first(), Some(Value::Varchar(n)) if n == "dc.dropped_events")
+        ));
     }
 }

@@ -490,7 +490,10 @@ fn explain_describes_the_plan() {
     assert!(p.contains("limit: 3"), "{p}");
 
     // Aggregate + order: executor-side.
-    let p = plan(&mut s, "EXPLAIN SELECT id, COUNT(*) FROM facts GROUP BY id ORDER BY id");
+    let p = plan(
+        &mut s,
+        "EXPLAIN SELECT id, COUNT(*) FROM facts GROUP BY id ORDER BY id",
+    );
     assert!(p.contains("aggregate: 1 group key(s)"), "{p}");
     assert!(p.contains("sort: 1 key(s)"), "{p}");
 
@@ -500,7 +503,8 @@ fn explain_describes_the_plan() {
     assert!(p.contains(&format!("epoch: {e}")), "{p}");
 
     // Unsegmented + system tables.
-    s.execute("CREATE TABLE dim (a INT) UNSEGMENTED ALL NODES").unwrap();
+    s.execute("CREATE TABLE dim (a INT) UNSEGMENTED ALL NODES")
+        .unwrap();
     let p = plan(&mut s, "EXPLAIN SELECT * FROM dim");
     assert!(p.contains("local replica"), "{p}");
     let p = plan(&mut s, "EXPLAIN SELECT * FROM v_segments");
@@ -517,7 +521,8 @@ fn tuple_mover_runs_automatically_past_the_wos_threshold() {
         ..ClusterConfig::default()
     });
     let mut s = c.connect(0).unwrap();
-    s.execute("CREATE TABLE wosy (id INT, tag VARCHAR)").unwrap();
+    s.execute("CREATE TABLE wosy (id INT, tag VARCHAR)")
+        .unwrap();
     // A small commit stays in the WOS...
     s.insert("wosy", (0..50).map(|i| row![i as i64, "x"]).collect())
         .unwrap();
@@ -525,11 +530,8 @@ fn tuple_mover_runs_automatically_past_the_wos_threshold() {
     assert!(stats.iter().any(|st| st.wos_rows > 0));
     assert_eq!(stats.iter().map(|st| st.ros_rows).sum::<usize>(), 0);
     // ...while a large one triggers moveout on commit.
-    s.insert(
-        "wosy",
-        (50..2_000).map(|i| row![i as i64, "x"]).collect(),
-    )
-    .unwrap();
+    s.insert("wosy", (50..2_000).map(|i| row![i as i64, "x"]).collect())
+        .unwrap();
     let stats = c.table_stats("wosy").unwrap();
     assert_eq!(stats.iter().map(|st| st.wos_rows).sum::<usize>(), 0);
     assert_eq!(stats.iter().map(|st| st.ros_rows).sum::<usize>(), 2_000);
@@ -539,7 +541,8 @@ fn tuple_mover_runs_automatically_past_the_wos_threshold() {
 fn ros_encodings_compress_low_cardinality_columns() {
     let c = cluster();
     let mut s = c.connect(0).unwrap();
-    s.execute("CREATE TABLE enc (id INT, category VARCHAR)").unwrap();
+    s.execute("CREATE TABLE enc (id INT, category VARCHAR)")
+        .unwrap();
     // Repetitive category strings: dictionary/RLE territory.
     let rows: Vec<common::Row> = (0..4_000)
         .map(|i| row![i as i64, format!("category-{}", i % 3)])

@@ -1,0 +1,593 @@
+//! A process-wide data collector, modeled on Vertica's Data Collector
+//! (the monitoring layer behind its `dc_*` system tables).
+//!
+//! Three kinds of telemetry:
+//!
+//! * **Events** ([`Event`]) — structured records (an [`EventKind`],
+//!   fixed fields, a monotonic timestamp and sequence number) kept in
+//!   sharded in-memory ring buffers. Each thread writes to its own
+//!   shard, so hot paths never contend on one lock; a snapshot drains
+//!   all shards and re-sorts by sequence number.
+//! * **Counters** — named monotonic `u64`s (`rows loaded`, `task
+//!   retries`, ...), updated with a single atomic add.
+//! * **Timers** — named log2-bucketed histograms of span durations,
+//!   recorded via [`Collector::record_time`] or the RAII
+//!   [`Span`] guard.
+//!
+//! The process-wide instance is [`global()`]; isolated instances
+//! ([`Collector::new`]) exist for tests. Collection can be switched
+//! off at runtime ([`Collector::set_enabled`]): every recording entry
+//! point checks one relaxed atomic load and returns before building
+//! the record, so disabled instrumentation costs a branch.
+//!
+//! The database surfaces a snapshot of the global collector as the
+//! `dc_events` / `dc_counters` system tables, making observability
+//! SQL-queryable exactly as in the paper's database.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Number of event shards; writers pick one per thread.
+const SHARDS: usize = 16;
+
+/// Ring capacity per shard. Oldest events are dropped (and counted)
+/// once a shard fills, bounding memory for long processes.
+const SHARD_CAP: usize = 16_384;
+
+/// The event taxonomy, spanning the three instrumented layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    // Compute-engine scheduler.
+    TaskLaunch,
+    TaskFinish,
+    TaskRetry,
+    TaskSpeculative,
+    JobKill,
+    JobFinish,
+    // Database.
+    TxnBegin,
+    TxnCommit,
+    TxnAbort,
+    EpochAdvance,
+    CopyLoad,
+    PoolAdmit,
+    SessionOpen,
+    SessionClose,
+    // Connector.
+    S2vPhase,
+    V2sPiece,
+    MdScore,
+}
+
+impl EventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::TaskLaunch => "task_launch",
+            EventKind::TaskFinish => "task_finish",
+            EventKind::TaskRetry => "task_retry",
+            EventKind::TaskSpeculative => "task_speculative",
+            EventKind::JobKill => "job_kill",
+            EventKind::JobFinish => "job_finish",
+            EventKind::TxnBegin => "txn_begin",
+            EventKind::TxnCommit => "txn_commit",
+            EventKind::TxnAbort => "txn_abort",
+            EventKind::EpochAdvance => "epoch_advance",
+            EventKind::CopyLoad => "copy_load",
+            EventKind::PoolAdmit => "pool_admit",
+            EventKind::SessionOpen => "session_open",
+            EventKind::SessionClose => "session_close",
+            EventKind::S2vPhase => "s2v_phase",
+            EventKind::V2sPiece => "v2s_piece",
+            EventKind::MdScore => "md_score",
+        }
+    }
+}
+
+/// One structured record in the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number; total order across shards.
+    pub seq: u64,
+    /// Microseconds since the collector was created.
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instantaneous events).
+    pub dur_us: u64,
+    pub kind: EventKind,
+    /// Job name or id the event belongs to, when known.
+    pub job: Option<String>,
+    /// Task / partition index, when known.
+    pub task: Option<u64>,
+    /// Node index (database or compute, per layer), when known.
+    pub node: Option<u64>,
+    /// Row count the event accounts for.
+    pub rows: u64,
+    /// Byte volume the event accounts for.
+    pub bytes: u64,
+    /// Free-form detail (phase name, pool name, reject reason, ...).
+    pub detail: String,
+}
+
+/// Aggregated statistics for one named timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStats {
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    /// Approximate percentiles from log2 buckets (upper bound of the
+    /// bucket holding the percentile).
+    pub p50_us: u64,
+    pub p99_us: u64,
+}
+
+#[derive(Debug)]
+struct Timer {
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+    /// `buckets[i]` counts durations with `dur_us < 2^i` (first
+    /// matching bucket).
+    buckets: [u64; 64],
+}
+
+impl Default for Timer {
+    fn default() -> Timer {
+        Timer {
+            count: 0,
+            sum_us: 0,
+            min_us: 0,
+            max_us: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Timer {
+    fn record(&mut self, dur_us: u64) {
+        self.count += 1;
+        self.sum_us += dur_us;
+        if self.count == 1 || dur_us < self.min_us {
+            self.min_us = dur_us;
+        }
+        if dur_us > self.max_us {
+            self.max_us = dur_us;
+        }
+        let bucket = (64 - dur_us.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper bound of bucket i, clamped to the observed max.
+                let bound = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return bound.min(self.max_us).max(self.min_us);
+            }
+        }
+        self.max_us
+    }
+
+    fn stats(&self) -> TimerStats {
+        TimerStats {
+            count: self.count,
+            sum_us: self.sum_us,
+            min_us: self.min_us,
+            max_us: self.max_us,
+            p50_us: self.percentile(0.50),
+            p99_us: self.percentile(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of everything the collector holds.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All retained events, in sequence order.
+    pub events: Vec<Event>,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Timer name → aggregated stats.
+    pub timers: BTreeMap<String, TimerStats>,
+    /// Events discarded because a shard's ring filled.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Counter increments between `earlier` and `self` — what an
+    /// experiment consumed, independent of whatever ran before it.
+    pub fn counters_since(&self, earlier: &Snapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(name, v)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .filter(|(_, delta)| *delta > 0)
+            .collect()
+    }
+
+    /// Events of one kind, in order.
+    pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+/// The data collector. See the crate docs for the model.
+pub struct Collector {
+    enabled: AtomicBool,
+    start: Instant,
+    seq: AtomicU64,
+    shards: Vec<Mutex<std::collections::VecDeque<Event>>>,
+    dropped: AtomicU64,
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    timers: RwLock<HashMap<&'static str, Arc<Mutex<Timer>>>>,
+    next_shard: AtomicUsize,
+}
+
+/// `Registry` is the collector's public face for snapshot consumers
+/// (benches snapshot "the registry"); it is the same type.
+pub type Registry = Collector;
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    pub fn new() -> Collector {
+        Collector {
+            enabled: AtomicBool::new(true),
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            dropped: AtomicU64::new(0),
+            counters: RwLock::new(HashMap::new()),
+            timers: RwLock::new(HashMap::new()),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    /// Runtime toggle. Disabled collectors drop every record at the
+    /// entry point, before field closures run.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn shard_index(&self) -> usize {
+        thread_local! {
+            static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        SHARD.with(|s| {
+            if s.get() == usize::MAX {
+                s.set(self.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS);
+            }
+            s.get()
+        })
+    }
+
+    /// Record one event. `fill` runs only when collection is enabled,
+    /// so argument formatting costs nothing when it is off.
+    pub fn emit(&self, kind: EventKind, fill: impl FnOnce(&mut Event)) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ts_us: self.start.elapsed().as_micros() as u64,
+            dur_us: 0,
+            kind,
+            job: None,
+            task: None,
+            node: None,
+            rows: 0,
+            bytes: 0,
+            detail: String::new(),
+        };
+        fill(&mut event);
+        let mut shard = self.shards[self.shard_index()].lock();
+        if shard.len() >= SHARD_CAP {
+            shard.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push_back(event);
+    }
+
+    fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Add `delta` to a named counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add 1 to a named counter.
+    pub fn incr(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Record one span duration into a named timer histogram.
+    pub fn record_time(&self, name: &'static str, dur: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let timer = {
+            let read = self.timers.read();
+            match read.get(name) {
+                Some(t) => Arc::clone(t),
+                None => {
+                    drop(read);
+                    Arc::clone(
+                        self.timers
+                            .write()
+                            .entry(name)
+                            .or_insert_with(|| Arc::new(Mutex::new(Timer::default()))),
+                    )
+                }
+            }
+        };
+        timer.lock().record(dur.as_micros() as u64);
+    }
+
+    /// Start a RAII span; its wall time is recorded when the guard
+    /// drops (or sooner via [`Span::finish`]).
+    pub fn span<'a>(&'a self, name: &'static str) -> Span<'a> {
+        Span {
+            collector: self,
+            name,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Copy out events, counters, and timers.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut events: Vec<Event> = Vec::new();
+        for shard in &self.shards {
+            events.extend(shard.lock().iter().cloned());
+        }
+        events.sort_by_key(|e| e.seq);
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, v)| (name.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        let timers = self
+            .timers
+            .read()
+            .iter()
+            .map(|(name, t)| (name.to_string(), t.lock().stats()))
+            .collect();
+        Snapshot {
+            events,
+            counters,
+            timers,
+            dropped_events: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Discard all retained events, counters, and timers.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.counters.write().clear();
+        self.timers.write().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII timer guard from [`Collector::span`].
+pub struct Span<'a> {
+    collector: &'a Collector,
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl Span<'_> {
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Record now and return the measured duration.
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.collector.record_time(self.name, dur);
+        self.done = true;
+        dur
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.collector.record_time(self.name, self.start.elapsed());
+        }
+    }
+}
+
+/// The process-wide collector instance all layers record into.
+pub fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn events_are_sequenced_and_carry_fields() {
+        let c = Collector::new();
+        c.emit(EventKind::TaskLaunch, |e| {
+            e.job = Some("j1".into());
+            e.task = Some(3);
+        });
+        c.emit(EventKind::TaskFinish, |e| {
+            e.job = Some("j1".into());
+            e.rows = 10;
+            e.bytes = 100;
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, EventKind::TaskLaunch);
+        assert_eq!(snap.events[0].task, Some(3));
+        assert!(snap.events[0].seq < snap.events[1].seq);
+        assert!(snap.events[0].ts_us <= snap.events[1].ts_us);
+        assert_eq!(snap.events[1].rows, 10);
+        assert_eq!(snap.events_of(EventKind::TaskFinish).count(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let c = Collector::new();
+        c.add("x.rows", 5);
+        let before = c.snapshot();
+        c.add("x.rows", 7);
+        c.incr("x.jobs");
+        let after = c.snapshot();
+        assert_eq!(after.counters["x.rows"], 12);
+        let delta = after.counters_since(&before);
+        assert_eq!(delta["x.rows"], 7);
+        assert_eq!(delta["x.jobs"], 1);
+    }
+
+    #[test]
+    fn timers_track_distribution() {
+        let c = Collector::new();
+        for us in [10u64, 20, 30, 40, 5000] {
+            c.record_time("t", Duration::from_micros(us));
+        }
+        let stats = c.snapshot().timers["t"];
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.sum_us, 5100);
+        assert_eq!(stats.min_us, 10);
+        assert_eq!(stats.max_us, 5000);
+        assert!(stats.p50_us >= 10 && stats.p50_us < 5000, "{stats:?}");
+        assert!(stats.p99_us >= stats.p50_us);
+        assert!(stats.p99_us <= 5000);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_and_finish() {
+        let c = Collector::new();
+        {
+            let _s = c.span("implicit");
+        }
+        let d = c.span("explicit").finish();
+        let snap = c.snapshot();
+        assert_eq!(snap.timers["implicit"].count, 1);
+        assert_eq!(snap.timers["explicit"].count, 1);
+        assert!(snap.timers["explicit"].sum_us <= d.as_micros() as u64 + 1);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing_and_skips_closures() {
+        let c = Collector::new();
+        c.set_enabled(false);
+        let ran = AtomicU32::new(0);
+        c.emit(EventKind::TxnBegin, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        c.add("n", 3);
+        c.record_time("t", Duration::from_micros(9));
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "fill closure must not run");
+        let snap = c.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.timers.is_empty());
+        c.set_enabled(true);
+        c.incr("n");
+        assert_eq!(c.counter_value("n"), 1);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_beyond_capacity() {
+        let c = Collector::new();
+        for _ in 0..(SHARD_CAP + 10) {
+            c.emit(EventKind::TxnBegin, |_| {});
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.events.len(), SHARD_CAP);
+        assert_eq!(snap.dropped_events, 10);
+        // The survivors are the newest events.
+        assert_eq!(snap.events[0].seq, 10);
+    }
+
+    #[test]
+    fn concurrent_writers_land_in_one_total_order() {
+        let c = Arc::new(Collector::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        c.emit(EventKind::CopyLoad, |e| {
+                            e.node = Some(t);
+                            e.rows = i;
+                        });
+                        c.add("rows", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.events.len(), 8 * 500);
+        assert_eq!(snap.counters["rows"], 8 * 500);
+        assert!(snap.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c = Collector::new();
+        c.emit(EventKind::TxnBegin, |_| {});
+        c.add("n", 2);
+        c.record_time("t", Duration::from_micros(1));
+        c.clear();
+        let snap = c.snapshot();
+        assert!(snap.events.is_empty() && snap.counters.is_empty() && snap.timers.is_empty());
+    }
+}

@@ -98,6 +98,12 @@ impl SparkContext {
         &self.inner.failures
     }
 
+    /// Observed stats for a finished job (see
+    /// [`crate::scheduler::JobStats`]); `None` once pruned.
+    pub fn job_stats(&self, job_id: u64) -> Option<crate::scheduler::JobStats> {
+        self.inner.scheduler.job_stats(job_id)
+    }
+
     /// Distribute a local collection into an RDD with `partitions`
     /// near-equal slices.
     pub fn parallelize<T: Clone + Send + Sync + 'static>(

@@ -37,4 +37,4 @@ pub use datasource::{DataSourceProvider, Options, SaveMode, ScanRelation};
 pub use error::{SparkError, SparkResult};
 pub use failure::{FailureInjector, FailureMode};
 pub use rdd::Rdd;
-pub use scheduler::TaskContext;
+pub use scheduler::{job_label, JobStats, TaskContext};

@@ -7,7 +7,8 @@
 //! Tasks do not communicate — everything the paper's Sec. 2.2 says
 //! about MapReduce-class schedulers holds by construction.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -40,7 +41,7 @@ pub(crate) struct SchedulerConf {
 }
 
 struct JobState<R> {
-    queue: VecDeque<(usize, u32, bool)>, // (partition, attempt, speculative)
+    queue: VecDeque<(usize, u32, bool, Instant)>, // (partition, attempt, speculative, enqueued)
     results: Vec<Option<R>>,
     succeeded: usize,
     completions: u64,
@@ -50,19 +51,68 @@ struct JobState<R> {
     killed: bool,
     kill_after: Option<u64>,
     outstanding: usize,
+    // Observability tallies for the finished job's `JobStats`.
+    launches: u64,
+    retries: u64,
+    speculative: u64,
+}
+
+/// What the scheduler observed while running one job — the engine-side
+/// ground truth the connector's exactly-once tests compare the event
+/// log against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStats {
+    pub job_id: u64,
+    pub partitions: usize,
+    /// Attempts handed to executor slots (primaries + retries +
+    /// speculative copies).
+    pub tasks_launched: u64,
+    /// Attempts that ran to completion (successfully or not).
+    pub tasks_completed: u64,
+    /// Retry attempts scheduled after failures.
+    pub retries: u64,
+    /// Speculative duplicate attempts enqueued.
+    pub speculative: u64,
+    pub killed: bool,
 }
 
 pub(crate) struct Scheduler {
     conf: SchedulerConf,
-    next_job: std::sync::atomic::AtomicU64,
+    /// Stats of finished jobs, by job id (bounded; oldest pruned).
+    stats: Mutex<HashMap<u64, JobStats>>,
 }
+
+/// Job ids are process-global (not per-context) so the data collector's
+/// `job-<id>` event labels never collide between contexts sharing the
+/// process-wide collector.
+static NEXT_JOB: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Finished-job stats retained before pruning the oldest half.
+const STATS_CAP: usize = 1024;
 
 impl Scheduler {
     pub fn new(conf: SchedulerConf) -> Scheduler {
         Scheduler {
             conf,
-            next_job: std::sync::atomic::AtomicU64::new(1),
+            stats: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Stats for a finished job, if still retained.
+    pub fn job_stats(&self, job_id: u64) -> Option<JobStats> {
+        self.stats.lock().get(&job_id).copied()
+    }
+
+    fn retain_stats(&self, stats: JobStats) {
+        let mut map = self.stats.lock();
+        if map.len() >= STATS_CAP {
+            let mut ids: Vec<u64> = map.keys().copied().collect();
+            ids.sort_unstable();
+            for id in &ids[..ids.len() / 2] {
+                map.remove(id);
+            }
+        }
+        map.insert(stats.job_id, stats);
     }
 
     /// Run one job: `task_fn` once per partition (plus retries and
@@ -76,22 +126,29 @@ impl Scheduler {
         if partitions == 0 {
             return Ok(Vec::new());
         }
-        let job_id = self
-            .next_job
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let job_id = NEXT_JOB.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
 
         let mut queue = VecDeque::new();
         let mut attempts_launched = vec![0u32; partitions];
         let mut live = vec![0u32; partitions];
+        let mut speculative = 0u64;
+        let now = Instant::now();
         for p in 0..partitions {
-            queue.push_back((p, 1, false));
+            queue.push_back((p, 1, false, now));
             attempts_launched[p] = 1;
             live[p] += 1;
             let copies = failures.speculative_copies(p);
             for c in 0..copies {
-                queue.push_back((p, 2 + c, true));
+                queue.push_back((p, 2 + c, true, now));
                 attempts_launched[p] += 1;
                 live[p] += 1;
+                speculative += 1;
+                obs::global().emit(obs::EventKind::TaskSpeculative, |e| {
+                    e.job = Some(job_label(job_id));
+                    e.task = Some(p as u64);
+                    e.detail = format!("attempt {}", 2 + c);
+                });
+                obs::global().incr("sched.speculative_tasks");
             }
         }
 
@@ -106,6 +163,9 @@ impl Scheduler {
             killed: false,
             kill_after: failures.take_kill_after(),
             outstanding: 0,
+            launches: 0,
+            retries: 0,
+            speculative,
         });
         let wakeup = Condvar::new();
 
@@ -125,6 +185,25 @@ impl Scheduler {
         });
 
         let mut final_state = state.into_inner();
+        self.retain_stats(JobStats {
+            job_id,
+            partitions,
+            tasks_launched: final_state.launches,
+            tasks_completed: final_state.completions,
+            retries: final_state.retries,
+            speculative: final_state.speculative,
+            killed: final_state.killed,
+        });
+        obs::global().incr("sched.jobs");
+        obs::global().emit(obs::EventKind::JobFinish, |e| {
+            e.job = Some(job_label(job_id));
+            e.task = Some(partitions as u64);
+            e.detail = match (&final_state.fatal, final_state.killed) {
+                (_, true) => "killed".to_string(),
+                (Some(err), _) => format!("failed: {err}"),
+                (None, _) => "ok".to_string(),
+            };
+        });
         if let Some(e) = final_state.fatal.take() {
             return Err(e);
         }
@@ -151,6 +230,7 @@ impl Scheduler {
                     }
                     if let Some(a) = st.queue.pop_front() {
                         st.outstanding += 1;
+                        st.launches += 1;
                         break a;
                     }
                     if st.outstanding == 0 {
@@ -168,7 +248,7 @@ impl Scheduler {
                 }
             };
 
-            let (partition, attempt_no, speculative) = attempt;
+            let (partition, attempt_no, speculative, enqueued) = attempt;
             let ctx = TaskContext {
                 partition,
                 attempt: attempt_no,
@@ -176,6 +256,20 @@ impl Scheduler {
                 executor_node: (partition + (attempt_no as usize - 1)) % self.conf.nodes,
                 job_id,
             };
+            let slot_wait = enqueued.elapsed();
+            obs::global().record_time("sched.slot_wait_us", slot_wait);
+            obs::global().emit(obs::EventKind::TaskLaunch, |e| {
+                e.job = Some(job_label(job_id));
+                e.task = Some(partition as u64);
+                e.node = Some(ctx.executor_node as u64);
+                e.dur_us = slot_wait.as_micros() as u64;
+                e.detail = format!(
+                    "attempt {attempt_no}{}",
+                    if speculative { " speculative" } else { "" }
+                );
+            });
+            obs::global().incr("sched.tasks_launched");
+            let run_started = Instant::now();
 
             // Failure injection wraps the user function. Panics in
             // task code are caught and treated as task failures so the
@@ -208,6 +302,20 @@ impl Scheduler {
                 None => run_guarded(),
             };
 
+            let run_time = run_started.elapsed();
+            obs::global().record_time("sched.task_run_us", run_time);
+            obs::global().emit(obs::EventKind::TaskFinish, |e| {
+                e.job = Some(job_label(job_id));
+                e.task = Some(partition as u64);
+                e.node = Some(ctx.executor_node as u64);
+                e.dur_us = run_time.as_micros() as u64;
+                e.detail = format!(
+                    "attempt {attempt_no} {}",
+                    if outcome.is_ok() { "ok" } else { "failed" }
+                );
+            });
+            obs::global().incr("sched.tasks_finished");
+
             let mut st = state.lock();
             st.outstanding -= 1;
             st.live[partition] -= 1;
@@ -218,6 +326,11 @@ impl Scheduler {
                     st.fatal = Some(SparkError::JobKilled {
                         completed_tasks: st.completions,
                     });
+                    obs::global().emit(obs::EventKind::JobKill, |e| {
+                        e.job = Some(job_label(job_id));
+                        e.detail = format!("after {} completed tasks", st.completions);
+                    });
+                    obs::global().incr("sched.jobs_killed");
                 }
             }
             match outcome {
@@ -233,7 +346,14 @@ impl Scheduler {
                             let next = st.attempts_launched[partition] + 1;
                             st.attempts_launched[partition] = next;
                             st.live[partition] += 1;
-                            st.queue.push_back((partition, next, false));
+                            st.retries += 1;
+                            st.queue.push_back((partition, next, false, Instant::now()));
+                            obs::global().emit(obs::EventKind::TaskRetry, |ev| {
+                                ev.job = Some(job_label(job_id));
+                                ev.task = Some(partition as u64);
+                                ev.detail = format!("attempt {next} after: {e}");
+                            });
+                            obs::global().incr("sched.task_retries");
                         } else if st.live[partition] == 0 {
                             st.fatal = Some(SparkError::TaskFailed {
                                 partition,
@@ -247,6 +367,12 @@ impl Scheduler {
             wakeup.notify_all();
         }
     }
+}
+
+/// The `job` field scheduler events carry — `job-<id>`, correlatable
+/// with [`TaskContext::job_id`].
+pub fn job_label(job_id: u64) -> String {
+    format!("job-{job_id}")
 }
 
 // Give the failure injector a crate-visible consume-on-read for the

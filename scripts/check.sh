@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# The CI gate: formatting, lints, and the test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "All checks passed."

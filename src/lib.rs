@@ -52,6 +52,7 @@ pub use connector;
 pub use dfslite;
 pub use mppdb;
 pub use netsim;
+pub use obs;
 pub use pmml;
 pub use sparklet;
 

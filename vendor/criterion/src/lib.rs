@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` /
+//! `bench_function` / `iter` / `iter_batched` surface this workspace's
+//! benches use. Measurement is deliberately simple: a short warm-up,
+//! then timed batches until a wall-clock budget is spent, reporting
+//! mean time per iteration. No statistics, plots, or CLI parsing —
+//! just comparable numbers from `cargo bench`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How per-iteration setup cost relates to the routine (accepted for
+/// API compatibility; all variants measure the same way here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    /// Wall-clock budget spent measuring each benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!("bench {id:<40} {:>12.3?}/iter ({} iters)", mean, b.iters);
+        self
+    }
+}
+
+/// Timer handle passed to the measured closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, not counted.
+        std_black_box(routine());
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        while self.elapsed < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_counts_iterations() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut n = 0u64;
+        c.bench_function("noop", |b| b.iter(|| n += 1));
+        assert!(n > 1, "routine should run more than the warm-up");
+        let mut m = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| m += x, BatchSize::PerIteration)
+        });
+        assert!(m >= 4);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Build environments for this repository have no access to a crate
+//! registry, so the workspace vendors the exact subset of parking_lot
+//! it uses, implemented over `std::sync`. Semantics match parking_lot
+//! where they differ from std:
+//!
+//! * no lock poisoning — a panic while holding a lock does not poison
+//!   it for other threads;
+//! * `Condvar::wait` takes the guard by `&mut` rather than by value;
+//! * `Condvar::wait_until` takes an [`std::time::Instant`] deadline.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::time::Instant;
+
+/// A mutual exclusion primitive (non-poisoning).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: ManuallyDrop::new(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                inner: ManuallyDrop::new(g),
+            }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: ManuallyDrop::new(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]. Wraps the std guard in `ManuallyDrop` so
+/// [`Condvar::wait`] can temporarily take ownership through `&mut`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the guard is only taken transiently inside
+        // `Condvar::wait*`, which always restores it before returning;
+        // here at drop time it is therefore always present.
+        unsafe { ManuallyDrop::drop(&mut self.inner) }
+    }
+}
+
+/// A reader-writer lock (non-poisoning).
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable whose wait methods borrow the guard mutably
+/// (parking_lot style) instead of consuming it.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: ownership of the std guard is taken for the duration
+        // of the wait and restored immediately after; `unwrap_or_else`
+        // ensures we get a guard back even if another thread panicked.
+        let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = ManuallyDrop::new(inner);
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        // SAFETY: as in `wait` — the guard is restored before returning.
+        let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => e.into_inner(),
+        };
+        guard.inner = ManuallyDrop::new(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            *lock.lock() = true;
+            cvar.notify_one();
+        });
+        let (lock, cvar) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            cvar.wait(&mut done);
+        }
+        assert!(*done);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let mut g = lock.lock();
+        let res = cvar.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+}
