@@ -94,7 +94,7 @@ impl PartitionSource<Row> for DfsScanSource {
                 continue;
             }
             out.push(match &self.projection {
-                Some(idx) => row.project(idx),
+                Some(idx) => row.into_projected(idx),
                 None => row,
             });
         }

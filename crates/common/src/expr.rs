@@ -253,6 +253,28 @@ impl Expr {
         }
     }
 
+    /// Ordinals of all bound column references (`ColumnIdx`) in this
+    /// expression. Unresolved `Column` names are ignored — bind first.
+    /// The scan pipeline uses this to decode only referenced columns.
+    pub fn referenced_indices(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::ColumnIdx(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_indices(out);
+                right.referenced_indices(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => {
+                e.referenced_indices(out)
+            }
+            Expr::Like { expr, .. } => expr.referenced_indices(out),
+        }
+    }
+
     /// Render the expression as a SQL fragment. Used by the connector to
     /// push filters down into database queries (paper Sec. 3.1.1).
     pub fn to_sql(&self) -> String {

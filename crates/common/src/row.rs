@@ -37,9 +37,35 @@ impl Row {
         &self.values[idx]
     }
 
+    /// Replace the value at `idx` in place (vectorized scans reuse one
+    /// scratch row across a batch instead of allocating per row).
+    pub fn set(&mut self, idx: usize, value: Value) {
+        self.values[idx] = value;
+    }
+
     /// Project the row onto the given column ordinals.
     pub fn project(&self, indices: &[usize]) -> Row {
         Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Project an owned row by moving the selected values out instead of
+    /// cloning them. Falls back to cloning when an ordinal repeats
+    /// (`SELECT a, a` style projections).
+    pub fn into_projected(self, indices: &[usize]) -> Row {
+        let has_dup = indices
+            .iter()
+            .enumerate()
+            .any(|(k, i)| indices[..k].contains(i));
+        if has_dup {
+            return self.project(indices);
+        }
+        let mut values: Vec<Option<Value>> = self.values.into_iter().map(Some).collect();
+        Row::new(
+            indices
+                .iter()
+                .map(|&i| values[i].take().expect("unique projection ordinal"))
+                .collect(),
+        )
     }
 
     /// Total approximate wire size of the row in bytes.

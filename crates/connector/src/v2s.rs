@@ -243,8 +243,10 @@ impl V2sSource {
             "v2s_connect",
         );
         let piece_started = std::time::Instant::now();
+        // Batched read: the scan stays columnar end to end; rows are
+        // only materialized at the Spark partition boundary (compute).
         let result = session
-            .query(spec)
+            .query_batched(spec)
             .map_err(|e| SparkError::DataSource(e.to_string()))?;
         // The result set crosses the system boundary to the executor.
         let executor = partition % self.compute_nodes;
@@ -253,7 +255,7 @@ impl V2sSource {
         let (bytes, rows) = if spec.count_only {
             (8, 1)
         } else {
-            (result.text_wire_bytes(), result.rows.len() as u64)
+            (result.text_wire_bytes(), result.num_rows() as u64)
         };
         self.cluster.recorder().transfer(
             Some(partition as u64),
@@ -323,7 +325,7 @@ impl PartitionSource<Row> for V2sSource {
                 &self.filters,
                 false,
             );
-            rows.extend(self.run_piece(partition, *node, &spec)?.rows);
+            rows.extend(self.run_piece(partition, *node, &spec)?.into_rows());
         }
         Ok(rows)
     }

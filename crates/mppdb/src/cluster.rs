@@ -472,11 +472,11 @@ impl Cluster {
         } else {
             None
         };
-        Ok(store
-            .scan(as_of, my_txn, range.as_ref())
-            .into_iter()
-            .map(|v| (v.loc, v.row, v.hash))
-            .collect())
+        let mut out = Vec::new();
+        store.for_each_visible(as_of, my_txn, range.as_ref(), |loc, row, hash| {
+            out.push((loc, row.clone(), hash));
+        });
+        Ok(out)
     }
 
     /// Delete rows matching `predicate` (already bound to the table
@@ -502,19 +502,19 @@ impl Cluster {
             };
             // Match against every replica; buddy copies of the same
             // logical row must be deleted too, but only primaries count.
-            let matched: Vec<(RowLoc, bool)> = store
-                .scan(as_of, Some(txn.id), None)
-                .into_iter()
-                .filter(|v| match predicate {
-                    Some(p) => p.matches(&v.row).unwrap_or(false),
+            // Rows are borrowed in place — matching never clones them.
+            let mut matched: Vec<(RowLoc, bool)> = Vec::new();
+            store.for_each_visible(as_of, Some(txn.id), None, |loc, row, hash| {
+                let hit = match predicate {
+                    Some(p) => p.matches(row).unwrap_or(false),
                     None => true,
-                })
-                .map(|v| {
+                };
+                if hit {
                     let primary = !def.is_segmented() && node == 0
-                        || def.is_segmented() && self.seg_map.owner_of_hash(v.hash) == node;
-                    (v.loc, primary)
-                })
-                .collect();
+                        || def.is_segmented() && self.seg_map.owner_of_hash(hash) == node;
+                    matched.push((loc, primary));
+                }
+            });
             drop(stores);
             let locs: Vec<RowLoc> = matched.iter().map(|(l, _)| *l).collect();
             deleted += matched.iter().filter(|(_, primary)| *primary).count() as u64;

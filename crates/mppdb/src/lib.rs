@@ -54,4 +54,5 @@ pub use error::{DbError, DbResult};
 pub use query::{QueryResult, QuerySpec};
 pub use segmentation::{HashRange, SegmentMap};
 pub use session::Session;
+pub use storage::{ColumnBatch, ColumnVec};
 pub use udf::ScalarUdf;

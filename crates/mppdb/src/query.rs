@@ -8,13 +8,17 @@
 //! hash range (or a synthetic row range for unsegmented tables and
 //! views).
 
-use common::{Expr, Row, Schema};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use common::{DataType, Expr, Row, Schema};
 use netsim::record::{NetClass, NodeRef};
+use parking_lot::Mutex;
 
 use crate::catalog::TableDef;
 use crate::cluster::Cluster;
 use crate::error::{DbError, DbResult};
 use crate::segmentation::HashRange;
+use crate::storage::{BatchScan, ColumnBatch};
 
 /// A single-table read request.
 #[derive(Debug, Clone)]
@@ -90,26 +94,58 @@ impl QuerySpec {
 }
 
 /// The result of a read.
+///
+/// Table scans carry their data in exactly one of two forms: the
+/// columnar `batch` (requested through [`crate::Session::query_batched`]
+/// — the connector's zero-row-materialization path) or the
+/// materialized `rows` compatibility view (everything else). The
+/// accessors below work over either form.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     pub schema: Schema,
     pub rows: Vec<Row>,
-    /// Row count: `rows.len()` for materializing reads, the count for
+    /// Row count: `num_rows()` for materializing reads, the count for
     /// `count_only` reads.
     pub count: u64,
     /// The epoch the read was served at.
     pub epoch: u64,
+    /// Columnar form of the result, populated instead of `rows` for
+    /// batched reads. `None` for row-materialized results.
+    pub batch: Option<ColumnBatch>,
 }
 
 impl QueryResult {
-    /// Total wire size of the materialized rows.
-    pub fn wire_bytes(&self) -> u64 {
-        self.rows.iter().map(|r| r.wire_size() as u64).sum()
+    /// Number of materialized result rows, whichever form holds them.
+    pub fn num_rows(&self) -> usize {
+        match &self.batch {
+            Some(b) => b.num_rows(),
+            None => self.rows.len(),
+        }
     }
 
-    /// Total textual (JDBC result set) wire size of the rows.
+    /// Materialize the result as rows, consuming the batch if present
+    /// (values are moved, not cloned).
+    pub fn into_rows(self) -> Vec<Row> {
+        match self.batch {
+            Some(b) => b.into_rows(),
+            None => self.rows,
+        }
+    }
+
+    /// Total wire size of the materialized result.
+    pub fn wire_bytes(&self) -> u64 {
+        match &self.batch {
+            Some(b) => b.wire_size() as u64,
+            None => self.rows.iter().map(|r| r.wire_size() as u64).sum(),
+        }
+    }
+
+    /// Total textual (JDBC result set) wire size of the result.
     pub fn text_wire_bytes(&self) -> u64 {
-        self.rows.iter().map(|r| r.text_wire_size() as u64).sum()
+        match &self.batch {
+            Some(b) => b.text_wire_size() as u64,
+            None => self.rows.iter().map(|r| r.text_wire_size() as u64).sum(),
+        }
     }
 }
 
@@ -147,7 +183,7 @@ pub(crate) fn apply_spec_to_rows(
                 .map_err(DbError::Data)?;
             (
                 projected,
-                rows.into_iter().map(|r| r.project(&idx)).collect(),
+                rows.into_iter().map(|r| r.into_projected(&idx)).collect(),
             )
         }
         None => (schema, rows),
@@ -159,6 +195,7 @@ pub(crate) fn apply_spec_to_rows(
             rows: Vec::new(),
             count,
             epoch,
+            batch: None,
         });
     }
     if let Some(limit) = spec.limit {
@@ -169,6 +206,7 @@ pub(crate) fn apply_spec_to_rows(
         schema,
         rows,
         epoch,
+        batch: None,
     })
 }
 
@@ -183,6 +221,9 @@ pub(crate) struct ExecCtx<'a> {
     pub task: Option<u64>,
     /// Open transaction id, for read-your-writes visibility.
     pub txn: Option<u64>,
+    /// Upper bound on scan threads for this statement (the session's
+    /// resource-pool concurrency capped by the host's parallelism).
+    pub parallelism: usize,
 }
 
 pub(crate) fn resolve_epoch(cluster: &Cluster, requested: Option<u64>) -> DbResult<u64> {
@@ -198,8 +239,14 @@ pub(crate) fn resolve_epoch(cluster: &Cluster, requested: Option<u64>) -> DbResu
 }
 
 /// Execute a table scan (not a view — the SQL executor handles views by
-/// running their stored select).
-pub(crate) fn execute_table_scan(ctx: ExecCtx<'_>, spec: &QuerySpec) -> DbResult<QueryResult> {
+/// running their stored select). The scan itself is always vectorized;
+/// `want_batch` chooses whether the result keeps the columnar batch or
+/// materializes the `rows` compatibility view.
+pub(crate) fn execute_table_scan(
+    ctx: ExecCtx<'_>,
+    spec: &QuerySpec,
+    want_batch: bool,
+) -> DbResult<QueryResult> {
     let def = ctx.cluster.table_def(&spec.table)?;
     let as_of = resolve_epoch(ctx.cluster, spec.as_of_epoch)?;
 
@@ -223,8 +270,9 @@ pub(crate) fn execute_table_scan(ctx: ExecCtx<'_>, spec: &QuerySpec) -> DbResult
         }
         None => def.schema.clone(),
     };
+    let dtypes: Vec<DataType> = out_schema.fields().iter().map(|f| f.dtype).collect();
 
-    let mut rows = if def.is_segmented() {
+    let mut batch = if def.is_segmented() {
         if spec.row_range.is_some() {
             return Err(DbError::Execution(format!(
                 "row ranges apply to unsegmented tables and views; {} is segmented",
@@ -238,6 +286,7 @@ pub(crate) fn execute_table_scan(ctx: ExecCtx<'_>, spec: &QuerySpec) -> DbResult
             spec,
             predicate.as_ref(),
             projection_idx.as_deref(),
+            &dtypes,
         )?
     } else {
         if spec.hash_range.is_some() {
@@ -253,26 +302,35 @@ pub(crate) fn execute_table_scan(ctx: ExecCtx<'_>, spec: &QuerySpec) -> DbResult
             spec,
             predicate.as_ref(),
             projection_idx.as_deref(),
+            &dtypes,
         )?
     };
 
-    let count = rows.len() as u64;
+    let count = batch.num_rows() as u64;
     if spec.count_only {
         return Ok(QueryResult {
             schema: out_schema,
             rows: Vec::new(),
             count,
             epoch: as_of,
+            batch: None,
         });
     }
     if let Some(limit) = spec.limit {
-        rows.truncate(limit as usize);
+        batch.truncate(limit as usize);
     }
+    let count = batch.num_rows() as u64;
+    let (rows, batch) = if want_batch {
+        (Vec::new(), Some(batch))
+    } else {
+        (batch.into_rows(), None)
+    };
     Ok(QueryResult {
-        count: rows.len() as u64,
+        count,
         schema: out_schema,
         rows,
         epoch: as_of,
+        batch,
     })
 }
 
@@ -285,6 +343,15 @@ fn column_width(dtype: common::DataType) -> u64 {
     }
 }
 
+/// One segment's scan, produced by a (possibly parallel) worker and
+/// folded into the result on the coordinating thread.
+struct PieceResult {
+    batch: ColumnBatch,
+    examined: u64,
+    scanned: u64,
+    serving: usize,
+}
+
 fn scan_segmented(
     ctx: ExecCtx<'_>,
     def: &TableDef,
@@ -292,12 +359,12 @@ fn scan_segmented(
     spec: &QuerySpec,
     predicate: Option<&Expr>,
     projection: Option<&[usize]>,
-) -> DbResult<Vec<Row>> {
+    dtypes: &[DataType],
+) -> DbResult<ColumnBatch> {
     let cluster = ctx.cluster;
     let map = cluster.segment_map();
     let range = spec.hash_range.unwrap_or_else(HashRange::full);
     let k = cluster.config().k_safety;
-    let mut out = Vec::new();
 
     // Columnar scan cost: every visible row is examined, but only the
     // *referenced* columns are decoded for it — the segmentation
@@ -323,7 +390,9 @@ fn scan_segmented(
             .sum::<u64>();
     }
 
-    for (segment, subrange) in map.segments_intersecting(&range) {
+    let pieces = map.segments_intersecting(&range);
+
+    let scan_piece = |segment: usize, subrange: &HashRange| -> DbResult<PieceResult> {
         // Serve from the owner, failing over to buddies.
         let serving = if cluster.is_node_up(segment) {
             segment
@@ -333,71 +402,103 @@ fn scan_segmented(
                 .find(|&b| cluster.is_node_up(b))
                 .ok_or(DbError::DataUnavailable { segment })?
         };
+        let stores = cluster.nodes[serving].stores.read();
+        let store = stores
+            .get(&def.name)
+            .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
+        // A range query has no hash index: the node examines every
+        // visible row to test it against the range — the per-query
+        // overhead that makes very high parallelism lose (Fig. 6).
+        let out = store
+            .scan_batch(&BatchScan {
+                as_of,
+                my_txn: ctx.txn,
+                hash_range: Some(subrange),
+                row_range: None,
+                predicate,
+                projection,
+                dtypes,
+            })
+            .map_err(DbError::Data)?;
+        Ok(PieceResult {
+            batch: out.batch,
+            examined: out.examined,
+            scanned: out.scanned,
+            serving,
+        })
+    };
 
-        let (node_rows, examined) = {
-            let stores = cluster.nodes[serving].stores.read();
-            let store = stores
-                .get(&def.name)
-                .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
-            // A range query has no hash index: the node examines every
-            // visible row to test it against the range — the per-query
-            // overhead that makes very high parallelism lose (Fig. 6).
-            (
-                store.scan(as_of, ctx.txn, Some(&subrange)),
-                store.visible_count(as_of, ctx.txn) as u64,
-            )
-        };
-        let scanned = node_rows.len() as u64;
-
-        // Push the filter and projection down to the serving node.
-        let mut seg_rows: Vec<Row> = Vec::with_capacity(node_rows.len());
-        for v in node_rows {
-            if let Some(p) = predicate {
-                if !p.matches(&v.row).map_err(DbError::Data)? {
-                    continue;
-                }
+    // Fan the per-segment scans across worker threads, bounded by the
+    // statement's resource-pool concurrency. Workers only scan; all
+    // recording and merging happens below on this thread, in segment
+    // order, so the recorder log and the output order are identical to
+    // a serial scan — including which error surfaces first.
+    let workers = ctx.parallelism.min(pieces.len());
+    let results: Vec<Option<DbResult<PieceResult>>> = if workers <= 1 {
+        pieces
+            .iter()
+            .map(|(seg, sub)| Some(scan_piece(*seg, sub)))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<DbResult<PieceResult>>>> =
+            Mutex::new((0..pieces.len()).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pieces.len() {
+                        break;
+                    }
+                    let (seg, sub) = &pieces[i];
+                    let r = scan_piece(*seg, sub);
+                    slots.lock()[i] = Some(r);
+                });
             }
-            seg_rows.push(match projection {
-                Some(idx) => v.row.project(idx),
-                None => v.row,
-            });
-        }
+        });
+        slots.into_inner()
+    };
+
+    let mut out = ColumnBatch::new(dtypes);
+    for slot in results {
+        let piece = slot.expect("scan worker left no result")?;
         // Only surviving rows materialize their full projected width.
-        let matched_bytes: u64 = seg_rows.iter().map(|r| r.wire_size() as u64).sum();
+        let matched_bytes = piece.batch.wire_size() as u64;
         cluster.recorder().work(
             ctx.task,
-            NodeRef::Db(serving),
+            NodeRef::Db(piece.serving),
             "scan_hash",
-            examined,
-            examined * examined_width + matched_bytes,
+            piece.examined,
+            piece.examined * examined_width + matched_bytes,
         );
         if predicate.is_some() {
-            cluster
-                .recorder()
-                .work(ctx.task, NodeRef::Db(serving), "filter_eval", scanned, 0);
+            cluster.recorder().work(
+                ctx.task,
+                NodeRef::Db(piece.serving),
+                "filter_eval",
+                piece.scanned,
+                0,
+            );
         }
 
         // Only post-pushdown rows cross between database nodes; a
         // count-only request ships just the count.
-        if serving != ctx.node {
+        if piece.serving != ctx.node {
             let (bytes, rows) = if spec.count_only {
                 (8, 1)
             } else {
-                (
-                    seg_rows.iter().map(|r| r.wire_size() as u64).sum(),
-                    seg_rows.len() as u64,
-                )
+                (matched_bytes, piece.batch.num_rows() as u64)
             };
             cluster.recorder().transfer(
                 ctx.task,
-                NodeRef::Db(serving),
+                NodeRef::Db(piece.serving),
                 NodeRef::Db(ctx.node),
                 NetClass::DbInternal,
                 bytes,
                 rows,
             );
         }
-        out.extend(seg_rows);
+        out.append(piece.batch).map_err(DbError::Data)?;
     }
     Ok(out)
 }
@@ -409,7 +510,8 @@ fn scan_unsegmented(
     spec: &QuerySpec,
     predicate: Option<&Expr>,
     projection: Option<&[usize]>,
-) -> DbResult<Vec<Row>> {
+    dtypes: &[DataType],
+) -> DbResult<ColumnBatch> {
     let cluster = ctx.cluster;
     // Unsegmented tables are replicated everywhere: serve from the local
     // replica — no inter-node traffic at all.
@@ -418,43 +520,30 @@ fn scan_unsegmented(
     } else {
         return Err(DbError::NodeUnavailable(ctx.node));
     };
-    let node_rows = {
+    let scanned = {
         let stores = cluster.nodes[serving].stores.read();
         let store = stores
             .get(&def.name)
             .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
-        store.scan(as_of, ctx.txn, None)
-    };
-    cluster.recorder().work(
-        ctx.task,
-        NodeRef::Db(serving),
-        "scan_local",
-        node_rows.len() as u64,
-        0,
-    );
-
-    let windowed: Box<dyn Iterator<Item = Row>> = match spec.row_range {
-        Some((start, end)) => Box::new(
-            node_rows
-                .into_iter()
-                .map(|v| v.row)
-                .skip(start as usize)
-                .take((end.saturating_sub(start)) as usize),
-        ),
-        None => Box::new(node_rows.into_iter().map(|v| v.row)),
-    };
-
-    let mut out = Vec::new();
-    for row in windowed {
-        if let Some(p) = predicate {
-            if !p.matches(&row).map_err(DbError::Data)? {
-                continue;
-            }
-        }
-        out.push(match projection {
-            Some(idx) => row.project(idx),
-            None => row,
+        let scanned = store.scan_batch(&BatchScan {
+            as_of,
+            my_txn: ctx.txn,
+            hash_range: None,
+            row_range: spec.row_range,
+            predicate,
+            projection,
+            dtypes,
         });
-    }
-    Ok(out)
+        // The scan walks every visible row before the window and filter
+        // apply; a predicate evaluation error still pays for that walk.
+        let examined = match &scanned {
+            Ok(out) => out.examined,
+            Err(_) => store.visible_count(as_of, ctx.txn) as u64,
+        };
+        cluster
+            .recorder()
+            .work(ctx.task, NodeRef::Db(serving), "scan_local", examined, 0);
+        scanned
+    };
+    Ok(scanned.map_err(DbError::Data)?.batch)
 }

@@ -163,6 +163,19 @@ impl Session {
     /// the table lock for serializability and sees the transaction's
     /// own writes.
     pub fn query(&mut self, spec: &QuerySpec) -> DbResult<QueryResult> {
+        self.query_inner(spec, false)
+    }
+
+    /// Execute a programmatic read, keeping table-scan results in
+    /// columnar form ([`QueryResult::batch`]) instead of materializing
+    /// rows. The connector uses this so rows only exist at the Spark
+    /// partition boundary. Views and system tables still come back
+    /// row-materialized.
+    pub fn query_batched(&mut self, spec: &QuerySpec) -> DbResult<QueryResult> {
+        self.query_inner(spec, true)
+    }
+
+    fn query_inner(&mut self, spec: &QuerySpec, want_batch: bool) -> DbResult<QueryResult> {
         if !self.cluster.is_node_up(self.node) {
             return Err(DbError::NodeUnavailable(self.node));
         }
@@ -191,13 +204,27 @@ impl Session {
         } else {
             None
         };
+        // Per-segment scan fan-out is bounded by the session's resource
+        // pool (its concurrency knob governs intra- as well as
+        // inter-statement parallelism) and the host's core count.
+        let parallelism = self
+            .cluster
+            .resource_pool(&self.pool)
+            .map(|p| p.max_concurrency())
+            .unwrap_or(1)
+            .min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            );
         let ctx = ExecCtx {
             cluster: &self.cluster,
             node: self.node,
             task: self.task_tag,
             txn: txn_id,
+            parallelism,
         };
-        execute_table_scan(ctx, spec)
+        execute_table_scan(ctx, spec, want_batch)
     }
 
     /// Parse and execute one SQL statement.

@@ -156,6 +156,7 @@ fn explain_select(session: &mut Session, select: &SelectStmt) -> DbResult<QueryR
         schema,
         rows,
         epoch,
+        batch: None,
     })
 }
 
@@ -425,6 +426,7 @@ pub(crate) fn execute_select(
             rows: vec![Row::new(values)],
             count: 1,
             epoch,
+            batch: None,
         });
     };
 
@@ -578,6 +580,7 @@ fn try_pushdown_select(
                         rows: vec![Row::new(vec![Value::Int64(r.count as i64)])],
                         count: 1,
                         epoch: r.epoch,
+                        batch: None,
                     }));
                 }
             }
@@ -834,6 +837,7 @@ fn execute_aggregate(
         schema,
         rows: out_rows,
         epoch,
+        batch: None,
     })
 }
 
@@ -962,6 +966,7 @@ fn project_rows(
             schema,
             rows,
             epoch,
+            batch: None,
         });
     }
     let mut names = Vec::new();
@@ -1008,6 +1013,7 @@ fn project_rows(
         schema,
         rows: out_rows,
         epoch,
+        batch: None,
     })
 }
 
@@ -1218,7 +1224,10 @@ pub(crate) fn execute_view_scan(session: &mut Session, spec: &QuerySpec) -> DbRe
                 .map(|c| base.schema.index_of(c))
                 .collect::<Result<_, _>>()
                 .map_err(DbError::Data)?;
-            (schema, rows.into_iter().map(|r| r.project(&idx)).collect())
+            (
+                schema,
+                rows.into_iter().map(|r| r.into_projected(&idx)).collect(),
+            )
         }
         None => (base.schema, rows),
     };
@@ -1229,6 +1238,7 @@ pub(crate) fn execute_view_scan(session: &mut Session, spec: &QuerySpec) -> DbRe
             rows: Vec::new(),
             count,
             epoch: base.epoch,
+            batch: None,
         });
     }
     let mut rows = rows;
@@ -1240,5 +1250,6 @@ pub(crate) fn execute_view_scan(session: &mut Session, spec: &QuerySpec) -> DbRe
         schema,
         rows,
         epoch: base.epoch,
+        batch: None,
     })
 }

@@ -1,0 +1,584 @@
+//! Columnar batches: the unit of data flowing through the vectorized
+//! scan pipeline.
+//!
+//! A [`ColumnBatch`] holds typed column vectors (one Rust `Vec` per
+//! column, not a `Vec` of `Value` enums), a validity bitmap per column
+//! for SQL NULLs, and the per-row segmentation hashes. Scans build
+//! batches with *late materialization*: visibility and hash-range
+//! filtering run over selection vectors of row positions, the pushed
+//! down predicate decodes only its referenced columns, and only the
+//! surviving positions of the projected columns are ever decoded into
+//! the output batch.
+//!
+//! The batch keeps the engine's row-oriented cost accounting exact:
+//! [`ColumnBatch::wire_size`] and [`ColumnBatch::text_wire_size`] are
+//! byte-identical to summing [`common::Row::wire_size`] /
+//! [`common::Row::text_wire_size`] over the materialized rows, so the
+//! netsim `Recorder` volumes do not shift when a path switches from
+//! rows to batches.
+
+use common::{DataType, Error, Result, Row, Value};
+
+/// A growable bitmap; bit `i` set means position `i` is valid (non-NULL).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    pub fn with_capacity(bits: usize) -> Bitmap {
+        Bitmap {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.words.truncate(len.div_ceil(64));
+        // Clear the tail bits of the last word so count_valid stays right.
+        if !len.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        self.len = len;
+    }
+
+    pub fn append(&mut self, other: &Bitmap) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+}
+
+/// One typed column vector with a validity bitmap. Invalid positions
+/// hold an arbitrary default in `data` and decode as [`Value::Null`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVec {
+    Boolean { data: Vec<bool>, validity: Bitmap },
+    Int64 { data: Vec<i64>, validity: Bitmap },
+    Float64 { data: Vec<f64>, validity: Bitmap },
+    Varchar { data: Vec<String>, validity: Bitmap },
+}
+
+impl ColumnVec {
+    pub fn new(dtype: DataType) -> ColumnVec {
+        match dtype {
+            DataType::Boolean => ColumnVec::Boolean {
+                data: Vec::new(),
+                validity: Bitmap::new(),
+            },
+            DataType::Int64 => ColumnVec::Int64 {
+                data: Vec::new(),
+                validity: Bitmap::new(),
+            },
+            DataType::Float64 => ColumnVec::Float64 {
+                data: Vec::new(),
+                validity: Bitmap::new(),
+            },
+            DataType::Varchar => ColumnVec::Varchar {
+                data: Vec::new(),
+                validity: Bitmap::new(),
+            },
+        }
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnVec::Boolean { .. } => DataType::Boolean,
+            ColumnVec::Int64 { .. } => DataType::Int64,
+            ColumnVec::Float64 { .. } => DataType::Float64,
+            ColumnVec::Varchar { .. } => DataType::Varchar,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Boolean { data, .. } => data.len(),
+            ColumnVec::Int64 { data, .. } => data.len(),
+            ColumnVec::Float64 { data, .. } => data.len(),
+            ColumnVec::Varchar { data, .. } => data.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn validity(&self) -> &Bitmap {
+        match self {
+            ColumnVec::Boolean { validity, .. }
+            | ColumnVec::Int64 { validity, .. }
+            | ColumnVec::Float64 { validity, .. }
+            | ColumnVec::Varchar { validity, .. } => validity,
+        }
+    }
+
+    /// Append one value. NULL is storable in any column; `Int64` widens
+    /// to `Float64` exactly as the row insert path coerces.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (ColumnVec::Boolean { data, validity }, Value::Boolean(b)) => {
+                data.push(b);
+                validity.push(true);
+            }
+            (ColumnVec::Int64 { data, validity }, Value::Int64(i)) => {
+                data.push(i);
+                validity.push(true);
+            }
+            (ColumnVec::Float64 { data, validity }, Value::Float64(f)) => {
+                data.push(f);
+                validity.push(true);
+            }
+            (ColumnVec::Float64 { data, validity }, Value::Int64(i)) => {
+                data.push(i as f64);
+                validity.push(true);
+            }
+            (ColumnVec::Varchar { data, validity }, Value::Varchar(s)) => {
+                data.push(s);
+                validity.push(true);
+            }
+            (col, Value::Null) => {
+                match col {
+                    ColumnVec::Boolean { data, validity } => {
+                        data.push(false);
+                        validity.push(false);
+                    }
+                    ColumnVec::Int64 { data, validity } => {
+                        data.push(0);
+                        validity.push(false);
+                    }
+                    ColumnVec::Float64 { data, validity } => {
+                        data.push(0.0);
+                        validity.push(false);
+                    }
+                    ColumnVec::Varchar { data, validity } => {
+                        data.push(String::new());
+                        validity.push(false);
+                    }
+                };
+            }
+            (col, v) => {
+                return Err(Error::TypeMismatch {
+                    expected: col.dtype().sql_name().to_string(),
+                    found: v.type_name().to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode position `idx` into a [`Value`] (clones strings).
+    pub fn value(&self, idx: usize) -> Value {
+        if !self.validity().get(idx) {
+            return Value::Null;
+        }
+        match self {
+            ColumnVec::Boolean { data, .. } => Value::Boolean(data[idx]),
+            ColumnVec::Int64 { data, .. } => Value::Int64(data[idx]),
+            ColumnVec::Float64 { data, .. } => Value::Float64(data[idx]),
+            ColumnVec::Varchar { data, .. } => Value::Varchar(data[idx].clone()),
+        }
+    }
+
+    /// Move position `idx` out (strings are taken, not cloned). The
+    /// position decodes as NULL-ish garbage afterwards — only used by
+    /// the consuming [`ColumnBatch::into_rows`].
+    fn take_value(&mut self, idx: usize) -> Value {
+        if !self.validity().get(idx) {
+            return Value::Null;
+        }
+        match self {
+            ColumnVec::Boolean { data, .. } => Value::Boolean(data[idx]),
+            ColumnVec::Int64 { data, .. } => Value::Int64(data[idx]),
+            ColumnVec::Float64 { data, .. } => Value::Float64(data[idx]),
+            ColumnVec::Varchar { data, .. } => Value::Varchar(std::mem::take(&mut data[idx])),
+        }
+    }
+
+    /// Binary wire size: byte-identical to summing `Value::wire_size`.
+    pub fn wire_size(&self) -> usize {
+        let nulls = self.len() - self.validity().count_valid();
+        match self {
+            ColumnVec::Boolean { data, .. } => data.len(), // 1 byte either way
+            ColumnVec::Int64 { data, .. } => nulls + (data.len() - nulls) * 8,
+            ColumnVec::Float64 { data, .. } => nulls + (data.len() - nulls) * 8,
+            ColumnVec::Varchar { data, validity } => {
+                let mut total = nulls;
+                for (i, s) in data.iter().enumerate() {
+                    if validity.get(i) {
+                        total += 4 + s.len();
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// Textual (JDBC result set) wire size: byte-identical to summing
+    /// `Value::text_wire_size`.
+    pub fn text_wire_size(&self) -> usize {
+        const FRAMING: usize = 6;
+        let mut total = self.len() * FRAMING;
+        match self {
+            ColumnVec::Boolean { data, validity } => {
+                for i in 0..data.len() {
+                    if validity.get(i) {
+                        total += 5;
+                    }
+                }
+            }
+            ColumnVec::Int64 { data, validity } => {
+                for (i, v) in data.iter().enumerate() {
+                    if validity.get(i) {
+                        total += Value::Int64(*v).text_wire_size() - FRAMING;
+                    }
+                }
+            }
+            ColumnVec::Float64 { data, validity } => {
+                for i in 0..data.len() {
+                    if validity.get(i) {
+                        total += 17;
+                    }
+                }
+            }
+            ColumnVec::Varchar { data, validity } => {
+                for (i, s) in data.iter().enumerate() {
+                    if validity.get(i) {
+                        total += s.len();
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        match self {
+            ColumnVec::Boolean { data, validity } => {
+                data.truncate(len);
+                validity.truncate(len);
+            }
+            ColumnVec::Int64 { data, validity } => {
+                data.truncate(len);
+                validity.truncate(len);
+            }
+            ColumnVec::Float64 { data, validity } => {
+                data.truncate(len);
+                validity.truncate(len);
+            }
+            ColumnVec::Varchar { data, validity } => {
+                data.truncate(len);
+                validity.truncate(len);
+            }
+        }
+    }
+
+    pub fn append(&mut self, other: ColumnVec) -> Result<()> {
+        match (self, other) {
+            (
+                ColumnVec::Boolean { data, validity },
+                ColumnVec::Boolean {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend(od);
+                validity.append(&ov);
+            }
+            (
+                ColumnVec::Int64 { data, validity },
+                ColumnVec::Int64 {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend(od);
+                validity.append(&ov);
+            }
+            (
+                ColumnVec::Float64 { data, validity },
+                ColumnVec::Float64 {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend(od);
+                validity.append(&ov);
+            }
+            (
+                ColumnVec::Varchar { data, validity },
+                ColumnVec::Varchar {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend(od);
+                validity.append(&ov);
+            }
+            (me, other) => {
+                return Err(Error::TypeMismatch {
+                    expected: me.dtype().sql_name().to_string(),
+                    found: other.dtype().sql_name().to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A batch of rows in columnar form, plus the per-row segmentation
+/// hashes (kept so hash-range filtering and re-routing never decode a
+/// data column).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnBatch {
+    columns: Vec<ColumnVec>,
+    hashes: Vec<u64>,
+}
+
+impl ColumnBatch {
+    pub fn new(dtypes: &[DataType]) -> ColumnBatch {
+        ColumnBatch {
+            columns: dtypes.iter().map(|&t| ColumnVec::new(t)).collect(),
+            hashes: Vec::new(),
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.hashes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnVec {
+        &self.columns[idx]
+    }
+
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Append one value to column `col`. Callers fill whole columns for
+    /// a run of rows and then push the hashes; [`ColumnBatch::push_hash`]
+    /// closes each row group.
+    pub fn push(&mut self, col: usize, value: Value) -> Result<()> {
+        self.columns[col].push(value)
+    }
+
+    pub fn push_hash(&mut self, hash: u64) {
+        self.hashes.push(hash);
+    }
+
+    /// Decode row `idx` into an owned [`Row`].
+    pub fn row(&self, idx: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value(idx)).collect())
+    }
+
+    /// Materialize all rows, moving values out of the batch (strings
+    /// are not cloned). This is the batch → row boundary.
+    pub fn into_rows(self) -> Vec<Row> {
+        let n = self.num_rows();
+        let ncols = self.columns.len();
+        let mut values: Vec<Vec<Value>> = (0..n).map(|_| Vec::with_capacity(ncols)).collect();
+        let mut columns = self.columns;
+        for col in &mut columns {
+            debug_assert_eq!(col.len(), n);
+            for (i, row) in values.iter_mut().enumerate() {
+                row.push(col.take_value(i));
+            }
+        }
+        values.into_iter().map(Row::new).collect()
+    }
+
+    /// Binary wire size of the batch; equals the sum of
+    /// `Row::wire_size` over [`ColumnBatch::into_rows`].
+    pub fn wire_size(&self) -> usize {
+        self.columns.iter().map(ColumnVec::wire_size).sum()
+    }
+
+    /// Textual wire size of the batch; equals the sum of
+    /// `Row::text_wire_size` over [`ColumnBatch::into_rows`].
+    pub fn text_wire_size(&self) -> usize {
+        let per_row_overhead = self.columns.len() + 10;
+        self.columns
+            .iter()
+            .map(ColumnVec::text_wire_size)
+            .sum::<usize>()
+            + self.num_rows() * per_row_overhead
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        for col in &mut self.columns {
+            col.truncate(len);
+        }
+        self.hashes.truncate(len);
+    }
+
+    /// Append another batch of the same layout (deterministic segment
+    /// merge: pieces are appended in segment order).
+    pub fn append(&mut self, other: ColumnBatch) -> Result<()> {
+        debug_assert_eq!(self.columns.len(), other.columns.len());
+        for (col, ocol) in self.columns.iter_mut().zip(other.columns) {
+            col.append(ocol)?;
+        }
+        self.hashes.extend(other.hashes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::row;
+
+    #[test]
+    fn bitmap_push_get_truncate() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
+        b.truncate(65);
+        assert_eq!(b.len(), 65);
+        assert_eq!(b.count_valid(), (0..65).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn column_vec_round_trip_with_nulls() {
+        let mut c = ColumnVec::new(DataType::Varchar);
+        c.push(Value::Varchar("a".into())).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Varchar("bc".into())).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Varchar("a".into()));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Varchar("bc".into()));
+        // wire sizes equal the row-at-a-time sums.
+        assert_eq!(
+            c.wire_size(),
+            Value::Varchar("a".into()).wire_size()
+                + Value::Null.wire_size()
+                + Value::Varchar("bc".into()).wire_size()
+        );
+        assert_eq!(
+            c.text_wire_size(),
+            Value::Varchar("a".into()).text_wire_size()
+                + Value::Null.text_wire_size()
+                + Value::Varchar("bc".into()).text_wire_size()
+        );
+    }
+
+    #[test]
+    fn column_vec_type_checked_with_widening() {
+        let mut c = ColumnVec::new(DataType::Float64);
+        c.push(Value::Int64(3)).unwrap();
+        assert_eq!(c.value(0), Value::Float64(3.0));
+        assert!(c.push(Value::Varchar("x".into())).is_err());
+    }
+
+    #[test]
+    fn batch_into_rows_matches_layout() {
+        let mut b = ColumnBatch::new(&[DataType::Int64, DataType::Varchar]);
+        for i in [1i64, 2] {
+            b.push(0, Value::Int64(i)).unwrap();
+        }
+        for s in ["a", "b"] {
+            b.push(1, Value::Varchar(s.to_string())).unwrap();
+        }
+        b.push_hash(10);
+        b.push_hash(20);
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.row(1), row![2i64, "b"]);
+        let rows = b.into_rows();
+        assert_eq!(rows, vec![row![1i64, "a"], row![2i64, "b"]]);
+    }
+
+    #[test]
+    fn batch_wire_sizes_match_rows() {
+        let mut b = ColumnBatch::new(&[DataType::Int64, DataType::Varchar, DataType::Float64]);
+        let rows = vec![
+            row![1i64, "alpha", 1.5f64],
+            Row::new(vec![Value::Null, Value::Null, Value::Null]),
+            row![-42i64, "", 0.0f64],
+        ];
+        for r in &rows {
+            for (c, v) in r.values().iter().enumerate() {
+                b.push(c, v.clone()).unwrap();
+            }
+            b.push_hash(0);
+        }
+        assert_eq!(
+            b.wire_size(),
+            rows.iter().map(Row::wire_size).sum::<usize>()
+        );
+        assert_eq!(
+            b.text_wire_size(),
+            rows.iter().map(Row::text_wire_size).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn batch_append_and_truncate() {
+        let mut a = ColumnBatch::new(&[DataType::Int64]);
+        a.push(0, Value::Int64(1)).unwrap();
+        a.push_hash(1);
+        let mut b = ColumnBatch::new(&[DataType::Int64]);
+        b.push(0, Value::Int64(2)).unwrap();
+        b.push_hash(2);
+        b.push(0, Value::Int64(3)).unwrap();
+        b.push_hash(3);
+        a.append(b).unwrap();
+        assert_eq!(a.num_rows(), 3);
+        assert_eq!(a.hashes(), &[1, 2, 3]);
+        a.truncate(2);
+        assert_eq!(a.num_rows(), 2);
+        assert_eq!(a.row(1), row![2i64]);
+    }
+}

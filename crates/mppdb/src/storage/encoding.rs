@@ -73,6 +73,47 @@ impl EncodedColumn {
         }
     }
 
+    /// Gather the values at `positions` (which must be sorted
+    /// ascending) in one forward pass over the encoding.
+    ///
+    /// This is the late-materialization decode: for RLE the run cursor
+    /// advances monotonically so each run is located once no matter how
+    /// many surviving positions it covers, and for dictionary columns
+    /// only the selected codes are looked up. Cost is
+    /// `O(positions + runs)` instead of `O(positions * runs)` for
+    /// repeated [`EncodedColumn::get`] calls.
+    pub fn gather_sorted(&self, positions: &[u32]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(positions.len());
+        match self {
+            EncodedColumn::Plain(v) => {
+                for &p in positions {
+                    out.push(v[p as usize].clone());
+                }
+            }
+            EncodedColumn::Rle(runs) => {
+                let mut run = 0usize;
+                // First row index of `runs[run]`.
+                let mut run_start = 0usize;
+                for &p in positions {
+                    let p = p as usize;
+                    debug_assert!(p >= run_start, "positions must be sorted");
+                    while run < runs.len() && p >= run_start + runs[run].1 as usize {
+                        run_start += runs[run].1 as usize;
+                        run += 1;
+                    }
+                    assert!(run < runs.len(), "row index {p} out of range");
+                    out.push(runs[run].0.clone());
+                }
+            }
+            EncodedColumn::Dictionary { dict, codes } => {
+                for &p in positions {
+                    out.push(dict[codes[p as usize] as usize].clone());
+                }
+            }
+        }
+        out
+    }
+
     /// A readable name of the encoding, surfaced in storage stats.
     pub fn encoding_name(&self) -> &'static str {
         match self {
@@ -238,6 +279,21 @@ mod tests {
             EncodedColumn::Plain(vals.clone()),
         ] {
             assert_eq!(enc.decode(), vals);
+        }
+    }
+
+    #[test]
+    fn gather_sorted_matches_get() {
+        let vals = ints(&[1, 1, 1, 2, 2, 3, 3, 3, 3, 5]);
+        let positions = [0u32, 2, 3, 6, 8, 9];
+        for enc in [
+            encode_rle(&vals),
+            encode_dictionary(&vals),
+            EncodedColumn::Plain(vals.clone()),
+        ] {
+            let gathered = enc.gather_sorted(&positions);
+            let expected: Vec<Value> = positions.iter().map(|&p| enc.get(p as usize)).collect();
+            assert_eq!(gathered, expected, "encoding {}", enc.encoding_name());
         }
     }
 

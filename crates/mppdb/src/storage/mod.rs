@@ -1,7 +1,11 @@
 //! Node-local storage: write-optimized buffer (WOS), read-optimized
 //! encoded containers (ROS), delete vectors, and the tuple mover.
 
+pub mod batch;
 pub mod encoding;
 pub mod store;
 
-pub use store::{CommitState, NodeTableStore, RowLoc, StorageStats, VisibleRow};
+pub use batch::{Bitmap, ColumnBatch, ColumnVec};
+pub use store::{
+    BatchScan, CommitState, NodeTableStore, RowLoc, ScanOutput, StorageStats, VisibleRow,
+};

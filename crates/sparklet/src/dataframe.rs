@@ -104,7 +104,7 @@ impl DataFrame {
                     .iter()
                     .map(|c| self.schema.index_of(c))
                     .collect::<Result<_, _>>()?;
-                let mapped = rdd.map(move |row: Row| row.project(&idx));
+                let mapped = rdd.map(move |row: Row| row.into_projected(&idx));
                 Ok(DataFrame::from_rdd(mapped, new_schema))
             }
         }

@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo bench --no-run"
+cargo bench --workspace --no-run -q
+
 echo "All checks passed."
