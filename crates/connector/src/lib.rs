@@ -19,6 +19,11 @@
 //!   database's internal DFS with a metadata table, and score them from
 //!   SQL via the generic `PMMLPredict` UDx (Sec. 3.3).
 //!
+//! Every database touchpoint runs under a typed error surface
+//! ([`error::ConnectorError`]) and a retry/failover policy
+//! ([`retry::RetryPolicy`]); [`fault-injection`] on the database side
+//! drives the chaos suite that exercises them.
+//!
 //! The connector plugs into the engine's External Data Source API under
 //! the format name [`DEFAULT_SOURCE`], so the user-facing surface is
 //! exactly the paper's Table 1:
@@ -27,20 +32,31 @@
 //! df.read.format(DEFAULT_SOURCE).options(opts).load()
 //! df.write.format(DEFAULT_SOURCE).options(opts).mode(mode).save()
 //! ```
+//!
+//! Both write paths — the direct S2V protocol and the two-stage DFS
+//! load — hang off one entry point, [`save`], selected by the
+//! `method=copy|dfs` option; both return the same [`SaveReport`].
+//!
+//! [`fault-injection`]: mppdb::fault
 
+pub mod error;
 pub mod md;
 pub mod options;
+pub mod retry;
 pub mod s2v;
 pub mod two_stage;
 pub mod v2s;
 
 use std::sync::Arc;
 
+use dfslite::DfsClusterSim;
 use mppdb::Cluster;
 use sparklet::{DataFrame, DataSourceProvider, Options, SaveMode, ScanRelation, SparkContext};
 
+pub use error::{ConnectorError, ConnectorResult};
 pub use md::ModelDeployment;
-pub use options::ConnectorOptions;
+pub use options::{ConnectorOptions, ConnectorOptionsBuilder, WriteMethod};
+pub use retry::{with_retry, RetryConn, RetryPolicy};
 pub use s2v::{save_to_db, S2vReport};
 pub use two_stage::{load_via_dfs, save_via_dfs, TwoStageConfig, TwoStageReport};
 pub use v2s::DbRelation;
@@ -49,21 +65,159 @@ pub use v2s::DbRelation;
 /// implementation-specific DefaultSource string.
 pub const DEFAULT_SOURCE: &str = "com.vertica.spark.datasource.DefaultSource";
 
+/// Outcome of a save through either write path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaveReport {
+    pub method: WriteMethod,
+    /// S2V job name (empty for the DFS path, which has no protocol job).
+    pub job_name: String,
+    pub rows_loaded: u64,
+    pub rows_rejected: u64,
+    /// S2V: the task that won the final-commit race.
+    pub committer_task: Option<u64>,
+    /// S2V: `(task, first rejection reason)` samples.
+    pub rejected_samples: Vec<(u64, String)>,
+    /// S2V: the scheduler job id of the save.
+    pub engine_job_id: u64,
+    /// S2V: cumulative microseconds per Fig. 5 phase.
+    pub phase_us: [u64; 5],
+    /// DFS path: number of staged part-files.
+    pub part_files: usize,
+    /// DFS path: bytes that crossed the landing zone.
+    pub staged_bytes: u64,
+}
+
+impl From<S2vReport> for SaveReport {
+    fn from(r: S2vReport) -> SaveReport {
+        SaveReport {
+            method: WriteMethod::Copy,
+            job_name: r.job_name,
+            rows_loaded: r.rows_loaded,
+            rows_rejected: r.rows_rejected,
+            committer_task: Some(r.committer_task),
+            rejected_samples: r.rejected_samples,
+            engine_job_id: r.engine_job_id,
+            phase_us: r.phase_us,
+            part_files: 0,
+            staged_bytes: 0,
+        }
+    }
+}
+
+/// Save a DataFrame through the write path `opts.method` selects:
+/// the direct S2V exactly-once protocol (`method=copy`, the default) or
+/// the two-stage DFS landing zone (`method=dfs`, which needs a DFS
+/// handle). The single entry point behind `df.write().save()`.
+pub fn save(
+    ctx: &SparkContext,
+    cluster: &Arc<Cluster>,
+    dfs: Option<&Arc<DfsClusterSim>>,
+    df: &DataFrame,
+    opts: &ConnectorOptions,
+    mode: SaveMode,
+) -> ConnectorResult<SaveReport> {
+    match opts.method {
+        WriteMethod::Copy => Ok(save_to_db(ctx, cluster, df, opts, mode)?.into()),
+        WriteMethod::Dfs => {
+            let dfs = dfs.ok_or_else(|| {
+                ConnectorError::Usage(
+                    "method=dfs needs a DFS: register the source with \
+                     DefaultSource::register_with_dfs (or pass a DFS handle to save)"
+                        .into(),
+                )
+            })?;
+            let exists = cluster.has_table(&opts.table);
+            match mode {
+                SaveMode::ErrorIfExists if exists => {
+                    return Err(ConnectorError::Usage(format!(
+                        "table {} already exists (mode=ErrorIfExists)",
+                        opts.table
+                    )))
+                }
+                SaveMode::Ignore if exists => {
+                    return Ok(SaveReport {
+                        method: WriteMethod::Dfs,
+                        job_name: String::new(),
+                        rows_loaded: 0,
+                        rows_rejected: 0,
+                        committer_task: None,
+                        rejected_samples: Vec::new(),
+                        engine_job_id: 0,
+                        phase_us: [0; 5],
+                        part_files: 0,
+                        staged_bytes: 0,
+                    })
+                }
+                SaveMode::Overwrite if exists => {
+                    // The DFS stage-2 COPY appends; overwrite = clear first.
+                    let host = opts.host_on(cluster)?;
+                    let mut conn = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone());
+                    if !opts.failover {
+                        conn = conn.pinned();
+                    }
+                    conn.run("dfs.truncate", |session| {
+                        session
+                            .execute(&format!("DELETE FROM {}", opts.table))
+                            .map(|_| ())
+                            .map_err(|e| ConnectorError::db("dfs.truncate", e))
+                    })?;
+                }
+                _ => {}
+            }
+            let staging = opts
+                .staging_path
+                .clone()
+                .unwrap_or_else(|| format!("/staging/{}", opts.table));
+            let mut config = TwoStageConfig::new(staging);
+            config.partitions = opts.num_partitions;
+            config.host = opts.host_on(cluster)?;
+            let report = save_via_dfs(ctx, cluster, dfs, df, &opts.table, &config)?;
+            Ok(SaveReport {
+                method: WriteMethod::Dfs,
+                job_name: String::new(),
+                rows_loaded: report.rows,
+                rows_rejected: 0,
+                committer_task: None,
+                rejected_samples: Vec::new(),
+                engine_job_id: 0,
+                phase_us: [0; 5],
+                part_files: report.part_files,
+                staged_bytes: report.staged_bytes,
+            })
+        }
+    }
+}
+
 /// The connector's `DataSourceProvider`: one instance per database
 /// cluster it connects to.
 pub struct DefaultSource {
     cluster: Arc<Cluster>,
+    dfs: Option<Arc<DfsClusterSim>>,
 }
 
 impl DefaultSource {
     pub fn new(cluster: Arc<Cluster>) -> Arc<DefaultSource> {
-        Arc::new(DefaultSource { cluster })
+        Arc::new(DefaultSource { cluster, dfs: None })
+    }
+
+    /// A source that can also run `method=dfs` two-stage saves.
+    pub fn with_dfs(cluster: Arc<Cluster>, dfs: Arc<DfsClusterSim>) -> Arc<DefaultSource> {
+        Arc::new(DefaultSource {
+            cluster,
+            dfs: Some(dfs),
+        })
     }
 
     /// Register the connector with an engine context under
     /// [`DEFAULT_SOURCE`].
     pub fn register(ctx: &SparkContext, cluster: Arc<Cluster>) {
         ctx.register_format(DEFAULT_SOURCE, DefaultSource::new(cluster));
+    }
+
+    /// Register with a DFS handle so `method=dfs` works through the
+    /// `df.write()` surface too.
+    pub fn register_with_dfs(ctx: &SparkContext, cluster: Arc<Cluster>, dfs: Arc<DfsClusterSim>) {
+        ctx.register_format(DEFAULT_SOURCE, DefaultSource::with_dfs(cluster, dfs));
     }
 }
 
@@ -74,8 +228,7 @@ impl DataSourceProvider for DefaultSource {
         options: &Options,
     ) -> sparklet::SparkResult<Arc<dyn ScanRelation>> {
         let opts = ConnectorOptions::parse(options)?;
-        let relation = DbRelation::open(Arc::clone(&self.cluster), &opts)
-            .map_err(|e| sparklet::SparkError::DataSource(e.to_string()))?;
+        let relation = DbRelation::open(Arc::clone(&self.cluster), &opts)?;
         Ok(Arc::new(relation))
     }
 
@@ -87,6 +240,8 @@ impl DataSourceProvider for DefaultSource {
         mode: SaveMode,
     ) -> sparklet::SparkResult<()> {
         let opts = ConnectorOptions::parse(options)?;
-        save_to_db(ctx, &self.cluster, df, &opts, mode).map(|_report| ())
+        crate::save(ctx, &self.cluster, self.dfs.as_ref(), df, &opts, mode)
+            .map(|_report| ())
+            .map_err(sparklet::SparkError::from)
     }
 }

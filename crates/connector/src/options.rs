@@ -1,6 +1,28 @@
-//! Connector options: the `key=value` pairs of the paper's Table 1.
+//! Connector options: the `key=value` pairs of the paper's Table 1,
+//! parsed into a typed struct — plus a typed [`builder`] for
+//! programmatic callers, so Rust code never round-trips through the
+//! stringly map.
+//!
+//! [`builder`]: ConnectorOptions::builder
 
-use sparklet::{Options, SparkError, SparkResult};
+use std::time::Duration;
+
+use sparklet::Options;
+
+use crate::error::{ConnectorError, ConnectorResult};
+use crate::retry::RetryPolicy;
+
+/// Which physical path a save takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMethod {
+    /// Direct parallel COPY under the S2V exactly-once protocol
+    /// (Sec. 3.2) — the default.
+    #[default]
+    Copy,
+    /// Two-stage load through the shared DFS (Sec. 2.2.1's pre-connector
+    /// architecture): stage part-files, then one transactional COPY.
+    Dfs,
+}
 
 /// Parsed connector options.
 ///
@@ -33,45 +55,109 @@ pub struct ConnectorOptions {
     /// future-work optimization; eliminates database-internal shuffle
     /// at the cost of an engine-side shuffle).
     pub prehash: bool,
+    /// Save path: direct COPY (S2V) or the two-stage DFS load.
+    pub method: WriteMethod,
+    /// DFS directory for `method=dfs` staging; defaults to
+    /// `/staging/{table}`.
+    pub staging_path: Option<String>,
+    /// How each database touchpoint retries transient failures.
+    pub retry: RetryPolicy,
+    /// Whether reads/sessions may fail over to other nodes when the
+    /// preferred node is down.
+    pub failover: bool,
 }
 
+/// Every key `parse` understands; anything else is a usage error
+/// (silently dropping a misspelled `numpartitions` cost real users real
+/// debugging time).
+const KNOWN_KEYS: &[&str] = &[
+    "host",
+    "user",
+    "password",
+    "db",
+    "dbschema",
+    "table",
+    "numpartitions",
+    "failed_rows_percent_tolerance",
+    "copy_direct",
+    "job_name",
+    "resource_pool",
+    "prehash",
+    "method",
+    "staging_path",
+    "retry_max_attempts",
+    "retry_deadline_ms",
+    "failover",
+];
+
 impl ConnectorOptions {
-    pub fn parse(options: &Options) -> SparkResult<ConnectorOptions> {
+    /// A typed builder — the programmatic mirror of the Table-1 string
+    /// options.
+    pub fn builder(table: &str) -> ConnectorOptionsBuilder {
+        ConnectorOptionsBuilder {
+            opts: ConnectorOptions::for_table(table),
+        }
+    }
+
+    /// Parse the stringly Table-1 option map. Unknown keys are rejected.
+    pub fn parse(options: &Options) -> ConnectorResult<ConnectorOptions> {
+        for key in options.keys() {
+            if !KNOWN_KEYS.contains(&key) {
+                return Err(ConnectorError::Usage(format!(
+                    "unknown option '{key}' (known: {})",
+                    KNOWN_KEYS.join(", ")
+                )));
+            }
+        }
         let host_raw = options.get("host").unwrap_or("0");
         // Accept both bare indices ("2") and db-style names ("db2").
         let host = host_raw
             .trim_start_matches("db")
             .parse::<usize>()
             .map_err(|_| {
-                SparkError::Usage(format!("option host={host_raw} is not a node address"))
+                ConnectorError::Usage(format!("option host={host_raw} is not a node address"))
             })?;
-        let table = options.require("table")?.to_string();
-        let num_partitions = options.get_parsed::<usize>("numpartitions")?;
-        if num_partitions == Some(0) {
-            return Err(SparkError::Usage("numPartitions must be positive".into()));
+        let mut b = ConnectorOptions::builder(options.require("table")?).host(host);
+        if let Some(n) = options.get_parsed::<usize>("numpartitions")? {
+            b = b.num_partitions(n);
         }
-        let failed_rows_percent_tolerance = options
-            .get_parsed::<f64>("failed_rows_percent_tolerance")?
-            .unwrap_or(0.0);
-        if !(0.0..=1.0).contains(&failed_rows_percent_tolerance) {
-            return Err(SparkError::Usage(
-                "failed_rows_percent_tolerance must be in [0, 1]".into(),
-            ));
+        if let Some(t) = options.get_parsed::<f64>("failed_rows_percent_tolerance")? {
+            b = b.failed_rows_percent_tolerance(t);
         }
-        let copy_direct = options.get_parsed::<bool>("copy_direct")?.unwrap_or(true);
-        let job_name = options.get("job_name").map(str::to_string);
-        let prehash = options.get_parsed::<bool>("prehash")?.unwrap_or(false);
-        let resource_pool = options.get("resource_pool").map(str::to_string);
-        Ok(ConnectorOptions {
-            host,
-            table,
-            num_partitions,
-            failed_rows_percent_tolerance,
-            copy_direct,
-            job_name,
-            resource_pool,
-            prehash,
-        })
+        if let Some(direct) = options.get_parsed::<bool>("copy_direct")? {
+            b = b.copy_direct(direct);
+        }
+        if let Some(name) = options.get("job_name") {
+            b = b.job_name(name);
+        }
+        if let Some(pool) = options.get("resource_pool") {
+            b = b.resource_pool(pool);
+        }
+        if options.get_parsed::<bool>("prehash")?.unwrap_or(false) {
+            b = b.prehash();
+        }
+        match options.get("method") {
+            None | Some("copy") => {}
+            Some("dfs") => b = b.method(WriteMethod::Dfs),
+            Some(other) => {
+                return Err(ConnectorError::Usage(format!(
+                    "option method={other} is not one of copy, dfs"
+                )));
+            }
+        }
+        if let Some(path) = options.get("staging_path") {
+            b = b.staging_path(path);
+        }
+        if let Some(n) = options.get_parsed::<u32>("retry_max_attempts")? {
+            b = b.retry_max_attempts(n);
+        }
+        if let Some(ms) = options.get_parsed::<u64>("retry_deadline_ms")? {
+            b = b.retry_deadline_ms(ms);
+        }
+        if let Some(fo) = options.get_parsed::<bool>("failover")? {
+            b = b.failover(fo);
+        }
+        b.build()
     }
 
     /// Basic options for a table.
@@ -85,6 +171,10 @@ impl ConnectorOptions {
             job_name: None,
             resource_pool: None,
             prehash: false,
+            method: WriteMethod::Copy,
+            staging_path: None,
+            retry: RetryPolicy::default(),
+            failover: true,
         }
     }
 
@@ -107,6 +197,127 @@ impl ConnectorOptions {
         self.prehash = true;
         self
     }
+
+    /// Validate `host` against the actual cluster, returning the node
+    /// index. A `host` pointing past the last node is a usage error
+    /// naming the valid range, not an opaque index panic downstream.
+    pub fn host_on(&self, cluster: &mppdb::Cluster) -> ConnectorResult<usize> {
+        let n = cluster.node_count();
+        if self.host >= n {
+            return Err(ConnectorError::Usage(format!(
+                "host db{} does not exist; this cluster has nodes db0..db{}",
+                self.host,
+                n - 1
+            )));
+        }
+        Ok(self.host)
+    }
+}
+
+/// Builder for [`ConnectorOptions`]; [`build`] validates everything the
+/// string parser validates, so both entry points reject the same bad
+/// configurations.
+///
+/// [`build`]: ConnectorOptionsBuilder::build
+#[derive(Debug, Clone)]
+pub struct ConnectorOptionsBuilder {
+    opts: ConnectorOptions,
+}
+
+impl ConnectorOptionsBuilder {
+    pub fn host(mut self, host: usize) -> Self {
+        self.opts.host = host;
+        self
+    }
+
+    pub fn num_partitions(mut self, n: usize) -> Self {
+        self.opts.num_partitions = Some(n);
+        self
+    }
+
+    pub fn failed_rows_percent_tolerance(mut self, fraction: f64) -> Self {
+        self.opts.failed_rows_percent_tolerance = fraction;
+        self
+    }
+
+    pub fn copy_direct(mut self, direct: bool) -> Self {
+        self.opts.copy_direct = direct;
+        self
+    }
+
+    pub fn job_name(mut self, name: &str) -> Self {
+        self.opts.job_name = Some(name.to_string());
+        self
+    }
+
+    pub fn resource_pool(mut self, pool: &str) -> Self {
+        self.opts.resource_pool = Some(pool.to_string());
+        self
+    }
+
+    pub fn prehash(mut self) -> Self {
+        self.opts.prehash = true;
+        self
+    }
+
+    pub fn method(mut self, method: WriteMethod) -> Self {
+        self.opts.method = method;
+        self
+    }
+
+    pub fn staging_path(mut self, path: &str) -> Self {
+        self.opts.staging_path = Some(path.to_string());
+        self
+    }
+
+    /// Replace the whole retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.opts.retry = policy;
+        self
+    }
+
+    pub fn retry_max_attempts(mut self, attempts: u32) -> Self {
+        self.opts.retry.max_attempts = attempts;
+        self
+    }
+
+    pub fn retry_deadline_ms(mut self, ms: u64) -> Self {
+        self.opts.retry.deadline = Duration::from_millis(ms);
+        self
+    }
+
+    pub fn failover(mut self, failover: bool) -> Self {
+        self.opts.failover = failover;
+        self
+    }
+
+    pub fn build(self) -> ConnectorResult<ConnectorOptions> {
+        let o = self.opts;
+        if o.table.is_empty() {
+            return Err(ConnectorError::Usage("table must not be empty".into()));
+        }
+        if o.num_partitions == Some(0) {
+            return Err(ConnectorError::Usage(
+                "numPartitions must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&o.failed_rows_percent_tolerance) {
+            return Err(ConnectorError::Usage(
+                "failed_rows_percent_tolerance must be in [0, 1]".into(),
+            ));
+        }
+        if !(1..=100).contains(&o.retry.max_attempts) {
+            return Err(ConnectorError::Usage(
+                "retry_max_attempts must be in 1..=100".into(),
+            ));
+        }
+        if o.retry.deadline < Duration::from_millis(1) {
+            return Err(ConnectorError::Usage(
+                "retry_deadline_ms must be at least 1".into(),
+            ));
+        }
+        Ok(o)
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +339,8 @@ mod tests {
         assert_eq!(parsed.num_partitions, Some(32));
         assert!((parsed.failed_rows_percent_tolerance - 0.02).abs() < 1e-12);
         assert!(parsed.copy_direct);
+        assert_eq!(parsed.method, WriteMethod::Copy);
+        assert!(parsed.failover);
     }
 
     #[test]
@@ -145,5 +358,115 @@ mod tests {
         assert!(ConnectorOptions::parse(&o).is_err());
         let o = Options::new().with("table", "t").with("host", "not-a-host");
         assert!(ConnectorOptions::parse(&o).is_err());
+    }
+
+    #[test]
+    fn accepts_bare_and_db_prefixed_hosts() {
+        for (raw, want) in [("0", 0usize), ("3", 3), ("db0", 0), ("db7", 7)] {
+            let o = Options::new().with("table", "t").with("host", raw);
+            assert_eq!(
+                ConnectorOptions::parse(&o).unwrap().host,
+                want,
+                "host={raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_keys_but_accepts_credentials() {
+        let o = Options::new().with("table", "t").with("numPartitons", 8); // typo
+        let err = ConnectorOptions::parse(&o).unwrap_err();
+        assert!(err.to_string().contains("numpartitons"), "{err}");
+        // The unused-but-real Table 1 keys still pass.
+        let o = Options::new()
+            .with("table", "t")
+            .with("user", "dbadmin")
+            .with("password", "s")
+            .with("db", "warehouse")
+            .with("dbschema", "public");
+        assert!(ConnectorOptions::parse(&o).is_ok());
+    }
+
+    #[test]
+    fn parses_retry_and_method_keys() {
+        let o = Options::new()
+            .with("table", "t")
+            .with("method", "dfs")
+            .with("staging_path", "/tmp/stage")
+            .with("retry_max_attempts", 7)
+            .with("retry_deadline_ms", 1500)
+            .with("failover", false);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert_eq!(parsed.method, WriteMethod::Dfs);
+        assert_eq!(parsed.staging_path.as_deref(), Some("/tmp/stage"));
+        assert_eq!(parsed.retry.max_attempts, 7);
+        assert_eq!(parsed.retry.deadline, Duration::from_millis(1500));
+        assert!(!parsed.failover);
+        let o = Options::new()
+            .with("table", "t")
+            .with("method", "carrier-pigeon");
+        assert!(ConnectorOptions::parse(&o).is_err());
+    }
+
+    #[test]
+    fn retry_key_bounds_are_enforced() {
+        let o = Options::new()
+            .with("table", "t")
+            .with("retry_max_attempts", 0);
+        assert!(ConnectorOptions::parse(&o).is_err());
+        let o = Options::new()
+            .with("table", "t")
+            .with("retry_max_attempts", 101);
+        assert!(ConnectorOptions::parse(&o).is_err());
+        let o = Options::new()
+            .with("table", "t")
+            .with("retry_deadline_ms", 0);
+        assert!(ConnectorOptions::parse(&o).is_err());
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let o = ConnectorOptions::builder("sales")
+            .host(1)
+            .num_partitions(16)
+            .failed_rows_percent_tolerance(0.05)
+            .job_name("nightly")
+            .method(WriteMethod::Dfs)
+            .retry_max_attempts(9)
+            .retry_deadline_ms(2000)
+            .failover(false)
+            .build()
+            .unwrap();
+        assert_eq!(o.table, "sales");
+        assert_eq!(o.host, 1);
+        assert_eq!(o.num_partitions, Some(16));
+        assert_eq!(o.job_name.as_deref(), Some("nightly"));
+        assert_eq!(o.method, WriteMethod::Dfs);
+        assert_eq!(o.retry.max_attempts, 9);
+        assert!(!o.failover);
+        assert!(ConnectorOptions::builder("").build().is_err());
+        assert!(ConnectorOptions::builder("t")
+            .num_partitions(0)
+            .build()
+            .is_err());
+        assert!(ConnectorOptions::builder("t")
+            .retry_max_attempts(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn host_on_names_the_valid_range() {
+        let cluster = mppdb::Cluster::new(mppdb::ClusterConfig::with_nodes(3));
+        let o = ConnectorOptions::for_table("t").with_host(5);
+        let err = o.host_on(&cluster).unwrap_err();
+        assert!(err.to_string().contains("db0..db2"), "{err}");
+        assert_eq!(
+            ConnectorOptions::for_table("t")
+                .with_host(2)
+                .host_on(&cluster)
+                .unwrap(),
+            2
+        );
     }
 }

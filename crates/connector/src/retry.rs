@@ -1,0 +1,353 @@
+//! Retry with exponential backoff, per-attempt timeouts, an overall
+//! deadline — and node failover for the session-shaped operations.
+//!
+//! Every database touchpoint in the connector runs under a
+//! [`RetryPolicy`]: transient errors ([`ConnectorError::is_transient`])
+//! are retried with exponentially growing, deterministically jittered
+//! backoff until the attempt budget or the wall-clock deadline runs
+//! out; fatal errors surface immediately. The paper's connector rides
+//! on JDBC where this layer is the driver's reconnect loop; here it is
+//! explicit and observable (`retry.*` counters in `dc_counters`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mppdb::{Cluster, Session};
+
+use crate::error::{ConnectorError, ConnectorResult};
+
+/// How a connector operation deals with transient failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (>= 1; 1 means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before attempt 2; doubles per attempt up to `max_backoff`.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Overall wall-clock budget across all attempts of one operation.
+    pub deadline: Duration,
+    /// Budget for any single attempt; an attempt that burned longer
+    /// than this is not retried even if attempts remain.
+    pub attempt_timeout: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            deadline: Duration::from_secs(30),
+            attempt_timeout: Duration::from_secs(10),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, fail fast).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before the given (1-based) attempt: exponential from
+    /// `base_backoff`, capped at `max_backoff`, jittered into
+    /// [50%, 100%] by a hash of (seed, op, attempt) so concurrent tasks
+    /// retrying the same failure do not stampede in lockstep, yet every
+    /// run with the same seed backs off identically.
+    pub fn backoff_for(&self, op: &str, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let full = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let mut h = self.jitter_seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in op.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ attempt as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        // Scale into [1/2, 1] of the full backoff.
+        let frac = 0.5 + (h % 1000) as f64 / 2000.0;
+        full.mul_f64(frac)
+    }
+}
+
+/// Run `attempt` under `policy`, retrying transient errors. The closure
+/// receives the 1-based attempt number (so callers can rotate failover
+/// targets per attempt).
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    op: &'static str,
+    mut attempt_fn: impl FnMut(u32) -> ConnectorResult<T>,
+) -> ConnectorResult<T> {
+    let started = Instant::now();
+    let mut attempt = 1u32;
+    loop {
+        let attempt_started = Instant::now();
+        match attempt_fn(attempt) {
+            Ok(v) => {
+                if attempt > 1 {
+                    obs::global().incr("retry.recovered");
+                }
+                return Ok(v);
+            }
+            Err(e) if !e.is_transient() => return Err(e),
+            Err(e) => {
+                if attempt >= policy.max_attempts {
+                    obs::global().incr("retry.gave_up");
+                    return Err(ConnectorError::RetriesExhausted {
+                        op,
+                        attempts: attempt,
+                        last: Box::new(e),
+                    });
+                }
+                let backoff = policy.backoff_for(op, attempt + 1);
+                let over_deadline = started.elapsed() + backoff > policy.deadline;
+                let attempt_overran = attempt_started.elapsed() > policy.attempt_timeout;
+                if over_deadline || attempt_overran {
+                    obs::global().incr("retry.gave_up");
+                    return Err(ConnectorError::DeadlineExceeded {
+                        op,
+                        attempts: attempt,
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                    });
+                }
+                obs::global().incr("retry.attempts");
+                obs::global().record_time("retry.backoff_us", backoff);
+                std::thread::sleep(backoff);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// A retrying, failing-over database connection: each attempt gets a
+/// fresh [`Session`], rotated across the preferred node, its k-safety
+/// buddies, and the rest of the live cluster. The JDBC analog is a
+/// driver-level connection pool with multi-host failover.
+pub struct RetryConn {
+    cluster: Arc<Cluster>,
+    preferred: usize,
+    failover: bool,
+    policy: RetryPolicy,
+    pool: Option<String>,
+    task_tag: Option<u64>,
+    session: Option<Session>,
+}
+
+impl RetryConn {
+    pub fn new(cluster: Arc<Cluster>, preferred: usize, policy: RetryPolicy) -> RetryConn {
+        RetryConn {
+            cluster,
+            preferred,
+            failover: true,
+            policy,
+            pool: None,
+            task_tag: None,
+            session: None,
+        }
+    }
+
+    /// Disallow failover: every attempt reconnects to the preferred node.
+    pub fn pinned(mut self) -> RetryConn {
+        self.failover = false;
+        self
+    }
+
+    pub fn with_pool(mut self, pool: Option<String>) -> RetryConn {
+        self.pool = pool;
+        self
+    }
+
+    pub fn with_task_tag(mut self, tag: Option<u64>) -> RetryConn {
+        self.task_tag = tag;
+        self
+    }
+
+    /// Candidate nodes in failover preference order: the preferred node,
+    /// then its buddy replicas, then every other node.
+    fn candidates(&self) -> Vec<usize> {
+        let mut order = vec![self.preferred];
+        if self.failover {
+            let k = self.cluster.config().k_safety;
+            for b in self.cluster.segment_map().buddies(self.preferred, k) {
+                if !order.contains(&b) {
+                    order.push(b);
+                }
+            }
+            for n in 0..self.cluster.node_count() {
+                if !order.contains(&n) {
+                    order.push(n);
+                }
+            }
+        }
+        order
+    }
+
+    fn connect(&mut self, attempt: u32) -> ConnectorResult<&mut Session> {
+        if self.session.is_none() {
+            let order = self.candidates();
+            // Rotate the starting candidate with the attempt number, but
+            // always scan the whole preference list: attempt 1 tries the
+            // preferred node first, later attempts lead with a failover
+            // target while still falling back to any node that answers.
+            let start = (attempt as usize - 1) % order.len();
+            let mut last: Option<ConnectorError> = None;
+            for i in 0..order.len() {
+                let node = order[(start + i) % order.len()];
+                match self.cluster.connect(node) {
+                    Ok(mut session) => {
+                        if node != self.preferred {
+                            obs::global().incr("failover.connects");
+                        }
+                        if let Some(pool) = &self.pool {
+                            session
+                                .set_resource_pool(pool)
+                                .map_err(|e| ConnectorError::db("set_resource_pool", e))?;
+                        }
+                        session.set_task_tag(self.task_tag);
+                        self.session = Some(session);
+                        break;
+                    }
+                    Err(e) => {
+                        let e = ConnectorError::db("connect", e);
+                        if !e.is_transient() {
+                            return Err(e);
+                        }
+                        last = Some(e);
+                    }
+                }
+            }
+            if self.session.is_none() {
+                return Err(last.unwrap_or(ConnectorError::NoLiveNodes));
+            }
+        }
+        Ok(self.session.as_mut().unwrap())
+    }
+
+    /// Run `f` against a live session under the retry policy. On a
+    /// transient error the session is dropped (its open transaction
+    /// aborts, exactly as a dead JDBC connection's would) and the next
+    /// attempt reconnects — possibly to a different node.
+    pub fn run<T>(
+        &mut self,
+        op: &'static str,
+        mut f: impl FnMut(&mut Session) -> ConnectorResult<T>,
+    ) -> ConnectorResult<T> {
+        let policy = self.policy.clone();
+        with_retry(&policy, op, |attempt| {
+            let session = self.connect(attempt)?;
+            match f(session) {
+                Ok(v) => Ok(v),
+                Err(e) => {
+                    if e.is_transient() {
+                        // Connection is suspect; drop it (aborting any
+                        // open transaction) and reconnect next attempt.
+                        self.session = None;
+                    } else if let Some(s) = self.session.as_mut() {
+                        if s.in_txn() {
+                            let _ = s.rollback();
+                        }
+                    }
+                    Err(e)
+                }
+            }
+        })
+    }
+
+    /// The node the current session is pinned to, if connected.
+    pub fn node(&self) -> Option<usize> {
+        self.session.as_ref().map(|s| s.node())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn fatal_errors_fail_fast() {
+        let calls = AtomicU32::new(0);
+        let r: ConnectorResult<()> = with_retry(&RetryPolicy::default(), "t", |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(ConnectorError::Usage("bad".into()))
+        });
+        assert!(matches!(r, Err(ConnectorError::Usage(_))));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn transient_errors_retry_until_budget() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+            ..RetryPolicy::default()
+        };
+        let calls = AtomicU32::new(0);
+        let r: ConnectorResult<()> = with_retry(&policy, "t", |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(ConnectorError::NoLiveNodes)
+        });
+        assert!(matches!(
+            r,
+            Err(ConnectorError::RetriesExhausted { attempts: 3, .. })
+        ));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn recovers_when_a_later_attempt_succeeds() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let r = with_retry(&policy, "t", |attempt| {
+            if attempt < 3 {
+                Err(ConnectorError::NoLiveNodes)
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+    }
+
+    #[test]
+    fn deadline_bounds_total_time() {
+        let policy = RetryPolicy {
+            max_attempts: 1000,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(5),
+            deadline: Duration::from_millis(12),
+            ..RetryPolicy::default()
+        };
+        let started = Instant::now();
+        let r: ConnectorResult<()> = with_retry(&policy, "t", |_| Err(ConnectorError::NoLiveNodes));
+        assert!(matches!(r, Err(ConnectorError::DeadlineExceeded { .. })));
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_deterministic() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            ..RetryPolicy::default()
+        };
+        let b2 = p.backoff_for("op", 2);
+        let b5 = p.backoff_for("op", 5);
+        assert!(b2 >= Duration::from_micros(500) && b2 <= Duration::from_millis(2));
+        assert!(b5 <= Duration::from_millis(8));
+        assert!(b5 >= b2);
+        assert_eq!(p.backoff_for("op", 3), p.backoff_for("op", 3));
+        // Different ops jitter differently (with overwhelming likelihood).
+        assert_ne!(p.backoff_for("alpha", 4), p.backoff_for("beta", 4));
+    }
+}

@@ -28,18 +28,30 @@
 //! into target (charged to the cost model as a constant-time rename);
 //! in append mode it copies the staging rows (the slower path the
 //! paper's Sec. 5 discusses).
+//!
+//! Every database touchpoint — the driver's setup/wrap-up and each
+//! phase — runs on a retrying, failing-over connection
+//! ([`crate::retry::RetryConn`]). The phases were already idempotent
+//! against *task* restarts (each re-checks durable state); the same
+//! property makes them safe to retry against *connection* failures,
+//! including the Sec. 2.2.2 hazard of a commit whose acknowledgement
+//! is lost: the retry re-reads the done flag / committer slot / final
+//! status and discovers the commit landed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use avrolite::{AvroSchema, Codec, Writer};
 use common::Value;
 use mppdb::catalog::{Segmentation, TableDef};
 use mppdb::{Cluster, CopyOptions, CopySource, DbError, DbResult, QuerySpec, Session};
 use netsim::record::{NetClass, NodeRef};
-use sparklet::{DataFrame, SaveMode, SparkContext, SparkError, SparkResult};
+use sparklet::{DataFrame, SaveMode, SparkContext, SparkError};
 
+use crate::error::{ConnectorError, ConnectorResult};
 use crate::options::ConnectorOptions;
+use crate::retry::{RetryConn, RetryPolicy};
 
 /// Outcome of a successful save.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,10 +137,6 @@ struct JobTables {
 /// available; users can consult this table any time").
 pub const FINAL_STATUS_TABLE: &str = "s2v_job_final_status";
 
-fn db_err(e: DbError) -> SparkError {
-    SparkError::DataSource(e.to_string())
-}
-
 /// Save `df` into `opts.table` with exactly-once semantics.
 pub fn save_to_db(
     ctx: &SparkContext,
@@ -136,8 +144,8 @@ pub fn save_to_db(
     df: &DataFrame,
     opts: &ConnectorOptions,
     mode: SaveMode,
-) -> SparkResult<S2vReport> {
-    let save_started = std::time::Instant::now();
+) -> ConnectorResult<S2vReport> {
+    let save_started = Instant::now();
     let target = sanitize(&opts.table);
     let job_name = opts
         .job_name
@@ -146,11 +154,15 @@ pub fn save_to_db(
         .unwrap_or_else(|| format!("s2v_{}_{}", target, JOB_SEQ.fetch_add(1, Ordering::AcqRel)));
 
     // ----- setup phase (driver) --------------------------------------
-    let mut session = cluster.connect(opts.host).map_err(db_err)?;
+    let host = opts.host_on(cluster)?;
+    let mut driver = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone());
+    if !opts.failover {
+        driver = driver.pinned();
+    }
     let exists = cluster.has_table(&target);
     match mode {
         SaveMode::ErrorIfExists if exists => {
-            return Err(SparkError::DataSource(format!(
+            return Err(ConnectorError::Usage(format!(
                 "table {target} already exists (mode=ErrorIfExists)"
             )))
         }
@@ -168,9 +180,11 @@ pub fn save_to_db(
         _ => {}
     }
     if exists {
-        let def = cluster.table_def(&target).map_err(db_err)?;
+        let def = cluster
+            .table_def(&target)
+            .map_err(|e| ConnectorError::db("s2v.setup", e))?;
         if !def.schema.compatible_with(df.schema()) {
-            return Err(SparkError::DataSource(format!(
+            return Err(ConnectorError::Usage(format!(
                 "DataFrame schema {} incompatible with target table {}",
                 df.schema(),
                 def.schema
@@ -180,9 +194,9 @@ pub fn save_to_db(
         cluster
             .create_table(
                 TableDef::new(&target, df.schema().clone(), Segmentation::ByHash(vec![]))
-                    .map_err(db_err)?,
+                    .map_err(|e| ConnectorError::db("s2v.setup", e))?,
             )
-            .map_err(db_err)?;
+            .map_err(|e| ConnectorError::db("s2v.setup", e))?;
     }
 
     // Decide the parallelism (a coalesce when reducing, per Sec. 3.2).
@@ -200,7 +214,9 @@ pub fn save_to_db(
         status: format!("{job_name}_status"),
         committer: format!("{job_name}_committer"),
     };
-    let target_def = cluster.table_def(&target).map_err(db_err)?;
+    let target_def = cluster
+        .table_def(&target)
+        .map_err(|e| ConnectorError::db("s2v.setup", e))?;
 
     // Sec. 5 future-work optimization: pre-hash the DataFrame to the
     // target's segmentation so partition `p` holds exactly the rows
@@ -211,64 +227,101 @@ pub fn save_to_db(
     } else {
         df
     };
-    cluster
-        .create_table(
-            TableDef::new(
-                &tables.staging,
-                target_def.schema.clone(),
-                target_def.segmentation.clone(),
+    if !cluster.has_table(&tables.staging) {
+        cluster
+            .create_table(
+                TableDef::new(
+                    &tables.staging,
+                    target_def.schema.clone(),
+                    target_def.segmentation.clone(),
+                )
+                .map_err(|e| ConnectorError::db("s2v.setup", e))?
+                .temp(),
             )
-            .map_err(db_err)?
-            .temp(),
-        )
-        .map_err(db_err)?;
-    session
-        .execute(&format!(
-            "CREATE TEMP TABLE {} (task_id INT NOT NULL, rows_loaded INT, \
-             rows_rejected INT, done BOOLEAN, reject_sample VARCHAR) \
-             UNSEGMENTED ALL NODES",
-            tables.status
-        ))
-        .map_err(db_err)?;
-    session
-        .execute(&format!(
-            "CREATE TEMP TABLE {} (task_id INT) UNSEGMENTED ALL NODES",
-            tables.committer
-        ))
-        .map_err(db_err)?;
-    session
-        .execute(&format!(
-            "CREATE TABLE IF NOT EXISTS {FINAL_STATUS_TABLE} \
-             (job_name VARCHAR NOT NULL, failed_pct FLOAT, status VARCHAR) \
-             UNSEGMENTED ALL NODES"
-        ))
-        .map_err(db_err)?;
-    // One status row per task, done=false.
-    if partitions > 0 {
-        let values: Vec<String> = (0..partitions)
-            .map(|p| format!("({p}, 0, 0, FALSE, '')"))
-            .collect();
+            .map_err(|e| ConnectorError::db("s2v.setup", e))?;
+    }
+    // The setup DDL/DML is guarded by existence checks, so a retry after
+    // a commit-then-lost-ack replays as a no-op instead of "table
+    // exists" / duplicate status rows.
+    driver.run("s2v.setup", |session| {
+        let db = |e: DbError| ConnectorError::db("s2v.setup", e);
+        if !session.cluster().has_table(&tables.status) {
+            session
+                .execute(&format!(
+                    "CREATE TEMP TABLE {} (task_id INT NOT NULL, rows_loaded INT, \
+                     rows_rejected INT, done BOOLEAN, reject_sample VARCHAR) \
+                     UNSEGMENTED ALL NODES",
+                    tables.status
+                ))
+                .map_err(db)?;
+        }
+        if !session.cluster().has_table(&tables.committer) {
+            session
+                .execute(&format!(
+                    "CREATE TEMP TABLE {} (task_id INT) UNSEGMENTED ALL NODES",
+                    tables.committer
+                ))
+                .map_err(db)?;
+        }
         session
             .execute(&format!(
-                "INSERT INTO {} VALUES {}",
-                tables.status,
-                values.join(", ")
+                "CREATE TABLE IF NOT EXISTS {FINAL_STATUS_TABLE} \
+                 (job_name VARCHAR NOT NULL, failed_pct FLOAT, status VARCHAR) \
+                 UNSEGMENTED ALL NODES"
             ))
-            .map_err(db_err)?;
-    }
-    session
-        .execute(&format!(
-            "INSERT INTO {FINAL_STATUS_TABLE} VALUES ('{job_name}', 0.0, 'in_progress')"
-        ))
-        .map_err(db_err)?;
+            .map_err(db)?;
+        // One status row per task (done=false) and one in-progress final
+        // status row, in one transaction, only if a previous attempt
+        // didn't already write them.
+        session.begin().map_err(db)?;
+        let seeded = session
+            .execute(&format!("SELECT COUNT(*) FROM {}", tables.status))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?
+            .rows[0]
+            .get(0)
+            .as_i64()?;
+        if seeded == 0 && partitions > 0 {
+            let values: Vec<String> = (0..partitions)
+                .map(|p| format!("({p}, 0, 0, FALSE, '')"))
+                .collect();
+            session
+                .execute(&format!(
+                    "INSERT INTO {} VALUES {}",
+                    tables.status,
+                    values.join(", ")
+                ))
+                .map_err(db)?;
+        }
+        let registered = session
+            .execute(&format!(
+                "SELECT COUNT(*) FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
+            ))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?
+            .rows[0]
+            .get(0)
+            .as_i64()?;
+        if registered == 0 {
+            session
+                .execute(&format!(
+                    "INSERT INTO {FINAL_STATUS_TABLE} VALUES ('{job_name}', 0.0, 'in_progress')"
+                ))
+                .map_err(db)?;
+        }
+        session.commit().map_err(db)?;
+        Ok(())
+    })?;
     cluster
         .recorder()
-        .setup(None, NodeRef::Db(opts.host), "s2v_setup_tables");
+        .setup(None, NodeRef::Db(host), "s2v_setup_tables");
 
     // Node addresses are looked up once so tasks spread connections.
     let up_nodes = cluster.up_nodes();
     if up_nodes.is_empty() {
-        return Err(SparkError::DataSource("no live database nodes".into()));
+        return Err(ConnectorError::NoLiveNodes);
     }
 
     // ----- the job ----------------------------------------------------
@@ -277,12 +330,15 @@ pub fn save_to_db(
     let avro_schema = AvroSchema::from_schema(&target, &schema);
     let tolerance = opts.failed_rows_percent_tolerance;
     let copy_direct = opts.copy_direct;
+    let failover = opts.failover;
+    let retry = opts.retry.clone();
     let cluster_for_tasks = Arc::clone(cluster);
     let tables_ref = &tables;
     let job_ref = job_name.as_str();
     let target_ref = target.as_str();
     let up_nodes_ref = &up_nodes;
     let avro_ref = &avro_schema;
+    let retry_ref = &retry;
 
     let pool_ref = opts.resource_pool.as_deref();
     let acc = PhaseAcc::default();
@@ -303,9 +359,11 @@ pub fn save_to_db(
             mode,
             partitions,
             pool_ref,
+            retry_ref,
+            failover,
             acc_ref,
         )
-        .map_err(db_err)
+        .map_err(SparkError::from)
     })?;
 
     // ----- driver wrap-up ---------------------------------------------
@@ -316,11 +374,12 @@ pub fn save_to_db(
                 committed = Some((task as u64, *loaded, *rejected));
             }
             TaskEnd::ToleranceExceeded { loaded, rejected } => {
-                return Err(SparkError::DataSource(format!(
-                    "S2V job {job_name} failed: {rejected} of {} rows rejected exceeds \
-                     tolerance {tolerance}",
-                    loaded + rejected
-                )));
+                return Err(ConnectorError::Tolerance {
+                    job: job_name.clone(),
+                    loaded: *loaded,
+                    rejected: *rejected,
+                    tolerance,
+                });
             }
             TaskEnd::Done => {}
         }
@@ -331,21 +390,22 @@ pub fn save_to_db(
     // status table, which is the ground truth.
     let (committer_task, rows_loaded, rows_rejected) = match committed {
         Some(c) => c,
-        None => {
+        None => driver.run("s2v.finalize", |session| {
+            let db = |e: DbError| ConnectorError::db("s2v.finalize", e);
             let status = session
                 .execute(&format!(
                     "SELECT status FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
                 ))
-                .map_err(db_err)?
+                .map_err(db)?
                 .rows()
-                .map_err(db_err)?;
+                .map_err(db)?;
             let finished = status
                 .rows
                 .first()
                 .map(|r| r.get(0) == &Value::Varchar("finished".into()))
                 .unwrap_or(false);
             if !finished {
-                return Err(SparkError::DataSource(format!(
+                return Err(ConnectorError::Protocol(format!(
                     "S2V job {job_name}: no task committed (job incomplete)"
                 )));
             }
@@ -354,60 +414,55 @@ pub fn save_to_db(
                     "SELECT SUM(rows_loaded), SUM(rows_rejected) FROM {}",
                     tables.status
                 ))
-                .map_err(db_err)?
+                .map_err(db)?
                 .rows()
-                .map_err(db_err)?;
+                .map_err(db)?;
             let winner = session
                 .execute(&format!("SELECT task_id FROM {} LIMIT 1", tables.committer))
-                .map_err(db_err)?
+                .map_err(db)?
                 .rows()
-                .map_err(db_err)?;
-            (
-                winner.rows[0]
-                    .get(0)
-                    .as_i64()
-                    .map_err(|e| db_err(e.into()))? as u64,
-                totals.rows[0]
-                    .get(0)
-                    .as_i64()
-                    .map_err(|e| db_err(e.into()))? as u64,
-                totals.rows[0]
-                    .get(1)
-                    .as_i64()
-                    .map_err(|e| db_err(e.into()))? as u64,
-            )
-        }
+                .map_err(db)?;
+            Ok((
+                winner.rows[0].get(0).as_i64()? as u64,
+                totals.rows[0].get(0).as_i64()? as u64,
+                totals.rows[0].get(1).as_i64()? as u64,
+            ))
+        })?,
     };
 
     // Harvest the rejected-row samples before the temp tables go away.
-    let sample_rows = session
-        .execute(&format!(
-            "SELECT task_id, reject_sample FROM {} WHERE rows_rejected > 0 \
-             ORDER BY task_id",
-            tables.status
-        ))
-        .map_err(db_err)?
-        .rows()
-        .map_err(db_err)?;
-    let rejected_samples: Vec<(u64, String)> = sample_rows
-        .rows
-        .iter()
-        .filter_map(|r| {
-            Some((
-                r.get(0).as_i64().ok()? as u64,
-                r.get(1).as_str().ok()?.to_string(),
+    let rejected_samples = driver.run("s2v.finalize", |session| {
+        let sample_rows = session
+            .execute(&format!(
+                "SELECT task_id, reject_sample FROM {} WHERE rows_rejected > 0 \
+                 ORDER BY task_id",
+                tables.status
             ))
-        })
-        .collect();
+            .map_err(|e| ConnectorError::db("s2v.finalize", e))?
+            .rows()
+            .map_err(|e| ConnectorError::db("s2v.finalize", e))?;
+        Ok(sample_rows
+            .rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get(0).as_i64().ok()? as u64,
+                    r.get(1).as_str().ok()?.to_string(),
+                ))
+            })
+            .collect::<Vec<(u64, String)>>())
+    })?;
 
     // Temp protocol tables are deleted on success; the final status
     // table is permanent.
     for t in [&tables.staging, &tables.status, &tables.committer] {
-        cluster.drop_table(t).map_err(db_err)?;
+        cluster
+            .drop_table(t)
+            .map_err(|e| ConnectorError::db("s2v.teardown", e))?;
     }
     cluster
         .recorder()
-        .setup(None, NodeRef::Db(opts.host), "s2v_teardown_tables");
+        .setup(None, NodeRef::Db(host), "s2v_teardown_tables");
 
     obs::global().add("s2v.jobs", 1);
     obs::global().add("s2v.rows_loaded", rows_loaded);
@@ -436,16 +491,16 @@ fn prehash_dataframe(
     df: &DataFrame,
     def: &TableDef,
     partitions: usize,
-) -> SparkResult<DataFrame> {
+) -> ConnectorResult<DataFrame> {
     let map = cluster.segment_map();
     let n = map.node_count();
     if partitions < n {
-        return Err(SparkError::Usage(format!(
+        return Err(ConnectorError::Usage(format!(
             "prehash requires numPartitions >= the {n} database nodes"
         )));
     }
     if cluster.up_nodes().len() != n {
-        return Err(SparkError::DataSource(
+        return Err(ConnectorError::Protocol(
             "prehash requires every database node up (owner-aligned connections)".into(),
         ));
     }
@@ -490,11 +545,19 @@ fn prehash_dataframe(
         }
     }
 
-    DataFrame::from_partitions(ctx.clone(), df.schema().clone(), buckets)
+    Ok(DataFrame::from_partitions(
+        ctx.clone(),
+        df.schema().clone(),
+        buckets,
+    )?)
 }
 
 /// The five phases of one task (Fig. 5). Runs once per attempt; every
-/// phase re-checks durable state so reruns and duplicates are harmless.
+/// phase re-checks durable state so reruns, duplicates, and
+/// connection-level retries are harmless. Each phase runs on a
+/// [`RetryConn`]: a transient failure drops the session (aborting the
+/// phase's open transaction) and the retry reconnects, preferring the
+/// task's node but failing over to its buddies.
 #[allow(clippy::too_many_arguments)]
 fn run_task_phases(
     cluster: &Arc<Cluster>,
@@ -510,23 +573,26 @@ fn run_task_phases(
     mode: SaveMode,
     partitions: usize,
     resource_pool: Option<&str>,
+    retry: &RetryPolicy,
+    failover: bool,
     acc: &PhaseAcc,
-) -> DbResult<TaskEnd> {
+) -> ConnectorResult<TaskEnd> {
     let p = tc.partition;
-    let node = up_nodes[p % up_nodes.len()];
-    let mut session = cluster.connect(node)?;
-    session.set_task_tag(Some(p as u64));
-    if let Some(pool) = resource_pool {
-        session.set_resource_pool(pool)?;
+    let preferred = up_nodes[p % up_nodes.len()];
+    let mut conn = RetryConn::new(Arc::clone(cluster), preferred, retry.clone())
+        .with_pool(resource_pool.map(str::to_string))
+        .with_task_tag(Some(p as u64));
+    if !failover {
+        conn = conn.pinned();
     }
     cluster
         .recorder()
-        .setup(Some(p as u64), NodeRef::Db(node), "s2v_connect");
+        .setup(Some(p as u64), NodeRef::Db(preferred), "s2v_connect");
 
     // One S2vPhase event (+ timer + report accumulation) per phase exit;
     // `detail` says how the phase ended so the event log reads as the
     // Fig. 5 walk of each attempt.
-    let mark = |phase: usize, started: std::time::Instant, detail: String| {
+    let mark = |phase: usize, node: usize, started: Instant, detail: String| {
         let dur = started.elapsed();
         obs::global().emit(obs::EventKind::S2vPhase, |e| {
             e.job = Some(job_name.to_string());
@@ -540,219 +606,265 @@ fn run_task_phases(
     };
 
     // ----- Phase 1: save into staging + conditional done flag --------
-    let phase_started = std::time::Instant::now();
-    session.begin()?;
-    let phase1 = phase1_save(
-        cluster,
-        &mut session,
-        tc,
-        rows,
-        avro_schema,
-        tables,
-        node,
-        copy_direct,
-    );
-    match phase1 {
-        Ok(true) => {
-            session.commit()?;
-            mark(1, phase_started, format!("phase 1 saved partition {p}"));
+    conn.run("s2v.phase1", |session| {
+        let db = |e: DbError| ConnectorError::db("s2v.phase1", e);
+        let started = Instant::now();
+        let node = session.node();
+        session.begin().map_err(db)?;
+        match phase1_save(
+            cluster,
+            session,
+            tc,
+            &rows,
+            avro_schema,
+            tables,
+            node,
+            copy_direct,
+        ) {
+            Ok(true) => {
+                session.commit().map_err(db)?;
+                mark(1, node, started, format!("phase 1 saved partition {p}"));
+                Ok(())
+            }
+            Ok(false) => {
+                // A duplicate attempt already saved this partition;
+                // discard our staged copy.
+                session.rollback().map_err(db)?;
+                mark(
+                    1,
+                    node,
+                    started,
+                    format!("phase 1 duplicate of {p}, rolled back"),
+                );
+                Ok(())
+            }
+            Err(e) => {
+                let e = db(e);
+                mark(1, node, started, format!("phase 1 failed: {e}"));
+                Err(e)
+            }
         }
-        Ok(false) => {
-            // A duplicate attempt already saved this partition; discard
-            // our staged copy.
-            session.rollback()?;
-            mark(
-                1,
-                phase_started,
-                format!("phase 1 duplicate of {p}, rolled back"),
-            );
-        }
-        Err(e) => {
-            session.rollback()?;
-            mark(1, phase_started, format!("phase 1 failed: {e}"));
-            return Err(e);
-        }
-    }
+    })?;
 
     // ----- Phase 2: are all tasks done? -------------------------------
-    let phase_started = std::time::Instant::now();
-    let not_done = session
-        .execute(&format!(
-            "SELECT COUNT(*) FROM {} WHERE done = FALSE",
-            tables.status
-        ))?
-        .rows()?
-        .rows[0]
-        .get(0)
-        .as_i64()
-        .map_err(DbError::Data)?;
+    let not_done = conn.run("s2v.phase2", |session| {
+        let db = |e: DbError| ConnectorError::db("s2v.phase2", e);
+        let started = Instant::now();
+        let node = session.node();
+        let not_done = session
+            .execute(&format!(
+                "SELECT COUNT(*) FROM {} WHERE done = FALSE",
+                tables.status
+            ))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?
+            .rows[0]
+            .get(0)
+            .as_i64()?;
+        let detail = if not_done > 0 {
+            format!("phase 2: {not_done} tasks pending, terminating")
+        } else {
+            "phase 2: all tasks done".to_string()
+        };
+        mark(2, node, started, detail);
+        Ok(not_done)
+    })?;
     if not_done > 0 {
-        mark(
-            2,
-            phase_started,
-            format!("phase 2: {not_done} tasks pending, terminating"),
-        );
         return Ok(TaskEnd::Done);
     }
-    mark(2, phase_started, "phase 2: all tasks done".to_string());
     debug_assert!(partitions > 0);
 
     // ----- Phase 3: race to become the last committer -----------------
-    let phase_started = std::time::Instant::now();
-    session.begin()?;
-    let committer_count = session
-        .execute(&format!("SELECT COUNT(*) FROM {}", tables.committer))?
-        .rows()?
-        .rows[0]
-        .get(0)
-        .as_i64()
-        .map_err(DbError::Data)?;
-    if committer_count == 0 {
-        session.execute(&format!("INSERT INTO {} VALUES ({p})", tables.committer))?;
-        session.commit()?;
-        mark(
-            3,
-            phase_started,
-            format!("phase 3: task {p} claimed the committer slot"),
-        );
-    } else {
-        session.rollback()?;
-        mark(
-            3,
-            phase_started,
-            "phase 3: committer slot taken".to_string(),
-        );
-    }
+    conn.run("s2v.phase3", |session| {
+        let db = |e: DbError| ConnectorError::db("s2v.phase3", e);
+        let started = Instant::now();
+        let node = session.node();
+        session.begin().map_err(db)?;
+        let committer_count = session
+            .execute(&format!("SELECT COUNT(*) FROM {}", tables.committer))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?
+            .rows[0]
+            .get(0)
+            .as_i64()?;
+        if committer_count == 0 {
+            session
+                .execute(&format!("INSERT INTO {} VALUES ({p})", tables.committer))
+                .map_err(db)?;
+            session.commit().map_err(db)?;
+            mark(
+                3,
+                node,
+                started,
+                format!("phase 3: task {p} claimed the committer slot"),
+            );
+        } else {
+            session.rollback().map_err(db)?;
+            mark(
+                3,
+                node,
+                started,
+                "phase 3: committer slot taken".to_string(),
+            );
+        }
+        Ok(())
+    })?;
 
     // ----- Phase 4: did we win? ---------------------------------------
-    let phase_started = std::time::Instant::now();
-    let winner = session
-        .execute(&format!("SELECT task_id FROM {} LIMIT 1", tables.committer))?
-        .rows()?
-        .rows[0]
-        .get(0)
-        .as_i64()
-        .map_err(DbError::Data)?;
+    let winner = conn.run("s2v.phase4", |session| {
+        let db = |e: DbError| ConnectorError::db("s2v.phase4", e);
+        let started = Instant::now();
+        let node = session.node();
+        let winner = session
+            .execute(&format!("SELECT task_id FROM {} LIMIT 1", tables.committer))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?
+            .rows[0]
+            .get(0)
+            .as_i64()?;
+        let detail = if winner != p as i64 {
+            format!("phase 4: task {winner} won, terminating")
+        } else {
+            format!("phase 4: task {p} is the committer")
+        };
+        mark(4, node, started, detail);
+        Ok(winner)
+    })?;
     if winner != p as i64 {
-        mark(
-            4,
-            phase_started,
-            format!("phase 4: task {winner} won, terminating"),
-        );
         return Ok(TaskEnd::Done);
     }
-    mark(
-        4,
-        phase_started,
-        format!("phase 4: task {p} is the committer"),
-    );
 
     // ----- Phase 5: tolerance check + final atomic commit -------------
-    let phase_started = std::time::Instant::now();
-    session.begin()?;
-    let totals = session.execute(&format!(
-        "SELECT SUM(rows_loaded), SUM(rows_rejected) FROM {}",
-        tables.status
-    ))?;
-    let totals = totals.rows()?;
-    let loaded = totals.rows[0].get(0).as_i64().map_err(DbError::Data)? as u64;
-    let rejected = totals.rows[0].get(1).as_i64().map_err(DbError::Data)? as u64;
-    let attempted = loaded + rejected;
-    let failed_pct = if attempted == 0 {
-        0.0
-    } else {
-        rejected as f64 / attempted as f64
-    };
+    conn.run("s2v.phase5", |session| {
+        let db = |e: DbError| ConnectorError::db("s2v.phase5", e);
+        let started = Instant::now();
+        let node = session.node();
+        session.begin().map_err(db)?;
+        let totals = session
+            .execute(&format!(
+                "SELECT SUM(rows_loaded), SUM(rows_rejected) FROM {}",
+                tables.status
+            ))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?;
+        let loaded = totals.rows[0].get(0).as_i64()? as u64;
+        let rejected = totals.rows[0].get(1).as_i64()? as u64;
+        let attempted = loaded + rejected;
+        let failed_pct = if attempted == 0 {
+            0.0
+        } else {
+            rejected as f64 / attempted as f64
+        };
 
-    if failed_pct > tolerance {
-        session.execute(&format!(
-            "UPDATE {FINAL_STATUS_TABLE} SET failed_pct = {failed_pct}, \
-             status = 'failed_tolerance' WHERE job_name = '{job_name}'"
-        ))?;
-        session.commit()?;
-        mark(
-            5,
-            phase_started,
-            format!("phase 5: tolerance exceeded ({rejected} rejected)"),
-        );
-        return Ok(TaskEnd::ToleranceExceeded { loaded, rejected });
-    }
-
-    // Conditional: only commit if the job is not already finished (a
-    // speculative duplicate of the committer may race us here).
-    let status = session
-        .execute(&format!(
-            "SELECT status FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
-        ))?
-        .rows()?;
-    let current = status.rows[0]
-        .get(0)
-        .as_str()
-        .map_err(DbError::Data)?
-        .to_string();
-    if current == "finished" {
-        session.rollback()?;
-        mark(
-            5,
-            phase_started,
-            "phase 5: already finished, terminating".to_string(),
-        );
-        return Ok(TaskEnd::Done);
-    }
-
-    // Commit staging into target. Overwrite is the atomic swap (a
-    // constant-time rename in the paper; realized here as a
-    // transactional replace with the physical row copy muted in the
-    // cost log and charged as a rename); append copies for real — the
-    // slower path Sec. 5 discusses.
-    match mode {
-        SaveMode::Append => {
-            let staging_rows = session.query(&QuerySpec::scan(&tables.staging))?;
-            cluster.recorder().work(
-                Some(p as u64),
-                NodeRef::Db(node),
-                "s2v_append_copy",
-                staging_rows.rows.len() as u64,
-                staging_rows.wire_bytes(),
+        if failed_pct > tolerance {
+            session
+                .execute(&format!(
+                    "UPDATE {FINAL_STATUS_TABLE} SET failed_pct = {failed_pct}, \
+                     status = 'failed_tolerance' WHERE job_name = '{job_name}'"
+                ))
+                .map_err(db)?;
+            session.commit().map_err(db)?;
+            mark(
+                5,
+                node,
+                started,
+                format!("phase 5: tolerance exceeded ({rejected} rejected)"),
             );
-            session.insert(target, staging_rows.rows)?;
+            return Ok(TaskEnd::ToleranceExceeded { loaded, rejected });
         }
-        _ => {
-            cluster
-                .recorder()
-                .setup(Some(p as u64), NodeRef::Db(node), "s2v_atomic_rename");
-            let _mute = cluster.recorder().mute();
-            let staging_rows = session.query(&QuerySpec::scan(&tables.staging))?;
-            session.execute(&format!("DELETE FROM {target}"))?;
-            session.insert(target, staging_rows.rows)?;
+
+        // Conditional: only commit if the job is not already finished (a
+        // speculative duplicate of the committer — or our own earlier
+        // attempt whose commit ack was lost — may have beaten us here).
+        let status = session
+            .execute(&format!(
+                "SELECT status FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
+            ))
+            .map_err(db)?
+            .rows()
+            .map_err(db)?;
+        let current = status.rows[0].get(0).as_str()?.to_string();
+        if current == "finished" {
+            session.rollback().map_err(db)?;
+            mark(
+                5,
+                node,
+                started,
+                "phase 5: already finished, terminating".to_string(),
+            );
+            return Ok(TaskEnd::Done);
         }
-    }
-    session.execute(&format!(
-        "UPDATE {FINAL_STATUS_TABLE} SET failed_pct = {failed_pct}, \
-         status = 'finished' WHERE job_name = '{job_name}'"
-    ))?;
-    session.commit()?;
-    // The exactly-once witness: this exact detail string appears once
-    // per job no matter how many attempts, retries, or speculative
-    // duplicates ran — tests/exactly_once.rs asserts on it.
-    mark(
-        5,
-        phase_started,
-        format!("phase 5 final commit by task {p}, {loaded} loaded"),
-    );
-    obs::global().add("s2v.final_commits", 1);
-    Ok(TaskEnd::Committed { loaded, rejected })
+
+        // Commit staging into target. Overwrite is the atomic swap (a
+        // constant-time rename in the paper; realized here as a
+        // transactional replace with the physical row copy muted in the
+        // cost log and charged as a rename); append copies for real —
+        // the slower path Sec. 5 discusses.
+        match mode {
+            SaveMode::Append => {
+                let staging_rows = session
+                    .query(&QuerySpec::scan(&tables.staging))
+                    .map_err(db)?;
+                cluster.recorder().work(
+                    Some(p as u64),
+                    NodeRef::Db(node),
+                    "s2v_append_copy",
+                    staging_rows.rows.len() as u64,
+                    staging_rows.wire_bytes(),
+                );
+                session.insert(target, staging_rows.rows).map_err(db)?;
+            }
+            _ => {
+                cluster
+                    .recorder()
+                    .setup(Some(p as u64), NodeRef::Db(node), "s2v_atomic_rename");
+                let _mute = cluster.recorder().mute();
+                let staging_rows = session
+                    .query(&QuerySpec::scan(&tables.staging))
+                    .map_err(db)?;
+                session
+                    .execute(&format!("DELETE FROM {target}"))
+                    .map_err(db)?;
+                session.insert(target, staging_rows.rows).map_err(db)?;
+            }
+        }
+        session
+            .execute(&format!(
+                "UPDATE {FINAL_STATUS_TABLE} SET failed_pct = {failed_pct}, \
+                 status = 'finished' WHERE job_name = '{job_name}'"
+            ))
+            .map_err(db)?;
+        session.commit().map_err(db)?;
+        // The exactly-once witness: this exact detail string appears once
+        // per job no matter how many attempts, retries, or speculative
+        // duplicates ran — tests/exactly_once.rs asserts on it. (A lost
+        // commit ack can suppress it entirely; then the durable final
+        // status table is the record.)
+        mark(
+            5,
+            node,
+            started,
+            format!("phase 5 final commit by task {p}, {loaded} loaded"),
+        );
+        obs::global().add("s2v.final_commits", 1);
+        Ok(TaskEnd::Committed { loaded, rejected })
+    })
 }
 
 /// Phase 1 body (inside an open transaction): encode, ship, COPY, and
 /// conditionally flip the done flag. Returns whether the transaction
-/// should commit.
+/// should commit. Takes the rows by reference because the enclosing
+/// retry loop may run it more than once.
 #[allow(clippy::too_many_arguments)]
 fn phase1_save(
     cluster: &Arc<Cluster>,
     session: &mut Session,
     tc: &sparklet::TaskContext,
-    rows: Vec<common::Row>,
+    rows: &[common::Row],
     avro_schema: &AvroSchema,
     tables: &JobTables,
     node: usize,
@@ -764,7 +876,7 @@ fn phase1_save(
     // Encode the partition in the Avro binary format (Sec. 3.2.2).
     let mut writer = Writer::new(avro_schema.clone(), Codec::Rle);
     let mut encode_errors = 0u64;
-    for row in &rows {
+    for row in rows {
         // Rows that cannot be encoded count as rejected.
         if writer.write_row(row).is_err() {
             encode_errors += 1;

@@ -30,6 +30,9 @@ use netsim::record::NodeRef;
 use sparklet::rdd::PartitionSource;
 use sparklet::{DataFrame, Rdd, SparkContext, SparkError, SparkResult};
 
+use crate::error::ConnectorError;
+use crate::retry::{with_retry, RetryPolicy};
+
 /// Configuration for a two-stage transfer.
 #[derive(Debug, Clone)]
 pub struct TwoStageConfig {
@@ -118,9 +121,14 @@ pub fn save_via_dfs(
         .map_err(|e| SparkError::DataSource(e.to_string()))?;
     }
     let files = dfs.list(&dir);
-    let mut session = db
-        .connect(config.host)
-        .map_err(|e| SparkError::DataSource(e.to_string()))?;
+    // Connecting retries transient refusals; the transactional load
+    // itself is deliberately single-attempt — without protocol tables to
+    // consult, a retry after a commit-then-lost-ack would load twice.
+    let mut session = with_retry(&RetryPolicy::default(), "two_stage.connect", |_| {
+        db.connect(config.host)
+            .map_err(|e| ConnectorError::db("two_stage.connect", e))
+    })
+    .map_err(SparkError::from)?;
     session
         .begin()
         .map_err(|e| SparkError::DataSource(e.to_string()))?;

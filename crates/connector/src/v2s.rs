@@ -22,12 +22,14 @@ use std::sync::Arc;
 use common::expr::Expr;
 use common::{Row, Schema};
 use mppdb::segmentation::{HashRange, SegmentMap};
-use mppdb::{Cluster, DbError, QuerySpec};
+use mppdb::{Cluster, QuerySpec};
 use netsim::record::{NetClass, NodeRef};
 use sparklet::rdd::PartitionSource;
 use sparklet::{Rdd, ScanRelation, SparkContext, SparkError, SparkResult};
 
+use crate::error::{ConnectorError, ConnectorResult};
 use crate::options::ConnectorOptions;
+use crate::retry::{with_retry, RetryConn, RetryPolicy};
 
 /// How a relation's rows are divided among partitions.
 #[derive(Debug, Clone)]
@@ -50,6 +52,8 @@ pub struct DbRelation {
     num_partitions: usize,
     host: usize,
     resource_pool: Option<String>,
+    retry: RetryPolicy,
+    failover: bool,
 }
 
 /// One partition's work: queries to issue, each against a specific node.
@@ -69,7 +73,8 @@ pub enum RangeSpec {
 impl DbRelation {
     /// Open a relation: resolve the table or view, pin the epoch, and
     /// pick the partition count.
-    pub fn open(cluster: Arc<Cluster>, opts: &ConnectorOptions) -> Result<DbRelation, DbError> {
+    pub fn open(cluster: Arc<Cluster>, opts: &ConnectorOptions) -> ConnectorResult<DbRelation> {
+        let host = opts.host_on(&cluster)?;
         let epoch = cluster.current_epoch();
         let num_partitions = opts.num_partitions.unwrap_or(cluster.node_count());
         if let Ok(def) = cluster.table_def(&opts.table) {
@@ -85,13 +90,22 @@ impl DbRelation {
                 kind,
                 epoch,
                 num_partitions,
-                host: opts.host,
+                host,
                 resource_pool: opts.resource_pool.clone(),
+                retry: opts.retry.clone(),
+                failover: opts.failover,
             });
         }
         // A view: discover the schema by executing it with LIMIT 1.
-        let mut session = cluster.connect(opts.host)?;
-        let probe = session.query(&QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch))?;
+        let mut conn = RetryConn::new(Arc::clone(&cluster), host, opts.retry.clone());
+        if !opts.failover {
+            conn = conn.pinned();
+        }
+        let probe = conn.run("v2s.open", |session| {
+            session
+                .query(&QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch))
+                .map_err(|e| ConnectorError::db("v2s.open", e))
+        })?;
         Ok(DbRelation {
             cluster: Arc::clone(&cluster),
             table: opts.table.clone(),
@@ -99,8 +113,10 @@ impl DbRelation {
             kind: RelationKind::RowOrdered,
             epoch,
             num_partitions,
-            host: opts.host,
+            host,
             resource_pool: opts.resource_pool.clone(),
+            retry: opts.retry.clone(),
+            failover: opts.failover,
         })
     }
 
@@ -114,7 +130,7 @@ impl DbRelation {
     }
 
     /// Build the per-partition plans.
-    fn plan(&self) -> Result<Vec<PartitionPlan>, DbError> {
+    fn plan(&self) -> ConnectorResult<Vec<PartitionPlan>> {
         match &self.kind {
             RelationKind::Segmented => Ok(plan_hash_partitions(
                 self.cluster.segment_map(),
@@ -123,15 +139,21 @@ impl DbRelation {
             RelationKind::RowOrdered => {
                 // Synthetic ranges need the relation's current size at
                 // the pinned epoch.
-                let mut session = self.cluster.connect(self.host)?;
-                let total = session
-                    .query(&QuerySpec::scan(&self.table).at_epoch(self.epoch).count())?
-                    .count;
-                Ok(plan_row_partitions(
-                    total,
-                    self.num_partitions,
-                    &self.cluster.up_nodes(),
-                ))
+                let mut conn =
+                    RetryConn::new(Arc::clone(&self.cluster), self.host, self.retry.clone());
+                if !self.failover {
+                    conn = conn.pinned();
+                }
+                let total = conn.run("v2s.plan", |session| {
+                    session
+                        .query(&QuerySpec::scan(&self.table).at_epoch(self.epoch).count())
+                        .map_err(|e| ConnectorError::db("v2s.plan", e))
+                })?;
+                let up = self.cluster.up_nodes();
+                if up.is_empty() {
+                    return Err(ConnectorError::NoLiveNodes);
+                }
+                Ok(plan_row_partitions(total.count, self.num_partitions, &up))
             }
         }
     }
@@ -207,104 +229,131 @@ struct V2sSource {
     filters: Vec<Expr>,
     compute_nodes: usize,
     resource_pool: Option<String>,
+    retry: RetryPolicy,
+    failover: bool,
 }
 
 impl V2sSource {
+    /// Failover preference order for a piece whose data lives on `node`:
+    /// the owner first (locality), then its k-safety buddies (they hold
+    /// replicas of exactly this range), then everyone else (the engine
+    /// fans the scan out internally if it must).
+    fn candidates(&self, node: usize) -> Vec<usize> {
+        let mut order = vec![node];
+        if self.failover {
+            let k = self.cluster.config().k_safety;
+            for b in self.cluster.segment_map().buddies(node, k) {
+                if !order.contains(&b) {
+                    order.push(b);
+                }
+            }
+            for n in 0..self.cluster.node_count() {
+                if !order.contains(&n) {
+                    order.push(n);
+                }
+            }
+        }
+        order
+    }
+
     fn run_piece(
         &self,
         partition: usize,
         node: usize,
         spec: &QuerySpec,
-    ) -> SparkResult<mppdb::QueryResult> {
-        // Prefer the owning node (locality); fail over to any live node
-        // when it is down (k-safety serves the segment from a buddy).
-        let connect_node = if self.cluster.is_node_up(node) {
-            node
-        } else {
-            *self
+    ) -> ConnectorResult<mppdb::QueryResult> {
+        let candidates = self.candidates(node);
+        with_retry(&self.retry, "v2s.piece", |attempt| {
+            // Rotate the lead candidate with the attempt so a node that
+            // accepts connections but fails queries doesn't monopolize
+            // the retries; skip known-dead nodes up front.
+            let start = (attempt as usize - 1) % candidates.len();
+            let connect_node = (0..candidates.len())
+                .map(|i| candidates[(start + i) % candidates.len()])
+                .find(|&n| self.cluster.is_node_up(n))
+                .ok_or(ConnectorError::NoLiveNodes)?;
+            let mut session = self
                 .cluster
-                .up_nodes()
-                .first()
-                .ok_or_else(|| SparkError::DataSource("no live database nodes".into()))?
-        };
-        let mut session = self
-            .cluster
-            .connect(connect_node)
-            .map_err(|e| SparkError::DataSource(e.to_string()))?;
-        session.set_task_tag(Some(partition as u64));
-        if let Some(pool) = &self.resource_pool {
-            session
-                .set_resource_pool(pool)
-                .map_err(|e| SparkError::DataSource(e.to_string()))?;
-        }
-        self.cluster.recorder().setup(
-            Some(partition as u64),
-            NodeRef::Db(connect_node),
-            "v2s_connect",
-        );
-        let piece_started = std::time::Instant::now();
-        // Batched read: the scan stays columnar end to end; rows are
-        // only materialized at the Spark partition boundary (compute).
-        let result = session
-            .query_batched(spec)
-            .map_err(|e| SparkError::DataSource(e.to_string()))?;
-        // The result set crosses the system boundary to the executor.
-        let executor = partition % self.compute_nodes;
-        // Result sets cross the boundary in the client protocol's
-        // text encoding (what a JDBC result set actually ships).
-        let (bytes, rows) = if spec.count_only {
-            (8, 1)
-        } else {
-            (result.text_wire_bytes(), result.num_rows() as u64)
-        };
-        self.cluster.recorder().transfer(
-            Some(partition as u64),
-            NodeRef::Db(connect_node),
-            NodeRef::Compute(executor),
-            NetClass::External,
-            bytes,
-            rows,
-        );
-        let pushdown = format!(
-            "{}{}{}",
-            if spec.count_only { "count" } else { "scan" },
-            if spec.projection.is_some() {
-                ", projected"
+                .connect(connect_node)
+                .map_err(|e| ConnectorError::db("v2s.connect", e))?;
+            session.set_task_tag(Some(partition as u64));
+            if let Some(pool) = &self.resource_pool {
+                session
+                    .set_resource_pool(pool)
+                    .map_err(|e| ConnectorError::db("v2s.connect", e))?;
+            }
+            self.cluster.recorder().setup(
+                Some(partition as u64),
+                NodeRef::Db(connect_node),
+                "v2s_connect",
+            );
+            let piece_started = std::time::Instant::now();
+            // Batched read: the scan stays columnar end to end; rows are
+            // only materialized at the Spark partition boundary (compute).
+            let result = session
+                .query_batched(spec)
+                .map_err(|e| ConnectorError::db("v2s.query", e))?;
+            // The result set crosses the system boundary to the executor.
+            let executor = partition % self.compute_nodes;
+            // Result sets cross the boundary in the client protocol's
+            // text encoding (what a JDBC result set actually ships).
+            let (bytes, rows) = if spec.count_only {
+                (8, 1)
             } else {
-                ""
-            },
-            if spec.predicate.is_some() {
-                ", filtered"
-            } else {
-                ""
-            },
-        );
-        obs::global().emit(obs::EventKind::V2sPiece, |e| {
-            e.task = Some(partition as u64);
-            e.node = Some(connect_node as u64);
-            e.rows = rows;
-            e.bytes = bytes;
-            e.dur_us = piece_started.elapsed().as_micros() as u64;
-            e.detail = format!(
-                "{} from {} ({pushdown}{})",
-                match (spec.hash_range, spec.row_range) {
-                    (Some(_), _) => "hash range",
-                    (_, Some(_)) => "row range",
-                    _ => "full scan",
-                },
-                self.relation_table,
-                if connect_node == node {
-                    ""
+                (result.text_wire_bytes(), result.num_rows() as u64)
+            };
+            self.cluster.recorder().transfer(
+                Some(partition as u64),
+                NodeRef::Db(connect_node),
+                NodeRef::Compute(executor),
+                NetClass::External,
+                bytes,
+                rows,
+            );
+            let pushdown = format!(
+                "{}{}{}",
+                if spec.count_only { "count" } else { "scan" },
+                if spec.projection.is_some() {
+                    ", projected"
                 } else {
-                    ", failover"
+                    ""
+                },
+                if spec.predicate.is_some() {
+                    ", filtered"
+                } else {
+                    ""
                 },
             );
-        });
-        obs::global().add("v2s.pieces", 1);
-        obs::global().add("v2s.rows", rows);
-        obs::global().add("v2s.bytes", bytes);
-        obs::global().record_time("v2s.piece_us", piece_started.elapsed());
-        Ok(result)
+            obs::global().emit(obs::EventKind::V2sPiece, |e| {
+                e.task = Some(partition as u64);
+                e.node = Some(connect_node as u64);
+                e.rows = rows;
+                e.bytes = bytes;
+                e.dur_us = piece_started.elapsed().as_micros() as u64;
+                e.detail = format!(
+                    "{} from {} ({pushdown}{})",
+                    match (spec.hash_range, spec.row_range) {
+                        (Some(_), _) => "hash range",
+                        (_, Some(_)) => "row range",
+                        _ => "full scan",
+                    },
+                    self.relation_table,
+                    if connect_node == node {
+                        ""
+                    } else {
+                        ", failover"
+                    },
+                );
+            });
+            if connect_node != node {
+                obs::global().add("failover.reads", 1);
+            }
+            obs::global().add("v2s.pieces", 1);
+            obs::global().add("v2s.rows", rows);
+            obs::global().add("v2s.bytes", bytes);
+            obs::global().record_time("v2s.piece_us", piece_started.elapsed());
+            Ok(result)
+        })
     }
 }
 
@@ -325,7 +374,11 @@ impl PartitionSource<Row> for V2sSource {
                 &self.filters,
                 false,
             );
-            rows.extend(self.run_piece(partition, *node, &spec)?.into_rows());
+            rows.extend(
+                self.run_piece(partition, *node, &spec)
+                    .map_err(SparkError::from)?
+                    .into_rows(),
+            );
         }
         Ok(rows)
     }
@@ -361,9 +414,7 @@ impl ScanRelation for DbRelation {
         projection: Option<&[String]>,
         filters: &[Expr],
     ) -> SparkResult<Rdd<Row>> {
-        let plans = self
-            .plan()
-            .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        let plans = self.plan().map_err(SparkError::from)?;
         let source = V2sSource {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
@@ -373,6 +424,8 @@ impl ScanRelation for DbRelation {
             filters: filters.to_vec(),
             compute_nodes: ctx.conf().nodes,
             resource_pool: self.resource_pool.clone(),
+            retry: self.retry.clone(),
+            failover: self.failover,
         };
         Ok(Rdd::from_source(ctx.clone(), Arc::new(source)))
     }
@@ -380,9 +433,7 @@ impl ScanRelation for DbRelation {
     /// Count pushdown: every partition ships back an 8-byte count
     /// instead of rows.
     fn count(&self, ctx: &SparkContext, filters: &[Expr]) -> SparkResult<u64> {
-        let plans = self
-            .plan()
-            .map_err(|e| SparkError::DataSource(e.to_string()))?;
+        let plans = self.plan().map_err(SparkError::from)?;
         let source = V2sSource {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
@@ -392,6 +443,8 @@ impl ScanRelation for DbRelation {
             filters: filters.to_vec(),
             compute_nodes: ctx.conf().nodes,
             resource_pool: self.resource_pool.clone(),
+            retry: self.retry.clone(),
+            failover: self.failover,
         };
         let counts = ctx.run_partitions(source.num_partitions(), |tc| {
             let mut total = 0u64;
@@ -404,7 +457,10 @@ impl ScanRelation for DbRelation {
                     &source.filters,
                     true,
                 );
-                total += source.run_piece(tc.partition, *node, &spec)?.count;
+                total += source
+                    .run_piece(tc.partition, *node, &spec)
+                    .map_err(SparkError::from)?
+                    .count;
             }
             Ok(total)
         })?;

@@ -14,6 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::catalog::{normalize, Catalog, TableDef};
 use crate::dfs::Dfs;
 use crate::error::{DbError, DbResult};
+use crate::fault::{FaultInjector, FaultSite};
 use crate::resource::ResourcePool;
 use crate::segmentation::SegmentMap;
 use crate::session::Session;
@@ -64,6 +65,10 @@ impl ClusterConfig {
 
 pub(crate) struct NodeState {
     pub up: AtomicBool,
+    /// Bumped on every kill: sessions remember the generation they
+    /// connected under, so a session that outlives its node's death
+    /// fails with `ConnectionLost` even after the node is restored.
+    pub generation: AtomicU64,
     pub open_sessions: AtomicUsize,
     pub stores: RwLock<HashMap<String, NodeTableStore>>,
 }
@@ -82,6 +87,7 @@ pub struct Cluster {
     udfs: RwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
     dfs: Dfs,
     pools: RwLock<HashMap<String, Arc<ResourcePool>>>,
+    faults: FaultInjector,
 }
 
 impl Cluster {
@@ -94,6 +100,7 @@ impl Cluster {
         let nodes = (0..config.node_count)
             .map(|_| NodeState {
                 up: AtomicBool::new(true),
+                generation: AtomicU64::new(0),
                 open_sessions: AtomicUsize::new(0),
                 stores: RwLock::new(HashMap::new()),
             })
@@ -117,6 +124,7 @@ impl Cluster {
             udfs: RwLock::new(HashMap::new()),
             dfs: Dfs::new(),
             pools: RwLock::new(pools),
+            faults: FaultInjector::default(),
         })
     }
 
@@ -153,6 +161,9 @@ impl Cluster {
         let state = self.nodes.get(node).ok_or(DbError::NodeUnavailable(node))?;
         if !state.up.load(Ordering::Acquire) {
             return Err(DbError::NodeUnavailable(node));
+        }
+        if self.faults.should_fire(FaultSite::Connect, node) {
+            return Err(DbError::ConnectionRefused { node });
         }
         // Optimistic increment with bound check.
         let prev = state.open_sessions.fetch_add(1, Ordering::AcqRel);
@@ -202,13 +213,139 @@ impl Cluster {
             .is_some_and(|n| n.up.load(Ordering::Acquire))
     }
 
-    /// Mark a node down (fault injection for k-safety tests).
+    /// Mark a node down. Alias of [`Cluster::kill_node`], kept for the
+    /// pre-fault-domain call sites.
     pub fn set_node_down(&self, node: usize) {
-        self.nodes[node].up.store(false, Ordering::Release);
+        self.kill_node(node);
     }
 
+    /// Alias of [`Cluster::restore_node`].
     pub fn set_node_up(&self, node: usize) {
+        self.restore_node(node);
+    }
+
+    /// Kill a node: new connections are refused, and every session
+    /// pinned to it fails its next operation with
+    /// [`DbError::ConnectionLost`]. Idempotent.
+    pub fn kill_node(&self, node: usize) {
+        if self.nodes[node].up.swap(false, Ordering::AcqRel) {
+            self.nodes[node].generation.fetch_add(1, Ordering::AcqRel);
+            obs::global().emit(obs::EventKind::FaultInject, |e| {
+                e.node = Some(node as u64);
+                e.detail = format!("node {node} killed");
+            });
+            obs::global().incr("db.node_kills");
+        }
+    }
+
+    /// Restore a killed node. Before it starts serving, its stores are
+    /// rebuilt from live peers (replica recovery): segmented tables pull
+    /// each owned or buddied segment from that segment's surviving
+    /// replicas, unsegmented tables copy any live node's replica. The
+    /// export preserves commit/delete epochs, so epoch-pinned snapshot
+    /// reads against the rebuilt node see exactly the history its peers
+    /// hold. With k-safety 0 a segmented table has no surviving replica
+    /// to pull from, so the node's own (possibly stale) disk state is
+    /// kept — the same gamble a real k=0 deployment makes. Idempotent.
+    pub fn restore_node(&self, node: usize) {
+        if self.nodes[node].up.load(Ordering::Acquire) {
+            return;
+        }
+        self.rebuild_node_stores(node);
         self.nodes[node].up.store(true, Ordering::Release);
+        obs::global().emit(obs::EventKind::FaultInject, |e| {
+            e.node = Some(node as u64);
+            e.detail = format!("node {node} restored");
+        });
+        obs::global().incr("db.node_restores");
+    }
+
+    /// The node's kill generation (bumped on every kill); sessions pin
+    /// the generation they connected under.
+    pub(crate) fn node_generation(&self, node: usize) -> u64 {
+        self.nodes[node].generation.load(Ordering::Acquire)
+    }
+
+    /// The cluster's fault-injection switchboard.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Rebuild a down node's stores from live replicas. Runs under the
+    /// commit lock so no commit can stamp epochs mid-copy; pending rows
+    /// of still-open transactions are copied too, so their eventual
+    /// commit or abort applies to the rebuilt replica as well.
+    fn rebuild_node_stores(&self, node: usize) {
+        let k = self.config.k_safety;
+        let catalog = self.catalog.read();
+        let _commit_guard = self.commit_lock.lock();
+        for name in catalog.table_names() {
+            let Ok(def) = catalog.table(&name) else {
+                continue;
+            };
+            let mut rebuilt = NodeTableStore::new(def.schema.len());
+            if def.is_segmented() {
+                if k == 0 {
+                    // No surviving replica anywhere; keep the local disk.
+                    continue;
+                }
+                // Segments this node serves: its own, plus every owner
+                // it buddies for.
+                let mut recovered_all = true;
+                for owner in 0..self.config.node_count {
+                    let serves = owner == node || self.seg_map.buddies(owner, k).contains(&node);
+                    if !serves {
+                        continue;
+                    }
+                    let range = self.seg_map.segment_range(owner);
+                    let source = std::iter::once(owner)
+                        .chain(self.seg_map.buddies(owner, k))
+                        .find(|&n| n != node && self.is_node_up(n));
+                    match source {
+                        Some(src) => {
+                            let stores = self.nodes[src].stores.read();
+                            if let Some(store) = stores.get(&def.name) {
+                                rebuilt.import_rows(store.export_rows(Some(&range)));
+                            }
+                        }
+                        None => {
+                            // Every other replica of this segment is
+                            // down too; fall back to our own disk for it.
+                            let stores = self.nodes[node].stores.read();
+                            if let Some(store) = stores.get(&def.name) {
+                                rebuilt.import_rows(store.export_rows(Some(&range)));
+                            }
+                            recovered_all = false;
+                        }
+                    }
+                }
+                obs::global().emit(obs::EventKind::FaultInject, |e| {
+                    e.node = Some(node as u64);
+                    e.detail = format!(
+                        "recovery rebuilt {}{}",
+                        def.name,
+                        if recovered_all { "" } else { " (partial)" }
+                    );
+                });
+            } else {
+                // Unsegmented: copy the full replica from any live node.
+                let Some(src) =
+                    (0..self.config.node_count).find(|&n| n != node && self.is_node_up(n))
+                else {
+                    continue;
+                };
+                let stores = self.nodes[src].stores.read();
+                if let Some(store) = stores.get(&def.name) {
+                    rebuilt.import_rows(store.export_rows(None));
+                } else {
+                    continue;
+                }
+            }
+            self.nodes[node]
+                .stores
+                .write()
+                .insert(def.name.clone(), rebuilt);
+        }
     }
 
     // ----- DDL ------------------------------------------------------
@@ -452,30 +589,46 @@ impl Cluster {
         Ok(n)
     }
 
-    /// Scan primary rows of `table` on `node` visible at `as_of` (plus
-    /// the transaction's own pending work): for segmented tables only
-    /// rows whose segment the node owns; for unsegmented tables the
-    /// whole local replica.
-    pub(crate) fn scan_node_primary(
+    /// Scan every logical row of `def` exactly once, visible at `as_of`
+    /// (plus the transaction's own pending work), reading each row from
+    /// its first *live* holder — the same attribution `delete_where`
+    /// uses, so read-then-delete flows (UPDATE) agree with it when
+    /// nodes are down.
+    pub(crate) fn scan_primary_live(
         &self,
-        node: usize,
         def: &TableDef,
         as_of: u64,
         my_txn: Option<u64>,
-    ) -> DbResult<Vec<(RowLoc, Row, u64)>> {
-        let stores = self.nodes[node].stores.read();
-        let store = stores
-            .get(&def.name)
-            .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
-        let range = if def.is_segmented() {
-            Some(self.seg_map.segment_range(node))
-        } else {
-            None
-        };
+    ) -> DbResult<Vec<Row>> {
         let mut out = Vec::new();
-        store.for_each_visible(as_of, my_txn, range.as_ref(), |loc, row, hash| {
-            out.push((loc, row.clone(), hash));
-        });
+        for node in 0..self.config.node_count {
+            if !self.is_node_up(node) {
+                // Same recoverability rule as `delete_where`: only
+                // segmented k=0 data has no surviving live copy.
+                if def.is_segmented() && self.config.k_safety == 0 {
+                    return Err(DbError::NodeUnavailable(node));
+                }
+                continue;
+            }
+            let stores = self.nodes[node].stores.read();
+            let Some(store) = stores.get(&def.name) else {
+                continue;
+            };
+            store.for_each_visible(as_of, my_txn, None, |_loc, row, hash| {
+                let primary = if def.is_segmented() {
+                    let owner = self.seg_map.owner_of_hash(hash);
+                    std::iter::once(owner)
+                        .chain(self.seg_map.buddies(owner, self.config.k_safety))
+                        .find(|&n| self.is_node_up(n))
+                        == Some(node)
+                } else {
+                    (0..self.config.node_count).find(|&n| self.is_node_up(n)) == Some(node)
+                };
+                if primary {
+                    out.push(row.clone());
+                }
+            });
+        }
         Ok(out)
     }
 
@@ -496,6 +649,16 @@ impl Cluster {
 
         let mut deleted = 0u64;
         for node in 0..self.config.node_count {
+            if !self.is_node_up(node) {
+                // A dead replica misses the delete marks now; recovery
+                // rebuilds it from a live buddy (k >= 1) or a live peer
+                // (unsegmented), re-acquiring them. Only segmented k=0
+                // has no surviving copy to recover from.
+                if def.is_segmented() && self.config.k_safety == 0 {
+                    return Err(DbError::NodeUnavailable(node));
+                }
+                continue;
+            }
             let stores = self.nodes[node].stores.read();
             let Some(store) = stores.get(&def.name) else {
                 continue;
@@ -510,8 +673,18 @@ impl Cluster {
                     None => true,
                 };
                 if hit {
-                    let primary = !def.is_segmented() && node == 0
-                        || def.is_segmented() && self.seg_map.owner_of_hash(hash) == node;
+                    // Primary = the first *live* holder of the row, so
+                    // each logical row is counted exactly once even when
+                    // its owner (or node 0) is down.
+                    let primary = if def.is_segmented() {
+                        let owner = self.seg_map.owner_of_hash(hash);
+                        let holder = std::iter::once(owner)
+                            .chain(self.seg_map.buddies(owner, self.config.k_safety))
+                            .find(|&n| self.is_node_up(n));
+                        holder == Some(node)
+                    } else {
+                        (0..self.config.node_count).find(|&n| self.is_node_up(n)) == Some(node)
+                    };
                     matched.push((loc, primary));
                 }
             });

@@ -156,6 +156,15 @@ pub(crate) fn run_copy(
         });
     }
 
+    if cluster
+        .faults()
+        .should_fire(crate::fault::FaultSite::MidCopy, node)
+    {
+        // The stream died after parsing but before any row was applied;
+        // the enclosing transaction aborts and nothing is visible.
+        return Err(DbError::ConnectionLost { node });
+    }
+
     let loaded = cluster.insert_rows(txn, node, task, table, good, options.direct)?;
     obs::global().emit(obs::EventKind::CopyLoad, |e| {
         e.node = Some(node as u64);

@@ -15,6 +15,14 @@ pub enum DbError {
     TableExists(String),
     /// Node index out of range or node is down.
     NodeUnavailable(usize),
+    /// A new connection attempt was refused at the TCP level (injected
+    /// fault; the node itself may be healthy).
+    ConnectionRefused { node: usize },
+    /// An established session's connection dropped: the node was killed
+    /// under the session, or the link died mid-operation. Distinct from
+    /// [`DbError::NodeUnavailable`] so callers can tell "this node is
+    /// down" from "my connection to it is gone".
+    ConnectionLost { node: usize },
     /// Per-node session limit (MAX_CLIENT_SESSIONS) reached.
     TooManySessions { node: usize, limit: usize },
     /// Lock wait timed out (possible deadlock); transaction aborted.
@@ -45,6 +53,12 @@ impl fmt::Display for DbError {
             DbError::UnknownTable(t) => write!(f, "unknown table or view: {t}"),
             DbError::TableExists(t) => write!(f, "table already exists: {t}"),
             DbError::NodeUnavailable(n) => write!(f, "node {n} unavailable"),
+            DbError::ConnectionRefused { node } => {
+                write!(f, "connection refused by node {node}")
+            }
+            DbError::ConnectionLost { node } => {
+                write!(f, "connection to node {node} lost")
+            }
             DbError::TooManySessions { node, limit } => {
                 write!(
                     f,

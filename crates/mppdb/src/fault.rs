@@ -1,0 +1,251 @@
+//! Database-side fault injection: a seeded, deterministic plan of
+//! connection refusals, mid-COPY crashes, and crash-after-commit acks,
+//! threaded through the session/COPY/commit paths.
+//!
+//! The compute engine already has a scripted [`sparklet`
+//! `FailureInjector`]; this is the database-side analog. Two layers:
+//!
+//! * **Scripted one-shots** ([`FaultInjector::inject_once`]) — "refuse
+//!   the next connect", "drop the next COPY mid-stream". Fully
+//!   deterministic; the unit-test surface.
+//! * **A seeded plan** ([`FaultPlan`], armed via
+//!   [`FaultInjector::arm`]) — per-touchpoint firing probabilities
+//!   drawn from one seeded PRNG, with a total *budget* of faults the
+//!   plan may fire before going quiet. The budget is what makes chaos
+//!   schedules survivable: a retry policy with more attempts than the
+//!   plan has budget always wins eventually.
+//!
+//! Every fired fault is recorded as a [`obs::EventKind::FaultInject`]
+//! event and a `fault.*` counter, so `dc_events` / `dc_counters` show
+//! exactly what the chaos layer did to a run.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A database touchpoint where a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// `Cluster::connect` fails with `DbError::ConnectionRefused`.
+    Connect,
+    /// COPY dies after shipping/parsing the data but before it is
+    /// applied (`DbError::ConnectionLost`); the transaction aborts.
+    MidCopy,
+    /// The commit lands in the database but the acknowledgement is lost
+    /// (`DbError::ConnectionLost`) — the Sec. 2.2.2 hazard: the client
+    /// cannot tell a successful commit from a failed one.
+    PostCommit,
+}
+
+impl FaultSite {
+    fn label(self) -> &'static str {
+        match self {
+            FaultSite::Connect => "connect_refused",
+            FaultSite::MidCopy => "mid_copy_crash",
+            FaultSite::PostCommit => "post_commit_crash",
+        }
+    }
+
+    fn counter(self) -> &'static str {
+        match self {
+            FaultSite::Connect => "fault.connect_refused",
+            FaultSite::MidCopy => "fault.mid_copy",
+            FaultSite::PostCommit => "fault.post_commit",
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of injectable faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the plan's PRNG; the same seed over the same operation
+    /// sequence fires the same faults.
+    pub seed: u64,
+    /// Probability that a `connect` is refused.
+    pub refuse_connect: f64,
+    /// Probability that a COPY crashes mid-stream.
+    pub mid_copy_crash: f64,
+    /// Probability that a commit's acknowledgement is lost.
+    pub post_commit_crash: f64,
+    /// Total faults the plan may fire before going quiet. Bounds the
+    /// chaos so retries can always make progress.
+    pub budget: u64,
+}
+
+impl FaultPlan {
+    /// A quiet plan (all probabilities zero) with the given seed;
+    /// combine with the `with_*` builders.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            refuse_connect: 0.0,
+            mid_copy_crash: 0.0,
+            post_commit_crash: 0.0,
+            budget: u64::MAX,
+        }
+    }
+
+    pub fn with_refuse_connect(mut self, p: f64) -> FaultPlan {
+        self.refuse_connect = p;
+        self
+    }
+
+    pub fn with_mid_copy_crash(mut self, p: f64) -> FaultPlan {
+        self.mid_copy_crash = p;
+        self
+    }
+
+    pub fn with_post_commit_crash(mut self, p: f64) -> FaultPlan {
+        self.post_commit_crash = p;
+        self
+    }
+
+    pub fn with_budget(mut self, budget: u64) -> FaultPlan {
+        self.budget = budget;
+        self
+    }
+
+    fn probability(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::Connect => self.refuse_connect,
+            FaultSite::MidCopy => self.mid_copy_crash,
+            FaultSite::PostCommit => self.post_commit_crash,
+        }
+    }
+}
+
+struct ActivePlan {
+    plan: FaultPlan,
+    rng: StdRng,
+    fired: u64,
+}
+
+/// The cluster's fault-injection switchboard. Disarmed and empty by
+/// default, so production paths pay one relaxed lock per touchpoint
+/// only when something is armed (a single `Mutex<Option<..>>` check).
+#[derive(Default)]
+pub struct FaultInjector {
+    plan: Mutex<Option<ActivePlan>>,
+    scripted: Mutex<Vec<FaultSite>>,
+    total_fired: std::sync::atomic::AtomicU64,
+}
+
+impl FaultInjector {
+    /// Arm a seeded plan (replacing any previous one).
+    pub fn arm(&self, plan: FaultPlan) {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        *self.plan.lock() = Some(ActivePlan {
+            plan,
+            rng,
+            fired: 0,
+        });
+    }
+
+    /// Disarm the plan and drop pending scripted faults. Returns how
+    /// many faults the armed plan fired.
+    pub fn disarm(&self) -> u64 {
+        self.scripted.lock().clear();
+        self.plan.lock().take().map(|a| a.fired).unwrap_or(0)
+    }
+
+    /// Script a one-shot fault: the next operation hitting `site` fails.
+    pub fn inject_once(&self, site: FaultSite) {
+        self.scripted.lock().push(site);
+    }
+
+    /// Total faults fired since the injector was created.
+    pub fn fired(&self) -> u64 {
+        self.total_fired.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Consulted by the engine at each touchpoint.
+    pub(crate) fn should_fire(&self, site: FaultSite, node: usize) -> bool {
+        let scripted = {
+            let mut scripted = self.scripted.lock();
+            match scripted.iter().position(|&s| s == site) {
+                Some(i) => {
+                    scripted.remove(i);
+                    true
+                }
+                None => false,
+            }
+        };
+        let fire = scripted || {
+            let mut guard = self.plan.lock();
+            match guard.as_mut() {
+                Some(active) if active.fired < active.plan.budget => {
+                    let p = active.plan.probability(site);
+                    let fire = p > 0.0 && active.rng.random_bool(p);
+                    if fire {
+                        active.fired += 1;
+                    }
+                    fire
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            self.total_fired
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            obs::global().emit(obs::EventKind::FaultInject, |e| {
+                e.node = Some(node as u64);
+                e.detail = format!("{} at node {node}", site.label());
+            });
+            obs::global().incr(site.counter());
+            obs::global().incr("fault.injected");
+        }
+        fire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_faults_fire_once_in_order() {
+        let inj = FaultInjector::default();
+        inj.inject_once(FaultSite::Connect);
+        inj.inject_once(FaultSite::MidCopy);
+        assert!(inj.should_fire(FaultSite::Connect, 0));
+        assert!(!inj.should_fire(FaultSite::Connect, 0));
+        assert!(inj.should_fire(FaultSite::MidCopy, 1));
+        assert!(!inj.should_fire(FaultSite::MidCopy, 1));
+        assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn plan_respects_budget_and_seed() {
+        let inj = FaultInjector::default();
+        inj.arm(FaultPlan::seeded(7).with_refuse_connect(1.0).with_budget(3));
+        let fired = (0..100)
+            .filter(|_| inj.should_fire(FaultSite::Connect, 0))
+            .count();
+        assert_eq!(fired, 3, "budget caps the plan");
+        assert_eq!(inj.disarm(), 3);
+        // Same seed, same outcomes.
+        let a = FaultInjector::default();
+        let b = FaultInjector::default();
+        for i in [&a, &b] {
+            i.arm(FaultPlan::seeded(42).with_mid_copy_crash(0.5));
+        }
+        let fa: Vec<bool> = (0..50)
+            .map(|_| a.should_fire(FaultSite::MidCopy, 0))
+            .collect();
+        let fb: Vec<bool> = (0..50)
+            .map(|_| b.should_fire(FaultSite::MidCopy, 0))
+            .collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let inj = FaultInjector::default();
+        assert!(!inj.should_fire(FaultSite::Connect, 0));
+        assert!(!inj.should_fire(FaultSite::PostCommit, 0));
+        inj.arm(FaultPlan::seeded(1).with_post_commit_crash(1.0));
+        assert!(inj.should_fire(FaultSite::PostCommit, 0));
+        inj.disarm();
+        assert!(!inj.should_fire(FaultSite::PostCommit, 0));
+    }
+}

@@ -37,6 +37,7 @@ pub mod cluster;
 pub mod copy;
 pub mod dfs;
 pub mod error;
+pub mod fault;
 pub mod query;
 pub mod resource;
 pub mod segmentation;
@@ -51,6 +52,7 @@ pub use catalog::{Catalog, Segmentation, TableDef};
 pub use cluster::{Cluster, ClusterConfig};
 pub use copy::{CopyOptions, CopyResult, CopySource};
 pub use error::{DbError, DbResult};
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use query::{QueryResult, QuerySpec};
 pub use segmentation::{HashRange, SegmentMap};
 pub use session::Session;

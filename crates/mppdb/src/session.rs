@@ -22,6 +22,12 @@ use netsim::record::NodeRef;
 pub struct Session {
     cluster: Arc<Cluster>,
     node: usize,
+    /// The node's kill generation when this session connected. If the
+    /// node dies (even if it is later restored) the generation moves on
+    /// and every subsequent operation here fails with
+    /// [`DbError::ConnectionLost`] — a dead TCP connection does not
+    /// come back just because the server did.
+    generation: u64,
     pub(crate) txn: Option<TxnHandle>,
     task_tag: Option<u64>,
     pool: String,
@@ -29,13 +35,25 @@ pub struct Session {
 
 impl Session {
     pub(crate) fn new(cluster: Arc<Cluster>, node: usize) -> Session {
+        let generation = cluster.node_generation(node);
         Session {
             cluster,
             node,
+            generation,
             txn: None,
             task_tag: None,
             pool: "general".to_string(),
         }
+    }
+
+    /// Fail with `ConnectionLost` if the pinned node died since connect.
+    fn ensure_connected(&self) -> DbResult<()> {
+        if !self.cluster.is_node_up(self.node)
+            || self.cluster.node_generation(self.node) != self.generation
+        {
+            return Err(DbError::ConnectionLost { node: self.node });
+        }
+        Ok(())
     }
 
     pub fn cluster(&self) -> &Arc<Cluster> {
@@ -75,6 +93,7 @@ impl Session {
     }
 
     pub fn begin(&mut self) -> DbResult<()> {
+        self.ensure_connected()?;
         if self.txn.is_some() {
             return Err(DbError::TxnState("transaction already open".into()));
         }
@@ -84,12 +103,26 @@ impl Session {
 
     /// Commit the open transaction, returning its commit epoch.
     pub fn commit(&mut self) -> DbResult<u64> {
+        // Liveness first: if the node is gone, leave the transaction in
+        // place so Drop aborts it, exactly as the server's session reaper
+        // would.
+        self.ensure_connected()?;
         let txn = self
             .txn
             .take()
             .ok_or_else(|| DbError::TxnState("no open transaction".into()))?;
         self.record_commit(!txn.touched.is_empty());
-        Ok(self.cluster.commit_txn(txn))
+        let epoch = self.cluster.commit_txn(txn);
+        if self
+            .cluster
+            .faults()
+            .should_fire(crate::fault::FaultSite::PostCommit, self.node)
+        {
+            // The commit landed; only the acknowledgement is lost
+            // (Sec. 2.2.2's indistinguishable-outcome hazard).
+            return Err(DbError::ConnectionLost { node: self.node });
+        }
+        Ok(epoch)
     }
 
     /// Commits serialize on the engine's global commit/epoch path; the
@@ -118,6 +151,7 @@ impl Session {
         &mut self,
         op: impl FnOnce(&Cluster, &mut TxnHandle, usize, Option<u64>) -> DbResult<T>,
     ) -> DbResult<T> {
+        self.ensure_connected()?;
         let node = self.node;
         let tag = self.task_tag;
         if let Some(txn) = self.txn.as_mut() {
@@ -128,6 +162,13 @@ impl Session {
             Ok(v) => {
                 self.record_commit(!txn.touched.is_empty());
                 self.cluster.commit_txn(txn);
+                if self
+                    .cluster
+                    .faults()
+                    .should_fire(crate::fault::FaultSite::PostCommit, node)
+                {
+                    return Err(DbError::ConnectionLost { node });
+                }
                 Ok(v)
             }
             Err(e) => {
@@ -176,9 +217,7 @@ impl Session {
     }
 
     fn query_inner(&mut self, spec: &QuerySpec, want_batch: bool) -> DbResult<QueryResult> {
-        if !self.cluster.is_node_up(self.node) {
-            return Err(DbError::NodeUnavailable(self.node));
-        }
+        self.ensure_connected()?;
         let _admission = self.cluster.resource_pool(&self.pool).map(|p| p.admit());
         // System tables are read-only catalog views.
         if let Some((schema, rows)) = crate::system::scan_system_table(&self.cluster, &spec.table) {
@@ -229,6 +268,7 @@ impl Session {
 
     /// Parse and execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> DbResult<SqlResult> {
+        self.ensure_connected()?;
         let stmt = parse_statement(sql)?;
         execute_statement(self, stmt)
     }

@@ -315,29 +315,23 @@ fn execute_update(
         // Collect the matched primary rows before deleting them.
         let as_of = cluster.current_epoch();
         let mut updated: Vec<Row> = Vec::new();
-        // Unsegmented tables are fully replicated: read one replica so
-        // each logical row is updated once.
-        let scan_nodes: Vec<usize> = if def.is_segmented() {
-            (0..cluster.node_count()).collect()
-        } else {
-            vec![0]
-        };
-        for m in scan_nodes {
-            for (_loc, row, _hash) in cluster.scan_node_primary(m, &def, as_of, Some(txn.id))? {
-                let matched = match &pred {
-                    Some(p) => p.matches(&row).map_err(DbError::Data)?,
-                    None => true,
-                };
-                if !matched {
-                    continue;
-                }
-                let mut values = row.into_values();
-                let original = Row::new(values.clone());
-                for (idx, expr) in &assigns {
-                    values[*idx] = expr.eval(&original).map_err(DbError::Data)?;
-                }
-                updated.push(Row::new(values));
+        // Read each logical row from its first *live* holder — the same
+        // attribution `delete_where` uses — so the read and delete sides
+        // agree even when nodes are down.
+        for row in cluster.scan_primary_live(&def, as_of, Some(txn.id))? {
+            let matched = match &pred {
+                Some(p) => p.matches(&row).map_err(DbError::Data)?,
+                None => true,
+            };
+            if !matched {
+                continue;
             }
+            let mut values = row.into_values();
+            let original = Row::new(values.clone());
+            for (idx, expr) in &assigns {
+                values[*idx] = expr.eval(&original).map_err(DbError::Data)?;
+            }
+            updated.push(Row::new(values));
         }
         let deleted = cluster.delete_where(txn, node, tag, table, pred.as_ref())?;
         debug_assert_eq!(deleted as usize, updated.len());

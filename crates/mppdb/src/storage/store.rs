@@ -43,6 +43,16 @@ pub struct VisibleRow {
     pub hash: u64,
 }
 
+/// One row's full MVCC state, exported for node recovery. Opaque
+/// outside the store: recovery moves batches between stores wholesale.
+#[derive(Debug, Clone)]
+pub(crate) struct ExportedRow {
+    row: Row,
+    hash: u64,
+    commit: CommitState,
+    delete: DeleteState,
+}
+
 #[derive(Debug)]
 struct WosRow {
     row: Row,
@@ -695,6 +705,51 @@ impl NodeTableStore {
         }
         self.wos = keep;
         n
+    }
+
+    /// Export every row (WOS and ROS) whose hash falls in `hash_range`,
+    /// with commit/delete epochs and pending-transaction state intact —
+    /// the recovery stream a rebuilding node pulls from a live peer.
+    pub(crate) fn export_rows(&self, hash_range: Option<&HashRange>) -> Vec<ExportedRow> {
+        let mut out = Vec::new();
+        for c in &self.ros {
+            for idx in 0..c.len() {
+                if hash_range.is_none_or(|r| r.contains(c.hashes[idx])) {
+                    out.push(ExportedRow {
+                        row: c.row(idx),
+                        hash: c.hashes[idx],
+                        commit: c.commits[idx],
+                        delete: c.deletes[idx],
+                    });
+                }
+            }
+        }
+        for r in &self.wos {
+            if hash_range.is_none_or(|range| range.contains(r.hash)) {
+                out.push(ExportedRow {
+                    row: r.row.clone(),
+                    hash: r.hash,
+                    commit: r.commit,
+                    delete: r.delete,
+                });
+            }
+        }
+        out
+    }
+
+    /// Install exported rows verbatim. States are preserved, so
+    /// epoch-pinned reads see the same history on the rebuilt replica
+    /// as on its peer, and commits/aborts of transactions still open
+    /// during recovery stamp the replica correctly afterwards.
+    pub(crate) fn import_rows(&mut self, rows: Vec<ExportedRow>) {
+        for r in rows {
+            self.wos.push(WosRow {
+                row: r.row,
+                hash: r.hash,
+                commit: r.commit,
+                delete: r.delete,
+            });
+        }
     }
 
     /// Number of committed rows currently in the WOS (the moveout

@@ -57,6 +57,8 @@ pub enum EventKind {
     PoolAdmit,
     SessionOpen,
     SessionClose,
+    /// A node kill/restore or an injected fault firing (chaos layer).
+    FaultInject,
     // Connector.
     S2vPhase,
     V2sPiece,
@@ -80,6 +82,7 @@ impl EventKind {
             EventKind::PoolAdmit => "pool_admit",
             EventKind::SessionOpen => "session_open",
             EventKind::SessionClose => "session_close",
+            EventKind::FaultInject => "fault_inject",
             EventKind::S2vPhase => "s2v_phase",
             EventKind::V2sPiece => "v2s_piece",
             EventKind::MdScore => "md_score",

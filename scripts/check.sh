@@ -12,6 +12,11 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+# The seeded chaos schedules are the fault-tolerance gate; run them
+# explicitly so a filtered test run cannot silently skip them.
+echo "== cargo test -q --test chaos"
+cargo test -q --test chaos
+
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run -q
 

@@ -1,0 +1,393 @@
+//! Chaos suite: seeded database-side fault schedules against the
+//! connector's retry/failover layer.
+//!
+//! Each schedule derives a workload and a [`FaultPlan`] (connection
+//! refusals, mid-COPY crashes, lost commit acks, node kills) from one
+//! seed, runs an S2V save plus a V2S read-back under it, and asserts
+//! the exactly-once invariants:
+//!
+//! * the target table holds every row exactly once (exact id multiset);
+//! * the phase-5 "final commit" witness appears at most once per job —
+//!   *at most*, not exactly: a lost commit ack at phase 5 means the
+//!   commit landed but no attempt observed itself committing, and the
+//!   driver recovers the outcome from the final-status table;
+//! * reads return the full committed snapshot even with a node down;
+//! * a clean run performs zero retries, zero failovers, zero faults.
+//!
+//! Tests sharing the process-global `obs` collector are serialized
+//! behind one mutex so counter deltas are attributable.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vertica_spark_fabric::prelude::*;
+use vertica_spark_fabric::{connector, mppdb, obs};
+
+use connector::{ConnectorError, ConnectorOptions};
+use mppdb::{FaultPlan, FaultSite};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn setup(k_safety: usize) -> (SparkContext, std::sync::Arc<mppdb::Cluster>) {
+    let db = Cluster::new(ClusterConfig {
+        k_safety,
+        ..ClusterConfig::default()
+    });
+    let ctx = SparkContext::new(SparkConf {
+        nodes: 4,
+        cores_per_node: 4,
+        max_task_attempts: 6,
+        thread_cap: 8,
+    });
+    DefaultSource::register(&ctx, db.clone());
+    (ctx, db)
+}
+
+fn make_df(ctx: &SparkContext, rows: usize, partitions: usize) -> DataFrame {
+    let schema = Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)]);
+    let data: Vec<Row> = (0..rows).map(|i| row![i as i64, i as f64]).collect();
+    ctx.create_dataframe(data, schema, partitions).unwrap()
+}
+
+/// Sorted ids currently in `table`, read through a plain session on the
+/// first live node.
+fn table_ids(db: &std::sync::Arc<mppdb::Cluster>, table: &str) -> Vec<i64> {
+    let node = db.up_nodes()[0];
+    let mut session = db.connect(node).unwrap();
+    let result = session.query(&QuerySpec::scan(table)).unwrap();
+    let mut ids: Vec<i64> = result
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_i64().unwrap())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// One full seeded schedule: derive workload + faults from `seed`, save
+/// under chaos, then read back under (different) chaos, then restore any
+/// killed node and check the rebuilt replica serves the same data.
+fn run_schedule(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (ctx, db) = setup(1);
+    let n_rows = rng.random_range(40usize..160);
+    let partitions = rng.random_range(2usize..8);
+    let df = make_df(&ctx, n_rows, partitions);
+
+    // Some schedules take a node down for the whole job: with k-safety 1
+    // the cluster must absorb it.
+    let killed = if rng.random_bool(0.3) {
+        let n = rng.random_range(0usize..db.node_count());
+        db.kill_node(n);
+        Some(n)
+    } else {
+        None
+    };
+
+    db.faults().arm(
+        FaultPlan::seeded(seed)
+            .with_refuse_connect(if rng.random_bool(0.7) { 0.15 } else { 0.0 })
+            .with_mid_copy_crash(if rng.random_bool(0.7) { 0.12 } else { 0.0 })
+            .with_post_commit_crash(if rng.random_bool(0.5) { 0.08 } else { 0.0 })
+            .with_budget(rng.random_range(1u64..5)),
+    );
+
+    let job = format!("chaos_{seed}");
+    let opts = ConnectorOptions::builder("chaos_tgt")
+        .num_partitions(partitions)
+        .job_name(&job)
+        .retry_max_attempts(10)
+        .retry_deadline_ms(60_000)
+        .build()
+        .unwrap();
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite)
+        .unwrap_or_else(|e| panic!("seed {seed}: save failed under chaos: {e}"));
+    db.faults().disarm();
+    assert_eq!(
+        report.rows_loaded, n_rows as u64,
+        "seed {seed}: reported load count"
+    );
+
+    // Exactly-once: every id present exactly once, no loss, no dupes.
+    let expected: Vec<i64> = (0..n_rows as i64).collect();
+    assert_eq!(table_ids(&db, "chaos_tgt"), expected, "seed {seed}: ids");
+
+    // The phase-5 final-commit witness appears at most once. Zero is
+    // legal: a post-commit fault at phase 5 commits but loses the ack,
+    // and recovery reads the outcome from the final-status table.
+    let snap = obs::global().snapshot();
+    let witnesses = snap
+        .events_of(obs::EventKind::S2vPhase)
+        .filter(|e| {
+            e.job.as_deref() == Some(job.as_str()) && e.detail.contains("phase 5 final commit")
+        })
+        .count();
+    assert!(
+        witnesses <= 1,
+        "seed {seed}: final commit witnessed {witnesses} times"
+    );
+
+    // V2S read-back under fresh connection chaos is a full snapshot.
+    db.faults().arm(
+        FaultPlan::seeded(seed ^ 0x9e37_79b9)
+            .with_refuse_connect(0.2)
+            .with_budget(rng.random_range(1u64..4)),
+    );
+    let loaded = ctx
+        .read()
+        .format(DEFAULT_SOURCE)
+        .option("table", "chaos_tgt")
+        .option("numPartitions", 4)
+        .option("retry_max_attempts", 10)
+        .option("retry_deadline_ms", 60_000)
+        .load()
+        .unwrap_or_else(|e| panic!("seed {seed}: V2S open failed: {e}"));
+    assert_eq!(
+        loaded.count().unwrap(),
+        n_rows as u64,
+        "seed {seed}: V2S count under chaos"
+    );
+    db.faults().disarm();
+
+    // Restoring a killed node rebuilds its replicas; the data must still
+    // read back exactly once afterwards.
+    if let Some(n) = killed {
+        db.restore_node(n);
+        assert_eq!(
+            table_ids(&db, "chaos_tgt"),
+            expected,
+            "seed {seed}: ids after restoring node {n}"
+        );
+    }
+}
+
+#[test]
+fn chaos_fifty_seeded_schedules_are_exactly_once() {
+    let _g = lock();
+    for seed in 1000..1050 {
+        run_schedule(seed);
+    }
+}
+
+/// The long-haul sweep: hundreds more schedules. Gated behind the
+/// `chaos-long` feature so the default test run stays fast.
+#[test]
+#[cfg_attr(
+    not(feature = "chaos-long"),
+    ignore = "long chaos sweep; run with --features chaos-long"
+)]
+fn chaos_long_two_hundred_more_schedules() {
+    let _g = lock();
+    for seed in 20_000..20_200 {
+        run_schedule(seed);
+    }
+}
+
+/// With nothing armed and every node up, the retry layer must be
+/// invisible: zero retries, zero failovers, zero injected faults.
+#[test]
+fn clean_run_performs_zero_retries() {
+    let _g = lock();
+    let (ctx, db) = setup(0);
+    let df = make_df(&ctx, 200, 4);
+    let before = obs::global().snapshot();
+
+    let opts = ConnectorOptions::builder("clean_tgt")
+        .num_partitions(4)
+        .build()
+        .unwrap();
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    assert_eq!(report.rows_loaded, 200);
+    let loaded = ctx
+        .read()
+        .format(DEFAULT_SOURCE)
+        .option("table", "clean_tgt")
+        .option("numPartitions", 4)
+        .load()
+        .unwrap();
+    assert_eq!(loaded.count().unwrap(), 200);
+
+    let delta = obs::global().snapshot().counters_since(&before);
+    for key in [
+        "retry.attempts",
+        "retry.gave_up",
+        "retry.recovered",
+        "failover.connects",
+        "failover.reads",
+        "fault.injected",
+    ] {
+        assert_eq!(
+            delta.get(key).copied().unwrap_or(0),
+            0,
+            "{key} must stay zero on a clean run"
+        );
+    }
+}
+
+/// Scripted mid-COPY crashes: the task's COPY dies after shipping data;
+/// the retry reconnects, the staged-but-unmarked rows are rolled back by
+/// the aborted transaction, and the load still lands exactly once.
+#[test]
+fn scripted_mid_copy_crashes_retry_and_load_once() {
+    let _g = lock();
+    let (ctx, db) = setup(0);
+    let df = make_df(&ctx, 300, 6);
+    let before = obs::global().snapshot();
+    db.faults().inject_once(FaultSite::MidCopy);
+    db.faults().inject_once(FaultSite::MidCopy);
+
+    let opts = ConnectorOptions::builder("midcopy_tgt")
+        .num_partitions(6)
+        .retry_max_attempts(8)
+        .build()
+        .unwrap();
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    assert_eq!(report.rows_loaded, 300);
+    assert_eq!(table_ids(&db, "midcopy_tgt"), (0..300).collect::<Vec<_>>());
+
+    let delta = obs::global().snapshot().counters_since(&before);
+    assert_eq!(delta.get("fault.mid_copy").copied().unwrap_or(0), 2);
+    assert!(
+        delta.get("retry.attempts").copied().unwrap_or(0) >= 2,
+        "each scripted crash must cost at least one retry: {delta:?}"
+    );
+    assert!(delta.get("retry.recovered").copied().unwrap_or(0) >= 1);
+}
+
+/// The Sec. 2.2.2 hazard, scripted: commits land but their acks are
+/// lost. The retried attempt must observe the protocol tables and not
+/// load a second copy.
+#[test]
+fn lost_commit_ack_does_not_double_load() {
+    let _g = lock();
+    let (ctx, db) = setup(0);
+    let df = make_df(&ctx, 250, 4);
+    db.faults().inject_once(FaultSite::PostCommit);
+    db.faults().inject_once(FaultSite::PostCommit);
+
+    let opts = ConnectorOptions::builder("ack_tgt")
+        .num_partitions(4)
+        .retry_max_attempts(8)
+        .build()
+        .unwrap();
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    assert_eq!(report.rows_loaded, 250);
+    assert_eq!(
+        db.faults().disarm(),
+        0,
+        "scripted faults are not plan faults"
+    );
+    assert_eq!(table_ids(&db, "ack_tgt"), (0..250).collect::<Vec<_>>());
+}
+
+/// Scripted connection refusals: attempts rotate onto buddy nodes and
+/// the save still completes exactly once.
+#[test]
+fn connect_refusals_fail_over_to_other_nodes() {
+    let _g = lock();
+    let (ctx, db) = setup(1);
+    let df = make_df(&ctx, 180, 4);
+    let before = obs::global().snapshot();
+    for _ in 0..3 {
+        db.faults().inject_once(FaultSite::Connect);
+    }
+
+    let opts = ConnectorOptions::builder("refuse_tgt")
+        .num_partitions(4)
+        .retry_max_attempts(8)
+        .build()
+        .unwrap();
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    assert_eq!(report.rows_loaded, 180);
+    assert_eq!(table_ids(&db, "refuse_tgt"), (0..180).collect::<Vec<_>>());
+
+    let delta = obs::global().snapshot().counters_since(&before);
+    assert_eq!(delta.get("fault.connect_refused").copied().unwrap_or(0), 3);
+}
+
+/// Killing a node mid-fleet: V2S pieces that prefer the dead node fail
+/// over to its k-safety buddies (`failover.reads`), sessions pinned to
+/// the dead node fail with a connection error, and restoring the node
+/// rebuilds its replicas so it can serve reads again.
+#[test]
+fn node_kill_fails_reads_over_and_restore_rebuilds() {
+    let _g = lock();
+    let (ctx, db) = setup(1);
+    let df = make_df(&ctx, 400, 8);
+    let opts = ConnectorOptions::builder("failover_tgt")
+        .num_partitions(8)
+        .build()
+        .unwrap();
+    connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+
+    let before = obs::global().snapshot();
+    db.kill_node(2);
+    assert!(db.connect(2).is_err(), "dead node refuses sessions");
+
+    let loaded = ctx
+        .read()
+        .format(DEFAULT_SOURCE)
+        .option("table", "failover_tgt")
+        .option("numPartitions", 4)
+        .load()
+        .unwrap();
+    assert_eq!(loaded.count().unwrap(), 400);
+    let delta = obs::global().snapshot().counters_since(&before);
+    assert!(
+        delta.get("failover.reads").copied().unwrap_or(0) >= 1,
+        "pieces preferring the dead node must fail over: {delta:?}"
+    );
+
+    // Restore node 2, then kill a *different* node: the rebuilt replicas
+    // on node 2 now have to carry their share of the reads.
+    db.restore_node(2);
+    db.kill_node(3);
+    assert_eq!(
+        table_ids(&db, "failover_tgt"),
+        (0..400).collect::<Vec<_>>(),
+        "rebuilt replicas serve the full table"
+    );
+    db.restore_node(3);
+}
+
+/// When no node answers, retries exhaust into a typed, inspectable
+/// error — and once the cluster is back, the same save goes through.
+#[test]
+fn retries_exhaust_into_typed_errors_and_recover() {
+    let _g = lock();
+    let (ctx, db) = setup(0);
+    let df = make_df(&ctx, 50, 2);
+    for n in 0..db.node_count() {
+        db.kill_node(n);
+    }
+
+    let before = obs::global().snapshot();
+    let opts = ConnectorOptions::builder("dark_tgt")
+        .num_partitions(2)
+        .retry_max_attempts(2)
+        .retry_deadline_ms(2_000)
+        .build()
+        .unwrap();
+    let err = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap_err();
+    match &err {
+        ConnectorError::RetriesExhausted { last, .. } => {
+            assert!(last.is_transient(), "gave up on a transient error")
+        }
+        ConnectorError::DeadlineExceeded { .. } | ConnectorError::NoLiveNodes => {}
+        other => panic!("expected a retry-exhaustion error, got {other}"),
+    }
+    let delta = obs::global().snapshot().counters_since(&before);
+    assert!(delta.get("retry.gave_up").copied().unwrap_or(0) >= 1);
+
+    for n in 0..db.node_count() {
+        db.restore_node(n);
+    }
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    assert_eq!(report.rows_loaded, 50);
+    assert_eq!(table_ids(&db, "dark_tgt"), (0..50).collect::<Vec<_>>());
+}
