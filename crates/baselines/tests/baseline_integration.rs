@@ -18,6 +18,7 @@ fn setup() -> (SparkContext, Arc<Cluster>) {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     JdbcDefaultSource::register(&ctx, Arc::clone(&cluster));
     connector::DefaultSource::register(&ctx, Arc::clone(&cluster));

@@ -33,6 +33,7 @@ impl TestBed {
             cores_per_node: 24,
             max_task_attempts: 4,
             thread_cap: 8,
+            ..SparkConf::default()
         });
         DefaultSource::register(&ctx, Arc::clone(&db));
         baselines::JdbcDefaultSource::register(&ctx, Arc::clone(&db));

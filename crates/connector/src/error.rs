@@ -70,6 +70,7 @@ impl ConnectorError {
                     | DbError::TooManySessions { .. }
                     | DbError::LockTimeout { .. }
                     | DbError::DataUnavailable { .. }
+                    | DbError::Overloaded { .. }
             ),
             ConnectorError::NoLiveNodes => true,
             _ => false,
@@ -166,6 +167,9 @@ mod tests {
             DbError::TooManySessions { node: 0, limit: 8 },
             DbError::LockTimeout { table: "t".into() },
             DbError::DataUnavailable { segment: 3 },
+            DbError::Overloaded {
+                pool: "general".into(),
+            },
         ] {
             assert!(
                 ConnectorError::db("op", e.clone()).is_transient(),

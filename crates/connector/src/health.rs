@@ -1,0 +1,629 @@
+//! Grey-failure defenses: per-node health scoring, circuit breakers,
+//! deadlines, and hedged reads.
+//!
+//! PR 3's retry/failover layer handles *fail-stop* faults — a node that
+//! is down errors fast and the next candidate is tried. Grey failures
+//! are worse: a node that is alive but 10–100× slower never errors, so
+//! every piece routed through it stalls for its full service time. The
+//! defenses here are the classic tail-tolerance toolbox:
+//!
+//! * **[`HealthTracker`]** — per-node EWMA latency and error-rate
+//!   scores, fed by every [`crate::retry::RetryConn`] call and V2S
+//!   piece. The scores drive a three-state circuit breaker per node:
+//!
+//!   ```text
+//!   Closed ──(N consecutive failures)──▶ Open
+//!   Open ──(cooldown elapsed, next acquire)──▶ HalfOpen
+//!   HalfOpen ──(success)──▶ Closed
+//!   HalfOpen ──(failure)──▶ Open          (cooldown restarts)
+//!   ```
+//!
+//!   HalfOpen grants a bounded *probe budget*: only a few trial
+//!   operations may test a recovering node, so a still-sick node cannot
+//!   absorb a thundering herd the moment its cooldown lapses. Any
+//!   success fully closes the breaker.
+//!
+//! * **[`Deadline`]** — an overall time budget set once at
+//!   `save()`/`load()` and propagated by value through every retry
+//!   loop, hedge, and COPY phase, so a job fails crisply at its budget
+//!   instead of each layer timing out independently.
+//!
+//! * **[`hedged_read`]** — tail-latency hedging for *idempotent reads
+//!   only* (V2S pieces and catalog probes). If the primary attempt has
+//!   not answered within a delay derived from the observed P99, a buddy
+//!   attempt launches on another node; the first result wins and the
+//!   loser is abandoned. S2V writes never hedge: a second in-flight
+//!   writer would break the exactly-once commit protocol.
+//!
+//! Everything reports through the obs layer as `health.*`, `breaker.*`,
+//! and `hedge.*` counters, visible in the `dc_counters` system table.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use mppdb::Cluster;
+use parking_lot::Mutex;
+
+use crate::error::{ConnectorError, ConnectorResult};
+
+// ---------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------
+
+/// An overall wall-clock budget, propagated by value (it is `Copy`)
+/// from the driver entry point down through retries, hedges, and COPY
+/// phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    started: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline expiring `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            started: Instant::now(),
+            budget,
+        }
+    }
+
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.started.elapsed())
+    }
+
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    pub fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Health scoring + circuit breaker
+// ---------------------------------------------------------------------
+
+/// Breaker states for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted.
+    Closed,
+    /// Sick: traffic steered away until the cooldown lapses.
+    Open,
+    /// Recovering: a bounded probe budget may test the node.
+    HalfOpen,
+}
+
+/// Tuning knobs for [`HealthTracker`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Weight of the newest sample in the EWMA scores.
+    pub ewma_alpha: f64,
+    /// Consecutive failures that open a closed breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects traffic before allowing probes.
+    pub open_cooldown: Duration,
+    /// Trial operations admitted while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            ewma_alpha: 0.3,
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(50),
+            half_open_probes: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeHealth {
+    /// EWMA of successful-operation latency, microseconds.
+    ewma_us: f64,
+    /// EWMA of the failure indicator (1.0 = all recent ops failed).
+    err_rate: f64,
+    samples: u64,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+    probes_left: u32,
+}
+
+impl NodeHealth {
+    fn new() -> NodeHealth {
+        NodeHealth {
+            ewma_us: 0.0,
+            err_rate: 0.0,
+            samples: 0,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+            probes_left: 0,
+        }
+    }
+}
+
+/// Ring of recent successful-op latencies (µs) feeding the derived
+/// hedge delay.
+#[derive(Debug)]
+struct RecentRing {
+    samples: Vec<u64>,
+    cursor: usize,
+}
+
+const RING_CAPACITY: usize = 512;
+/// Minimum samples before a P99 (and thus an auto hedge delay) exists.
+const MIN_P99_SAMPLES: usize = 20;
+/// The derived hedge delay never drops below this: clean runs with
+/// µs-scale operations must not hedge.
+const MIN_HEDGE_DELAY: Duration = Duration::from_millis(10);
+/// Hedge after this multiple of the observed P99.
+const HEDGE_P99_MULTIPLIER: u32 = 3;
+
+impl RecentRing {
+    fn push(&mut self, us: u64) {
+        if self.samples.len() < RING_CAPACITY {
+            self.samples.push(us);
+        } else {
+            self.samples[self.cursor] = us;
+            self.cursor = (self.cursor + 1) % RING_CAPACITY;
+        }
+    }
+
+    fn p99_us(&self) -> Option<u64> {
+        if self.samples.len() < MIN_P99_SAMPLES {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * 0.99).ceil() as usize;
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
+}
+
+/// Per-node health scores and circuit breakers for one cluster.
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    nodes: Vec<Mutex<NodeHealth>>,
+    recent: Mutex<RecentRing>,
+}
+
+impl HealthTracker {
+    pub fn new(node_count: usize) -> HealthTracker {
+        HealthTracker::with_config(node_count, HealthConfig::default())
+    }
+
+    pub fn with_config(node_count: usize, cfg: HealthConfig) -> HealthTracker {
+        HealthTracker {
+            cfg,
+            nodes: (0..node_count.max(1))
+                .map(|_| Mutex::new(NodeHealth::new()))
+                .collect(),
+            recent: Mutex::new(RecentRing {
+                samples: Vec::new(),
+                cursor: 0,
+            }),
+        }
+    }
+
+    fn node(&self, node: usize) -> &Mutex<NodeHealth> {
+        &self.nodes[node.min(self.nodes.len() - 1)]
+    }
+
+    /// Record a successful operation against `node`. Any success fully
+    /// closes the node's breaker.
+    pub fn record_success(&self, node: usize, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        {
+            let mut nh = self.node(node).lock();
+            let a = self.cfg.ewma_alpha;
+            nh.ewma_us = if nh.samples == 0 {
+                us as f64
+            } else {
+                a * us as f64 + (1.0 - a) * nh.ewma_us
+            };
+            nh.err_rate *= 1.0 - a;
+            nh.samples += 1;
+            nh.consecutive_failures = 0;
+            if nh.state != BreakerState::Closed {
+                nh.state = BreakerState::Closed;
+                nh.opened_at = None;
+                nh.probes_left = 0;
+                drop(nh);
+                self.breaker_event(node, "closed");
+                obs::global().incr("breaker.close");
+            }
+        }
+        self.recent.lock().push(us);
+        obs::global().incr("health.successes");
+    }
+
+    /// Record a failed (transient-errored) operation against `node`.
+    pub fn record_failure(&self, node: usize) {
+        let mut nh = self.node(node).lock();
+        let a = self.cfg.ewma_alpha;
+        nh.err_rate = a + (1.0 - a) * nh.err_rate;
+        nh.samples += 1;
+        nh.consecutive_failures = nh.consecutive_failures.saturating_add(1);
+        let open = match nh.state {
+            BreakerState::Closed => nh.consecutive_failures >= self.cfg.failure_threshold,
+            BreakerState::HalfOpen => true,
+            // Already open: leave the cooldown clock running.
+            BreakerState::Open => false,
+        };
+        if open {
+            nh.state = BreakerState::Open;
+            nh.opened_at = Some(Instant::now());
+            nh.probes_left = 0;
+            drop(nh);
+            self.breaker_event(node, "opened");
+            obs::global().incr("breaker.open");
+        }
+        obs::global().incr("health.failures");
+    }
+
+    fn breaker_event(&self, node: usize, what: &str) {
+        obs::global().emit(obs::EventKind::BreakerTrip, |e| {
+            e.node = Some(node as u64);
+            e.detail = format!("breaker {what} for node {node}");
+        });
+    }
+
+    /// Current breaker state (read-only; does not consume probes or
+    /// promote an open breaker).
+    pub fn state(&self, node: usize) -> BreakerState {
+        self.node(node).lock().state
+    }
+
+    /// Ask the breaker to admit one operation against `node`. While
+    /// half-open, this consumes one probe; an open breaker past its
+    /// cooldown transitions to half-open (and consumes the first
+    /// probe). Returns false when the node should not be tried.
+    pub fn acquire(&self, node: usize) -> bool {
+        let mut nh = self.node(node).lock();
+        match nh.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooled = nh
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.cfg.open_cooldown)
+                    .unwrap_or(true);
+                if cooled {
+                    nh.state = BreakerState::HalfOpen;
+                    nh.probes_left = self.cfg.half_open_probes.saturating_sub(1);
+                    drop(nh);
+                    self.breaker_event(node, "half-open");
+                    obs::global().incr("breaker.half_open");
+                    true
+                } else {
+                    obs::global().incr("breaker.rejected");
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if nh.probes_left > 0 {
+                    nh.probes_left -= 1;
+                    true
+                } else {
+                    obs::global().incr("breaker.rejected");
+                    false
+                }
+            }
+        }
+    }
+
+    /// Stable-sort a candidate list so healthy nodes come first:
+    /// closed breakers, then half-open, then open-past-cooldown, then
+    /// open. Ties keep the caller's (locality-aware) order.
+    pub fn reorder(&self, order: &mut [usize]) {
+        order.sort_by_key(|&n| {
+            let nh = self.node(n).lock();
+            match nh.state {
+                BreakerState::Closed => 0u8,
+                BreakerState::HalfOpen => 1,
+                BreakerState::Open => {
+                    let cooled = nh
+                        .opened_at
+                        .map(|t| t.elapsed() >= self.cfg.open_cooldown)
+                        .unwrap_or(true);
+                    if cooled {
+                        2
+                    } else {
+                        3
+                    }
+                }
+            }
+        });
+    }
+
+    /// EWMA latency of successful ops at `node`, if any were recorded.
+    pub fn ewma_latency(&self, node: usize) -> Option<Duration> {
+        let nh = self.node(node).lock();
+        (nh.samples > 0).then(|| Duration::from_micros(nh.ewma_us as u64))
+    }
+
+    /// EWMA failure rate at `node` in [0, 1].
+    pub fn error_rate(&self, node: usize) -> f64 {
+        self.node(node).lock().err_rate
+    }
+
+    /// P99 of recent successful-op latencies across all nodes, once
+    /// enough samples exist.
+    pub fn observed_p99(&self) -> Option<Duration> {
+        self.recent.lock().p99_us().map(Duration::from_micros)
+    }
+
+    /// The delay after which a hedge launches: the explicit override if
+    /// set, else `max(3 × P99, 10ms)` once enough samples exist, else
+    /// `None` (no hedging until the tracker has seen real latencies).
+    pub fn hedge_delay(&self, fixed: Option<Duration>) -> Option<Duration> {
+        if fixed.is_some() {
+            return fixed;
+        }
+        self.observed_p99()
+            .map(|p99| (p99 * HEDGE_P99_MULTIPLIER).max(MIN_HEDGE_DELAY))
+    }
+}
+
+/// Process-wide registry of health trackers, one per cluster, keyed by
+/// [`Cluster::id`] so independent test clusters never share scores.
+/// Every `RetryConn` and `V2sSource` against the same cluster feeds the
+/// same tracker — that sharing is what lets the S2V driver's failures
+/// steer V2S piece placement and vice versa.
+pub fn tracker_for(cluster: &Cluster) -> Arc<HealthTracker> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<HealthTracker>>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = registry.lock();
+    // Old clusters (lower ids) are dead test fixtures; keep the map
+    // bounded across a long-lived test process.
+    if map.len() > 256 {
+        if let Some(&oldest) = map.keys().min() {
+            map.remove(&oldest);
+        }
+    }
+    Arc::clone(
+        map.entry(cluster.id())
+            .or_insert_with(|| Arc::new(HealthTracker::new(cluster.node_count()))),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Hedged reads
+// ---------------------------------------------------------------------
+
+/// Run an idempotent read with a tail-latency hedge: start `run` on
+/// `primary`; if no answer within `delay`, start it on `buddy` too and
+/// take whichever finishes first. The loser cannot be interrupted
+/// mid-call — it is abandoned on a detached thread and its eventual
+/// result discarded (counted under `hedge.cancelled`).
+///
+/// Only reads may use this: a hedged write would put two copies of the
+/// same mutation in flight.
+pub fn hedged_read<T: Send + 'static>(
+    op: &'static str,
+    delay: Duration,
+    primary: usize,
+    buddy: usize,
+    run: Arc<dyn Fn(usize) -> ConnectorResult<T> + Send + Sync>,
+) -> ConnectorResult<T> {
+    let (tx, rx) = mpsc::channel();
+    {
+        let tx = tx.clone();
+        let run = Arc::clone(&run);
+        std::thread::spawn(move || {
+            // The receiver may be gone (winner already returned).
+            let _ = tx.send((primary, run(primary)));
+        });
+    }
+    match rx.recv_timeout(delay) {
+        Ok((_, result)) => return result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {}
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            return Err(ConnectorError::Engine(format!(
+                "{op}: hedged read worker died"
+            )))
+        }
+    }
+    // Primary is past the hedge delay: launch the buddy attempt.
+    obs::global().emit(obs::EventKind::Hedge, |e| {
+        e.node = Some(buddy as u64);
+        e.dur_us = delay.as_micros() as u64;
+        e.detail = format!("{op}: hedging node {primary} with buddy {buddy}");
+    });
+    obs::global().incr("hedge.launched");
+    {
+        let run = Arc::clone(&run);
+        std::thread::spawn(move || {
+            let _ = tx.send((buddy, run(buddy)));
+        });
+    }
+    let mut received = 0usize;
+    let mut first_err: Option<ConnectorError> = None;
+    while received < 2 {
+        match rx.recv() {
+            Ok((node, Ok(value))) => {
+                received += 1;
+                obs::global().incr(if node == buddy {
+                    "hedge.wins"
+                } else {
+                    "hedge.primary_wins"
+                });
+                if received < 2 {
+                    // The loser is still in flight; abandon it.
+                    obs::global().incr("hedge.cancelled");
+                }
+                return Ok(value);
+            }
+            Ok((_, Err(e))) => {
+                received += 1;
+                first_err.get_or_insert(e);
+            }
+            Err(_) => break,
+        }
+    }
+    Err(first_err
+        .unwrap_or_else(|| ConnectorError::Engine(format!("{op}: hedged read lost both attempts"))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> HealthConfig {
+        HealthConfig {
+            open_cooldown: Duration::from_millis(5),
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn deadline_counts_down_and_expires() {
+        let d = Deadline::within(Duration::from_millis(20));
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_breaker() {
+        let t = HealthTracker::with_config(2, fast_cfg());
+        t.record_failure(1);
+        t.record_failure(1);
+        assert_eq!(t.state(1), BreakerState::Closed, "below threshold");
+        t.record_failure(1);
+        assert_eq!(t.state(1), BreakerState::Open);
+        // The other node is untouched.
+        assert_eq!(t.state(0), BreakerState::Closed);
+        assert!(!t.acquire(1), "open breaker rejects before cooldown");
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(t.acquire(1), "cooldown lapsed: probe admitted");
+        assert_eq!(t.state(1), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_probe_budget_is_bounded_and_success_closes() {
+        let t = HealthTracker::with_config(1, fast_cfg());
+        for _ in 0..3 {
+            t.record_failure(0);
+        }
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(t.acquire(0), "first probe");
+        assert!(t.acquire(0), "second probe (budget 2)");
+        assert!(!t.acquire(0), "probe budget exhausted");
+        t.record_success(0, Duration::from_micros(100));
+        assert_eq!(t.state(0), BreakerState::Closed, "success fully closes");
+        assert!(t.acquire(0));
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let t = HealthTracker::with_config(1, fast_cfg());
+        for _ in 0..3 {
+            t.record_failure(0);
+        }
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(t.acquire(0));
+        t.record_failure(0);
+        assert_eq!(t.state(0), BreakerState::Open);
+        assert!(!t.acquire(0), "cooldown restarted");
+    }
+
+    #[test]
+    fn reorder_puts_sick_nodes_last_and_is_stable() {
+        let t = HealthTracker::with_config(4, fast_cfg());
+        for _ in 0..3 {
+            t.record_failure(2);
+        }
+        let mut order = vec![2, 0, 1, 3];
+        t.reorder(&mut order);
+        assert_eq!(order, vec![0, 1, 3, 2], "sick node demoted, rest stable");
+    }
+
+    #[test]
+    fn hedge_delay_requires_samples_and_floors() {
+        let t = HealthTracker::new(2);
+        assert_eq!(t.hedge_delay(None), None, "no samples, no hedging");
+        assert_eq!(
+            t.hedge_delay(Some(Duration::from_millis(7))),
+            Some(Duration::from_millis(7)),
+            "explicit override wins"
+        );
+        for _ in 0..MIN_P99_SAMPLES {
+            t.record_success(0, Duration::from_micros(200));
+        }
+        let d = t.hedge_delay(None).unwrap();
+        assert_eq!(d, MIN_HEDGE_DELAY, "µs-scale ops floor at the minimum");
+        for _ in 0..40 {
+            t.record_success(1, Duration::from_millis(8));
+        }
+        let d = t.hedge_delay(None).unwrap();
+        assert!(d >= Duration::from_millis(24), "3 × P99 above the floor");
+    }
+
+    #[test]
+    fn hedged_read_prefers_fast_primary() {
+        let before = obs::global().snapshot().counters;
+        let run = Arc::new(|node: usize| -> ConnectorResult<usize> { Ok(node) });
+        let got = hedged_read("t.fast", Duration::from_millis(50), 0, 1, run).unwrap();
+        assert_eq!(got, 0, "primary answered before the hedge delay");
+        let after = obs::global().snapshot().counters;
+        let delta =
+            |k: &str| after.get(k).copied().unwrap_or(0) - before.get(k).copied().unwrap_or(0);
+        assert_eq!(delta("hedge.launched"), 0);
+    }
+
+    #[test]
+    fn hedged_read_buddy_wins_when_primary_stalls() {
+        let run = Arc::new(|node: usize| -> ConnectorResult<usize> {
+            if node == 0 {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            Ok(node)
+        });
+        let started = Instant::now();
+        let got = hedged_read("t.stall", Duration::from_millis(10), 0, 1, run).unwrap();
+        assert_eq!(got, 1, "buddy wins");
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "did not wait for the stalled primary"
+        );
+        // Let the abandoned primary drain so its send outlives no one.
+        std::thread::sleep(Duration::from_millis(130));
+    }
+
+    #[test]
+    fn hedged_read_surfaces_error_when_both_fail() {
+        let run = Arc::new(|node: usize| -> ConnectorResult<usize> {
+            Err(ConnectorError::Engine(format!("node {node} boom")))
+        });
+        let err = hedged_read("t.both", Duration::from_millis(5), 0, 1, run).unwrap_err();
+        assert!(matches!(err, ConnectorError::Engine(_)));
+    }
+
+    #[test]
+    fn hedged_read_falls_through_to_buddy_after_primary_error() {
+        // Primary errors *slowly* (after the hedge delay), buddy is good.
+        let run = Arc::new(|node: usize| -> ConnectorResult<usize> {
+            if node == 0 {
+                std::thread::sleep(Duration::from_millis(15));
+                Err(ConnectorError::Engine("slow failure".into()))
+            } else {
+                Ok(node)
+            }
+        });
+        let got = hedged_read("t.slow_err", Duration::from_millis(5), 0, 1, run).unwrap();
+        assert_eq!(got, 1);
+    }
+}

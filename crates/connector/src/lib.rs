@@ -22,7 +22,12 @@
 //! Every database touchpoint runs under a typed error surface
 //! ([`error::ConnectorError`]) and a retry/failover policy
 //! ([`retry::RetryPolicy`]); [`fault-injection`] on the database side
-//! drives the chaos suite that exercises them.
+//! drives the chaos suite that exercises them. Grey failures — nodes
+//! alive but slow — are handled by the [`health`] layer: per-node
+//! health scores and circuit breakers steer placement away from sick
+//! nodes, idempotent reads hedge onto buddy nodes past the observed
+//! P99, and a [`health::Deadline`] budget set at `save()`/`load()`
+//! flows through every retry and phase.
 //!
 //! The connector plugs into the engine's External Data Source API under
 //! the format name [`DEFAULT_SOURCE`], so the user-facing surface is
@@ -40,6 +45,7 @@
 //! [`fault-injection`]: mppdb::fault
 
 pub mod error;
+pub mod health;
 pub mod md;
 pub mod options;
 pub mod retry;
@@ -54,9 +60,10 @@ use mppdb::Cluster;
 use sparklet::{DataFrame, DataSourceProvider, Options, SaveMode, ScanRelation, SparkContext};
 
 pub use error::{ConnectorError, ConnectorResult};
+pub use health::{BreakerState, Deadline, HealthConfig, HealthTracker};
 pub use md::ModelDeployment;
 pub use options::{ConnectorOptions, ConnectorOptionsBuilder, WriteMethod};
-pub use retry::{with_retry, RetryConn, RetryPolicy};
+pub use retry::{with_retry, with_retry_deadline, RetryConn, RetryPolicy};
 pub use s2v::{save_to_db, S2vReport};
 pub use two_stage::{load_via_dfs, save_via_dfs, TwoStageConfig, TwoStageReport};
 pub use v2s::DbRelation;
@@ -151,7 +158,9 @@ pub fn save(
                 SaveMode::Overwrite if exists => {
                     // The DFS stage-2 COPY appends; overwrite = clear first.
                     let host = opts.host_on(cluster)?;
-                    let mut conn = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone());
+                    let mut conn = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone())
+                        .with_deadline(opts.deadline.map(Deadline::within))
+                        .with_health(health::tracker_for(cluster));
                     if !opts.failover {
                         conn = conn.pinned();
                     }

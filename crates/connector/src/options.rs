@@ -65,6 +65,17 @@ pub struct ConnectorOptions {
     /// Whether reads/sessions may fail over to other nodes when the
     /// preferred node is down.
     pub failover: bool,
+    /// Overall wall-clock budget for the whole `save()`/`load()`,
+    /// propagated through every retry, hedge, and COPY phase. `None`
+    /// leaves only the per-operation retry deadline.
+    pub deadline: Option<Duration>,
+    /// Hedge idempotent reads (V2S pieces, catalog probes) onto a buddy
+    /// node when the primary runs past the observed P99. Never applies
+    /// to S2V writes.
+    pub hedge: bool,
+    /// Explicit hedge delay; `None` derives it from observed latencies
+    /// (`max(3 × P99, 10ms)`).
+    pub hedge_delay: Option<Duration>,
 }
 
 /// Every key `parse` understands; anything else is a usage error
@@ -88,6 +99,9 @@ const KNOWN_KEYS: &[&str] = &[
     "retry_max_attempts",
     "retry_deadline_ms",
     "failover",
+    "deadline_ms",
+    "hedge",
+    "hedge_delay_ms",
 ];
 
 impl ConnectorOptions {
@@ -157,6 +171,15 @@ impl ConnectorOptions {
         if let Some(fo) = options.get_parsed::<bool>("failover")? {
             b = b.failover(fo);
         }
+        if let Some(ms) = options.get_parsed::<u64>("deadline_ms")? {
+            b = b.deadline_ms(ms);
+        }
+        if let Some(h) = options.get_parsed::<bool>("hedge")? {
+            b = b.hedge(h);
+        }
+        if let Some(ms) = options.get_parsed::<u64>("hedge_delay_ms")? {
+            b = b.hedge_delay_ms(ms);
+        }
         b.build()
     }
 
@@ -175,6 +198,9 @@ impl ConnectorOptions {
             staging_path: None,
             retry: RetryPolicy::default(),
             failover: true,
+            deadline: None,
+            hedge: true,
+            hedge_delay: None,
         }
     }
 
@@ -291,6 +317,24 @@ impl ConnectorOptionsBuilder {
         self
     }
 
+    /// Overall wall-clock budget for the whole save/load.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.opts.deadline = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Enable/disable buddy-node hedging of idempotent reads.
+    pub fn hedge(mut self, hedge: bool) -> Self {
+        self.opts.hedge = hedge;
+        self
+    }
+
+    /// Fix the hedge delay instead of deriving it from the observed P99.
+    pub fn hedge_delay_ms(mut self, ms: u64) -> Self {
+        self.opts.hedge_delay = Some(Duration::from_millis(ms));
+        self
+    }
+
     pub fn build(self) -> ConnectorResult<ConnectorOptions> {
         let o = self.opts;
         if o.table.is_empty() {
@@ -314,6 +358,16 @@ impl ConnectorOptionsBuilder {
         if o.retry.deadline < Duration::from_millis(1) {
             return Err(ConnectorError::Usage(
                 "retry_deadline_ms must be at least 1".into(),
+            ));
+        }
+        if o.deadline.is_some_and(|d| d < Duration::from_millis(1)) {
+            return Err(ConnectorError::Usage(
+                "deadline_ms must be at least 1".into(),
+            ));
+        }
+        if o.hedge_delay.is_some_and(|d| d < Duration::from_millis(1)) {
+            return Err(ConnectorError::Usage(
+                "hedge_delay_ms must be at least 1".into(),
             ));
         }
         Ok(o)
@@ -421,6 +475,29 @@ mod tests {
         let o = Options::new()
             .with("table", "t")
             .with("retry_deadline_ms", 0);
+        assert!(ConnectorOptions::parse(&o).is_err());
+    }
+
+    #[test]
+    fn parses_deadline_and_hedge_keys() {
+        let o = Options::new()
+            .with("table", "t")
+            .with("deadline_ms", 2500)
+            .with("hedge", false)
+            .with("hedge_delay_ms", 15);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert_eq!(parsed.deadline, Some(Duration::from_millis(2500)));
+        assert!(!parsed.hedge);
+        assert_eq!(parsed.hedge_delay, Some(Duration::from_millis(15)));
+        // Defaults: no deadline, hedging on with a derived delay.
+        let parsed = ConnectorOptions::parse(&Options::new().with("table", "t")).unwrap();
+        assert_eq!(parsed.deadline, None);
+        assert!(parsed.hedge);
+        assert_eq!(parsed.hedge_delay, None);
+        // Bounds.
+        let o = Options::new().with("table", "t").with("deadline_ms", 0);
+        assert!(ConnectorOptions::parse(&o).is_err());
+        let o = Options::new().with("table", "t").with("hedge_delay_ms", 0);
         assert!(ConnectorOptions::parse(&o).is_err());
     }
 

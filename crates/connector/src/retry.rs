@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use mppdb::{Cluster, Session};
 
 use crate::error::{ConnectorError, ConnectorResult};
+use crate::health::{Deadline, HealthTracker};
 
 /// How a connector operation deals with transient failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,11 +85,36 @@ impl RetryPolicy {
 pub fn with_retry<T>(
     policy: &RetryPolicy,
     op: &'static str,
+    attempt_fn: impl FnMut(u32) -> ConnectorResult<T>,
+) -> ConnectorResult<T> {
+    with_retry_deadline(policy, None, op, attempt_fn)
+}
+
+/// [`with_retry`] under an *overall* [`Deadline`] shared with every
+/// other operation of the same job. Backoff sleeps are capped at the
+/// tighter of the policy deadline and the overall deadline: when the
+/// next backoff would not fit in the remaining budget the loop gives up
+/// immediately instead of sleeping past the budget it is about to fail.
+pub fn with_retry_deadline<T>(
+    policy: &RetryPolicy,
+    overall: Option<Deadline>,
+    op: &'static str,
     mut attempt_fn: impl FnMut(u32) -> ConnectorResult<T>,
 ) -> ConnectorResult<T> {
     let started = Instant::now();
     let mut attempt = 1u32;
     loop {
+        if let Some(d) = overall {
+            if d.expired() {
+                obs::global().incr("retry.gave_up");
+                obs::global().incr("deadline.expired");
+                return Err(ConnectorError::DeadlineExceeded {
+                    op,
+                    attempts: attempt - 1,
+                    elapsed_ms: d.elapsed_ms(),
+                });
+            }
+        }
         let attempt_started = Instant::now();
         match attempt_fn(attempt) {
             Ok(v) => {
@@ -108,10 +134,19 @@ pub fn with_retry<T>(
                     });
                 }
                 let backoff = policy.backoff_for(op, attempt + 1);
-                let over_deadline = started.elapsed() + backoff > policy.deadline;
+                // Remaining budget: the tighter of the per-op policy
+                // deadline and the job-wide deadline.
+                let policy_remaining = policy.deadline.saturating_sub(started.elapsed());
+                let remaining = match overall {
+                    Some(d) => policy_remaining.min(d.remaining()),
+                    None => policy_remaining,
+                };
                 let attempt_overran = attempt_started.elapsed() > policy.attempt_timeout;
-                if over_deadline || attempt_overran {
+                if backoff >= remaining || attempt_overran {
                     obs::global().incr("retry.gave_up");
+                    if overall.map(|d| backoff >= d.remaining()).unwrap_or(false) {
+                        obs::global().incr("deadline.expired");
+                    }
                     return Err(ConnectorError::DeadlineExceeded {
                         op,
                         attempts: attempt,
@@ -139,6 +174,11 @@ pub struct RetryConn {
     pool: Option<String>,
     task_tag: Option<u64>,
     session: Option<Session>,
+    /// Job-wide budget every `run` shares; `None` means unbounded.
+    deadline: Option<Deadline>,
+    /// Per-node health scores fed by every connect and operation, and
+    /// consulted to steer connections away from sick nodes.
+    tracker: Option<Arc<HealthTracker>>,
 }
 
 impl RetryConn {
@@ -151,6 +191,8 @@ impl RetryConn {
             pool: None,
             task_tag: None,
             session: None,
+            deadline: None,
+            tracker: None,
         }
     }
 
@@ -167,6 +209,18 @@ impl RetryConn {
 
     pub fn with_task_tag(mut self, tag: Option<u64>) -> RetryConn {
         self.task_tag = tag;
+        self
+    }
+
+    /// Bound every `run` by a job-wide deadline.
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> RetryConn {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Feed and consult per-node health scores / circuit breakers.
+    pub fn with_health(mut self, tracker: Arc<HealthTracker>) -> RetryConn {
+        self.tracker = Some(tracker);
         self
     }
 
@@ -192,15 +246,31 @@ impl RetryConn {
 
     fn connect(&mut self, attempt: u32) -> ConnectorResult<&mut Session> {
         if self.session.is_none() {
-            let order = self.candidates();
+            let mut order = self.candidates();
+            // Sick nodes (open breakers) sort to the back; ties keep
+            // the locality-preference order.
+            if let Some(tracker) = &self.tracker {
+                tracker.reorder(&mut order);
+            }
             // Rotate the starting candidate with the attempt number, but
             // always scan the whole preference list: attempt 1 tries the
             // preferred node first, later attempts lead with a failover
             // target while still falling back to any node that answers.
             let start = (attempt as usize - 1) % order.len();
             let mut last: Option<ConnectorError> = None;
+            let mut breaker_skipped = 0usize;
             for i in 0..order.len() {
                 let node = order[(start + i) % order.len()];
+                // Ask the breaker unless this is the only remaining
+                // candidate — never let the breaker strand a retry with
+                // zero targets.
+                if let Some(tracker) = &self.tracker {
+                    let is_last_chance = i + 1 == order.len() && self.session.is_none();
+                    if !is_last_chance && !tracker.acquire(node) {
+                        breaker_skipped += 1;
+                        continue;
+                    }
+                }
                 match self.cluster.connect(node) {
                     Ok(mut session) => {
                         if node != self.preferred {
@@ -220,9 +290,15 @@ impl RetryConn {
                         if !e.is_transient() {
                             return Err(e);
                         }
+                        if let Some(tracker) = &self.tracker {
+                            tracker.record_failure(node);
+                        }
                         last = Some(e);
                     }
                 }
+            }
+            if breaker_skipped > 0 {
+                obs::global().add("health.steered_connects", breaker_skipped as u64);
             }
             if self.session.is_none() {
                 return Err(last.unwrap_or(ConnectorError::NoLiveNodes));
@@ -241,12 +317,23 @@ impl RetryConn {
         mut f: impl FnMut(&mut Session) -> ConnectorResult<T>,
     ) -> ConnectorResult<T> {
         let policy = self.policy.clone();
-        with_retry(&policy, op, |attempt| {
+        let deadline = self.deadline;
+        with_retry_deadline(&policy, deadline, op, |attempt| {
             let session = self.connect(attempt)?;
+            let node = session.node();
+            let op_started = Instant::now();
             match f(session) {
-                Ok(v) => Ok(v),
+                Ok(v) => {
+                    if let Some(tracker) = &self.tracker {
+                        tracker.record_success(node, op_started.elapsed());
+                    }
+                    Ok(v)
+                }
                 Err(e) => {
                     if e.is_transient() {
+                        if let Some(tracker) = &self.tracker {
+                            tracker.record_failure(node);
+                        }
                         // Connection is suspect; drop it (aborting any
                         // open transaction) and reconnect next attempt.
                         self.session = None;
@@ -332,6 +419,52 @@ mod tests {
         let r: ConnectorResult<()> = with_retry(&policy, "t", |_| Err(ConnectorError::NoLiveNodes));
         assert!(matches!(r, Err(ConnectorError::DeadlineExceeded { .. })));
         assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn overall_deadline_caps_backoff_sleeps() {
+        // Generous per-op policy, tight overall budget: the loop must
+        // never sleep past the overall deadline. Worst case is one
+        // attempt plus the backoffs that fit inside the budget, so the
+        // total wall time is pinned well under the policy's own 30s
+        // deadline.
+        let policy = RetryPolicy {
+            max_attempts: 1000,
+            base_backoff: Duration::from_millis(8),
+            max_backoff: Duration::from_millis(8),
+            deadline: Duration::from_secs(30),
+            ..RetryPolicy::default()
+        };
+        let overall = Deadline::within(Duration::from_millis(20));
+        let started = Instant::now();
+        let r: ConnectorResult<()> = with_retry_deadline(&policy, Some(overall), "t", |_| {
+            Err(ConnectorError::NoLiveNodes)
+        });
+        let elapsed = started.elapsed();
+        assert!(matches!(r, Err(ConnectorError::DeadlineExceeded { .. })));
+        // Budget 20ms, backoff 8ms, instant attempts: at most two full
+        // backoffs fit, and the final would-be sleep is skipped rather
+        // than slept. 100ms of slack absorbs scheduler noise.
+        assert!(
+            elapsed < Duration::from_millis(120),
+            "worst-case wall time {elapsed:?} must stay near the 20ms budget"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_the_first_attempt() {
+        let overall = Deadline::within(Duration::ZERO);
+        let calls = AtomicU32::new(0);
+        let r: ConnectorResult<()> =
+            with_retry_deadline(&RetryPolicy::default(), Some(overall), "t", |_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
+        assert!(matches!(
+            r,
+            Err(ConnectorError::DeadlineExceeded { attempts: 0, .. })
+        ));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@ use netsim::record::{NetClass, NodeRef};
 use sparklet::{DataFrame, SaveMode, SparkContext, SparkError};
 
 use crate::error::{ConnectorError, ConnectorResult};
+use crate::health::{tracker_for, Deadline, HealthTracker};
 use crate::options::ConnectorOptions;
 use crate::retry::{RetryConn, RetryPolicy};
 
@@ -154,8 +155,15 @@ pub fn save_to_db(
         .unwrap_or_else(|| format!("s2v_{}_{}", target, JOB_SEQ.fetch_add(1, Ordering::AcqRel)));
 
     // ----- setup phase (driver) --------------------------------------
+    // The overall wall-clock budget starts here and flows through every
+    // driver and task phase. Writes are never hedged — only steered and
+    // retried — so exactly-once never depends on the committer race.
+    let deadline = opts.deadline.map(Deadline::within);
+    let tracker = tracker_for(cluster);
     let host = opts.host_on(cluster)?;
-    let mut driver = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone());
+    let mut driver = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone())
+        .with_deadline(deadline)
+        .with_health(Arc::clone(&tracker));
     if !opts.failover {
         driver = driver.pinned();
     }
@@ -343,6 +351,7 @@ pub fn save_to_db(
     let pool_ref = opts.resource_pool.as_deref();
     let acc = PhaseAcc::default();
     let acc_ref = &acc;
+    let tracker_ref = &tracker;
     let outcomes = ctx.run_job(&rdd, move |tc, rows| {
         acc_ref.engine_job_id.store(tc.job_id, Ordering::Release);
         run_task_phases(
@@ -361,6 +370,8 @@ pub fn save_to_db(
             pool_ref,
             retry_ref,
             failover,
+            deadline,
+            tracker_ref,
             acc_ref,
         )
         .map_err(SparkError::from)
@@ -575,13 +586,20 @@ fn run_task_phases(
     resource_pool: Option<&str>,
     retry: &RetryPolicy,
     failover: bool,
+    deadline: Option<Deadline>,
+    tracker: &Arc<HealthTracker>,
     acc: &PhaseAcc,
 ) -> ConnectorResult<TaskEnd> {
     let p = tc.partition;
     let preferred = up_nodes[p % up_nodes.len()];
+    // The deadline is checked before every phase attempt (inside the
+    // retry loop), so an expired budget fails the next phase boundary
+    // instead of grinding through the remaining protocol steps.
     let mut conn = RetryConn::new(Arc::clone(cluster), preferred, retry.clone())
         .with_pool(resource_pool.map(str::to_string))
-        .with_task_tag(Some(p as u64));
+        .with_task_tag(Some(p as u64))
+        .with_deadline(deadline)
+        .with_health(Arc::clone(tracker));
     if !failover {
         conn = conn.pinned();
     }

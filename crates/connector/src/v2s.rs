@@ -16,8 +16,16 @@
 //! All queries are pinned to the epoch captured when the relation was
 //! opened, so concurrent commits and task retries cannot produce an
 //! inconsistent view.
+//!
+//! Because every V2S query is an idempotent snapshot read, this is the
+//! one place hedging is safe: when a piece's primary node runs past the
+//! observed P99 (a grey failure), a buddy-node attempt launches and the
+//! first result wins. Piece placement consults the per-cluster
+//! [`HealthTracker`], so pieces steer away from nodes whose circuit
+//! breakers are open before timeouts ever fire.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use common::expr::Expr;
 use common::{Row, Schema};
@@ -28,8 +36,9 @@ use sparklet::rdd::PartitionSource;
 use sparklet::{Rdd, ScanRelation, SparkContext, SparkError, SparkResult};
 
 use crate::error::{ConnectorError, ConnectorResult};
+use crate::health::{hedged_read, tracker_for, BreakerState, Deadline, HealthTracker};
 use crate::options::ConnectorOptions;
-use crate::retry::{with_retry, RetryConn, RetryPolicy};
+use crate::retry::{with_retry_deadline, RetryPolicy};
 
 /// How a relation's rows are divided among partitions.
 #[derive(Debug, Clone)]
@@ -54,6 +63,12 @@ pub struct DbRelation {
     resource_pool: Option<String>,
     retry: RetryPolicy,
     failover: bool,
+    tracker: Arc<HealthTracker>,
+    /// Overall wall-clock budget set at open time; flows into every
+    /// catalog query and piece retry loop.
+    deadline: Option<Deadline>,
+    hedge: bool,
+    hedge_delay: Option<Duration>,
 }
 
 /// One partition's work: queries to issue, each against a specific node.
@@ -77,6 +92,8 @@ impl DbRelation {
         let host = opts.host_on(&cluster)?;
         let epoch = cluster.current_epoch();
         let num_partitions = opts.num_partitions.unwrap_or(cluster.node_count());
+        let tracker = tracker_for(&cluster);
+        let deadline = opts.deadline.map(Deadline::within);
         if let Ok(def) = cluster.table_def(&opts.table) {
             let kind = if def.is_segmented() {
                 RelationKind::Segmented
@@ -94,17 +111,32 @@ impl DbRelation {
                 resource_pool: opts.resource_pool.clone(),
                 retry: opts.retry.clone(),
                 failover: opts.failover,
+                tracker,
+                deadline,
+                hedge: opts.hedge,
+                hedge_delay: opts.hedge_delay,
             });
         }
-        // A view: discover the schema by executing it with LIMIT 1.
-        let mut conn = RetryConn::new(Arc::clone(&cluster), host, opts.retry.clone());
-        if !opts.failover {
-            conn = conn.pinned();
-        }
-        let probe = conn.run("v2s.open", |session| {
-            session
-                .query(&QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch))
-                .map_err(|e| ConnectorError::db("v2s.open", e))
+        // A view: discover the schema by executing it with LIMIT 1. The
+        // probe is an idempotent catalog read, so it gets the same
+        // health steering and hedging as data pieces.
+        let candidates = catalog_candidates(&cluster, host, opts.failover);
+        let spec = QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch);
+        let probe = with_retry_deadline(&opts.retry, deadline, "v2s.open", |attempt| {
+            let delay = if opts.hedge {
+                tracker.hedge_delay(opts.hedge_delay)
+            } else {
+                None
+            };
+            run_steered(
+                &tracker,
+                &cluster,
+                delay,
+                "v2s.open",
+                &candidates,
+                attempt,
+                catalog_exec(&cluster, "v2s.open", spec.clone()),
+            )
         })?;
         Ok(DbRelation {
             cluster: Arc::clone(&cluster),
@@ -117,6 +149,10 @@ impl DbRelation {
             resource_pool: opts.resource_pool.clone(),
             retry: opts.retry.clone(),
             failover: opts.failover,
+            tracker,
+            deadline,
+            hedge: opts.hedge,
+            hedge_delay: opts.hedge_delay,
         })
     }
 
@@ -139,16 +175,25 @@ impl DbRelation {
             RelationKind::RowOrdered => {
                 // Synthetic ranges need the relation's current size at
                 // the pinned epoch.
-                let mut conn =
-                    RetryConn::new(Arc::clone(&self.cluster), self.host, self.retry.clone());
-                if !self.failover {
-                    conn = conn.pinned();
-                }
-                let total = conn.run("v2s.plan", |session| {
-                    session
-                        .query(&QuerySpec::scan(&self.table).at_epoch(self.epoch).count())
-                        .map_err(|e| ConnectorError::db("v2s.plan", e))
-                })?;
+                let candidates = catalog_candidates(&self.cluster, self.host, self.failover);
+                let spec = QuerySpec::scan(&self.table).at_epoch(self.epoch).count();
+                let total =
+                    with_retry_deadline(&self.retry, self.deadline, "v2s.plan", |attempt| {
+                        let delay = if self.hedge {
+                            self.tracker.hedge_delay(self.hedge_delay)
+                        } else {
+                            None
+                        };
+                        run_steered(
+                            &self.tracker,
+                            &self.cluster,
+                            delay,
+                            "v2s.plan",
+                            &candidates,
+                            attempt,
+                            catalog_exec(&self.cluster, "v2s.plan", spec.clone()),
+                        )
+                    })?;
                 let up = self.cluster.up_nodes();
                 if up.is_empty() {
                     return Err(ConnectorError::NoLiveNodes);
@@ -164,6 +209,107 @@ fn and_filters(filters: &[Expr]) -> Option<Expr> {
     let mut iter = filters.iter().cloned();
     let first = iter.next()?;
     Some(iter.fold(first, |acc, f| acc.and(f)))
+}
+
+/// Candidate order for catalog/status queries: the configured host
+/// first, then (under failover) every other node.
+fn catalog_candidates(cluster: &Cluster, host: usize, failover: bool) -> Vec<usize> {
+    let mut order = vec![host];
+    if failover {
+        for n in 0..cluster.node_count() {
+            if n != host {
+                order.push(n);
+            }
+        }
+    }
+    order
+}
+
+/// The exec closure for a catalog/status query: connect to the given
+/// node and run the spec. Owned clones only, so hedge attempts can run
+/// it on detached threads.
+fn catalog_exec(
+    cluster: &Arc<Cluster>,
+    op: &'static str,
+    spec: QuerySpec,
+) -> Arc<dyn Fn(usize) -> ConnectorResult<mppdb::QueryResult> + Send + Sync> {
+    let cluster = Arc::clone(cluster);
+    Arc::new(move |node| {
+        let mut session = cluster
+            .connect(node)
+            .map_err(|e| ConnectorError::db(op, e))?;
+        session.query(&spec).map_err(|e| ConnectorError::db(op, e))
+    })
+}
+
+/// One health-steered attempt of an idempotent read, with an optional
+/// hedge.
+///
+/// `candidates` is the locality-preferred order. Dead nodes are
+/// dropped, the rest are stably re-ranked by breaker state (so healthy
+/// nodes keep their locality order), and the lead rotates with the
+/// attempt number so a sick node cannot monopolize retries. The first
+/// node whose breaker admits the call becomes the primary; if every
+/// breaker rejects, the head runs anyway — a retry must never strand
+/// itself. When a hedge delay is set and a distinct non-open buddy
+/// exists, the buddy launches once the primary overruns the delay and
+/// the first result wins.
+///
+/// Every outcome feeds the tracker: successes update the EWMA and close
+/// breakers, transient failures trip them. Fatal errors are *not*
+/// counted against the node — a syntax error says nothing about node
+/// health.
+fn run_steered<T: Send + 'static>(
+    tracker: &Arc<HealthTracker>,
+    cluster: &Cluster,
+    hedge_delay: Option<Duration>,
+    op: &'static str,
+    candidates: &[usize],
+    attempt: u32,
+    exec: Arc<dyn Fn(usize) -> ConnectorResult<T> + Send + Sync>,
+) -> ConnectorResult<T> {
+    let mut order: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&n| cluster.is_node_up(n))
+        .collect();
+    if order.is_empty() {
+        return Err(ConnectorError::NoLiveNodes);
+    }
+    tracker.reorder(&mut order);
+    let lead = (attempt as usize - 1) % order.len();
+    order.rotate_left(lead);
+    let primary = order
+        .iter()
+        .copied()
+        .find(|&n| tracker.acquire(n))
+        .unwrap_or(order[0]);
+    let buddy = order
+        .iter()
+        .copied()
+        .find(|&n| n != primary && tracker.state(n) != BreakerState::Open);
+    let run: Arc<dyn Fn(usize) -> ConnectorResult<T> + Send + Sync> = {
+        let tracker = Arc::clone(tracker);
+        Arc::new(move |n: usize| {
+            let started = Instant::now();
+            match exec(n) {
+                Ok(v) => {
+                    tracker.record_success(n, started.elapsed());
+                    Ok(v)
+                }
+                Err(e) => {
+                    if e.is_transient() {
+                        tracker.record_failure(n);
+                    }
+                    Err(e)
+                }
+            }
+        })
+    };
+    match (hedge_delay, buddy) {
+        (Some(delay), Some(buddy)) => hedged_read(op, delay, primary, buddy, run),
+        _ => run(primary),
+    }
 }
 
 /// Assign hash ranges to partitions per the paper's Fig. 4: with fewer
@@ -231,6 +377,110 @@ struct V2sSource {
     resource_pool: Option<String>,
     retry: RetryPolicy,
     failover: bool,
+    tracker: Arc<HealthTracker>,
+    deadline: Option<Deadline>,
+    hedge: bool,
+    hedge_delay: Option<Duration>,
+}
+
+/// Everything one piece execution needs, owned, so hedge attempts can
+/// run on detached threads.
+struct PieceCtx {
+    cluster: Arc<Cluster>,
+    relation_table: String,
+    resource_pool: Option<String>,
+    compute_nodes: usize,
+    partition: usize,
+    /// The piece's locality-preferred owner, for failover accounting.
+    preferred: usize,
+    spec: QuerySpec,
+}
+
+/// Execute one piece query against `connect_node` — the hot body shared
+/// by the primary and any hedge attempt.
+fn exec_piece(ctx: &PieceCtx, connect_node: usize) -> ConnectorResult<mppdb::QueryResult> {
+    let mut session = ctx
+        .cluster
+        .connect(connect_node)
+        .map_err(|e| ConnectorError::db("v2s.connect", e))?;
+    session.set_task_tag(Some(ctx.partition as u64));
+    if let Some(pool) = &ctx.resource_pool {
+        session
+            .set_resource_pool(pool)
+            .map_err(|e| ConnectorError::db("v2s.connect", e))?;
+    }
+    ctx.cluster.recorder().setup(
+        Some(ctx.partition as u64),
+        NodeRef::Db(connect_node),
+        "v2s_connect",
+    );
+    let piece_started = Instant::now();
+    let spec = &ctx.spec;
+    // Batched read: the scan stays columnar end to end; rows are
+    // only materialized at the Spark partition boundary (compute).
+    let result = session
+        .query_batched(spec)
+        .map_err(|e| ConnectorError::db("v2s.query", e))?;
+    // The result set crosses the system boundary to the executor.
+    let executor = ctx.partition % ctx.compute_nodes;
+    // Result sets cross the boundary in the client protocol's
+    // text encoding (what a JDBC result set actually ships).
+    let (bytes, rows) = if spec.count_only {
+        (8, 1)
+    } else {
+        (result.text_wire_bytes(), result.num_rows() as u64)
+    };
+    ctx.cluster.recorder().transfer(
+        Some(ctx.partition as u64),
+        NodeRef::Db(connect_node),
+        NodeRef::Compute(executor),
+        NetClass::External,
+        bytes,
+        rows,
+    );
+    let pushdown = format!(
+        "{}{}{}",
+        if spec.count_only { "count" } else { "scan" },
+        if spec.projection.is_some() {
+            ", projected"
+        } else {
+            ""
+        },
+        if spec.predicate.is_some() {
+            ", filtered"
+        } else {
+            ""
+        },
+    );
+    obs::global().emit(obs::EventKind::V2sPiece, |e| {
+        e.task = Some(ctx.partition as u64);
+        e.node = Some(connect_node as u64);
+        e.rows = rows;
+        e.bytes = bytes;
+        e.dur_us = piece_started.elapsed().as_micros() as u64;
+        e.detail = format!(
+            "{} from {} ({pushdown}{})",
+            match (spec.hash_range, spec.row_range) {
+                (Some(_), _) => "hash range",
+                (_, Some(_)) => "row range",
+                _ => "full scan",
+            },
+            ctx.relation_table,
+            if connect_node == ctx.preferred {
+                ""
+            } else {
+                ", failover"
+            },
+        );
+    });
+    if connect_node != ctx.preferred {
+        obs::global().add("failover.reads", 1);
+    }
+    obs::global().add("v2s.pieces", 1);
+    obs::global().add("v2s.rows", rows);
+    obs::global().add("v2s.bytes", bytes);
+    obs::global().record_time("v2s.piece_us", piece_started.elapsed());
+    Ok(result)
 }
 
 impl V2sSource {
@@ -263,96 +513,31 @@ impl V2sSource {
         spec: &QuerySpec,
     ) -> ConnectorResult<mppdb::QueryResult> {
         let candidates = self.candidates(node);
-        with_retry(&self.retry, "v2s.piece", |attempt| {
-            // Rotate the lead candidate with the attempt so a node that
-            // accepts connections but fails queries doesn't monopolize
-            // the retries; skip known-dead nodes up front.
-            let start = (attempt as usize - 1) % candidates.len();
-            let connect_node = (0..candidates.len())
-                .map(|i| candidates[(start + i) % candidates.len()])
-                .find(|&n| self.cluster.is_node_up(n))
-                .ok_or(ConnectorError::NoLiveNodes)?;
-            let mut session = self
-                .cluster
-                .connect(connect_node)
-                .map_err(|e| ConnectorError::db("v2s.connect", e))?;
-            session.set_task_tag(Some(partition as u64));
-            if let Some(pool) = &self.resource_pool {
-                session
-                    .set_resource_pool(pool)
-                    .map_err(|e| ConnectorError::db("v2s.connect", e))?;
-            }
-            self.cluster.recorder().setup(
-                Some(partition as u64),
-                NodeRef::Db(connect_node),
-                "v2s_connect",
-            );
-            let piece_started = std::time::Instant::now();
-            // Batched read: the scan stays columnar end to end; rows are
-            // only materialized at the Spark partition boundary (compute).
-            let result = session
-                .query_batched(spec)
-                .map_err(|e| ConnectorError::db("v2s.query", e))?;
-            // The result set crosses the system boundary to the executor.
-            let executor = partition % self.compute_nodes;
-            // Result sets cross the boundary in the client protocol's
-            // text encoding (what a JDBC result set actually ships).
-            let (bytes, rows) = if spec.count_only {
-                (8, 1)
+        let ctx = Arc::new(PieceCtx {
+            cluster: Arc::clone(&self.cluster),
+            relation_table: self.relation_table.clone(),
+            resource_pool: self.resource_pool.clone(),
+            compute_nodes: self.compute_nodes,
+            partition,
+            preferred: node,
+            spec: spec.clone(),
+        });
+        with_retry_deadline(&self.retry, self.deadline, "v2s.piece", |attempt| {
+            let delay = if self.hedge {
+                self.tracker.hedge_delay(self.hedge_delay)
             } else {
-                (result.text_wire_bytes(), result.num_rows() as u64)
+                None
             };
-            self.cluster.recorder().transfer(
-                Some(partition as u64),
-                NodeRef::Db(connect_node),
-                NodeRef::Compute(executor),
-                NetClass::External,
-                bytes,
-                rows,
-            );
-            let pushdown = format!(
-                "{}{}{}",
-                if spec.count_only { "count" } else { "scan" },
-                if spec.projection.is_some() {
-                    ", projected"
-                } else {
-                    ""
-                },
-                if spec.predicate.is_some() {
-                    ", filtered"
-                } else {
-                    ""
-                },
-            );
-            obs::global().emit(obs::EventKind::V2sPiece, |e| {
-                e.task = Some(partition as u64);
-                e.node = Some(connect_node as u64);
-                e.rows = rows;
-                e.bytes = bytes;
-                e.dur_us = piece_started.elapsed().as_micros() as u64;
-                e.detail = format!(
-                    "{} from {} ({pushdown}{})",
-                    match (spec.hash_range, spec.row_range) {
-                        (Some(_), _) => "hash range",
-                        (_, Some(_)) => "row range",
-                        _ => "full scan",
-                    },
-                    self.relation_table,
-                    if connect_node == node {
-                        ""
-                    } else {
-                        ", failover"
-                    },
-                );
-            });
-            if connect_node != node {
-                obs::global().add("failover.reads", 1);
-            }
-            obs::global().add("v2s.pieces", 1);
-            obs::global().add("v2s.rows", rows);
-            obs::global().add("v2s.bytes", bytes);
-            obs::global().record_time("v2s.piece_us", piece_started.elapsed());
-            Ok(result)
+            let ctx = Arc::clone(&ctx);
+            run_steered(
+                &self.tracker,
+                &self.cluster,
+                delay,
+                "v2s.piece",
+                &candidates,
+                attempt,
+                Arc::new(move |n| exec_piece(&ctx, n)),
+            )
         })
     }
 }
@@ -426,6 +611,10 @@ impl ScanRelation for DbRelation {
             resource_pool: self.resource_pool.clone(),
             retry: self.retry.clone(),
             failover: self.failover,
+            tracker: Arc::clone(&self.tracker),
+            deadline: self.deadline,
+            hedge: self.hedge,
+            hedge_delay: self.hedge_delay,
         };
         Ok(Rdd::from_source(ctx.clone(), Arc::new(source)))
     }
@@ -445,6 +634,10 @@ impl ScanRelation for DbRelation {
             resource_pool: self.resource_pool.clone(),
             retry: self.retry.clone(),
             failover: self.failover,
+            tracker: Arc::clone(&self.tracker),
+            deadline: self.deadline,
+            hedge: self.hedge,
+            hedge_delay: self.hedge_delay,
         };
         let counts = ctx.run_partitions(source.num_partitions(), |tc| {
             let mut total = 0u64;

@@ -15,6 +15,7 @@ fn setup() -> (SparkContext, Arc<Cluster>) {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, Arc::clone(&cluster));
     (ctx, cluster)
@@ -824,6 +825,7 @@ fn v2s_fails_over_to_buddy_replicas_under_k_safety() {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, Arc::clone(&cluster));
 

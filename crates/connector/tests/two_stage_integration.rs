@@ -16,6 +16,7 @@ fn setup() -> (SparkContext, Arc<Cluster>, Arc<DfsClusterSim>) {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     let dfs = DfsClusterSim::new(DfsConfig {
         nodes: 4,

@@ -14,7 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::catalog::{normalize, Catalog, TableDef};
 use crate::dfs::Dfs;
 use crate::error::{DbError, DbResult};
-use crate::fault::{FaultInjector, FaultSite};
+use crate::fault::{FaultInjector, FaultSite, LatencySite};
 use crate::resource::ResourcePool;
 use crate::segmentation::SegmentMap;
 use crate::session::Session;
@@ -75,6 +75,11 @@ pub(crate) struct NodeState {
 
 /// A multi-node MPP database running in-process.
 pub struct Cluster {
+    /// Process-unique id, distinguishing clusters that share a process
+    /// (every test builds its own). External per-cluster state — the
+    /// connector's health trackers — keys off this rather than the Arc
+    /// pointer, which the allocator may reuse.
+    id: u64,
     config: ClusterConfig,
     seg_map: SegmentMap,
     pub(crate) nodes: Vec<NodeState>,
@@ -111,7 +116,9 @@ impl Cluster {
             "general".to_string(),
             Arc::new(ResourcePool::new("general", 32 << 30, usize::MAX)),
         );
+        static NEXT_CLUSTER_ID: AtomicU64 = AtomicU64::new(1);
         Arc::new(Cluster {
+            id: NEXT_CLUSTER_ID.fetch_add(1, Ordering::Relaxed),
             config,
             seg_map,
             nodes,
@@ -130,6 +137,11 @@ impl Cluster {
 
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Process-unique cluster id.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     pub fn node_count(&self) -> usize {
@@ -165,6 +177,7 @@ impl Cluster {
         if self.faults.should_fire(FaultSite::Connect, node) {
             return Err(DbError::ConnectionRefused { node });
         }
+        self.faults.apply_latency(LatencySite::Connect, node);
         // Optimistic increment with bound check.
         let prev = state.open_sessions.fetch_add(1, Ordering::AcqRel);
         if prev >= self.config.max_client_sessions {
@@ -757,6 +770,13 @@ impl Cluster {
 
     pub fn resource_pool(&self, name: &str) -> Option<Arc<ResourcePool>> {
         self.pools.read().get(name).cloned()
+    }
+
+    /// All resource pools, sorted by name (for the system catalog).
+    pub fn resource_pools(&self) -> Vec<Arc<ResourcePool>> {
+        let mut pools: Vec<Arc<ResourcePool>> = self.pools.read().values().cloned().collect();
+        pools.sort_by(|a, b| a.name().cmp(b.name()));
+        pools
     }
 }
 

@@ -75,6 +75,9 @@ pub(crate) fn run_copy(
     options: &CopyOptions,
 ) -> DbResult<CopyResult> {
     let def = cluster.table_def(table)?;
+    cluster
+        .faults()
+        .apply_latency(crate::fault::LatencySite::Copy, node);
     let copy_started = std::time::Instant::now();
     let (format, input_bytes) = match &source {
         CopySource::Csv { text, .. } => ("csv", text.len() as u64),

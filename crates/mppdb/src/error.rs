@@ -45,6 +45,10 @@ pub enum DbError {
     BadEpoch { requested: u64, current: u64 },
     /// Not enough live nodes to serve a segment (exceeded k-safety).
     DataUnavailable { segment: usize },
+    /// Admission control shed the statement: the resource pool's queue
+    /// was full or the statement waited past the pool's queue timeout.
+    /// Transient by design — back off and retry.
+    Overloaded { pool: String },
 }
 
 impl fmt::Display for DbError {
@@ -92,6 +96,9 @@ impl fmt::Display for DbError {
                     f,
                     "segment {segment} unavailable: too many nodes down for k-safety"
                 )
+            }
+            DbError::Overloaded { pool } => {
+                write!(f, "statement shed by overloaded resource pool {pool}")
             }
         }
     }

@@ -52,7 +52,7 @@ pub use catalog::{Catalog, Segmentation, TableDef};
 pub use cluster::{Cluster, ClusterConfig};
 pub use copy::{CopyOptions, CopyResult, CopySource};
 pub use error::{DbError, DbResult};
-pub use fault::{FaultInjector, FaultPlan, FaultSite};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, LatencyProfile, LatencySite};
 pub use query::{QueryResult, QuerySpec};
 pub use segmentation::{HashRange, SegmentMap};
 pub use session::Session;

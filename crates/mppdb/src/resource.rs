@@ -5,11 +5,29 @@
 //! track memory budget and bound concurrent statement admissions; the
 //! benchmark harness reads the high-water marks when reporting resource
 //! usage.
+//!
+//! Pools built with [`ResourcePool::new`] queue without bound, the
+//! legacy Vertica-queues-rather-than-rejects behavior. Pools configured
+//! via [`ResourcePool::with_admission`] add *load shedding*: a bounded
+//! wait queue and a queue-time deadline. A statement that would overflow
+//! the queue, or that waits past the deadline, is shed with
+//! [`DbError::Overloaded`] — a typed, transient error the connector
+//! retries with backoff instead of piling more work onto a saturated
+//! node. Sheds are counted under `shed.*`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::error::{DbError, DbResult};
+
+#[derive(Debug, Default)]
+struct PoolState {
+    active: usize,
+    waiting: usize,
+}
 
 /// A named resource pool.
 #[derive(Debug)]
@@ -17,9 +35,14 @@ pub struct ResourcePool {
     name: String,
     memory_bytes: u64,
     max_concurrency: usize,
-    active: Mutex<usize>,
+    /// Statements allowed to wait for a slot; beyond this, shed.
+    max_queue: usize,
+    /// How long a queued statement may wait before it is shed.
+    queue_timeout: Option<Duration>,
+    state: Mutex<PoolState>,
     released: Condvar,
     high_water: AtomicUsize,
+    shed_total: AtomicU64,
 }
 
 impl ResourcePool {
@@ -28,10 +51,21 @@ impl ResourcePool {
             name: name.into(),
             memory_bytes,
             max_concurrency: max_concurrency.max(1),
-            active: Mutex::new(0),
+            max_queue: usize::MAX,
+            queue_timeout: None,
+            state: Mutex::new(PoolState::default()),
             released: Condvar::new(),
             high_water: AtomicUsize::new(0),
+            shed_total: AtomicU64::new(0),
         }
+    }
+
+    /// Bound the admission queue: at most `max_queue` statements may
+    /// wait for a slot, and none may wait longer than `queue_timeout`.
+    pub fn with_admission(mut self, max_queue: usize, queue_timeout: Duration) -> ResourcePool {
+        self.max_queue = max_queue;
+        self.queue_timeout = Some(queue_timeout);
+        self
     }
 
     pub fn name(&self) -> &str {
@@ -46,19 +80,57 @@ impl ResourcePool {
         self.max_concurrency
     }
 
-    /// Admit one statement, queueing while the pool is full (Vertica
-    /// queues rather than rejects). Returns a guard releasing the slot.
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+
+    pub fn queue_timeout(&self) -> Option<Duration> {
+        self.queue_timeout
+    }
+
+    /// Admit one statement, queueing while the pool is full. Panics if
+    /// a bounded pool sheds the statement — callers of bounded pools
+    /// must use [`ResourcePool::try_admit`] and handle
+    /// [`DbError::Overloaded`].
     pub fn admit(self: &Arc<Self>) -> PoolGuard {
-        let started = std::time::Instant::now();
-        let mut active = self.active.lock();
-        let queued = *active >= self.max_concurrency;
-        while *active >= self.max_concurrency {
-            self.released.wait(&mut active);
+        self.try_admit().expect("bounded pools require try_admit")
+    }
+
+    /// Admit one statement, queueing while the pool is full (Vertica
+    /// queues rather than rejects — up to this pool's admission
+    /// bounds). Returns a guard releasing the slot, or
+    /// [`DbError::Overloaded`] if the statement was shed.
+    pub fn try_admit(self: &Arc<Self>) -> DbResult<PoolGuard> {
+        let started = Instant::now();
+        let mut st = self.state.lock();
+        let queued = st.active >= self.max_concurrency;
+        if queued {
+            if st.waiting >= self.max_queue {
+                drop(st);
+                return Err(self.shed("queue full", "shed.queue_full", started));
+            }
+            st.waiting += 1;
+            let deadline = self.queue_timeout.map(|t| started + t);
+            while st.active >= self.max_concurrency {
+                match deadline {
+                    Some(d) => {
+                        if self.released.wait_until(&mut st, d).timed_out()
+                            && st.active >= self.max_concurrency
+                        {
+                            st.waiting -= 1;
+                            drop(st);
+                            return Err(self.shed("queue timeout", "shed.timeout", started));
+                        }
+                    }
+                    None => self.released.wait(&mut st),
+                }
+            }
+            st.waiting -= 1;
         }
-        *active += 1;
-        self.high_water.fetch_max(*active, Ordering::AcqRel);
-        let now_active = *active;
-        drop(active);
+        st.active += 1;
+        self.high_water.fetch_max(st.active, Ordering::AcqRel);
+        let now_active = st.active;
+        drop(st);
         let waited = started.elapsed();
         obs::global().emit(obs::EventKind::PoolAdmit, |e| {
             e.dur_us = waited.as_micros() as u64;
@@ -73,30 +145,55 @@ impl ResourcePool {
             obs::global().add("db.pool_queued", 1);
         }
         obs::global().record_time("db.pool_admit_wait_us", waited);
-        PoolGuard {
+        Ok(PoolGuard {
             pool: Arc::clone(self),
+        })
+    }
+
+    fn shed(&self, why: &str, counter: &'static str, started: Instant) -> DbError {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        let waited = started.elapsed();
+        obs::global().emit(obs::EventKind::PoolAdmit, |e| {
+            e.dur_us = waited.as_micros() as u64;
+            e.detail = format!("pool {} shed ({why})", self.name);
+        });
+        obs::global().incr(counter);
+        obs::global().incr("shed.total");
+        DbError::Overloaded {
+            pool: self.name.clone(),
         }
     }
 
     pub fn active(&self) -> usize {
-        *self.active.lock()
+        self.state.lock().active
+    }
+
+    /// Statements currently waiting in the admission queue.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().waiting
     }
 
     /// Highest concurrent admission count observed.
     pub fn high_water_mark(&self) -> usize {
         self.high_water.load(Ordering::Acquire)
     }
+
+    /// Statements shed by this pool since creation.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
 }
 
 /// RAII admission guard.
+#[derive(Debug)]
 pub struct PoolGuard {
     pool: Arc<ResourcePool>,
 }
 
 impl Drop for PoolGuard {
     fn drop(&mut self) {
-        let mut active = self.pool.active.lock();
-        *active -= 1;
+        let mut st = self.pool.state.lock();
+        st.active -= 1;
         self.pool.released.notify_one();
     }
 }
@@ -135,5 +232,55 @@ mod tests {
         });
         assert!(observed_max.load(Ordering::Acquire) <= 2);
         assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let pool = Arc::new(
+            ResourcePool::new("tiny", 1 << 20, 1).with_admission(0, Duration::from_secs(1)),
+        );
+        let g = pool.try_admit().expect("first admission fits");
+        let err = pool.try_admit().expect_err("queue of 0 sheds at once");
+        assert_eq!(
+            err,
+            DbError::Overloaded {
+                pool: "tiny".into()
+            }
+        );
+        assert_eq!(pool.shed_count(), 1);
+        drop(g);
+        // Slot free again: admission succeeds.
+        assert!(pool.try_admit().is_ok());
+    }
+
+    #[test]
+    fn queue_timeout_sheds_after_deadline() {
+        let pool = Arc::new(
+            ResourcePool::new("slowq", 1 << 20, 1).with_admission(4, Duration::from_millis(10)),
+        );
+        let _g = pool.try_admit().expect("first admission fits");
+        let started = Instant::now();
+        let err = pool.try_admit().expect_err("waiter times out");
+        assert!(matches!(err, DbError::Overloaded { .. }));
+        assert!(
+            started.elapsed() >= Duration::from_millis(9),
+            "shed only after the queue deadline"
+        );
+        assert_eq!(pool.waiting(), 0, "shed waiter leaves the queue");
+    }
+
+    #[test]
+    fn queued_waiter_admitted_when_slot_frees() {
+        let pool =
+            Arc::new(ResourcePool::new("q", 1 << 20, 1).with_admission(4, Duration::from_secs(5)));
+        let g = pool.try_admit().expect("first admission fits");
+        std::thread::scope(|s| {
+            let p2 = Arc::clone(&pool);
+            let h = s.spawn(move || p2.try_admit().map(drop).is_ok());
+            std::thread::sleep(Duration::from_millis(5));
+            drop(g);
+            assert!(h.join().unwrap(), "waiter admitted once the slot frees");
+        });
+        assert_eq!(pool.shed_count(), 0);
     }
 }

@@ -218,7 +218,13 @@ impl Session {
 
     fn query_inner(&mut self, spec: &QuerySpec, want_batch: bool) -> DbResult<QueryResult> {
         self.ensure_connected()?;
-        let _admission = self.cluster.resource_pool(&self.pool).map(|p| p.admit());
+        let _admission = match self.cluster.resource_pool(&self.pool) {
+            Some(pool) => Some(pool.try_admit()?),
+            None => None,
+        };
+        self.cluster
+            .faults()
+            .apply_latency(crate::fault::LatencySite::Scan, self.node);
         // System tables are read-only catalog views.
         if let Some((schema, rows)) = crate::system::scan_system_table(&self.cluster, &spec.table) {
             if spec.hash_range.is_some() {

@@ -11,6 +11,8 @@
 //!   its boundaries (hex, since the ring is the full 64-bit space),
 //! * `v_tables` — catalog objects with their segmentation,
 //! * `v_nodes` — node liveness and open session counts,
+//! * `v_resource_pools` — admission-control pools: concurrency bound,
+//!   live/queued statement counts, and shed totals,
 //! * `dc_events` — the structured event log from the process-wide
 //!   data collector (task launches, transactions, COPY loads, S2V
 //!   phases, ...), one row per event in sequence order,
@@ -47,6 +49,10 @@ static DEFS: &[SystemTableDef] = &[
         scan: scan_nodes,
     },
     SystemTableDef {
+        name: "v_resource_pools",
+        scan: scan_resource_pools,
+    },
+    SystemTableDef {
         name: "dc_events",
         scan: scan_dc_events,
     },
@@ -61,6 +67,7 @@ pub const SYSTEM_TABLES: &[&str] = &[
     "v_segments",
     "v_tables",
     "v_nodes",
+    "v_resource_pools",
     "dc_events",
     "dc_counters",
 ];
@@ -142,6 +149,43 @@ fn scan_nodes(cluster: &Cluster) -> (Schema, Vec<Row>) {
                 Value::Int64(n as i64),
                 Value::Boolean(cluster.is_node_up(n)),
                 Value::Int64(cluster.open_sessions(n) as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_resource_pools(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("pool_name", DataType::Varchar),
+        ("memory_bytes", DataType::Int64),
+        ("max_concurrency", DataType::Int64),
+        ("max_queue", DataType::Int64),
+        ("queue_timeout_ms", DataType::Int64),
+        ("active", DataType::Int64),
+        ("waiting", DataType::Int64),
+        ("high_water", DataType::Int64),
+        ("shed_total", DataType::Int64),
+    ]);
+    // Effectively-unbounded limits render as i64::MAX rather than
+    // wrapping negative.
+    let clamp = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
+    let rows = cluster
+        .resource_pools()
+        .into_iter()
+        .map(|p| {
+            Row::new(vec![
+                Value::Varchar(p.name().to_string()),
+                Value::Int64(i64::try_from(p.memory_bytes()).unwrap_or(i64::MAX)),
+                Value::Int64(clamp(p.max_concurrency())),
+                Value::Int64(clamp(p.max_queue())),
+                p.queue_timeout()
+                    .map(|t| Value::Int64(i64::try_from(t.as_millis()).unwrap_or(i64::MAX)))
+                    .unwrap_or(Value::Null),
+                Value::Int64(p.active() as i64),
+                Value::Int64(p.waiting() as i64),
+                Value::Int64(p.high_water_mark() as i64),
+                Value::Int64(i64::try_from(p.shed_count()).unwrap_or(i64::MAX)),
             ])
         })
         .collect();
@@ -242,6 +286,23 @@ mod tests {
                 "{name} is advertised but does not scan"
             );
         }
+    }
+
+    #[test]
+    fn resource_pools_table_lists_general_pool() {
+        let cluster = Cluster::new(ClusterConfig::default());
+        let (schema, rows) = scan_system_table(&cluster, "v_resource_pools").unwrap();
+        assert_eq!(schema.fields()[0].name, "pool_name");
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.values().first(), Some(Value::Varchar(n)) if n == "general")));
+        // The general pool is unbounded: limits clamp instead of wrap.
+        let general = rows
+            .iter()
+            .find(|r| matches!(r.values().first(), Some(Value::Varchar(n)) if n == "general"))
+            .unwrap();
+        assert_eq!(general.values()[2], Value::Int64(i64::MAX));
+        assert_eq!(general.values()[4], Value::Null);
     }
 
     #[test]

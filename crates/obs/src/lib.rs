@@ -63,6 +63,11 @@ pub enum EventKind {
     S2vPhase,
     V2sPiece,
     MdScore,
+    /// A hedged read launched its buddy-node attempt.
+    Hedge,
+    /// A per-node circuit breaker changed state (opened, half-opened,
+    /// or closed).
+    BreakerTrip,
 }
 
 impl EventKind {
@@ -86,6 +91,8 @@ impl EventKind {
             EventKind::S2vPhase => "s2v_phase",
             EventKind::V2sPiece => "v2s_piece",
             EventKind::MdScore => "md_score",
+            EventKind::Hedge => "hedge",
+            EventKind::BreakerTrip => "breaker_trip",
         }
     }
 }

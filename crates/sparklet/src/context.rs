@@ -26,6 +26,19 @@ pub struct SparkConf {
     /// Cap on real OS threads per job (logical slots can exceed this;
     /// the timing simulator uses the logical number).
     pub thread_cap: usize,
+    /// Launch speculative duplicates of straggler tasks (Spark's
+    /// `spark.speculation`): a grey-slow attempt gets a second copy and
+    /// the first finisher wins.
+    pub speculation: bool,
+    /// A running task is a straggler once its runtime exceeds
+    /// `multiplier` × the median runtime of completed attempts.
+    pub speculation_multiplier: f64,
+    /// Fraction of a job's partitions that must succeed before
+    /// stragglers are considered (Spark's `spark.speculation.quantile`).
+    pub speculation_quantile: f64,
+    /// Runtime floor (ms) below which nothing is speculated — keeps
+    /// µs-scale clean runs free of spurious duplicates.
+    pub speculation_min_ms: u64,
 }
 
 impl Default for SparkConf {
@@ -35,6 +48,10 @@ impl Default for SparkConf {
             cores_per_node: 24,
             max_task_attempts: 4,
             thread_cap: 16,
+            speculation: true,
+            speculation_multiplier: 3.0,
+            speculation_quantile: 0.5,
+            speculation_min_ms: 25,
         }
     }
 }
@@ -73,6 +90,10 @@ impl SparkContext {
             total_slots: conf.total_slots(),
             max_task_attempts: conf.max_task_attempts,
             thread_cap: conf.thread_cap,
+            speculation: conf.speculation,
+            speculation_multiplier: conf.speculation_multiplier,
+            speculation_quantile: conf.speculation_quantile,
+            speculation_min_ms: conf.speculation_min_ms,
         });
         SparkContext {
             inner: Arc::new(Inner {

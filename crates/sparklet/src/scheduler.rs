@@ -8,7 +8,7 @@
 //! about MapReduce-class schedulers holds by construction.
 
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -38,7 +38,14 @@ pub(crate) struct SchedulerConf {
     pub max_task_attempts: u32,
     /// Upper bound on real worker threads per job.
     pub thread_cap: usize,
+    pub speculation: bool,
+    pub speculation_multiplier: f64,
+    pub speculation_quantile: f64,
+    pub speculation_min_ms: u64,
 }
+
+/// How often an idle worker re-checks running tasks for stragglers.
+const SPECULATION_POLL: Duration = Duration::from_millis(2);
 
 struct JobState<R> {
     queue: VecDeque<(usize, u32, bool, Instant)>, // (partition, attempt, speculative, enqueued)
@@ -47,6 +54,12 @@ struct JobState<R> {
     completions: u64,
     attempts_launched: Vec<u32>,
     live: Vec<u32>,
+    /// Successful attempt runtimes (µs) — the straggler baseline.
+    durations_us: Vec<u64>,
+    /// Launch times of in-flight attempts, keyed by (partition, attempt).
+    running: HashMap<(usize, u32), Instant>,
+    /// Partitions already given a straggler copy (one per partition).
+    speculated: Vec<bool>,
     fatal: Option<SparkError>,
     killed: bool,
     kill_after: Option<u64>,
@@ -159,6 +172,9 @@ impl Scheduler {
             completions: 0,
             attempts_launched,
             live,
+            durations_us: Vec::new(),
+            running: HashMap::new(),
+            speculated: vec![false; partitions],
             fatal: None,
             killed: false,
             kill_after: failures.take_kill_after(),
@@ -211,6 +227,54 @@ impl Scheduler {
         results.ok_or_else(|| SparkError::Usage("job ended with missing partitions".into()))
     }
 
+    /// Straggler detection from observed latencies: once the quantile
+    /// of partitions has succeeded, any in-flight attempt running past
+    /// `multiplier` × the median completed runtime (floored at
+    /// `speculation_min_ms`) gets one speculative duplicate. The copy
+    /// races the original; the first finisher wins, exactly like a
+    /// scripted speculative task.
+    fn maybe_speculate<R>(&self, job_id: u64, partitions: usize, st: &mut JobState<R>) {
+        if !self.conf.speculation || st.killed || st.durations_us.is_empty() {
+            return;
+        }
+        if (st.succeeded as f64) < self.conf.speculation_quantile * partitions as f64 {
+            return;
+        }
+        let mut sorted = st.durations_us.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let threshold_us = (median as f64 * self.conf.speculation_multiplier)
+            .max(self.conf.speculation_min_ms as f64 * 1000.0) as u64;
+        let stragglers: Vec<usize> = st
+            .running
+            .iter()
+            .filter(|((p, _), started)| {
+                !st.speculated[*p]
+                    && st.results[*p].is_none()
+                    && started.elapsed().as_micros() as u64 > threshold_us
+            })
+            .map(|((p, _), _)| *p)
+            .collect();
+        for p in stragglers {
+            if st.attempts_launched[p] >= self.conf.max_task_attempts || st.speculated[p] {
+                continue;
+            }
+            let next = st.attempts_launched[p] + 1;
+            st.attempts_launched[p] = next;
+            st.live[p] += 1;
+            st.speculated[p] = true;
+            st.speculative += 1;
+            st.queue.push_back((p, next, true, Instant::now()));
+            obs::global().emit(obs::EventKind::TaskSpeculative, |e| {
+                e.job = Some(job_label(job_id));
+                e.task = Some(p as u64);
+                e.detail = format!("straggler past {threshold_us}us, attempt {next}");
+            });
+            obs::global().incr("sched.speculative_tasks");
+            obs::global().incr("sched.stragglers_detected");
+        }
+    }
+
     fn worker_loop<R: Send>(
         &self,
         partitions: usize,
@@ -231,6 +295,7 @@ impl Scheduler {
                     if let Some(a) = st.queue.pop_front() {
                         st.outstanding += 1;
                         st.launches += 1;
+                        st.running.insert((a.0, a.1), Instant::now());
                         break a;
                     }
                     if st.outstanding == 0 {
@@ -244,7 +309,15 @@ impl Scheduler {
                         wakeup.notify_all();
                         return;
                     }
-                    wakeup.wait(&mut st);
+                    // An idle worker doubles as the straggler watchdog:
+                    // wake periodically and compare in-flight runtimes
+                    // against the completed-task median.
+                    if wakeup
+                        .wait_until(&mut st, Instant::now() + SPECULATION_POLL)
+                        .timed_out()
+                    {
+                        self.maybe_speculate(job_id, partitions, &mut st);
+                    }
                 }
             };
 
@@ -320,6 +393,7 @@ impl Scheduler {
             st.outstanding -= 1;
             st.live[partition] -= 1;
             st.completions += 1;
+            st.running.remove(&(partition, attempt_no));
             if let Some(kill_at) = st.kill_after {
                 if st.completions >= kill_at && !st.killed {
                     st.killed = true;
@@ -335,6 +409,7 @@ impl Scheduler {
             }
             match outcome {
                 Ok(r) => {
+                    st.durations_us.push(run_time.as_micros() as u64);
                     if st.results[partition].is_none() {
                         st.results[partition] = Some(r);
                         st.succeeded += 1;
@@ -399,6 +474,10 @@ mod tests {
             total_slots: slots,
             max_task_attempts: 4,
             thread_cap: 16,
+            speculation: true,
+            speculation_multiplier: 3.0,
+            speculation_quantile: 0.5,
+            speculation_min_ms: 25,
         })
     }
 
@@ -512,6 +591,39 @@ mod tests {
             .run_job(0, &failures, &|_ctx: &TaskContext| Ok(()))
             .unwrap();
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn straggler_speculation_launches_duplicate() {
+        let s = Scheduler::new(SchedulerConf {
+            nodes: 4,
+            total_slots: 8,
+            max_task_attempts: 4,
+            thread_cap: 16,
+            speculation: true,
+            speculation_multiplier: 3.0,
+            speculation_quantile: 0.5,
+            speculation_min_ms: 10,
+        });
+        let failures = FailureInjector::new();
+        // Partition 3's first attempt is a grey straggler: alive but
+        // ~80ms slow while everyone else is instant. The watchdog
+        // should launch a duplicate, and the duplicate (attempt 2,
+        // fast) wins.
+        let results = s
+            .run_job(4, &failures, &|ctx: &TaskContext| {
+                if ctx.partition == 3 && ctx.attempt == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(80));
+                }
+                Ok(ctx.partition)
+            })
+            .unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3]);
+        let stats = s.stats.lock().values().copied().next().unwrap();
+        assert!(
+            stats.speculative >= 1,
+            "straggler should trigger speculation, stats: {stats:?}"
+        );
     }
 
     #[test]

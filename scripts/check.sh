@@ -9,6 +9,9 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "== cargo build --workspace --all-features"
+cargo build --workspace --all-features -q
+
 echo "== cargo test -q"
 cargo test -q
 
@@ -16,6 +19,11 @@ cargo test -q
 # explicitly so a filtered test run cannot silently skip them.
 echo "== cargo test -q --test chaos"
 cargo test -q --test chaos
+
+# Same for the grey-failure defenses: breaker state machine, admission
+# shedding, deadline fast-fail, and counter surfacing.
+echo "== cargo test -q --test resilience"
+cargo test -q --test resilience
 
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run -q

@@ -24,8 +24,10 @@ use rand::{RngExt, SeedableRng};
 use vertica_spark_fabric::prelude::*;
 use vertica_spark_fabric::{connector, mppdb, obs};
 
+use std::time::Duration;
+
 use connector::{ConnectorError, ConnectorOptions};
-use mppdb::{FaultPlan, FaultSite};
+use mppdb::{FaultPlan, FaultSite, LatencyProfile};
 
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -43,6 +45,7 @@ fn setup(k_safety: usize) -> (SparkContext, std::sync::Arc<mppdb::Cluster>) {
         cores_per_node: 4,
         max_task_attempts: 6,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, db.clone());
     (ctx, db)
@@ -174,6 +177,198 @@ fn chaos_fifty_seeded_schedules_are_exactly_once() {
     }
 }
 
+/// One grey-failure schedule: every node gets a nominal per-site
+/// service time, one node is made 10–60× slower than nominal (alive but
+/// sick — the failure detector never fires), and some schedules mix in
+/// fail-stop chaos on top: seeded stalls, connection refusals, mid-COPY
+/// crashes, or a *different* node killed outright. An S2V save and a
+/// hedged V2S read-back must still be exactly-once.
+fn run_slow_schedule(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (ctx, db) = setup(1);
+    let n_rows = rng.random_range(40usize..160);
+    let partitions = rng.random_range(2usize..8);
+    let df = make_df(&ctx, n_rows, partitions);
+
+    let slow_node = rng.random_range(0usize..db.node_count());
+    let factor = rng.random_range(10.0..60.0);
+    db.faults()
+        .set_latency_profile(LatencyProfile::uniform(Duration::from_micros(
+            rng.random_range(100u64..300),
+        )));
+    db.faults().slow_node(slow_node, factor);
+
+    let killed = if rng.random_bool(0.25) {
+        let offset = rng.random_range(1usize..db.node_count());
+        let n = (slow_node + offset) % db.node_count();
+        db.kill_node(n);
+        Some(n)
+    } else {
+        None
+    };
+    db.faults().arm(
+        FaultPlan::seeded(seed)
+            .with_refuse_connect(if rng.random_bool(0.5) { 0.1 } else { 0.0 })
+            .with_mid_copy_crash(if rng.random_bool(0.4) { 0.1 } else { 0.0 })
+            .with_stall_connect(if rng.random_bool(0.5) { 0.2 } else { 0.0 })
+            .with_stall_scan(if rng.random_bool(0.5) { 0.2 } else { 0.0 })
+            .with_budget(rng.random_range(1u64..5)),
+    );
+
+    let before = obs::global().snapshot();
+    let job = format!("slow_{seed}");
+    let opts = ConnectorOptions::builder("slow_tgt")
+        .num_partitions(partitions)
+        .job_name(&job)
+        .retry_max_attempts(10)
+        .retry_deadline_ms(60_000)
+        .deadline_ms(60_000)
+        .build()
+        .unwrap();
+    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite)
+        .unwrap_or_else(|e| panic!("seed {seed}: save failed under grey chaos: {e}"));
+    assert_eq!(
+        report.rows_loaded, n_rows as u64,
+        "seed {seed}: reported load count"
+    );
+
+    // V2S read-back with hedging on: the slow node's pieces may hedge
+    // onto buddies, but the snapshot is still complete.
+    let loaded = ctx
+        .read()
+        .format(DEFAULT_SOURCE)
+        .option("table", "slow_tgt")
+        .option("numPartitions", 4)
+        .option("retry_max_attempts", 10)
+        .option("retry_deadline_ms", 60_000)
+        .option("deadline_ms", 60_000)
+        .option("hedge", true)
+        .option("hedge_delay_ms", 8)
+        .load()
+        .unwrap_or_else(|e| panic!("seed {seed}: V2S open failed: {e}"));
+    assert_eq!(
+        loaded.count().unwrap(),
+        n_rows as u64,
+        "seed {seed}: V2S count under grey chaos"
+    );
+
+    // Hedging must never duplicate S2V commits: writes are single-
+    // flight, so the phase-5 witness stays ≤ 1 and the commit counter
+    // moves at most once for this job.
+    let snap = obs::global().snapshot();
+    let witnesses = snap
+        .events_of(obs::EventKind::S2vPhase)
+        .filter(|e| {
+            e.job.as_deref() == Some(job.as_str()) && e.detail.contains("phase 5 final commit")
+        })
+        .count();
+    assert!(
+        witnesses <= 1,
+        "seed {seed}: final commit witnessed {witnesses} times"
+    );
+    let delta = snap.counters_since(&before);
+    assert!(
+        delta.get("s2v.final_commits").copied().unwrap_or(0) <= 1,
+        "seed {seed}: hedging duplicated a commit: {delta:?}"
+    );
+
+    db.faults().disarm();
+    if let Some(n) = killed {
+        db.restore_node(n);
+    }
+
+    // Exactly-once, slow node and all: exact id multiset, checked on
+    // the quiesced cluster.
+    let expected: Vec<i64> = (0..n_rows as i64).collect();
+    assert_eq!(table_ids(&db, "slow_tgt"), expected, "seed {seed}: ids");
+
+    // Abandoned hedge losers may still be sleeping out the slow node's
+    // delay; give them a beat so they don't bleed into the next seed.
+    std::thread::sleep(Duration::from_millis(30));
+}
+
+#[test]
+fn chaos_twenty_slow_node_schedules_are_exactly_once() {
+    let _g = lock();
+    for seed in 3000..3020 {
+        run_slow_schedule(seed);
+    }
+}
+
+/// The acceptance bar for grey-failure resilience: with one node slowed
+/// 50×, hedged buddy reads keep the summed V2S piece time within 3× of
+/// a clean-run baseline — compared via the `v2s.piece_us` timer, not
+/// wall clock — while the clean baseline itself records zero hedges,
+/// zero sheds, and zero breaker opens.
+#[test]
+fn slow_node_hedged_v2s_within_3x_clean_baseline() {
+    let _g = lock();
+    let (ctx, db) = setup(1);
+    let df = make_df(&ctx, 400, 8);
+    let opts = ConnectorOptions::builder("hedge_tgt")
+        .num_partitions(8)
+        .build()
+        .unwrap();
+    connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+
+    // Nominal scan service time so clean and slowed runs are measured
+    // under the same cost model (factor-1.0 delays are not faults).
+    db.faults().set_latency_profile(LatencyProfile {
+        scan: Duration::from_millis(5),
+        ..LatencyProfile::default()
+    });
+    let read = || {
+        ctx.read()
+            .format(DEFAULT_SOURCE)
+            .option("table", "hedge_tgt")
+            .option("numPartitions", 8)
+            .option("hedge", true)
+            .option("hedge_delay_ms", 15)
+            .load()
+            .unwrap()
+            .count()
+            .unwrap()
+    };
+    let piece_us = |snap: &obs::Snapshot| snap.timers.get("v2s.piece_us").map_or(0, |t| t.sum_us);
+
+    // Clean baseline: every node at nominal speed.
+    let before_clean = obs::global().snapshot();
+    assert_eq!(read(), 400);
+    let after_clean = obs::global().snapshot();
+    let clean_us = piece_us(&after_clean) - piece_us(&before_clean);
+    let clean_delta = after_clean.counters_since(&before_clean);
+    for key in ["hedge.launched", "hedge.wins", "shed.total", "breaker.open"] {
+        assert_eq!(
+            clean_delta.get(key).copied().unwrap_or(0),
+            0,
+            "{key} must stay zero on the clean baseline: {clean_delta:?}"
+        );
+    }
+    assert!(clean_us > 0, "baseline must observe the nominal scan cost");
+
+    // Grey failure: one node 50× slower (250ms per scan). Hedged buddy
+    // reads should absorb it.
+    db.faults().slow_node(1, 50.0);
+    let before_slow = obs::global().snapshot();
+    assert_eq!(read(), 400);
+    let after_slow = obs::global().snapshot();
+    let slow_us = piece_us(&after_slow) - piece_us(&before_slow);
+    let slow_delta = after_slow.counters_since(&before_slow);
+    assert!(
+        slow_delta.get("hedge.wins").copied().unwrap_or(0) >= 1,
+        "the slowed node's pieces must be won by hedges: {slow_delta:?}"
+    );
+    assert!(
+        slow_us <= clean_us * 3,
+        "hedged read must stay within 3x of clean baseline: \
+         slow {slow_us}us vs clean {clean_us}us"
+    );
+
+    db.faults().disarm();
+    // Drain abandoned hedge losers still sleeping out the 250ms scans.
+    std::thread::sleep(Duration::from_millis(400));
+}
+
 /// The long-haul sweep: hundreds more schedules. Gated behind the
 /// `chaos-long` feature so the default test run stays fast.
 #[test]
@@ -220,6 +415,12 @@ fn clean_run_performs_zero_retries() {
         "failover.connects",
         "failover.reads",
         "fault.injected",
+        "hedge.launched",
+        "hedge.wins",
+        "shed.queue_full",
+        "shed.timeout",
+        "breaker.open",
+        "deadline.expired",
     ] {
         assert_eq!(
             delta.get(key).copied().unwrap_or(0),

@@ -11,6 +11,7 @@ fn setup() -> (SparkContext, std::sync::Arc<mppdb::Cluster>) {
         cores_per_node: 4,
         max_task_attempts: 6,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, db.clone());
     (ctx, db)

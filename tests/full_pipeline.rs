@@ -14,6 +14,7 @@ fn full_analytics_loop() {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, db.clone());
 
@@ -108,6 +109,7 @@ fn fabric_moves_data_between_storage_systems() {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, db.clone());
     let dfs = dfslite::DfsClusterSim::new(dfslite::DfsConfig {

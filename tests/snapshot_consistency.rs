@@ -19,6 +19,7 @@ fn v2s_sees_whole_batches_despite_concurrent_commits() {
         cores_per_node: 4,
         max_task_attempts: 4,
         thread_cap: 8,
+        ..SparkConf::default()
     });
     DefaultSource::register(&ctx, db.clone());
     {
