@@ -60,20 +60,21 @@ impl ConnectorError {
     /// schema errors, rejected data, usage mistakes, protocol
     /// violations, exhausted budgets — is fatal: retrying replays the
     /// same failure.
+    /// The match is exhaustive on purpose (no `_` arm): `fabriclint`
+    /// checks that every variant is classified here, and the compiler
+    /// forces a decision when a variant is added. Database errors
+    /// delegate to [`DbError::is_transient`] so the two layers cannot
+    /// drift apart.
     pub fn is_transient(&self) -> bool {
         match self {
-            ConnectorError::Db { source, .. } => matches!(
-                source,
-                DbError::NodeUnavailable(_)
-                    | DbError::ConnectionRefused { .. }
-                    | DbError::ConnectionLost { .. }
-                    | DbError::TooManySessions { .. }
-                    | DbError::LockTimeout { .. }
-                    | DbError::DataUnavailable { .. }
-                    | DbError::Overloaded { .. }
-            ),
+            ConnectorError::Db { source, .. } => source.is_transient(),
             ConnectorError::NoLiveNodes => true,
-            _ => false,
+            ConnectorError::Usage(_)
+            | ConnectorError::Engine(_)
+            | ConnectorError::Tolerance { .. }
+            | ConnectorError::Protocol(_)
+            | ConnectorError::RetriesExhausted { .. }
+            | ConnectorError::DeadlineExceeded { .. } => false,
         }
     }
 }

@@ -306,7 +306,7 @@ impl HealthTracker {
                     obs::global().incr("breaker.half_open");
                     true
                 } else {
-                    obs::global().incr("breaker.rejected");
+                    obs::global().incr(obs::names::BREAKER_REJECTED);
                     false
                 }
             }
@@ -315,7 +315,7 @@ impl HealthTracker {
                     nh.probes_left -= 1;
                     true
                 } else {
-                    obs::global().incr("breaker.rejected");
+                    obs::global().incr(obs::names::BREAKER_REJECTED);
                     false
                 }
             }

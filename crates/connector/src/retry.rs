@@ -106,8 +106,8 @@ pub fn with_retry_deadline<T>(
     loop {
         if let Some(d) = overall {
             if d.expired() {
-                obs::global().incr("retry.gave_up");
-                obs::global().incr("deadline.expired");
+                obs::global().incr(obs::names::RETRY_GAVE_UP);
+                obs::global().incr(obs::names::DEADLINE_EXPIRED);
                 return Err(ConnectorError::DeadlineExceeded {
                     op,
                     attempts: attempt - 1,
@@ -126,7 +126,7 @@ pub fn with_retry_deadline<T>(
             Err(e) if !e.is_transient() => return Err(e),
             Err(e) => {
                 if attempt >= policy.max_attempts {
-                    obs::global().incr("retry.gave_up");
+                    obs::global().incr(obs::names::RETRY_GAVE_UP);
                     return Err(ConnectorError::RetriesExhausted {
                         op,
                         attempts: attempt,
@@ -143,9 +143,9 @@ pub fn with_retry_deadline<T>(
                 };
                 let attempt_overran = attempt_started.elapsed() > policy.attempt_timeout;
                 if backoff >= remaining || attempt_overran {
-                    obs::global().incr("retry.gave_up");
+                    obs::global().incr(obs::names::RETRY_GAVE_UP);
                     if overall.map(|d| backoff >= d.remaining()).unwrap_or(false) {
-                        obs::global().incr("deadline.expired");
+                        obs::global().incr(obs::names::DEADLINE_EXPIRED);
                     }
                     return Err(ConnectorError::DeadlineExceeded {
                         op,
@@ -304,7 +304,7 @@ impl RetryConn {
                 return Err(last.unwrap_or(ConnectorError::NoLiveNodes));
             }
         }
-        Ok(self.session.as_mut().unwrap())
+        self.session.as_mut().ok_or(ConnectorError::NoLiveNodes)
     }
 
     /// Run `f` against a live session under the retry policy. On a

@@ -49,6 +49,8 @@ use mppdb::{Cluster, CopyOptions, CopySource, DbError, DbResult, QuerySpec, Sess
 use netsim::record::{NetClass, NodeRef};
 use sparklet::{DataFrame, SaveMode, SparkContext, SparkError};
 
+use obs::names;
+
 use crate::error::{ConnectorError, ConnectorResult};
 use crate::health::{tracker_for, Deadline, HealthTracker};
 use crate::options::ConnectorOptions;
@@ -91,15 +93,6 @@ impl PhaseAcc {
         [0, 1, 2, 3, 4].map(|i| self.phase_us[i].load(Ordering::Relaxed))
     }
 }
-
-/// Per-phase timer names in the data collector.
-const PHASE_TIMERS: [&str; 5] = [
-    "s2v.phase1_us",
-    "s2v.phase2_us",
-    "s2v.phase3_us",
-    "s2v.phase4_us",
-    "s2v.phase5_us",
-];
 
 /// Job-name uniquifier for auto-derived names.
 static JOB_SEQ: AtomicU64 = AtomicU64::new(1);
@@ -190,7 +183,7 @@ pub fn save_to_db(
     if exists {
         let def = cluster
             .table_def(&target)
-            .map_err(|e| ConnectorError::db("s2v.setup", e))?;
+            .map_err(|e| ConnectorError::db(names::S2V_SETUP, e))?;
         if !def.schema.compatible_with(df.schema()) {
             return Err(ConnectorError::Usage(format!(
                 "DataFrame schema {} incompatible with target table {}",
@@ -202,9 +195,9 @@ pub fn save_to_db(
         cluster
             .create_table(
                 TableDef::new(&target, df.schema().clone(), Segmentation::ByHash(vec![]))
-                    .map_err(|e| ConnectorError::db("s2v.setup", e))?,
+                    .map_err(|e| ConnectorError::db(names::S2V_SETUP, e))?,
             )
-            .map_err(|e| ConnectorError::db("s2v.setup", e))?;
+            .map_err(|e| ConnectorError::db(names::S2V_SETUP, e))?;
     }
 
     // Decide the parallelism (a coalesce when reducing, per Sec. 3.2).
@@ -224,7 +217,7 @@ pub fn save_to_db(
     };
     let target_def = cluster
         .table_def(&target)
-        .map_err(|e| ConnectorError::db("s2v.setup", e))?;
+        .map_err(|e| ConnectorError::db(names::S2V_SETUP, e))?;
 
     // Sec. 5 future-work optimization: pre-hash the DataFrame to the
     // target's segmentation so partition `p` holds exactly the rows
@@ -243,16 +236,16 @@ pub fn save_to_db(
                     target_def.schema.clone(),
                     target_def.segmentation.clone(),
                 )
-                .map_err(|e| ConnectorError::db("s2v.setup", e))?
+                .map_err(|e| ConnectorError::db(names::S2V_SETUP, e))?
                 .temp(),
             )
-            .map_err(|e| ConnectorError::db("s2v.setup", e))?;
+            .map_err(|e| ConnectorError::db(names::S2V_SETUP, e))?;
     }
     // The setup DDL/DML is guarded by existence checks, so a retry after
     // a commit-then-lost-ack replays as a no-op instead of "table
     // exists" / duplicate status rows.
-    driver.run("s2v.setup", |session| {
-        let db = |e: DbError| ConnectorError::db("s2v.setup", e);
+    driver.run(names::S2V_SETUP, |session| {
+        let db = |e: DbError| ConnectorError::db(names::S2V_SETUP, e);
         if !session.cluster().has_table(&tables.status) {
             session
                 .execute(&format!(
@@ -401,8 +394,8 @@ pub fn save_to_db(
     // status table, which is the ground truth.
     let (committer_task, rows_loaded, rows_rejected) = match committed {
         Some(c) => c,
-        None => driver.run("s2v.finalize", |session| {
-            let db = |e: DbError| ConnectorError::db("s2v.finalize", e);
+        None => driver.run(names::S2V_FINALIZE, |session| {
+            let db = |e: DbError| ConnectorError::db(names::S2V_FINALIZE, e);
             let status = session
                 .execute(&format!(
                     "SELECT status FROM {FINAL_STATUS_TABLE} WHERE job_name = '{job_name}'"
@@ -442,16 +435,16 @@ pub fn save_to_db(
     };
 
     // Harvest the rejected-row samples before the temp tables go away.
-    let rejected_samples = driver.run("s2v.finalize", |session| {
+    let rejected_samples = driver.run(names::S2V_FINALIZE, |session| {
         let sample_rows = session
             .execute(&format!(
                 "SELECT task_id, reject_sample FROM {} WHERE rows_rejected > 0 \
                  ORDER BY task_id",
                 tables.status
             ))
-            .map_err(|e| ConnectorError::db("s2v.finalize", e))?
+            .map_err(|e| ConnectorError::db(names::S2V_FINALIZE, e))?
             .rows()
-            .map_err(|e| ConnectorError::db("s2v.finalize", e))?;
+            .map_err(|e| ConnectorError::db(names::S2V_FINALIZE, e))?;
         Ok(sample_rows
             .rows
             .iter()
@@ -619,7 +612,7 @@ fn run_task_phases(
             e.dur_us = dur.as_micros() as u64;
             e.detail = detail;
         });
-        obs::global().record_time(PHASE_TIMERS[phase - 1], dur);
+        obs::global().record_time(names::S2V_PHASE_TIMERS[phase - 1], dur);
         acc.record(phase, dur);
     };
 

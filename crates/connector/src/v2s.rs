@@ -32,6 +32,7 @@ use common::{Row, Schema};
 use mppdb::segmentation::{HashRange, SegmentMap};
 use mppdb::{Cluster, QuerySpec};
 use netsim::record::{NetClass, NodeRef};
+use obs::names;
 use sparklet::rdd::PartitionSource;
 use sparklet::{Rdd, ScanRelation, SparkContext, SparkError, SparkResult};
 
@@ -122,7 +123,7 @@ impl DbRelation {
         // health steering and hedging as data pieces.
         let candidates = catalog_candidates(&cluster, host, opts.failover);
         let spec = QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch);
-        let probe = with_retry_deadline(&opts.retry, deadline, "v2s.open", |attempt| {
+        let probe = with_retry_deadline(&opts.retry, deadline, names::V2S_OPEN, |attempt| {
             let delay = if opts.hedge {
                 tracker.hedge_delay(opts.hedge_delay)
             } else {
@@ -132,10 +133,10 @@ impl DbRelation {
                 &tracker,
                 &cluster,
                 delay,
-                "v2s.open",
+                names::V2S_OPEN,
                 &candidates,
                 attempt,
-                catalog_exec(&cluster, "v2s.open", spec.clone()),
+                catalog_exec(&cluster, names::V2S_OPEN, spec.clone()),
             )
         })?;
         Ok(DbRelation {
@@ -178,7 +179,7 @@ impl DbRelation {
                 let candidates = catalog_candidates(&self.cluster, self.host, self.failover);
                 let spec = QuerySpec::scan(&self.table).at_epoch(self.epoch).count();
                 let total =
-                    with_retry_deadline(&self.retry, self.deadline, "v2s.plan", |attempt| {
+                    with_retry_deadline(&self.retry, self.deadline, names::V2S_PLAN, |attempt| {
                         let delay = if self.hedge {
                             self.tracker.hedge_delay(self.hedge_delay)
                         } else {
@@ -188,10 +189,10 @@ impl DbRelation {
                             &self.tracker,
                             &self.cluster,
                             delay,
-                            "v2s.plan",
+                            names::V2S_PLAN,
                             &candidates,
                             attempt,
-                            catalog_exec(&self.cluster, "v2s.plan", spec.clone()),
+                            catalog_exec(&self.cluster, names::V2S_PLAN, spec.clone()),
                         )
                     })?;
                 let up = self.cluster.up_nodes();
@@ -402,12 +403,12 @@ fn exec_piece(ctx: &PieceCtx, connect_node: usize) -> ConnectorResult<mppdb::Que
     let mut session = ctx
         .cluster
         .connect(connect_node)
-        .map_err(|e| ConnectorError::db("v2s.connect", e))?;
+        .map_err(|e| ConnectorError::db(names::V2S_CONNECT, e))?;
     session.set_task_tag(Some(ctx.partition as u64));
     if let Some(pool) = &ctx.resource_pool {
         session
             .set_resource_pool(pool)
-            .map_err(|e| ConnectorError::db("v2s.connect", e))?;
+            .map_err(|e| ConnectorError::db(names::V2S_CONNECT, e))?;
     }
     ctx.cluster.recorder().setup(
         Some(ctx.partition as u64),
@@ -522,7 +523,7 @@ impl V2sSource {
             preferred: node,
             spec: spec.clone(),
         });
-        with_retry_deadline(&self.retry, self.deadline, "v2s.piece", |attempt| {
+        with_retry_deadline(&self.retry, self.deadline, names::V2S_PIECE, |attempt| {
             let delay = if self.hedge {
                 self.tracker.hedge_delay(self.hedge_delay)
             } else {
@@ -533,7 +534,7 @@ impl V2sSource {
                 &self.tracker,
                 &self.cluster,
                 delay,
-                "v2s.piece",
+                names::V2S_PIECE,
                 &candidates,
                 attempt,
                 Arc::new(move |n| exec_piece(&ctx, n)),

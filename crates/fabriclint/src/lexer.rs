@@ -1,0 +1,410 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The linter runs in environments with no registry access, so it
+//! cannot lean on `syn`/`proc-macro2`; this module tokenizes the
+//! subset of Rust the rules need: identifiers (including raw
+//! identifiers), string literals of every flavor (cooked, raw, byte,
+//! raw-byte) with escapes resolved, character literals vs. lifetimes,
+//! numbers, punctuation, and comments (line and nested block), each
+//! tagged with its 1-based source line.
+//!
+//! Comments are kept out of the token stream but retained in a side
+//! table — the `SAFETY:` rule and the inline `fabriclint: allow(..)`
+//! directives are read from there.
+
+/// What a token is. The rules only ever need the class plus the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    /// A string literal; `text` holds the cooked contents.
+    Str,
+    /// A char or byte literal (contents unimportant to the rules).
+    Char,
+    Lifetime,
+    Num,
+    /// One punctuation character per token.
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Tokenized source: the code tokens plus a `(line, text)` list of
+/// comments (block comments are recorded at their starting line).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<(u32, String)>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    let s = self.cooked_string();
+                    self.push(TokKind::Str, s, line);
+                }
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) => self.raw_or_ident(line),
+                'b' if matches!(self.peek(1), Some('"') | Some('\'') | Some('r')) => {
+                    self.byte_literal(line)
+                }
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c == '_' || c.is_alphabetic() => {
+                    let id = self.ident();
+                    self.push(TokKind::Ident, id, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push((line, text));
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push((line, text));
+    }
+
+    /// A `"…"` literal with escapes resolved (close enough for the
+    /// rules: counter names and fixture text are plain ASCII).
+    fn cooked_string(&mut self) -> String {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('0') => s.push('\0'),
+                    Some('\\') => s.push('\\'),
+                    Some('\'') => s.push('\''),
+                    Some('"') => s.push('"'),
+                    Some('x') => {
+                        let hex: String = (0..2).filter_map(|_| self.bump()).collect();
+                        if let Ok(v) = u8::from_str_radix(&hex, 16) {
+                            s.push(v as char);
+                        }
+                    }
+                    Some('u') => {
+                        // \u{…}: consume through the closing brace.
+                        let mut hex = String::new();
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                            if c != '{' {
+                                hex.push(c);
+                            }
+                        }
+                        if let Some(ch) =
+                            u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                        {
+                            s.push(ch);
+                        }
+                    }
+                    Some('\n') => {
+                        // Line-continuation: swallow leading whitespace.
+                        while matches!(self.peek(0), Some(c) if c.is_whitespace()) {
+                            self.bump();
+                        }
+                    }
+                    Some(other) => s.push(other),
+                    None => break,
+                },
+                _ => s.push(c),
+            }
+        }
+        s
+    }
+
+    /// `r"…"`, `r#"…"#`, or a raw identifier `r#ident`.
+    fn raw_or_ident(&mut self, line: u32) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes) {
+            Some('"') => {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.bump(); // opening quote
+                let s = self.raw_string_body(hashes);
+                self.push(TokKind::Str, s, line);
+            }
+            _ if hashes == 1 => {
+                // Raw identifier r#name.
+                self.bump(); // '#'
+                let id = self.ident();
+                self.push(TokKind::Ident, id, line);
+            }
+            _ => {
+                // Bare 'r' identifier (e.g. a variable named r).
+                let id = format!("r{}", self.ident());
+                self.push(TokKind::Ident, id, line);
+            }
+        }
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            s.push(c);
+        }
+        s
+    }
+
+    /// `b"…"`, `br#"…"#`, or `b'…'`.
+    fn byte_literal(&mut self, line: u32) {
+        match self.peek(1) {
+            Some('"') => {
+                self.bump(); // 'b'
+                let s = self.cooked_string();
+                self.push(TokKind::Str, s, line);
+            }
+            Some('\'') => {
+                self.bump(); // 'b'
+                self.bump(); // quote
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        self.bump();
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            _ => {
+                // br"…" / br#"…"#
+                self.bump(); // 'b'
+                self.raw_or_ident(line);
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // 'x' / '\n' are chars; 'a (no closing quote) is a lifetime.
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        self.bump(); // quote
+        if is_char {
+            while let Some(c) = self.bump() {
+                if c == '\\' {
+                    self.bump();
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Char, String::new(), line);
+        } else {
+            let id = self.ident();
+            self.push(TokKind::Lifetime, id, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // 1.5 is one number; 0..10 stays three tokens.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self) -> String {
+        let mut id = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                id.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_strings_and_puncts() {
+        let toks = kinds(r#"obs::global().incr("a.b");"#);
+        assert_eq!(toks[0], (TokKind::Ident, "obs".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ":".into()));
+        assert!(toks.iter().any(|t| t == &(TokKind::Str, "a.b".into())));
+    }
+
+    #[test]
+    fn comments_are_sidelined_with_lines() {
+        let l = lex("// top\nfn x() {} /* block\nspans */ fn y() {}");
+        assert_eq!(l.comments[0], (1, "// top".into()));
+        assert!(l.comments[1].1.contains("block"));
+        assert_eq!(l.comments[1].0, 2);
+        // Block comment newline still advances the line counter.
+        assert_eq!(l.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"has "quotes""#; let r#fn = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|t| t == &(TokKind::Str, "has \"quotes\"".into())));
+        assert!(toks.iter().any(|t| t == &(TokKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn escapes_are_cooked() {
+        let toks = kinds(r#""a\nb\"c""#);
+        assert_eq!(toks[0], (TokKind::Str, "a\nb\"c".into()));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("let c: char = 'x'; fn f<'a>(v: &'a str) {} let e = '\\n';");
+        let chars = toks.iter().filter(|t| t.0 == TokKind::Char).count();
+        let lifetimes = toks.iter().filter(|t| t.0 == TokKind::Lifetime).count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let l = lex("/* a /* b */ c */ fn after() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 1.5; }");
+        assert!(toks.iter().any(|t| t == &(TokKind::Num, "0".into())));
+        assert!(toks.iter().any(|t| t == &(TokKind::Num, "10".into())));
+        assert!(toks.iter().any(|t| t == &(TokKind::Num, "1.5".into())));
+    }
+}

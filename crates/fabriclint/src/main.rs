@@ -1,0 +1,88 @@
+//! CLI for the fabric linter.
+//!
+//! ```text
+//! fabriclint --workspace [--root DIR]   # lint the whole workspace
+//! fabriclint FILE...                    # lint just the given files
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fabriclint::{find_workspace_root, lint_files, lint_workspace, Allowlist, Config, SourceFile};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: fabriclint --workspace [--root DIR] | fabriclint FILE...");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag `{arg}`")),
+            _ => files.push(arg),
+        }
+    }
+
+    let findings = if workspace {
+        let root = match root.or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| find_workspace_root(&d))
+        }) {
+            Some(r) => r,
+            None => return usage("no workspace root found (looked for [workspace] in Cargo.toml)"),
+        };
+        match lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("fabriclint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if files.is_empty() {
+        return usage("pass --workspace or one or more .rs files");
+    } else {
+        let mut sources = Vec::new();
+        for path in &files {
+            match std::fs::read_to_string(path) {
+                Ok(text) => sources.push(SourceFile {
+                    path: path.replace('\\', "/"),
+                    text,
+                }),
+                Err(e) => {
+                    eprintln!("fabriclint: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        lint_files(&sources, &Allowlist::default(), &Config::default())
+    };
+
+    if findings.is_empty() {
+        println!("fabriclint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("fabriclint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fabriclint: {msg}");
+    eprintln!("usage: fabriclint --workspace [--root DIR] | fabriclint FILE...");
+    ExitCode::from(2)
+}

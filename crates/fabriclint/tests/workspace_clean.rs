@@ -1,0 +1,36 @@
+//! The tier-1 gate: the real workspace must lint clean.
+//!
+//! This is the same check `scripts/check.sh` runs via the CLI, wired
+//! into `cargo test` so the invariants hold on every test run, not just
+//! in CI: no ambient time/entropy, no unregistered or dead counter
+//! names, every error variant classified and constructed, no hot-path
+//! panics, no unjustified `unsafe` — modulo the explicit, checked-in
+//! exceptions in `fabriclint.allow` and inline allow comments.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let findings = fabriclint::lint_workspace(&root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "fabriclint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_root_is_discoverable() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let root = fabriclint::find_workspace_root(&here).expect("root found");
+    assert!(root.join("fabriclint.allow").exists() || root.join("Cargo.toml").exists());
+    // The discovered root is the workspace manifest, not this crate's.
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    assert!(manifest.contains("[workspace]"));
+}

@@ -152,7 +152,7 @@ pub(crate) fn run_copy(
     }
 
     if rejected > options.rejected_max {
-        obs::global().add("db.copy_rejects", rejected);
+        obs::global().add(obs::names::DB_COPY_REJECTS, rejected);
         return Err(DbError::CopyRejected {
             rejected,
             tolerance: options.rejected_max,
@@ -182,7 +182,7 @@ pub(crate) fn run_copy(
     });
     obs::global().add("db.copy_rows", loaded);
     obs::global().add("db.copy_bytes", input_bytes);
-    obs::global().add("db.copy_rejects", rejected);
+    obs::global().add(obs::names::DB_COPY_REJECTS, rejected);
     obs::global().record_time("db.copy_us", copy_started.elapsed());
     Ok(CopyResult {
         loaded,

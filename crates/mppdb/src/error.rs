@@ -51,6 +51,37 @@ pub enum DbError {
     Overloaded { pool: String },
 }
 
+impl DbError {
+    /// Whether retrying the same statement can plausibly succeed.
+    ///
+    /// The match is exhaustive on purpose — `fabriclint` checks that
+    /// every variant is classified here, so adding a variant without
+    /// deciding its retry semantics fails both the build and the lint.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            // Connectivity and capacity: the cluster can heal or drain.
+            DbError::NodeUnavailable(_)
+            | DbError::ConnectionRefused { .. }
+            | DbError::ConnectionLost { .. }
+            | DbError::TooManySessions { .. }
+            | DbError::LockTimeout { .. }
+            | DbError::DataUnavailable { .. }
+            | DbError::Overloaded { .. } => true,
+            // Semantic/schema/data errors: retrying replays the failure.
+            DbError::UnknownTable(_)
+            | DbError::TableExists(_)
+            | DbError::TxnState(_)
+            | DbError::Data(_)
+            | DbError::Syntax(_)
+            | DbError::Execution(_)
+            | DbError::CopyRejected { .. }
+            | DbError::Udf(_)
+            | DbError::Dfs(_)
+            | DbError::BadEpoch { .. } => false,
+        }
+    }
+}
+
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -372,7 +372,7 @@ impl FaultInjector {
                 e.detail = format!("{} at node {node}", site.label());
             });
             obs::global().incr(site.counter());
-            obs::global().incr("fault.injected");
+            obs::global().incr(obs::names::FAULT_INJECTED);
         }
         fire
     }
@@ -437,10 +437,15 @@ impl FaultInjector {
                 );
             });
             obs::global().incr(site.counter());
-            obs::global().incr("fault.injected");
+            obs::global().incr(obs::names::FAULT_INJECTED);
             obs::global().record_time("fault.delay_us", delay);
         }
         if !delay.is_zero() {
+            // Tell the lock-order witness a deliberate stall is about
+            // to happen: sleeping while holding an instrumented lock
+            // turns an injected grey failure into a real convoy, which
+            // the witness reports as a `lockwitness.hazards` count.
+            parking_lot::witness::note_sleep(obs::names::FAULT_DELAY);
             std::thread::sleep(delay);
         }
     }

@@ -461,7 +461,8 @@ fn scan_segmented(
 
     let mut out = ColumnBatch::new(dtypes);
     for slot in results {
-        let piece = slot.expect("scan worker left no result")?;
+        let piece =
+            slot.ok_or_else(|| DbError::Execution("scan worker left no result".into()))??;
         // Only surviving rows materialize their full projected width.
         let matched_bytes = piece.batch.wire_size() as u64;
         cluster.recorder().work(

@@ -93,6 +93,7 @@ impl ResourcePool {
     /// must use [`ResourcePool::try_admit`] and handle
     /// [`DbError::Overloaded`].
     pub fn admit(self: &Arc<Self>) -> PoolGuard {
+        // fabriclint: allow(panic-hygiene): documented contract — bounded pools must call try_admit
         self.try_admit().expect("bounded pools require try_admit")
     }
 

@@ -899,7 +899,11 @@ fn compute_aggregate(
             if non_null.is_empty() {
                 Value::Null
             } else if non_null.iter().all(|v| matches!(v, Value::Int64(_))) {
-                Value::Int64(non_null.iter().map(|v| v.as_i64().unwrap()).sum())
+                let mut total = 0i64;
+                for v in &non_null {
+                    total += v.as_i64().map_err(DbError::Data)?;
+                }
+                Value::Int64(total)
             } else {
                 let mut total = 0.0;
                 for v in &non_null {

@@ -74,7 +74,14 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                         Some(_) => {
                             // Consume one UTF-8 character.
                             let rest = &input[i..];
-                            let ch = rest.chars().next().expect("in-bounds char");
+                            let ch = match rest.chars().next() {
+                                Some(ch) => ch,
+                                None => {
+                                    return Err(DbError::Syntax(
+                                        "unterminated string literal".into(),
+                                    ))
+                                }
+                            };
                             s.push(ch);
                             i += ch.len_utf8();
                         }

@@ -302,10 +302,14 @@ impl NodeTableStore {
             match loc {
                 RowLoc::Wos(i) => self.wos[*i].delete = DeleteState::Pending(txn),
                 RowLoc::Ros { container, idx } => {
+                    // A RowLoc only ever comes from this store's own
+                    // scan, so the container must exist; a miss is
+                    // storage corruption, not a recoverable error.
                     let c = self
                         .ros
                         .iter_mut()
                         .find(|c| c.id == *container)
+                        // fabriclint: allow(panic-hygiene): RowLoc invariant, corruption must not be retried
                         .expect("delete references unknown container");
                     c.deletes[*idx] = DeleteState::Pending(txn);
                 }
@@ -612,6 +616,9 @@ impl NodeTableStore {
                 let row = Row::new(
                     column_values
                         .iter_mut()
+                        // Every iterator gathered exactly `sel.len()`
+                        // values above; a short column is corruption.
+                        // fabriclint: allow(panic-hygiene): gather produced sel.len() values per column
                         .map(|it| it.next().expect("gather length mismatch"))
                         .collect(),
                 );

@@ -31,6 +31,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
+pub mod names;
+
 /// Number of event shards; writers pick one per thread.
 const SHARDS: usize = 16;
 
@@ -456,6 +458,12 @@ impl Drop for Span<'_> {
 }
 
 /// The process-wide collector instance all layers record into.
+///
+/// Lock-order-witness findings are *not* pushed in here: the witness
+/// hooks run while a freshly acquired guard is still held, so bumping
+/// a collector counter from them could re-enter the collector's own
+/// locks and self-deadlock. `dc_counters` folds the `lockwitness.*`
+/// rows in at scan time instead (see `mppdb::system`).
 pub fn global() -> &'static Collector {
     static GLOBAL: OnceLock<Collector> = OnceLock::new();
     GLOBAL.get_or_init(Collector::new)

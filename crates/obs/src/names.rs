@@ -1,0 +1,602 @@
+//! Single-source registry of every data-collector counter and timer
+//! name in the workspace.
+//!
+//! Emit sites across the fabric record into the process-wide collector
+//! by string name. Before this module those names were free-floating
+//! literals, so a typo at one site ("hedge.winz") silently created a
+//! phantom counter that no `dc_counters` consumer would ever find. Now
+//! every name lives in [`DEFS`], and the `fabriclint` workspace linter
+//! cross-checks both directions:
+//!
+//! * a name recorded via `obs::global()` that is not in [`DEFS`] is an
+//!   *unregistered* counter — a lint error at the emit site;
+//! * a [`DEFS`] row whose name appears nowhere else in the workspace is
+//!   a *dead* row — a lint error here.
+//!
+//! Names that are emitted from more than one call site are additionally
+//! hoisted into `pub const`s so the duplication is a compile-time
+//! symbol, not a copy-pasted string.
+//!
+//! Timer names (kind [`NameKind::Timer`]) surface in `dc_counters` as
+//! six derived rows (`<name>.count`, `.sum_us`, `.min_us`, `.max_us`,
+//! `.p50_us`, `.p99_us`); [`is_registered`] accepts those derived
+//! spellings too.
+
+/// Breaker half-open probe was rejected (no probe budget left).
+pub const BREAKER_REJECTED: &str = "breaker.rejected";
+/// COPY rows rejected by parse/coercion errors (within tolerance).
+pub const DB_COPY_REJECTS: &str = "db.copy_rejects";
+/// A retry loop abandoned its operation because the job deadline passed.
+pub const DEADLINE_EXPIRED: &str = "deadline.expired";
+/// Op tag for injected-latency sleeps (also the lock-witness hazard tag).
+pub const FAULT_DELAY: &str = "fault.delay";
+/// Any injected fault fired (site-specific counters break this down).
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// The lock-order witness recorded a new acquisition-order edge.
+pub const LOCKWITNESS_EDGES: &str = "lockwitness.edges";
+/// The lock-order witness found a cycle: a potential deadlock.
+pub const LOCKWITNESS_CYCLES: &str = "lockwitness.cycles";
+/// A thread slept in the fault injector while holding a lock.
+pub const LOCKWITNESS_HAZARDS: &str = "lockwitness.hazards";
+/// A retry loop gave up (attempts or deadline exhausted).
+pub const RETRY_GAVE_UP: &str = "retry.gave_up";
+/// Op tag for the save-to-Vertica finalize step (global commit fan-in).
+pub const S2V_FINALIZE: &str = "s2v.finalize";
+/// Op tag for save-to-Vertica setup (target/staging table DDL).
+pub const S2V_SETUP: &str = "s2v.setup";
+/// Per-phase save-to-Vertica timers, indexed by `phase - 1`.
+pub const S2V_PHASE_TIMERS: [&str; 5] = [
+    "s2v.phase1_us",
+    "s2v.phase2_us",
+    "s2v.phase3_us",
+    "s2v.phase4_us",
+    "s2v.phase5_us",
+];
+/// A speculative duplicate of a straggler task was launched.
+pub const SCHED_SPECULATIVE_TASKS: &str = "sched.speculative_tasks";
+/// Op tag for Vertica-to-Spark connect attempts.
+pub const V2S_CONNECT: &str = "v2s.connect";
+/// Op tag for the Vertica-to-Spark schema/open probe.
+pub const V2S_OPEN: &str = "v2s.open";
+/// Op tag for per-piece Vertica-to-Spark reads.
+pub const V2S_PIECE: &str = "v2s.piece";
+/// Op tag for Vertica-to-Spark partition planning (count probe).
+pub const V2S_PLAN: &str = "v2s.plan";
+
+/// How a registered name is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameKind {
+    /// Monotonic counter via `incr`/`add`.
+    Counter,
+    /// Duration histogram via `record_time`/`span`.
+    Timer,
+    /// Synthesized by a snapshot consumer, not recorded at an emit site.
+    Builtin,
+    /// An operation/event tag: flows into `dc_events` rows and error
+    /// contexts rather than `dc_counters`.
+    Event,
+}
+
+/// One registered name.
+#[derive(Debug, Clone, Copy)]
+pub struct NameDef {
+    pub name: &'static str,
+    pub kind: NameKind,
+    pub help: &'static str,
+}
+
+/// The registry. Sorted by name; `fabriclint` parses this table
+/// textually, so keep entries in the literal `NameDef { .. }` form.
+pub static DEFS: &[NameDef] = &[
+    NameDef {
+        name: "breaker.close",
+        kind: NameKind::Counter,
+        help: "circuit breaker closed after a successful probe",
+    },
+    NameDef {
+        name: "breaker.half_open",
+        kind: NameKind::Counter,
+        help: "circuit breaker moved to half-open after cooldown",
+    },
+    NameDef {
+        name: "breaker.open",
+        kind: NameKind::Counter,
+        help: "circuit breaker opened on error-score breach",
+    },
+    NameDef {
+        name: BREAKER_REJECTED,
+        kind: NameKind::Counter,
+        help: "operation rejected by an open breaker",
+    },
+    NameDef {
+        name: "db.commit_us",
+        kind: NameKind::Timer,
+        help: "commit critical-section wall time",
+    },
+    NameDef {
+        name: "db.copy_bytes",
+        kind: NameKind::Counter,
+        help: "bytes ingested by COPY",
+    },
+    NameDef {
+        name: DB_COPY_REJECTS,
+        kind: NameKind::Counter,
+        help: "COPY rows rejected by parse/coercion errors",
+    },
+    NameDef {
+        name: "db.copy_rows",
+        kind: NameKind::Counter,
+        help: "rows loaded by COPY",
+    },
+    NameDef {
+        name: "db.copy_us",
+        kind: NameKind::Timer,
+        help: "COPY statement wall time",
+    },
+    NameDef {
+        name: "db.epoch_advance",
+        kind: NameKind::Counter,
+        help: "cluster epoch advanced at commit",
+    },
+    NameDef {
+        name: "db.node_kills",
+        kind: NameKind::Counter,
+        help: "nodes taken down (chaos or operator)",
+    },
+    NameDef {
+        name: "db.node_restores",
+        kind: NameKind::Counter,
+        help: "nodes brought back up",
+    },
+    NameDef {
+        name: "db.pool_admissions",
+        kind: NameKind::Counter,
+        help: "statements admitted by a resource pool",
+    },
+    NameDef {
+        name: "db.pool_admit_wait_us",
+        kind: NameKind::Timer,
+        help: "time a statement waited for pool admission",
+    },
+    NameDef {
+        name: "db.pool_queued",
+        kind: NameKind::Counter,
+        help: "statements that had to queue for a pool slot",
+    },
+    NameDef {
+        name: "db.sessions_closed",
+        kind: NameKind::Counter,
+        help: "client sessions closed",
+    },
+    NameDef {
+        name: "db.sessions_opened",
+        kind: NameKind::Counter,
+        help: "client sessions opened",
+    },
+    NameDef {
+        name: "db.txn_abort",
+        kind: NameKind::Counter,
+        help: "transactions aborted",
+    },
+    NameDef {
+        name: "db.txn_begin",
+        kind: NameKind::Counter,
+        help: "transactions begun",
+    },
+    NameDef {
+        name: "db.txn_commit",
+        kind: NameKind::Counter,
+        help: "transactions committed",
+    },
+    NameDef {
+        name: "dc.dropped_events",
+        kind: NameKind::Builtin,
+        help: "events discarded because a collector shard ring filled",
+    },
+    NameDef {
+        name: DEADLINE_EXPIRED,
+        kind: NameKind::Counter,
+        help: "operations abandoned because the job deadline passed",
+    },
+    NameDef {
+        name: "failover.connects",
+        kind: NameKind::Counter,
+        help: "connections re-established on a different node",
+    },
+    NameDef {
+        name: "failover.reads",
+        kind: NameKind::Counter,
+        help: "V2S pieces served by a buddy after primary failure",
+    },
+    NameDef {
+        name: "fault.connect_refused",
+        kind: NameKind::Counter,
+        help: "injected connect refusals fired",
+    },
+    NameDef {
+        name: FAULT_DELAY,
+        kind: NameKind::Event,
+        help: "operation tag for injected-latency sleeps (lock witness hazard tag)",
+    },
+    NameDef {
+        name: "fault.delay_us",
+        kind: NameKind::Timer,
+        help: "injected grey-failure delay per firing",
+    },
+    NameDef {
+        name: FAULT_INJECTED,
+        kind: NameKind::Counter,
+        help: "any injected fault fired",
+    },
+    NameDef {
+        name: "fault.mid_copy",
+        kind: NameKind::Counter,
+        help: "injected mid-COPY crashes fired",
+    },
+    NameDef {
+        name: "fault.post_commit",
+        kind: NameKind::Counter,
+        help: "injected lost-commit-acks fired",
+    },
+    NameDef {
+        name: "fault.slow_connect",
+        kind: NameKind::Counter,
+        help: "injected connect slowdowns fired",
+    },
+    NameDef {
+        name: "fault.slow_copy",
+        kind: NameKind::Counter,
+        help: "injected COPY slowdowns fired",
+    },
+    NameDef {
+        name: "fault.slow_scan",
+        kind: NameKind::Counter,
+        help: "injected scan slowdowns fired",
+    },
+    NameDef {
+        name: "health.failures",
+        kind: NameKind::Counter,
+        help: "operations recorded as failures by a health tracker",
+    },
+    NameDef {
+        name: "health.steered_connects",
+        kind: NameKind::Counter,
+        help: "connect attempts steered away from open breakers",
+    },
+    NameDef {
+        name: "health.successes",
+        kind: NameKind::Counter,
+        help: "operations recorded as successes by a health tracker",
+    },
+    NameDef {
+        name: "hedge.cancelled",
+        kind: NameKind::Counter,
+        help: "hedged-read losers abandoned in flight",
+    },
+    NameDef {
+        name: "hedge.launched",
+        kind: NameKind::Counter,
+        help: "hedged buddy attempts launched",
+    },
+    NameDef {
+        name: "hedge.primary_wins",
+        kind: NameKind::Counter,
+        help: "hedged reads won by the primary attempt",
+    },
+    NameDef {
+        name: "hedge.wins",
+        kind: NameKind::Counter,
+        help: "hedged reads won by the buddy attempt",
+    },
+    NameDef {
+        name: LOCKWITNESS_CYCLES,
+        kind: NameKind::Builtin,
+        help: "lock-order cycles (potential deadlocks) detected",
+    },
+    NameDef {
+        name: LOCKWITNESS_EDGES,
+        kind: NameKind::Builtin,
+        help: "distinct lock acquisition-order edges recorded",
+    },
+    NameDef {
+        name: LOCKWITNESS_HAZARDS,
+        kind: NameKind::Builtin,
+        help: "injected sleeps taken while holding a lock",
+    },
+    NameDef {
+        name: "md.models_deployed",
+        kind: NameKind::Counter,
+        help: "PMML models deployed for in-database scoring",
+    },
+    NameDef {
+        name: "md.predictions",
+        kind: NameKind::Counter,
+        help: "in-database model scoring calls",
+    },
+    NameDef {
+        name: "retry.attempts",
+        kind: NameKind::Counter,
+        help: "retry attempts after a transient failure",
+    },
+    NameDef {
+        name: "retry.backoff_us",
+        kind: NameKind::Timer,
+        help: "backoff sleeps between retry attempts",
+    },
+    NameDef {
+        name: RETRY_GAVE_UP,
+        kind: NameKind::Counter,
+        help: "retry loops that gave up",
+    },
+    NameDef {
+        name: "retry.recovered",
+        kind: NameKind::Counter,
+        help: "operations that succeeded after at least one retry",
+    },
+    NameDef {
+        name: "s2v.final_commits",
+        kind: NameKind::Counter,
+        help: "S2V final commit transactions",
+    },
+    NameDef {
+        name: S2V_FINALIZE,
+        kind: NameKind::Event,
+        help: "op tag for the S2V finalize step",
+    },
+    NameDef {
+        name: "s2v.jobs",
+        kind: NameKind::Counter,
+        help: "S2V save jobs run",
+    },
+    NameDef {
+        name: "s2v.phase1",
+        kind: NameKind::Event,
+        help: "op tag for S2V phase 1 (save into staging)",
+    },
+    NameDef {
+        name: "s2v.phase1_us",
+        kind: NameKind::Timer,
+        help: "S2V phase 1 wall time",
+    },
+    NameDef {
+        name: "s2v.phase2",
+        kind: NameKind::Event,
+        help: "op tag for S2V phase 2 (staging validation)",
+    },
+    NameDef {
+        name: "s2v.phase2_us",
+        kind: NameKind::Timer,
+        help: "S2V phase 2 wall time",
+    },
+    NameDef {
+        name: "s2v.phase3",
+        kind: NameKind::Event,
+        help: "op tag for S2V phase 3 (swap into target)",
+    },
+    NameDef {
+        name: "s2v.phase3_us",
+        kind: NameKind::Timer,
+        help: "S2V phase 3 wall time",
+    },
+    NameDef {
+        name: "s2v.phase4",
+        kind: NameKind::Event,
+        help: "op tag for S2V phase 4 (commit fan-in)",
+    },
+    NameDef {
+        name: "s2v.phase4_us",
+        kind: NameKind::Timer,
+        help: "S2V phase 4 wall time",
+    },
+    NameDef {
+        name: "s2v.phase5",
+        kind: NameKind::Event,
+        help: "op tag for S2V phase 5 (cleanup)",
+    },
+    NameDef {
+        name: "s2v.phase5_us",
+        kind: NameKind::Timer,
+        help: "S2V phase 5 wall time",
+    },
+    NameDef {
+        name: "s2v.rows_loaded",
+        kind: NameKind::Counter,
+        help: "rows loaded by S2V saves",
+    },
+    NameDef {
+        name: "s2v.rows_rejected",
+        kind: NameKind::Counter,
+        help: "rows rejected by S2V saves",
+    },
+    NameDef {
+        name: "s2v.save_us",
+        kind: NameKind::Timer,
+        help: "end-to-end S2V save wall time",
+    },
+    NameDef {
+        name: S2V_SETUP,
+        kind: NameKind::Event,
+        help: "op tag for S2V setup (target/staging table DDL)",
+    },
+    NameDef {
+        name: "s2v.teardown",
+        kind: NameKind::Event,
+        help: "op tag for S2V staging teardown",
+    },
+    NameDef {
+        name: "scan.rows_examined",
+        kind: NameKind::Counter,
+        help: "rows visibility-checked by columnar scans",
+    },
+    NameDef {
+        name: "scan.values_decoded",
+        kind: NameKind::Counter,
+        help: "column values decoded by columnar scans",
+    },
+    NameDef {
+        name: "sched.jobs",
+        kind: NameKind::Counter,
+        help: "jobs submitted to the scheduler",
+    },
+    NameDef {
+        name: "sched.jobs_killed",
+        kind: NameKind::Counter,
+        help: "jobs killed before completion",
+    },
+    NameDef {
+        name: "sched.slot_wait_us",
+        kind: NameKind::Timer,
+        help: "time a task waited for a worker slot",
+    },
+    NameDef {
+        name: SCHED_SPECULATIVE_TASKS,
+        kind: NameKind::Counter,
+        help: "speculative straggler duplicates launched",
+    },
+    NameDef {
+        name: "sched.stragglers_detected",
+        kind: NameKind::Counter,
+        help: "tasks flagged as stragglers by the watchdog",
+    },
+    NameDef {
+        name: "sched.task_retries",
+        kind: NameKind::Counter,
+        help: "task attempts retried after failure",
+    },
+    NameDef {
+        name: "sched.task_run_us",
+        kind: NameKind::Timer,
+        help: "task execution wall time",
+    },
+    NameDef {
+        name: "sched.tasks_finished",
+        kind: NameKind::Counter,
+        help: "task attempts finished successfully",
+    },
+    NameDef {
+        name: "sched.tasks_launched",
+        kind: NameKind::Counter,
+        help: "task attempts launched",
+    },
+    NameDef {
+        name: "shed.queue_full",
+        kind: NameKind::Counter,
+        help: "statements shed because the pool queue was full",
+    },
+    NameDef {
+        name: "shed.timeout",
+        kind: NameKind::Counter,
+        help: "statements shed after waiting past the queue timeout",
+    },
+    NameDef {
+        name: "shed.total",
+        kind: NameKind::Counter,
+        help: "all statements shed by admission control",
+    },
+    NameDef {
+        name: "v2s.bytes",
+        kind: NameKind::Counter,
+        help: "bytes transferred by V2S pieces",
+    },
+    NameDef {
+        name: V2S_CONNECT,
+        kind: NameKind::Event,
+        help: "op tag for V2S connect attempts",
+    },
+    NameDef {
+        name: V2S_OPEN,
+        kind: NameKind::Event,
+        help: "op tag for the V2S schema/open probe",
+    },
+    NameDef {
+        name: V2S_PIECE,
+        kind: NameKind::Event,
+        help: "op tag for per-piece V2S reads",
+    },
+    NameDef {
+        name: "v2s.piece_us",
+        kind: NameKind::Timer,
+        help: "V2S piece fetch wall time",
+    },
+    NameDef {
+        name: "v2s.pieces",
+        kind: NameKind::Counter,
+        help: "V2S pieces fetched",
+    },
+    NameDef {
+        name: V2S_PLAN,
+        kind: NameKind::Event,
+        help: "op tag for V2S partition planning",
+    },
+    NameDef {
+        name: "v2s.query",
+        kind: NameKind::Event,
+        help: "op tag for one-shot V2S queries",
+    },
+    NameDef {
+        name: "v2s.rows",
+        kind: NameKind::Counter,
+        help: "rows transferred by V2S pieces",
+    },
+];
+
+/// Look up a registered name exactly.
+pub fn lookup(name: &str) -> Option<&'static NameDef> {
+    DEFS.iter().find(|d| d.name == name)
+}
+
+/// Whether `name` is registered, accepting the six derived spellings a
+/// timer contributes to `dc_counters` (`<timer>.p99_us`, ...).
+pub fn is_registered(name: &str) -> bool {
+    if lookup(name).is_some() {
+        return true;
+    }
+    for suffix in [
+        ".count", ".sum_us", ".min_us", ".max_us", ".p50_us", ".p99_us",
+    ] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return matches!(lookup(base), Some(d) if d.kind == NameKind::Timer);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sorted order keeps diffs reviewable and makes duplicates obvious;
+    /// uniqueness is what the dedupe guarantee rests on.
+    #[test]
+    fn defs_are_sorted_and_unique() {
+        for pair in DEFS.windows(2) {
+            assert!(
+                pair[0].name < pair[1].name,
+                "DEFS out of order or duplicated: {:?} then {:?}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_and_derived_timer_names_resolve() {
+        assert_eq!(
+            lookup(RETRY_GAVE_UP).map(|d| d.kind),
+            Some(NameKind::Counter)
+        );
+        assert!(is_registered("s2v.save_us"));
+        assert!(is_registered("s2v.save_us.p99_us"));
+        assert!(!is_registered("s2v.save_us.p98_us"));
+        assert!(!is_registered("hedge.winz"));
+        // Derived suffixes only apply to timers, not counters.
+        assert!(!is_registered("hedge.wins.count"));
+    }
+
+    #[test]
+    fn every_def_has_help_text() {
+        for d in DEFS {
+            assert!(!d.help.is_empty(), "{} has no help text", d.name);
+        }
+    }
+}

@@ -161,7 +161,7 @@ impl Scheduler {
                     e.task = Some(p as u64);
                     e.detail = format!("attempt {}", 2 + c);
                 });
-                obs::global().incr("sched.speculative_tasks");
+                obs::global().incr(obs::names::SCHED_SPECULATIVE_TASKS);
             }
         }
 
@@ -270,7 +270,7 @@ impl Scheduler {
                 e.task = Some(p as u64);
                 e.detail = format!("straggler past {threshold_us}us, attempt {next}");
             });
-            obs::global().incr("sched.speculative_tasks");
+            obs::global().incr(obs::names::SCHED_SPECULATIVE_TASKS);
             obs::global().incr("sched.stragglers_detected");
         }
     }

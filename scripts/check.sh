@@ -6,6 +6,13 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+# The workspace linter runs first among the custom gates: it is
+# dependency-free, builds in seconds, and fails on any determinism /
+# obs-registry / error-taxonomy / panic-hygiene / SAFETY violation not
+# explicitly excepted in fabriclint.allow or an inline allow comment.
+echo "== fabriclint --workspace"
+cargo run -q -p fabriclint -- --workspace
+
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

@@ -53,6 +53,7 @@ pub use dfslite;
 pub use mppdb;
 pub use netsim;
 pub use obs;
+pub use parking_lot;
 pub use pmml;
 pub use sparklet;
 

@@ -13,16 +13,29 @@
 use std::fmt;
 use std::mem::ManuallyDrop;
 use std::ops::{Deref, DerefMut};
+use std::panic::Location;
 use std::time::Instant;
+
+pub mod witness;
+
+/// Address of a lock's protected value: the per-instance identity the
+/// lock-order witness keys its held-lock stacks on.
+fn data_addr<T: ?Sized>(value: &T) -> usize {
+    (value as *const T).cast::<()>() as usize
+}
 
 /// A mutual exclusion primitive (non-poisoning).
 pub struct Mutex<T: ?Sized> {
+    /// Creation site: the witness groups locks into classes by it.
+    site: &'static Location<'static>,
     inner: std::sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
+    #[track_caller]
     pub fn new(value: T) -> Mutex<T> {
         Mutex {
+            site: Location::caller(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -34,21 +47,23 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        witness::on_acquire(data_addr(&*guard), self.site);
         MutexGuard {
-            inner: ManuallyDrop::new(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            inner: ManuallyDrop::new(guard),
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard {
-                inner: ManuallyDrop::new(g),
-            }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: ManuallyDrop::new(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        witness::on_acquire(data_addr(&*guard), self.site);
+        Some(MutexGuard {
+            inner: ManuallyDrop::new(guard),
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -89,6 +104,7 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        witness::on_release(data_addr(&**self));
         // SAFETY: the guard is only taken transiently inside
         // `Condvar::wait*`, which always restores it before returning;
         // here at drop time it is therefore always present.
@@ -98,12 +114,16 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 
 /// A reader-writer lock (non-poisoning).
 pub struct RwLock<T: ?Sized> {
+    /// Creation site: the witness groups locks into classes by it.
+    site: &'static Location<'static>,
     inner: std::sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
+    #[track_caller]
     pub fn new(value: T) -> RwLock<T> {
         RwLock {
+            site: Location::caller(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -115,15 +135,15 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
-        }
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        witness::on_acquire(data_addr(&*guard), self.site);
+        RwLockReadGuard { inner: guard }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
-        }
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        witness::on_acquire(data_addr(&*guard), self.site);
+        RwLockWriteGuard { inner: guard }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -154,8 +174,20 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::on_release(data_addr(&**self));
+    }
+}
+
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::on_release(data_addr(&**self));
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
@@ -198,12 +230,17 @@ impl Condvar {
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The lock is released for the duration of the wait; tell the
+        // witness so the held-lock stack reflects reality.
+        let addr = data_addr(&**guard);
+        let class = witness::on_wait_release(addr);
         // SAFETY: ownership of the std guard is taken for the duration
         // of the wait and restored immediately after; `unwrap_or_else`
         // ensures we get a guard back even if another thread panicked.
         let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
         let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.inner = ManuallyDrop::new(inner);
+        witness::on_wait_reacquire(addr, class);
     }
 
     pub fn wait_until<T>(
@@ -212,6 +249,8 @@ impl Condvar {
         deadline: Instant,
     ) -> WaitTimeoutResult {
         let timeout = deadline.saturating_duration_since(Instant::now());
+        let addr = data_addr(&**guard);
+        let class = witness::on_wait_release(addr);
         // SAFETY: as in `wait` — the guard is restored before returning.
         let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
         let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
@@ -219,6 +258,7 @@ impl Condvar {
             Err(e) => e.into_inner(),
         };
         guard.inner = ManuallyDrop::new(inner);
+        witness::on_wait_reacquire(addr, class);
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }

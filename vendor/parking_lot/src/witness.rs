@@ -1,0 +1,439 @@
+//! A process-wide lock-order witness (lockdep-style dynamic analysis).
+//!
+//! Debug/test builds instrument every [`crate::Mutex`] and
+//! [`crate::RwLock`] acquisition. Locks are grouped into *classes* by
+//! their creation site (`file:line`, captured with `#[track_caller]`),
+//! and each thread keeps a stack of the locks it currently holds. When
+//! a thread acquires lock `B` while holding lock `A`, the witness
+//! records the directed edge `class(A) → class(B)`. Two findings fall
+//! out of the edge graph:
+//!
+//! * **cycles** — if the graph ever contains `A → … → B` and `B → … →
+//!   A`, two threads interleaving those paths can deadlock, even if no
+//!   run has deadlocked yet;
+//! * **sleep hazards** — the fault injector calls [`note_sleep`]
+//!   before an injected delay; sleeping while holding any instrumented
+//!   lock stretches that lock's hold time by the injected latency and
+//!   is reported as a hazard.
+//!
+//! Findings are *pulled*, never pushed: the mppdb system-table layer
+//! folds [`edge_count`] / [`cycle_count`] / [`hazard_count`] into
+//! `dc_counters` as the `lockwitness.*` rows and materialises
+//! [`snapshot`] as `dc_lock_edges`, and the chaos/resilience gates read
+//! the same accessors directly. A push callback (bump an `obs` counter
+//! from inside [`on_acquire`]) would run collector code while the
+//! freshly acquired guard is still held — if that guard *is* a
+//! collector lock, the callback re-enters the collector and
+//! self-deadlocks — so the witness deliberately has no reporter hook.
+//!
+//! The witness's own bookkeeping uses `std::sync` primitives directly
+//! and its registry lock is a leaf (nothing else is acquired while it
+//! is held), so it never instruments or deadlocks itself. In release
+//! builds ([`active`] is false) every hook is a branch on a constant.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Mutex, OnceLock};
+
+/// Whether the witness records anything in this build.
+pub const fn active() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// One thread's record of a lock it currently holds.
+#[derive(Clone, Copy)]
+struct Held {
+    /// Address of the protected value: stable per lock instance.
+    addr: usize,
+    class: u32,
+}
+
+struct Registry {
+    /// Class id → "file:line" creation site.
+    classes: Vec<String>,
+    class_by_site: HashMap<(&'static str, u32, u32), u32>,
+    /// (holder class, acquired class) → times observed.
+    edges: HashMap<(u32, u32), u64>,
+    /// Adjacency over distinct non-self edges, for cycle detection.
+    adj: HashMap<u32, Vec<u32>>,
+    /// Each detected cycle as the class path that closes it.
+    cycles: Vec<Vec<u32>>,
+    /// (held class, sleep tag) → times a sleep ran under that lock.
+    hazards: HashMap<(u32, &'static str), u64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            classes: Vec::new(),
+            class_by_site: HashMap::new(),
+            edges: HashMap::new(),
+            adj: HashMap::new(),
+            cycles: Vec::new(),
+            hazards: HashMap::new(),
+        })
+    })
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread creation-site → class-id cache, so uncontended
+    /// acquisitions never touch the global registry.
+    static CLASS_CACHE: RefCell<HashMap<(usize, u32, u32), u32>> =
+        RefCell::new(HashMap::new());
+}
+
+fn lock_registry(reg: &'static Mutex<Registry>) -> std::sync::MutexGuard<'static, Registry> {
+    reg.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn class_id(site: &'static Location<'static>) -> u32 {
+    let key = (site.file().as_ptr() as usize, site.line(), site.column());
+    CLASS_CACHE.with(|cache| {
+        if let Some(&id) = cache.borrow().get(&key) {
+            return id;
+        }
+        let mut reg = lock_registry(registry());
+        let gkey = (site.file(), site.line(), site.column());
+        let next = reg.classes.len() as u32;
+        let id = *reg.class_by_site.entry(gkey).or_insert(next);
+        if id == next {
+            reg.classes.push(format!("{}:{}", site.file(), site.line()));
+        }
+        drop(reg);
+        cache.borrow_mut().insert(key, id);
+        id
+    })
+}
+
+/// Depth-first search for a path `from → … → to` over recorded edges.
+/// Returns the class path including both endpoints when one exists.
+fn find_path(reg: &Registry, from: u32, to: u32) -> Option<Vec<u32>> {
+    let mut stack = vec![vec![from]];
+    let mut visited = vec![false; reg.classes.len()];
+    while let Some(path) = stack.pop() {
+        let last = *path.last().unwrap_or(&from);
+        if last == to {
+            return Some(path);
+        }
+        if visited[last as usize] {
+            continue;
+        }
+        visited[last as usize] = true;
+        for &next in reg.adj.get(&last).into_iter().flatten() {
+            let mut p = path.clone();
+            p.push(next);
+            stack.push(p);
+        }
+    }
+    None
+}
+
+/// Hook: `guard` for the lock created at `site`, protecting the value
+/// at `addr`, was just acquired by this thread.
+pub(crate) fn on_acquire(addr: usize, site: &'static Location<'static>) {
+    if !active() {
+        return;
+    }
+    let class = class_id(site);
+    let holder = HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        let top = held.last().map(|h| h.class);
+        held.push(Held { addr, class });
+        top
+    });
+    if let Some(from) = holder {
+        let mut reg = lock_registry(registry());
+        let count = reg.edges.entry((from, class)).or_insert(0);
+        *count += 1;
+        if *count == 1 && from != class {
+            // A cycle exists iff the reverse direction was already
+            // reachable before this edge went in.
+            if let Some(mut path) = find_path(&reg, class, from) {
+                path.insert(0, from);
+                reg.cycles.push(path);
+            }
+            reg.adj.entry(from).or_default().push(class);
+        }
+    }
+}
+
+/// Hook: the guard for the value at `addr` was dropped by this thread.
+pub(crate) fn on_release(addr: usize) {
+    if !active() {
+        return;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|h| h.addr == addr) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Hook: a `Condvar` wait is releasing the lock at `addr` for its
+/// duration. Returns the class to restore with [`on_wait_reacquire`].
+pub(crate) fn on_wait_release(addr: usize) -> Option<u32> {
+    if !active() {
+        return None;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        held.iter()
+            .rposition(|h| h.addr == addr)
+            .map(|pos| held.remove(pos).class)
+    })
+}
+
+/// Hook: the `Condvar` wait re-acquired the lock it released.
+pub(crate) fn on_wait_reacquire(addr: usize, class: Option<u32>) {
+    let Some(class) = class else { return };
+    if !active() {
+        return;
+    }
+    HELD.with(|held| held.borrow_mut().push(Held { addr, class }));
+}
+
+/// Called by fault-injection code before an injected sleep: sleeping
+/// while holding an instrumented lock stretches the lock's hold time by
+/// the injected latency, which turns a local slowdown into global
+/// convoying — exactly the grey failure the chaos gate hunts.
+pub fn note_sleep(tag: &'static str) {
+    if !active() {
+        return;
+    }
+    let top = HELD.with(|held| held.borrow().last().copied());
+    let Some(top) = top else { return };
+    let mut reg = lock_registry(registry());
+    *reg.hazards.entry((top.class, tag)).or_insert(0) += 1;
+}
+
+/// One acquisition-order edge, resolved to creation sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSnapshot {
+    pub from_site: String,
+    pub to_site: String,
+    pub count: u64,
+}
+
+/// One sleep-under-lock hazard, resolved to the held lock's site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardSnapshot {
+    pub held_site: String,
+    pub tag: &'static str,
+    pub count: u64,
+}
+
+/// Point-in-time copy of the witness state.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessSnapshot {
+    pub edges: Vec<EdgeSnapshot>,
+    /// Each cycle as the creation-site path that closes it.
+    pub cycles: Vec<Vec<String>>,
+    pub hazards: Vec<HazardSnapshot>,
+}
+
+/// Copy out the recorded edges, cycles, and hazards, in stable order.
+pub fn snapshot() -> WitnessSnapshot {
+    if !active() {
+        return WitnessSnapshot::default();
+    }
+    let reg = lock_registry(registry());
+    let site = |id: u32| reg.classes[id as usize].clone();
+    let mut edges: Vec<EdgeSnapshot> = reg
+        .edges
+        .iter()
+        .map(|(&(from, to), &count)| EdgeSnapshot {
+            from_site: site(from),
+            to_site: site(to),
+            count,
+        })
+        .collect();
+    edges.sort_by(|a, b| (&a.from_site, &a.to_site).cmp(&(&b.from_site, &b.to_site)));
+    let cycles = reg
+        .cycles
+        .iter()
+        .map(|path| path.iter().map(|&id| site(id)).collect())
+        .collect();
+    let mut hazards: Vec<HazardSnapshot> = reg
+        .hazards
+        .iter()
+        .map(|(&(class, tag), &count)| HazardSnapshot {
+            held_site: site(class),
+            tag,
+            count,
+        })
+        .collect();
+    hazards.sort_by(|a, b| (&a.held_site, a.tag).cmp(&(&b.held_site, b.tag)));
+    WitnessSnapshot {
+        edges,
+        cycles,
+        hazards,
+    }
+}
+
+/// Number of distinct acquisition-order edges recorded.
+pub fn edge_count() -> u64 {
+    if !active() {
+        return 0;
+    }
+    lock_registry(registry()).edges.len() as u64
+}
+
+/// Number of lock-order cycles detected since start (or [`reset`]).
+pub fn cycle_count() -> u64 {
+    if !active() {
+        return 0;
+    }
+    lock_registry(registry()).cycles.len() as u64
+}
+
+/// Number of distinct sleep-under-lock hazards recorded.
+pub fn hazard_count() -> u64 {
+    if !active() {
+        return 0;
+    }
+    lock_registry(registry()).hazards.len() as u64
+}
+
+/// Clear recorded edges, cycles, and hazards (classes survive so
+/// cached class ids stay valid). Test-only hygiene; live held-lock
+/// stacks on other threads are untouched.
+pub fn reset() {
+    if !active() {
+        return;
+    }
+    let mut reg = lock_registry(registry());
+    reg.edges.clear();
+    reg.adj.clear();
+    reg.cycles.clear();
+    reg.hazards.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The witness registry is process-global and other tests in this
+    /// binary take locks too, so every assertion filters to this
+    /// test's own creation sites (matched by `file:line` suffix)
+    /// instead of asserting global totals.
+    fn site_tag(line: u32) -> String {
+        format!("witness.rs:{line}")
+    }
+
+    fn edge_between(from_line: u32, to_line: u32) -> Option<EdgeSnapshot> {
+        let (from, to) = (site_tag(from_line), site_tag(to_line));
+        snapshot()
+            .edges
+            .into_iter()
+            .find(|e| e.from_site.ends_with(&from) && e.to_site.ends_with(&to))
+    }
+
+    #[test]
+    fn nested_acquisition_records_an_edge_and_no_cycle() {
+        let outer_line = line!() + 1;
+        let outer = Arc::new(crate::Mutex::new(0u32));
+        let inner_line = line!() + 1;
+        let inner = Arc::new(crate::Mutex::new(0u32));
+        for _ in 0..2 {
+            let _a = outer.lock();
+            let _b = inner.lock();
+        }
+        // Same order twice: the count grows, the edge stays unique.
+        let edge = edge_between(outer_line, inner_line)
+            .unwrap_or_else(|| panic!("missing edge {outer_line}->{inner_line}"));
+        assert!(edge.count >= 2, "repeated nesting should count: {edge:?}");
+        let tag = site_tag(outer_line);
+        for cycle in &snapshot().cycles {
+            assert!(
+                !cycle.iter().any(|s| s.ends_with(&tag)),
+                "consistent ordering must not report a cycle: {cycle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_acquisition_order_reports_a_cycle() {
+        let a_line = line!() + 1;
+        let a = Arc::new(crate::Mutex::new('a'));
+        let b_line = line!() + 1;
+        let b = Arc::new(crate::Mutex::new('b'));
+        // Seeded two-thread schedule, serialized so it cannot actually
+        // deadlock: thread 1 takes A then B and fully finishes before
+        // thread 2 takes B then A. The *order* inversion is still
+        // recorded and must be flagged as a potential deadlock.
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _ga = a1.lock();
+            let _gb = b1.lock();
+        })
+        .join()
+        .unwrap();
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock();
+        })
+        .join()
+        .unwrap();
+        let (tag_a, tag_b) = (site_tag(a_line), site_tag(b_line));
+        assert!(
+            snapshot().cycles.iter().any(|path| {
+                path.iter().any(|s| s.ends_with(&tag_a)) && path.iter().any(|s| s.ends_with(&tag_b))
+            }),
+            "A→B then B→A inversion must be detected as a cycle over both sites"
+        );
+    }
+
+    #[test]
+    fn sequential_acquisitions_record_no_edges() {
+        let rw_line = line!() + 1;
+        let rw = Arc::new(crate::RwLock::new(1u8));
+        let m_line = line!() + 1;
+        let m = Arc::new(crate::Mutex::new(false));
+        {
+            let _r = rw.read();
+            let _g = m.lock();
+        }
+        // The guards dropped, so the held stack is empty again: these
+        // bare acquisitions must not chain onto leftover state.
+        drop(m.lock());
+        drop(rw.write());
+        assert!(
+            edge_between(m_line, rw_line).is_none(),
+            "sequential (non-nested) acquisitions must not record an edge"
+        );
+        assert!(
+            edge_between(rw_line, m_line).is_some(),
+            "the genuinely nested read-then-lock pair should be recorded"
+        );
+    }
+
+    #[test]
+    fn sleeping_with_a_lock_held_is_a_hazard() {
+        let m = crate::Mutex::new(());
+        note_sleep("witness_test_unlocked");
+        let snap = snapshot();
+        assert!(
+            !snap
+                .hazards
+                .iter()
+                .any(|h| h.tag == "witness_test_unlocked"),
+            "no hazard without a held lock"
+        );
+        let _g = m.lock();
+        note_sleep("witness_test_locked");
+        let snap = snapshot();
+        assert!(
+            snap.hazards
+                .iter()
+                .any(|h| h.tag == "witness_test_locked" && h.count >= 1),
+            "sleep under a held lock must be recorded: {:?}",
+            snap.hazards
+        );
+    }
+}
