@@ -1,0 +1,78 @@
+//! Tracing overhead on the span hot path: starting and finishing one
+//! span, recording one histogram value, and the disabled-mode no-op.
+//! The budget mirrors the collector's: a span is two short lock
+//! acquisitions, and with collection off (or an untraced NONE context)
+//! the entire layer must cost a branch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::TraceCtx;
+
+fn bench_span_lifecycle(c: &mut Criterion) {
+    let collector = obs::Collector::new();
+    let root = collector.trace_start("s2v.job");
+    c.bench_function("trace_span_start_finish", |b| {
+        b.iter(|| {
+            let span = collector.span_start("s2v.phase3", root);
+            collector.span_finish(span, |s| {
+                s.node = Some(2);
+                s.attempt = 1;
+                s.rows = 100;
+            });
+        })
+    });
+    c.bench_function("trace_record_histo", |b| {
+        b.iter(|| collector.record_histo("v2s.piece_bytes", 4096))
+    });
+}
+
+fn bench_disabled_and_untraced(c: &mut Criterion) {
+    let collector = obs::Collector::new();
+    // An untraced caller passes NONE: the span layer must short-circuit
+    // before touching any lock.
+    c.bench_function("trace_span_untraced_none", |b| {
+        b.iter(|| {
+            let span = collector.span_start("s2v.phase3", TraceCtx::NONE);
+            collector.span_finish(span, |s| s.rows = 100);
+        })
+    });
+    collector.set_enabled(false);
+    c.bench_function("trace_start_disabled", |b| {
+        b.iter(|| collector.trace_start("s2v.job"))
+    });
+}
+
+fn bench_tree_analysis(c: &mut Criterion) {
+    // A realistic job tree: 32 tasks × 5 phases under one root.
+    let collector = obs::Collector::new();
+    let root = collector.trace_start("s2v.job");
+    for task in 0..32u64 {
+        let t = collector.span_start("sched.task", root);
+        for phase in [
+            "s2v.phase1",
+            "s2v.phase2",
+            "s2v.phase3",
+            "s2v.phase4",
+            "s2v.phase5",
+        ] {
+            let p = collector.span_start(phase, t);
+            collector.span_finish(p, |s| s.task = Some(task));
+        }
+        collector.span_finish(t, |s| s.task = Some(task));
+    }
+    collector.span_finish(root, |_| {});
+    let spans = collector.trace_spans(root.trace);
+    c.bench_function("trace_critical_path_192_spans", |b| {
+        b.iter(|| obs::trace::critical_path(&spans))
+    });
+    c.bench_function("trace_render_192_spans", |b| {
+        b.iter(|| obs::trace::render(&spans))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_span_lifecycle,
+    bench_disabled_and_untraced,
+    bench_tree_analysis
+);
+criterion_main!(benches);

@@ -82,14 +82,38 @@ pub fn begin() -> obs::Snapshot {
 }
 
 /// Print the table and write `BENCH_<name>.json` beside it: the same
-/// rows plus the collector-counter deltas since [`begin`].
+/// rows plus the collector-counter deltas since [`begin`] and the
+/// per-histogram quantiles (span durations, phase timings, piece
+/// sizes) the experiment contributed.
 pub fn publish(name: &str, title: &str, rows: &[ReportRow], before: &obs::Snapshot) {
     print(title, rows);
-    let counters = obs::global().snapshot().counters_since(before);
-    match write_json(name, title, rows, &counters) {
+    let after = obs::global().snapshot();
+    let counters = after.counters_since(before);
+    let histos = histos_since(&after, before);
+    match write_json(name, title, rows, &counters, &histos) {
         Ok(path) => println!("report: {}", path.display()),
         Err(e) => eprintln!("report: failed to write BENCH_{name}.json: {e}"),
     }
+}
+
+/// Per-histogram stats for what moved between two snapshots: bucket-
+/// wise deltas, so a long-running process's earlier work does not
+/// pollute an experiment's quantiles.
+pub fn histos_since(
+    after: &obs::Snapshot,
+    before: &obs::Snapshot,
+) -> BTreeMap<String, obs::HistoStats> {
+    after
+        .histos
+        .iter()
+        .filter_map(|(name, h)| {
+            let delta = match before.histos.get(name) {
+                Some(b) => h.since(b),
+                None => h.clone(),
+            };
+            (!delta.is_empty()).then(|| (name.clone(), delta.stats()))
+        })
+        .collect()
 }
 
 /// Where the JSON reports land: `$BENCH_OUT_DIR` or the current dir.
@@ -121,6 +145,7 @@ pub fn to_json(
     title: &str,
     rows: &[ReportRow],
     counters: &BTreeMap<String, u64>,
+    histos: &BTreeMap<String, obs::HistoStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -149,6 +174,23 @@ pub fn to_json(
             if i + 1 < counters.len() { "," } else { "" }
         ));
     }
+    out.push_str("  },\n");
+    out.push_str("  \"histograms\": {\n");
+    for (i, (k, s)) in histos.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}}}{}\n",
+            json_escape(k),
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            s.p50,
+            s.p95,
+            s.p99,
+            if i + 1 < histos.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  }\n}\n");
     out
 }
@@ -158,9 +200,10 @@ fn write_json(
     title: &str,
     rows: &[ReportRow],
     counters: &BTreeMap<String, u64>,
+    histos: &BTreeMap<String, obs::HistoStats>,
 ) -> std::io::Result<PathBuf> {
     let path = out_dir().join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, to_json(name, title, rows, counters))?;
+    std::fs::write(&path, to_json(name, title, rows, counters, histos))?;
     Ok(path)
 }
 
@@ -191,11 +234,37 @@ mod tests {
         let mut counters = BTreeMap::new();
         counters.insert("s2v.rows_loaded".to_string(), 8000u64);
         counters.insert("sched.task_retries".to_string(), 3u64);
-        let json = to_json("fig6", "Fig. 6", &rows, &counters);
+        let mut phase3 = obs::Histo::new();
+        for us in [100, 200, 300, 4000] {
+            phase3.record(us);
+        }
+        let mut histos = BTreeMap::new();
+        histos.insert("s2v.phase3".to_string(), phase3.stats());
+        let json = to_json("fig6", "Fig. 6", &rows, &counters, &histos);
         assert!(json.contains("\"experiment\": \"fig6\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"paper\": null"));
         assert!(json.contains("\"s2v.rows_loaded\": 8000"));
         assert!(json.contains("\"sched.task_retries\": 3"));
+        assert!(json.contains("\"s2v.phase3\": {\"count\": 4"));
+        assert!(json.contains("\"p99\": 4000"), "{json}");
+    }
+
+    #[test]
+    fn histos_since_subtracts_prior_work() {
+        let c = obs::Collector::new();
+        c.record_histo("v2s.piece_bytes", 10);
+        let before = c.snapshot();
+        c.record_histo("v2s.piece_bytes", 50);
+        c.record_histo("v2s.piece_bytes", 50);
+        let after = c.snapshot();
+        let histos = histos_since(&after, &before);
+        let s = &histos["v2s.piece_bytes"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 100);
+        assert_eq!(s.p50, 50);
+        // A histogram that did not move since `before` is omitted.
+        let unmoved = histos_since(&after, &after);
+        assert!(unmoved.is_empty());
     }
 }

@@ -153,49 +153,24 @@ impl NodeHealth {
     }
 }
 
-/// Ring of recent successful-op latencies (µs) feeding the derived
-/// hedge delay.
-#[derive(Debug)]
-struct RecentRing {
-    samples: Vec<u64>,
-    cursor: usize,
-}
-
-const RING_CAPACITY: usize = 512;
 /// Minimum samples before a P99 (and thus an auto hedge delay) exists.
-const MIN_P99_SAMPLES: usize = 20;
+const MIN_P99_SAMPLES: u64 = 20;
 /// The derived hedge delay never drops below this: clean runs with
 /// µs-scale operations must not hedge.
 const MIN_HEDGE_DELAY: Duration = Duration::from_millis(10);
 /// Hedge after this multiple of the observed P99.
 const HEDGE_P99_MULTIPLIER: u32 = 3;
 
-impl RecentRing {
-    fn push(&mut self, us: u64) {
-        if self.samples.len() < RING_CAPACITY {
-            self.samples.push(us);
-        } else {
-            self.samples[self.cursor] = us;
-            self.cursor = (self.cursor + 1) % RING_CAPACITY;
-        }
-    }
-
-    fn p99_us(&self) -> Option<u64> {
-        if self.samples.len() < MIN_P99_SAMPLES {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * 0.99).ceil() as usize;
-        Some(sorted[idx.min(sorted.len() - 1)])
-    }
-}
-
 /// Per-node health scores and circuit breakers for one cluster.
+///
+/// Successful-op latencies land in a log-scale [`obs::Histo`], so the
+/// hedge delay derives from a *true* P99 quantile (exact to one bucket,
+/// never forgetting the tail) instead of the old 512-sample ring whose
+/// P99 shifted as old samples were overwritten.
 pub struct HealthTracker {
     cfg: HealthConfig,
     nodes: Vec<Mutex<NodeHealth>>,
-    recent: Mutex<RecentRing>,
+    recent: Mutex<obs::Histo>,
 }
 
 impl HealthTracker {
@@ -209,10 +184,7 @@ impl HealthTracker {
             nodes: (0..node_count.max(1))
                 .map(|_| Mutex::new(NodeHealth::new()))
                 .collect(),
-            recent: Mutex::new(RecentRing {
-                samples: Vec::new(),
-                cursor: 0,
-            }),
+            recent: Mutex::new(obs::Histo::new()),
         }
     }
 
@@ -244,7 +216,7 @@ impl HealthTracker {
                 obs::global().incr("breaker.close");
             }
         }
-        self.recent.lock().push(us);
+        self.recent.lock().record(us);
         obs::global().incr("health.successes");
     }
 
@@ -357,10 +329,12 @@ impl HealthTracker {
         self.node(node).lock().err_rate
     }
 
-    /// P99 of recent successful-op latencies across all nodes, once
-    /// enough samples exist.
+    /// P99 of successful-op latencies across all nodes — the histogram
+    /// quantile (upper bucket bound clamped to the observed min/max) —
+    /// once enough samples exist.
     pub fn observed_p99(&self) -> Option<Duration> {
-        self.recent.lock().p99_us().map(Duration::from_micros)
+        let h = self.recent.lock();
+        (h.count() >= MIN_P99_SAMPLES).then(|| Duration::from_micros(h.quantile(0.99)))
     }
 
     /// The delay after which a hedge launches: the explicit override if
@@ -409,20 +383,34 @@ pub fn tracker_for(cluster: &Cluster) -> Arc<HealthTracker> {
 ///
 /// Only reads may use this: a hedged write would put two copies of the
 /// same mutation in flight.
+///
+/// Each attempt runs under a `hedge.attempt` span parented at `trace`
+/// (attempt 1 = primary, attempt 2 = buddy); the span is finished by
+/// the worker thread when its attempt returns, so an abandoned loser
+/// closes its span late rather than never.
 pub fn hedged_read<T: Send + 'static>(
     op: &'static str,
     delay: Duration,
     primary: usize,
     buddy: usize,
+    trace: obs::TraceCtx,
     run: Arc<dyn Fn(usize) -> ConnectorResult<T> + Send + Sync>,
 ) -> ConnectorResult<T> {
     let (tx, rx) = mpsc::channel();
     {
         let tx = tx.clone();
         let run = Arc::clone(&run);
+        let span = obs::global().span_start(obs::names::HEDGE_ATTEMPT, trace);
         std::thread::spawn(move || {
+            let result = run(primary);
+            obs::global().span_finish(span, |s| {
+                s.attempt = 1;
+                s.node = Some(primary as u64);
+                s.failed = result.is_err();
+                s.detail = format!("{op} primary");
+            });
             // The receiver may be gone (winner already returned).
-            let _ = tx.send((primary, run(primary)));
+            let _ = tx.send((primary, result));
         });
     }
     match rx.recv_timeout(delay) {
@@ -443,8 +431,16 @@ pub fn hedged_read<T: Send + 'static>(
     obs::global().incr("hedge.launched");
     {
         let run = Arc::clone(&run);
+        let span = obs::global().span_start(obs::names::HEDGE_ATTEMPT, trace);
         std::thread::spawn(move || {
-            let _ = tx.send((buddy, run(buddy)));
+            let result = run(buddy);
+            obs::global().span_finish(span, |s| {
+                s.attempt = 2;
+                s.node = Some(buddy as u64);
+                s.failed = result.is_err();
+                s.detail = format!("{op} hedge");
+            });
+            let _ = tx.send((buddy, result));
         });
     }
     let mut received = 0usize;
@@ -573,10 +569,49 @@ mod tests {
     }
 
     #[test]
+    fn hedge_delay_is_a_true_histogram_quantile() {
+        // 600 fast ops then 40 slow ones: more samples than the old
+        // 512-slot ring could hold. The histogram keeps them all, so
+        // rank ceil(0.99 × 640) = 634 lands in the slow group and the
+        // quantile clamps to the observed max — exactly 8ms, no decay
+        // or overwrite drift.
+        let t = HealthTracker::new(2);
+        for _ in 0..600 {
+            t.record_success(0, Duration::from_millis(1));
+        }
+        for _ in 0..40 {
+            t.record_success(1, Duration::from_millis(8));
+        }
+        assert_eq!(t.observed_p99(), Some(Duration::from_millis(8)));
+        assert_eq!(
+            t.hedge_delay(None),
+            Some(Duration::from_millis(24)),
+            "hedge delay is 3 × the histogram P99"
+        );
+        // A reference obs::Histo fed the same samples agrees.
+        let mut reference = obs::Histo::new();
+        for _ in 0..600 {
+            reference.record(1_000);
+        }
+        for _ in 0..40 {
+            reference.record(8_000);
+        }
+        assert_eq!(reference.quantile(0.99), 8_000);
+    }
+
+    #[test]
     fn hedged_read_prefers_fast_primary() {
         let before = obs::global().snapshot().counters;
         let run = Arc::new(|node: usize| -> ConnectorResult<usize> { Ok(node) });
-        let got = hedged_read("t.fast", Duration::from_millis(50), 0, 1, run).unwrap();
+        let got = hedged_read(
+            "t.fast",
+            Duration::from_millis(50),
+            0,
+            1,
+            obs::TraceCtx::NONE,
+            run,
+        )
+        .unwrap();
         assert_eq!(got, 0, "primary answered before the hedge delay");
         let after = obs::global().snapshot().counters;
         let delta =
@@ -593,7 +628,15 @@ mod tests {
             Ok(node)
         });
         let started = Instant::now();
-        let got = hedged_read("t.stall", Duration::from_millis(10), 0, 1, run).unwrap();
+        let got = hedged_read(
+            "t.stall",
+            Duration::from_millis(10),
+            0,
+            1,
+            obs::TraceCtx::NONE,
+            run,
+        )
+        .unwrap();
         assert_eq!(got, 1, "buddy wins");
         assert!(
             started.elapsed() < Duration::from_millis(100),
@@ -608,7 +651,15 @@ mod tests {
         let run = Arc::new(|node: usize| -> ConnectorResult<usize> {
             Err(ConnectorError::Engine(format!("node {node} boom")))
         });
-        let err = hedged_read("t.both", Duration::from_millis(5), 0, 1, run).unwrap_err();
+        let err = hedged_read(
+            "t.both",
+            Duration::from_millis(5),
+            0,
+            1,
+            obs::TraceCtx::NONE,
+            run,
+        )
+        .unwrap_err();
         assert!(matches!(err, ConnectorError::Engine(_)));
     }
 
@@ -623,7 +674,15 @@ mod tests {
                 Ok(node)
             }
         });
-        let got = hedged_read("t.slow_err", Duration::from_millis(5), 0, 1, run).unwrap();
+        let got = hedged_read(
+            "t.slow_err",
+            Duration::from_millis(5),
+            0,
+            1,
+            obs::TraceCtx::NONE,
+            run,
+        )
+        .unwrap();
         assert_eq!(got, 1);
     }
 }

@@ -92,6 +92,18 @@ pub struct SaveReport {
     pub part_files: usize,
     /// DFS path: bytes that crossed the landing zone.
     pub staged_bytes: u64,
+    /// The save's span tree in the global collector (S2V path only;
+    /// [`obs::TraceId`] 0 when untraced).
+    pub trace: obs::TraceId,
+}
+
+impl SaveReport {
+    /// Render the save's span tree and critical path (empty when
+    /// tracing was disabled, the trace was evicted, or the save went
+    /// through the untraced DFS path).
+    pub fn profile(&self) -> String {
+        obs::trace::render(&obs::global().trace_spans(self.trace))
+    }
 }
 
 impl From<S2vReport> for SaveReport {
@@ -107,6 +119,7 @@ impl From<S2vReport> for SaveReport {
             phase_us: r.phase_us,
             part_files: 0,
             staged_bytes: 0,
+            trace: r.trace,
         }
     }
 }
@@ -153,6 +166,7 @@ pub fn save(
                         phase_us: [0; 5],
                         part_files: 0,
                         staged_bytes: 0,
+                        trace: obs::TraceId(0),
                     })
                 }
                 SaveMode::Overwrite if exists => {
@@ -192,6 +206,7 @@ pub fn save(
                 phase_us: [0; 5],
                 part_files: report.part_files,
                 staged_bytes: report.staged_bytes,
+                trace: obs::TraceId(0),
             })
         }
     }

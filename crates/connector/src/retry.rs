@@ -179,6 +179,9 @@ pub struct RetryConn {
     /// Per-node health scores fed by every connect and operation, and
     /// consulted to steer connections away from sick nodes.
     tracker: Option<Arc<HealthTracker>>,
+    /// Parent span for per-attempt `retry.attempt` spans; NONE (the
+    /// default) keeps the connection untraced.
+    trace: obs::TraceCtx,
 }
 
 impl RetryConn {
@@ -193,6 +196,7 @@ impl RetryConn {
             session: None,
             deadline: None,
             tracker: None,
+            trace: obs::TraceCtx::NONE,
         }
     }
 
@@ -222,6 +226,19 @@ impl RetryConn {
     pub fn with_health(mut self, tracker: Arc<HealthTracker>) -> RetryConn {
         self.tracker = Some(tracker);
         self
+    }
+
+    /// Parent every attempt of every `run` under `trace` with a
+    /// `retry.attempt` span tagged (op, attempt, node, failed).
+    pub fn with_trace(mut self, trace: obs::TraceCtx) -> RetryConn {
+        self.trace = trace;
+        self
+    }
+
+    /// Re-point the attempt spans mid-life (e.g. one pooled connection
+    /// serving several phases of a job).
+    pub fn set_trace(&mut self, trace: obs::TraceCtx) {
+        self.trace = trace;
     }
 
     /// Candidate nodes in failover preference order: the preferred node,
@@ -318,33 +335,49 @@ impl RetryConn {
     ) -> ConnectorResult<T> {
         let policy = self.policy.clone();
         let deadline = self.deadline;
+        let trace = self.trace;
         with_retry_deadline(&policy, deadline, op, |attempt| {
-            let session = self.connect(attempt)?;
-            let node = session.node();
-            let op_started = Instant::now();
-            match f(session) {
-                Ok(v) => {
-                    if let Some(tracker) = &self.tracker {
-                        tracker.record_success(node, op_started.elapsed());
-                    }
-                    Ok(v)
-                }
-                Err(e) => {
-                    if e.is_transient() {
-                        if let Some(tracker) = &self.tracker {
-                            tracker.record_failure(node);
+            let span = obs::global().span_start(obs::names::RETRY_ATTEMPT, trace);
+            let mut node_used: Option<usize> = None;
+            let result = match self.connect(attempt) {
+                Ok(session) => {
+                    let node = session.node();
+                    node_used = Some(node);
+                    let op_started = Instant::now();
+                    match f(session) {
+                        Ok(v) => {
+                            if let Some(tracker) = &self.tracker {
+                                tracker.record_success(node, op_started.elapsed());
+                            }
+                            Ok(v)
                         }
-                        // Connection is suspect; drop it (aborting any
-                        // open transaction) and reconnect next attempt.
-                        self.session = None;
-                    } else if let Some(s) = self.session.as_mut() {
-                        if s.in_txn() {
-                            let _ = s.rollback();
+                        Err(e) => {
+                            if e.is_transient() {
+                                if let Some(tracker) = &self.tracker {
+                                    tracker.record_failure(node);
+                                }
+                                // Connection is suspect; drop it (aborting
+                                // any open transaction) and reconnect next
+                                // attempt.
+                                self.session = None;
+                            } else if let Some(s) = self.session.as_mut() {
+                                if s.in_txn() {
+                                    let _ = s.rollback();
+                                }
+                            }
+                            Err(e)
                         }
                     }
-                    Err(e)
                 }
-            }
+                Err(e) => Err(e),
+            };
+            obs::global().span_finish(span, |s| {
+                s.attempt = attempt;
+                s.node = node_used.map(|n| n as u64);
+                s.failed = result.is_err();
+                s.detail = op.to_string();
+            });
+            result
         })
     }
 

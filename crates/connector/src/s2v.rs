@@ -74,6 +74,18 @@ pub struct S2vReport {
     /// Cumulative microseconds spent in each of the five Fig. 5 phases,
     /// summed across every task attempt of this job.
     pub phase_us: [u64; 5],
+    /// The save's `s2v.job` span tree in the global collector
+    /// ([`obs::TraceId`] 0 when tracing was disabled).
+    pub trace: obs::TraceId,
+}
+
+impl S2vReport {
+    /// Render the save's span tree and critical path from the global
+    /// collector (empty when tracing was disabled or the trace was
+    /// evicted).
+    pub fn profile(&self) -> String {
+        obs::trace::render(&obs::global().trace_spans(self.trace))
+    }
 }
 
 /// Lock-free accumulator the task closures write their phase timings
@@ -132,12 +144,40 @@ struct JobTables {
 pub const FINAL_STATUS_TABLE: &str = "s2v_job_final_status";
 
 /// Save `df` into `opts.table` with exactly-once semantics.
+///
+/// The whole save runs as one `s2v.job` trace: the driver's setup,
+/// finalize, and teardown steps, every task attempt (`sched.task`),
+/// every Fig. 5 phase attempt, and every connection retry get spans,
+/// and [`S2vReport::profile`] renders the assembled tree.
 pub fn save_to_db(
     ctx: &SparkContext,
     cluster: &Arc<Cluster>,
     df: &DataFrame,
     opts: &ConnectorOptions,
     mode: SaveMode,
+) -> ConnectorResult<S2vReport> {
+    let trace = obs::global().trace_start("s2v.job");
+    let result = save_to_db_traced(ctx, cluster, df, opts, mode, trace);
+    obs::global().span_finish(trace, |s| match &result {
+        Ok(r) => {
+            s.rows = r.rows_loaded;
+            s.detail = r.job_name.clone();
+        }
+        Err(e) => {
+            s.failed = true;
+            s.detail = e.to_string();
+        }
+    });
+    result
+}
+
+fn save_to_db_traced(
+    ctx: &SparkContext,
+    cluster: &Arc<Cluster>,
+    df: &DataFrame,
+    opts: &ConnectorOptions,
+    mode: SaveMode,
+    trace: obs::TraceCtx,
 ) -> ConnectorResult<S2vReport> {
     let save_started = Instant::now();
     let target = sanitize(&opts.table);
@@ -176,6 +216,7 @@ pub fn save_to_db(
                 rejected_samples: Vec::new(),
                 engine_job_id: 0,
                 phase_us: [0; 5],
+                trace: trace.trace,
             })
         }
         _ => {}
@@ -244,6 +285,8 @@ pub fn save_to_db(
     // The setup DDL/DML is guarded by existence checks, so a retry after
     // a commit-then-lost-ack replays as a no-op instead of "table
     // exists" / duplicate status rows.
+    let setup_span = obs::global().span_start(names::S2V_SETUP, trace);
+    driver.set_trace(setup_span);
     driver.run(names::S2V_SETUP, |session| {
         let db = |e: DbError| ConnectorError::db(names::S2V_SETUP, e);
         if !session.cluster().has_table(&tables.status) {
@@ -315,6 +358,10 @@ pub fn save_to_db(
         session.commit().map_err(db)?;
         Ok(())
     })?;
+    obs::global().span_finish(setup_span, |s| {
+        s.node = Some(host as u64);
+        s.detail = format!("protocol tables for {job_name}");
+    });
     cluster
         .recorder()
         .setup(None, NodeRef::Db(host), "s2v_setup_tables");
@@ -345,7 +392,7 @@ pub fn save_to_db(
     let acc = PhaseAcc::default();
     let acc_ref = &acc;
     let tracker_ref = &tracker;
-    let outcomes = ctx.run_job(&rdd, move |tc, rows| {
+    let outcomes = ctx.run_job_traced(&rdd, trace, move |tc, rows| {
         acc_ref.engine_job_id.store(tc.job_id, Ordering::Release);
         run_task_phases(
             &cluster_for_tasks,
@@ -392,6 +439,8 @@ pub fn save_to_db(
     // (the post-commit failure of Sec. 2.2.2), its retry sees "finished"
     // and reports Done — recover the outcome from the durable final
     // status table, which is the ground truth.
+    let finalize_span = obs::global().span_start(names::S2V_FINALIZE, trace);
+    driver.set_trace(finalize_span);
     let (committer_task, rows_loaded, rows_rejected) = match committed {
         Some(c) => c,
         None => driver.run(names::S2V_FINALIZE, |session| {
@@ -456,14 +505,23 @@ pub fn save_to_db(
             })
             .collect::<Vec<(u64, String)>>())
     })?;
+    obs::global().span_finish(finalize_span, |s| {
+        s.node = Some(host as u64);
+        s.detail = format!("committer task {committer_task}");
+    });
 
     // Temp protocol tables are deleted on success; the final status
     // table is permanent.
+    let teardown_span = obs::global().span_start("s2v.teardown", trace);
     for t in [&tables.staging, &tables.status, &tables.committer] {
         cluster
             .drop_table(t)
             .map_err(|e| ConnectorError::db("s2v.teardown", e))?;
     }
+    obs::global().span_finish(teardown_span, |s| {
+        s.node = Some(host as u64);
+        s.detail = "dropped protocol tables".to_string();
+    });
     cluster
         .recorder()
         .setup(None, NodeRef::Db(host), "s2v_teardown_tables");
@@ -481,6 +539,7 @@ pub fn save_to_db(
         rejected_samples,
         engine_job_id: acc.engine_job_id.load(Ordering::Acquire),
         phase_us: acc.snapshot_us(),
+        trace: trace.trace,
     })
 }
 
@@ -592,7 +651,8 @@ fn run_task_phases(
         .with_pool(resource_pool.map(str::to_string))
         .with_task_tag(Some(p as u64))
         .with_deadline(deadline)
-        .with_health(Arc::clone(tracker));
+        .with_health(Arc::clone(tracker))
+        .with_trace(tc.trace);
     if !failover {
         conn = conn.pinned();
     }
@@ -600,11 +660,23 @@ fn run_task_phases(
         .recorder()
         .setup(Some(p as u64), NodeRef::Db(preferred), "s2v_connect");
 
-    // One S2vPhase event (+ timer + report accumulation) per phase exit;
-    // `detail` says how the phase ended so the event log reads as the
-    // Fig. 5 walk of each attempt.
-    let mark = |phase: usize, node: usize, started: Instant, detail: String| {
+    // One S2vPhase event (+ span finish + timer + report accumulation)
+    // per phase exit; `detail` says how the phase ended so the event
+    // log (and span tree) reads as the Fig. 5 walk of each attempt.
+    let mark = |span: obs::TraceCtx,
+                phase: usize,
+                node: usize,
+                started: Instant,
+                failed: bool,
+                detail: String| {
         let dur = started.elapsed();
+        obs::global().span_finish(span, |s| {
+            s.task = Some(p as u64);
+            s.attempt = tc.attempt;
+            s.node = Some(node as u64);
+            s.failed = failed;
+            s.detail = detail.clone();
+        });
         obs::global().emit(obs::EventKind::S2vPhase, |e| {
             e.job = Some(job_name.to_string());
             e.task = Some(p as u64);
@@ -619,6 +691,8 @@ fn run_task_phases(
     // ----- Phase 1: save into staging + conditional done flag --------
     conn.run("s2v.phase1", |session| {
         let db = |e: DbError| ConnectorError::db("s2v.phase1", e);
+        let span = obs::global().span_start("s2v.phase1", tc.trace);
+        session.set_trace(span);
         let started = Instant::now();
         let node = session.node();
         session.begin().map_err(db)?;
@@ -634,7 +708,14 @@ fn run_task_phases(
         ) {
             Ok(true) => {
                 session.commit().map_err(db)?;
-                mark(1, node, started, format!("phase 1 saved partition {p}"));
+                mark(
+                    span,
+                    1,
+                    node,
+                    started,
+                    false,
+                    format!("phase 1 saved partition {p}"),
+                );
                 Ok(())
             }
             Ok(false) => {
@@ -642,16 +723,18 @@ fn run_task_phases(
                 // discard our staged copy.
                 session.rollback().map_err(db)?;
                 mark(
+                    span,
                     1,
                     node,
                     started,
+                    false,
                     format!("phase 1 duplicate of {p}, rolled back"),
                 );
                 Ok(())
             }
             Err(e) => {
                 let e = db(e);
-                mark(1, node, started, format!("phase 1 failed: {e}"));
+                mark(span, 1, node, started, true, format!("phase 1 failed: {e}"));
                 Err(e)
             }
         }
@@ -660,6 +743,7 @@ fn run_task_phases(
     // ----- Phase 2: are all tasks done? -------------------------------
     let not_done = conn.run("s2v.phase2", |session| {
         let db = |e: DbError| ConnectorError::db("s2v.phase2", e);
+        let span = obs::global().span_start("s2v.phase2", tc.trace);
         let started = Instant::now();
         let node = session.node();
         let not_done = session
@@ -678,7 +762,7 @@ fn run_task_phases(
         } else {
             "phase 2: all tasks done".to_string()
         };
-        mark(2, node, started, detail);
+        mark(span, 2, node, started, false, detail);
         Ok(not_done)
     })?;
     if not_done > 0 {
@@ -689,6 +773,7 @@ fn run_task_phases(
     // ----- Phase 3: race to become the last committer -----------------
     conn.run("s2v.phase3", |session| {
         let db = |e: DbError| ConnectorError::db("s2v.phase3", e);
+        let span = obs::global().span_start("s2v.phase3", tc.trace);
         let started = Instant::now();
         let node = session.node();
         session.begin().map_err(db)?;
@@ -706,17 +791,21 @@ fn run_task_phases(
                 .map_err(db)?;
             session.commit().map_err(db)?;
             mark(
+                span,
                 3,
                 node,
                 started,
+                false,
                 format!("phase 3: task {p} claimed the committer slot"),
             );
         } else {
             session.rollback().map_err(db)?;
             mark(
+                span,
                 3,
                 node,
                 started,
+                false,
                 "phase 3: committer slot taken".to_string(),
             );
         }
@@ -726,6 +815,7 @@ fn run_task_phases(
     // ----- Phase 4: did we win? ---------------------------------------
     let winner = conn.run("s2v.phase4", |session| {
         let db = |e: DbError| ConnectorError::db("s2v.phase4", e);
+        let span = obs::global().span_start("s2v.phase4", tc.trace);
         let started = Instant::now();
         let node = session.node();
         let winner = session
@@ -741,7 +831,7 @@ fn run_task_phases(
         } else {
             format!("phase 4: task {p} is the committer")
         };
-        mark(4, node, started, detail);
+        mark(span, 4, node, started, false, detail);
         Ok(winner)
     })?;
     if winner != p as i64 {
@@ -751,6 +841,8 @@ fn run_task_phases(
     // ----- Phase 5: tolerance check + final atomic commit -------------
     conn.run("s2v.phase5", |session| {
         let db = |e: DbError| ConnectorError::db("s2v.phase5", e);
+        let span = obs::global().span_start("s2v.phase5", tc.trace);
+        session.set_trace(span);
         let started = Instant::now();
         let node = session.node();
         session.begin().map_err(db)?;
@@ -780,9 +872,11 @@ fn run_task_phases(
                 .map_err(db)?;
             session.commit().map_err(db)?;
             mark(
+                span,
                 5,
                 node,
                 started,
+                true,
                 format!("phase 5: tolerance exceeded ({rejected} rejected)"),
             );
             return Ok(TaskEnd::ToleranceExceeded { loaded, rejected });
@@ -802,9 +896,11 @@ fn run_task_phases(
         if current == "finished" {
             session.rollback().map_err(db)?;
             mark(
+                span,
                 5,
                 node,
                 started,
+                false,
                 "phase 5: already finished, terminating".to_string(),
             );
             return Ok(TaskEnd::Done);
@@ -856,9 +952,11 @@ fn run_task_phases(
         // commit ack can suppress it entirely; then the durable final
         // status table is the record.)
         mark(
+            span,
             5,
             node,
             started,
+            false,
             format!("phase 5 final commit by task {p}, {loaded} loaded"),
         );
         obs::global().add("s2v.final_commits", 1);

@@ -70,6 +70,10 @@ pub struct DbRelation {
     deadline: Option<Deadline>,
     hedge: bool,
     hedge_delay: Option<Duration>,
+    /// The load's `v2s.load` root span: every catalog probe, piece
+    /// attempt, and hedge parents under it. Closed when the relation is
+    /// dropped.
+    trace: obs::TraceCtx,
 }
 
 /// One partition's work: queries to issue, each against a specific node.
@@ -95,6 +99,7 @@ impl DbRelation {
         let num_partitions = opts.num_partitions.unwrap_or(cluster.node_count());
         let tracker = tracker_for(&cluster);
         let deadline = opts.deadline.map(Deadline::within);
+        let trace = obs::global().trace_start("v2s.load");
         if let Ok(def) = cluster.table_def(&opts.table) {
             let kind = if def.is_segmented() {
                 RelationKind::Segmented
@@ -116,6 +121,7 @@ impl DbRelation {
                 deadline,
                 hedge: opts.hedge,
                 hedge_delay: opts.hedge_delay,
+                trace,
             });
         }
         // A view: discover the schema by executing it with LIMIT 1. The
@@ -123,6 +129,7 @@ impl DbRelation {
         // health steering and hedging as data pieces.
         let candidates = catalog_candidates(&cluster, host, opts.failover);
         let spec = QuerySpec::scan(&opts.table).with_limit(1).at_epoch(epoch);
+        let open_span = obs::global().span_start(names::V2S_OPEN, trace);
         let probe = with_retry_deadline(&opts.retry, deadline, names::V2S_OPEN, |attempt| {
             let delay = if opts.hedge {
                 tracker.hedge_delay(opts.hedge_delay)
@@ -136,9 +143,15 @@ impl DbRelation {
                 names::V2S_OPEN,
                 &candidates,
                 attempt,
-                catalog_exec(&cluster, names::V2S_OPEN, spec.clone()),
+                open_span,
+                catalog_exec(&cluster, names::V2S_OPEN, spec.clone(), open_span),
             )
-        })?;
+        });
+        obs::global().span_finish(open_span, |s| {
+            s.failed = probe.is_err();
+            s.detail = format!("probe view {}", opts.table);
+        });
+        let probe = probe?;
         Ok(DbRelation {
             cluster: Arc::clone(&cluster),
             table: opts.table.clone(),
@@ -154,6 +167,7 @@ impl DbRelation {
             deadline,
             hedge: opts.hedge,
             hedge_delay: opts.hedge_delay,
+            trace,
         })
     }
 
@@ -164,6 +178,18 @@ impl DbRelation {
 
     pub fn num_partitions(&self) -> usize {
         self.num_partitions
+    }
+
+    /// The load's trace in the global collector.
+    pub fn trace_id(&self) -> obs::TraceId {
+        self.trace.trace
+    }
+
+    /// Render the load's span tree and critical path so far. The
+    /// `v2s.load` root stays open until the relation drops, so a live
+    /// relation shows it `UNCLOSED` — everything underneath is real.
+    pub fn profile(&self) -> String {
+        obs::trace::render(&obs::global().trace_spans(self.trace.trace))
     }
 
     /// Build the per-partition plans.
@@ -178,6 +204,7 @@ impl DbRelation {
                 // the pinned epoch.
                 let candidates = catalog_candidates(&self.cluster, self.host, self.failover);
                 let spec = QuerySpec::scan(&self.table).at_epoch(self.epoch).count();
+                let plan_span = obs::global().span_start(names::V2S_PLAN, self.trace);
                 let total =
                     with_retry_deadline(&self.retry, self.deadline, names::V2S_PLAN, |attempt| {
                         let delay = if self.hedge {
@@ -192,9 +219,18 @@ impl DbRelation {
                             names::V2S_PLAN,
                             &candidates,
                             attempt,
-                            catalog_exec(&self.cluster, names::V2S_PLAN, spec.clone()),
+                            plan_span,
+                            catalog_exec(&self.cluster, names::V2S_PLAN, spec.clone(), plan_span),
                         )
-                    })?;
+                    });
+                obs::global().span_finish(plan_span, |s| {
+                    s.failed = total.is_err();
+                    if let Ok(t) = &total {
+                        s.rows = t.count;
+                    }
+                    s.detail = format!("count {}", self.table);
+                });
+                let total = total?;
                 let up = self.cluster.up_nodes();
                 if up.is_empty() {
                     return Err(ConnectorError::NoLiveNodes);
@@ -202,6 +238,16 @@ impl DbRelation {
                 Ok(plan_row_partitions(total.count, self.num_partitions, &up))
             }
         }
+    }
+}
+
+impl Drop for DbRelation {
+    fn drop(&mut self) {
+        // The relation's lifetime is the load: closing the root here
+        // stamps the `v2s.load` duration and feeds its histogram.
+        obs::global().span_finish(self.trace, |s| {
+            s.detail = format!("load {}", self.table);
+        });
     }
 }
 
@@ -233,12 +279,14 @@ fn catalog_exec(
     cluster: &Arc<Cluster>,
     op: &'static str,
     spec: QuerySpec,
+    trace: obs::TraceCtx,
 ) -> Arc<dyn Fn(usize) -> ConnectorResult<mppdb::QueryResult> + Send + Sync> {
     let cluster = Arc::clone(cluster);
     Arc::new(move |node| {
         let mut session = cluster
             .connect(node)
             .map_err(|e| ConnectorError::db(op, e))?;
+        session.set_trace(trace);
         session.query(&spec).map_err(|e| ConnectorError::db(op, e))
     })
 }
@@ -260,6 +308,7 @@ fn catalog_exec(
 /// breakers, transient failures trip them. Fatal errors are *not*
 /// counted against the node — a syntax error says nothing about node
 /// health.
+#[allow(clippy::too_many_arguments)]
 fn run_steered<T: Send + 'static>(
     tracker: &Arc<HealthTracker>,
     cluster: &Cluster,
@@ -267,6 +316,7 @@ fn run_steered<T: Send + 'static>(
     op: &'static str,
     candidates: &[usize],
     attempt: u32,
+    trace: obs::TraceCtx,
     exec: Arc<dyn Fn(usize) -> ConnectorResult<T> + Send + Sync>,
 ) -> ConnectorResult<T> {
     let mut order: Vec<usize> = candidates
@@ -308,7 +358,7 @@ fn run_steered<T: Send + 'static>(
         })
     };
     match (hedge_delay, buddy) {
-        (Some(delay), Some(buddy)) => hedged_read(op, delay, primary, buddy, run),
+        (Some(delay), Some(buddy)) => hedged_read(op, delay, primary, buddy, trace, run),
         _ => run(primary),
     }
 }
@@ -382,6 +432,8 @@ struct V2sSource {
     deadline: Option<Deadline>,
     hedge: bool,
     hedge_delay: Option<Duration>,
+    /// The relation's `v2s.load` root: piece attempts parent here.
+    trace: obs::TraceCtx,
 }
 
 /// Everything one piece execution needs, owned, so hedge attempts can
@@ -399,12 +451,17 @@ struct PieceCtx {
 
 /// Execute one piece query against `connect_node` — the hot body shared
 /// by the primary and any hedge attempt.
-fn exec_piece(ctx: &PieceCtx, connect_node: usize) -> ConnectorResult<mppdb::QueryResult> {
+fn exec_piece(
+    ctx: &PieceCtx,
+    connect_node: usize,
+    trace: obs::TraceCtx,
+) -> ConnectorResult<mppdb::QueryResult> {
     let mut session = ctx
         .cluster
         .connect(connect_node)
         .map_err(|e| ConnectorError::db(names::V2S_CONNECT, e))?;
     session.set_task_tag(Some(ctx.partition as u64));
+    session.set_trace(trace);
     if let Some(pool) = &ctx.resource_pool {
         session
             .set_resource_pool(pool)
@@ -480,6 +537,7 @@ fn exec_piece(ctx: &PieceCtx, connect_node: usize) -> ConnectorResult<mppdb::Que
     obs::global().add("v2s.pieces", 1);
     obs::global().add("v2s.rows", rows);
     obs::global().add("v2s.bytes", bytes);
+    obs::global().record_histo("v2s.piece_bytes", bytes);
     obs::global().record_time("v2s.piece_us", piece_started.elapsed());
     Ok(result)
 }
@@ -530,15 +588,25 @@ impl V2sSource {
                 None
             };
             let ctx = Arc::clone(&ctx);
-            run_steered(
+            let span = obs::global().span_start(names::V2S_PIECE, self.trace);
+            let result = run_steered(
                 &self.tracker,
                 &self.cluster,
                 delay,
                 names::V2S_PIECE,
                 &candidates,
                 attempt,
-                Arc::new(move |n| exec_piece(&ctx, n)),
-            )
+                span,
+                Arc::new(move |n| exec_piece(&ctx, n, span)),
+            );
+            obs::global().span_finish(span, |s| {
+                s.task = Some(partition as u64);
+                s.attempt = attempt;
+                s.node = Some(node as u64);
+                s.failed = result.is_err();
+                s.detail = format!("{} piece {partition}", self.relation_table);
+            });
+            result
         })
     }
 }
@@ -616,6 +684,7 @@ impl ScanRelation for DbRelation {
             deadline: self.deadline,
             hedge: self.hedge,
             hedge_delay: self.hedge_delay,
+            trace: self.trace,
         };
         Ok(Rdd::from_source(ctx.clone(), Arc::new(source)))
     }
@@ -639,8 +708,9 @@ impl ScanRelation for DbRelation {
             deadline: self.deadline,
             hedge: self.hedge,
             hedge_delay: self.hedge_delay,
+            trace: self.trace,
         };
-        let counts = ctx.run_partitions(source.num_partitions(), |tc| {
+        let counts = ctx.run_partitions_traced(source.num_partitions(), self.trace, |tc| {
             let mut total = 0u64;
             for (node, range) in &source.plans[tc.partition].pieces {
                 let spec = build_piece_spec(

@@ -403,10 +403,12 @@ fn is_counter_shaped(s: &str) -> bool {
 
 #[derive(Debug, Default)]
 struct FileFacts {
-    /// Counter names recorded through `obs::global()` in this file.
-    used_names: Vec<(String, u32)>,
-    /// SCREAMING_CASE idents inside emit-call arguments (name consts).
-    used_consts: Vec<(String, u32)>,
+    /// Names recorded through `obs::global()` in this file, with the
+    /// emit method used (the method picks the kind cross-check).
+    used_names: Vec<(String, u32, String)>,
+    /// SCREAMING_CASE idents inside emit-call arguments (name consts),
+    /// with the emit method used.
+    used_consts: Vec<(String, u32, String)>,
     /// Counter-shaped string literals anywhere in the file.
     dotted_literals: Vec<(String, u32)>,
     /// Every string literal value (dead-row cross-check).
@@ -427,7 +429,27 @@ struct FileFacts {
 /// A taxonomy enum declaration: (name, decl line, variants with lines).
 type EnumDecl = (String, u32, Vec<(String, u32)>);
 
-const EMIT_METHODS: &[&str] = &["incr", "add", "record_time", "span", "counter_value"];
+const EMIT_METHODS: &[&str] = &[
+    "incr",
+    "add",
+    "record_time",
+    "span",
+    "counter_value",
+    "trace_start",
+    "span_start",
+    "record_histo",
+];
+
+/// Registry kinds each trace/histogram emit method may target; methods
+/// not listed here keep the registration-only check. A finished span
+/// feeds a same-named histogram, so `record_histo` also accepts Span.
+fn allowed_kinds(method: &str) -> Option<&'static [&'static str]> {
+    match method {
+        "trace_start" | "span_start" => Some(&["Span"]),
+        "record_histo" => Some(&["Histo", "Span"]),
+        _ => None,
+    }
+}
 
 fn is_test_path(path: &str) -> bool {
     path.starts_with("tests/")
@@ -532,12 +554,15 @@ fn analyze_file(file: &SourceFile, cfg: &Config) -> FileFacts {
                     && EMIT_METHODS.contains(&toks[i + 4].text.as_str())
                     && toks[i + 5].is_punct('(')
                 {
+                    let method = toks[i + 4].text.clone();
                     let close = match_delim(toks, i + 5, '(', ')');
                     let arg_end = first_arg_end(toks, i + 5, close);
                     for arg in &toks[(i + 6)..arg_end] {
                         match arg.kind {
                             TokKind::Str => {
-                                facts.used_names.push((arg.text.clone(), arg.line));
+                                facts
+                                    .used_names
+                                    .push((arg.text.clone(), arg.line, method.clone()));
                             }
                             TokKind::Ident
                                 if arg.text.len() > 1
@@ -546,7 +571,11 @@ fn analyze_file(file: &SourceFile, cfg: &Config) -> FileFacts {
                                         .chars()
                                         .all(|c| c.is_ascii_uppercase() || c == '_') =>
                             {
-                                facts.used_consts.push((arg.text.clone(), arg.line));
+                                facts.used_consts.push((
+                                    arg.text.clone(),
+                                    arg.line,
+                                    method.clone(),
+                                ));
                             }
                             _ => {}
                         }
@@ -807,9 +836,39 @@ pub fn lint_files(files: &[SourceFile], allow: &Allowlist, cfg: &Config) -> Vec<
     let mut flagged_sites: HashSet<(String, u32, String)> = HashSet::new();
 
     if have_registry {
-        // Direction A: every recorded name must be registered.
+        // Direction A: every recorded name must be registered — and
+        // for trace/histogram methods, registered with the right kind
+        // (a `span_start` against a Counter row is as wrong as an
+        // unregistered name: the span would shadow an existing metric).
+        let kind_of = |name: &str| -> Option<String> {
+            registry
+                .entries
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.kind.clone())
+        };
+        let check_kind =
+            |file: &str, line: u32, name: &str, method: &str, findings: &mut Vec<Finding>| {
+                let Some(allowed) = allowed_kinds(method) else {
+                    return;
+                };
+                if let Some(kind) = kind_of(name) {
+                    if !allowed.contains(&kind.as_str()) {
+                        findings.push(Finding {
+                            file: file.to_string(),
+                            line,
+                            rule: Rule::ObsRegistry,
+                            message: format!(
+                                "`{method}` on \"{name}\" which is registered as \
+                                 NameKind::{kind}; expected {}",
+                                allowed.join(" or ")
+                            ),
+                        });
+                    }
+                }
+            };
         for (file, ff) in &facts {
-            for (name, line) in &ff.used_names {
+            for (name, line, method) in &ff.used_names {
                 if !registry.is_registered(name) {
                     flagged_sites.insert((file.path.clone(), *line, name.clone()));
                     findings.push(Finding {
@@ -820,9 +879,11 @@ pub fn lint_files(files: &[SourceFile], allow: &Allowlist, cfg: &Config) -> Vec<
                             "counter name \"{name}\" is not registered in obs::names::DEFS"
                         ),
                     });
+                } else {
+                    check_kind(&file.path, *line, name, method, &mut findings);
                 }
             }
-            for (ident, line) in &ff.used_consts {
+            for (ident, line, method) in &ff.used_consts {
                 match registry.consts.get(ident) {
                     None => findings.push(Finding {
                         file: file.path.clone(),
@@ -844,6 +905,8 @@ pub fn lint_files(files: &[SourceFile], allow: &Allowlist, cfg: &Config) -> Vec<
                                          in obs::names::DEFS"
                                     ),
                                 });
+                            } else {
+                                check_kind(&file.path, *line, value, method, &mut findings);
                             }
                         }
                     }

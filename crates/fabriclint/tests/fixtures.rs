@@ -167,6 +167,83 @@ fn read() {
     assert!(lint(&[names_file(), good]).is_empty());
 }
 
+/// A registry with one span, one histogram, and one counter — for the
+/// trace-emit cross-checks.
+fn span_names_file() -> SourceFile {
+    file(
+        "crates/obs/src/names.rs",
+        r#"
+pub const FIX_HITS: &str = "fix.hits";
+
+pub static DEFS: &[NameDef] = &[
+    NameDef { name: FIX_HITS, kind: NameKind::Counter, help: "h" },
+    NameDef { name: "fix.job", kind: NameKind::Span, help: "h" },
+    NameDef { name: "fix.piece_bytes", kind: NameKind::Histo, help: "h" },
+];
+"#,
+    )
+}
+
+#[test]
+fn obs_registry_cross_checks_span_emit_sites() {
+    // The idiomatic spellings: spans against Span rows, record_histo
+    // against Histo rows (or a Span row, whose histogram is implicit).
+    let good = file(
+        "crates/app/src/trace.rs",
+        r#"
+fn run() {
+    obs::global().incr(FIX_HITS);
+    let root = obs::global().trace_start("fix.job");
+    let child = obs::global().span_start("fix.job", root);
+    obs::global().record_histo("fix.piece_bytes", n);
+    obs::global().record_histo("fix.job", n);
+}
+"#,
+    );
+    assert!(lint(&[span_names_file(), good]).is_empty());
+
+    // An unregistered span name is flagged like an unregistered counter.
+    let phantom = file(
+        "crates/app/src/trace.rs",
+        r#"
+fn run() {
+    obs::global().incr(FIX_HITS);
+    let root = obs::global().trace_start("fix.job");
+    obs::global().record_histo("fix.piece_bytes", n);
+    let c = obs::global().span_start("fix.phantom", root);
+}
+"#,
+    );
+    let f = lint(&[span_names_file(), phantom]);
+    assert_eq!(rules(&f), vec![Rule::ObsRegistry]);
+    assert!(f[0].message.contains("fix.phantom"));
+
+    // A span emit against a non-Span row is a kind mismatch.
+    let mismatch = file(
+        "crates/app/src/trace.rs",
+        r#"
+fn run() {
+    let root = obs::global().trace_start(FIX_HITS);
+    let child = obs::global().span_start("fix.job", root);
+    obs::global().record_histo("fix.piece_bytes", n);
+}
+"#,
+    );
+    let f = lint(&[span_names_file(), mismatch]);
+    assert_eq!(rules(&f), vec![Rule::ObsRegistry], "{f:?}");
+    assert!(
+        f[0].message.contains("NameKind::Counter") && f[0].message.contains("expected Span"),
+        "{:?}",
+        f[0]
+    );
+
+    // A dead Span row is still a dead row.
+    let unused = file("crates/app/src/other.rs", "fn emit() { obs::global().incr(FIX_HITS); obs::global().record_histo(\"fix.piece_bytes\", n); }");
+    let f = lint(&[span_names_file(), unused]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("dead DEFS row") && f[0].message.contains("fix.job"));
+}
+
 // ---------------------------------------------------------------------
 // error-taxonomy
 // ---------------------------------------------------------------------

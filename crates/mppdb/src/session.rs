@@ -31,6 +31,9 @@ pub struct Session {
     pub(crate) txn: Option<TxnHandle>,
     task_tag: Option<u64>,
     pool: String,
+    /// Parent for the session's `db.copy` / `db.query` spans; NONE (the
+    /// default) keeps the session untraced.
+    trace: obs::TraceCtx,
 }
 
 impl Session {
@@ -43,6 +46,7 @@ impl Session {
             txn: None,
             task_tag: None,
             pool: "general".to_string(),
+            trace: obs::TraceCtx::NONE,
         }
     }
 
@@ -71,6 +75,12 @@ impl Session {
 
     pub fn task_tag(&self) -> Option<u64> {
         self.task_tag
+    }
+
+    /// Parent subsequent `db.copy` / `db.query` spans under `trace`
+    /// (the caller's current span). [`obs::TraceCtx::NONE`] disables.
+    pub fn set_trace(&mut self, trace: obs::TraceCtx) {
+        self.trace = trace;
     }
 
     /// Switch the session's resource pool (must exist).
@@ -194,9 +204,25 @@ impl Session {
         source: CopySource,
         options: CopyOptions,
     ) -> DbResult<CopyResult> {
-        self.with_txn(|cluster, txn, node, tag| {
+        let span = obs::global().span_start("db.copy", self.trace);
+        let node = self.node;
+        let result = self.with_txn(|cluster, txn, node, tag| {
             run_copy(cluster, txn, node, tag, table, source, &options)
-        })
+        });
+        obs::global().span_finish(span, |s| {
+            s.node = Some(node as u64);
+            match &result {
+                Ok(copy) => {
+                    s.rows = copy.loaded;
+                    s.detail = format!("COPY {table} ({} rejected)", copy.rejected);
+                }
+                Err(e) => {
+                    s.failed = true;
+                    s.detail = format!("COPY {table}: {e}");
+                }
+            }
+        });
+        result
     }
 
     /// Execute a programmatic read. Outside a transaction this is a
@@ -217,6 +243,26 @@ impl Session {
     }
 
     fn query_inner(&mut self, spec: &QuerySpec, want_batch: bool) -> DbResult<QueryResult> {
+        let span = obs::global().span_start("db.query", self.trace);
+        let node = self.node;
+        let result = self.query_unspanned(spec, want_batch);
+        obs::global().span_finish(span, |s| {
+            s.node = Some(node as u64);
+            match &result {
+                Ok(r) => {
+                    s.rows = r.num_rows() as u64;
+                    s.detail = format!("scan {}", spec.table);
+                }
+                Err(e) => {
+                    s.failed = true;
+                    s.detail = format!("scan {}: {e}", spec.table);
+                }
+            }
+        });
+        result
+    }
+
+    fn query_unspanned(&mut self, spec: &QuerySpec, want_batch: bool) -> DbResult<QueryResult> {
         self.ensure_connected()?;
         let _admission = match self.cluster.resource_pool(&self.pool) {
             Some(pool) => Some(pool.try_admit()?),

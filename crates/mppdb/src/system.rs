@@ -22,7 +22,17 @@
 //! * `dc_lock_edges` — the lock-order witness's acquisition-order
 //!   graph (debug/test builds): one row per observed "lock at
 //!   `from_site` held while acquiring `to_site`" edge. Empty in
-//!   release builds, where the witness compiles out.
+//!   release builds, where the witness compiles out,
+//! * `dc_spans` — every retained distributed-trace span: trace/span/
+//!   parent ids, name, timing, node/task/attempt tags, and row/byte
+//!   payloads. `dur_us` is NULL while a span is unclosed,
+//! * `dc_trace_summary` — one row per retained trace: its root span,
+//!   span/failure/unclosed counts, total duration, and the rendered
+//!   critical-path attribution line,
+//! * `dc_histograms` — the log-linear value histograms
+//!   (`Metric::Histo`): count/sum/min/max plus P50/P95/P99. Values
+//!   are unit-free — span histograms hold microseconds,
+//!   `v2s.piece_bytes` holds bytes.
 //!
 //! All tables are defined in one place ([`DEFS`]): the name list and
 //! the scan dispatch both derive from it, so they cannot drift apart.
@@ -68,6 +78,18 @@ static DEFS: &[SystemTableDef] = &[
         name: "dc_lock_edges",
         scan: scan_dc_lock_edges,
     },
+    SystemTableDef {
+        name: "dc_spans",
+        scan: scan_dc_spans,
+    },
+    SystemTableDef {
+        name: "dc_trace_summary",
+        scan: scan_dc_trace_summary,
+    },
+    SystemTableDef {
+        name: "dc_histograms",
+        scan: scan_dc_histograms,
+    },
 ];
 
 /// Names of the available system tables.
@@ -79,6 +101,9 @@ pub const SYSTEM_TABLES: &[&str] = &[
     "dc_events",
     "dc_counters",
     "dc_lock_edges",
+    "dc_spans",
+    "dc_trace_summary",
+    "dc_histograms",
 ];
 
 /// Produce the contents of a system table, or `None` if `name` isn't one.
@@ -272,6 +297,10 @@ fn scan_dc_counters(_cluster: &Cluster) -> (Schema, Vec<Row>) {
         Value::Varchar("dc.dropped_events".to_string()),
         Value::Int64(snap.dropped_events as i64),
     ]));
+    rows.push(Row::new(vec![
+        Value::Varchar("dc.dropped_spans".to_string()),
+        Value::Int64(snap.dropped_spans as i64),
+    ]));
     // Lock-order-witness findings are pulled here rather than pushed
     // through the collector: the witness hooks run while a freshly
     // acquired guard is still held, so an emit from inside them could
@@ -316,6 +345,129 @@ fn scan_dc_lock_edges(_cluster: &Cluster) -> (Schema, Vec<Row>) {
                 Value::Varchar(e.from_site),
                 Value::Varchar(e.to_site),
                 Value::Int64(i64::try_from(e.count).unwrap_or(i64::MAX)),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_dc_spans(_cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("trace_id", DataType::Int64),
+        ("span_id", DataType::Int64),
+        ("parent_id", DataType::Int64),
+        ("name", DataType::Varchar),
+        ("start_us", DataType::Int64),
+        ("dur_us", DataType::Int64),
+        ("node", DataType::Int64),
+        ("task", DataType::Int64),
+        ("attempt", DataType::Int64),
+        ("rows", DataType::Int64),
+        ("bytes", DataType::Int64),
+        ("failed", DataType::Boolean),
+        ("detail", DataType::Varchar),
+    ]);
+    let rows = obs::global()
+        .all_spans()
+        .into_iter()
+        .map(|s| {
+            Row::new(vec![
+                Value::Int64(s.trace.0 as i64),
+                Value::Int64(s.span.0 as i64),
+                s.parent
+                    .map(|p| Value::Int64(p.0 as i64))
+                    .unwrap_or(Value::Null),
+                Value::Varchar(s.name.to_string()),
+                Value::Int64(s.start_us as i64),
+                // NULL marks an unclosed span; 0 is a real (sub-µs)
+                // duration.
+                s.end_us
+                    .map(|_| Value::Int64(s.dur_us() as i64))
+                    .unwrap_or(Value::Null),
+                s.node
+                    .map(|n| Value::Int64(n as i64))
+                    .unwrap_or(Value::Null),
+                s.task
+                    .map(|t| Value::Int64(t as i64))
+                    .unwrap_or(Value::Null),
+                Value::Int64(s.attempt as i64),
+                Value::Int64(s.rows as i64),
+                Value::Int64(s.bytes as i64),
+                Value::Boolean(s.failed),
+                Value::Varchar(s.detail),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_dc_trace_summary(_cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("trace_id", DataType::Int64),
+        ("root", DataType::Varchar),
+        ("spans", DataType::Int64),
+        ("failed_spans", DataType::Int64),
+        ("unclosed_spans", DataType::Int64),
+        ("orphan_spans", DataType::Int64),
+        ("dur_us", DataType::Int64),
+        ("critical_path", DataType::Varchar),
+    ]);
+    let collector = obs::global();
+    let rows = collector
+        .trace_ids()
+        .into_iter()
+        .filter_map(|id| {
+            let spans = collector.trace_spans(id);
+            let root = spans.iter().find(|s| s.parent.is_none())?;
+            let issues = obs::trace::validate(&spans);
+            let unclosed = issues
+                .iter()
+                .filter(|i| matches!(i, obs::trace::TraceIssue::Unclosed { .. }))
+                .count();
+            let orphans = issues.len() - unclosed;
+            Some(Row::new(vec![
+                Value::Int64(id.0 as i64),
+                Value::Varchar(root.name.to_string()),
+                Value::Int64(spans.len() as i64),
+                Value::Int64(spans.iter().filter(|s| s.failed).count() as i64),
+                Value::Int64(unclosed as i64),
+                Value::Int64(orphans as i64),
+                root.end_us
+                    .map(|_| Value::Int64(root.dur_us() as i64))
+                    .unwrap_or(Value::Null),
+                Value::Varchar(obs::trace::critical_path_text(&spans)),
+            ]))
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn scan_dc_histograms(_cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("name", DataType::Varchar),
+        ("count", DataType::Int64),
+        ("sum", DataType::Int64),
+        ("min", DataType::Int64),
+        ("max", DataType::Int64),
+        ("p50", DataType::Int64),
+        ("p95", DataType::Int64),
+        ("p99", DataType::Int64),
+    ]);
+    let snap = obs::global().snapshot();
+    let rows = snap
+        .histos
+        .iter()
+        .map(|(name, h)| {
+            let s = h.stats();
+            Row::new(vec![
+                Value::Varchar(name.clone()),
+                Value::Int64(s.count as i64),
+                Value::Int64(s.sum as i64),
+                Value::Int64(s.min as i64),
+                Value::Int64(s.max as i64),
+                Value::Int64(s.p50 as i64),
+                Value::Int64(s.p95 as i64),
+                Value::Int64(s.p99 as i64),
             ])
         })
         .collect();
@@ -374,6 +526,69 @@ mod tests {
         assert!(counter_rows.iter().any(
             |r| matches!(r.values().first(), Some(Value::Varchar(n)) if n == "dc.dropped_events")
         ));
+    }
+
+    /// The trace tables read the process-wide collector, which other
+    /// tests also feed — so assert on spans this test created rather
+    /// than on totals.
+    #[test]
+    fn dc_span_tables_expose_trace_and_critical_path() {
+        let cluster = Cluster::new(ClusterConfig::default());
+        let c = obs::global();
+        let root = c.trace_start("s2v.job");
+        assert!(root.is_some());
+        let child = c.span_start("s2v.phase3", root);
+        c.span_finish(child, |s| {
+            s.node = Some(2);
+            s.attempt = 1;
+            s.rows = 7;
+        });
+        c.span_finish(root, |s| s.detail = "dc_spans test job".to_string());
+
+        let (schema, rows) = scan_system_table(&cluster, "dc_spans").unwrap();
+        assert_eq!(schema.fields()[0].name, "trace_id");
+        assert_eq!(schema.len(), 13);
+        let trace_id = Value::Int64(root.trace.0 as i64);
+        let mine: Vec<&Row> = rows.iter().filter(|r| r.values()[0] == trace_id).collect();
+        assert_eq!(mine.len(), 2);
+        // Root has NULL parent; the child links to it.
+        assert_eq!(mine[0].values()[2], Value::Null);
+        assert_eq!(mine[1].values()[2], Value::Int64(root.span.0 as i64));
+        assert_eq!(mine[1].values()[9], Value::Int64(7)); // rows tag
+
+        let (_, summaries) = scan_system_table(&cluster, "dc_trace_summary").unwrap();
+        let mine = summaries
+            .iter()
+            .find(|r| r.values()[0] == trace_id)
+            .expect("summary row for the test trace");
+        assert_eq!(mine.values()[1], Value::Varchar("s2v.job".to_string()));
+        assert_eq!(mine.values()[2], Value::Int64(2));
+        assert_eq!(mine.values()[4], Value::Int64(0), "no unclosed spans");
+        let Value::Varchar(path) = &mine.values()[7] else {
+            panic!("critical_path must be text")
+        };
+        assert!(path.contains("s2v.phase3"), "critical path: {path}");
+    }
+
+    #[test]
+    fn dc_histograms_reports_exact_quantiles() {
+        let cluster = Cluster::new(ClusterConfig::default());
+        // A registered name nothing else in this test binary records,
+        // so the quantiles stay exact.
+        for v in [1, 2, 3, 60] {
+            obs::global().record_histo("v2s.piece_bytes", v);
+        }
+        let (schema, rows) = scan_system_table(&cluster, "dc_histograms").unwrap();
+        assert_eq!(schema.fields()[0].name, "name");
+        let row = rows
+            .iter()
+            .find(|r| r.values()[0] == Value::Varchar("v2s.piece_bytes".to_string()))
+            .expect("histogram row");
+        assert_eq!(row.values()[1], Value::Int64(4)); // count
+        assert_eq!(row.values()[2], Value::Int64(66)); // sum
+                                                       // Values under the linear cutoff are bucketed exactly.
+        assert_eq!(row.values()[5], Value::Int64(2)); // p50
+        assert_eq!(row.values()[7], Value::Int64(60)); // p99
     }
 
     #[test]

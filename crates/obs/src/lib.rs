@@ -13,6 +13,16 @@
 //! * **Timers** — named log2-bucketed histograms of span durations,
 //!   recorded via [`Collector::record_time`] or the RAII
 //!   [`Span`] guard.
+//! * **Histograms** ([`Histo`]) — named log-linear value histograms
+//!   with exact-rank quantile extraction at ~1.6% bucket resolution
+//!   (and *exactly* for values below [`HISTO_LINEAR_MAX`]), recorded
+//!   via [`Collector::record_histo`]. Finished trace spans also feed a
+//!   histogram named after the span, so P50/P95/P99 per span name come
+//!   for free.
+//! * **Traces** ([`trace`]) — span trees with explicit by-value
+//!   context ([`TraceCtx`]), started with [`Collector::trace_start`]
+//!   and grown with [`Collector::span_start`] /
+//!   [`Collector::span_finish`].
 //!
 //! The process-wide instance is [`global()`]; isolated instances
 //! ([`Collector::new`]) exist for tests. Collection can be switched
@@ -32,6 +42,9 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 pub mod names;
+pub mod trace;
+
+pub use trace::{SpanId, SpanRecord, TraceCtx, TraceId};
 
 /// Number of event shards; writers pick one per thread.
 const SHARDS: usize = 16;
@@ -202,6 +215,192 @@ impl Timer {
     }
 }
 
+/// Values below this record into their own unit-wide bucket, so
+/// quantiles of small values are exact, not bucket-rounded.
+pub const HISTO_LINEAR_MAX: u64 = 64;
+
+/// Sub-buckets per power-of-two octave above the linear range: the
+/// bucket width is `2^(msb-6)`, bounding relative error at 1/64.
+const HISTO_SUB: u64 = 64;
+
+/// 64 linear buckets + 64 sub-buckets for each octave 2^6 ..= 2^63.
+const HISTO_BUCKETS: usize = (HISTO_LINEAR_MAX + (63 - 6 + 1) * HISTO_SUB) as usize;
+
+/// Aggregated statistics for one histogram, quantiles included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistoStats {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+/// A fixed-bucket log-linear histogram (the `Metric::Histo` shape):
+/// values below [`HISTO_LINEAR_MAX`] get exact unit buckets; above
+/// that, each power-of-two octave splits into 64 sub-buckets, so a
+/// quantile is off by at most 1/64 of the value. [`Histo::quantile`]
+/// does exact *rank* selection — it returns the inclusive upper bound
+/// of the bucket holding the `ceil(q·n)`-th smallest sample, clamped
+/// to the observed `[min, max]` — so for small values it reproduces
+/// the sorted-reference answer exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histo {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Box<[u64]>,
+}
+
+impl Default for Histo {
+    fn default() -> Histo {
+        Histo {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HISTO_BUCKETS].into_boxed_slice(),
+        }
+    }
+}
+
+/// Bucket index holding `value`.
+pub fn histo_bucket_index(value: u64) -> usize {
+    if value < HISTO_LINEAR_MAX {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as u64; // >= 6
+    let offset = (value >> (msb - 6)) - HISTO_SUB; // 0..64 within the octave
+    (HISTO_LINEAR_MAX + (msb - 6) * HISTO_SUB + offset) as usize
+}
+
+/// Smallest value mapping to bucket `index`.
+pub fn histo_bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < HISTO_LINEAR_MAX {
+        return index;
+    }
+    let octave = (index - HISTO_LINEAR_MAX) / HISTO_SUB;
+    let pos = (index - HISTO_LINEAR_MAX) % HISTO_SUB;
+    (((HISTO_SUB + pos) as u128) << octave) as u64
+}
+
+/// Largest value mapping to bucket `index` — what [`Histo::quantile`]
+/// reports (before clamping), and what a reference computation should
+/// round a sorted sample up to.
+pub fn histo_bucket_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < HISTO_LINEAR_MAX {
+        return index;
+    }
+    let octave = (index - HISTO_LINEAR_MAX) / HISTO_SUB;
+    let pos = (index - HISTO_LINEAR_MAX) % HISTO_SUB;
+    ((((HISTO_SUB + pos + 1) as u128) << octave) - 1) as u64
+}
+
+impl Histo {
+    pub fn new() -> Histo {
+        Histo::default()
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if self.count == 1 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.buckets[histo_bucket_index(value)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact-rank quantile at bucket resolution: the upper bound of
+    /// the bucket holding the `ceil(q·count)`-th smallest sample,
+    /// clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return histo_bucket_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    pub fn stats(&self) -> HistoStats {
+        HistoStats {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// The distribution recorded between `earlier` and `self`
+    /// (bucket-wise subtraction) — what one experiment contributed.
+    /// `min`/`max` of the delta are reconstructed from the surviving
+    /// buckets, so they carry bucket resolution rather than being
+    /// sample-exact.
+    pub fn since(&self, earlier: &Histo) -> Histo {
+        let mut out = Histo {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            ..Histo::default()
+        };
+        for (i, (now, before)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            let delta = now.saturating_sub(*before);
+            out.buckets[i] = delta;
+            if delta > 0 {
+                let floor = histo_bucket_floor(i).max(self.min);
+                let bound = histo_bucket_bound(i).min(self.max);
+                if out.max == 0 || floor < out.min {
+                    out.min = floor;
+                }
+                if bound > out.max {
+                    out.max = bound;
+                }
+            }
+        }
+        if out.count == 0 {
+            out.min = 0;
+            out.max = 0;
+        }
+        out
+    }
+}
+
 /// A point-in-time copy of everything the collector holds.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -211,8 +410,14 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Timer name → aggregated stats.
     pub timers: BTreeMap<String, TimerStats>,
+    /// Histogram name → full histogram (so deltas via [`Histo::since`]
+    /// can still extract quantiles).
+    pub histos: BTreeMap<String, Histo>,
     /// Events discarded because a shard's ring filled.
     pub dropped_events: u64,
+    /// Spans discarded because a trace hit its span cap (or its trace
+    /// was already evicted).
+    pub dropped_spans: u64,
 }
 
 impl Snapshot {
@@ -244,6 +449,8 @@ pub struct Collector {
     dropped: AtomicU64,
     counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
     timers: RwLock<HashMap<&'static str, Arc<Mutex<Timer>>>>,
+    histos: RwLock<HashMap<&'static str, Arc<Mutex<Histo>>>>,
+    traces: Mutex<trace::TraceStore>,
     next_shard: AtomicUsize,
 }
 
@@ -269,6 +476,8 @@ impl Collector {
             dropped: AtomicU64::new(0),
             counters: RwLock::new(HashMap::new()),
             timers: RwLock::new(HashMap::new()),
+            histos: RwLock::new(HashMap::new()),
+            traces: Mutex::new(trace::TraceStore::default()),
             next_shard: AtomicUsize::new(0),
         }
     }
@@ -378,6 +587,86 @@ impl Collector {
         timer.lock().record(dur.as_micros() as u64);
     }
 
+    /// Record one value into a named log-linear histogram.
+    pub fn record_histo(&self, name: &'static str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let histo = {
+            let read = self.histos.read();
+            match read.get(name) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    drop(read);
+                    Arc::clone(
+                        self.histos
+                            .write()
+                            .entry(name)
+                            .or_insert_with(|| Arc::new(Mutex::new(Histo::default()))),
+                    )
+                }
+            }
+        };
+        histo.lock().record(value);
+    }
+
+    /// A point-in-time copy of one named histogram, if it exists.
+    pub fn histo(&self, name: &str) -> Option<Histo> {
+        self.histos.read().get(name).map(|h| h.lock().clone())
+    }
+
+    /// Start a new trace rooted at a span called `name`. Returns
+    /// [`TraceCtx::NONE`] when collection is disabled, which turns all
+    /// downstream span operations into no-ops.
+    pub fn trace_start(&self, name: &'static str) -> TraceCtx {
+        if !self.is_enabled() {
+            return TraceCtx::NONE;
+        }
+        let now = self.start.elapsed().as_micros() as u64;
+        self.traces.lock().start_trace(name, now)
+    }
+
+    /// Start a child span of `parent`. A `NONE` parent (untraced call
+    /// path, or disabled collection at trace start) yields `NONE`.
+    pub fn span_start(&self, name: &'static str, parent: TraceCtx) -> TraceCtx {
+        if parent.is_none() || !self.is_enabled() {
+            return TraceCtx::NONE;
+        }
+        let now = self.start.elapsed().as_micros() as u64;
+        self.traces.lock().start_span(name, parent, now)
+    }
+
+    /// Finish the span `ctx` points at, stamping its end time and
+    /// letting `fill` set tags (node, rows, failed, ...). The span's
+    /// duration also lands in the histogram named after the span, so
+    /// every span name has P50/P95/P99 without separate bookkeeping.
+    pub fn span_finish(&self, ctx: TraceCtx, fill: impl FnOnce(&mut SpanRecord)) {
+        if ctx.is_none() || !self.is_enabled() {
+            return;
+        }
+        let now = self.start.elapsed().as_micros() as u64;
+        let finished = self.traces.lock().finish_span(ctx, now, fill);
+        if let Some((name, dur_us)) = finished {
+            self.record_histo(name, dur_us);
+        }
+    }
+
+    /// All retained spans of one trace, in span-id order.
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.traces.lock().spans_of(trace)
+    }
+
+    /// All retained spans across traces, grouped by trace in creation
+    /// order (the `dc_spans` feed).
+    pub fn all_spans(&self) -> Vec<SpanRecord> {
+        self.traces.lock().all_spans()
+    }
+
+    /// Ids of retained traces, in creation order.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        self.traces.lock().trace_ids()
+    }
+
     /// Start a RAII span; its wall time is recorded when the guard
     /// drops (or sooner via [`Span::finish`]).
     pub fn span<'a>(&'a self, name: &'static str) -> Span<'a> {
@@ -408,21 +697,32 @@ impl Collector {
             .iter()
             .map(|(name, t)| (name.to_string(), t.lock().stats()))
             .collect();
+        let histos = self
+            .histos
+            .read()
+            .iter()
+            .map(|(name, h)| (name.to_string(), h.lock().clone()))
+            .collect();
         Snapshot {
             events,
             counters,
             timers,
+            histos,
             dropped_events: self.dropped.load(Ordering::Relaxed),
+            dropped_spans: self.traces.lock().dropped_spans,
         }
     }
 
-    /// Discard all retained events, counters, and timers.
+    /// Discard all retained events, counters, timers, histograms, and
+    /// traces.
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().clear();
         }
         self.counters.write().clear();
         self.timers.write().clear();
+        self.histos.write().clear();
+        self.traces.lock().clear();
         self.dropped.store(0, Ordering::Relaxed);
     }
 }
@@ -604,8 +904,169 @@ mod tests {
         c.emit(EventKind::TxnBegin, |_| {});
         c.add("n", 2);
         c.record_time("t", Duration::from_micros(1));
+        let ctx = c.trace_start("root");
+        c.span_finish(ctx, |_| {});
+        c.record_histo("h", 9);
         c.clear();
         let snap = c.snapshot();
         assert!(snap.events.is_empty() && snap.counters.is_empty() && snap.timers.is_empty());
+        assert!(snap.histos.is_empty());
+        assert!(c.all_spans().is_empty());
+    }
+
+    /// Quantiles are *exact* against a sorted reference for values in
+    /// the linear range, and exact-at-bucket-resolution above it: the
+    /// histogram answer equals the bucket upper bound of the sorted
+    /// sample at rank `ceil(q·n)`, clamped to the observed extrema.
+    #[test]
+    fn histo_quantiles_match_sorted_reference() {
+        let mut sorted: Vec<u64> = (1..=50).collect(); // all < HISTO_LINEAR_MAX
+        let mut h = Histo::new();
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0] {
+            let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+            assert_eq!(h.quantile(q), sorted[rank - 1], "q={q}");
+        }
+
+        // A long-tailed distribution crossing octaves: the reference
+        // maps each sorted sample through the public bucket mapping.
+        let values: Vec<u64> = (0..500u64).map(|i| (i * i * 37) % 90_000).collect();
+        let mut h = Histo::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.95, 0.99] {
+            let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+            let expect = histo_bucket_bound(histo_bucket_index(sorted[rank - 1]))
+                .min(h.max())
+                .max(h.min());
+            assert_eq!(h.quantile(q), expect, "q={q}");
+            // Bucket resolution: within 1/64 of the true rank value.
+            let truth = sorted[rank - 1];
+            assert!(h.quantile(q) >= truth, "q={q}");
+            assert!(h.quantile(q) <= truth + truth / 64 + 1, "q={q}");
+        }
+        assert_eq!(h.stats().count, 500);
+    }
+
+    #[test]
+    fn histo_bucket_mapping_is_monotone_and_consistent() {
+        for v in (0..4096u64).chain([1 << 20, (1 << 40) + 12345, u64::MAX]) {
+            let i = histo_bucket_index(v);
+            assert!(histo_bucket_floor(i) <= v, "floor({i}) > {v}");
+            assert!(histo_bucket_bound(i) >= v, "bound({i}) < {v}");
+        }
+        for i in 1..HISTO_BUCKETS {
+            assert_eq!(
+                histo_bucket_floor(i),
+                histo_bucket_bound(i - 1).wrapping_add(1),
+                "gap/overlap at bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn histo_since_subtracts_and_keeps_quantiles() {
+        let mut h = Histo::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let before = h.clone();
+        for v in [40u64, 50, 60, 61, 62] {
+            h.record(v);
+        }
+        let delta = h.since(&before);
+        assert_eq!(delta.count(), 5);
+        assert_eq!(delta.min(), 40);
+        assert_eq!(delta.max(), 62);
+        assert_eq!(delta.quantile(0.5), 60); // rank 3 of [40,50,60,61,62]
+        assert_eq!(delta.quantile(1.0), 62);
+    }
+
+    #[test]
+    fn spans_build_a_tree_and_feed_histograms() {
+        let c = Collector::new();
+        let root = c.trace_start("job");
+        let child = c.span_start("phase", root);
+        let grand = c.span_start("attempt", child);
+        c.span_finish(grand, |s| {
+            s.node = Some(2);
+            s.attempt = 1;
+            s.failed = true;
+        });
+        c.span_finish(child, |s| s.rows = 7);
+        c.span_finish(root, |_| {});
+        let spans = c.trace_spans(root.trace);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "job");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(root.span));
+        assert_eq!(spans[2].parent, Some(child.span));
+        assert!(spans[2].failed);
+        assert_eq!(spans[1].rows, 7);
+        assert!(spans.iter().all(|s| s.end_us.is_some()));
+        assert!(trace::validate(&spans).is_empty());
+        // Every finished span landed in a same-named histogram.
+        let snap = c.snapshot();
+        for name in ["job", "phase", "attempt"] {
+            assert_eq!(snap.histos[name].count(), 1, "{name}");
+        }
+        assert_eq!(c.trace_ids(), vec![root.trace]);
+    }
+
+    /// The disabled-mode no-op discipline extends to tracing: a
+    /// disabled collector hands out `NONE` contexts, runs no fill
+    /// closures, stores no spans, and records no histograms.
+    #[test]
+    fn disabled_tracing_is_a_no_op() {
+        let c = Collector::new();
+        c.set_enabled(false);
+        let ran = AtomicU32::new(0);
+        let root = c.trace_start("job");
+        assert!(root.is_none());
+        let child = c.span_start("phase", root);
+        assert!(child.is_none());
+        c.span_finish(child, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        c.record_histo("h", 5);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "fill must not run");
+        let snap = c.snapshot();
+        assert!(c.all_spans().is_empty());
+        assert!(snap.histos.is_empty());
+        assert_eq!(snap.dropped_spans, 0);
+        // Spans started while enabled but finished while disabled stay
+        // unclosed rather than recording.
+        c.set_enabled(true);
+        let root = c.trace_start("job");
+        c.set_enabled(false);
+        c.span_finish(root, |_| {});
+        let spans = c.trace_spans(root.trace);
+        assert_eq!(spans[0].end_us, None);
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts() {
+        let c = Collector::new();
+        let root = c.trace_start("job");
+        let mut dropped = 0;
+        for _ in 0..9000 {
+            let ctx = c.span_start("s", root);
+            if ctx.is_none() {
+                dropped += 1;
+            } else {
+                c.span_finish(ctx, |_| {});
+            }
+        }
+        assert!(dropped > 0);
+        assert_eq!(c.snapshot().dropped_spans, dropped);
+        // Children of a dropped span are no-ops, not errors.
+        let ctx = c.span_start("s", TraceCtx::NONE);
+        assert!(ctx.is_none());
     }
 }

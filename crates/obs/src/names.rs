@@ -21,6 +21,13 @@
 //! six derived rows (`<name>.count`, `.sum_us`, `.min_us`, `.max_us`,
 //! `.p50_us`, `.p99_us`); [`is_registered`] accepts those derived
 //! spellings too.
+//!
+//! Span names (kind [`NameKind::Span`]) are recorded via
+//! `trace_start`/`span_start` and surface twice: as `dc_spans` rows and
+//! — because every finished span feeds a histogram named after it — as
+//! `dc_histograms` rows. Standalone histograms (kind
+//! [`NameKind::Histo`], via `record_histo`) surface only in
+//! `dc_histograms`.
 
 /// Breaker half-open probe was rejected (no probe budget left).
 pub const BREAKER_REJECTED: &str = "breaker.rejected";
@@ -32,12 +39,16 @@ pub const DEADLINE_EXPIRED: &str = "deadline.expired";
 pub const FAULT_DELAY: &str = "fault.delay";
 /// Any injected fault fired (site-specific counters break this down).
 pub const FAULT_INJECTED: &str = "fault.injected";
+/// Span for one arm (primary or buddy) of a hedged read.
+pub const HEDGE_ATTEMPT: &str = "hedge.attempt";
 /// The lock-order witness recorded a new acquisition-order edge.
 pub const LOCKWITNESS_EDGES: &str = "lockwitness.edges";
 /// The lock-order witness found a cycle: a potential deadlock.
 pub const LOCKWITNESS_CYCLES: &str = "lockwitness.cycles";
 /// A thread slept in the fault injector while holding a lock.
 pub const LOCKWITNESS_HAZARDS: &str = "lockwitness.hazards";
+/// Span for one attempt inside a retry/failover loop.
+pub const RETRY_ATTEMPT: &str = "retry.attempt";
 /// A retry loop gave up (attempts or deadline exhausted).
 pub const RETRY_GAVE_UP: &str = "retry.gave_up";
 /// Op tag for the save-to-Vertica finalize step (global commit fan-in).
@@ -75,6 +86,14 @@ pub enum NameKind {
     /// An operation/event tag: flows into `dc_events` rows and error
     /// contexts rather than `dc_counters`.
     Event,
+    /// A trace span via `trace_start`/`span_start`: flows into
+    /// `dc_spans`, and (since every finished span records its duration
+    /// into a same-named histogram) into `dc_histograms`. Span names
+    /// double as operation tags in retry contexts and events.
+    Span,
+    /// A value histogram via `record_histo`: flows into
+    /// `dc_histograms`.
+    Histo,
 }
 
 /// One registered name.
@@ -112,6 +131,11 @@ pub static DEFS: &[NameDef] = &[
         name: "db.commit_us",
         kind: NameKind::Timer,
         help: "commit critical-section wall time",
+    },
+    NameDef {
+        name: "db.copy",
+        kind: NameKind::Span,
+        help: "span for one COPY statement on a session",
     },
     NameDef {
         name: "db.copy_bytes",
@@ -164,6 +188,11 @@ pub static DEFS: &[NameDef] = &[
         help: "statements that had to queue for a pool slot",
     },
     NameDef {
+        name: "db.query",
+        kind: NameKind::Span,
+        help: "span for one query (table or system scan) on a session",
+    },
+    NameDef {
         name: "db.sessions_closed",
         kind: NameKind::Counter,
         help: "client sessions closed",
@@ -192,6 +221,11 @@ pub static DEFS: &[NameDef] = &[
         name: "dc.dropped_events",
         kind: NameKind::Builtin,
         help: "events discarded because a collector shard ring filled",
+    },
+    NameDef {
+        name: "dc.dropped_spans",
+        kind: NameKind::Builtin,
+        help: "spans discarded because a trace hit its span cap",
     },
     NameDef {
         name: DEADLINE_EXPIRED,
@@ -269,6 +303,11 @@ pub static DEFS: &[NameDef] = &[
         help: "operations recorded as successes by a health tracker",
     },
     NameDef {
+        name: HEDGE_ATTEMPT,
+        kind: NameKind::Span,
+        help: "span for one arm (primary or buddy) of a hedged read",
+    },
+    NameDef {
         name: "hedge.cancelled",
         kind: NameKind::Counter,
         help: "hedged-read losers abandoned in flight",
@@ -314,6 +353,11 @@ pub static DEFS: &[NameDef] = &[
         help: "in-database model scoring calls",
     },
     NameDef {
+        name: RETRY_ATTEMPT,
+        kind: NameKind::Span,
+        help: "span for one attempt inside a retry/failover loop",
+    },
+    NameDef {
         name: "retry.attempts",
         kind: NameKind::Counter,
         help: "retry attempts after a transient failure",
@@ -340,8 +384,13 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: S2V_FINALIZE,
-        kind: NameKind::Event,
-        help: "op tag for the S2V finalize step",
+        kind: NameKind::Span,
+        help: "span and op tag for the S2V finalize step",
+    },
+    NameDef {
+        name: "s2v.job",
+        kind: NameKind::Span,
+        help: "root span of one S2V save job",
     },
     NameDef {
         name: "s2v.jobs",
@@ -350,8 +399,8 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: "s2v.phase1",
-        kind: NameKind::Event,
-        help: "op tag for S2V phase 1 (save into staging)",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V phase 1 (save into staging)",
     },
     NameDef {
         name: "s2v.phase1_us",
@@ -360,8 +409,8 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: "s2v.phase2",
-        kind: NameKind::Event,
-        help: "op tag for S2V phase 2 (staging validation)",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V phase 2 (staging validation)",
     },
     NameDef {
         name: "s2v.phase2_us",
@@ -370,8 +419,8 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: "s2v.phase3",
-        kind: NameKind::Event,
-        help: "op tag for S2V phase 3 (swap into target)",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V phase 3 (swap into target)",
     },
     NameDef {
         name: "s2v.phase3_us",
@@ -380,8 +429,8 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: "s2v.phase4",
-        kind: NameKind::Event,
-        help: "op tag for S2V phase 4 (commit fan-in)",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V phase 4 (commit fan-in)",
     },
     NameDef {
         name: "s2v.phase4_us",
@@ -390,8 +439,8 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: "s2v.phase5",
-        kind: NameKind::Event,
-        help: "op tag for S2V phase 5 (cleanup)",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V phase 5 (cleanup)",
     },
     NameDef {
         name: "s2v.phase5_us",
@@ -415,13 +464,13 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: S2V_SETUP,
-        kind: NameKind::Event,
-        help: "op tag for S2V setup (target/staging table DDL)",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V setup (target/staging table DDL)",
     },
     NameDef {
         name: "s2v.teardown",
-        kind: NameKind::Event,
-        help: "op tag for S2V staging teardown",
+        kind: NameKind::Span,
+        help: "span and op tag for S2V staging teardown",
     },
     NameDef {
         name: "scan.rows_examined",
@@ -457,6 +506,11 @@ pub static DEFS: &[NameDef] = &[
         name: "sched.stragglers_detected",
         kind: NameKind::Counter,
         help: "tasks flagged as stragglers by the watchdog",
+    },
+    NameDef {
+        name: "sched.task",
+        kind: NameKind::Span,
+        help: "span for one scheduler task attempt",
     },
     NameDef {
         name: "sched.task_retries",
@@ -504,14 +558,24 @@ pub static DEFS: &[NameDef] = &[
         help: "op tag for V2S connect attempts",
     },
     NameDef {
+        name: "v2s.load",
+        kind: NameKind::Span,
+        help: "root span of one V2S load (relation open through scan)",
+    },
+    NameDef {
         name: V2S_OPEN,
-        kind: NameKind::Event,
-        help: "op tag for the V2S schema/open probe",
+        kind: NameKind::Span,
+        help: "span and op tag for the V2S schema/open probe",
     },
     NameDef {
         name: V2S_PIECE,
-        kind: NameKind::Event,
-        help: "op tag for per-piece V2S reads",
+        kind: NameKind::Span,
+        help: "span and op tag for per-piece V2S reads",
+    },
+    NameDef {
+        name: "v2s.piece_bytes",
+        kind: NameKind::Histo,
+        help: "bytes per fetched V2S piece",
     },
     NameDef {
         name: "v2s.piece_us",
@@ -525,8 +589,8 @@ pub static DEFS: &[NameDef] = &[
     },
     NameDef {
         name: V2S_PLAN,
-        kind: NameKind::Event,
-        help: "op tag for V2S partition planning",
+        kind: NameKind::Span,
+        help: "span and op tag for V2S partition planning",
     },
     NameDef {
         name: "v2s.query",

@@ -183,10 +183,27 @@ impl SparkContext {
         T: Send + Sync + 'static,
         R: Send,
     {
+        self.run_job_traced(rdd, obs::TraceCtx::NONE, f)
+    }
+
+    /// [`SparkContext::run_job`] under a trace: every task attempt gets
+    /// a `sched.task` span parented at `trace`, and the task closure
+    /// sees its span as [`TaskContext::trace`] for further parenting.
+    pub fn run_job_traced<T, R>(
+        &self,
+        rdd: &Rdd<T>,
+        trace: obs::TraceCtx,
+        f: impl Fn(&TaskContext, Vec<T>) -> SparkResult<R> + Sync,
+    ) -> SparkResult<Vec<R>>
+    where
+        T: Send + Sync + 'static,
+        R: Send,
+    {
         let source = rdd.source();
-        self.inner.scheduler.run_job(
+        self.inner.scheduler.run_job_traced(
             source.num_partitions(),
             &self.inner.failures,
+            trace,
             &|ctx: &TaskContext| {
                 let items = source.compute(ctx.partition)?;
                 f(ctx, items)
@@ -204,6 +221,19 @@ impl SparkContext {
         self.inner
             .scheduler
             .run_job(partitions, &self.inner.failures, &f)
+    }
+
+    /// [`SparkContext::run_partitions`] with `sched.task` attempt spans
+    /// parented at `trace`.
+    pub fn run_partitions_traced<R: Send>(
+        &self,
+        partitions: usize,
+        trace: obs::TraceCtx,
+        f: impl Fn(&TaskContext) -> SparkResult<R> + Sync,
+    ) -> SparkResult<Vec<R>> {
+        self.inner
+            .scheduler
+            .run_job_traced(partitions, &self.inner.failures, trace, &f)
     }
 }
 

@@ -28,6 +28,9 @@ pub struct TaskContext {
     pub executor_node: usize,
     /// Job id (unique within the context).
     pub job_id: u64,
+    /// This attempt's `sched.task` span, for parenting any spans the
+    /// task body opens. [`obs::TraceCtx::NONE`] in untraced jobs.
+    pub trace: obs::TraceCtx,
 }
 
 /// Scheduler configuration derived from the engine conf.
@@ -136,6 +139,19 @@ impl Scheduler {
         failures: &FailureInjector,
         task_fn: &(dyn Fn(&TaskContext) -> SparkResult<R> + Sync),
     ) -> SparkResult<Vec<R>> {
+        self.run_job_traced(partitions, failures, obs::TraceCtx::NONE, task_fn)
+    }
+
+    /// [`Scheduler::run_job`] with every attempt wrapped in a
+    /// `sched.task` span parented at `trace`, so the caller's trace
+    /// shows each launch/retry/speculative copy with its own timing.
+    pub fn run_job_traced<R: Send>(
+        &self,
+        partitions: usize,
+        failures: &FailureInjector,
+        trace: obs::TraceCtx,
+        task_fn: &(dyn Fn(&TaskContext) -> SparkResult<R> + Sync),
+    ) -> SparkResult<Vec<R>> {
         if partitions == 0 {
             return Ok(Vec::new());
         }
@@ -195,7 +211,9 @@ impl Scheduler {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    self.worker_loop(partitions, job_id, &state, &wakeup, failures, task_fn)
+                    self.worker_loop(
+                        partitions, job_id, trace, &state, &wakeup, failures, task_fn,
+                    )
                 });
             }
         });
@@ -275,10 +293,12 @@ impl Scheduler {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop<R: Send>(
         &self,
         partitions: usize,
         job_id: u64,
+        trace: obs::TraceCtx,
         state: &Mutex<JobState<R>>,
         wakeup: &Condvar,
         failures: &FailureInjector,
@@ -322,12 +342,14 @@ impl Scheduler {
             };
 
             let (partition, attempt_no, speculative, enqueued) = attempt;
+            let task_span = obs::global().span_start("sched.task", trace);
             let ctx = TaskContext {
                 partition,
                 attempt: attempt_no,
                 speculative,
                 executor_node: (partition + (attempt_no as usize - 1)) % self.conf.nodes,
                 job_id,
+                trace: task_span,
             };
             let slot_wait = enqueued.elapsed();
             obs::global().record_time("sched.slot_wait_us", slot_wait);
@@ -376,6 +398,17 @@ impl Scheduler {
             };
 
             let run_time = run_started.elapsed();
+            obs::global().span_finish(task_span, |s| {
+                s.task = Some(partition as u64);
+                s.attempt = attempt_no;
+                s.node = Some(ctx.executor_node as u64);
+                s.failed = outcome.is_err();
+                s.detail = if speculative {
+                    "speculative".to_string()
+                } else {
+                    String::new()
+                };
+            });
             obs::global().record_time("sched.task_run_us", run_time);
             obs::global().emit(obs::EventKind::TaskFinish, |e| {
                 e.job = Some(job_label(job_id));

@@ -32,6 +32,11 @@ cargo test -q --test chaos
 echo "== cargo test -q --test resilience"
 cargo test -q --test resilience
 
+# The tracing overhead bench must always compile: span-layer API
+# drift shows up here before it shows up in a profiling session.
+echo "== cargo bench --bench trace_micro --no-run"
+cargo bench -p bench --bench trace_micro --no-run -q
+
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run -q
 

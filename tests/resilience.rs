@@ -276,9 +276,15 @@ fn resilience_counters_surface_in_dc_counters() {
         }
         Ok(node)
     });
-    let got =
-        connector::health::hedged_read("resilience.probe", Duration::from_millis(5), 0, 1, run)
-            .unwrap();
+    let got = connector::health::hedged_read(
+        "resilience.probe",
+        Duration::from_millis(5),
+        0,
+        1,
+        obs::TraceCtx::NONE,
+        run,
+    )
+    .unwrap();
     assert_eq!(got, 1, "buddy won the hedge");
 
     // shed.*: a zero-queue pool with its slot held sheds the next admit.
