@@ -90,6 +90,7 @@ fn batched_scan(
         predicate,
         projection: Some(projection),
         dtypes,
+        no_skip: false,
     };
     store.scan_batch(&scan).unwrap().batch.num_rows()
 }

@@ -1,0 +1,20 @@
+//! Ablation (DESIGN.md §12): zone-map data skipping × partial-aggregate
+//! pushdown — four cells over a time-clustered fact table, simulated at
+//! 1M/10M/100M rows, plus the two scale-invariant reduction ratios.
+
+use bench::experiments::pushdown;
+use bench::report;
+use bench::TestBed;
+
+fn main() {
+    let before = report::begin();
+    let bed = TestBed::new(4, 8);
+    let result = pushdown::run(&bed);
+    let rows = pushdown::report_rows(&bed, &result);
+    report::publish(
+        "pushdown",
+        "Ablation — zone-map skipping × aggregate pushdown",
+        &rows,
+        &before,
+    );
+}

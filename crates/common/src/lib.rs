@@ -13,6 +13,7 @@
 //!   segmentation (the "hash ring" of the paper, Sec. 3.1.2),
 //! * [`csv`] — a small CSV codec used by bulk load and the HDFS baseline.
 
+pub mod agg;
 pub mod csv;
 pub mod error;
 pub mod expr;

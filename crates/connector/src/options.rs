@@ -76,6 +76,12 @@ pub struct ConnectorOptions {
     /// Explicit hedge delay; `None` derives it from observed latencies
     /// (`max(3 × P99, 10ms)`).
     pub hedge_delay: Option<Duration>,
+    /// V2S: let piece scans use zone-map skipping and stats-driven
+    /// conjunct ordering (ablation hook; results are identical).
+    pub stats_skipping: bool,
+    /// V2S: push `df.agg(..)` into the database as per-piece partial
+    /// aggregates instead of pulling rows and aggregating engine-side.
+    pub agg_pushdown: bool,
 }
 
 /// Every key `parse` understands; anything else is a usage error
@@ -102,6 +108,8 @@ const KNOWN_KEYS: &[&str] = &[
     "deadline_ms",
     "hedge",
     "hedge_delay_ms",
+    "stats_skipping",
+    "agg_pushdown",
 ];
 
 impl ConnectorOptions {
@@ -180,6 +188,12 @@ impl ConnectorOptions {
         if let Some(ms) = options.get_parsed::<u64>("hedge_delay_ms")? {
             b = b.hedge_delay_ms(ms);
         }
+        if let Some(s) = options.get_parsed::<bool>("stats_skipping")? {
+            b = b.stats_skipping(s);
+        }
+        if let Some(a) = options.get_parsed::<bool>("agg_pushdown")? {
+            b = b.agg_pushdown(a);
+        }
         b.build()
     }
 
@@ -201,6 +215,8 @@ impl ConnectorOptions {
             deadline: None,
             hedge: true,
             hedge_delay: None,
+            stats_skipping: true,
+            agg_pushdown: true,
         }
     }
 
@@ -332,6 +348,18 @@ impl ConnectorOptionsBuilder {
     /// Fix the hedge delay instead of deriving it from the observed P99.
     pub fn hedge_delay_ms(mut self, ms: u64) -> Self {
         self.opts.hedge_delay = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Enable/disable zone-map skipping in pushed-down piece scans.
+    pub fn stats_skipping(mut self, on: bool) -> Self {
+        self.opts.stats_skipping = on;
+        self
+    }
+
+    /// Enable/disable partial-aggregate pushdown for `df.agg(..)`.
+    pub fn agg_pushdown(mut self, on: bool) -> Self {
+        self.opts.agg_pushdown = on;
         self
     }
 
@@ -499,6 +527,20 @@ mod tests {
         assert!(ConnectorOptions::parse(&o).is_err());
         let o = Options::new().with("table", "t").with("hedge_delay_ms", 0);
         assert!(ConnectorOptions::parse(&o).is_err());
+    }
+
+    #[test]
+    fn parses_pushdown_keys_with_on_defaults() {
+        let parsed = ConnectorOptions::parse(&Options::new().with("table", "t")).unwrap();
+        assert!(parsed.stats_skipping);
+        assert!(parsed.agg_pushdown);
+        let o = Options::new()
+            .with("table", "t")
+            .with("stats_skipping", false)
+            .with("agg_pushdown", false);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert!(!parsed.stats_skipping);
+        assert!(!parsed.agg_pushdown);
     }
 
     #[test]

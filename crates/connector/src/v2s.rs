@@ -27,6 +27,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use common::agg::{self, AggRequest, GroupedAccs};
 use common::expr::Expr;
 use common::{Row, Schema};
 use mppdb::segmentation::{HashRange, SegmentMap};
@@ -60,6 +61,15 @@ pub struct DbRelation {
     /// epoch)" shared by every task's query.
     epoch: u64,
     num_partitions: usize,
+    /// Whether `numPartitions` was set explicitly. When it was not, the
+    /// planner sizes scan pieces from the estimated post-pushdown
+    /// cardinality instead of the node count.
+    explicit_partitions: bool,
+    /// Disable zone-map data skipping node-side (`stats_skipping=off`).
+    no_skip: bool,
+    /// Ship per-piece partial aggregates instead of rows for `agg`
+    /// (`agg_pushdown=on`).
+    agg_pushdown: bool,
     host: usize,
     resource_pool: Option<String>,
     retry: RetryPolicy,
@@ -82,12 +92,15 @@ pub struct PartitionPlan {
     pub pieces: Vec<(usize, RangeSpec)>,
 }
 
-/// One query's restriction: a hash range (segmented tables) or a
-/// synthetic row window (views/unsegmented tables).
+/// One query's restriction: a hash range (segmented tables), a
+/// synthetic row window (views/unsegmented tables), or the whole
+/// relation (unsegmented aggregate pushdown, where partial aggregates
+/// do not compose with row windows).
 #[derive(Debug, Clone)]
 pub enum RangeSpec {
     Hash(HashRange),
     Rows(u64, u64),
+    Full,
 }
 
 impl DbRelation {
@@ -113,6 +126,9 @@ impl DbRelation {
                 kind,
                 epoch,
                 num_partitions,
+                explicit_partitions: opts.num_partitions.is_some(),
+                no_skip: !opts.stats_skipping,
+                agg_pushdown: opts.agg_pushdown,
                 host,
                 resource_pool: opts.resource_pool.clone(),
                 retry: opts.retry.clone(),
@@ -159,6 +175,9 @@ impl DbRelation {
             kind: RelationKind::RowOrdered,
             epoch,
             num_partitions,
+            explicit_partitions: opts.num_partitions.is_some(),
+            no_skip: !opts.stats_skipping,
+            agg_pushdown: opts.agg_pushdown,
             host,
             resource_pool: opts.resource_pool.clone(),
             retry: opts.retry.clone(),
@@ -192,13 +211,34 @@ impl DbRelation {
         obs::trace::render(&obs::global().trace_spans(self.trace.trace))
     }
 
+    /// Pick the partition count for a scan. An explicit `numPartitions`
+    /// always wins; otherwise tables are sized from the zone-map
+    /// estimate of the post-pushdown cardinality — enough pieces to keep
+    /// every piece under a target row budget, but never fewer than one
+    /// per node and never an unbounded fan-out. Views (no table stats)
+    /// keep the node-count default.
+    fn planned_partitions(&self, filters: &[Expr]) -> usize {
+        const TARGET_ROWS_PER_PIECE: u64 = 250_000;
+        if self.explicit_partitions {
+            return self.num_partitions;
+        }
+        let predicate = and_filters(filters);
+        match mppdb::estimate_scan_rows(&self.cluster, &self.table, predicate.as_ref()) {
+            Ok(est) => {
+                let nodes = self.cluster.node_count().max(1);
+                ((est / TARGET_ROWS_PER_PIECE) as usize).clamp(nodes, nodes * 4)
+            }
+            // Views have no table stats; keep the default.
+            Err(_) => self.num_partitions,
+        }
+    }
+
     /// Build the per-partition plans.
-    fn plan(&self) -> ConnectorResult<Vec<PartitionPlan>> {
+    fn plan(&self, partitions: usize) -> ConnectorResult<Vec<PartitionPlan>> {
         match &self.kind {
-            RelationKind::Segmented => Ok(plan_hash_partitions(
-                self.cluster.segment_map(),
-                self.num_partitions,
-            )),
+            RelationKind::Segmented => {
+                Ok(plan_hash_partitions(self.cluster.segment_map(), partitions))
+            }
             RelationKind::RowOrdered => {
                 // Synthetic ranges need the relation's current size at
                 // the pinned epoch.
@@ -235,7 +275,7 @@ impl DbRelation {
                 if up.is_empty() {
                     return Err(ConnectorError::NoLiveNodes);
                 }
-                Ok(plan_row_partitions(total.count, self.num_partitions, &up))
+                Ok(plan_row_partitions(total.count, partitions, &up))
             }
         }
     }
@@ -424,6 +464,7 @@ struct V2sSource {
     plans: Vec<PartitionPlan>,
     projection: Option<Vec<String>>,
     filters: Vec<Expr>,
+    no_skip: bool,
     compute_nodes: usize,
     resource_pool: Option<String>,
     retry: RetryPolicy,
@@ -498,7 +539,13 @@ fn exec_piece(
     );
     let pushdown = format!(
         "{}{}{}",
-        if spec.count_only { "count" } else { "scan" },
+        if spec.count_only {
+            "count"
+        } else if spec.aggregate.is_some() {
+            "aggregate"
+        } else {
+            "scan"
+        },
         if spec.projection.is_some() {
             ", projected"
         } else {
@@ -627,6 +674,7 @@ impl PartitionSource<Row> for V2sSource {
                 self.projection.as_deref(),
                 &self.filters,
                 false,
+                self.no_skip,
             );
             rows.extend(
                 self.run_piece(partition, *node, &spec)
@@ -645,15 +693,18 @@ fn build_piece_spec(
     projection: Option<&[String]>,
     filters: &[Expr],
     count_only: bool,
+    no_skip: bool,
 ) -> QuerySpec {
     let mut spec = QuerySpec::scan(table).at_epoch(epoch);
     match range {
         RangeSpec::Hash(r) => spec.hash_range = Some(*r),
         RangeSpec::Rows(lo, hi) => spec.row_range = Some((*lo, *hi)),
+        RangeSpec::Full => {}
     }
     spec.projection = projection.map(|p| p.to_vec());
     spec.predicate = and_filters(filters);
     spec.count_only = count_only;
+    spec.no_skip = no_skip;
     spec
 }
 
@@ -668,7 +719,9 @@ impl ScanRelation for DbRelation {
         projection: Option<&[String]>,
         filters: &[Expr],
     ) -> SparkResult<Rdd<Row>> {
-        let plans = self.plan().map_err(SparkError::from)?;
+        let plans = self
+            .plan(self.planned_partitions(filters))
+            .map_err(SparkError::from)?;
         let source = V2sSource {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
@@ -676,6 +729,7 @@ impl ScanRelation for DbRelation {
             plans,
             projection: projection.map(|p| p.to_vec()),
             filters: filters.to_vec(),
+            no_skip: self.no_skip,
             compute_nodes: ctx.conf().nodes,
             resource_pool: self.resource_pool.clone(),
             retry: self.retry.clone(),
@@ -692,7 +746,9 @@ impl ScanRelation for DbRelation {
     /// Count pushdown: every partition ships back an 8-byte count
     /// instead of rows.
     fn count(&self, ctx: &SparkContext, filters: &[Expr]) -> SparkResult<u64> {
-        let plans = self.plan().map_err(SparkError::from)?;
+        let plans = self
+            .plan(self.planned_partitions(filters))
+            .map_err(SparkError::from)?;
         let source = V2sSource {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
@@ -700,6 +756,7 @@ impl ScanRelation for DbRelation {
             plans,
             projection: None,
             filters: filters.to_vec(),
+            no_skip: self.no_skip,
             compute_nodes: ctx.conf().nodes,
             resource_pool: self.resource_pool.clone(),
             retry: self.retry.clone(),
@@ -720,6 +777,7 @@ impl ScanRelation for DbRelation {
                     None,
                     &source.filters,
                     true,
+                    source.no_skip,
                 );
                 total += source
                     .run_piece(tc.partition, *node, &spec)
@@ -729,6 +787,112 @@ impl ScanRelation for DbRelation {
             Ok(total)
         })?;
         Ok(counts.into_iter().sum())
+    }
+
+    /// Aggregate pushdown: every piece ships back partial accumulator
+    /// states (a handful of rows) instead of its matching rows, and the
+    /// driver merges each piece's partials exactly once. Retried or
+    /// hedged piece attempts cannot double-count — a piece's partials
+    /// enter the merge only after its retry loop returns its single
+    /// success, so `agg.pushdown.partials_merged` equals the piece
+    /// count even when nodes die mid-read.
+    fn aggregate(
+        &self,
+        ctx: &SparkContext,
+        filters: &[Expr],
+        request: &AggRequest,
+    ) -> SparkResult<(Schema, Vec<Row>)> {
+        // Views have no node-side aggregate path, and `agg_pushdown=off`
+        // forces the materialize-then-aggregate baseline for ablations.
+        let is_table = self.cluster.table_def(&self.table).is_ok();
+        if !self.agg_pushdown || !is_table {
+            let rows = self.scan(ctx, None, filters)?.collect()?;
+            return agg::aggregate_rows(&self.schema, &rows, request).map_err(SparkError::from);
+        }
+        let plans = match self.kind {
+            RelationKind::Segmented => {
+                // Partials are tiny, so one piece per segment is enough
+                // parallelism unless the user asked for more.
+                let partitions = if self.explicit_partitions {
+                    self.num_partitions
+                } else {
+                    self.cluster.node_count()
+                };
+                plan_hash_partitions(self.cluster.segment_map(), partitions)
+            }
+            RelationKind::RowOrdered => {
+                // Partial aggregates do not compose with row windows:
+                // an unsegmented table runs as one whole-relation piece.
+                let up = self.cluster.up_nodes();
+                if up.is_empty() {
+                    return Err(SparkError::from(ConnectorError::NoLiveNodes));
+                }
+                vec![PartitionPlan {
+                    pieces: vec![(up[0], RangeSpec::Full)],
+                }]
+            }
+        };
+        let source = V2sSource {
+            cluster: Arc::clone(&self.cluster),
+            relation_table: self.table.clone(),
+            epoch: self.epoch,
+            plans,
+            projection: None,
+            filters: filters.to_vec(),
+            no_skip: self.no_skip,
+            compute_nodes: ctx.conf().nodes,
+            resource_pool: self.resource_pool.clone(),
+            retry: self.retry.clone(),
+            failover: self.failover,
+            tracker: Arc::clone(&self.tracker),
+            deadline: self.deadline,
+            hedge: self.hedge,
+            hedge_delay: self.hedge_delay,
+            trace: self.trace,
+        };
+        let request_owned = request.clone();
+        let partials: Vec<Vec<Vec<Row>>> =
+            ctx.run_partitions_traced(source.num_partitions(), self.trace, |tc| {
+                let mut per_piece = Vec::new();
+                for (node, range) in &source.plans[tc.partition].pieces {
+                    let spec = build_piece_spec(
+                        &source.relation_table,
+                        source.epoch,
+                        range,
+                        None,
+                        &source.filters,
+                        false,
+                        source.no_skip,
+                    )
+                    .aggregate(request_owned.clone())
+                    .partial_aggregates();
+                    per_piece.push(
+                        source
+                            .run_piece(tc.partition, *node, &spec)
+                            .map_err(SparkError::from)?
+                            .into_rows(),
+                    );
+                }
+                Ok(per_piece)
+            })?;
+        let key_width = request.group_by.len();
+        let mut accs = GroupedAccs::new(request.calls.iter().map(|c| c.func).collect());
+        for per_piece in partials {
+            for piece_rows in per_piece {
+                for row in &piece_rows {
+                    accs.absorb_partial_row(row, key_width)
+                        .map_err(SparkError::from)?;
+                }
+                obs::global().add("agg.pushdown.partials_merged", 1);
+            }
+        }
+        if key_width == 0 {
+            accs.ensure_global_group();
+        }
+        let schema = request
+            .output_schema(&self.schema)
+            .map_err(SparkError::from)?;
+        Ok((schema, accs.finalize_rows()))
     }
 }
 
@@ -780,7 +944,7 @@ mod tests {
                 .flat_map(|p| {
                     p.pieces.iter().map(|(_, r)| match r {
                         RangeSpec::Hash(h) => *h,
-                        RangeSpec::Rows(..) => panic!("hash plan expected"),
+                        _ => panic!("hash plan expected"),
                     })
                 })
                 .collect();

@@ -244,6 +244,44 @@ fn run() {
     assert!(f[0].message.contains("dead DEFS row") && f[0].message.contains("fix.job"));
 }
 
+#[test]
+fn obs_registry_catches_phantom_planner_emits() {
+    // The planner family ships registered rows; a typoed or freshly
+    // invented `planner.*` emit must not slip past the registry check
+    // just because siblings in the family exist.
+    let planner_names = file(
+        "crates/obs/src/names.rs",
+        r#"
+pub static DEFS: &[NameDef] = &[
+    NameDef { name: "planner.conjuncts_reordered", kind: NameKind::Counter, help: "h" },
+    NameDef { name: "planner.estimated_rows", kind: NameKind::Counter, help: "h" },
+];
+"#,
+    );
+    // Assembled at runtime so the *real* workspace lint (which scans
+    // this test's source text too) does not see the phantom literal.
+    let phantom = format!("plan{}.phantom", "ner");
+    let emits = file(
+        "crates/app/src/planner.rs",
+        &format!(
+            r#"
+fn plan() {{
+    obs::global().incr("planner.conjuncts_reordered");
+    obs::global().add("planner.estimated_rows", est);
+    obs::global().incr("{phantom}");
+}}
+"#
+        ),
+    );
+    let f = lint(&[planner_names, emits]);
+    assert_eq!(rules(&f), vec![Rule::ObsRegistry], "{f:?}");
+    assert!(
+        f[0].message.contains(&phantom) && f[0].message.contains("registered"),
+        "{:?}",
+        f[0]
+    );
+}
+
 // ---------------------------------------------------------------------
 // error-taxonomy
 // ---------------------------------------------------------------------

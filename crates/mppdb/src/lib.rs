@@ -53,7 +53,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use copy::{CopyOptions, CopyResult, CopySource};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, LatencyProfile, LatencySite};
-pub use query::{QueryResult, QuerySpec};
+pub use query::{estimate_scan_rows, QueryResult, QuerySpec};
 pub use segmentation::{HashRange, SegmentMap};
 pub use session::Session;
 pub use storage::{ColumnBatch, ColumnVec};

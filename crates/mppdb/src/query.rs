@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use common::agg::{AggFunc, AggRequest, GroupedAccs};
 use common::{DataType, Expr, Row, Schema};
 use netsim::record::{NetClass, NodeRef};
 use parking_lot::Mutex;
@@ -41,6 +42,16 @@ pub struct QuerySpec {
     /// Return only the row count (the `.count()` pushdown).
     pub count_only: bool,
     pub limit: Option<u64>,
+    /// Aggregate spec (the `.agg()` pushdown): evaluated node-side so
+    /// only group keys and accumulator states cross the wire.
+    pub aggregate: Option<AggRequest>,
+    /// With `aggregate`: return per-store partial accumulator rows
+    /// ([`AggRequest::partial_schema`]) instead of finalized values, so
+    /// a driver can merge partials from many pieces exactly once.
+    pub aggregate_partial: bool,
+    /// Disable zone-map skipping and conjunct reordering (ablation and
+    /// differential-testing hook; results must be identical).
+    pub no_skip: bool,
 }
 
 impl QuerySpec {
@@ -54,6 +65,9 @@ impl QuerySpec {
             as_of_epoch: None,
             count_only: false,
             limit: None,
+            aggregate: None,
+            aggregate_partial: false,
+            no_skip: false,
         }
     }
 
@@ -89,6 +103,23 @@ impl QuerySpec {
 
     pub fn with_limit(mut self, limit: u64) -> QuerySpec {
         self.limit = Some(limit);
+        self
+    }
+
+    pub fn aggregate(mut self, request: AggRequest) -> QuerySpec {
+        self.aggregate = Some(request);
+        self
+    }
+
+    /// Return partial accumulator rows instead of finalized aggregates.
+    pub fn partial_aggregates(mut self) -> QuerySpec {
+        self.aggregate_partial = true;
+        self
+    }
+
+    /// Disable zone-map skipping and conjunct reordering.
+    pub fn without_skipping(mut self) -> QuerySpec {
+        self.no_skip = true;
         self
     }
 }
@@ -254,6 +285,9 @@ pub(crate) fn execute_table_scan(
         Some(p) => Some(p.bind(&def.schema)?),
         None => None,
     };
+    if let Some(req) = &spec.aggregate {
+        return execute_aggregate_scan(ctx, &def, as_of, spec, req, predicate.as_ref());
+    }
     let projection_idx: Option<Vec<usize>> = match &spec.projection {
         Some(cols) => Some(
             cols.iter()
@@ -343,6 +377,38 @@ fn column_width(dtype: common::DataType) -> u64 {
     }
 }
 
+/// Decoded width per examined row: the segmentation columns when a hash
+/// range restricts the query, plus the bound predicate's referenced
+/// columns. Computed once per statement from `referenced_indices` (not
+/// per piece, and without per-column name lookups).
+fn examined_width(def: &TableDef, hash_restricted: bool, predicate: Option<&Expr>) -> u64 {
+    let mut width = 0u64;
+    if hash_restricted {
+        width += def
+            .seg_columns
+            .iter()
+            .map(|&i| column_width(def.schema.field(i).dtype))
+            .sum::<u64>();
+    }
+    if let Some(p) = predicate {
+        let mut cols = Vec::new();
+        p.referenced_indices(&mut cols);
+        width += cols
+            .iter()
+            .map(|&i| column_width(def.schema.field(i).dtype))
+            .sum::<u64>();
+    }
+    width
+}
+
+/// The one scan-cost formula, shared by the segmented and unsegmented
+/// paths so recorded volumes are comparable across table kinds: every
+/// examined row decodes the referenced-column width, and matched rows
+/// additionally materialize their full projected wire size.
+fn scan_cost(examined: u64, examined_width: u64, matched_bytes: u64) -> u64 {
+    examined * examined_width + matched_bytes
+}
+
 /// One segment's scan, produced by a (possibly parallel) worker and
 /// folded into the result on the coordinating thread.
 struct PieceResult {
@@ -367,28 +433,10 @@ fn scan_segmented(
     let k = cluster.config().k_safety;
 
     // Columnar scan cost: every visible row is examined, but only the
-    // *referenced* columns are decoded for it — the segmentation
-    // expression's columns when a hash range restricts the query, plus
-    // the predicate's columns. Matched rows additionally materialize
-    // their full (projected) width; that part is the recorded wire
-    // volume below.
-    let mut examined_width: u64 = 0;
-    if spec.hash_range.is_some() {
-        examined_width += def
-            .seg_columns
-            .iter()
-            .map(|&i| column_width(def.schema.field(i).dtype))
-            .sum::<u64>();
-    }
-    if let Some(p) = &spec.predicate {
-        let mut cols = Vec::new();
-        p.referenced_columns(&mut cols);
-        examined_width += cols
-            .iter()
-            .filter_map(|c| def.schema.index_of(c).ok())
-            .map(|i| column_width(def.schema.field(i).dtype))
-            .sum::<u64>();
-    }
+    // *referenced* columns are decoded for it. Matched rows additionally
+    // materialize their full (projected) width; that part is the
+    // recorded wire volume below.
+    let exam_width = examined_width(def, spec.hash_range.is_some(), predicate);
 
     let pieces = map.segments_intersecting(&range);
 
@@ -418,6 +466,7 @@ fn scan_segmented(
                 predicate,
                 projection,
                 dtypes,
+                no_skip: spec.no_skip,
             })
             .map_err(DbError::Data)?;
         Ok(PieceResult {
@@ -470,7 +519,7 @@ fn scan_segmented(
             NodeRef::Db(piece.serving),
             "scan_hash",
             piece.examined,
-            piece.examined * examined_width + matched_bytes,
+            scan_cost(piece.examined, exam_width, matched_bytes),
         );
         if predicate.is_some() {
             cluster.recorder().work(
@@ -521,6 +570,10 @@ fn scan_unsegmented(
     } else {
         return Err(DbError::NodeUnavailable(ctx.node));
     };
+    // Same cost model as the segmented path, so fig6/fig7 volumes are
+    // comparable across table kinds (no hash range here, so the
+    // examined width is just the predicate's referenced columns).
+    let exam_width = examined_width(def, false, predicate);
     let scanned = {
         let stores = cluster.nodes[serving].stores.read();
         let store = stores
@@ -534,17 +587,228 @@ fn scan_unsegmented(
             predicate,
             projection,
             dtypes,
+            no_skip: spec.no_skip,
         });
         // The scan walks every visible row before the window and filter
-        // apply; a predicate evaluation error still pays for that walk.
-        let examined = match &scanned {
-            Ok(out) => out.examined,
-            Err(_) => store.visible_count(as_of, ctx.txn) as u64,
+        // apply; a predicate evaluation error still pays for that walk
+        // (but materializes nothing).
+        let (examined, scanned_rows, matched_bytes) = match &scanned {
+            Ok(out) => (out.examined, out.scanned, out.batch.wire_size() as u64),
+            Err(_) => (store.visible_count(as_of, ctx.txn) as u64, 0, 0),
         };
-        cluster
-            .recorder()
-            .work(ctx.task, NodeRef::Db(serving), "scan_local", examined, 0);
+        cluster.recorder().work(
+            ctx.task,
+            NodeRef::Db(serving),
+            "scan_local",
+            examined,
+            scan_cost(examined, exam_width, matched_bytes),
+        );
+        if predicate.is_some() && scanned_rows > 0 {
+            cluster.recorder().work(
+                ctx.task,
+                NodeRef::Db(serving),
+                "filter_eval",
+                scanned_rows,
+                0,
+            );
+        }
         scanned
     };
     Ok(scanned.map_err(DbError::Data)?.batch)
+}
+
+/// Execute an aggregate-pushdown scan: every serving store folds its
+/// visible rows into per-group partial accumulators (answering from
+/// zone maps where it can), only those partials cross between nodes,
+/// and this coordinating node merges them — in segment order, so the
+/// result and any error are deterministic. With `aggregate_partial` the
+/// partials themselves are returned (for a driver that merges pieces
+/// from many queries exactly once); otherwise they are finalized here.
+fn execute_aggregate_scan(
+    ctx: ExecCtx<'_>,
+    def: &TableDef,
+    as_of: u64,
+    spec: &QuerySpec,
+    req: &AggRequest,
+    predicate: Option<&Expr>,
+) -> DbResult<QueryResult> {
+    if spec.count_only {
+        return Err(DbError::Execution(
+            "count_only and aggregate are mutually exclusive".into(),
+        ));
+    }
+    if spec.row_range.is_some() {
+        return Err(DbError::Execution(
+            "aggregate pushdown does not compose with row windows".into(),
+        ));
+    }
+    req.validate().map_err(DbError::Data)?;
+    let group_idx: Vec<usize> = req
+        .group_by
+        .iter()
+        .map(|c| def.schema.index_of(c))
+        .collect::<Result<_, _>>()
+        .map_err(DbError::Data)?;
+    let funcs: Vec<(AggFunc, Option<usize>)> = req
+        .calls
+        .iter()
+        .map(|call| {
+            Ok((
+                call.func,
+                match &call.column {
+                    Some(c) => Some(def.schema.index_of(c).map_err(DbError::Data)?),
+                    None => None,
+                },
+            ))
+        })
+        .collect::<DbResult<_>>()?;
+    let out_schema = if spec.aggregate_partial {
+        req.partial_schema(&def.schema).map_err(DbError::Data)?
+    } else {
+        req.output_schema(&def.schema).map_err(DbError::Data)?
+    };
+    let exam_width = examined_width(def, spec.hash_range.is_some(), predicate);
+    obs::global().add("agg.pushdown.queries", 1);
+
+    let cluster = ctx.cluster;
+    let mut accs = GroupedAccs::new(funcs.iter().map(|(f, _)| *f).collect());
+    // Fold one store's partials into the running result, recording the
+    // scan work and the (tiny) partial transfer.
+    let mut fold_store =
+        |serving: usize, subrange: Option<&HashRange>, op: &'static str| -> DbResult<()> {
+            let stores = cluster.nodes[serving].stores.read();
+            let store = stores
+                .get(&def.name)
+                .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
+            let out = store
+                .scan_aggregate(
+                    &BatchScan {
+                        as_of,
+                        my_txn: ctx.txn,
+                        hash_range: subrange,
+                        row_range: None,
+                        predicate,
+                        projection: None,
+                        dtypes: &[],
+                        no_skip: spec.no_skip,
+                    },
+                    &funcs,
+                    &group_idx,
+                )
+                .map_err(DbError::Data)?;
+            let partial_rows = out.accs.to_partial_rows();
+            let partial_bytes: u64 = partial_rows.iter().map(|r| r.wire_size() as u64).sum();
+            cluster.recorder().work(
+                ctx.task,
+                NodeRef::Db(serving),
+                op,
+                out.examined,
+                scan_cost(out.examined, exam_width, partial_bytes),
+            );
+            if predicate.is_some() && out.scanned > 0 {
+                cluster.recorder().work(
+                    ctx.task,
+                    NodeRef::Db(serving),
+                    "filter_eval",
+                    out.scanned,
+                    0,
+                );
+            }
+            // Only accumulator states cross between database nodes — the
+            // whole point of the pushdown.
+            if serving != ctx.node {
+                cluster.recorder().transfer(
+                    ctx.task,
+                    NodeRef::Db(serving),
+                    NodeRef::Db(ctx.node),
+                    NetClass::DbInternal,
+                    partial_bytes.max(8),
+                    partial_rows.len().max(1) as u64,
+                );
+            }
+            accs.merge(&out.accs).map_err(DbError::Data)
+        };
+
+    if def.is_segmented() {
+        let map = cluster.segment_map();
+        let range = spec.hash_range.unwrap_or_else(HashRange::full);
+        let k = cluster.config().k_safety;
+        for (segment, subrange) in map.segments_intersecting(&range) {
+            let serving = if cluster.is_node_up(segment) {
+                segment
+            } else {
+                map.buddies(segment, k)
+                    .into_iter()
+                    .find(|&b| cluster.is_node_up(b))
+                    .ok_or(DbError::DataUnavailable { segment })?
+            };
+            fold_store(serving, Some(&subrange), "scan_hash")?;
+        }
+    } else {
+        if spec.hash_range.is_some() {
+            return Err(DbError::Execution(format!(
+                "hash ranges apply to segmented tables; {} is unsegmented",
+                def.name
+            )));
+        }
+        if !cluster.is_node_up(ctx.node) {
+            return Err(DbError::NodeUnavailable(ctx.node));
+        }
+        fold_store(ctx.node, None, "scan_local")?;
+    }
+
+    // A global aggregate over zero rows still yields one (all-NULL /
+    // zero-count) group — but only in the finalized form; a partial
+    // result stays empty so a driver merging many pieces doesn't count
+    // phantom groups.
+    if req.group_by.is_empty() && !spec.aggregate_partial {
+        accs.ensure_global_group();
+    }
+    let mut rows = if spec.aggregate_partial {
+        accs.to_partial_rows()
+    } else {
+        accs.finalize_rows()
+    };
+    if let Some(limit) = spec.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(QueryResult {
+        count: rows.len() as u64,
+        schema: out_schema,
+        rows,
+        epoch: as_of,
+        batch: None,
+    })
+}
+
+/// Estimate the visible-row count a scan of `table` leaves after
+/// predicate pushdown, from per-container zone maps and NDV sketches —
+/// the planner input for V2S piece sizing. Sums per-store estimates
+/// across all nodes and divides by the replication factor (k+1 buddy
+/// copies for segmented tables, every node for unsegmented ones).
+pub fn estimate_scan_rows(
+    cluster: &Cluster,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> DbResult<u64> {
+    let def = cluster.table_def(table)?;
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&def.schema).map_err(DbError::Data)?),
+        None => None,
+    };
+    let replicas = if def.is_segmented() {
+        cluster.config().k_safety as u64 + 1
+    } else {
+        cluster.node_count() as u64
+    };
+    let mut est = 0f64;
+    for node in cluster.nodes.iter() {
+        let stores = node.stores.read();
+        if let Some(store) = stores.get(&def.name) {
+            est += store.estimate_rows(bound.as_ref());
+        }
+    }
+    let est = (est / replicas.max(1) as f64).round() as u64;
+    obs::global().add("planner.estimated_rows", est);
+    Ok(est)
 }

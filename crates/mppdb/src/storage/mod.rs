@@ -1,11 +1,15 @@
 //! Node-local storage: write-optimized buffer (WOS), read-optimized
-//! encoded containers (ROS), delete vectors, and the tuple mover.
+//! encoded containers (ROS), delete vectors, the tuple mover, and
+//! per-container statistics (zone maps, null counts, NDV sketches).
 
 pub mod batch;
 pub mod encoding;
+pub mod stats;
 pub mod store;
 
 pub use batch::{Bitmap, ColumnBatch, ColumnVec};
+pub use stats::{ColumnStats, ContainerStats};
 pub use store::{
-    BatchScan, CommitState, NodeTableStore, RowLoc, ScanOutput, StorageStats, VisibleRow,
+    AggScanOutput, BatchScan, CommitState, ContainerInfo, NodeTableStore, RowLoc, ScanOutput,
+    StorageStats, VisibleRow,
 };

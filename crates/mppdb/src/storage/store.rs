@@ -1,11 +1,16 @@
 //! The per-node, per-table MVCC store: WOS + ROS with pending-until-
 //! commit visibility and delete vectors.
 
+use common::agg::{AggFunc, GroupedAccs};
+use common::expr::BinaryOp;
 use common::{DataType, Expr, Result, Row, Value};
 
 use crate::segmentation::HashRange;
 use crate::storage::batch::ColumnBatch;
 use crate::storage::encoding::{encode_auto, EncodedColumn};
+use crate::storage::stats::{
+    analyzable, container_cannot_match, estimate_selectivity, ColumnStats, ContainerStats,
+};
 
 /// Commit state of a stored row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +73,9 @@ struct RosContainer {
     hashes: Vec<u64>,
     commits: Vec<CommitState>,
     deletes: Vec<DeleteState>,
+    /// Zone maps, null counts, and NDV sketches computed at creation;
+    /// immutable for the container's lifetime.
+    stats: ContainerStats,
 }
 
 impl RosContainer {
@@ -106,6 +114,10 @@ pub struct BatchScan<'a> {
     pub projection: Option<&'a [usize]>,
     /// Data types of the output (projected) columns, in output order.
     pub dtypes: &'a [DataType],
+    /// Disable zone-map container/run skipping and stats-driven
+    /// conjunct reordering (the ablation baseline and the differential
+    /// tests' strict-accounting mode).
+    pub no_skip: bool,
 }
 
 /// What a vectorized scan returns: the materialized batch plus the
@@ -124,6 +136,36 @@ pub struct ScanOutput {
     /// per row. The late-materialization win is `examined *
     /// column_count - decoded`.
     pub decoded: u64,
+    /// Whole ROS containers skipped because their zone maps prove the
+    /// predicate cannot match (and cannot error).
+    pub containers_skipped: u64,
+    /// Rows eliminated by metadata alone: all rows of skipped
+    /// containers, plus rows of RLE runs rejected run-at-a-time.
+    pub rows_skipped: u64,
+}
+
+/// What [`NodeTableStore::scan_aggregate`] returns: per-group partial
+/// accumulators plus the same cost accounting as [`ScanOutput`].
+pub struct AggScanOutput {
+    pub accs: GroupedAccs,
+    pub examined: u64,
+    pub scanned: u64,
+    pub decoded: u64,
+    pub containers_skipped: u64,
+    pub rows_skipped: u64,
+    /// Containers answered from zone maps alone, with no decode.
+    pub stats_answered: u64,
+}
+
+/// One ROS container's statistics row set, as surfaced by the
+/// `dc_column_stats` system table.
+#[derive(Debug, Clone)]
+pub struct ContainerInfo {
+    pub id: u64,
+    pub row_count: u64,
+    /// Encoding name per column, parallel to `columns`.
+    pub encodings: Vec<&'static str>,
+    pub columns: Vec<ColumnStats>,
 }
 
 /// Evaluate a bound predicate over one referenced column of a
@@ -131,6 +173,10 @@ pub struct ScanOutput {
 /// dictionary once per touched code (lazily, in row order, so the
 /// first evaluation error surfaces at the same row as row-at-a-time
 /// evaluation would). Returns the surviving subset of `sel`.
+///
+/// The RLE arm walks runs, not rows: a rejected run's selected rows
+/// are dropped wholesale (counted in `rows_skipped`) without touching
+/// them individually — the run-granular analog of container skipping.
 fn filter_single_column(
     col: &EncodedColumn,
     col_idx: usize,
@@ -138,6 +184,7 @@ fn filter_single_column(
     scratch: &mut Row,
     sel: &[u32],
     decoded: &mut u64,
+    rows_skipped: &mut u64,
 ) -> Result<Vec<u32>> {
     let mut out = Vec::with_capacity(sel.len());
     match col {
@@ -151,27 +198,27 @@ fn filter_single_column(
             }
         }
         EncodedColumn::Rle(runs) => {
-            let mut memo: Vec<Option<bool>> = vec![None; runs.len()];
-            let mut run = 0usize;
+            let mut i = 0usize; // cursor into sel
             let mut run_start = 0usize;
-            for &p in sel {
-                let p_us = p as usize;
-                while run < runs.len() && p_us >= run_start + runs[run].1 as usize {
-                    run_start += runs[run].1 as usize;
-                    run += 1;
+            for (value, len) in runs {
+                if i == sel.len() {
+                    break;
                 }
-                let keep = match memo[run] {
-                    Some(k) => k,
-                    None => {
-                        scratch.set(col_idx, runs[run].0.clone());
-                        *decoded += 1;
-                        let k = pred.matches(scratch)?;
-                        memo[run] = Some(k);
-                        k
-                    }
-                };
-                if keep {
-                    out.push(p);
+                let run_end = run_start + *len as usize;
+                let begin = i;
+                while i < sel.len() && (sel[i] as usize) < run_end {
+                    i += 1;
+                }
+                run_start = run_end;
+                if begin == i {
+                    continue; // no selected row in this run
+                }
+                scratch.set(col_idx, value.clone());
+                *decoded += 1;
+                if pred.matches(scratch)? {
+                    out.extend_from_slice(&sel[begin..i]);
+                } else {
+                    *rows_skipped += (i - begin) as u64;
                 }
             }
         }
@@ -196,6 +243,138 @@ fn filter_single_column(
         }
     }
     Ok(out)
+}
+
+/// Per-scan predicate plan: the referenced columns, plus — when every
+/// top-level conjunct is provably error-free — the conjunct list for
+/// stats-driven reordering.
+struct PredPlan<'a> {
+    pred: &'a Expr,
+    /// All referenced table ordinals, sorted.
+    cols: Vec<usize>,
+    /// Top-level AND conjuncts with their referenced columns. Present
+    /// only when there are at least two and all are [`analyzable`]
+    /// (error-free): that is what makes evaluating them in any order,
+    /// short-circuiting on an empty selection, semantics-preserving.
+    conjuncts: Option<Vec<(&'a Expr, Vec<usize>)>>,
+}
+
+impl<'a> PredPlan<'a> {
+    fn new(pred: &'a Expr, allow_reorder: bool) -> PredPlan<'a> {
+        let mut cols = Vec::new();
+        pred.referenced_indices(&mut cols);
+        cols.sort_unstable();
+        let mut parts: Vec<&Expr> = Vec::new();
+        split_conjuncts(pred, &mut parts);
+        let conjuncts = if allow_reorder && parts.len() > 1 && parts.iter().all(|e| analyzable(e)) {
+            Some(
+                parts
+                    .into_iter()
+                    .map(|e| {
+                        let mut c = Vec::new();
+                        e.referenced_indices(&mut c);
+                        c.sort_unstable();
+                        (e, c)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        PredPlan {
+            pred,
+            cols,
+            conjuncts,
+        }
+    }
+
+    /// Conjunct evaluation order for one container: most selective
+    /// first (zone-map estimate), then fewest referenced columns, then
+    /// textual order.
+    fn order_for(cj: &[(&'a Expr, Vec<usize>)], stats: &ContainerStats) -> Vec<usize> {
+        let sel: Vec<f64> = cj
+            .iter()
+            .map(|(e, _)| estimate_selectivity(e, stats))
+            .collect();
+        let mut order: Vec<usize> = (0..cj.len()).collect();
+        order.sort_by(|&a, &b| {
+            sel[a]
+                .partial_cmp(&sel[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(cj[a].1.len().cmp(&cj[b].1.len()))
+                .then(a.cmp(&b))
+        });
+        if order.iter().enumerate().any(|(i, &j)| i != j) {
+            obs::global().add("planner.conjuncts_reordered", 1);
+        }
+        order
+    }
+}
+
+fn split_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            split_conjuncts(left, out);
+            split_conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Stage-3 filter step: narrow `sel` by one expression, dispatching on
+/// how many columns it references (constant / single-column encoding-
+/// aware / multi-column gather).
+fn apply_filter(
+    c: &RosContainer,
+    expr: &Expr,
+    cols: &[usize],
+    scratch: &mut Row,
+    sel: Vec<u32>,
+    decoded: &mut u64,
+    rows_skipped: &mut u64,
+) -> Result<Vec<u32>> {
+    match cols {
+        [] => {
+            // Constant expression: evaluate once. A conjunct only reads
+            // the ordinals it references, so leftover scratch values
+            // from earlier conjuncts are invisible to it.
+            if expr.matches(scratch)? {
+                Ok(sel)
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        [single] => filter_single_column(
+            &c.columns[*single],
+            *single,
+            expr,
+            scratch,
+            &sel,
+            decoded,
+            rows_skipped,
+        ),
+        multi => {
+            let gathered: Vec<Vec<Value>> = multi
+                .iter()
+                .map(|&ci| c.columns[ci].gather_sorted(&sel))
+                .collect();
+            *decoded += (gathered.len() * sel.len()) as u64;
+            let mut kept = Vec::with_capacity(sel.len());
+            for (k, &p) in sel.iter().enumerate() {
+                for (col_vals, &ci) in gathered.iter().zip(multi) {
+                    scratch.set(ci, col_vals[k].clone());
+                }
+                if expr.matches(scratch)? {
+                    kept.push(p);
+                }
+            }
+            Ok(kept)
+        }
+    }
 }
 
 /// Aggregate storage statistics for one node-table store.
@@ -238,6 +417,20 @@ fn row_visible(commit: CommitState, delete: DeleteState, as_of: u64, my_txn: Opt
     }
 }
 
+/// True when every row of the container is visible at `as_of` for any
+/// reader: all inserts committed at or before the snapshot epoch and no
+/// delete even staged. Under this (deliberately strict) condition the
+/// container's stats describe exactly the visible rows, so aggregates
+/// may be answered from them without decoding.
+fn container_fully_visible(c: &RosContainer, as_of: u64) -> bool {
+    c.commits
+        .iter()
+        .all(|s| matches!(s, CommitState::Committed(e) if *e <= as_of))
+        && c.deletes
+            .iter()
+            .all(|s| matches!(s, DeleteState::NotDeleted))
+}
+
 impl NodeTableStore {
     pub fn new(column_count: usize) -> NodeTableStore {
         NodeTableStore {
@@ -278,6 +471,7 @@ impl NodeTableStore {
                 column_values[c].push(v);
             }
         }
+        let stats = ContainerStats::compute(&column_values, &hashes);
         let columns = column_values
             .into_iter()
             .map(|vals| {
@@ -291,6 +485,7 @@ impl NodeTableStore {
             id,
             columns,
             hashes,
+            stats,
             commits: vec![CommitState::Pending(txn); n],
             deletes: vec![DeleteState::NotDeleted; n],
         });
@@ -454,13 +649,28 @@ impl NodeTableStore {
         // predicates only read the ordinals they reference, so the
         // unreferenced positions can stay NULL.
         let mut scratch = Row::new(vec![Value::Null; self.column_count]);
-        let mut pred_cols: Vec<usize> = Vec::new();
-        if let Some(p) = scan.predicate {
-            p.referenced_indices(&mut pred_cols);
-            pred_cols.sort_unstable();
-        }
+        let plan = scan.predicate.map(|p| PredPlan::new(p, !scan.no_skip));
+        let mut containers_skipped = 0u64;
+        let mut rows_skipped = 0u64;
+        // Container-level zone-map skipping is sound only when the scan
+        // has no row window: skipping would desynchronize `window_pos`,
+        // which counts range survivors across all containers.
+        let may_skip = !scan.no_skip && scan.row_range.is_none();
 
         for c in &self.ros {
+            // Stage 0: zone maps. Skip the whole container when the
+            // predicate provably matches no row and provably cannot
+            // error. Stats cover a superset of the visible rows, so
+            // "no row matches" holds for every snapshot.
+            if may_skip {
+                if let Some(pred) = scan.predicate {
+                    if container_cannot_match(pred, &c.stats) {
+                        containers_skipped += 1;
+                        rows_skipped += c.len() as u64;
+                        continue;
+                    }
+                }
+            }
             // Stage 1+2: visibility, hash range, row window — selection
             // vector only, no column touched.
             let mut sel: Vec<u32> = Vec::new();
@@ -488,41 +698,39 @@ impl NodeTableStore {
                 continue;
             }
 
-            // Stage 3: predicate over referenced columns only.
-            if let Some(pred) = scan.predicate {
-                match pred_cols.as_slice() {
-                    [] => {
-                        // Constant predicate: evaluate once.
-                        if !pred.matches(&scratch)? {
-                            continue;
+            // Stage 3: predicate over referenced columns only. When the
+            // planner produced an error-free conjunct list, apply the
+            // conjuncts most-selective-first (per this container's zone
+            // maps); otherwise evaluate the predicate tree whole.
+            if let Some(plan) = &plan {
+                match &plan.conjuncts {
+                    Some(cj) => {
+                        for &i in &PredPlan::order_for(cj, &c.stats) {
+                            let (expr, cols) = &cj[i];
+                            sel = apply_filter(
+                                c,
+                                expr,
+                                cols,
+                                &mut scratch,
+                                sel,
+                                &mut decoded,
+                                &mut rows_skipped,
+                            )?;
+                            if sel.is_empty() {
+                                break;
+                            }
                         }
                     }
-                    [single] => {
-                        sel = filter_single_column(
-                            &c.columns[*single],
-                            *single,
-                            pred,
+                    None => {
+                        sel = apply_filter(
+                            c,
+                            plan.pred,
+                            &plan.cols,
                             &mut scratch,
-                            &sel,
+                            sel,
                             &mut decoded,
+                            &mut rows_skipped,
                         )?;
-                    }
-                    multi => {
-                        let gathered: Vec<Vec<Value>> = multi
-                            .iter()
-                            .map(|&ci| c.columns[ci].gather_sorted(&sel))
-                            .collect();
-                        decoded += (gathered.len() * sel.len()) as u64;
-                        let mut kept = Vec::with_capacity(sel.len());
-                        for (k, &p) in sel.iter().enumerate() {
-                            for (col_vals, &ci) in gathered.iter().zip(multi) {
-                                scratch.set(ci, col_vals[k].clone());
-                            }
-                            if pred.matches(&scratch)? {
-                                kept.push(p);
-                            }
-                        }
-                        sel = kept;
                     }
                 }
                 if sel.is_empty() {
@@ -574,14 +782,282 @@ impl NodeTableStore {
             batch.push_hash(r.hash);
         }
 
+        obs::global().add("scan.containers_skipped", containers_skipped);
         obs::global().add("scan.rows_examined", examined);
+        obs::global().add("scan.rows_skipped", rows_skipped);
         obs::global().add("scan.values_decoded", decoded);
         Ok(ScanOutput {
             batch,
             examined,
             scanned,
             decoded,
+            containers_skipped,
+            rows_skipped,
         })
+    }
+
+    /// Aggregate visible rows without materializing them: the node-side
+    /// half of partial-aggregate pushdown. `funcs` are the aggregate
+    /// calls with their bound input ordinals (`None` = `COUNT(*)`),
+    /// `group_by` the grouping ordinals. Returns per-group partial
+    /// accumulators — the caller merges partials across stores/nodes
+    /// and finalizes.
+    ///
+    /// Containers whose zone maps prove the predicate cannot match are
+    /// skipped like in [`Self::scan_batch`]; unfiltered, fully-visible,
+    /// hash-covered containers are answered straight from their stats
+    /// (COUNT from row/null counts, MIN/MAX from zone maps) with no
+    /// decode at all.
+    pub fn scan_aggregate(
+        &self,
+        scan: &BatchScan<'_>,
+        funcs: &[(AggFunc, Option<usize>)],
+        group_by: &[usize],
+    ) -> Result<AggScanOutput> {
+        debug_assert!(
+            scan.row_range.is_none(),
+            "row windows do not compose with aggregation"
+        );
+        let mut accs = GroupedAccs::new(funcs.iter().map(|(f, _)| *f).collect());
+        let mut examined = 0u64;
+        let mut scanned = 0u64;
+        let mut decoded = 0u64;
+        let mut containers_skipped = 0u64;
+        let mut rows_skipped = 0u64;
+        let mut stats_answered = 0u64;
+        let mut scratch = Row::new(vec![Value::Null; self.column_count]);
+        let plan = scan.predicate.map(|p| PredPlan::new(p, !scan.no_skip));
+        // Ordinals the accumulation step must decode: grouping columns
+        // plus aggregate inputs, deduplicated.
+        let mut needed: Vec<usize> = group_by
+            .iter()
+            .copied()
+            .chain(funcs.iter().filter_map(|(_, c)| *c))
+            .collect();
+        needed.sort_unstable();
+        needed.dedup();
+        // A container is answerable from stats alone only for a global
+        // (ungrouped) aggregate with no predicate whose functions read
+        // nothing but counts and zone-map endpoints.
+        let stats_eligible = !scan.no_skip
+            && scan.predicate.is_none()
+            && group_by.is_empty()
+            && funcs.iter().all(|(f, c)| {
+                matches!(f, AggFunc::Count)
+                    || (matches!(f, AggFunc::Min | AggFunc::Max) && c.is_some())
+            });
+
+        for c in &self.ros {
+            if !scan.no_skip {
+                if let Some(pred) = scan.predicate {
+                    if container_cannot_match(pred, &c.stats) {
+                        containers_skipped += 1;
+                        rows_skipped += c.len() as u64;
+                        continue;
+                    }
+                }
+            }
+            // Stats-only fast path: every row must be visible in this
+            // snapshot (no pending/aborted commits, no deletes), the
+            // hash range must cover the container's whole hash span,
+            // and every MIN/MAX column must have a usable zone map
+            // (or be all-null, contributing nothing).
+            if stats_eligible
+                && scan
+                    .hash_range
+                    .is_none_or(|r| r.contains(c.stats.hash_min) && r.contains(c.stats.hash_max))
+                && container_fully_visible(c, scan.as_of)
+                && funcs.iter().all(|(f, col)| match (f, col) {
+                    (AggFunc::Min | AggFunc::Max, Some(i)) => {
+                        let cs = &c.stats.columns[*i];
+                        cs.min.is_some() || cs.null_count == c.stats.row_count
+                    }
+                    _ => true,
+                })
+            {
+                let n = c.stats.row_count;
+                examined += n;
+                let group = accs.entry(Vec::new());
+                for ((f, col), acc) in funcs.iter().zip(group.iter_mut()) {
+                    match (f, col) {
+                        (AggFunc::Count, None) => acc.update_repeated(&Value::Int64(1), n)?,
+                        (AggFunc::Count, Some(i)) => acc.update_repeated(
+                            &Value::Int64(1),
+                            n - c.stats.columns[*i].null_count,
+                        )?,
+                        (AggFunc::Min, Some(i)) => {
+                            if let Some(m) = &c.stats.columns[*i].min {
+                                acc.update(m)?;
+                            }
+                        }
+                        (AggFunc::Max, Some(i)) => {
+                            if let Some(m) = &c.stats.columns[*i].max {
+                                acc.update(m)?;
+                            }
+                        }
+                        // `stats_eligible` admits no other shape.
+                        _ => {}
+                    }
+                }
+                stats_answered += 1;
+                continue;
+            }
+
+            // Fallback: selection vector, predicate, gather + fold.
+            let mut sel: Vec<u32> = Vec::new();
+            for idx in 0..c.len() {
+                if !row_visible(c.commits[idx], c.deletes[idx], scan.as_of, scan.my_txn) {
+                    continue;
+                }
+                examined += 1;
+                if let Some(r) = scan.hash_range {
+                    if !r.contains(c.hashes[idx]) {
+                        continue;
+                    }
+                }
+                sel.push(idx as u32);
+            }
+            scanned += sel.len() as u64;
+            if sel.is_empty() {
+                continue;
+            }
+            if let Some(plan) = &plan {
+                match &plan.conjuncts {
+                    Some(cj) => {
+                        for &i in &PredPlan::order_for(cj, &c.stats) {
+                            let (expr, cols) = &cj[i];
+                            sel = apply_filter(
+                                c,
+                                expr,
+                                cols,
+                                &mut scratch,
+                                sel,
+                                &mut decoded,
+                                &mut rows_skipped,
+                            )?;
+                            if sel.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                    None => {
+                        sel = apply_filter(
+                            c,
+                            plan.pred,
+                            &plan.cols,
+                            &mut scratch,
+                            sel,
+                            &mut decoded,
+                            &mut rows_skipped,
+                        )?;
+                    }
+                }
+                if sel.is_empty() {
+                    continue;
+                }
+            }
+            let gathered: Vec<(usize, Vec<Value>)> = needed
+                .iter()
+                .map(|&ci| (ci, c.columns[ci].gather_sorted(&sel)))
+                .collect();
+            decoded += (gathered.len() * sel.len()) as u64;
+            let value_of = |ci: usize, k: usize| -> &Value {
+                // `needed` is sorted and deduplicated, so the lookup
+                // always finds the gathered column.
+                match gathered.iter().find(|(g, _)| *g == ci) {
+                    Some((_, vals)) => &vals[k],
+                    None => &Value::Null,
+                }
+            };
+            for k in 0..sel.len() {
+                let key: Vec<Value> = group_by.iter().map(|&g| value_of(g, k).clone()).collect();
+                let group = accs.entry(key);
+                for ((f, col), acc) in funcs.iter().zip(group.iter_mut()) {
+                    match (f, col) {
+                        (AggFunc::Count, None) => acc.update(&Value::Int64(1))?,
+                        (_, Some(i)) => acc.update(value_of(*i, k))?,
+                        // COUNT is the only input-less aggregate.
+                        (_, None) => acc.update(&Value::Int64(1))?,
+                    }
+                }
+            }
+        }
+
+        // WOS rows are already materialized: fold them in place.
+        for r in &self.wos {
+            if !row_visible(r.commit, r.delete, scan.as_of, scan.my_txn) {
+                continue;
+            }
+            examined += 1;
+            if let Some(range) = scan.hash_range {
+                if !range.contains(r.hash) {
+                    continue;
+                }
+            }
+            scanned += 1;
+            if let Some(pred) = scan.predicate {
+                if !pred.matches(&r.row)? {
+                    continue;
+                }
+            }
+            let key: Vec<Value> = group_by.iter().map(|&g| r.row.get(g).clone()).collect();
+            let group = accs.entry(key);
+            for ((f, col), acc) in funcs.iter().zip(group.iter_mut()) {
+                match (f, col) {
+                    (AggFunc::Count, None) => acc.update(&Value::Int64(1))?,
+                    (_, Some(i)) => acc.update(r.row.get(*i))?,
+                    (_, None) => acc.update(&Value::Int64(1))?,
+                }
+            }
+        }
+
+        obs::global().add("scan.containers_skipped", containers_skipped);
+        obs::global().add("scan.rows_examined", examined);
+        obs::global().add("scan.rows_skipped", rows_skipped);
+        obs::global().add("scan.values_decoded", decoded);
+        obs::global().add("agg.pushdown.stats_answered", stats_answered);
+        Ok(AggScanOutput {
+            accs,
+            examined,
+            scanned,
+            decoded,
+            containers_skipped,
+            rows_skipped,
+            stats_answered,
+        })
+    }
+
+    /// Estimated rows a scan of this store leaves after filtering, from
+    /// container stats alone: containers the zone maps disqualify
+    /// contribute zero, the rest their row count scaled by the
+    /// predicate's estimated selectivity. WOS rows carry no stats and
+    /// use the default selectivity.
+    pub fn estimate_rows(&self, predicate: Option<&Expr>) -> f64 {
+        let ros: f64 = self
+            .ros
+            .iter()
+            .map(|c| match predicate {
+                None => c.stats.row_count as f64,
+                Some(p) if container_cannot_match(p, &c.stats) => 0.0,
+                Some(p) => c.stats.row_count as f64 * estimate_selectivity(p, &c.stats),
+            })
+            .sum();
+        let wos = self.wos.len() as f64
+            * predicate.map_or(1.0, |_| crate::storage::stats::DEFAULT_SELECTIVITY);
+        ros + wos
+    }
+
+    /// Per-container statistics for the `dc_column_stats` system table.
+    pub fn container_infos(&self) -> Vec<ContainerInfo> {
+        self.ros
+            .iter()
+            .map(|c| ContainerInfo {
+                id: c.id,
+                row_count: c.stats.row_count,
+                encodings: c.columns.iter().map(|col| col.encoding_name()).collect(),
+                columns: c.stats.columns.clone(),
+            })
+            .collect()
     }
 
     /// Visit every visible row in stable scan order without building a
@@ -690,6 +1166,7 @@ impl NodeTableStore {
                 column_values[c].push(v.clone());
             }
         }
+        let stats = ContainerStats::compute(&column_values, &hashes);
         let columns = column_values
             .into_iter()
             .map(|vals| encode_auto(&vals, common::DataType::Varchar))
@@ -700,6 +1177,7 @@ impl NodeTableStore {
             id,
             columns,
             hashes,
+            stats,
             commits,
             deletes,
         });

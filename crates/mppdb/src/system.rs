@@ -32,7 +32,12 @@
 //! * `dc_histograms` — the log-linear value histograms
 //!   (`Metric::Histo`): count/sum/min/max plus P50/P95/P99. Values
 //!   are unit-free — span histograms hold microseconds,
-//!   `v2s.piece_bytes` holds bytes.
+//!   `v2s.piece_bytes` holds bytes,
+//! * `dc_column_stats` — per-ROS-container column statistics: row and
+//!   null counts, the NDV estimate, the encoding chosen, and the
+//!   min/max zone-map endpoints (rendered as text; NULL when the store
+//!   kept no endpoint). One row per node × container × column — what
+//!   the scan planner and zone-map skipping actually consult.
 //!
 //! All tables are defined in one place ([`DEFS`]): the name list and
 //! the scan dispatch both derive from it, so they cannot drift apart.
@@ -90,6 +95,10 @@ static DEFS: &[SystemTableDef] = &[
         name: "dc_histograms",
         scan: scan_dc_histograms,
     },
+    SystemTableDef {
+        name: "dc_column_stats",
+        scan: scan_dc_column_stats,
+    },
 ];
 
 /// Names of the available system tables.
@@ -104,6 +113,7 @@ pub const SYSTEM_TABLES: &[&str] = &[
     "dc_spans",
     "dc_trace_summary",
     "dc_histograms",
+    "dc_column_stats",
 ];
 
 /// Produce the contents of a system table, or `None` if `name` isn't one.
@@ -474,6 +484,53 @@ fn scan_dc_histograms(_cluster: &Cluster) -> (Schema, Vec<Row>) {
     (schema, rows)
 }
 
+fn scan_dc_column_stats(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("node", DataType::Int64),
+        ("table_name", DataType::Varchar),
+        ("container_id", DataType::Int64),
+        ("column_idx", DataType::Int64),
+        ("encoding", DataType::Varchar),
+        ("row_count", DataType::Int64),
+        ("null_count", DataType::Int64),
+        ("ndv", DataType::Int64),
+        ("min", DataType::Varchar),
+        ("max", DataType::Varchar),
+    ]);
+    // Zone-map endpoints render as text: the column's min/max can be
+    // any SQL type, and NULL marks a stat the store could not keep
+    // (all-null or mixed-type column).
+    let render = |v: &Option<Value>| match v {
+        Some(v) => Value::Varchar(v.to_string()),
+        None => Value::Null,
+    };
+    let mut rows = Vec::new();
+    for (n, node) in cluster.nodes.iter().enumerate() {
+        let stores = node.stores.read();
+        let mut tables: Vec<&String> = stores.keys().collect();
+        tables.sort();
+        for table in tables {
+            for info in stores[table].container_infos() {
+                for (idx, cs) in info.columns.iter().enumerate() {
+                    rows.push(Row::new(vec![
+                        Value::Int64(n as i64),
+                        Value::Varchar(table.clone()),
+                        Value::Int64(info.id as i64),
+                        Value::Int64(idx as i64),
+                        Value::Varchar(info.encodings[idx].to_string()),
+                        Value::Int64(info.row_count as i64),
+                        Value::Int64(cs.null_count as i64),
+                        Value::Int64(cs.ndv as i64),
+                        render(&cs.min),
+                        render(&cs.max),
+                    ]));
+                }
+            }
+        }
+    }
+    (schema, rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +646,39 @@ mod tests {
                                                        // Values under the linear cutoff are bucketed exactly.
         assert_eq!(row.values()[5], Value::Int64(2)); // p50
         assert_eq!(row.values()[7], Value::Int64(60)); // p99
+    }
+
+    #[test]
+    fn dc_column_stats_exposes_zone_maps() {
+        let cluster = Cluster::new(ClusterConfig::default());
+        let mut session = cluster.connect(0).unwrap();
+        session
+            .execute("CREATE TABLE zm (id INT, name VARCHAR) SEGMENTED BY HASH(id) ALL NODES")
+            .unwrap();
+        session
+            .copy(
+                "zm",
+                crate::copy::CopySource::Csv {
+                    text: "1,a\n2,b\n3,c\n4,d\n".to_string(),
+                    delimiter: ',',
+                },
+                crate::copy::CopyOptions::default(),
+            )
+            .unwrap();
+        let (schema, rows) = scan_system_table(&cluster, "dc_column_stats").unwrap();
+        assert_eq!(schema.fields()[1].name, "table_name");
+        let zm: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.values()[1] == Value::Varchar("zm".to_string()))
+            .collect();
+        assert!(!zm.is_empty(), "COPY DIRECT must create container stats");
+        // Every container row for column 0 carries integer min/max text
+        // and a positive NDV.
+        for r in zm.iter().filter(|r| r.values()[3] == Value::Int64(0)) {
+            assert!(matches!(&r.values()[7], Value::Int64(ndv) if *ndv >= 1));
+            assert!(matches!(&r.values()[8], Value::Varchar(_)));
+            assert!(matches!(&r.values()[9], Value::Varchar(_)));
+        }
     }
 
     #[test]

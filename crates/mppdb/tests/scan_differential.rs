@@ -263,49 +263,84 @@ fn batched_scan_matches_reference() {
                 predicate.as_ref(),
                 projection.as_deref(),
             );
-            let actual = store.scan_batch(&BatchScan {
-                as_of,
-                my_txn,
-                hash_range: hash_range.as_ref(),
-                row_range,
-                predicate: predicate.as_ref(),
-                projection: projection.as_deref(),
-                dtypes: &dtypes,
-            });
+            // Both skipping modes must reproduce the reference exactly:
+            // zone-map container elimination and RLE run elimination
+            // are pure no-row-can-match proofs, never result changes.
+            for no_skip in [true, false] {
+                let actual = store.scan_batch(&BatchScan {
+                    as_of,
+                    my_txn,
+                    hash_range: hash_range.as_ref(),
+                    row_range,
+                    predicate: predicate.as_ref(),
+                    projection: projection.as_deref(),
+                    dtypes: &dtypes,
+                    no_skip,
+                });
 
-            match (expected, actual) {
-                (Ok((rows, hashes, scanned)), Ok(out)) => {
-                    assert_eq!(
-                        out.batch.hashes(),
-                        hashes.as_slice(),
-                        "hash vector diverged: {tag}"
-                    );
-                    assert_eq!(out.scanned, scanned, "scanned count diverged: {tag}");
-                    assert_eq!(
-                        out.examined,
-                        store.visible_count(as_of, my_txn) as u64,
-                        "examined != visible_count: {tag}"
-                    );
-                    assert_eq!(
-                        out.batch.wire_size(),
-                        rows.iter().map(Row::wire_size).sum::<usize>(),
-                        "wire size diverged: {tag}"
-                    );
-                    assert_eq!(
-                        out.batch.text_wire_size(),
-                        rows.iter().map(Row::text_wire_size).sum::<usize>(),
-                        "text wire size diverged: {tag}"
-                    );
-                    let batch_rows = out.batch.into_rows();
-                    assert_eq!(batch_rows, rows, "rows diverged: {tag}");
+                match (&expected, actual) {
+                    (Ok((rows, hashes, scanned)), Ok(out)) => {
+                        assert_eq!(
+                            out.batch.hashes(),
+                            hashes.as_slice(),
+                            "hash vector diverged (no_skip={no_skip}): {tag}"
+                        );
+                        let visible = store.visible_count(as_of, my_txn) as u64;
+                        if no_skip {
+                            assert_eq!(out.scanned, *scanned, "scanned count diverged: {tag}");
+                            assert_eq!(out.examined, visible, "examined != visible_count: {tag}");
+                            assert_eq!(out.containers_skipped, 0, "skip while disabled: {tag}");
+                            assert_eq!(out.rows_skipped, 0, "skip while disabled: {tag}");
+                        } else {
+                            // Container skips remove rows from `examined`;
+                            // `rows_skipped` counts whole containers (which
+                            // may include invisible rows), so the pair
+                            // bounds the visible count from both sides.
+                            assert!(
+                                out.examined <= visible,
+                                "examined beyond visible_count: {tag}"
+                            );
+                            assert!(
+                                out.examined + out.rows_skipped >= visible,
+                                "skipped more than accounted: {tag}"
+                            );
+                            assert!(
+                                out.scanned <= *scanned,
+                                "skipping scanned extra rows: {tag}"
+                            );
+                            assert!(
+                                out.scanned + out.rows_skipped >= *scanned,
+                                "scan skips unaccounted: {tag}"
+                            );
+                        }
+                        assert_eq!(
+                            out.batch.wire_size(),
+                            rows.iter().map(Row::wire_size).sum::<usize>(),
+                            "wire size diverged (no_skip={no_skip}): {tag}"
+                        );
+                        assert_eq!(
+                            out.batch.text_wire_size(),
+                            rows.iter().map(Row::text_wire_size).sum::<usize>(),
+                            "text wire size diverged (no_skip={no_skip}): {tag}"
+                        );
+                        let batch_rows = out.batch.into_rows();
+                        assert_eq!(
+                            &batch_rows, rows,
+                            "rows diverged (no_skip={no_skip}): {tag}"
+                        );
+                    }
+                    (Err(e), Err(a)) => {
+                        assert_eq!(
+                            e.to_string(),
+                            a.to_string(),
+                            "different error (no_skip={no_skip}): {tag}"
+                        );
+                    }
+                    (e, a) => panic!(
+                        "reference and batched scans disagree on success \
+                         (no_skip={no_skip}): reference={e:?} batched={a:?} ({tag})"
+                    ),
                 }
-                (Err(e), Err(a)) => {
-                    assert_eq!(e.to_string(), a.to_string(), "different error: {tag}");
-                }
-                (e, a) => panic!(
-                    "reference and batched scans disagree on success: \
-                     reference={e:?} batched={a:?} ({tag})"
-                ),
             }
         }
     }
@@ -361,5 +396,103 @@ fn query_and_query_batched_agree_end_to_end() {
         let again = session.query_batched(&spec).unwrap();
         assert_eq!(again.clone().into_rows(), batched.clone().into_rows());
         assert_eq!(batched.into_rows(), rows.rows);
+    }
+}
+
+/// Pushed-down aggregation (node-side partials, zone-map fast paths,
+/// conjunct reordering) must agree with materialize-then-aggregate in
+/// every mode, for every request shape.
+#[test]
+fn aggregate_pushdown_matches_materialized_aggregation() {
+    use common::agg::{aggregate_rows, AggCall, AggFunc, AggRequest};
+    use common::row;
+    use mppdb::{Cluster, ClusterConfig, QuerySpec};
+
+    let cluster = Cluster::new(ClusterConfig {
+        node_count: 4,
+        k_safety: 1,
+        ..ClusterConfig::default()
+    });
+    let mut session = cluster.connect(0).unwrap();
+    session
+        .execute(
+            "CREATE TABLE t (id BIGINT, grp VARCHAR, val DOUBLE) SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+    let schema = cluster.table_def("t").unwrap().schema;
+    let mut rng = StdRng::seed_from_u64(11);
+    let rows: Vec<Row> = (0..500)
+        .map(|i| {
+            row![
+                i as i64,
+                format!("g{}", rng.random_range(0..5)),
+                rng.random_range(0..100) as f64
+            ]
+        })
+        .collect();
+    session.insert("t", rows).unwrap();
+    cluster.moveout_all();
+
+    let requests: Vec<(Vec<&str>, Vec<AggCall>)> = vec![
+        (vec![], vec![AggCall::count_star()]),
+        (
+            vec![],
+            vec![
+                AggCall::new(AggFunc::Min, "val"),
+                AggCall::new(AggFunc::Max, "val"),
+                AggCall::count_star(),
+            ],
+        ),
+        (
+            vec!["grp"],
+            vec![
+                AggCall::new(AggFunc::Sum, "val"),
+                AggCall::new(AggFunc::Avg, "val"),
+                AggCall::count_star(),
+            ],
+        ),
+        (vec!["grp"], vec![AggCall::new(AggFunc::Count, "id")]),
+    ];
+    let filters = [
+        None,
+        Some(Expr::col("val").lt(Expr::lit(50.0f64))),
+        // A selective conjunction, so zone-map skipping and conjunct
+        // reordering both engage on the aggregate path.
+        Some(
+            Expr::col("val")
+                .lt(Expr::lit(30.0f64))
+                .and(Expr::col("id").gt_eq(Expr::lit(400i64))),
+        ),
+        // A never-true predicate: zero-row aggregates.
+        Some(Expr::col("val").lt(Expr::lit(-1.0f64))),
+    ];
+    let sort_key = |r: &Row| format!("{r:?}");
+    for (group_by, calls) in &requests {
+        for filter in &filters {
+            let req = AggRequest::new(group_by, calls.clone());
+            let mut base = QuerySpec::scan("t");
+            if let Some(f) = filter {
+                base = base.filter(f.clone());
+            }
+            let tag = format!(
+                "group_by={group_by:?} calls={calls:?} filter={:?}",
+                filter.as_ref().map(|f| f.to_sql())
+            );
+
+            // Reference: pull rows, aggregate at the caller.
+            let pulled = session.query(&base.clone()).unwrap().rows;
+            let (_, mut expected) = aggregate_rows(&schema, &pulled, &req).unwrap();
+            expected.sort_by_key(sort_key);
+
+            for no_skip in [false, true] {
+                let mut spec = base.clone().aggregate(req.clone());
+                if no_skip {
+                    spec = spec.without_skipping();
+                }
+                let mut pushed = session.query(&spec).unwrap().rows;
+                pushed.sort_by_key(sort_key);
+                assert_eq!(pushed, expected, "no_skip={no_skip}: {tag}");
+            }
+        }
     }
 }

@@ -108,6 +108,21 @@ pub struct NameDef {
 /// textually, so keep entries in the literal `NameDef { .. }` form.
 pub static DEFS: &[NameDef] = &[
     NameDef {
+        name: "agg.pushdown.partials_merged",
+        kind: NameKind::Counter,
+        help: "per-piece partial aggregates merged exactly once at the driver",
+    },
+    NameDef {
+        name: "agg.pushdown.queries",
+        kind: NameKind::Counter,
+        help: "table scans executed as partial-aggregate pushdowns",
+    },
+    NameDef {
+        name: "agg.pushdown.stats_answered",
+        kind: NameKind::Counter,
+        help: "ROS containers whose aggregate was answered from zone maps alone",
+    },
+    NameDef {
         name: "breaker.close",
         kind: NameKind::Counter,
         help: "circuit breaker closed after a successful probe",
@@ -353,6 +368,16 @@ pub static DEFS: &[NameDef] = &[
         help: "in-database model scoring calls",
     },
     NameDef {
+        name: "planner.conjuncts_reordered",
+        kind: NameKind::Counter,
+        help: "containers whose predicate conjuncts ran in a stats-chosen order",
+    },
+    NameDef {
+        name: "planner.estimated_rows",
+        kind: NameKind::Counter,
+        help: "rows the stats-driven planner estimated a scan would leave",
+    },
+    NameDef {
         name: RETRY_ATTEMPT,
         kind: NameKind::Span,
         help: "span for one attempt inside a retry/failover loop",
@@ -473,9 +498,19 @@ pub static DEFS: &[NameDef] = &[
         help: "span and op tag for S2V staging teardown",
     },
     NameDef {
+        name: "scan.containers_skipped",
+        kind: NameKind::Counter,
+        help: "whole ROS containers skipped by zone-map pruning",
+    },
+    NameDef {
         name: "scan.rows_examined",
         kind: NameKind::Counter,
         help: "rows visibility-checked by columnar scans",
+    },
+    NameDef {
+        name: "scan.rows_skipped",
+        kind: NameKind::Counter,
+        help: "rows eliminated by zone maps and RLE-run pruning without evaluation",
     },
     NameDef {
         name: "scan.values_decoded",
@@ -546,6 +581,11 @@ pub static DEFS: &[NameDef] = &[
         name: "shed.total",
         kind: NameKind::Counter,
         help: "all statements shed by admission control",
+    },
+    NameDef {
+        name: "stats.build_us",
+        kind: NameKind::Timer,
+        help: "time to compute per-container column statistics at ROS creation",
     },
     NameDef {
         name: "v2s.bytes",

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use common::agg::{self, AggCall, AggRequest};
 use common::{Expr, Row, Schema};
 
 use crate::context::SparkContext;
@@ -140,6 +141,27 @@ impl DataFrame {
                 Ok(DataFrame::from_rdd(filtered, self.schema.clone()))
             }
         }
+    }
+
+    /// Grouped aggregation (`df.agg(..)`). References the *base*
+    /// columns, like [`DataFrame::filter`]. While the DataFrame is
+    /// still lazy the request is pushed down to the source, which may
+    /// ship per-partition accumulator states instead of rows (paper
+    /// Sec. 3.1.1); materialized frames aggregate engine-side. The
+    /// result is a small materialized DataFrame of one row per group.
+    pub fn agg(&self, group_by: &[&str], calls: Vec<AggCall>) -> SparkResult<DataFrame> {
+        let request = AggRequest::new(group_by, calls);
+        let (schema, rows) = match &self.plan {
+            Plan::Source {
+                relation, filters, ..
+            } => relation.aggregate(&self.ctx, filters, &request)?,
+            Plan::Rdd(rdd) => {
+                let rows = rdd.collect()?;
+                agg::aggregate_rows(&self.schema, &rows, &request)?
+            }
+        };
+        let rdd = Rdd::from_partitions(self.ctx.clone(), vec![rows]);
+        Ok(DataFrame::from_rdd(rdd, schema))
     }
 
     /// Row count; uses the source's count pushdown when lazy.
@@ -344,6 +366,26 @@ mod tests {
         let d2 = d.coalesce(1).unwrap();
         assert_eq!(d2.num_partitions().unwrap(), 1);
         assert_eq!(d2.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn agg_on_materialized_frames() {
+        let d = df();
+        let out = d
+            .agg(
+                &[],
+                vec![
+                    AggCall::count_star(),
+                    AggCall::new(agg::AggFunc::Sum, "score"),
+                    AggCall::new(agg::AggFunc::Max, "name"),
+                ],
+            )
+            .unwrap();
+        let rows = out.collect().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int64(3));
+        assert_eq!(rows[0].get(1), &Value::Float64(4.5));
+        assert_eq!(rows[0].get(2), &Value::Varchar("c".into()));
     }
 
     #[test]

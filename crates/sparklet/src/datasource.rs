@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use common::agg::{self, AggRequest};
 use common::{Expr, Row, Schema};
 
 use crate::context::SparkContext;
@@ -108,6 +109,20 @@ pub trait ScanRelation: Send + Sync {
     fn count(&self, ctx: &SparkContext, filters: &[Expr]) -> SparkResult<u64> {
         // Project down to nothing we can avoid: use full rows.
         self.scan(ctx, None, filters)?.count()
+    }
+
+    /// Aggregate pushdown (`df.agg(..)`). The default materializes a
+    /// scan and aggregates engine-side, so every source gets correct
+    /// aggregates; sources that can push work down (the V2S connector)
+    /// override this to ship accumulator states instead of rows.
+    fn aggregate(
+        &self,
+        ctx: &SparkContext,
+        filters: &[Expr],
+        request: &AggRequest,
+    ) -> SparkResult<(Schema, Vec<Row>)> {
+        let rows = self.scan(ctx, None, filters)?.collect()?;
+        agg::aggregate_rows(&self.schema(), &rows, request).map_err(SparkError::from)
     }
 }
 

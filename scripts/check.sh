@@ -32,6 +32,12 @@ cargo test -q --test chaos
 echo "== cargo test -q --test resilience"
 cargo test -q --test resilience
 
+# The skipping/pushdown ablation regenerates BENCH_pushdown.json and
+# asserts every cell returns the identical aggregate; its ≥5x scan and
+# ≥10x wire reduction gates also run as bench lib tests above.
+echo "== ablation_pushdown"
+cargo run -q -p bench --bin ablation_pushdown > /dev/null
+
 # The tracing overhead bench must always compile: span-layer API
 # drift shows up here before it shows up in a profiling session.
 echo "== cargo bench --bench trace_micro --no-run"

@@ -556,6 +556,81 @@ fn node_kill_fails_reads_over_and_restore_rebuilds() {
     db.restore_node(3);
 }
 
+/// A node dying before an aggregate-pushdown read must not change the
+/// answer *or* the merge count: the driver folds exactly one partial
+/// set per piece, even when pieces retry and fail over to buddies. A
+/// double merge would silently double counts and sums, so the counter
+/// assertion is exact, not a lower bound.
+#[test]
+fn node_kill_mid_aggregate_merges_partials_exactly_once() {
+    use vertica_spark_fabric::common::agg::{AggCall, AggFunc};
+
+    let _g = lock();
+    let (ctx, db) = setup(1);
+    let df = make_df(&ctx, 400, 8);
+    let opts = ConnectorOptions::builder("agg_kill_tgt")
+        .num_partitions(8)
+        .build()
+        .unwrap();
+    connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+
+    db.kill_node(2);
+    let loaded = ctx
+        .read()
+        .format(DEFAULT_SOURCE)
+        .option("table", "agg_kill_tgt")
+        .load()
+        .unwrap();
+    let before = obs::global().snapshot();
+    let out = loaded
+        .agg(
+            &[],
+            vec![
+                AggCall::count_star(),
+                AggCall::new(AggFunc::Sum, "x"),
+                AggCall::new(AggFunc::Min, "id"),
+                AggCall::new(AggFunc::Max, "id"),
+            ],
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 1, "one global group");
+    assert_eq!(out[0].get(0), &Value::Int64(400), "count survives the kill");
+    assert_eq!(out[0].get(1), &Value::Float64(79800.0), "sum of 0..400");
+    assert_eq!(out[0].get(2), &Value::Int64(0));
+    assert_eq!(out[0].get(3), &Value::Int64(399));
+
+    let delta = obs::global().snapshot().counters_since(&before);
+    // Without an explicit numPartitions the aggregate plan is one piece
+    // per segment: exactly 4 partial merges, dead node or not.
+    assert_eq!(
+        delta.get("agg.pushdown.partials_merged").copied(),
+        Some(4),
+        "exactly one merge per piece: {delta:?}"
+    );
+    assert!(
+        delta.get("failover.reads").copied().unwrap_or(0) >= 1,
+        "the dead node's piece must fail over to a buddy: {delta:?}"
+    );
+
+    // Restored node serves the same aggregate, still exactly-once.
+    db.restore_node(2);
+    let before = obs::global().snapshot();
+    let healthy = loaded
+        .agg(&["id"], vec![AggCall::count_star()])
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(healthy.len(), 400, "grouped aggregate sees every row once");
+    let delta = obs::global().snapshot().counters_since(&before);
+    assert_eq!(
+        delta.get("agg.pushdown.partials_merged").copied(),
+        Some(4),
+        "healthy run merges once per piece too: {delta:?}"
+    );
+}
+
 /// When no node answers, retries exhaust into a typed, inspectable
 /// error — and once the cluster is back, the same save goes through.
 #[test]
