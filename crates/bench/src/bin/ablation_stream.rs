@@ -1,0 +1,24 @@
+//! Ablation (DESIGN.md §13): steady-state scan latency under continuous
+//! micro-batch streaming ingest — tuple mover on vs off, same workload.
+
+use bench::experiments::stream;
+use bench::report;
+
+fn main() {
+    let before = report::begin();
+    let (off, on) = stream::run();
+    let rows = stream::report_rows(&off, &on);
+    report::publish(
+        "stream",
+        "Ablation — streaming ingest steady-state scans, tuple mover on vs off",
+        &rows,
+        &before,
+    );
+    println!(
+        "mover speedup: {:.2}x median probe latency under continuous ingest \
+         ({} micro-batches of {} rows)",
+        off.median_probe_us / on.median_probe_us.max(1.0),
+        stream::BATCHES,
+        stream::BATCH_ROWS
+    );
+}

@@ -8,7 +8,7 @@ use bench::datasets::{self, specs};
 use bench::experiments::{run_s2v_save, run_v2s_load, LAB_D1_ROWS};
 use bench::report::{self, ReportRow};
 use bench::{simulate, SimParams, TestBed};
-use connector::{load_via_dfs, save_via_dfs, TwoStageConfig};
+use connector::{load_via_dfs, ConnectorOptions, SaveRequest, TwoStageConfig, WriteMethod};
 use netsim::record::Event;
 
 fn merged_events(bed: &TestBed) -> Vec<Event> {
@@ -35,15 +35,15 @@ fn main() {
     // Two-stage save.
     let df = bed.dataframe(schema.clone(), rows.clone(), 128);
     bed.clear_recorders();
-    save_via_dfs(
-        &bed.ctx,
-        &bed.db,
-        bed.dfs.as_ref().unwrap(),
-        &df,
-        "two_stage_target",
-        &TwoStageConfig::new("/staging/save"),
-    )
-    .unwrap();
+    let two_stage_opts = ConnectorOptions::builder("two_stage_target")
+        .method(WriteMethod::Dfs)
+        .staging_path("/staging/save")
+        .build()
+        .unwrap();
+    SaveRequest::new(&bed.ctx, &bed.db, &df, &two_stage_opts)
+        .with_dfs(bed.dfs.as_ref().unwrap())
+        .submit()
+        .unwrap();
     let staged_save = simulate(&merged_events(&bed), &params).seconds;
 
     // Two-stage load.

@@ -38,18 +38,23 @@
 //! df.write.format(DEFAULT_SOURCE).options(opts).mode(mode).save()
 //! ```
 //!
-//! Both write paths — the direct S2V protocol and the two-stage DFS
-//! load — hang off one entry point, [`save`], selected by the
-//! `method=copy|dfs` option; both return the same [`SaveReport`].
+//! Every write path — the direct S2V protocol, the two-stage DFS load,
+//! and streaming micro-batch ingest — hangs off one typed entry point,
+//! [`SaveRequest`], dispatched by `ConnectorOptions::{ingest, method}`;
+//! all of them return the same [`SaveReport`]. The historical
+//! free-function entry points ([`save`], [`s2v::save_to_db`],
+//! [`two_stage::save_via_dfs`]) remain as deprecated shims.
 //!
 //! [`fault-injection`]: mppdb::fault
 
 pub mod error;
 pub mod health;
+pub mod ingest;
 pub mod md;
 pub mod options;
 pub mod retry;
 pub mod s2v;
+pub mod stream;
 pub mod two_stage;
 pub mod v2s;
 
@@ -61,11 +66,17 @@ use sparklet::{DataFrame, DataSourceProvider, Options, SaveMode, ScanRelation, S
 
 pub use error::{ConnectorError, ConnectorResult};
 pub use health::{BreakerState, Deadline, HealthConfig, HealthTracker};
+pub use ingest::SaveRequest;
 pub use md::ModelDeployment;
-pub use options::{ConnectorOptions, ConnectorOptionsBuilder, WriteMethod};
+pub use options::{ConnectorOptions, ConnectorOptionsBuilder, IngestMode, WriteMethod};
 pub use retry::{with_retry, with_retry_deadline, RetryConn, RetryPolicy};
-pub use s2v::{save_to_db, S2vReport};
-pub use two_stage::{load_via_dfs, save_via_dfs, TwoStageConfig, TwoStageReport};
+#[allow(deprecated)] // the shim stays importable from the crate root
+pub use s2v::save_to_db;
+pub use s2v::S2vReport;
+pub use stream::StreamWriter;
+#[allow(deprecated)] // the shim stays importable from the crate root
+pub use two_stage::save_via_dfs;
+pub use two_stage::{load_via_dfs, TwoStageConfig, TwoStageReport};
 pub use v2s::DbRelation;
 
 /// The format name the connector registers under — the paper's
@@ -92,6 +103,8 @@ pub struct SaveReport {
     pub part_files: usize,
     /// DFS path: bytes that crossed the landing zone.
     pub staged_bytes: u64,
+    /// Streaming path: micro-batches committed (0 for bulk saves).
+    pub batches: u64,
     /// The save's span tree in the global collector (S2V path only;
     /// [`obs::TraceId`] 0 when untraced).
     pub trace: obs::TraceId,
@@ -103,6 +116,25 @@ impl SaveReport {
     /// through the untraced DFS path).
     pub fn profile(&self) -> String {
         obs::trace::render(&obs::global().trace_spans(self.trace))
+    }
+
+    /// An all-zero report for no-op saves (e.g. `SaveMode::Ignore` on
+    /// an existing table).
+    pub fn empty(method: WriteMethod) -> SaveReport {
+        SaveReport {
+            method,
+            job_name: String::new(),
+            rows_loaded: 0,
+            rows_rejected: 0,
+            committer_task: None,
+            rejected_samples: Vec::new(),
+            engine_job_id: 0,
+            phase_us: [0; 5],
+            part_files: 0,
+            staged_bytes: 0,
+            batches: 0,
+            trace: obs::TraceId(0),
+        }
     }
 }
 
@@ -119,15 +151,20 @@ impl From<S2vReport> for SaveReport {
             phase_us: r.phase_us,
             part_files: 0,
             staged_bytes: 0,
+            batches: 0,
             trace: r.trace,
         }
     }
 }
 
-/// Save a DataFrame through the write path `opts.method` selects:
-/// the direct S2V exactly-once protocol (`method=copy`, the default) or
-/// the two-stage DFS landing zone (`method=dfs`, which needs a DFS
-/// handle). The single entry point behind `df.write().save()`.
+/// Save a DataFrame through the write path `opts.method` selects — the
+/// old positional entry point, superseded by the typed [`SaveRequest`]
+/// builder (which also dispatches streaming ingest).
+#[deprecated(
+    since = "0.2.0",
+    note = "use connector::SaveRequest::new(ctx, cluster, df, opts)\
+            .with_dfs_opt(dfs).mode(mode).submit()"
+)]
 pub fn save(
     ctx: &SparkContext,
     cluster: &Arc<Cluster>,
@@ -136,80 +173,10 @@ pub fn save(
     opts: &ConnectorOptions,
     mode: SaveMode,
 ) -> ConnectorResult<SaveReport> {
-    match opts.method {
-        WriteMethod::Copy => Ok(save_to_db(ctx, cluster, df, opts, mode)?.into()),
-        WriteMethod::Dfs => {
-            let dfs = dfs.ok_or_else(|| {
-                ConnectorError::Usage(
-                    "method=dfs needs a DFS: register the source with \
-                     DefaultSource::register_with_dfs (or pass a DFS handle to save)"
-                        .into(),
-                )
-            })?;
-            let exists = cluster.has_table(&opts.table);
-            match mode {
-                SaveMode::ErrorIfExists if exists => {
-                    return Err(ConnectorError::Usage(format!(
-                        "table {} already exists (mode=ErrorIfExists)",
-                        opts.table
-                    )))
-                }
-                SaveMode::Ignore if exists => {
-                    return Ok(SaveReport {
-                        method: WriteMethod::Dfs,
-                        job_name: String::new(),
-                        rows_loaded: 0,
-                        rows_rejected: 0,
-                        committer_task: None,
-                        rejected_samples: Vec::new(),
-                        engine_job_id: 0,
-                        phase_us: [0; 5],
-                        part_files: 0,
-                        staged_bytes: 0,
-                        trace: obs::TraceId(0),
-                    })
-                }
-                SaveMode::Overwrite if exists => {
-                    // The DFS stage-2 COPY appends; overwrite = clear first.
-                    let host = opts.host_on(cluster)?;
-                    let mut conn = RetryConn::new(Arc::clone(cluster), host, opts.retry.clone())
-                        .with_deadline(opts.deadline.map(Deadline::within))
-                        .with_health(health::tracker_for(cluster));
-                    if !opts.failover {
-                        conn = conn.pinned();
-                    }
-                    conn.run("dfs.truncate", |session| {
-                        session
-                            .execute(&format!("DELETE FROM {}", opts.table))
-                            .map(|_| ())
-                            .map_err(|e| ConnectorError::db("dfs.truncate", e))
-                    })?;
-                }
-                _ => {}
-            }
-            let staging = opts
-                .staging_path
-                .clone()
-                .unwrap_or_else(|| format!("/staging/{}", opts.table));
-            let mut config = TwoStageConfig::new(staging);
-            config.partitions = opts.num_partitions;
-            config.host = opts.host_on(cluster)?;
-            let report = save_via_dfs(ctx, cluster, dfs, df, &opts.table, &config)?;
-            Ok(SaveReport {
-                method: WriteMethod::Dfs,
-                job_name: String::new(),
-                rows_loaded: report.rows,
-                rows_rejected: 0,
-                committer_task: None,
-                rejected_samples: Vec::new(),
-                engine_job_id: 0,
-                phase_us: [0; 5],
-                part_files: report.part_files,
-                staged_bytes: report.staged_bytes,
-                trace: obs::TraceId(0),
-            })
-        }
-    }
+    SaveRequest::new(ctx, cluster, df, opts)
+        .with_dfs_opt(dfs)
+        .mode(mode)
+        .submit()
 }
 
 /// The connector's `DataSourceProvider`: one instance per database
@@ -264,7 +231,10 @@ impl DataSourceProvider for DefaultSource {
         mode: SaveMode,
     ) -> sparklet::SparkResult<()> {
         let opts = ConnectorOptions::parse(options)?;
-        crate::save(ctx, &self.cluster, self.dfs.as_ref(), df, &opts, mode)
+        SaveRequest::new(ctx, &self.cluster, df, &opts)
+            .with_dfs_opt(self.dfs.as_ref())
+            .mode(mode)
+            .submit()
             .map(|_report| ())
             .map_err(sparklet::SparkError::from)
     }

@@ -24,6 +24,31 @@ pub enum WriteMethod {
     Dfs,
 }
 
+/// How rows reach the database: one bulk COPY, or a sequence of
+/// micro-batches that each reuse the full exactly-once COPY protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// The whole DataFrame in one exactly-once save — the default.
+    #[default]
+    Bulk,
+    /// Continuous ingest: rows accumulate in a [`StreamWriter`] and
+    /// flush as micro-batches, each a complete 5-phase COPY job, when
+    /// either bound is hit.
+    ///
+    /// [`StreamWriter`]: crate::stream::StreamWriter
+    Stream {
+        /// Flush when this many rows are buffered (`stream.batch_rows`).
+        batch_rows: usize,
+        /// Flush a non-empty buffer older than this (`stream.flush_ms`).
+        flush_ms: u64,
+    },
+}
+
+/// Default `stream.batch_rows` when stream mode is selected.
+pub const STREAM_BATCH_ROWS_DEFAULT: usize = 1024;
+/// Default `stream.flush_ms` when stream mode is selected.
+pub const STREAM_FLUSH_MS_DEFAULT: u64 = 100;
+
 /// Parsed connector options.
 ///
 /// The real connector takes `host`, `user`, `password`, `db`, `table`,
@@ -82,6 +107,12 @@ pub struct ConnectorOptions {
     /// V2S: push `df.agg(..)` into the database as per-piece partial
     /// aggregates instead of pulling rows and aggregating engine-side.
     pub agg_pushdown: bool,
+    /// Bulk (one COPY) or streaming micro-batch ingest.
+    pub ingest: IngestMode,
+    /// Streaming: run a tuple-mover pass after each micro-batch commit,
+    /// keeping the WOS drained and small ROS containers compacted so
+    /// steady-state scans stay fast under continuous ingest.
+    pub mover_enabled: bool,
 }
 
 /// Every key `parse` understands; anything else is a usage error
@@ -110,6 +141,9 @@ const KNOWN_KEYS: &[&str] = &[
     "hedge_delay_ms",
     "stats_skipping",
     "agg_pushdown",
+    "stream.batch_rows",
+    "stream.flush_ms",
+    "mover.enabled",
 ];
 
 impl ConnectorOptions {
@@ -194,6 +228,19 @@ impl ConnectorOptions {
         if let Some(a) = options.get_parsed::<bool>("agg_pushdown")? {
             b = b.agg_pushdown(a);
         }
+        // Either stream.* key opts the save into micro-batch streaming;
+        // the other takes its default.
+        let batch_rows = options.get_parsed::<usize>("stream.batch_rows")?;
+        let flush_ms = options.get_parsed::<u64>("stream.flush_ms")?;
+        if batch_rows.is_some() || flush_ms.is_some() {
+            b = b.stream(
+                batch_rows.unwrap_or(STREAM_BATCH_ROWS_DEFAULT),
+                flush_ms.unwrap_or(STREAM_FLUSH_MS_DEFAULT),
+            );
+        }
+        if let Some(m) = options.get_parsed::<bool>("mover.enabled")? {
+            b = b.mover_enabled(m);
+        }
         b.build()
     }
 
@@ -217,6 +264,8 @@ impl ConnectorOptions {
             hedge_delay: None,
             stats_skipping: true,
             agg_pushdown: true,
+            ingest: IngestMode::Bulk,
+            mover_enabled: true,
         }
     }
 
@@ -363,6 +412,52 @@ impl ConnectorOptionsBuilder {
         self
     }
 
+    /// Switch to streaming micro-batch ingest with explicit bounds.
+    pub fn stream(mut self, batch_rows: usize, flush_ms: u64) -> Self {
+        self.opts.ingest = IngestMode::Stream {
+            batch_rows,
+            flush_ms,
+        };
+        self
+    }
+
+    /// Streaming micro-batch ingest with the default bounds.
+    pub fn stream_defaults(self) -> Self {
+        self.stream(STREAM_BATCH_ROWS_DEFAULT, STREAM_FLUSH_MS_DEFAULT)
+    }
+
+    /// Override just `stream.batch_rows` (switches to stream mode).
+    pub fn stream_batch_rows(mut self, rows: usize) -> Self {
+        let flush_ms = match self.opts.ingest {
+            IngestMode::Stream { flush_ms, .. } => flush_ms,
+            IngestMode::Bulk => STREAM_FLUSH_MS_DEFAULT,
+        };
+        self.opts.ingest = IngestMode::Stream {
+            batch_rows: rows,
+            flush_ms,
+        };
+        self
+    }
+
+    /// Override just `stream.flush_ms` (switches to stream mode).
+    pub fn stream_flush_ms(mut self, ms: u64) -> Self {
+        let batch_rows = match self.opts.ingest {
+            IngestMode::Stream { batch_rows, .. } => batch_rows,
+            IngestMode::Bulk => STREAM_BATCH_ROWS_DEFAULT,
+        };
+        self.opts.ingest = IngestMode::Stream {
+            batch_rows,
+            flush_ms: ms,
+        };
+        self
+    }
+
+    /// Enable/disable the per-flush tuple-mover pass in stream mode.
+    pub fn mover_enabled(mut self, on: bool) -> Self {
+        self.opts.mover_enabled = on;
+        self
+    }
+
     pub fn build(self) -> ConnectorResult<ConnectorOptions> {
         let o = self.opts;
         if o.table.is_empty() {
@@ -397,6 +492,22 @@ impl ConnectorOptionsBuilder {
             return Err(ConnectorError::Usage(
                 "hedge_delay_ms must be at least 1".into(),
             ));
+        }
+        if let IngestMode::Stream {
+            batch_rows,
+            flush_ms,
+        } = o.ingest
+        {
+            if !(1..=1_000_000).contains(&batch_rows) {
+                return Err(ConnectorError::Usage(
+                    "stream.batch_rows must be in 1..=1000000".into(),
+                ));
+            }
+            if !(1..=600_000).contains(&flush_ms) {
+                return Err(ConnectorError::Usage(
+                    "stream.flush_ms must be in 1..=600000 (10 minutes)".into(),
+                ));
+            }
         }
         Ok(o)
     }
@@ -541,6 +652,114 @@ mod tests {
         let parsed = ConnectorOptions::parse(&o).unwrap();
         assert!(!parsed.stats_skipping);
         assert!(!parsed.agg_pushdown);
+    }
+
+    #[test]
+    fn parses_stream_and_mover_keys() {
+        // Bulk by default, mover on.
+        let parsed = ConnectorOptions::parse(&Options::new().with("table", "t")).unwrap();
+        assert_eq!(parsed.ingest, IngestMode::Bulk);
+        assert!(parsed.mover_enabled);
+        // Either stream key flips the mode; the other takes its default.
+        let o = Options::new()
+            .with("table", "t")
+            .with("stream.batch_rows", 256);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert_eq!(
+            parsed.ingest,
+            IngestMode::Stream {
+                batch_rows: 256,
+                flush_ms: STREAM_FLUSH_MS_DEFAULT
+            }
+        );
+        let o = Options::new()
+            .with("table", "t")
+            .with("stream.flush_ms", 50);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert_eq!(
+            parsed.ingest,
+            IngestMode::Stream {
+                batch_rows: STREAM_BATCH_ROWS_DEFAULT,
+                flush_ms: 50
+            }
+        );
+        let o = Options::new()
+            .with("table", "t")
+            .with("stream.batch_rows", 2000)
+            .with("stream.flush_ms", 250)
+            .with("mover.enabled", false);
+        let parsed = ConnectorOptions::parse(&o).unwrap();
+        assert_eq!(
+            parsed.ingest,
+            IngestMode::Stream {
+                batch_rows: 2000,
+                flush_ms: 250
+            }
+        );
+        assert!(!parsed.mover_enabled);
+    }
+
+    #[test]
+    fn stream_key_bounds_are_enforced() {
+        for (key, bad) in [
+            ("stream.batch_rows", "0"),
+            ("stream.batch_rows", "1000001"),
+            ("stream.flush_ms", "0"),
+            ("stream.flush_ms", "600001"),
+        ] {
+            let o = Options::new().with("table", "t").with(key, bad);
+            let err = ConnectorOptions::parse(&o).unwrap_err();
+            assert!(err.to_string().contains(key), "{key}={bad}: {err}");
+        }
+        // The same bounds hold through the typed builder.
+        assert!(ConnectorOptions::builder("t")
+            .stream(0, 100)
+            .build()
+            .is_err());
+        assert!(ConnectorOptions::builder("t")
+            .stream(100, 0)
+            .build()
+            .is_err());
+        assert!(ConnectorOptions::builder("t")
+            .stream(100, 100)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_misspelled_stream_keys() {
+        for typo in ["stream.batchrows", "stream.flushms", "mover.enable"] {
+            let o = Options::new().with("table", "t").with(typo, "1");
+            let err = ConnectorOptions::parse(&o).unwrap_err();
+            assert!(err.to_string().contains(typo), "{typo}: {err}");
+        }
+    }
+
+    #[test]
+    fn stream_builder_methods_preserve_the_other_bound() {
+        let o = ConnectorOptions::builder("t")
+            .stream_batch_rows(512)
+            .stream_flush_ms(75)
+            .build()
+            .unwrap();
+        assert_eq!(
+            o.ingest,
+            IngestMode::Stream {
+                batch_rows: 512,
+                flush_ms: 75
+            }
+        );
+        let o = ConnectorOptions::builder("t")
+            .stream_defaults()
+            .build()
+            .unwrap();
+        assert_eq!(
+            o.ingest,
+            IngestMode::Stream {
+                batch_rows: STREAM_BATCH_ROWS_DEFAULT,
+                flush_ms: STREAM_FLUSH_MS_DEFAULT
+            }
+        );
     }
 
     #[test]

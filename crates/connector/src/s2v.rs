@@ -143,13 +143,33 @@ struct JobTables {
 /// available; users can consult this table any time").
 pub const FINAL_STATUS_TABLE: &str = "s2v_job_final_status";
 
+/// Save `df` into `opts.table` with exactly-once semantics — the old
+/// S2V-only entry point, superseded by the unified [`SaveRequest`]
+/// surface (which also covers `method=dfs` and streaming ingest).
+///
+/// [`SaveRequest`]: crate::SaveRequest
+#[deprecated(
+    since = "0.2.0",
+    note = "use connector::SaveRequest::new(..).submit(); this S2V-only \
+            entry point bypasses the unified ingest dispatch"
+)]
+pub fn save_to_db(
+    ctx: &SparkContext,
+    cluster: &Arc<Cluster>,
+    df: &DataFrame,
+    opts: &ConnectorOptions,
+    mode: SaveMode,
+) -> ConnectorResult<S2vReport> {
+    run(ctx, cluster, df, opts, mode)
+}
+
 /// Save `df` into `opts.table` with exactly-once semantics.
 ///
 /// The whole save runs as one `s2v.job` trace: the driver's setup,
 /// finalize, and teardown steps, every task attempt (`sched.task`),
 /// every Fig. 5 phase attempt, and every connection retry get spans,
 /// and [`S2vReport::profile`] renders the assembled tree.
-pub fn save_to_db(
+pub(crate) fn run(
     ctx: &SparkContext,
     cluster: &Arc<Cluster>,
     df: &DataFrame,

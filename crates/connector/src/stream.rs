@@ -1,0 +1,311 @@
+//! Streaming micro-batch S2V: continuous ingest as a sequence of
+//! small, exactly-once COPY jobs.
+//!
+//! A [`StreamWriter`] buffers rows and flushes a micro-batch whenever
+//! either bound from [`IngestMode::Stream`] is hit: `batch_rows`
+//! buffered rows (checked on [`append_rows`]) or a buffer older than
+//! `flush_ms` (checked on [`poll`]). Every flush is a complete 5-phase
+//! S2V job ([`s2v`]) — staging table, task status, committer election,
+//! conditional final commit — so each micro-batch individually carries
+//! the bulk path's exactly-once guarantee.
+//!
+//! **Exactly-once across batches** comes from deterministic job names:
+//! batch `k` of a writer with base name `b` runs as job `b_mb000k`.
+//! The S2V final-status table is keyed by job name and phase 5 commits
+//! *conditionally* on the job not being finished, so replaying any
+//! prefix of a stream — the recovery story after a crashed driver —
+//! re-runs the same job names and every already-committed batch
+//! resolves to "already finished": rolled back, no duplicate rows.
+//! A crash *between* batches loses nothing (every prior batch fully
+//! committed) and a crash *during* a batch leaves that job unfinished
+//! (only staging/protocol state, target untouched) for the replay to
+//! complete.
+//!
+//! After each committed batch the writer runs one tuple-mover pass
+//! ([`Cluster::mover_pass`], unless `mover.enabled=false`), draining
+//! the WOS the trickle load grows and compacting the small ROS
+//! containers it creates — the difference `BENCH_stream` measures.
+//!
+//! [`append_rows`]: StreamWriter::append_rows
+//! [`poll`]: StreamWriter::poll
+//! [`IngestMode::Stream`]: crate::options::IngestMode::Stream
+//! [`s2v`]: crate::s2v
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::{Row, Schema};
+use mppdb::Cluster;
+use sparklet::{DataFrame, SaveMode, SparkContext};
+
+use crate::error::{ConnectorError, ConnectorResult};
+use crate::options::{ConnectorOptions, IngestMode, WriteMethod};
+use crate::{s2v, SaveReport};
+
+/// Distinguishes concurrent anonymous stream writers; an explicit
+/// `job_name` (required for crash-replay recovery) bypasses it.
+static STREAM_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// A handle for continuous ingest into one table. Create with
+/// [`StreamWriter::open`], feed with [`StreamWriter::append_rows`],
+/// tick with [`StreamWriter::poll`], and close with
+/// [`StreamWriter::finish`] to flush the tail and get the aggregate
+/// [`SaveReport`].
+pub struct StreamWriter {
+    ctx: SparkContext,
+    cluster: Arc<Cluster>,
+    schema: Schema,
+    opts: ConnectorOptions,
+    /// Mode for batch 0; later batches always append.
+    first_mode: SaveMode,
+    /// Deterministic job-name prefix: batch `k` runs as `{base}_mb{k:05}`.
+    base: String,
+    batch_rows: usize,
+    flush_age: Duration,
+    buf: Vec<Row>,
+    /// When the oldest buffered row arrived (drives `flush_ms`).
+    buf_since: Option<Instant>,
+    /// Ignore-mode short circuit: the target existed at open, so the
+    /// whole stream is a no-op.
+    ignored: bool,
+    // ----- aggregate totals for the final report ---------------------
+    batches: u64,
+    rows_loaded: u64,
+    rows_rejected: u64,
+    rejected_samples: Vec<(u64, String)>,
+    phase_us: [u64; 5],
+    committer_task: Option<u64>,
+    engine_job_id: u64,
+    trace: obs::TraceId,
+}
+
+impl StreamWriter {
+    /// Open a stream into `opts.table`, whose rows must match `schema`.
+    ///
+    /// `opts.ingest` must be [`IngestMode::Stream`] (use
+    /// `builder.stream(..)` or the `stream.*` string keys) and
+    /// `opts.method` must be the COPY path. `mode` applies to the first
+    /// micro-batch exactly as it would to a bulk save: `ErrorIfExists`
+    /// fails here if the target exists, `Ignore` turns the whole stream
+    /// into a no-op, `Overwrite` truncates once; every later batch
+    /// appends.
+    pub fn open(
+        ctx: &SparkContext,
+        cluster: &Arc<Cluster>,
+        schema: Schema,
+        opts: &ConnectorOptions,
+        mode: SaveMode,
+    ) -> ConnectorResult<StreamWriter> {
+        let IngestMode::Stream {
+            batch_rows,
+            flush_ms,
+        } = opts.ingest
+        else {
+            return Err(ConnectorError::Usage(
+                "StreamWriter::open needs stream ingest mode: set \
+                 stream.batch_rows / stream.flush_ms (or builder.stream(..))"
+                    .into(),
+            ));
+        };
+        if opts.method == WriteMethod::Dfs {
+            return Err(ConnectorError::Usage(
+                "streaming ingest requires method=copy: each micro-batch is an \
+                 exactly-once COPY job, which the two-stage DFS path cannot provide"
+                    .into(),
+            ));
+        }
+        let exists = cluster.has_table(&opts.table);
+        let mut ignored = false;
+        match mode {
+            SaveMode::ErrorIfExists if exists => {
+                return Err(ConnectorError::Usage(format!(
+                    "table {} already exists (mode=ErrorIfExists)",
+                    opts.table
+                )))
+            }
+            SaveMode::Ignore if exists => ignored = true,
+            _ => {}
+        }
+        let base = opts.job_name.clone().unwrap_or_else(|| {
+            format!(
+                "stream_{}_{}",
+                opts.table,
+                STREAM_SEQ.fetch_add(1, Ordering::AcqRel)
+            )
+        });
+        Ok(StreamWriter {
+            ctx: ctx.clone(),
+            cluster: Arc::clone(cluster),
+            schema,
+            opts: opts.clone(),
+            first_mode: mode,
+            base,
+            batch_rows,
+            flush_age: Duration::from_millis(flush_ms),
+            buf: Vec::new(),
+            buf_since: None,
+            ignored,
+            batches: 0,
+            rows_loaded: 0,
+            rows_rejected: 0,
+            rejected_samples: Vec::new(),
+            phase_us: [0; 5],
+            committer_task: None,
+            engine_job_id: 0,
+            trace: obs::TraceId(0),
+        })
+    }
+
+    /// The job-name prefix micro-batches run under. Reopening a writer
+    /// with the same explicit `job_name` after a crash replays the same
+    /// job names, which is what makes recovery exactly-once.
+    pub fn job_base(&self) -> &str {
+        &self.base
+    }
+
+    /// Micro-batches committed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Rows currently buffered (not yet flushed).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Buffer rows, flushing a micro-batch for every `batch_rows` rows
+    /// now available. Returns the number of batches flushed.
+    pub fn append_rows(&mut self, rows: Vec<Row>) -> ConnectorResult<u64> {
+        if self.ignored {
+            return Ok(0);
+        }
+        if self.buf.is_empty() && !rows.is_empty() {
+            self.buf_since = Some(Instant::now());
+        }
+        self.buf.extend(rows);
+        let mut flushed = 0;
+        while self.buf.len() >= self.batch_rows {
+            let batch: Vec<Row> = self.buf.drain(..self.batch_rows).collect();
+            self.flush_batch(batch, false)?;
+            flushed += 1;
+        }
+        if self.buf.is_empty() {
+            self.buf_since = None;
+        } else if flushed > 0 {
+            // The remainder started aging when it arrived; keep the
+            // existing stamp only if nothing was flushed around it.
+            self.buf_since = Some(Instant::now());
+        }
+        Ok(flushed)
+    }
+
+    /// Flush the buffer if it has rows older than `flush_ms` — the
+    /// age-based bound that keeps a slow trickle from sitting invisible
+    /// in the writer forever. Call this from the ingest loop's timer.
+    /// Returns true when a batch was flushed.
+    pub fn poll(&mut self) -> ConnectorResult<bool> {
+        if self.ignored || self.buf.is_empty() {
+            return Ok(false);
+        }
+        let old_enough = self
+            .buf_since
+            .is_some_and(|since| since.elapsed() >= self.flush_age);
+        if !old_enough {
+            return Ok(false);
+        }
+        let batch = std::mem::take(&mut self.buf);
+        self.buf_since = None;
+        self.flush_batch(batch, true)?;
+        Ok(true)
+    }
+
+    /// Flush whatever is buffered and return the aggregate report for
+    /// the whole stream: summed rows/phases, `batches` flushed, the
+    /// base job name.
+    pub fn finish(mut self) -> ConnectorResult<SaveReport> {
+        if !self.ignored && !self.buf.is_empty() {
+            let batch = std::mem::take(&mut self.buf);
+            self.flush_batch(batch, false)?;
+        }
+        Ok(SaveReport {
+            method: WriteMethod::Copy,
+            job_name: self.base,
+            rows_loaded: self.rows_loaded,
+            rows_rejected: self.rows_rejected,
+            committer_task: self.committer_task,
+            rejected_samples: self.rejected_samples,
+            engine_job_id: self.engine_job_id,
+            phase_us: self.phase_us,
+            part_files: 0,
+            staged_bytes: 0,
+            batches: self.batches,
+            trace: self.trace,
+        })
+    }
+
+    /// Run one micro-batch as a full exactly-once S2V job.
+    fn flush_batch(&mut self, rows: Vec<Row>, aged: bool) -> ConnectorResult<()> {
+        let started = Instant::now();
+        let parts = self
+            .opts
+            .num_partitions
+            .unwrap_or(4)
+            .clamp(1, rows.len().max(1));
+        let df = self
+            .ctx
+            .create_dataframe(rows, self.schema.clone(), parts)?;
+        let mut bopts = self.opts.clone();
+        bopts.ingest = IngestMode::Bulk;
+        // Deterministic per-batch job name: the replay key.
+        bopts.job_name = Some(format!("{}_mb{:05}", self.base, self.batches));
+        let mode = if self.batches == 0 {
+            self.first_mode
+        } else {
+            SaveMode::Append
+        };
+        let report = s2v::run(&self.ctx, &self.cluster, &df, &bopts, mode)?;
+        obs::global().incr("stream.batches");
+        obs::global().add("stream.rows", report.rows_loaded);
+        obs::global().record_time("stream.batch_us", started.elapsed());
+        if aged {
+            obs::global().incr("stream.age_flushes");
+        }
+        self.batches += 1;
+        self.rows_loaded += report.rows_loaded;
+        self.rows_rejected += report.rows_rejected;
+        self.rejected_samples.extend(report.rejected_samples);
+        for (total, phase) in self.phase_us.iter_mut().zip(report.phase_us) {
+            *total += phase;
+        }
+        self.committer_task = Some(report.committer_task);
+        self.engine_job_id = report.engine_job_id;
+        self.trace = report.trace;
+        // Background maintenance rides the ingest cadence: drain the
+        // WOS this batch grew and compact the small container it left.
+        if self.opts.mover_enabled {
+            self.cluster.mover_pass();
+        }
+        Ok(())
+    }
+}
+
+/// Save a whole DataFrame through the streaming path: chop it into
+/// `batch_rows` micro-batches and run each as an exactly-once COPY job.
+/// What `SaveRequest::submit` dispatches to for stream-mode options —
+/// the batch-at-rest counterpart of driving a [`StreamWriter`] by hand.
+pub(crate) fn save_stream(
+    ctx: &SparkContext,
+    cluster: &Arc<Cluster>,
+    df: &DataFrame,
+    opts: &ConnectorOptions,
+    mode: SaveMode,
+    batch_rows: usize,
+) -> ConnectorResult<SaveReport> {
+    let mut writer = StreamWriter::open(ctx, cluster, df.schema().clone(), opts, mode)?;
+    let rows = df.collect()?;
+    for chunk in rows.chunks(batch_rows.max(1)) {
+        writer.append_rows(chunk.to_vec())?;
+    }
+    writer.finish()
+}

@@ -873,16 +873,13 @@ fn s2v_report_carries_rejected_row_samples() {
         .collect();
     let df = ctx.create_dataframe(rows, schema, 3).unwrap();
 
-    let report = connector::save_to_db(
-        &ctx,
-        &cluster,
-        &df,
-        &connector::ConnectorOptions::for_table("picky")
-            .with_partitions(3)
-            .with_tolerance(0.2),
-        SaveMode::Append,
-    )
-    .unwrap();
+    let opts = connector::ConnectorOptions::for_table("picky")
+        .with_partitions(3)
+        .with_tolerance(0.2);
+    let report = connector::SaveRequest::new(&ctx, &cluster, &df, &opts)
+        .mode(SaveMode::Append)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 57);
     assert_eq!(report.rows_rejected, 3);
     // Each of the three partitions rejected one row and reports a

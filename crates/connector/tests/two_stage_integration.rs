@@ -1,5 +1,10 @@
 //! Two-stage (DFS landing zone) transfer tests — the Sec. 5 / Redshift
 //! alternative.
+//!
+//! These intentionally exercise the legacy `save_via_dfs` entry point
+//! (now a deprecated shim over `SaveRequest` with `method=dfs`) so the
+//! shim's delegation stays covered alongside the mechanics underneath.
+#![allow(deprecated)]
 
 use std::sync::Arc;
 

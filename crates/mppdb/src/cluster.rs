@@ -38,6 +38,9 @@ pub struct ClusterConfig {
     /// Committed WOS rows per node-table that trigger an automatic
     /// tuple-mover moveout after commit.
     pub moveout_threshold: usize,
+    /// Minimum adjacent same-stratum ROS containers before the tuple
+    /// mover's mergeout collapses them into one.
+    pub mergeout_min_containers: usize,
     /// Lock wait timeout (deadlock resolution).
     pub lock_timeout: Duration,
 }
@@ -49,6 +52,7 @@ impl Default for ClusterConfig {
             k_safety: 0,
             max_client_sessions: 100,
             moveout_threshold: 16 * 1024,
+            mergeout_min_containers: 4,
             lock_timeout: Duration::from_secs(5),
         }
     }
@@ -93,6 +97,9 @@ pub struct Cluster {
     dfs: Dfs,
     pools: RwLock<HashMap<String, Arc<ResourcePool>>>,
     faults: FaultInjector,
+    /// Tuple-mover op log and background-thread handle
+    /// (`storage::mover` holds the pass logic).
+    pub(crate) mover: crate::storage::mover::MoverState,
 }
 
 impl Cluster {
@@ -116,6 +123,17 @@ impl Cluster {
             "general".to_string(),
             Arc::new(ResourcePool::new("general", 32 << 30, usize::MAX)),
         );
+        // The tuple mover's maintenance pool: narrow on purpose, so
+        // background moveout/mergeout sheds under load instead of
+        // competing with foreground statements.
+        pools.insert(
+            crate::storage::mover::MOVER_POOL.to_string(),
+            Arc::new(ResourcePool::new(
+                crate::storage::mover::MOVER_POOL,
+                4 << 30,
+                2,
+            )),
+        );
         static NEXT_CLUSTER_ID: AtomicU64 = AtomicU64::new(1);
         Arc::new(Cluster {
             id: NEXT_CLUSTER_ID.fetch_add(1, Ordering::Relaxed),
@@ -132,6 +150,7 @@ impl Cluster {
             dfs: Dfs::new(),
             pools: RwLock::new(pools),
             faults: FaultInjector::default(),
+            mover: crate::storage::mover::MoverState::default(),
         })
     }
 
@@ -404,8 +423,14 @@ impl Cluster {
 
     // ----- transactions ---------------------------------------------
 
+    /// Allocate a transaction id without opening a statement-level
+    /// transaction (the tuple mover uses bare ids to hold table locks).
+    pub(crate) fn alloc_txn_id(&self) -> u64 {
+        self.next_txn.fetch_add(1, Ordering::AcqRel)
+    }
+
     pub(crate) fn begin_txn(&self) -> TxnHandle {
-        let id = self.next_txn.fetch_add(1, Ordering::AcqRel);
+        let id = self.alloc_txn_id();
         obs::global().emit(obs::EventKind::TxnBegin, |e| {
             e.task = Some(id);
         });
@@ -458,13 +483,14 @@ impl Cluster {
         });
         obs::global().incr("db.epoch_advance");
         obs::global().record_time("db.commit_us", commit_started.elapsed());
-        // Post-commit maintenance: moveout of large WOS'es.
+        // Post-commit maintenance: moveout of large WOS'es, recorded
+        // like any other tuple-mover operation.
         for table in &txn.touched {
-            for node in &self.nodes {
+            for (idx, node) in self.nodes.iter().enumerate() {
                 let mut stores = node.stores.write();
                 if let Some(store) = stores.get_mut(table) {
                     if store.wos_committed_rows() >= self.config.moveout_threshold {
-                        store.moveout();
+                        self.moveout_store_recorded(idx, table, store);
                     }
                 }
             }
@@ -723,9 +749,14 @@ impl Cluster {
     /// the number of rows moved.
     pub fn moveout_all(&self) -> usize {
         let mut moved = 0;
-        for node in &self.nodes {
-            for store in node.stores.write().values_mut() {
-                moved += store.moveout();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut stores = node.stores.write();
+            let mut tables: Vec<String> = stores.keys().cloned().collect();
+            tables.sort();
+            for table in tables {
+                if let Some(store) = stores.get_mut(&table) {
+                    moved += self.moveout_store_recorded(idx, &table, store);
+                }
             }
         }
         moved

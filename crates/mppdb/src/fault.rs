@@ -50,6 +50,11 @@ pub enum FaultSite {
     /// (`DbError::ConnectionLost`) — the Sec. 2.2.2 hazard: the client
     /// cannot tell a successful commit from a failed one.
     PostCommit,
+    /// The tuple mover dies at the start of a moveout/mergeout pass over
+    /// one store. Mover passes mutate a store atomically under its write
+    /// lock, so a crash here means the pass simply never ran — visible
+    /// data must be byte-identical with or without the crash.
+    Moveout,
 }
 
 impl FaultSite {
@@ -58,6 +63,7 @@ impl FaultSite {
             FaultSite::Connect => "connect_refused",
             FaultSite::MidCopy => "mid_copy_crash",
             FaultSite::PostCommit => "post_commit_crash",
+            FaultSite::Moveout => "moveout_crash",
         }
     }
 
@@ -66,6 +72,7 @@ impl FaultSite {
             FaultSite::Connect => "fault.connect_refused",
             FaultSite::MidCopy => "fault.mid_copy",
             FaultSite::PostCommit => "fault.post_commit",
+            FaultSite::Moveout => "fault.moveout",
         }
     }
 }
@@ -142,6 +149,9 @@ pub struct FaultPlan {
     pub mid_copy_crash: f64,
     /// Probability that a commit's acknowledgement is lost.
     pub post_commit_crash: f64,
+    /// Probability that a tuple-mover pass over one store crashes
+    /// before doing any work.
+    pub moveout_crash: f64,
     /// Probability that a connect stalls for [`FaultPlan::stall`].
     pub stall_connect: f64,
     /// Probability that a COPY stalls for [`FaultPlan::stall`].
@@ -165,6 +175,7 @@ impl FaultPlan {
             refuse_connect: 0.0,
             mid_copy_crash: 0.0,
             post_commit_crash: 0.0,
+            moveout_crash: 0.0,
             stall_connect: 0.0,
             stall_copy: 0.0,
             stall_scan: 0.0,
@@ -185,6 +196,11 @@ impl FaultPlan {
 
     pub fn with_post_commit_crash(mut self, p: f64) -> FaultPlan {
         self.post_commit_crash = p;
+        self
+    }
+
+    pub fn with_moveout_crash(mut self, p: f64) -> FaultPlan {
+        self.moveout_crash = p;
         self
     }
 
@@ -219,6 +235,7 @@ impl FaultPlan {
             FaultSite::Connect => self.refuse_connect,
             FaultSite::MidCopy => self.mid_copy_crash,
             FaultSite::PostCommit => self.post_commit_crash,
+            FaultSite::Moveout => self.moveout_crash,
         }
     }
 

@@ -56,5 +56,5 @@ pub use fault::{FaultInjector, FaultPlan, FaultSite, LatencyProfile, LatencySite
 pub use query::{estimate_scan_rows, QueryResult, QuerySpec};
 pub use segmentation::{HashRange, SegmentMap};
 pub use session::Session;
-pub use storage::{ColumnBatch, ColumnVec};
+pub use storage::{ColumnBatch, ColumnVec, MergeOutcome, MoverOp, MoverPassReport};
 pub use udf::ScalarUdf;

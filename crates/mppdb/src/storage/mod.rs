@@ -4,12 +4,14 @@
 
 pub mod batch;
 pub mod encoding;
+pub mod mover;
 pub mod stats;
 pub mod store;
 
 pub use batch::{Bitmap, ColumnBatch, ColumnVec};
+pub use mover::{MoverOp, MoverPassReport, MOVER_POOL};
 pub use stats::{ColumnStats, ContainerStats};
 pub use store::{
-    AggScanOutput, BatchScan, CommitState, ContainerInfo, NodeTableStore, RowLoc, ScanOutput,
-    StorageStats, VisibleRow,
+    AggScanOutput, BatchScan, CommitState, ContainerInfo, MergeOutcome, NodeTableStore, RowLoc,
+    ScanOutput, StorageStats, VisibleRow,
 };

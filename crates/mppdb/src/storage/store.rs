@@ -389,6 +389,17 @@ pub struct StorageStats {
     pub ros_encoded_bytes: usize,
 }
 
+/// Outcome of one mergeout pass over a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Merge operations performed (one per stratum run collapsed).
+    pub merges: usize,
+    /// Containers consumed as merge inputs.
+    pub containers_in: usize,
+    /// Rows rewritten into merged containers.
+    pub rows: usize,
+}
+
 /// The storage for one table on one node. All methods expect the caller
 /// (the cluster) to hold the appropriate synchronization; the struct
 /// itself is single-threaded data.
@@ -1190,6 +1201,114 @@ impl NodeTableStore {
         }
         self.wos = keep;
         n
+    }
+
+    /// Size-ratio stratum of a container: row counts sharing a
+    /// power-of-two bucket are "about the same size", and only
+    /// same-stratum neighbours merge (repeated passes cascade merged
+    /// containers into ever-higher strata, LSM-style).
+    fn stratum(rows: usize) -> u32 {
+        (rows.max(1) as u64).ilog2()
+    }
+
+    /// A container the mover may consume: every insert committed (so
+    /// `abort`'s created-whole invariant cannot be violated) and no
+    /// delete in flight. Committed deletes are fine — their states are
+    /// carried over verbatim, so epoch-pinned snapshots older than the
+    /// delete still see those rows.
+    fn merge_eligible(c: &RosContainer) -> bool {
+        c.commits
+            .iter()
+            .all(|s| matches!(s, CommitState::Committed(_)))
+            && c.deletes
+                .iter()
+                .all(|s| !matches!(s, DeleteState::Pending(_)))
+    }
+
+    /// The tuple mover's "mergeout": compact adjacent runs of at least
+    /// `min_merge` fully-committed ROS containers in the same size
+    /// stratum into one container.
+    ///
+    /// The merged container keeps the *first* input's id and position,
+    /// and rows are concatenated in scan order with commit/delete
+    /// states preserved verbatim — so the visible-row sequence at any
+    /// snapshot epoch is unchanged. Scans (and the connector's
+    /// synthetic row windows over unsegmented tables) cannot tell a
+    /// merge happened. Statistics are recomputed through the same
+    /// [`ContainerStats`] path as every other ROS creation site.
+    pub fn mergeout(&mut self, min_merge: usize) -> MergeOutcome {
+        let min_merge = min_merge.max(2);
+        let mut outcome = MergeOutcome::default();
+        let ros = std::mem::take(&mut self.ros);
+        let mut out: Vec<RosContainer> = Vec::with_capacity(ros.len());
+        let mut run: Vec<RosContainer> = Vec::new();
+        let mut run_stratum = 0u32;
+        for c in ros {
+            let eligible = NodeTableStore::merge_eligible(&c);
+            let s = NodeTableStore::stratum(c.len());
+            if eligible && !run.is_empty() && s == run_stratum {
+                run.push(c);
+                continue;
+            }
+            self.flush_merge_run(&mut run, &mut out, min_merge, &mut outcome);
+            if eligible {
+                run_stratum = s;
+                run.push(c);
+            } else {
+                out.push(c);
+            }
+        }
+        self.flush_merge_run(&mut run, &mut out, min_merge, &mut outcome);
+        self.ros = out;
+        outcome
+    }
+
+    /// Close out one adjacent same-stratum run: merge it when it is
+    /// long enough, otherwise pass the containers through untouched.
+    fn flush_merge_run(
+        &self,
+        run: &mut Vec<RosContainer>,
+        out: &mut Vec<RosContainer>,
+        min_merge: usize,
+        outcome: &mut MergeOutcome,
+    ) {
+        if run.len() < min_merge {
+            out.append(run);
+            return;
+        }
+        let inputs = std::mem::take(run);
+        let n: usize = inputs.iter().map(|c| c.len()).sum();
+        let mut hashes = Vec::with_capacity(n);
+        let mut commits = Vec::with_capacity(n);
+        let mut deletes = Vec::with_capacity(n);
+        let mut column_values: Vec<Vec<Value>> = (0..self.column_count)
+            .map(|_| Vec::with_capacity(n))
+            .collect();
+        for c in &inputs {
+            let sel: Vec<u32> = (0..c.len() as u32).collect();
+            for (col, vals) in c.columns.iter().zip(column_values.iter_mut()) {
+                vals.extend(col.gather_sorted(&sel));
+            }
+            hashes.extend_from_slice(&c.hashes);
+            commits.extend_from_slice(&c.commits);
+            deletes.extend_from_slice(&c.deletes);
+        }
+        let stats = ContainerStats::compute(&column_values, &hashes);
+        let columns = column_values
+            .into_iter()
+            .map(|vals| encode_auto(&vals, common::DataType::Varchar))
+            .collect();
+        outcome.merges += 1;
+        outcome.containers_in += inputs.len();
+        outcome.rows += n;
+        out.push(RosContainer {
+            id: inputs[0].id,
+            columns,
+            hashes,
+            stats,
+            commits,
+            deletes,
+        });
     }
 
     /// Export every row (WOS and ROS) whose hash falls in `hash_range`,

@@ -37,7 +37,10 @@
 //!   null counts, the NDV estimate, the encoding chosen, and the
 //!   min/max zone-map endpoints (rendered as text; NULL when the store
 //!   kept no endpoint). One row per node × container × column — what
-//!   the scan planner and zone-map skipping actually consult.
+//!   the scan planner and zone-map skipping actually consult,
+//! * `dc_tuple_mover` — the tuple mover's retained operation log: one
+//!   row per completed moveout/mergeout with rows moved, containers
+//!   consumed/produced, the epoch it ran at, and its duration.
 //!
 //! All tables are defined in one place ([`DEFS`]): the name list and
 //! the scan dispatch both derive from it, so they cannot drift apart.
@@ -99,7 +102,44 @@ static DEFS: &[SystemTableDef] = &[
         name: "dc_column_stats",
         scan: scan_dc_column_stats,
     },
+    SystemTableDef {
+        name: "dc_tuple_mover",
+        scan: scan_dc_tuple_mover,
+    },
 ];
+
+/// One row per retained tuple-mover operation, oldest first.
+fn scan_dc_tuple_mover(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("seq", DataType::Int64),
+        ("op", DataType::Varchar),
+        ("node", DataType::Int64),
+        ("table_name", DataType::Varchar),
+        ("rows", DataType::Int64),
+        ("containers_in", DataType::Int64),
+        ("containers_out", DataType::Int64),
+        ("epoch", DataType::Int64),
+        ("dur_us", DataType::Int64),
+    ]);
+    let rows = cluster
+        .mover_ops()
+        .into_iter()
+        .map(|op| {
+            Row::new(vec![
+                Value::Int64(op.seq as i64),
+                Value::Varchar(op.op.to_string()),
+                Value::Int64(op.node as i64),
+                Value::Varchar(op.table),
+                Value::Int64(op.rows as i64),
+                Value::Int64(op.containers_in as i64),
+                Value::Int64(op.containers_out as i64),
+                Value::Int64(op.epoch as i64),
+                Value::Int64(op.dur_us as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
 
 /// Names of the available system tables.
 pub const SYSTEM_TABLES: &[&str] = &[
@@ -114,6 +154,7 @@ pub const SYSTEM_TABLES: &[&str] = &[
     "dc_trace_summary",
     "dc_histograms",
     "dc_column_stats",
+    "dc_tuple_mover",
 ];
 
 /// Produce the contents of a system table, or `None` if `name` isn't one.

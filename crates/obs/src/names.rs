@@ -283,6 +283,11 @@ pub static DEFS: &[NameDef] = &[
         help: "injected mid-COPY crashes fired",
     },
     NameDef {
+        name: "fault.moveout",
+        kind: NameKind::Counter,
+        help: "injected tuple-mover pass crashes fired",
+    },
+    NameDef {
         name: "fault.post_commit",
         kind: NameKind::Counter,
         help: "injected lost-commit-acks fired",
@@ -586,6 +591,66 @@ pub static DEFS: &[NameDef] = &[
         name: "stats.build_us",
         kind: NameKind::Timer,
         help: "time to compute per-container column statistics at ROS creation",
+    },
+    NameDef {
+        name: "stream.age_flushes",
+        kind: NameKind::Counter,
+        help: "streaming micro-batches flushed by the flush_ms age limit rather than batch_rows",
+    },
+    NameDef {
+        name: "stream.batch_us",
+        kind: NameKind::Timer,
+        help: "wall time to flush one streaming micro-batch through the COPY protocol",
+    },
+    NameDef {
+        name: "stream.batches",
+        kind: NameKind::Counter,
+        help: "streaming micro-batches committed",
+    },
+    NameDef {
+        name: "stream.rows",
+        kind: NameKind::Counter,
+        help: "rows loaded via streaming micro-batches",
+    },
+    NameDef {
+        name: "tm.containers_merged",
+        kind: NameKind::Counter,
+        help: "ROS containers consumed by tuple-mover mergeout",
+    },
+    NameDef {
+        name: "tm.mergeout_runs",
+        kind: NameKind::Counter,
+        help: "tuple-mover mergeout operations performed",
+    },
+    NameDef {
+        name: "tm.mergeout_us",
+        kind: NameKind::Timer,
+        help: "time spent compacting ROS containers in one mergeout",
+    },
+    NameDef {
+        name: "tm.moveout_runs",
+        kind: NameKind::Counter,
+        help: "tuple-mover moveout operations performed",
+    },
+    NameDef {
+        name: "tm.moveout_us",
+        kind: NameKind::Timer,
+        help: "time spent draining committed WOS rows in one moveout",
+    },
+    NameDef {
+        name: "tm.rows_merged",
+        kind: NameKind::Counter,
+        help: "rows rewritten by tuple-mover mergeout",
+    },
+    NameDef {
+        name: "tm.rows_moved",
+        kind: NameKind::Counter,
+        help: "rows drained WOS to ROS by tuple-mover moveout",
+    },
+    NameDef {
+        name: "tm.sheds",
+        kind: NameKind::Counter,
+        help: "tuple-mover passes shed on pool-full or busy table lock",
     },
     NameDef {
         name: "v2s.bytes",

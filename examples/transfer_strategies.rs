@@ -76,19 +76,19 @@ fn main() {
     );
 
     // --- 3. Two-stage via the DFS landing zone --------------------------
-    let report = connector::save_via_dfs(
-        &ctx,
-        &db,
-        &dfs,
-        &df,
-        "events_two_stage",
-        &connector::TwoStageConfig::new("/landing/events"),
-    )
-    .unwrap();
+    let two_stage_opts = connector::ConnectorOptions::builder("events_two_stage")
+        .method(connector::WriteMethod::Dfs)
+        .staging_path("/landing/events")
+        .build()
+        .unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &two_stage_opts)
+        .with_dfs(&dfs)
+        .submit()
+        .unwrap();
     println!(
         "two-stage:       {} rows staged as {} part files ({} bytes in the \
          landing zone), then loaded in one transaction",
-        report.rows, report.part_files, report.staged_bytes
+        report.rows_loaded, report.part_files, report.staged_bytes
     );
 
     // All three produced identical tables.

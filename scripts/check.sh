@@ -32,11 +32,22 @@ cargo test -q --test chaos
 echo "== cargo test -q --test resilience"
 cargo test -q --test resilience
 
+# The Tuple Mover gate: moveout/mergeout invisibility differentials,
+# stats parity with COPY, dc_tuple_mover/tm.* surfacing, and the
+# background-mover lock-order witness run.
+echo "== cargo test -q --test tuple_mover"
+cargo test -q --test tuple_mover
+
 # The skipping/pushdown ablation regenerates BENCH_pushdown.json and
 # asserts every cell returns the identical aggregate; its ≥5x scan and
 # ≥10x wire reduction gates also run as bench lib tests above.
 echo "== ablation_pushdown"
 cargo run -q -p bench --bin ablation_pushdown > /dev/null
+
+# The streaming-ingest ablation regenerates BENCH_stream.json; its
+# mover-on-strictly-faster gate also runs as a bench lib test above.
+echo "== ablation_stream"
+cargo run -q -p bench --bin ablation_stream > /dev/null
 
 # The tracing overhead bench must always compile: span-layer API
 # drift shows up here before it shows up in a profiling session.

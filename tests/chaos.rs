@@ -108,7 +108,9 @@ fn run_schedule(seed: u64) {
         .retry_deadline_ms(60_000)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite)
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
         .unwrap_or_else(|e| panic!("seed {seed}: save failed under chaos: {e}"));
     db.faults().disarm();
     assert_eq!(
@@ -225,7 +227,9 @@ fn run_slow_schedule(seed: u64) {
         .deadline_ms(60_000)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite)
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
         .unwrap_or_else(|e| panic!("seed {seed}: save failed under grey chaos: {e}"));
     assert_eq!(
         report.rows_loaded, n_rows as u64,
@@ -309,7 +313,10 @@ fn slow_node_hedged_v2s_within_3x_clean_baseline() {
         .num_partitions(8)
         .build()
         .unwrap();
-    connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
 
     // Nominal scan service time so clean and slowed runs are measured
     // under the same cost model (factor-1.0 delays are not faults).
@@ -369,6 +376,242 @@ fn slow_node_hedged_v2s_within_3x_clean_baseline() {
     std::thread::sleep(Duration::from_millis(400));
 }
 
+/// One crash-during-moveout schedule: trickle-load a table through a
+/// seeded mix of WOS (`copy_direct=false`) and small direct-ROS
+/// batches, snapshot the scan (rows *and* wire volume), then run
+/// tuple-mover passes with [`FaultSite::Moveout`] crashes armed. A
+/// crashed pass leaves whole stores untouched (every mover mutation is
+/// all-or-nothing under the store write lock), so at every point —
+/// before, between crashed passes, and after a clean pass completes
+/// the interrupted work — the scan must return the byte-identical row
+/// sequence.
+fn run_moveout_schedule(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (ctx, db) = setup(0);
+    let schema = Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)]);
+    let n_batches = rng.random_range(4usize..9);
+    let batch = rng.random_range(20usize..60);
+    for b in 0..n_batches {
+        let base = (b * batch) as i64;
+        let rows: Vec<Row> = (0..batch as i64)
+            .map(|i| row![base + i, (base + i) as f64])
+            .collect();
+        let partitions = rng.random_range(1usize..4);
+        let df = ctx
+            .create_dataframe(rows, schema.clone(), partitions)
+            .unwrap();
+        let opts = ConnectorOptions::builder("mover_tgt")
+            .num_partitions(partitions)
+            .job_name(&format!("mover_chaos_{seed}_{b}"))
+            // WOS batches feed moveout; direct batches leave the small
+            // ROS containers mergeout compacts.
+            .copy_direct(rng.random_bool(0.5))
+            .retry_max_attempts(10)
+            .retry_deadline_ms(60_000)
+            .build()
+            .unwrap();
+        connector::SaveRequest::new(&ctx, &db, &df, &opts)
+            .mode(SaveMode::Append)
+            .submit()
+            .unwrap_or_else(|e| panic!("seed {seed}: trickle batch {b} failed: {e}"));
+    }
+    let n_rows = n_batches * batch;
+    let expected: Vec<i64> = (0..n_rows as i64).collect();
+
+    let scan = || {
+        let mut session = db.connect(0).unwrap();
+        session.query(&QuerySpec::scan("mover_tgt")).unwrap()
+    };
+    let baseline = scan();
+    assert_eq!(
+        table_ids(&db, "mover_tgt"),
+        expected,
+        "seed {seed}: baseline ids"
+    );
+
+    // Mover passes under seeded crash-during-moveout chaos: the scan
+    // must be unchanged *during* the crashed sequence, not just after.
+    let before = obs::global().snapshot();
+    db.faults().arm(
+        FaultPlan::seeded(seed)
+            .with_moveout_crash(0.35)
+            .with_budget(rng.random_range(1u64..4)),
+    );
+    let mut crashes = 0u64;
+    for pass in 0..rng.random_range(2usize..6) {
+        let report = db.mover_pass();
+        crashes += report.crashed as u64;
+        let mid = scan();
+        assert_eq!(
+            mid.rows, baseline.rows,
+            "seed {seed}: rows changed during crashed mover pass {pass}"
+        );
+        assert_eq!(
+            mid.wire_bytes(),
+            baseline.wire_bytes(),
+            "seed {seed}: wire volume changed during crashed mover pass {pass}"
+        );
+    }
+    // Every fired plan fault was a moveout crash (the only site armed),
+    // and each pass that reported a crash fired at least once. A pass
+    // can fire more than once — it walks every table, including the
+    // permanent S2V final-status table — so fired bounds crashes from
+    // above.
+    let fired = db.faults().disarm();
+    let delta = obs::global().snapshot().counters_since(&before);
+    assert_eq!(
+        delta.get("fault.moveout").copied().unwrap_or(0),
+        fired,
+        "seed {seed}: fired faults were all moveout crashes: {delta:?}"
+    );
+    assert!(
+        fired >= crashes,
+        "seed {seed}: {crashes} crashed passes but only {fired} fired faults"
+    );
+
+    // A clean pass finishes whatever the crashes interrupted; the scan
+    // is still byte-identical and the WOS fully drained.
+    db.mover_pass();
+    let after = scan();
+    assert_eq!(
+        after.rows, baseline.rows,
+        "seed {seed}: rows after clean pass"
+    );
+    assert_eq!(
+        after.wire_bytes(),
+        baseline.wire_bytes(),
+        "seed {seed}: wire volume after clean pass"
+    );
+    assert_eq!(
+        table_ids(&db, "mover_tgt"),
+        expected,
+        "seed {seed}: final ids"
+    );
+}
+
+#[test]
+fn chaos_twelve_moveout_crash_schedules_preserve_scans() {
+    let _g = lock();
+    for seed in 6000..6012 {
+        run_moveout_schedule(seed);
+    }
+}
+
+/// One streaming-ingest schedule: a [`StreamWriter`] drives micro-batch
+/// COPY jobs under budgeted fault chaos (connection refusals, mid-COPY
+/// crashes, lost commit acks, and crash-during-moveout in the per-flush
+/// mover passes). Half the schedules first simulate a driver crash — a
+/// writer with the same job base streams a random prefix and is dropped
+/// mid-stream — and the recovery run must replay the committed batches
+/// without duplicating a single row (deterministic `{base}_mb{seq}` job
+/// names hit the phase-5 "already finished" guard).
+fn run_stream_schedule(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (ctx, db) = setup(0);
+    let schema = Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)]);
+    let n_rows = rng.random_range(100usize..300);
+    let batch_rows = rng.random_range(20usize..80);
+    let rows: Vec<Row> = (0..n_rows as i64).map(|i| row![i, i as f64]).collect();
+    let replay = rng.random_bool(0.5);
+    let opts = ConnectorOptions::builder("stream_tgt")
+        .num_partitions(rng.random_range(2usize..6))
+        .job_name(&format!("stream_chaos_{seed}"))
+        // The age bound only fires in non-replay schedules (below);
+        // replay recovery depends on deterministic row-count batching.
+        .stream(batch_rows, if replay { 600_000 } else { 1 })
+        .retry_max_attempts(10)
+        .retry_deadline_ms(60_000)
+        .build()
+        .unwrap();
+
+    if replay {
+        // Simulated driver crash: stream a prefix under the same job
+        // base, committing some batches, then drop the writer (its
+        // buffered tail is lost — those rows were never acknowledged).
+        let prefix = rng.random_range(0usize..n_rows);
+        let mut writer =
+            connector::StreamWriter::open(&ctx, &db, schema.clone(), &opts, SaveMode::Append)
+                .unwrap();
+        writer.append_rows(rows[..prefix].to_vec()).unwrap();
+        drop(writer);
+    }
+
+    db.faults().arm(
+        FaultPlan::seeded(seed)
+            .with_refuse_connect(if rng.random_bool(0.6) { 0.12 } else { 0.0 })
+            .with_mid_copy_crash(if rng.random_bool(0.6) { 0.1 } else { 0.0 })
+            .with_post_commit_crash(if rng.random_bool(0.4) { 0.08 } else { 0.0 })
+            .with_moveout_crash(if rng.random_bool(0.6) { 0.25 } else { 0.0 })
+            .with_budget(rng.random_range(1u64..5)),
+    );
+    let mut writer =
+        connector::StreamWriter::open(&ctx, &db, schema.clone(), &opts, SaveMode::Append)
+            .unwrap_or_else(|e| panic!("seed {seed}: stream open failed: {e}"));
+    let mut fed = 0;
+    while fed < n_rows {
+        let take = rng.random_range(1usize..2 * batch_rows).min(n_rows - fed);
+        writer
+            .append_rows(rows[fed..fed + take].to_vec())
+            .unwrap_or_else(|e| panic!("seed {seed}: append under chaos failed: {e}"));
+        fed += take;
+        if !replay && rng.random_bool(0.3) {
+            // Let the buffer age past the 1ms bound, then poll: the
+            // age-based flush path under the same chaos.
+            std::thread::sleep(Duration::from_millis(2));
+            writer
+                .poll()
+                .unwrap_or_else(|e| panic!("seed {seed}: poll under chaos failed: {e}"));
+        }
+    }
+    let report = writer
+        .finish()
+        .unwrap_or_else(|e| panic!("seed {seed}: finish under chaos failed: {e}"));
+    db.faults().disarm();
+
+    // Exactly-once across crashes, replays, and mover interference:
+    // the exact id multiset, no loss, no dupes.
+    let expected: Vec<i64> = (0..n_rows as i64).collect();
+    assert_eq!(
+        table_ids(&db, "stream_tgt"),
+        expected,
+        "seed {seed}: stream ids"
+    );
+    let floor = n_rows.div_ceil(batch_rows) as u64;
+    if replay {
+        assert_eq!(
+            report.batches, floor,
+            "seed {seed}: row-bound batching is deterministic"
+        );
+    } else {
+        assert!(
+            report.batches >= floor,
+            "seed {seed}: age flushes only split batches, never merge them \
+             ({} < {floor})",
+            report.batches
+        );
+    }
+
+    // A second full replay over the finished stream is a no-op on the
+    // data: every job name resolves to "already finished".
+    let mut redo =
+        connector::StreamWriter::open(&ctx, &db, schema.clone(), &opts, SaveMode::Append).unwrap();
+    redo.append_rows(rows.clone()).unwrap();
+    redo.finish().unwrap();
+    assert_eq!(
+        table_ids(&db, "stream_tgt"),
+        expected,
+        "seed {seed}: ids after full replay"
+    );
+}
+
+#[test]
+fn chaos_twelve_streaming_schedules_are_exactly_once() {
+    let _g = lock();
+    for seed in 7000..7012 {
+        run_stream_schedule(seed);
+    }
+}
+
 /// The long-haul sweep: hundreds more schedules. Gated behind the
 /// `chaos-long` feature so the default test run stays fast.
 #[test]
@@ -396,7 +639,10 @@ fn clean_run_performs_zero_retries() {
         .num_partitions(4)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 200);
     let loaded = ctx
         .read()
@@ -447,7 +693,10 @@ fn scripted_mid_copy_crashes_retry_and_load_once() {
         .retry_max_attempts(8)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 300);
     assert_eq!(table_ids(&db, "midcopy_tgt"), (0..300).collect::<Vec<_>>());
 
@@ -476,7 +725,10 @@ fn lost_commit_ack_does_not_double_load() {
         .retry_max_attempts(8)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 250);
     assert_eq!(
         db.faults().disarm(),
@@ -503,7 +755,10 @@ fn connect_refusals_fail_over_to_other_nodes() {
         .retry_max_attempts(8)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 180);
     assert_eq!(table_ids(&db, "refuse_tgt"), (0..180).collect::<Vec<_>>());
 
@@ -524,7 +779,10 @@ fn node_kill_fails_reads_over_and_restore_rebuilds() {
         .num_partitions(8)
         .build()
         .unwrap();
-    connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
 
     let before = obs::global().snapshot();
     db.kill_node(2);
@@ -572,7 +830,10 @@ fn node_kill_mid_aggregate_merges_partials_exactly_once() {
         .num_partitions(8)
         .build()
         .unwrap();
-    connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
 
     db.kill_node(2);
     let loaded = ctx
@@ -649,7 +910,10 @@ fn retries_exhaust_into_typed_errors_and_recover() {
         .retry_deadline_ms(2_000)
         .build()
         .unwrap();
-    let err = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap_err();
+    let err = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap_err();
     match &err {
         ConnectorError::RetriesExhausted { last, .. } => {
             assert!(last.is_transient(), "gave up on a transient error")
@@ -663,7 +927,10 @@ fn retries_exhaust_into_typed_errors_and_recover() {
     for n in 0..db.node_count() {
         db.restore_node(n);
     }
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 50);
     assert_eq!(table_ids(&db, "dark_tgt"), (0..50).collect::<Vec<_>>());
 }

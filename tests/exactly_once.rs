@@ -156,8 +156,10 @@ fn event_log_records_exactly_one_final_commit_under_failures() {
 
     let mut opts = connector::ConnectorOptions::for_table("obs_target").with_partitions(partitions);
     opts.job_name = Some("obs_final_commit_job".to_string());
-    let report =
-        connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).expect("S2V save");
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .expect("S2V save");
     ctx.failures().clear();
 
     // The data itself is exactly-once, as always.
@@ -175,7 +177,8 @@ fn event_log_records_exactly_one_final_commit_under_failures() {
         .filter(|e| e.detail.starts_with("phase 5 final commit"))
         .count();
     assert_eq!(commits, 1, "exactly one final commit in the event log");
-    let committer_detail = format!("phase 5 final commit by task {}", report.committer_task);
+    let committer = report.committer_task.expect("S2V saves name a committer");
+    let committer_detail = format!("phase 5 final commit by task {committer}");
     assert!(
         snap.events_of(obs::EventKind::S2vPhase)
             .any(|e| e.detail.starts_with(&committer_detail)),

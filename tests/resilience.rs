@@ -223,7 +223,10 @@ fn save_with_tight_deadline_fails_fast() {
         .build()
         .unwrap();
     let started = Instant::now();
-    let err = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap_err();
+    let err = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap_err();
     let elapsed = started.elapsed();
     assert!(
         matches!(err, ConnectorError::DeadlineExceeded { .. }),

@@ -72,7 +72,10 @@ fn seeded_save(seed: u64, table: &str) -> (String, Vec<&'static str>) {
         .retry_max_attempts(8)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, rows as u64);
     let spans = obs::global().trace_spans(report.trace);
     assert!(!spans.is_empty(), "trace must be retained");
@@ -157,7 +160,9 @@ fn failed_save_leaves_tagged_root_and_unclosed_setup_span() {
         .retry_max_attempts(2)
         .build()
         .unwrap();
-    let err = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite);
+    let err = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit();
     assert!(err.is_err(), "setup must exhaust its retry budget");
 
     // The failed job is the newest retained trace.
@@ -232,7 +237,10 @@ fn crashed_copy_save_yields_tagged_tree_summary_and_exact_quantiles() {
         .retry_max_attempts(8)
         .build()
         .unwrap();
-    let report = connector::save_to_db(&ctx, &db, &df, &opts, SaveMode::Overwrite).unwrap();
+    let report = connector::SaveRequest::new(&ctx, &db, &df, &opts)
+        .mode(SaveMode::Overwrite)
+        .submit()
+        .unwrap();
     assert_eq!(report.rows_loaded, 120);
 
     // Both protocol attempts are in the tree; the crashed one is
