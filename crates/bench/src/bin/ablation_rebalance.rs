@@ -1,0 +1,28 @@
+//! Ablation (DESIGN.md §14): query availability and latency through an
+//! online node-add — probe + save load sustained across the rebalance.
+
+use bench::experiments::rebalance;
+use bench::report;
+
+fn main() {
+    let before = report::begin();
+    let cell = rebalance::run();
+    let rows = rebalance::report_rows(&cell);
+    report::publish(
+        "rebalance",
+        "Ablation — node-add under load: availability and P99 through an online rebalance",
+        &rows,
+        &before,
+    );
+    println!(
+        "node-add under load: {}/{} probes answered, {}/{} jobs landed, \
+         {} migrations over {} steps, P99 inflation {:.2}x",
+        cell.probes - cell.failed_probes,
+        cell.probes,
+        cell.jobs - cell.failed_jobs,
+        cell.jobs,
+        cell.migrations,
+        cell.steps,
+        rebalance::p99_inflation(&cell),
+    );
+}

@@ -8,6 +8,7 @@ pub mod fig7_data_scaling;
 pub mod fig8_cluster_scaling;
 pub mod fig9_dimensionality;
 pub mod pushdown;
+pub mod rebalance;
 pub mod stream;
 pub mod table2_resources;
 pub mod table3_dataset_d2;

@@ -576,15 +576,20 @@ fn prehash_dataframe(
     partitions: usize,
 ) -> ConnectorResult<DataFrame> {
     let map = cluster.segment_map();
-    let n = map.node_count();
+    let members = map.members();
+    let n = members.len();
     if partitions < n {
         return Err(ConnectorError::Usage(format!(
             "prehash requires numPartitions >= the {n} database nodes"
         )));
     }
-    if cluster.up_nodes().len() != n {
+    // Owner-aligned connections need up_nodes == members exactly: a
+    // down member breaks a bucket's home connection, and an extra live
+    // non-member (a mid-rebalance staging node) shifts the
+    // partition -> node mapping the tasks use.
+    if cluster.up_nodes() != members {
         return Err(ConnectorError::Protocol(
-            "prehash requires every database node up (owner-aligned connections)".into(),
+            "prehash requires every member node up (owner-aligned connections)".into(),
         ));
     }
     let rows = df.collect()?;
@@ -604,10 +609,18 @@ fn prehash_dataframe(
             &common::Row::new(coerced),
             &def.seg_columns,
         ));
-        // Buckets for this owner are owner, owner+n, owner+2n, ...
-        let per_owner = (partitions - owner).div_ceil(n);
-        let bucket = owner + cursor[owner] * n;
-        cursor[owner] = (cursor[owner] + 1) % per_owner;
+        // Node ids stay stable across membership changes, so the owner
+        // id can exceed the member count; bucket math runs on the
+        // owner's *member index*, which matches the round-robin
+        // partition -> node assignment the tasks connect with.
+        let idx = members
+            .binary_search(&owner)
+            // fabriclint: allow(panic-hygiene): owner_of_hash only returns segment owners, all members
+            .expect("segment owner is a member");
+        // Buckets for this owner are idx, idx+n, idx+2n, ...
+        let per_owner = (partitions - idx).div_ceil(n);
+        let bucket = idx + cursor[idx] * n;
+        cursor[idx] = (cursor[idx] + 1) % per_owner;
         buckets[bucket].push(row);
     }
 

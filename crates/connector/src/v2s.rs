@@ -60,6 +60,13 @@ pub struct DbRelation {
     /// Epoch pinned at open time — the paper's "same epoch (e.g., last
     /// epoch)" shared by every task's query.
     epoch: u64,
+    /// Segment map pinned with the epoch: the version authoritative at
+    /// `epoch`. Hash-range plans, locality routing, and buddy failover
+    /// all resolve through it, and every piece query asserts its
+    /// version — so if the cluster rebalances mid-load, epoch-pinned
+    /// pieces keep reading the old owners (which still hold every
+    /// pre-flip row) instead of silently racing the new map.
+    map: Arc<SegmentMap>,
     num_partitions: usize,
     /// Whether `numPartitions` was set explicitly. When it was not, the
     /// planner sizes scan pieces from the estimated post-pushdown
@@ -109,6 +116,7 @@ impl DbRelation {
     pub fn open(cluster: Arc<Cluster>, opts: &ConnectorOptions) -> ConnectorResult<DbRelation> {
         let host = opts.host_on(&cluster)?;
         let epoch = cluster.current_epoch();
+        let map = cluster.segment_map_at(epoch);
         let num_partitions = opts.num_partitions.unwrap_or(cluster.node_count());
         let tracker = tracker_for(&cluster);
         let deadline = opts.deadline.map(Deadline::within);
@@ -125,6 +133,7 @@ impl DbRelation {
                 schema: def.schema,
                 kind,
                 epoch,
+                map,
                 num_partitions,
                 explicit_partitions: opts.num_partitions.is_some(),
                 no_skip: !opts.stats_skipping,
@@ -174,6 +183,7 @@ impl DbRelation {
             schema: probe.schema,
             kind: RelationKind::RowOrdered,
             epoch,
+            map,
             num_partitions,
             explicit_partitions: opts.num_partitions.is_some(),
             no_skip: !opts.stats_skipping,
@@ -236,9 +246,7 @@ impl DbRelation {
     /// Build the per-partition plans.
     fn plan(&self, partitions: usize) -> ConnectorResult<Vec<PartitionPlan>> {
         match &self.kind {
-            RelationKind::Segmented => {
-                Ok(plan_hash_partitions(self.cluster.segment_map(), partitions))
-            }
+            RelationKind::Segmented => Ok(plan_hash_partitions(&self.map, partitions)),
             RelationKind::RowOrdered => {
                 // Synthetic ranges need the relation's current size at
                 // the pinned epoch.
@@ -407,8 +415,17 @@ fn run_steered<T: Send + 'static>(
 /// partitions than segments each partition takes a contiguous run of
 /// whole segments; with more, each segment is split into equal
 /// subranges. Every range is paired with its owning node.
+///
+/// The returned plan list is the source of truth for partition count:
+/// [`HashRange::split`] yields `min(parts, width)` pieces, so a
+/// degenerate (narrower-than-parts) segment contributes fewer plans
+/// than its share and the Fig. 4(b) total can fall short of
+/// `partitions`. Callers must size per-partition state from the
+/// returned `Vec` (as [`V2sSource::num_partitions`] does), never from
+/// the requested count.
 pub fn plan_hash_partitions(map: &SegmentMap, partitions: usize) -> Vec<PartitionPlan> {
-    let segments = map.node_count();
+    let segs = map.segments();
+    let segments = segs.len();
     let mut plans = Vec::with_capacity(partitions);
     if partitions <= segments {
         // Fig. 4(a): contiguous groups of whole segments.
@@ -416,7 +433,7 @@ pub fn plan_hash_partitions(map: &SegmentMap, partitions: usize) -> Vec<Partitio
             let lo = segments * p / partitions;
             let hi = segments * (p + 1) / partitions;
             let pieces = (lo..hi)
-                .map(|s| (s, RangeSpec::Hash(map.segment_range(s))))
+                .map(|s| (segs[s].owner, RangeSpec::Hash(segs[s].range)))
                 .collect();
             plans.push(PartitionPlan { pieces });
         }
@@ -424,11 +441,11 @@ pub fn plan_hash_partitions(map: &SegmentMap, partitions: usize) -> Vec<Partitio
         // Fig. 4(b): split each segment into per-segment shares.
         let base = partitions / segments;
         let extra = partitions % segments;
-        for s in 0..segments {
+        for (s, seg) in segs.iter().enumerate() {
             let parts = base + usize::from(s < extra);
-            for sub in map.segment_range(s).split(parts) {
+            for sub in seg.range.split(parts) {
                 plans.push(PartitionPlan {
-                    pieces: vec![(s, RangeSpec::Hash(sub))],
+                    pieces: vec![(seg.owner, RangeSpec::Hash(sub))],
                 });
             }
         }
@@ -461,6 +478,9 @@ struct V2sSource {
     cluster: Arc<Cluster>,
     relation_table: String,
     epoch: u64,
+    /// The relation's pinned map (see [`DbRelation::map`]): failover
+    /// candidates and the per-spec version assertion come from here.
+    map: Arc<SegmentMap>,
     plans: Vec<PartitionPlan>,
     projection: Option<Vec<String>>,
     filters: Vec<Expr>,
@@ -488,6 +508,11 @@ struct PieceCtx {
     /// The piece's locality-preferred owner, for failover accounting.
     preferred: usize,
     spec: QuerySpec,
+    /// The map version the piece currently asserts. Starts at the
+    /// plan's pinned version; a `StaleSegmentMap` rejection refreshes
+    /// it (see [`V2sSource::run_piece`]) so the next attempt carries
+    /// the version the engine holds authoritative at the pinned epoch.
+    map_version: std::sync::atomic::AtomicU64,
 }
 
 /// Execute one piece query against `connect_node` — the hot body shared
@@ -514,7 +539,11 @@ fn exec_piece(
         "v2s_connect",
     );
     let piece_started = Instant::now();
-    let spec = &ctx.spec;
+    let mut spec = ctx.spec.clone();
+    if spec.map_version.is_some() {
+        spec.map_version = Some(ctx.map_version.load(std::sync::atomic::Ordering::Acquire));
+    }
+    let spec = &spec;
     // Batched read: the scan stays columnar end to end; rows are
     // only materialized at the Spark partition boundary (compute).
     let result = session
@@ -598,7 +627,7 @@ impl V2sSource {
         let mut order = vec![node];
         if self.failover {
             let k = self.cluster.config().k_safety;
-            for b in self.cluster.segment_map().buddies(node, k) {
+            for b in self.map.buddies(node, k) {
                 if !order.contains(&b) {
                     order.push(b);
                 }
@@ -627,6 +656,7 @@ impl V2sSource {
             partition,
             preferred: node,
             spec: spec.clone(),
+            map_version: std::sync::atomic::AtomicU64::new(spec.map_version.unwrap_or(0)),
         });
         with_retry_deadline(&self.retry, self.deadline, names::V2S_PIECE, |attempt| {
             let delay = if self.hedge {
@@ -644,8 +674,25 @@ impl V2sSource {
                 &candidates,
                 attempt,
                 span,
-                Arc::new(move |n| exec_piece(&ctx, n, span)),
+                Arc::new({
+                    let ctx = Arc::clone(&ctx);
+                    move |n| exec_piece(&ctx, n, span)
+                }),
             );
+            // The engine rejected the plan's map version: the cluster
+            // rebalanced under the client. Adopt the version it holds
+            // authoritative (StaleSegmentMap is transient, so the retry
+            // loop re-runs the piece with the refreshed assertion —
+            // the epoch pin keeps the ranges themselves valid).
+            if let Err(ConnectorError::Db {
+                source: mppdb::DbError::StaleSegmentMap { current, .. },
+                ..
+            }) = &result
+            {
+                ctx.map_version
+                    .store(*current, std::sync::atomic::Ordering::Release);
+                obs::global().incr("v2s.map_refresh");
+            }
             obs::global().span_finish(span, |s| {
                 s.task = Some(partition as u64);
                 s.attempt = attempt;
@@ -670,6 +717,7 @@ impl PartitionSource<Row> for V2sSource {
             let spec = build_piece_spec(
                 &self.relation_table,
                 self.epoch,
+                self.map.version(),
                 range,
                 self.projection.as_deref(),
                 &self.filters,
@@ -686,9 +734,11 @@ impl PartitionSource<Row> for V2sSource {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_piece_spec(
     table: &str,
     epoch: u64,
+    map_version: u64,
     range: &RangeSpec,
     projection: Option<&[String]>,
     filters: &[Expr],
@@ -697,7 +747,13 @@ fn build_piece_spec(
 ) -> QuerySpec {
     let mut spec = QuerySpec::scan(table).at_epoch(epoch);
     match range {
-        RangeSpec::Hash(r) => spec.hash_range = Some(*r),
+        // Hash ranges only mean something relative to a specific map
+        // version, so those pieces assert it; row windows and full
+        // scans are map-independent.
+        RangeSpec::Hash(r) => {
+            spec.hash_range = Some(*r);
+            spec.map_version = Some(map_version);
+        }
         RangeSpec::Rows(lo, hi) => spec.row_range = Some((*lo, *hi)),
         RangeSpec::Full => {}
     }
@@ -726,6 +782,7 @@ impl ScanRelation for DbRelation {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
             epoch: self.epoch,
+            map: Arc::clone(&self.map),
             plans,
             projection: projection.map(|p| p.to_vec()),
             filters: filters.to_vec(),
@@ -753,6 +810,7 @@ impl ScanRelation for DbRelation {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
             epoch: self.epoch,
+            map: Arc::clone(&self.map),
             plans,
             projection: None,
             filters: filters.to_vec(),
@@ -773,6 +831,7 @@ impl ScanRelation for DbRelation {
                 let spec = build_piece_spec(
                     &source.relation_table,
                     source.epoch,
+                    source.map.version(),
                     range,
                     None,
                     &source.filters,
@@ -818,7 +877,7 @@ impl ScanRelation for DbRelation {
                 } else {
                     self.cluster.node_count()
                 };
-                plan_hash_partitions(self.cluster.segment_map(), partitions)
+                plan_hash_partitions(&self.map, partitions)
             }
             RelationKind::RowOrdered => {
                 // Partial aggregates do not compose with row windows:
@@ -836,6 +895,7 @@ impl ScanRelation for DbRelation {
             cluster: Arc::clone(&self.cluster),
             relation_table: self.table.clone(),
             epoch: self.epoch,
+            map: Arc::clone(&self.map),
             plans,
             projection: None,
             filters: filters.to_vec(),
@@ -858,6 +918,7 @@ impl ScanRelation for DbRelation {
                     let spec = build_piece_spec(
                         &source.relation_table,
                         source.epoch,
+                        source.map.version(),
                         range,
                         None,
                         &source.filters,
@@ -976,6 +1037,74 @@ mod tests {
         // Nodes round-robin.
         let nodes: Vec<usize> = plans.iter().map(|p| p.pieces[0].0).collect();
         assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn stale_map_version_refreshes_and_retries() {
+        use common::{row, DataType};
+        use mppdb::{ClusterConfig, Segmentation, TableDef};
+
+        let cluster = Arc::new(Cluster::new(ClusterConfig::default()));
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        cluster
+            .create_table(
+                TableDef::new("stale", schema, Segmentation::ByHash(vec!["id".into()])).unwrap(),
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, 0.5f64]).collect();
+        cluster.connect(0).unwrap().insert("stale", rows).unwrap();
+
+        let epoch = cluster.current_epoch();
+        let map = cluster.segment_map_at(epoch);
+        let owner = map.segments()[0].owner;
+        let range = map.segments()[0].range;
+        let source = V2sSource {
+            cluster: Arc::clone(&cluster),
+            relation_table: "stale".into(),
+            epoch,
+            map: Arc::clone(&map),
+            plans: vec![PartitionPlan {
+                pieces: vec![(owner, RangeSpec::Hash(range))],
+            }],
+            projection: None,
+            filters: Vec::new(),
+            no_skip: false,
+            compute_nodes: 2,
+            resource_pool: None,
+            retry: RetryPolicy::default(),
+            failover: false,
+            tracker: Arc::new(HealthTracker::new(cluster.node_count())),
+            deadline: None,
+            hedge: false,
+            hedge_delay: None,
+            trace: obs::TraceCtx::NONE,
+        };
+        // A spec asserting a version the engine never published: the
+        // first attempt is rejected with `StaleSegmentMap`, the piece
+        // adopts the engine's authoritative version, and the retry
+        // succeeds against the same epoch-pinned ranges.
+        let mut spec = build_piece_spec(
+            "stale",
+            epoch,
+            99,
+            &RangeSpec::Hash(range),
+            None,
+            &[],
+            false,
+            false,
+        );
+        assert_eq!(spec.map_version, Some(99));
+        let before = obs::global().snapshot();
+        let result = source.run_piece(0, owner, &spec).unwrap();
+        assert!(result.num_rows() > 0);
+        let delta = obs::global().snapshot().counters_since(&before);
+        assert!(delta.get("v2s.map_refresh").copied().unwrap_or(0) >= 1);
+        // The correct version passes on the first attempt — no refresh.
+        spec.map_version = Some(map.version());
+        let before = obs::global().snapshot();
+        source.run_piece(0, owner, &spec).unwrap();
+        let delta = obs::global().snapshot().counters_since(&before);
+        assert_eq!(delta.get("v2s.map_refresh").copied().unwrap_or(0), 0);
     }
 
     #[test]

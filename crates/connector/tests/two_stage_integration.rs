@@ -1,15 +1,12 @@
 //! Two-stage (DFS landing zone) transfer tests — the Sec. 5 / Redshift
-//! alternative.
-//!
-//! These intentionally exercise the legacy `save_via_dfs` entry point
-//! (now a deprecated shim over `SaveRequest` with `method=dfs`) so the
-//! shim's delegation stays covered alongside the mechanics underneath.
-#![allow(deprecated)]
+//! alternative, driven through the unified [`SaveRequest`] surface
+//! with `method=dfs` (the deprecated `save_via_dfs` shim delegates to
+//! the same path and is covered by the connector's own unit tests).
 
 use std::sync::Arc;
 
 use common::{row, DataType, Row, Schema};
-use connector::{load_via_dfs, save_via_dfs, TwoStageConfig};
+use connector::{load_via_dfs, ConnectorOptions, SaveRequest, TwoStageConfig, WriteMethod};
 use dfslite::{DfsClusterSim, DfsConfig};
 use mppdb::{Cluster, ClusterConfig, QuerySpec};
 use sparklet::{FailureMode, SparkConf, SparkContext};
@@ -31,6 +28,14 @@ fn setup() -> (SparkContext, Arc<Cluster>, Arc<DfsClusterSim>) {
     (ctx, db, dfs)
 }
 
+fn dfs_options(table: &str, staging: &str) -> ConnectorOptions {
+    ConnectorOptions::builder(table)
+        .method(WriteMethod::Dfs)
+        .staging_path(staging)
+        .build()
+        .unwrap()
+}
+
 fn schema() -> Schema {
     Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)])
 }
@@ -43,16 +48,13 @@ fn rows(n: usize) -> Vec<Row> {
 fn two_stage_save_round_trip() {
     let (ctx, db, dfs) = setup();
     let df = ctx.create_dataframe(rows(600), schema(), 6).unwrap();
-    let report = save_via_dfs(
-        &ctx,
-        &db,
-        &dfs,
-        &df,
-        "landed",
-        &TwoStageConfig::new("/staging/landed"),
-    )
-    .unwrap();
-    assert_eq!(report.rows, 600);
+    let opts = dfs_options("landed", "/staging/landed");
+    let report = SaveRequest::new(&ctx, &db, &df, &opts)
+        .with_dfs(&dfs)
+        .submit()
+        .unwrap();
+    assert_eq!(report.method, WriteMethod::Dfs);
+    assert_eq!(report.rows_loaded, 600);
     assert_eq!(report.part_files, 6);
     assert!(report.staged_bytes > 0);
     // The landing zone was cleaned up.
@@ -71,17 +73,13 @@ fn two_stage_save_is_atomic_under_stage1_retries() {
     // A task that writes its file and then dies is retried and replaces
     // its own file — no duplicates reach the database.
     ctx.failures().fail_task(2, 1, FailureMode::AfterWork);
-    let report = save_via_dfs(
-        &ctx,
-        &db,
-        &dfs,
-        &df,
-        "retried",
-        &TwoStageConfig::new("/staging/retried"),
-    )
-    .unwrap();
+    let opts = dfs_options("retried", "/staging/retried");
+    let report = SaveRequest::new(&ctx, &db, &df, &opts)
+        .with_dfs(&dfs)
+        .submit()
+        .unwrap();
     ctx.failures().clear();
-    assert_eq!(report.rows, 300);
+    assert_eq!(report.rows_loaded, 300);
     let mut session = db.connect(1).unwrap();
     assert_eq!(
         session
@@ -97,15 +95,11 @@ fn two_stage_save_killed_mid_stage1_leaves_target_absent() {
     let (ctx, db, dfs) = setup();
     let df = ctx.create_dataframe(rows(400), schema(), 32).unwrap();
     ctx.failures().kill_job_after(3);
-    let err = save_via_dfs(
-        &ctx,
-        &db,
-        &dfs,
-        &df,
-        "never_landed",
-        &TwoStageConfig::new("/staging/never"),
-    )
-    .unwrap_err();
+    let opts = dfs_options("never_landed", "/staging/never");
+    let err = SaveRequest::new(&ctx, &db, &df, &opts)
+        .with_dfs(&dfs)
+        .submit()
+        .unwrap_err();
     ctx.failures().clear();
     assert!(err.to_string().contains("killed"), "{err}");
     // Stage 2 never ran: the table was never created/loaded. Staged

@@ -282,6 +282,47 @@ fn plan() {{
     );
 }
 
+#[test]
+fn obs_registry_catches_phantom_rebalance_emits() {
+    // The elastic-cluster family: counters land in DEFS alongside a
+    // timer, and an invented `rebalance.*` emit is flagged even though
+    // registered siblings exist — new rebalance instrumentation cannot
+    // drift past the registry.
+    let rebalance_names = file(
+        "crates/obs/src/names.rs",
+        r#"
+pub static DEFS: &[NameDef] = &[
+    NameDef { name: "rebalance.flips", kind: NameKind::Counter, help: "h" },
+    NameDef { name: "rebalance.migration_us", kind: NameKind::Timer, help: "h" },
+    NameDef { name: "rebalance.rows_copied", kind: NameKind::Counter, help: "h" },
+];
+"#,
+    );
+    // Assembled at runtime so the *real* workspace lint (which scans
+    // this test's source text too) does not see the phantom literal.
+    let phantom = format!("rebal{}.migrations_done", "ance");
+    let emits = file(
+        "crates/mppdb/src/rebalance.rs",
+        &format!(
+            r#"
+fn flip() {{
+    obs::global().incr("rebalance.flips");
+    obs::global().add("rebalance.rows_copied", rows);
+    obs::global().record_time("rebalance.migration_us", dur);
+    obs::global().incr("{phantom}");
+}}
+"#
+        ),
+    );
+    let f = lint(&[rebalance_names, emits]);
+    assert_eq!(rules(&f), vec![Rule::ObsRegistry], "{f:?}");
+    assert!(
+        f[0].message.contains(&phantom) && f[0].message.contains("registered"),
+        "{:?}",
+        f[0]
+    );
+}
+
 // ---------------------------------------------------------------------
 // error-taxonomy
 // ---------------------------------------------------------------------

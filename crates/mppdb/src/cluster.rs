@@ -16,7 +16,7 @@ use crate::dfs::Dfs;
 use crate::error::{DbError, DbResult};
 use crate::fault::{FaultInjector, FaultSite, LatencySite};
 use crate::resource::ResourcePool;
-use crate::segmentation::SegmentMap;
+use crate::segmentation::{merge_ranges, HashRange, SegmentMap};
 use crate::session::Session;
 use crate::sql::ast::SelectStmt;
 use crate::storage::store::RowLoc;
@@ -75,6 +75,38 @@ pub(crate) struct NodeState {
     pub generation: AtomicU64,
     pub open_sessions: AtomicUsize,
     pub stores: RwLock<HashMap<String, NodeTableStore>>,
+    /// Permanently removed from the cluster (`Cluster::remove_node`
+    /// after its rebalance flipped). Node ids are stable, so a retired
+    /// node keeps its slot but never serves again: `is_node_up` is
+    /// false forever and `restore_node` refuses to revive it.
+    pub retired: AtomicBool,
+    /// Times this node's stores were rebuilt from live peers
+    /// (restore-after-kill recovery); surfaced in `dc_nodes`.
+    pub rebuilds: AtomicU64,
+}
+
+impl NodeState {
+    fn fresh() -> NodeState {
+        NodeState {
+            up: AtomicBool::new(true),
+            generation: AtomicU64::new(0),
+            open_sessions: AtomicUsize::new(0),
+            stores: RwLock::new(HashMap::new()),
+            retired: AtomicBool::new(false),
+            rebuilds: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One entry of the cluster's segment-map history: the map and the
+/// epoch at which it became authoritative. A snapshot read at epoch `e`
+/// resolves ownership through the newest version whose
+/// `effective_epoch <= e` — this is what keeps in-flight epoch-pinned
+/// jobs correct across a rebalance flip.
+#[derive(Clone)]
+pub struct MapVersion {
+    pub effective_epoch: u64,
+    pub map: Arc<SegmentMap>,
 }
 
 /// A multi-node MPP database running in-process.
@@ -85,11 +117,17 @@ pub struct Cluster {
     /// pointer, which the allocator may reuse.
     id: u64,
     config: ClusterConfig,
-    seg_map: SegmentMap,
-    pub(crate) nodes: Vec<NodeState>,
+    /// Segment-map history, oldest first; the last entry is the
+    /// authoritative map. Never empty. Appended to only at an epoch
+    /// boundary under the commit lock (the rebalance flip).
+    maps: RwLock<Vec<MapVersion>>,
+    /// Registered node slots. Ids are stable (slot index == node id for
+    /// the life of the cluster): `add_node` appends, `remove_node`
+    /// retires in place. Grown only under the commit lock.
+    nodes: RwLock<Vec<Arc<NodeState>>>,
     pub(crate) catalog: RwLock<Catalog>,
-    epoch: AtomicU64,
-    commit_lock: Mutex<()>,
+    pub(crate) epoch: AtomicU64,
+    pub(crate) commit_lock: Mutex<()>,
     pub(crate) locks: LockManager,
     next_txn: AtomicU64,
     recorder: Arc<Recorder>,
@@ -100,6 +138,9 @@ pub struct Cluster {
     /// Tuple-mover op log and background-thread handle
     /// (`storage::mover` holds the pass logic).
     pub(crate) mover: crate::storage::mover::MoverState,
+    /// Pending-rebalance state and op log (`rebalance` holds the
+    /// migration logic).
+    pub(crate) rebalance: crate::rebalance::RebalanceState,
 }
 
 impl Cluster {
@@ -110,14 +151,9 @@ impl Cluster {
             "k-safety must be below the node count"
         );
         let nodes = (0..config.node_count)
-            .map(|_| NodeState {
-                up: AtomicBool::new(true),
-                generation: AtomicU64::new(0),
-                open_sessions: AtomicUsize::new(0),
-                stores: RwLock::new(HashMap::new()),
-            })
+            .map(|_| Arc::new(NodeState::fresh()))
             .collect();
-        let seg_map = SegmentMap::new(config.node_count);
+        let seg_map = Arc::new(SegmentMap::new(config.node_count));
         let mut pools = HashMap::new();
         pools.insert(
             "general".to_string(),
@@ -138,8 +174,11 @@ impl Cluster {
         Arc::new(Cluster {
             id: NEXT_CLUSTER_ID.fetch_add(1, Ordering::Relaxed),
             config,
-            seg_map,
-            nodes,
+            maps: RwLock::new(vec![MapVersion {
+                effective_epoch: 0,
+                map: seg_map,
+            }]),
+            nodes: RwLock::new(nodes),
             catalog: RwLock::new(Catalog::new()),
             epoch: AtomicU64::new(0),
             commit_lock: Mutex::new(()),
@@ -151,6 +190,7 @@ impl Cluster {
             pools: RwLock::new(pools),
             faults: FaultInjector::default(),
             mover: crate::storage::mover::MoverState::default(),
+            rebalance: crate::rebalance::RebalanceState::default(),
         })
     }
 
@@ -163,12 +203,96 @@ impl Cluster {
         self.id
     }
 
+    /// Number of registered node slots (including retired ones): node
+    /// ids are always `0..node_count()`.
     pub fn node_count(&self) -> usize {
-        self.config.node_count
+        self.nodes.read().len()
     }
 
-    pub fn segment_map(&self) -> &SegmentMap {
-        &self.seg_map
+    /// The node's shared state, if the id is registered.
+    pub(crate) fn node_state(&self, node: usize) -> Option<Arc<NodeState>> {
+        self.nodes.read().get(node).cloned()
+    }
+
+    /// Snapshot of every registered node's state, in id order.
+    pub(crate) fn node_states(&self) -> Vec<Arc<NodeState>> {
+        self.nodes.read().clone()
+    }
+
+    /// The authoritative (newest) segment map.
+    pub fn segment_map(&self) -> Arc<SegmentMap> {
+        let maps = self.maps.read();
+        // fabriclint: allow(panic-hygiene): version 0 is pushed at construction, entries are never popped
+        let newest = maps.last().expect("map history never empty");
+        Arc::clone(&newest.map)
+    }
+
+    /// The segment map that was authoritative at `epoch` — what an
+    /// epoch-pinned read resolves ownership through, so a scan taken
+    /// before a rebalance flip keeps routing against the map its
+    /// snapshot was written under.
+    pub fn segment_map_at(&self, epoch: u64) -> Arc<SegmentMap> {
+        let maps = self.maps.read();
+        let idx = match maps.partition_point(|v| v.effective_epoch <= epoch) {
+            0 => 0,
+            p => p - 1,
+        };
+        Arc::clone(&maps[idx].map)
+    }
+
+    /// The whole segment-map history, oldest first.
+    pub fn segment_map_history(&self) -> Vec<MapVersion> {
+        self.maps.read().clone()
+    }
+
+    /// Publish `map` as the authoritative version from `effective_epoch`
+    /// on. Caller must hold the commit lock.
+    pub(crate) fn push_map_version(&self, effective_epoch: u64, map: Arc<SegmentMap>) {
+        self.maps.write().push(MapVersion {
+            effective_epoch,
+            map,
+        });
+    }
+
+    /// Register a brand-new node slot (up, empty stores for every
+    /// catalog table) and return its id. Caller (`add_node`) must hold
+    /// the commit lock.
+    pub(crate) fn register_node(&self) -> usize {
+        let catalog = self.catalog.read();
+        let state = Arc::new(NodeState::fresh());
+        {
+            let mut stores = state.stores.write();
+            for name in catalog.table_names() {
+                if let Ok(def) = catalog.table(&name) {
+                    stores.insert(def.name.clone(), NodeTableStore::new(def.schema.len()));
+                }
+            }
+        }
+        let mut nodes = self.nodes.write();
+        nodes.push(state);
+        nodes.len() - 1
+    }
+
+    /// Permanently retire a node: it stops serving, its sessions die,
+    /// and it can never be restored. Caller (`run_rebalance`'s flip)
+    /// ensures no map still routes new work to it.
+    pub(crate) fn retire_node(&self, node: usize) {
+        if let Some(state) = self.node_state(node) {
+            state.retired.store(true, Ordering::Release);
+            if state.up.swap(false, Ordering::AcqRel) {
+                state.generation.fetch_add(1, Ordering::AcqRel);
+            }
+            obs::global().emit(obs::EventKind::FaultInject, |e| {
+                e.node = Some(node as u64);
+                e.detail = format!("node {node} retired");
+            });
+        }
+    }
+
+    /// Whether the node id is registered but permanently removed.
+    pub fn is_node_retired(&self, node: usize) -> bool {
+        self.node_state(node)
+            .is_some_and(|n| n.retired.load(Ordering::Acquire))
     }
 
     pub fn recorder(&self) -> &Arc<Recorder> {
@@ -189,8 +313,10 @@ impl Cluster {
 
     /// Open a client session against `node` (the JDBC connect analog).
     pub fn connect(self: &Arc<Cluster>, node: usize) -> DbResult<Session> {
-        let state = self.nodes.get(node).ok_or(DbError::NodeUnavailable(node))?;
-        if !state.up.load(Ordering::Acquire) {
+        let state = self
+            .node_state(node)
+            .ok_or(DbError::NodeUnavailable(node))?;
+        if !state.up.load(Ordering::Acquire) || state.retired.load(Ordering::Acquire) {
             return Err(DbError::NodeUnavailable(node));
         }
         if self.faults.should_fire(FaultSite::Connect, node) {
@@ -215,9 +341,10 @@ impl Cluster {
     }
 
     pub(crate) fn close_session(&self, node: usize) {
-        let before = self.nodes[node]
-            .open_sessions
-            .fetch_sub(1, Ordering::AcqRel);
+        let Some(state) = self.node_state(node) else {
+            return;
+        };
+        let before = state.open_sessions.fetch_sub(1, Ordering::AcqRel);
         obs::global().emit(obs::EventKind::SessionClose, |e| {
             e.node = Some(node as u64);
             e.detail = format!("{} open", before.saturating_sub(1));
@@ -226,7 +353,9 @@ impl Cluster {
     }
 
     pub fn open_sessions(&self, node: usize) -> usize {
-        self.nodes[node].open_sessions.load(Ordering::Acquire)
+        self.node_state(node)
+            .map(|n| n.open_sessions.load(Ordering::Acquire))
+            .unwrap_or(0)
     }
 
     /// All node indices that are currently up — what the connector's
@@ -234,15 +363,18 @@ impl Cluster {
     /// (paper Sec. 3.2: "all Vertica node IPs are looked up during
     /// setup").
     pub fn up_nodes(&self) -> Vec<usize> {
-        (0..self.config.node_count)
-            .filter(|&n| self.nodes[n].up.load(Ordering::Acquire))
+        self.nodes
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.up.load(Ordering::Acquire) && !n.retired.load(Ordering::Acquire))
+            .map(|(i, _)| i)
             .collect()
     }
 
     pub fn is_node_up(&self, node: usize) -> bool {
-        self.nodes
-            .get(node)
-            .is_some_and(|n| n.up.load(Ordering::Acquire))
+        self.node_state(node)
+            .is_some_and(|n| n.up.load(Ordering::Acquire) && !n.retired.load(Ordering::Acquire))
     }
 
     /// Mark a node down. Alias of [`Cluster::kill_node`], kept for the
@@ -260,8 +392,11 @@ impl Cluster {
     /// pinned to it fails its next operation with
     /// [`DbError::ConnectionLost`]. Idempotent.
     pub fn kill_node(&self, node: usize) {
-        if self.nodes[node].up.swap(false, Ordering::AcqRel) {
-            self.nodes[node].generation.fetch_add(1, Ordering::AcqRel);
+        let Some(state) = self.node_state(node) else {
+            return;
+        };
+        if state.up.swap(false, Ordering::AcqRel) {
+            state.generation.fetch_add(1, Ordering::AcqRel);
             obs::global().emit(obs::EventKind::FaultInject, |e| {
                 e.node = Some(node as u64);
                 e.detail = format!("node {node} killed");
@@ -280,11 +415,16 @@ impl Cluster {
     /// to pull from, so the node's own (possibly stale) disk state is
     /// kept — the same gamble a real k=0 deployment makes. Idempotent.
     pub fn restore_node(&self, node: usize) {
-        if self.nodes[node].up.load(Ordering::Acquire) {
+        let Some(state) = self.node_state(node) else {
+            return;
+        };
+        // Retired nodes never come back: their data has migrated away.
+        if state.retired.load(Ordering::Acquire) || state.up.load(Ordering::Acquire) {
             return;
         }
         self.rebuild_node_stores(node);
-        self.nodes[node].up.store(true, Ordering::Release);
+        state.rebuilds.fetch_add(1, Ordering::AcqRel);
+        state.up.store(true, Ordering::Release);
         obs::global().emit(obs::EventKind::FaultInject, |e| {
             e.node = Some(node as u64);
             e.detail = format!("node {node} restored");
@@ -295,7 +435,16 @@ impl Cluster {
     /// The node's kill generation (bumped on every kill); sessions pin
     /// the generation they connected under.
     pub(crate) fn node_generation(&self, node: usize) -> u64 {
-        self.nodes[node].generation.load(Ordering::Acquire)
+        self.node_state(node)
+            .map(|n| n.generation.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// How many times recovery has rebuilt the node's stores.
+    pub fn node_rebuilds(&self, node: usize) -> u64 {
+        self.node_state(node)
+            .map(|n| n.rebuilds.load(Ordering::Acquire))
+            .unwrap_or(0)
     }
 
     /// The cluster's fault-injection switchboard.
@@ -311,6 +460,7 @@ impl Cluster {
         let k = self.config.k_safety;
         let catalog = self.catalog.read();
         let _commit_guard = self.commit_lock.lock();
+        let map = self.segment_map();
         for name in catalog.table_names() {
             let Ok(def) = catalog.table(&name) else {
                 continue;
@@ -321,33 +471,50 @@ impl Cluster {
                     // No surviving replica anywhere; keep the local disk.
                     continue;
                 }
-                // Segments this node serves: its own, plus every owner
-                // it buddies for.
-                let mut recovered_all = true;
-                for owner in 0..self.config.node_count {
-                    let serves = owner == node || self.seg_map.buddies(owner, k).contains(&node);
-                    if !serves {
-                        continue;
-                    }
-                    let range = self.seg_map.segment_range(owner);
-                    let source = std::iter::once(owner)
-                        .chain(self.seg_map.buddies(owner, k))
-                        .find(|&n| n != node && self.is_node_up(n));
-                    match source {
-                        Some(src) => {
-                            let stores = self.nodes[src].stores.read();
-                            if let Some(store) = stores.get(&def.name) {
-                                rebuilt.import_rows(store.export_rows(Some(&range)));
-                            }
+                // Ranges this node serves under ANY live map version:
+                // what it owns or buddies for in the authoritative map,
+                // plus historical obligations — epoch-pinned readers of
+                // pre-rebalance snapshots still route those ranges here,
+                // so a rebuild that restored only current-map segments
+                // would silently serve them short.
+                let mut serves: Vec<HashRange> = Vec::new();
+                for mv in self.segment_map_history() {
+                    for seg in mv.map.segments() {
+                        if seg.owner == node || mv.map.buddies(seg.owner, k).contains(&node) {
+                            serves.push(seg.range);
                         }
-                        None => {
-                            // Every other replica of this segment is
-                            // down too; fall back to our own disk for it.
-                            let stores = self.nodes[node].stores.read();
-                            if let Some(store) = stores.get(&def.name) {
-                                rebuilt.import_rows(store.export_rows(Some(&range)));
+                    }
+                }
+                let mut recovered_all = true;
+                for range in merge_ranges(serves) {
+                    // Each piece is sourced through the authoritative
+                    // map: post-flip owners hold the verbatim history of
+                    // migrated ranges, so historical pieces come back
+                    // complete even when every pre-flip holder is gone.
+                    for (owner, sub) in map.segments_intersecting(&range) {
+                        let source = std::iter::once(owner)
+                            .chain(map.buddies(owner, k))
+                            .find(|&n| n != node && self.is_node_up(n));
+                        match source {
+                            Some(src) => {
+                                // fabriclint: allow(panic-hygiene): src came from the map's member list
+                                let src_state = self.node_state(src).expect("registered node");
+                                let stores = src_state.stores.read();
+                                if let Some(store) = stores.get(&def.name) {
+                                    rebuilt.import_rows(store.export_rows(Some(&sub)));
+                                }
                             }
-                            recovered_all = false;
+                            None => {
+                                // Every other replica of this piece is
+                                // down too; fall back to our own disk.
+                                // fabriclint: allow(panic-hygiene): node is the restoring member itself
+                                let own = self.node_state(node).expect("registered node");
+                                let stores = own.stores.read();
+                                if let Some(store) = stores.get(&def.name) {
+                                    rebuilt.import_rows(store.export_rows(Some(&sub)));
+                                }
+                                recovered_all = false;
+                            }
                         }
                     }
                 }
@@ -361,19 +528,22 @@ impl Cluster {
                 });
             } else {
                 // Unsegmented: copy the full replica from any live node.
-                let Some(src) =
-                    (0..self.config.node_count).find(|&n| n != node && self.is_node_up(n))
+                let Some(src) = (0..self.node_count()).find(|&n| n != node && self.is_node_up(n))
                 else {
                     continue;
                 };
-                let stores = self.nodes[src].stores.read();
+                // fabriclint: allow(panic-hygiene): src < node_count() is registered by construction
+                let src_state = self.node_state(src).expect("registered node");
+                let stores = src_state.stores.read();
                 if let Some(store) = stores.get(&def.name) {
                     rebuilt.import_rows(store.export_rows(None));
                 } else {
                     continue;
                 }
             }
-            self.nodes[node]
+            self.node_state(node)
+                // fabriclint: allow(panic-hygiene): node is the restoring member itself
+                .expect("registered node")
                 .stores
                 .write()
                 .insert(def.name.clone(), rebuilt);
@@ -388,7 +558,7 @@ impl Cluster {
         let columns = def.schema.len();
         let name = def.name.clone();
         catalog.create_table(def)?;
-        for node in &self.nodes {
+        for node in self.node_states() {
             node.stores
                 .write()
                 .insert(name.clone(), NodeTableStore::new(columns));
@@ -399,7 +569,7 @@ impl Cluster {
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
         let mut catalog = self.catalog.write();
         let def = catalog.drop_table(name)?;
-        for node in &self.nodes {
+        for node in self.node_states() {
             node.stores.write().remove(&def.name);
         }
         Ok(())
@@ -460,8 +630,11 @@ impl Cluster {
         {
             let _guard = self.commit_lock.lock();
             epoch = self.epoch.load(Ordering::Acquire) + 1;
+            // Every registered node — including a rebalance target
+            // still staging copies — is stamped, so migrated replicas
+            // of pending rows resolve exactly like their sources.
             for table in &txn.touched {
-                for node in &self.nodes {
+                for node in self.node_states() {
                     let mut stores = node.stores.write();
                     if let Some(store) = stores.get_mut(table) {
                         store.commit(txn.id, epoch);
@@ -486,7 +659,7 @@ impl Cluster {
         // Post-commit maintenance: moveout of large WOS'es, recorded
         // like any other tuple-mover operation.
         for table in &txn.touched {
-            for (idx, node) in self.nodes.iter().enumerate() {
+            for (idx, node) in self.node_states().into_iter().enumerate() {
                 let mut stores = node.stores.write();
                 if let Some(store) = stores.get_mut(table) {
                     if store.wos_committed_rows() >= self.config.moveout_threshold {
@@ -500,7 +673,7 @@ impl Cluster {
 
     pub(crate) fn abort_txn(&self, txn: TxnHandle) {
         for table in &txn.touched {
-            for node in &self.nodes {
+            for node in self.node_states() {
                 let mut stores = node.stores.write();
                 if let Some(store) = stores.get_mut(table) {
                     store.abort(txn.id);
@@ -562,26 +735,53 @@ impl Cluster {
         txn.touched.insert(def.name.clone());
 
         let n = rows.len() as u64;
-        // Per-target batches of (row, hash).
-        let mut batches: Vec<Vec<(Row, u64)>> =
-            (0..self.config.node_count).map(|_| Vec::new()).collect();
+        let map = self.segment_map();
+        // During a pending rebalance every row is *dual-written*: it
+        // lands on its current-map replicas AND its target-map replicas,
+        // so rows inserted after a range was copied still reach the new
+        // owner before the flip.
+        let pending = self.rebalance_target_map();
+        let states = self.node_states();
+        // Per-target batches of (row, hash), plus whether the target is
+        // a current-map replica (down pending-only targets are safely
+        // skipped: their migration re-copies after restore).
+        let mut batches: Vec<Vec<(Row, u64)>> = (0..states.len()).map(|_| Vec::new()).collect();
+        let mut current_target = vec![false; states.len()];
         for row in rows {
             let row = Self::coerce_row(&def, row)?;
             if def.is_segmented() {
                 let h = hash::hash_row_columns(&row, &def.seg_columns);
-                let owner = self.seg_map.owner_of_hash(h);
-                for &target in std::iter::once(&owner)
-                    .chain(self.seg_map.buddies(owner, self.config.k_safety).iter())
-                {
+                let owner = map.owner_of_hash(h);
+                let mut targets: Vec<usize> = std::iter::once(owner)
+                    .chain(map.buddies(owner, self.config.k_safety))
+                    .collect();
+                for &t in &targets {
+                    current_target[t] = true;
+                }
+                if let Some(next) = &pending {
+                    let next_owner = next.owner_of_hash(h);
+                    for t in std::iter::once(next_owner)
+                        .chain(next.buddies(next_owner, self.config.k_safety))
+                    {
+                        if !targets.contains(&t) {
+                            targets.push(t);
+                        }
+                    }
+                }
+                for target in targets {
                     batches[target].push((row.clone(), h));
                 }
             } else {
-                // Unsegmented: replicate everywhere; the hash over all
-                // columns is kept for bookkeeping only.
+                // Unsegmented: replicate to every live slot (retired
+                // nodes are gone for good); the hash over all columns
+                // is kept for bookkeeping only.
                 let all: Vec<usize> = (0..row.len()).collect();
                 let h = hash::hash_row_columns(&row, &all);
-                for batch in batches.iter_mut() {
-                    batch.push((row.clone(), h));
+                for (i, batch) in batches.iter_mut().enumerate() {
+                    if !states[i].retired.load(Ordering::Acquire) {
+                        batch.push((row.clone(), h));
+                        current_target[i] = true;
+                    }
                 }
             }
         }
@@ -594,10 +794,12 @@ impl Cluster {
                 continue;
             }
             if !self.is_node_up(target) {
-                if self.config.k_safety == 0 || !def.is_segmented() {
+                if (self.config.k_safety == 0 || !def.is_segmented()) && current_target[target] {
                     // Without replication a down target is fatal; for
                     // unsegmented tables we tolerate missing replicas as
-                    // long as one node holds the data.
+                    // long as one node holds the data. A down
+                    // rebalance-target is never fatal: its kill bumped
+                    // the generation, which forces a re-copy on resume.
                     if def.is_segmented() {
                         return Err(DbError::NodeUnavailable(target));
                     }
@@ -615,7 +817,7 @@ impl Cluster {
                     batch.len() as u64,
                 );
             }
-            let mut stores = self.nodes[target].stores.write();
+            let mut stores = states[target].stores.write();
             let store = stores
                 .get_mut(&def.name)
                 .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
@@ -640,28 +842,35 @@ impl Cluster {
         my_txn: Option<u64>,
     ) -> DbResult<Vec<Row>> {
         let mut out = Vec::new();
-        for node in 0..self.config.node_count {
+        let map = self.segment_map();
+        let states = self.node_states();
+        for (node, state) in states.iter().enumerate() {
+            if state.retired.load(Ordering::Acquire) {
+                continue;
+            }
             if !self.is_node_up(node) {
                 // Same recoverability rule as `delete_where`: only
-                // segmented k=0 data has no surviving live copy.
-                if def.is_segmented() && self.config.k_safety == 0 {
+                // segmented k=0 data held by a *current-map member* has
+                // no surviving live copy (a down rebalance target is
+                // re-copied on resume).
+                if def.is_segmented() && self.config.k_safety == 0 && map.is_member(node) {
                     return Err(DbError::NodeUnavailable(node));
                 }
                 continue;
             }
-            let stores = self.nodes[node].stores.read();
+            let stores = state.stores.read();
             let Some(store) = stores.get(&def.name) else {
                 continue;
             };
             store.for_each_visible(as_of, my_txn, None, |_loc, row, hash| {
                 let primary = if def.is_segmented() {
-                    let owner = self.seg_map.owner_of_hash(hash);
+                    let owner = map.owner_of_hash(hash);
                     std::iter::once(owner)
-                        .chain(self.seg_map.buddies(owner, self.config.k_safety))
+                        .chain(map.buddies(owner, self.config.k_safety))
                         .find(|&n| self.is_node_up(n))
                         == Some(node)
                 } else {
-                    (0..self.config.node_count).find(|&n| self.is_node_up(n)) == Some(node)
+                    (0..states.len()).find(|&n| self.is_node_up(n)) == Some(node)
                 };
                 if primary {
                     out.push(row.clone());
@@ -687,23 +896,31 @@ impl Cluster {
         let as_of = self.current_epoch();
 
         let mut deleted = 0u64;
-        for node in 0..self.config.node_count {
+        let map = self.segment_map();
+        let states = self.node_states();
+        for (node, state) in states.iter().enumerate() {
+            if state.retired.load(Ordering::Acquire) {
+                continue;
+            }
             if !self.is_node_up(node) {
                 // A dead replica misses the delete marks now; recovery
                 // rebuilds it from a live buddy (k >= 1) or a live peer
-                // (unsegmented), re-acquiring them. Only segmented k=0
-                // has no surviving copy to recover from.
-                if def.is_segmented() && self.config.k_safety == 0 {
+                // (unsegmented), re-acquiring them; a down rebalance
+                // target re-copies on resume. Only a segmented k=0
+                // current-map member has no surviving copy to recover
+                // from.
+                if def.is_segmented() && self.config.k_safety == 0 && map.is_member(node) {
                     return Err(DbError::NodeUnavailable(node));
                 }
                 continue;
             }
-            let stores = self.nodes[node].stores.read();
+            let stores = state.stores.read();
             let Some(store) = stores.get(&def.name) else {
                 continue;
             };
-            // Match against every replica; buddy copies of the same
-            // logical row must be deleted too, but only primaries count.
+            // Match against every replica — buddy copies AND any copy a
+            // pending rebalance already staged on its target must be
+            // deleted too, but only primaries count.
             // Rows are borrowed in place — matching never clones them.
             let mut matched: Vec<(RowLoc, bool)> = Vec::new();
             store.for_each_visible(as_of, Some(txn.id), None, |loc, row, hash| {
@@ -716,13 +933,13 @@ impl Cluster {
                     // each logical row is counted exactly once even when
                     // its owner (or node 0) is down.
                     let primary = if def.is_segmented() {
-                        let owner = self.seg_map.owner_of_hash(hash);
+                        let owner = map.owner_of_hash(hash);
                         let holder = std::iter::once(owner)
-                            .chain(self.seg_map.buddies(owner, self.config.k_safety))
+                            .chain(map.buddies(owner, self.config.k_safety))
                             .find(|&n| self.is_node_up(n));
                         holder == Some(node)
                     } else {
-                        (0..self.config.node_count).find(|&n| self.is_node_up(n)) == Some(node)
+                        (0..states.len()).find(|&n| self.is_node_up(n)) == Some(node)
                     };
                     matched.push((loc, primary));
                 }
@@ -731,7 +948,7 @@ impl Cluster {
             let locs: Vec<RowLoc> = matched.iter().map(|(l, _)| *l).collect();
             deleted += matched.iter().filter(|(_, primary)| *primary).count() as u64;
             if !locs.is_empty() {
-                let mut stores = self.nodes[node].stores.write();
+                let mut stores = state.stores.write();
                 if let Some(store) = stores.get_mut(&def.name) {
                     store.delete_pending(&locs, txn.id);
                 }
@@ -749,7 +966,7 @@ impl Cluster {
     /// the number of rows moved.
     pub fn moveout_all(&self) -> usize {
         let mut moved = 0;
-        for (idx, node) in self.nodes.iter().enumerate() {
+        for (idx, node) in self.node_states().into_iter().enumerate() {
             let mut stores = node.stores.write();
             let mut tables: Vec<String> = stores.keys().cloned().collect();
             tables.sort();
@@ -766,7 +983,7 @@ impl Cluster {
     pub fn table_stats(&self, table: &str) -> DbResult<Vec<StorageStats>> {
         let def = self.table_def(table)?;
         Ok(self
-            .nodes
+            .node_states()
             .iter()
             .map(|n| {
                 n.stores

@@ -49,6 +49,15 @@ pub enum DbError {
     /// was full or the statement waited past the pool's queue timeout.
     /// Transient by design — back off and retry.
     Overloaded { pool: String },
+    /// The query was planned against a segment-map version that is not
+    /// the one authoritative at its snapshot epoch — the cluster
+    /// rebalanced under the client. Transient: refresh the map and
+    /// re-plan.
+    StaleSegmentMap { requested: u64, current: u64 },
+    /// A rebalance migration was interrupted (injected crash or node
+    /// loss) and left pending. Transient: `run_rebalance` resumes the
+    /// plan idempotently.
+    RebalanceInterrupted { node: usize },
 }
 
 impl DbError {
@@ -66,7 +75,9 @@ impl DbError {
             | DbError::TooManySessions { .. }
             | DbError::LockTimeout { .. }
             | DbError::DataUnavailable { .. }
-            | DbError::Overloaded { .. } => true,
+            | DbError::Overloaded { .. }
+            | DbError::StaleSegmentMap { .. }
+            | DbError::RebalanceInterrupted { .. } => true,
             // Semantic/schema/data errors: retrying replays the failure.
             DbError::UnknownTable(_)
             | DbError::TableExists(_)
@@ -130,6 +141,18 @@ impl fmt::Display for DbError {
             }
             DbError::Overloaded { pool } => {
                 write!(f, "statement shed by overloaded resource pool {pool}")
+            }
+            DbError::StaleSegmentMap { requested, current } => {
+                write!(
+                    f,
+                    "segment map version {requested} is stale (current {current}); refresh and re-plan"
+                )
+            }
+            DbError::RebalanceInterrupted { node } => {
+                write!(
+                    f,
+                    "rebalance migration to node {node} interrupted; plan left pending"
+                )
             }
         }
     }

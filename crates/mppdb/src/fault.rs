@@ -55,6 +55,12 @@ pub enum FaultSite {
     /// lock, so a crash here means the pass simply never ran — visible
     /// data must be byte-identical with or without the crash.
     Moveout,
+    /// A rebalance migration dies after copying a range to its target
+    /// but before the plan records the copy as durable
+    /// (`DbError::RebalanceInterrupted`). The plan stays pending;
+    /// `run_rebalance` resumes idempotently, re-copying any range whose
+    /// target restarted since the copy.
+    Rebalance,
 }
 
 impl FaultSite {
@@ -64,6 +70,7 @@ impl FaultSite {
             FaultSite::MidCopy => "mid_copy_crash",
             FaultSite::PostCommit => "post_commit_crash",
             FaultSite::Moveout => "moveout_crash",
+            FaultSite::Rebalance => "rebalance_crash",
         }
     }
 
@@ -73,6 +80,7 @@ impl FaultSite {
             FaultSite::MidCopy => "fault.mid_copy",
             FaultSite::PostCommit => "fault.post_commit",
             FaultSite::Moveout => "fault.moveout",
+            FaultSite::Rebalance => "fault.rebalance",
         }
     }
 }
@@ -152,6 +160,9 @@ pub struct FaultPlan {
     /// Probability that a tuple-mover pass over one store crashes
     /// before doing any work.
     pub moveout_crash: f64,
+    /// Probability that a rebalance migration crashes after copying its
+    /// range, leaving the plan pending.
+    pub rebalance_crash: f64,
     /// Probability that a connect stalls for [`FaultPlan::stall`].
     pub stall_connect: f64,
     /// Probability that a COPY stalls for [`FaultPlan::stall`].
@@ -176,6 +187,7 @@ impl FaultPlan {
             mid_copy_crash: 0.0,
             post_commit_crash: 0.0,
             moveout_crash: 0.0,
+            rebalance_crash: 0.0,
             stall_connect: 0.0,
             stall_copy: 0.0,
             stall_scan: 0.0,
@@ -201,6 +213,11 @@ impl FaultPlan {
 
     pub fn with_moveout_crash(mut self, p: f64) -> FaultPlan {
         self.moveout_crash = p;
+        self
+    }
+
+    pub fn with_rebalance_crash(mut self, p: f64) -> FaultPlan {
+        self.rebalance_crash = p;
         self
     }
 
@@ -236,6 +253,7 @@ impl FaultPlan {
             FaultSite::MidCopy => self.mid_copy_crash,
             FaultSite::PostCommit => self.post_commit_crash,
             FaultSite::Moveout => self.moveout_crash,
+            FaultSite::Rebalance => self.rebalance_crash,
         }
     }
 

@@ -39,6 +39,7 @@ pub mod dfs;
 pub mod error;
 pub mod fault;
 pub mod query;
+pub mod rebalance;
 pub mod resource;
 pub mod segmentation;
 pub mod session;
@@ -54,7 +55,8 @@ pub use copy::{CopyOptions, CopyResult, CopySource};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, LatencyProfile, LatencySite};
 pub use query::{estimate_scan_rows, QueryResult, QuerySpec};
-pub use segmentation::{HashRange, SegmentMap};
+pub use rebalance::{RebalanceOp, RebalanceReport};
+pub use segmentation::{HashRange, Segment, SegmentMap, SegmentMove};
 pub use session::Session;
 pub use storage::{ColumnBatch, ColumnVec, MergeOutcome, MoverOp, MoverPassReport};
 pub use udf::ScalarUdf;

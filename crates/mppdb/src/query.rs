@@ -39,6 +39,13 @@ pub struct QuerySpec {
     pub row_range: Option<(u64, u64)>,
     /// Epoch to read as of; `None` = the last committed epoch.
     pub as_of_epoch: Option<u64>,
+    /// Segment-map version the client planned this read against, if it
+    /// planned against one at all (the V2S piece path does). The scan
+    /// is rejected with [`DbError::StaleSegmentMap`] when it differs
+    /// from the version authoritative at the read's snapshot epoch —
+    /// the signal that the cluster rebalanced under the client and the
+    /// plan's hash ranges may no longer mean what it thinks.
+    pub map_version: Option<u64>,
     /// Return only the row count (the `.count()` pushdown).
     pub count_only: bool,
     pub limit: Option<u64>,
@@ -63,6 +70,7 @@ impl QuerySpec {
             hash_range: None,
             row_range: None,
             as_of_epoch: None,
+            map_version: None,
             count_only: false,
             limit: None,
             aggregate: None,
@@ -93,6 +101,12 @@ impl QuerySpec {
 
     pub fn at_epoch(mut self, epoch: u64) -> QuerySpec {
         self.as_of_epoch = Some(epoch);
+        self
+    }
+
+    /// Assert the segment-map version this read was planned against.
+    pub fn expect_map_version(mut self, version: u64) -> QuerySpec {
+        self.map_version = Some(version);
         self
     }
 
@@ -280,6 +294,15 @@ pub(crate) fn execute_table_scan(
 ) -> DbResult<QueryResult> {
     let def = ctx.cluster.table_def(&spec.table)?;
     let as_of = resolve_epoch(ctx.cluster, spec.as_of_epoch)?;
+    if let Some(expected) = spec.map_version {
+        let current = ctx.cluster.segment_map_at(as_of).version();
+        if expected != current {
+            return Err(DbError::StaleSegmentMap {
+                requested: expected,
+                current,
+            });
+        }
+    }
 
     let predicate = match &spec.predicate {
         Some(p) => Some(p.bind(&def.schema)?),
@@ -428,7 +451,11 @@ fn scan_segmented(
     dtypes: &[DataType],
 ) -> DbResult<ColumnBatch> {
     let cluster = ctx.cluster;
-    let map = cluster.segment_map();
+    // Ownership resolves through the map version authoritative at the
+    // read's snapshot epoch: a scan pinned before a rebalance flip keeps
+    // using the old map (whose owners still hold every pre-flip row),
+    // one pinned after uses the new.
+    let map = cluster.segment_map_at(as_of);
     let range = spec.hash_range.unwrap_or_else(HashRange::full);
     let k = cluster.config().k_safety;
 
@@ -440,17 +467,11 @@ fn scan_segmented(
 
     let pieces = map.segments_intersecting(&range);
 
-    let scan_piece = |segment: usize, subrange: &HashRange| -> DbResult<PieceResult> {
-        // Serve from the owner, failing over to buddies.
-        let serving = if cluster.is_node_up(segment) {
-            segment
-        } else {
-            map.buddies(segment, k)
-                .into_iter()
-                .find(|&b| cluster.is_node_up(b))
-                .ok_or(DbError::DataUnavailable { segment })?
-        };
-        let stores = cluster.nodes[serving].stores.read();
+    let scan_store = |serving: usize, sub: &HashRange| -> DbResult<PieceResult> {
+        let state = cluster
+            .node_state(serving)
+            .ok_or(DbError::NodeUnavailable(serving))?;
+        let stores = state.stores.read();
         let store = stores
             .get(&def.name)
             .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
@@ -461,7 +482,7 @@ fn scan_segmented(
             .scan_batch(&BatchScan {
                 as_of,
                 my_txn: ctx.txn,
-                hash_range: Some(subrange),
+                hash_range: Some(sub),
                 row_range: None,
                 predicate,
                 projection,
@@ -476,6 +497,33 @@ fn scan_segmented(
             serving,
         })
     };
+    let scan_piece = |segment: usize, subrange: &HashRange| -> DbResult<Vec<PieceResult>> {
+        // Serve from the owner at the pinned epoch, failing over to its
+        // buddies under that same map version.
+        if let Some(serving) = std::iter::once(segment)
+            .chain(map.buddies(segment, k))
+            .find(|&n| cluster.is_node_up(n))
+        {
+            return Ok(vec![scan_store(serving, subrange)?]);
+        }
+        // Last resort for epoch-pinned reads that outlived a rebalance:
+        // the current map's owners hold the full verbatim history of
+        // their ranges, so a pre-flip snapshot whose old replica set is
+        // gone (a retired node at k=0, say) is still servable there.
+        let current = cluster.segment_map();
+        if current.version() == map.version() {
+            return Err(DbError::DataUnavailable { segment });
+        }
+        let mut out = Vec::new();
+        for (owner, subsub) in current.segments_intersecting(subrange) {
+            let serving = std::iter::once(owner)
+                .chain(current.buddies(owner, k))
+                .find(|&n| cluster.is_node_up(n))
+                .ok_or(DbError::DataUnavailable { segment: owner })?;
+            out.push(scan_store(serving, &subsub)?);
+        }
+        Ok(out)
+    };
 
     // Fan the per-segment scans across worker threads, bounded by the
     // statement's resource-pool concurrency. Workers only scan; all
@@ -483,14 +531,14 @@ fn scan_segmented(
     // order, so the recorder log and the output order are identical to
     // a serial scan — including which error surfaces first.
     let workers = ctx.parallelism.min(pieces.len());
-    let results: Vec<Option<DbResult<PieceResult>>> = if workers <= 1 {
+    let results: Vec<Option<DbResult<Vec<PieceResult>>>> = if workers <= 1 {
         pieces
             .iter()
             .map(|(seg, sub)| Some(scan_piece(*seg, sub)))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<DbResult<PieceResult>>>> =
+        let slots: Mutex<Vec<Option<DbResult<Vec<PieceResult>>>>> =
             Mutex::new((0..pieces.len()).map(|_| None).collect());
         std::thread::scope(|s| {
             for _ in 0..workers {
@@ -510,45 +558,47 @@ fn scan_segmented(
 
     let mut out = ColumnBatch::new(dtypes);
     for slot in results {
-        let piece =
+        let piece_group =
             slot.ok_or_else(|| DbError::Execution("scan worker left no result".into()))??;
-        // Only surviving rows materialize their full projected width.
-        let matched_bytes = piece.batch.wire_size() as u64;
-        cluster.recorder().work(
-            ctx.task,
-            NodeRef::Db(piece.serving),
-            "scan_hash",
-            piece.examined,
-            scan_cost(piece.examined, exam_width, matched_bytes),
-        );
-        if predicate.is_some() {
+        for piece in piece_group {
+            // Only surviving rows materialize their full projected width.
+            let matched_bytes = piece.batch.wire_size() as u64;
             cluster.recorder().work(
                 ctx.task,
                 NodeRef::Db(piece.serving),
-                "filter_eval",
-                piece.scanned,
-                0,
+                "scan_hash",
+                piece.examined,
+                scan_cost(piece.examined, exam_width, matched_bytes),
             );
-        }
+            if predicate.is_some() {
+                cluster.recorder().work(
+                    ctx.task,
+                    NodeRef::Db(piece.serving),
+                    "filter_eval",
+                    piece.scanned,
+                    0,
+                );
+            }
 
-        // Only post-pushdown rows cross between database nodes; a
-        // count-only request ships just the count.
-        if piece.serving != ctx.node {
-            let (bytes, rows) = if spec.count_only {
-                (8, 1)
-            } else {
-                (matched_bytes, piece.batch.num_rows() as u64)
-            };
-            cluster.recorder().transfer(
-                ctx.task,
-                NodeRef::Db(piece.serving),
-                NodeRef::Db(ctx.node),
-                NetClass::DbInternal,
-                bytes,
-                rows,
-            );
+            // Only post-pushdown rows cross between database nodes; a
+            // count-only request ships just the count.
+            if piece.serving != ctx.node {
+                let (bytes, rows) = if spec.count_only {
+                    (8, 1)
+                } else {
+                    (matched_bytes, piece.batch.num_rows() as u64)
+                };
+                cluster.recorder().transfer(
+                    ctx.task,
+                    NodeRef::Db(piece.serving),
+                    NodeRef::Db(ctx.node),
+                    NetClass::DbInternal,
+                    bytes,
+                    rows,
+                );
+            }
+            out.append(piece.batch).map_err(DbError::Data)?;
         }
-        out.append(piece.batch).map_err(DbError::Data)?;
     }
     Ok(out)
 }
@@ -575,7 +625,10 @@ fn scan_unsegmented(
     // examined width is just the predicate's referenced columns).
     let exam_width = examined_width(def, false, predicate);
     let scanned = {
-        let stores = cluster.nodes[serving].stores.read();
+        let state = cluster
+            .node_state(serving)
+            .ok_or(DbError::NodeUnavailable(serving))?;
+        let stores = state.stores.read();
         let store = stores
             .get(&def.name)
             .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
@@ -676,7 +729,10 @@ fn execute_aggregate_scan(
     // scan work and the (tiny) partial transfer.
     let mut fold_store =
         |serving: usize, subrange: Option<&HashRange>, op: &'static str| -> DbResult<()> {
-            let stores = cluster.nodes[serving].stores.read();
+            let state = cluster
+                .node_state(serving)
+                .ok_or(DbError::NodeUnavailable(serving))?;
+            let stores = state.stores.read();
             let store = stores
                 .get(&def.name)
                 .ok_or_else(|| DbError::UnknownTable(def.name.clone()))?;
@@ -730,19 +786,31 @@ fn execute_aggregate_scan(
         };
 
     if def.is_segmented() {
-        let map = cluster.segment_map();
+        // Same epoch-pinned resolution (and post-rebalance fallback) as
+        // the row-scan path.
+        let map = cluster.segment_map_at(as_of);
         let range = spec.hash_range.unwrap_or_else(HashRange::full);
         let k = cluster.config().k_safety;
         for (segment, subrange) in map.segments_intersecting(&range) {
-            let serving = if cluster.is_node_up(segment) {
-                segment
-            } else {
-                map.buddies(segment, k)
-                    .into_iter()
-                    .find(|&b| cluster.is_node_up(b))
-                    .ok_or(DbError::DataUnavailable { segment })?
-            };
-            fold_store(serving, Some(&subrange), "scan_hash")?;
+            let pinned = std::iter::once(segment)
+                .chain(map.buddies(segment, k))
+                .find(|&n| cluster.is_node_up(n));
+            match pinned {
+                Some(serving) => fold_store(serving, Some(&subrange), "scan_hash")?,
+                None => {
+                    let current = cluster.segment_map();
+                    if current.version() == map.version() {
+                        return Err(DbError::DataUnavailable { segment });
+                    }
+                    for (owner, subsub) in current.segments_intersecting(&subrange) {
+                        let serving = std::iter::once(owner)
+                            .chain(current.buddies(owner, k))
+                            .find(|&n| cluster.is_node_up(n))
+                            .ok_or(DbError::DataUnavailable { segment: owner })?;
+                        fold_store(serving, Some(&subsub), "scan_hash")?;
+                    }
+                }
+            }
         }
     } else {
         if spec.hash_range.is_some() {
@@ -802,7 +870,7 @@ pub fn estimate_scan_rows(
         cluster.node_count() as u64
     };
     let mut est = 0f64;
-    for node in cluster.nodes.iter() {
+    for node in cluster.node_states() {
         let stores = node.stores.read();
         if let Some(store) = stores.get(&def.name) {
             est += store.estimate_rows(bound.as_ref());

@@ -1,9 +1,19 @@
 //! The hash ring: segment boundaries and node placement.
 //!
-//! The 64-bit hash space is split into `n` contiguous segments, one per
-//! node (paper Fig. 4's inner ring). The segment map is part of the
-//! system catalog and is queryable by clients — this is the information
-//! the connector uses to formulate node-local hash-range queries.
+//! The 64-bit hash space is split into contiguous segments, each owned
+//! by a node (paper Fig. 4's inner ring). The segment map is part of
+//! the system catalog and is queryable by clients — this is the
+//! information the connector uses to formulate node-local hash-range
+//! queries.
+//!
+//! Since the elastic-cluster work the map is **versioned**: membership
+//! changes produce a *new* map (`with_node_added` /
+//! `with_node_removed`) with `version + 1`, and the cluster keeps the
+//! whole history so a reader can resolve ownership through the map
+//! that was authoritative at its snapshot epoch. Maps are immutable
+//! values; the cluster decides when a new version becomes
+//! authoritative (at an epoch boundary, after the rebalancer has
+//! copied every migrating range).
 
 use common::hash;
 use common::Row;
@@ -36,6 +46,13 @@ impl HashRange {
         h >= self.start && self.end.is_none_or(|e| h < e)
     }
 
+    /// Number of hash points in the range (`u64::MAX + 1` for the full
+    /// ring, hence the `u128`).
+    pub fn width(&self) -> u128 {
+        let end = self.end.map(|e| e as u128).unwrap_or(1u128 << 64);
+        end - self.start as u128
+    }
+
     /// Intersection of two ranges, or `None` when disjoint.
     pub fn intersect(&self, other: &HashRange) -> Option<HashRange> {
         let start = self.start.max(other.start);
@@ -53,6 +70,18 @@ impl HashRange {
     /// Split the range into `parts` near-equal contiguous subranges.
     /// Used by the connector to fan one segment out over several tasks
     /// (Fig. 4(b)) and to produce synthetic ranges.
+    ///
+    /// # Contract
+    ///
+    /// The returned pieces always tile `self` exactly (no gaps, no
+    /// overlap, first piece starts at `self.start`, last piece ends at
+    /// `self.end`) — but the *count* of pieces is
+    /// `min(parts, width)`: a range narrower than `parts` hash points
+    /// cannot be cut into `parts` non-empty half-open pieces, so
+    /// degenerate ranges return **fewer pieces than requested**.
+    /// Callers that pre-allocate per-piece state (the V2S piece
+    /// planner, task accounting) must size it from `splits.len()`,
+    /// never from `parts`.
     pub fn split(&self, parts: usize) -> Vec<HashRange> {
         assert!(parts > 0);
         let start = self.start as u128;
@@ -63,7 +92,7 @@ impl HashRange {
             let lo = start + width * i as u128 / parts as u128;
             let hi = start + width * (i + 1) as u128 / parts as u128;
             if lo == hi {
-                continue; // range narrower than parts
+                continue; // range narrower than parts: piece would be empty
             }
             out.push(HashRange {
                 start: lo as u64,
@@ -78,41 +107,159 @@ impl HashRange {
     }
 }
 
-/// The cluster's segment map: segment `i` of `node_count` covers an
-/// equal slice of the hash space and is owned by node `i`.
+/// One contiguous slice of the ring and the node that owns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    pub range: HashRange,
+    pub owner: usize,
+}
+
+/// One range a rebalance must copy to one node: the unit of the
+/// migration plan computed by [`SegmentMap::migration_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMove {
+    pub range: HashRange,
+    /// The node that must *receive* a copy of `range` (a new owner or a
+    /// new buddy under the target map).
+    pub node: usize,
+}
+
+/// A versioned segment map: an explicit list of contiguous segments
+/// tiling the 64-bit ring, each pinned to an owning node, plus the
+/// sorted member list. `SegmentMap::new(n)` builds version 0 — the
+/// classic equal split where segment `i` is owned by node `i` — and
+/// membership changes derive successor versions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentMap {
-    node_count: usize,
+    version: u64,
+    /// Sorted ids of member nodes. Node ids are stable for the life of
+    /// the cluster: removing node 1 from `{0,1,2}` leaves `{0,2}`, it
+    /// does not renumber node 2.
+    members: Vec<usize>,
+    /// Contiguous, sorted by `range.start`, tiling the full ring.
+    segments: Vec<Segment>,
 }
 
 impl SegmentMap {
+    /// The initial (version 0) map: an equal split of the ring over
+    /// nodes `0..node_count`, segment `i` owned by node `i`.
     pub fn new(node_count: usize) -> SegmentMap {
         assert!(node_count > 0, "cluster needs at least one node");
-        SegmentMap { node_count }
+        let width = (1u128 << 64) / node_count as u128;
+        let segments = (0..node_count)
+            .map(|i| {
+                let start = (width * i as u128) as u64;
+                let end = if i + 1 == node_count {
+                    None
+                } else {
+                    Some((width * (i + 1) as u128) as u64)
+                };
+                Segment {
+                    range: HashRange { start, end },
+                    owner: i,
+                }
+            })
+            .collect();
+        SegmentMap {
+            version: 0,
+            members: (0..node_count).collect(),
+            segments,
+        }
     }
 
+    /// Rebuild a map from its catalog representation (version, member
+    /// list, segment list) — the round-trip used when a client
+    /// refreshes its map from `dc_segment_map`. Panics if the segments
+    /// do not tile the ring or an owner is not a member.
+    pub fn from_parts(version: u64, members: Vec<usize>, segments: Vec<Segment>) -> SegmentMap {
+        assert!(!members.is_empty(), "map needs at least one member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and unique"
+        );
+        assert!(!segments.is_empty(), "map needs at least one segment");
+        assert_eq!(segments[0].range.start, 0, "segments must start at 0");
+        assert_eq!(
+            // fabriclint: allow(panic-hygiene): non-empty asserted just above
+            segments.last().unwrap().range.end,
+            None,
+            "segments must reach the top of the ring"
+        );
+        for w in segments.windows(2) {
+            assert_eq!(
+                w[0].range.end,
+                Some(w[1].range.start),
+                "segments must tile the ring without gaps"
+            );
+        }
+        for s in &segments {
+            assert!(
+                members.binary_search(&s.owner).is_ok(),
+                "segment owner {} is not a member",
+                s.owner
+            );
+        }
+        SegmentMap {
+            version,
+            members,
+            segments,
+        }
+    }
+
+    /// The version of this map. Version 0 is the map pinned at
+    /// `Cluster::new`; each membership change increments it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Sorted ids of the member nodes.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Whether `node` is a member of this map version.
+    pub fn is_member(&self, node: usize) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Number of member nodes.
     pub fn node_count(&self) -> usize {
-        self.node_count
+        self.members.len()
     }
 
-    /// Boundaries of segment `i` as a hash range.
+    /// The explicit segment list, sorted by range start, tiling the
+    /// full ring.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Boundaries of segment `i` as a hash range. For a version-0 map
+    /// this is the classic equal slice owned by node `i`; successor
+    /// versions may hold more segments than members.
     pub fn segment_range(&self, segment: usize) -> HashRange {
-        assert!(segment < self.node_count);
-        let width = (1u128 << 64) / self.node_count as u128;
-        let start = (width * segment as u128) as u64;
-        let end = if segment + 1 == self.node_count {
-            None
-        } else {
-            Some((width * (segment + 1) as u128) as u64)
-        };
-        HashRange { start, end }
+        self.segments[segment].range
+    }
+
+    /// Total fraction of the ring owned by `node` (0.0 to 1.0).
+    pub fn owned_fraction(&self, node: usize) -> f64 {
+        let owned: u128 = self
+            .segments
+            .iter()
+            .filter(|s| s.owner == node)
+            .map(|s| s.range.width())
+            .sum();
+        owned as f64 / (1u128 << 64) as f64
     }
 
     /// The node owning the segment that contains hash `h`.
     pub fn owner_of_hash(&self, h: u64) -> usize {
-        let width = (1u128 << 64) / self.node_count as u128;
-        let seg = (h as u128 / width) as usize;
-        seg.min(self.node_count - 1)
+        // Last segment whose start <= h; segments tile the ring so it
+        // always exists and contains h.
+        let idx = match self.segments.partition_point(|s| s.range.start <= h) {
+            0 => 0,
+            p => p - 1,
+        };
+        self.segments[idx].owner
     }
 
     /// The node owning a row given the segmentation column ordinals.
@@ -120,27 +267,201 @@ impl SegmentMap {
         self.owner_of_hash(hash::hash_row_columns(row, seg_columns))
     }
 
-    /// Buddy nodes holding replicas of node `n`'s segment under
-    /// k-safety `k` (the next `k` nodes around the ring).
+    /// Buddy nodes holding replicas of node `n`'s data under k-safety
+    /// `k`: the next `k` member nodes around the ring (by member-list
+    /// order, wrapping). For the version-0 map over `0..n` this is the
+    /// classic `(node + i) % n`.
     pub fn buddies(&self, node: usize, k: usize) -> Vec<usize> {
-        (1..=k.min(self.node_count - 1))
-            .map(|i| (node + i) % self.node_count)
+        let m = self.members.len();
+        let pos = self
+            .members
+            .binary_search(&node)
+            .unwrap_or_else(|p| p % m.max(1));
+        (1..=k.min(m.saturating_sub(1)))
+            .map(|i| self.members[(pos + i) % m])
             .collect()
     }
 
-    /// All `(segment, intersection)` pairs whose segment intersects the
-    /// requested range.
+    /// All `(owner, intersection)` pairs for segments intersecting the
+    /// requested range, in ring order. A node owning several segments
+    /// in the range appears once per segment.
     pub fn segments_intersecting(&self, range: &HashRange) -> Vec<(usize, HashRange)> {
-        (0..self.node_count)
-            .filter_map(|s| self.segment_range(s).intersect(range).map(|r| (s, r)))
+        self.segments
+            .iter()
+            .filter_map(|s| s.range.intersect(range).map(|r| (s.owner, r)))
             .collect()
     }
+
+    /// Derive the successor map with `node` added: the trailing
+    /// `1/(m+1)` fraction of every existing segment is carved off and
+    /// reassigned to the new node (`m` = current member count). This
+    /// moves exactly `1/(m+1)` of the ring — the information-theoretic
+    /// minimum for an equal-share rebalance — and keeps the map
+    /// balanced if it was balanced before.
+    pub fn with_node_added(&self, node: usize) -> SegmentMap {
+        assert!(!self.is_member(node), "node {node} is already a member");
+        let m = self.members.len() as u128;
+        let mut segments = Vec::with_capacity(self.segments.len() * 2);
+        for seg in &self.segments {
+            let start = seg.range.start as u128;
+            let end = seg.range.end.map(|e| e as u128).unwrap_or(1u128 << 64);
+            let cut = start + (end - start) * m / (m + 1);
+            if cut > start && cut < end {
+                segments.push(Segment {
+                    range: HashRange {
+                        start: seg.range.start,
+                        end: Some(cut as u64),
+                    },
+                    owner: seg.owner,
+                });
+                segments.push(Segment {
+                    range: HashRange {
+                        start: cut as u64,
+                        end: seg.range.end,
+                    },
+                    owner: node,
+                });
+            } else {
+                // Segment too narrow to carve: keep it whole.
+                segments.push(*seg);
+            }
+        }
+        let mut members = self.members.clone();
+        let pos = members.binary_search(&node).unwrap_err();
+        members.insert(pos, node);
+        SegmentMap {
+            version: self.version + 1,
+            members,
+            segments: merge_adjacent(segments),
+        }
+    }
+
+    /// Derive the successor map with `node` removed: its segments are
+    /// reassigned round-robin over the remaining members (ids stay
+    /// stable — no renumbering), then adjacent same-owner segments
+    /// merge. Panics when removing the last member.
+    pub fn with_node_removed(&self, node: usize) -> SegmentMap {
+        assert!(self.is_member(node), "node {node} is not a member");
+        assert!(self.members.len() > 1, "cannot remove the last member");
+        let remaining: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&n| n != node)
+            .collect();
+        let mut next = 0usize;
+        let segments = self
+            .segments
+            .iter()
+            .map(|seg| {
+                if seg.owner == node {
+                    let owner = remaining[next % remaining.len()];
+                    next += 1;
+                    Segment {
+                        range: seg.range,
+                        owner,
+                    }
+                } else {
+                    *seg
+                }
+            })
+            .collect();
+        SegmentMap {
+            version: self.version + 1,
+            members: remaining,
+            segments: merge_adjacent(segments),
+        }
+    }
+
+    /// The minimal copy plan to go from `self` to `target` under
+    /// k-safety `k`: for every interval of the overlaid ring, any node
+    /// that holds a replica (owner or buddy) under `target` but not
+    /// under `self` must receive a copy of that interval. Adjacent
+    /// intervals bound for the same node are merged. Intervals whose
+    /// replica set is unchanged (or shrinks) copy nothing — this is
+    /// what makes the plan minimal.
+    pub fn migration_plan(&self, target: &SegmentMap, k: usize) -> Vec<SegmentMove> {
+        // Overlay: every boundary from either map.
+        let mut cuts: Vec<u64> = self
+            .segments
+            .iter()
+            .chain(target.segments.iter())
+            .map(|s| s.range.start)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut moves: Vec<SegmentMove> = Vec::new();
+        for (i, &start) in cuts.iter().enumerate() {
+            let end = cuts.get(i + 1).copied();
+            let range = HashRange { start, end };
+            let old_owner = self.owner_of_hash(start);
+            let new_owner = target.owner_of_hash(start);
+            let mut old_set = vec![old_owner];
+            old_set.extend(self.buddies(old_owner, k));
+            let mut new_set = vec![new_owner];
+            new_set.extend(target.buddies(new_owner, k));
+            for node in new_set {
+                if old_set.contains(&node) {
+                    continue;
+                }
+                // Merge with the previous move when contiguous and for
+                // the same node.
+                if let Some(last) = moves
+                    .iter_mut()
+                    .rev()
+                    .find(|m| m.node == node && m.range.end == Some(start))
+                {
+                    last.range.end = end;
+                } else {
+                    moves.push(SegmentMove { range, node });
+                }
+            }
+        }
+        moves
+    }
+}
+
+/// Merge possibly-overlapping hash ranges into the minimal sorted list
+/// of disjoint ranges covering their union — so a consumer importing
+/// each merged range copies every covered row exactly once.
+pub fn merge_ranges(mut ranges: Vec<HashRange>) -> Vec<HashRange> {
+    const TOP: u128 = 1 << 64;
+    ranges.retain(|r| r.width() > 0);
+    ranges.sort_by_key(|r| r.start);
+    let mut merged: Vec<HashRange> = Vec::new();
+    for r in ranges {
+        let rend = r.end.map(u128::from).unwrap_or(TOP);
+        match merged.last_mut() {
+            Some(last) if u128::from(r.start) <= last.end.map(u128::from).unwrap_or(TOP) => {
+                if rend > last.end.map(u128::from).unwrap_or(TOP) {
+                    last.end = if rend == TOP { None } else { Some(rend as u64) };
+                }
+            }
+            _ => merged.push(r),
+        }
+    }
+    merged
+}
+
+/// Merge runs of adjacent segments with the same owner.
+fn merge_adjacent(segments: Vec<Segment>) -> Vec<Segment> {
+    let mut out: Vec<Segment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        match out.last_mut() {
+            Some(last) if last.owner == seg.owner && last.range.end == Some(seg.range.start) => {
+                last.range.end = seg.range.end;
+            }
+            _ => out.push(seg),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use common::row;
+    use proptest::prelude::*;
 
     #[test]
     fn segments_partition_the_ring() {
@@ -160,7 +481,11 @@ mod tests {
         let map = SegmentMap::new(4);
         for h in [0u64, 1, u64::MAX / 4, u64::MAX / 2, u64::MAX] {
             let owner = map.owner_of_hash(h);
-            assert!(map.segment_range(owner).contains(h), "hash {h:x}");
+            let seg = map
+                .segments()
+                .iter()
+                .find(|s| s.owner == owner && s.range.contains(h));
+            assert!(seg.is_some(), "hash {h:x}");
         }
     }
 
@@ -178,6 +503,15 @@ mod tests {
         assert_eq!(map.buddies(2, 2), vec![3, 0]);
         // k capped at node_count - 1.
         assert_eq!(map.buddies(0, 10).len(), 3);
+    }
+
+    #[test]
+    fn buddies_skip_removed_members() {
+        let map = SegmentMap::new(4).with_node_removed(2);
+        // Ring order over members {0, 1, 3}: after 1 comes 3, not 2.
+        assert_eq!(map.buddies(1, 1), vec![3]);
+        assert_eq!(map.buddies(3, 1), vec![0]);
+        assert_eq!(map.buddies(0, 2), vec![1, 3]);
     }
 
     #[test]
@@ -208,13 +542,47 @@ mod tests {
         }
     }
 
+    /// The documented degenerate case: a range narrower than `parts`
+    /// returns `width` pieces, not `parts` — but still tiles exactly.
     #[test]
     fn split_of_narrow_range() {
         let r = HashRange::new(5, Some(7));
         let splits = r.split(4);
-        // Only 2 non-empty subranges exist.
+        // Only 2 non-empty subranges exist (width 2 < parts 4).
         assert_eq!(splits.len(), 2);
         assert!(splits.iter().all(|s| s.end.is_some()));
+        // The shortfall pieces still tile the original range.
+        assert_eq!(splits[0].start, 5);
+        assert_eq!(splits.last().unwrap().end, Some(7));
+        for w in splits.windows(2) {
+            assert_eq!(w[0].end, Some(w[1].start));
+        }
+        // Fully degenerate: width 1 can only ever be one piece.
+        let one = HashRange::new(9, Some(10)).split(16);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], HashRange::new(9, Some(10)));
+        // Empty range yields no pieces at all.
+        assert!(HashRange::new(9, Some(9)).split(3).is_empty());
+    }
+
+    #[test]
+    fn merge_ranges_unions_overlaps() {
+        let merged = merge_ranges(vec![
+            HashRange::new(50, Some(80)),
+            HashRange::new(0, Some(10)),
+            HashRange::new(5, Some(20)),
+            HashRange::new(20, Some(30)),
+            HashRange::new(60, None),
+            HashRange::new(90, Some(90)), // empty: dropped
+        ]);
+        assert_eq!(
+            merged,
+            vec![HashRange::new(0, Some(30)), HashRange::new(50, None)]
+        );
+        // A contained range does not shrink its container.
+        let merged = merge_ranges(vec![HashRange::new(0, None), HashRange::new(10, Some(20))]);
+        assert_eq!(merged, vec![HashRange::new(0, None)]);
+        assert!(merge_ranges(Vec::new()).is_empty());
     }
 
     #[test]
@@ -228,5 +596,177 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, 1);
         assert_eq!(hits[1].0, 2);
+    }
+
+    #[test]
+    fn add_node_moves_minimal_fraction() {
+        let map = SegmentMap::new(4);
+        let grown = map.with_node_added(4);
+        assert_eq!(grown.version(), 1);
+        assert_eq!(grown.members(), &[0, 1, 2, 3, 4]);
+        // The new node owns exactly 1/5 of the ring; old owners keep
+        // 4/5 of their former share.
+        assert!((grown.owned_fraction(4) - 0.2).abs() < 1e-9);
+        for n in 0..4 {
+            assert!((grown.owned_fraction(n) - 0.2).abs() < 1e-9);
+        }
+        // Any hash not owned by the new node kept its old owner: the
+        // *only* data that moves is what lands on node 4.
+        for h in (0..64).map(|i| i * (u64::MAX / 63)) {
+            let new_owner = grown.owner_of_hash(h);
+            if new_owner != 4 {
+                assert_eq!(new_owner, map.owner_of_hash(h), "hash {h:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_node_keeps_ids_stable() {
+        let map = SegmentMap::new(4);
+        let shrunk = map.with_node_removed(1);
+        assert_eq!(shrunk.version(), 1);
+        assert_eq!(shrunk.members(), &[0, 2, 3]);
+        assert_eq!(shrunk.node_count(), 3);
+        // Node 1's former range is served by a remaining member; all
+        // other ranges kept their owner.
+        for h in (0..64).map(|i| i * (u64::MAX / 63)) {
+            let owner = shrunk.owner_of_hash(h);
+            assert_ne!(owner, 1);
+            if map.owner_of_hash(h) != 1 {
+                assert_eq!(owner, map.owner_of_hash(h), "hash {h:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_plan_for_node_add_targets_only_new_replicas() {
+        let map = SegmentMap::new(4);
+        let grown = map.with_node_added(4);
+        let plan = map.migration_plan(&grown, 0);
+        // k=0: only the new owner receives copies, and every move
+        // targets node 4.
+        assert!(!plan.is_empty());
+        assert!(plan.iter().all(|m| m.node == 4));
+        // The plan covers exactly the ranges node 4 now owns.
+        let moved: u128 = plan.iter().map(|m| m.range.width()).sum();
+        let owned: u128 = grown
+            .segments()
+            .iter()
+            .filter(|s| s.owner == 4)
+            .map(|s| s.range.width())
+            .sum();
+        assert_eq!(moved, owned);
+    }
+
+    #[test]
+    fn migration_plan_with_buddies_covers_new_buddy_holders() {
+        let map = SegmentMap::new(3);
+        let grown = map.with_node_added(3);
+        let plan = map.migration_plan(&grown, 1);
+        // Under k=1 the new node needs its owned ranges AND the ranges
+        // it buddies for; some old nodes gain buddy ranges too. Every
+        // move targets a node that did not hold the range before.
+        for m in &plan {
+            let old_owner = map.owner_of_hash(m.range.start);
+            let mut old_set = vec![old_owner];
+            old_set.extend(map.buddies(old_owner, 1));
+            assert!(
+                !old_set.contains(&m.node),
+                "move to {} of a range it already held",
+                m.node
+            );
+        }
+        assert!(plan.iter().any(|m| m.node == 3));
+    }
+
+    #[test]
+    fn map_round_trips_through_parts() {
+        let map = SegmentMap::new(4).with_node_added(4).with_node_removed(1);
+        let rebuilt = SegmentMap::from_parts(
+            map.version(),
+            map.members().to_vec(),
+            map.segments().to_vec(),
+        );
+        assert_eq!(map, rebuilt);
+    }
+
+    proptest! {
+        /// At any node count — power of two or not — segments tile the
+        /// ring exactly: start at 0, end at the top, no gaps.
+        #[test]
+        fn prop_segments_partition_ring(n in 1usize..23) {
+            let map = SegmentMap::new(n);
+            let segs = map.segments();
+            prop_assert_eq!(segs[0].range.start, 0);
+            prop_assert_eq!(segs.last().unwrap().range.end, None);
+            for w in segs.windows(2) {
+                prop_assert_eq!(w[0].range.end, Some(w[1].range.start));
+            }
+        }
+
+        /// `owner_of_hash` agrees with `segments_intersecting`: the
+        /// segment found by intersection carries the same owner.
+        #[test]
+        fn prop_owner_agrees_with_intersection(n in 1usize..23, h in any::<u64>()) {
+            let map = SegmentMap::new(n);
+            let owner = map.owner_of_hash(h);
+            let point = HashRange { start: h, end: h.checked_add(1) };
+            let hits = map.segments_intersecting(&point);
+            prop_assert_eq!(hits.len(), 1);
+            prop_assert_eq!(hits[0].0, owner);
+        }
+
+        /// Membership changes preserve the partition invariant and
+        /// ownership survives a catalog round-trip unchanged.
+        #[test]
+        fn prop_membership_changes_keep_partition(
+            n in 2usize..17,
+            remove_pos in 0usize..16,
+            h in any::<u64>(),
+        ) {
+            let base = SegmentMap::new(n);
+            let grown = base.with_node_added(n);
+            let shrunk = grown.with_node_removed(remove_pos % n);
+            for map in [&grown, &shrunk] {
+                let segs = map.segments();
+                prop_assert_eq!(segs[0].range.start, 0);
+                prop_assert_eq!(segs.last().unwrap().range.end, None);
+                for w in segs.windows(2) {
+                    prop_assert_eq!(w[0].range.end, Some(w[1].range.start));
+                }
+                // Every owner is a member.
+                for s in segs {
+                    prop_assert!(map.is_member(s.owner));
+                }
+                // Round-trip through the catalog representation is
+                // lossless: same version, members, and ownership.
+                let rebuilt = SegmentMap::from_parts(
+                    map.version(),
+                    map.members().to_vec(),
+                    map.segments().to_vec(),
+                );
+                prop_assert_eq!(map.clone(), rebuilt.clone());
+                prop_assert_eq!(map.owner_of_hash(h), rebuilt.owner_of_hash(h));
+            }
+        }
+
+        /// Splitting any subrange tiles it exactly, even degenerate
+        /// (width < parts) ones — the count may fall short but never
+        /// the coverage.
+        #[test]
+        fn prop_split_tiles_exactly(start in any::<u64>(), len in 0u64..1000, parts in 1usize..12) {
+            let end = start.saturating_add(len);
+            let r = HashRange::new(start.min(end), Some(end));
+            let splits = r.split(parts);
+            let width = r.width() as usize;
+            prop_assert_eq!(splits.len(), parts.min(width));
+            if width > 0 {
+                prop_assert_eq!(splits[0].start, r.start);
+                prop_assert_eq!(splits.last().unwrap().end, r.end);
+                for w in splits.windows(2) {
+                    prop_assert_eq!(w[0].end, Some(w[1].start));
+                }
+            }
+        }
     }
 }

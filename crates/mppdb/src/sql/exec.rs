@@ -73,16 +73,18 @@ fn explain_select(session: &mut Session, select: &SelectStmt) -> DbResult<QueryR
             if def.is_segmented() {
                 let map = cluster.segment_map();
                 lines.push(format!(
-                    "scan: table {} over {} hash segments (locality-aware node-local ranges)",
+                    "scan: table {} over {} hash segments (map v{}, locality-aware node-local ranges)",
                     def.name,
-                    map.node_count()
+                    map.segments().len(),
+                    map.version()
                 ));
-                for s in 0..map.node_count() {
-                    let r = map.segment_range(s);
+                for (s, seg) in map.segments().iter().enumerate() {
                     lines.push(format!(
-                        "  segment {s} on node {s}: [{:016x}, {})",
-                        r.start,
-                        r.end
+                        "  segment {s} on node {}: [{:016x}, {})",
+                        seg.owner,
+                        seg.range.start,
+                        seg.range
+                            .end
                             .map(|e| format!("{e:016x}"))
                             .unwrap_or_else(|| "2^64".into())
                     ));

@@ -146,7 +146,7 @@ impl Cluster {
             None => None,
         };
         let mut tables: BTreeSet<String> = BTreeSet::new();
-        for node in &self.nodes {
+        for node in self.node_states() {
             tables.extend(node.stores.read().keys().cloned());
         }
         for table in &tables {
@@ -171,7 +171,7 @@ impl Cluster {
             report.sheds += 1;
             return;
         }
-        for (idx, node) in self.nodes.iter().enumerate() {
+        for (idx, node) in self.node_states().into_iter().enumerate() {
             // The seeded crash: die before touching this store. Stores
             // already processed keep their (complete, self-consistent)
             // new containers; this one is simply left for a later pass.
@@ -256,7 +256,7 @@ impl Cluster {
     /// counterpart of [`Cluster::moveout_all`]). Returns rows rewritten.
     pub fn mergeout_all(&self) -> usize {
         let mut rows = 0;
-        for (idx, node) in self.nodes.iter().enumerate() {
+        for (idx, node) in self.node_states().into_iter().enumerate() {
             let mut stores = node.stores.write();
             let mut tables: Vec<String> = stores.keys().cloned().collect();
             tables.sort();

@@ -1356,6 +1356,109 @@ impl NodeTableStore {
         }
     }
 
+    /// Install exported rows as one encoded ROS container, commit and
+    /// delete states verbatim — the rebalancer's bulk landing path.
+    /// Unlike [`NodeTableStore::import_rows`] (which stages into the
+    /// WOS), migrated segments arrive as ROS so the new owner serves
+    /// them with the same zone-map skipping, encodings, and container
+    /// statistics as the source — statistics go through the identical
+    /// [`ContainerStats`] path as every other ROS creation site.
+    /// Rows with pending commits land too: the rebalancer copies under
+    /// the commit lock, and `commit_txn`/`abort_txn` stamp every
+    /// registered node, so in-flight transactions resolve on the new
+    /// owner exactly as on the old.
+    pub(crate) fn import_rows_ros(&mut self, rows: Vec<ExportedRow>) {
+        if rows.is_empty() {
+            return;
+        }
+        let n = rows.len();
+        let mut hashes = Vec::with_capacity(n);
+        let mut commits = Vec::with_capacity(n);
+        let mut deletes = Vec::with_capacity(n);
+        let mut column_values: Vec<Vec<Value>> = (0..self.column_count)
+            .map(|_| Vec::with_capacity(n))
+            .collect();
+        for r in rows {
+            hashes.push(r.hash);
+            commits.push(r.commit);
+            deletes.push(r.delete);
+            for (c, v) in r.row.into_values().into_iter().enumerate() {
+                column_values[c].push(v);
+            }
+        }
+        let stats = ContainerStats::compute(&column_values, &hashes);
+        let columns = column_values
+            .into_iter()
+            .map(|vals| encode_auto(&vals, common::DataType::Varchar))
+            .collect();
+        let id = self.next_container_id;
+        self.next_container_id += 1;
+        self.ros.push(RosContainer {
+            id,
+            columns,
+            hashes,
+            stats,
+            commits,
+            deletes,
+        });
+    }
+
+    /// Drop every row (WOS and ROS) whose hash falls in `range`. ROS
+    /// containers that lose rows are rebuilt in place — same id, same
+    /// position, statistics recomputed through the [`ContainerStats`]
+    /// path — so surviving data stays zone-map-skippable. Used by the
+    /// rebalancer to make a re-copy idempotent: clearing the target
+    /// range before landing the export means a resumed migration can
+    /// never double-count rows.
+    pub(crate) fn remove_hash_range(&mut self, range: &HashRange) -> usize {
+        let mut removed = 0;
+        let ros = std::mem::take(&mut self.ros);
+        let mut out = Vec::with_capacity(ros.len());
+        for c in ros {
+            let keep: Vec<u32> = (0..c.len() as u32)
+                .filter(|&i| !range.contains(c.hashes[i as usize]))
+                .collect();
+            if keep.len() == c.len() {
+                out.push(c);
+                continue;
+            }
+            removed += c.len() - keep.len();
+            if keep.is_empty() {
+                continue;
+            }
+            let mut hashes = Vec::with_capacity(keep.len());
+            let mut commits = Vec::with_capacity(keep.len());
+            let mut deletes = Vec::with_capacity(keep.len());
+            for &i in &keep {
+                hashes.push(c.hashes[i as usize]);
+                commits.push(c.commits[i as usize]);
+                deletes.push(c.deletes[i as usize]);
+            }
+            let column_values: Vec<Vec<Value>> = c
+                .columns
+                .iter()
+                .map(|col| col.gather_sorted(&keep))
+                .collect();
+            let stats = ContainerStats::compute(&column_values, &hashes);
+            let columns = column_values
+                .into_iter()
+                .map(|vals| encode_auto(&vals, common::DataType::Varchar))
+                .collect();
+            out.push(RosContainer {
+                id: c.id,
+                columns,
+                hashes,
+                stats,
+                commits,
+                deletes,
+            });
+        }
+        self.ros = out;
+        let before = self.wos.len();
+        self.wos.retain(|r| !range.contains(r.hash));
+        removed + (before - self.wos.len())
+    }
+
     /// Number of committed rows currently in the WOS (the moveout
     /// trigger input).
     pub fn wos_committed_rows(&self) -> usize {

@@ -40,7 +40,15 @@
 //!   the scan planner and zone-map skipping actually consult,
 //! * `dc_tuple_mover` — the tuple mover's retained operation log: one
 //!   row per completed moveout/mergeout with rows moved, containers
-//!   consumed/produced, the epoch it ran at, and its duration.
+//!   consumed/produced, the epoch it ran at, and its duration,
+//! * `dc_nodes` — the elastic-membership view of the cluster: per node
+//!   its liveness, retirement, kill-generation, open sessions, and how
+//!   many times recovery rebuilt its stores,
+//! * `dc_segment_map` — every retained segment-map version: one row per
+//!   version × segment with the epoch the version became authoritative
+//!   at, so epoch-pinned ownership is auditable from SQL,
+//! * `dc_rebalance` — the rebalancer's retained operation log: plans,
+//!   per-range copies, skips, injected crashes, and map flips.
 //!
 //! All tables are defined in one place ([`DEFS`]): the name list and
 //! the scan dispatch both derive from it, so they cannot drift apart.
@@ -106,7 +114,117 @@ static DEFS: &[SystemTableDef] = &[
         name: "dc_tuple_mover",
         scan: scan_dc_tuple_mover,
     },
+    SystemTableDef {
+        name: "dc_nodes",
+        scan: scan_dc_nodes,
+    },
+    SystemTableDef {
+        name: "dc_segment_map",
+        scan: scan_dc_segment_map,
+    },
+    SystemTableDef {
+        name: "dc_rebalance",
+        scan: scan_dc_rebalance,
+    },
 ];
+
+/// One row per registered node slot, retired ones included — the
+/// elastic-membership companion to `v_nodes`.
+fn scan_dc_nodes(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("node", DataType::Int64),
+        ("is_up", DataType::Boolean),
+        ("retired", DataType::Boolean),
+        ("generation", DataType::Int64),
+        ("open_sessions", DataType::Int64),
+        ("rebuilds", DataType::Int64),
+    ]);
+    let rows = (0..cluster.node_count())
+        .map(|n| {
+            Row::new(vec![
+                Value::Int64(n as i64),
+                Value::Boolean(cluster.is_node_up(n)),
+                Value::Boolean(cluster.is_node_retired(n)),
+                Value::Int64(cluster.node_generation(n) as i64),
+                Value::Int64(cluster.open_sessions(n) as i64),
+                Value::Int64(cluster.node_rebuilds(n) as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// One row per retained map version × segment, newest version last.
+fn scan_dc_segment_map(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("version", DataType::Int64),
+        ("effective_epoch", DataType::Int64),
+        ("segment", DataType::Int64),
+        ("owner", DataType::Int64),
+        ("start_hash", DataType::Varchar),
+        ("end_hash", DataType::Varchar),
+        ("is_current", DataType::Boolean),
+    ]);
+    let history = cluster.segment_map_history();
+    let current = history.last().map(|mv| mv.map.version());
+    let mut rows = Vec::new();
+    for mv in &history {
+        for (s, seg) in mv.map.segments().iter().enumerate() {
+            rows.push(Row::new(vec![
+                Value::Int64(mv.map.version() as i64),
+                Value::Int64(mv.effective_epoch as i64),
+                Value::Int64(s as i64),
+                Value::Int64(seg.owner as i64),
+                Value::Varchar(format!("{:016x}", seg.range.start)),
+                Value::Varchar(render_end_hash(seg.range.end)),
+                Value::Boolean(Some(mv.map.version()) == current),
+            ]));
+        }
+    }
+    (schema, rows)
+}
+
+/// One row per retained rebalance operation, oldest first.
+fn scan_dc_rebalance(cluster: &Cluster) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[
+        ("seq", DataType::Int64),
+        ("op", DataType::Varchar),
+        ("node", DataType::Int64),
+        ("table_name", DataType::Varchar),
+        ("rows", DataType::Int64),
+        ("start_hash", DataType::Varchar),
+        ("end_hash", DataType::Varchar),
+        ("map_version", DataType::Int64),
+        ("epoch", DataType::Int64),
+        ("dur_us", DataType::Int64),
+    ]);
+    let rows = cluster
+        .rebalance_ops()
+        .into_iter()
+        .map(|op| {
+            Row::new(vec![
+                Value::Int64(op.seq as i64),
+                Value::Varchar(op.op.to_string()),
+                Value::Int64(op.node as i64),
+                Value::Varchar(op.table),
+                Value::Int64(op.rows as i64),
+                Value::Varchar(format!("{:016x}", op.range_start)),
+                Value::Varchar(render_end_hash(op.range_end)),
+                Value::Int64(op.map_version as i64),
+                Value::Int64(op.epoch as i64),
+                Value::Int64(op.dur_us as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// Exclusive range ends render in hex; `None` is the wrapped top of the
+/// 64-bit ring.
+fn render_end_hash(end: Option<u64>) -> String {
+    end.map(|e| format!("{e:016x}"))
+        .unwrap_or_else(|| "ffffffffffffffff+1".to_string())
+}
 
 /// One row per retained tuple-mover operation, oldest first.
 fn scan_dc_tuple_mover(cluster: &Cluster) -> (Schema, Vec<Row>) {
@@ -155,6 +273,9 @@ pub const SYSTEM_TABLES: &[&str] = &[
     "dc_histograms",
     "dc_column_stats",
     "dc_tuple_mover",
+    "dc_nodes",
+    "dc_segment_map",
+    "dc_rebalance",
 ];
 
 /// Produce the contents of a system table, or `None` if `name` isn't one.
@@ -173,19 +294,16 @@ fn scan_segments(cluster: &Cluster) -> (Schema, Vec<Row>) {
         ("end_hash", DataType::Varchar),
     ]);
     let map = cluster.segment_map();
-    let rows = (0..map.node_count())
-        .map(|s| {
-            let range = map.segment_range(s);
+    let rows = map
+        .segments()
+        .iter()
+        .enumerate()
+        .map(|(s, seg)| {
             Row::new(vec![
                 Value::Int64(s as i64),
-                Value::Int64(s as i64),
-                Value::Varchar(format!("{:016x}", range.start)),
-                Value::Varchar(
-                    range
-                        .end
-                        .map(|e| format!("{e:016x}"))
-                        .unwrap_or_else(|| "ffffffffffffffff+1".to_string()),
-                ),
+                Value::Int64(seg.owner as i64),
+                Value::Varchar(format!("{:016x}", seg.range.start)),
+                Value::Varchar(render_end_hash(seg.range.end)),
             ])
         })
         .collect();
@@ -546,7 +664,7 @@ fn scan_dc_column_stats(cluster: &Cluster) -> (Schema, Vec<Row>) {
         None => Value::Null,
     };
     let mut rows = Vec::new();
-    for (n, node) in cluster.nodes.iter().enumerate() {
+    for (n, node) in cluster.node_states().into_iter().enumerate() {
         let stores = node.stores.read();
         let mut tables: Vec<&String> = stores.keys().collect();
         tables.sort();

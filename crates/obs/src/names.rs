@@ -293,6 +293,11 @@ pub static DEFS: &[NameDef] = &[
         help: "injected lost-commit-acks fired",
     },
     NameDef {
+        name: "fault.rebalance",
+        kind: NameKind::Counter,
+        help: "injected mid-migration rebalance crashes fired",
+    },
+    NameDef {
         name: "fault.slow_connect",
         kind: NameKind::Counter,
         help: "injected connect slowdowns fired",
@@ -381,6 +386,46 @@ pub static DEFS: &[NameDef] = &[
         name: "planner.estimated_rows",
         kind: NameKind::Counter,
         help: "rows the stats-driven planner estimated a scan would leave",
+    },
+    NameDef {
+        name: "rebalance.flips",
+        kind: NameKind::Counter,
+        help: "segment-map versions made authoritative at an epoch boundary",
+    },
+    NameDef {
+        name: "rebalance.migration_us",
+        kind: NameKind::Timer,
+        help: "wall time to copy one migrating range to its target node",
+    },
+    NameDef {
+        name: "rebalance.migrations",
+        kind: NameKind::Counter,
+        help: "rebalance range copies landed durably",
+    },
+    NameDef {
+        name: "rebalance.migrations_skipped",
+        kind: NameKind::Counter,
+        help: "migrations skipped on resume because an earlier run landed them",
+    },
+    NameDef {
+        name: "rebalance.node_adds",
+        kind: NameKind::Counter,
+        help: "nodes added to the cluster online",
+    },
+    NameDef {
+        name: "rebalance.node_removes",
+        kind: NameKind::Counter,
+        help: "member nodes drained and retired online",
+    },
+    NameDef {
+        name: "rebalance.resumes",
+        kind: NameKind::Counter,
+        help: "interrupted rebalance plans resumed",
+    },
+    NameDef {
+        name: "rebalance.rows_copied",
+        kind: NameKind::Counter,
+        help: "rows copied by rebalance migrations",
     },
     NameDef {
         name: RETRY_ATTEMPT,
@@ -666,6 +711,11 @@ pub static DEFS: &[NameDef] = &[
         name: "v2s.load",
         kind: NameKind::Span,
         help: "root span of one V2S load (relation open through scan)",
+    },
+    NameDef {
+        name: "v2s.map_refresh",
+        kind: NameKind::Counter,
+        help: "V2S segment-map refreshes after a StaleSegmentMap rejection",
     },
     NameDef {
         name: V2S_OPEN,

@@ -38,6 +38,11 @@ cargo test -q --test resilience
 echo "== cargo test -q --test tuple_mover"
 cargo test -q --test tuple_mover
 
+# The elastic-cluster gate: seeded node-add/remove/rolling-upgrade
+# chaos schedules with epoch-pinned reads across the map flip.
+echo "== cargo test -q --test rebalance"
+cargo test -q --test rebalance
+
 # The skipping/pushdown ablation regenerates BENCH_pushdown.json and
 # asserts every cell returns the identical aggregate; its ≥5x scan and
 # ≥10x wire reduction gates also run as bench lib tests above.
@@ -48,6 +53,11 @@ cargo run -q -p bench --bin ablation_pushdown > /dev/null
 # mover-on-strictly-faster gate also runs as a bench lib test above.
 echo "== ablation_stream"
 cargo run -q -p bench --bin ablation_stream > /dev/null
+
+# The elastic-cluster ablation regenerates BENCH_rebalance.json; its
+# zero-failures / bounded-P99 gate also runs as a bench lib test above.
+echo "== ablation_rebalance"
+cargo run -q -p bench --bin ablation_rebalance > /dev/null
 
 # The tracing overhead bench must always compile: span-layer API
 # drift shows up here before it shows up in a profiling session.
