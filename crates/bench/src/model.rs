@@ -115,7 +115,7 @@ impl FabricTopology {
         let client_out = topo.add_resource("client.out", c.link_bw);
         let client_in = topo.add_resource("client.in", c.link_bw);
         let client_cpu = topo.add_resource("client.cpu", c.aux_cores);
-        let db_commit = topo.add_untraced_resource("db.commit", 1.0);
+        let db_commit = topo.add_untraced_resource("db.commit", 1.0); // fabriclint: allow(obs-registry): latency-model resource name, never recorded
         FabricTopology {
             topo,
             db_ext_out,

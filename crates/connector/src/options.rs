@@ -141,8 +141,8 @@ const KNOWN_KEYS: &[&str] = &[
     "hedge_delay_ms",
     "stats_skipping",
     "agg_pushdown",
-    "stream.batch_rows",
-    "stream.flush_ms",
+    "stream.batch_rows", // fabriclint: allow(obs-registry): option key, not a counter
+    "stream.flush_ms",   // fabriclint: allow(obs-registry): option key, not a counter
     "mover.enabled",
 ];
 
@@ -230,8 +230,8 @@ impl ConnectorOptions {
         }
         // Either stream.* key opts the save into micro-batch streaming;
         // the other takes its default.
-        let batch_rows = options.get_parsed::<usize>("stream.batch_rows")?;
-        let flush_ms = options.get_parsed::<u64>("stream.flush_ms")?;
+        let batch_rows = options.get_parsed::<usize>("stream.batch_rows")?; // fabriclint: allow(obs-registry): option key, not a counter
+        let flush_ms = options.get_parsed::<u64>("stream.flush_ms")?; // fabriclint: allow(obs-registry): option key, not a counter
         if batch_rows.is_some() || flush_ms.is_some() {
             b = b.stream(
                 batch_rows.unwrap_or(STREAM_BATCH_ROWS_DEFAULT),
@@ -663,7 +663,7 @@ mod tests {
         // Either stream key flips the mode; the other takes its default.
         let o = Options::new()
             .with("table", "t")
-            .with("stream.batch_rows", 256);
+            .with("stream.batch_rows", 256); // fabriclint: allow(obs-registry): option key, not a counter
         let parsed = ConnectorOptions::parse(&o).unwrap();
         assert_eq!(
             parsed.ingest,
@@ -674,7 +674,7 @@ mod tests {
         );
         let o = Options::new()
             .with("table", "t")
-            .with("stream.flush_ms", 50);
+            .with("stream.flush_ms", 50); // fabriclint: allow(obs-registry): option key, not a counter
         let parsed = ConnectorOptions::parse(&o).unwrap();
         assert_eq!(
             parsed.ingest,
@@ -685,8 +685,8 @@ mod tests {
         );
         let o = Options::new()
             .with("table", "t")
-            .with("stream.batch_rows", 2000)
-            .with("stream.flush_ms", 250)
+            .with("stream.batch_rows", 2000) // fabriclint: allow(obs-registry): option key, not a counter
+            .with("stream.flush_ms", 250) // fabriclint: allow(obs-registry): option key, not a counter
             .with("mover.enabled", false);
         let parsed = ConnectorOptions::parse(&o).unwrap();
         assert_eq!(
@@ -702,10 +702,10 @@ mod tests {
     #[test]
     fn stream_key_bounds_are_enforced() {
         for (key, bad) in [
-            ("stream.batch_rows", "0"),
-            ("stream.batch_rows", "1000001"),
-            ("stream.flush_ms", "0"),
-            ("stream.flush_ms", "600001"),
+            ("stream.batch_rows", "0"), // fabriclint: allow(obs-registry): option key, not a counter
+            ("stream.batch_rows", "1000001"), // fabriclint: allow(obs-registry): option key, not a counter
+            ("stream.flush_ms", "0"), // fabriclint: allow(obs-registry): option key, not a counter
+            ("stream.flush_ms", "600001"), // fabriclint: allow(obs-registry): option key, not a counter
         ] {
             let o = Options::new().with("table", "t").with(key, bad);
             let err = ConnectorOptions::parse(&o).unwrap_err();
@@ -728,6 +728,7 @@ mod tests {
 
     #[test]
     fn rejects_misspelled_stream_keys() {
+        // fabriclint: allow(obs-registry): deliberate typo fixtures
         for typo in ["stream.batchrows", "stream.flushms", "mover.enable"] {
             let o = Options::new().with("table", "t").with(typo, "1");
             let err = ConnectorOptions::parse(&o).unwrap_err();

@@ -1,0 +1,313 @@
+//! Name-keyed inter-procedural call graph over the extracted IRs.
+//!
+//! Resolution is deliberately conservative: a qualified call
+//! `Type::name(..)` resolves to that impl's fn when one exists; a
+//! method call `.name(..)` or free call `name(..)` resolves to every
+//! workspace fn with that bare name. Collisions merge — the analysis
+//! over-approximates what a call might do, which is the safe direction
+//! for the dynamic-⊆-static gate (extra static edges are only
+//! coverage findings).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cfg::{Ev, FnIr};
+
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// bare name → fn indices.
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// `Type::name` → fn indices.
+    pub by_qual: HashMap<String, Vec<usize>>,
+    /// fn index → declared parameter count (self excluded).
+    arity: Vec<usize>,
+}
+
+impl CallGraph {
+    pub fn build(irs: &[FnIr]) -> CallGraph {
+        let mut cg = CallGraph::default();
+        for (idx, ir) in irs.iter().enumerate() {
+            cg.by_name.entry(ir.name.clone()).or_default().push(idx);
+            if let Some(q) = &ir.qual_name {
+                cg.by_qual.entry(q.clone()).or_default().push(idx);
+            }
+            cg.arity.push(ir.params.len());
+        }
+        cg
+    }
+
+    /// Candidate callees of a Call event from `ir`.
+    ///
+    /// Resolution is *strict*: qualified calls (`Type::name`) resolve
+    /// exactly; unqualified calls resolve only when the bare name is
+    /// unambiguous in the workspace and not a common std container /
+    /// iterator method (a `.insert(` is almost always `HashMap::insert`,
+    /// not whichever workspace fn happens to share the name). Strict
+    /// resolution under-approximates — soundness for the dynamic-⊆-
+    /// static gate is recovered empirically: the per-suite subgraph
+    /// tests fail loudly if a witnessed edge becomes underivable.
+    pub fn resolve(&self, _ir: &FnIr, ev: &Ev) -> Vec<usize> {
+        let Ev::Call {
+            name,
+            qual,
+            method,
+            arity,
+            ..
+        } = ev
+        else {
+            return Vec::new();
+        };
+        if let Some(q) = qual {
+            let key = format!("{}::{}", q, name);
+            if let Some(ids) = self.by_qual.get(&key) {
+                return ids.clone();
+            }
+            // Unknown type (std etc.): a qualified call to a name no
+            // workspace impl defines resolves to nothing rather than
+            // every same-named fn.
+            return Vec::new();
+        }
+        if *method {
+            if STD_METHOD_NAMES.contains(&name.as_str()) {
+                return Vec::new();
+            }
+            // Untyped method call: union every same-named workspace
+            // method (`self.mover.log(..)` could be any `fn log`) —
+            // over-approximation is safe (extra lock edges are only
+            // coverage findings), and losing the real callee broke the
+            // dynamic-⊆-static gate. Candidates are narrowed by call
+            // arity when possible: `store.commit(txn, epoch)` is not
+            // the zero-arg `Session::commit`. Fallback to the full
+            // union when nothing matches, since closure-param commas
+            // can inflate the counted arity.
+            let ids = self.by_name.get(name).cloned().unwrap_or_default();
+            let matching: Vec<usize> = ids
+                .iter()
+                .copied()
+                .filter(|&i| self.arity[i] == *arity)
+                .collect();
+            return if matching.is_empty() { ids } else { matching };
+        }
+        match self.by_name.get(name) {
+            Some(ids) if ids.len() == 1 => ids.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Method names that belong to std containers/iterators/primitives in
+/// virtually every call site; bare-name resolution to a workspace fn
+/// would be a collision, so strict resolution skips them.
+const STD_METHOD_NAMES: &[&str] = &[
+    "insert",
+    "get",
+    "get_mut",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "collect",
+    "filter",
+    "filter_map",
+    "map",
+    "entry",
+    "contains",
+    "contains_key",
+    "clone",
+    "next",
+    "count",
+    "new",
+    "take",
+    "extend",
+    "retain",
+    "clear",
+    "drain",
+    "replace",
+    "load",
+    "store",
+    "swap",
+    "join",
+    "min",
+    "max",
+    "rev",
+    "sum",
+    "zip",
+    "chain",
+    "find",
+    "any",
+    "all",
+    "fold",
+    "last",
+    "first",
+    "split",
+    "trim",
+    "parse",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "and_then",
+    "or_else",
+    "is_empty",
+    "is_some",
+    "is_none",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "to_vec",
+    "keys",
+    "values",
+    "values_mut",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "dedup",
+    "truncate",
+    "resize",
+    "windows",
+    "chunks",
+    "enumerate",
+    "skip",
+    "flat_map",
+    "flatten",
+    "cloned",
+    "copied",
+    "position",
+    "rposition",
+    "starts_with",
+    "ends_with",
+    "get_or_insert_with",
+    "or_insert_with",
+    "or_default",
+    "to_owned",
+    "abs",
+    "is_dir",
+    "is_file",
+    "exists",
+    "read",
+    "write",
+    "flush",
+    "fmt",
+    "cmp",
+    "eq",
+    "hash",
+];
+
+/// Transitive may-block / may-emit summaries.
+#[derive(Debug, Default, Clone)]
+pub struct FlowSummary {
+    pub blocks: bool,
+    /// The call chain that reaches the blocking base (for messages):
+    /// name of the direct callee that blocks.
+    pub blocks_via: Option<String>,
+    pub emits: bool,
+}
+
+/// Base operations that can sleep or park the calling thread.
+pub fn default_blocking_fns() -> Vec<String> {
+    [
+        "sleep",
+        "recv",
+        "recv_timeout",
+        "park",
+        "wait",
+        "wait_until",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+/// Fixpoint: a fn blocks if it calls a blocking base fn or a fn whose
+/// summary blocks; emits likewise (obs::global() or an emit method).
+pub fn flow_summaries(
+    irs: &[FnIr],
+    cg: &CallGraph,
+    blocking_fns: &[String],
+    emit_methods: &[&str],
+) -> Vec<FlowSummary> {
+    let blocking: HashSet<&str> = blocking_fns.iter().map(String::as_str).collect();
+    let mut sums: Vec<FlowSummary> = irs
+        .iter()
+        .map(|ir| {
+            let mut s = FlowSummary {
+                emits: ir.emits_directly,
+                ..FlowSummary::default()
+            };
+            for ev in &ir.events {
+                if let Ev::Call { name, .. } = ev {
+                    if blocking.contains(name.as_str()) {
+                        s.blocks = true;
+                        s.blocks_via = Some(name.clone());
+                    }
+                    if emit_methods.contains(&name.as_str()) {
+                        s.emits = true;
+                    }
+                }
+            }
+            s
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (idx, ir) in irs.iter().enumerate() {
+            if sums[idx].blocks && sums[idx].emits {
+                continue;
+            }
+            for ev in &ir.events {
+                if !matches!(ev, Ev::Call { .. }) {
+                    continue;
+                }
+                for callee in cg.resolve(ir, ev) {
+                    if callee == idx {
+                        continue;
+                    }
+                    if sums[callee].blocks && !sums[idx].blocks {
+                        sums[idx].blocks = true;
+                        if let Ev::Call { name, .. } = ev {
+                            sums[idx].blocks_via = Some(name.clone());
+                        }
+                        changed = true;
+                    }
+                    if sums[callee].emits && !sums[idx].emits {
+                        sums[idx].emits = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+/// `fn name(..) -> &Mutex<..>` aliases: map the fn's bare name to the
+/// lock-binding names its body mentions, so `self.node(i).lock()`
+/// resolves through `fn node(..) -> &Mutex<NodeHealth>`.
+pub fn lock_returning_fns(irs: &[FnIr]) -> HashMap<String, Vec<String>> {
+    let mut out: HashMap<String, Vec<String>> = HashMap::new();
+    for ir in irs {
+        let returns_lock = ir.ret_ty.iter().any(|t| t == "Mutex" || t == "RwLock")
+            && !ir.ret_ty.iter().any(|t| t.contains("Guard"));
+        if !returns_lock {
+            continue;
+        }
+        // Every body ident except the fn's own params; the lock
+        // registry filters to actual lock names at resolution time.
+        let params: HashSet<&str> = ir.params.iter().map(|p| p.name.as_str()).collect();
+        let mut names: Vec<String> = ir
+            .body_idents
+            .iter()
+            .filter(|i| !params.contains(i.as_str()))
+            .cloned()
+            .collect();
+        names.sort();
+        out.entry(ir.name.clone()).or_default().extend(names);
+    }
+    out
+}

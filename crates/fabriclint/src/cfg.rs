@@ -1,0 +1,805 @@
+//! Per-function IR extraction for the flow-sensitive passes.
+//!
+//! Built directly on the token stream from [`crate::lexer`] — no syn.
+//! For every `fn` we record a linear event stream: lock acquisitions
+//! (`.lock()` / `.read()` / `.write()` with an inferable receiver),
+//! explicit `drop(..)` calls, call sites, statement ends, and block
+//! closes. Guard lifetimes are replayed over that stream by the lock
+//! pass: a let-bound guard dies at its block's close or an explicit
+//! `drop`; an unbound (temporary) guard dies at the next `;` at its
+//! brace depth or at block close, whichever comes first. That models
+//! Rust's real drop order closely enough for edge derivation while
+//! erring toward *longer* static lifetimes (over-approximation adds
+//! never-witnessed edges, which are only coverage findings; dropping a
+//! guard too early could hide a witnessed edge and fail the gate).
+//!
+//! Closures are inlined into the enclosing function's stream — their
+//! bodies run on the same thread under the same guards — with one
+//! exception: a closure passed to a call named `spawn` runs detached
+//! on another thread, so its body becomes a separate synthetic
+//! function and contributes no nested-guard edges to the spawner.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Which lock method an acquisition used; doubles as the class-kind
+/// filter during resolution (`.lock()` only matches Mutex classes,
+/// `.read()`/`.write()` only RwLock classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqKind {
+    Lock,
+    Read,
+    Write,
+}
+
+impl AcqKind {
+    pub fn method(self) -> &'static str {
+        match self {
+            AcqKind::Lock => "lock",
+            AcqKind::Read => "read",
+            AcqKind::Write => "write",
+        }
+    }
+}
+
+/// One event in a function's linear stream.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// `recv.lock()` / `recv.read()` / `recv.write()`.
+    Acquire {
+        recv: String,
+        kind: AcqKind,
+        line: u32,
+        /// `let g = recv.lock();` binds the guard to `g`; `None` is a
+        /// temporary (or a binding through nested braces, treated as
+        /// a temporary — see module docs).
+        binding: Option<String>,
+        /// Brace depth at the acquisition (fn body = 1).
+        depth: u32,
+    },
+    /// `drop(name)` / `mem::drop(name)` — releases a bound guard. A
+    /// drop nested deeper than the guard's binding is conditional
+    /// (some branch keeps the guard); replays revive the guard when
+    /// the enclosing block closes.
+    Drop { name: String, depth: u32 },
+    /// `;` at brace depth `depth` — temporaries at depth >= this die.
+    Stmt { depth: u32 },
+    /// `}` closing brace depth `depth` — guards at depth >= this die.
+    Close { depth: u32 },
+    /// A call site (free or method). `args` holds every identifier
+    /// inside the call's parens — the condvar-wait exclusion and the
+    /// ctx-propagation pass read them.
+    Call {
+        name: String,
+        /// `Type::name(..)` qualification, if any (`Self` resolved to
+        /// the enclosing impl type).
+        qual: Option<String>,
+        method: bool,
+        line: u32,
+        args: Vec<String>,
+        /// Number of top-level arguments — used to narrow untyped
+        /// method-call candidates by parameter count (closure-param
+        /// commas can inflate this, so it's a filter with fallback,
+        /// never a hard requirement).
+        arity: usize,
+    },
+}
+
+/// One function parameter: binding name plus the identifiers of its
+/// type (so `deadline: Option<Deadline>` yields ty = [Option, Deadline]).
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub ty: Vec<String>,
+}
+
+/// The extracted IR of one function (or detached spawn closure).
+#[derive(Debug, Clone)]
+pub struct FnIr {
+    /// Bare name (`acquire`); detached closures get `parent@spawn:LINE`.
+    pub name: String,
+    /// `Type::name` when inside an impl block.
+    pub qual_name: Option<String>,
+    pub file: String,
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` or a test-path file.
+    pub is_test: bool,
+    pub params: Vec<Param>,
+    /// Identifiers of the return type (`-> &Mutex<T>` ⇒ contains Mutex).
+    pub ret_ty: Vec<String>,
+    pub events: Vec<Ev>,
+    /// Single-ident closure params mapped to the identifier chain of
+    /// the expression the closure's method was called on — used to
+    /// resolve element locks (`.map(|h| h.lock())`).
+    pub closure_aliases: Vec<(String, Vec<String>)>,
+    /// `let g = <init>;` where the init expression's identifiers are
+    /// recorded — resolves guards bound through nested blocks and
+    /// `Arc::clone(map.write().entry(..).or_insert_with(..))` elements.
+    pub let_inits: Vec<(String, Vec<String>, u32)>,
+    /// Body mentions `obs::global()` (emit site for ctx-propagation).
+    pub emits_directly: bool,
+    /// Every non-keyword identifier in the body (ctx-propagation's
+    /// "does the fn still mention its ctx param" check, and the
+    /// `fn … -> &Mutex` alias resolution).
+    pub body_idents: std::collections::HashSet<String>,
+    /// Detached spawn-closure IRs collected while walking this body;
+    /// hoisted into the top-level list by [`extract_fns`].
+    #[doc(hidden)]
+    pub detached_hack: Vec<FnIr>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "let", "mut", "fn", "pub", "use",
+    "mod", "impl", "trait", "struct", "enum", "const", "static", "where", "move", "ref", "in",
+    "as", "dyn", "type", "unsafe", "break", "continue", "crate", "super", "self", "Self", "true",
+    "false", "async", "await", "box", "extern",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Extract every function in `file` (path + lexed tokens) into IR.
+/// `in_test(line)` comes from the caller's test-region scan.
+pub fn extract_fns(path: &str, lexed: &Lexed, in_test: &dyn Fn(u32) -> bool) -> Vec<FnIr> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut impl_type: Option<String> = None;
+    let mut impl_close = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if i >= impl_close {
+            impl_type = None;
+        }
+        if t.is_ident("impl") {
+            // `impl [<..>] [Trait for] Type [<..>] {`: the impl type is
+            // the last plain ident before the body's `{` that is not a
+            // generic parameter or the trait name before `for`.
+            if let Some((ty, body_open)) = parse_impl_header(toks, i) {
+                impl_type = Some(ty);
+                impl_close = crate::match_delim_pub(toks, body_open, '{', '}');
+                i = body_open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            if let Some((ir, close)) = parse_fn(path, toks, i, impl_type.as_deref(), in_test) {
+                out.push(ir);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Detached spawn closures were collected per-fn; hoist them out.
+    let mut hoisted = Vec::new();
+    for ir in &mut out {
+        hoisted.append(&mut ir.detached_hack);
+    }
+    out.append(&mut hoisted);
+    out
+}
+
+impl FnIr {
+    fn blank(name: String, qual: Option<String>, file: &str, line: u32, is_test: bool) -> FnIr {
+        FnIr {
+            name,
+            qual_name: qual,
+            file: file.to_string(),
+            line,
+            is_test,
+            params: Vec::new(),
+            ret_ty: Vec::new(),
+            events: Vec::new(),
+            closure_aliases: Vec::new(),
+            let_inits: Vec::new(),
+            emits_directly: false,
+            body_idents: std::collections::HashSet::new(),
+            detached_hack: Vec::new(),
+        }
+    }
+}
+
+/// `impl<T> Trait for Type<T> { … }` → ("Type", index of `{`).
+fn parse_impl_header(toks: &[Tok], impl_idx: usize) -> Option<(String, usize)> {
+    let mut j = impl_idx + 1;
+    let mut last_ident: Option<String> = None;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') && angle <= 0 {
+            return last_ident.map(|ty| (ty, j));
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.kind == TokKind::Ident && angle <= 0 {
+            if t.text == "for" || t.text == "where" {
+                if t.text == "where" {
+                    // Type already seen; scan on to `{`.
+                    last_ident.as_ref()?;
+                } else {
+                    last_ident = None; // trait name discarded; type follows
+                }
+            } else if !is_keyword(&t.text) {
+                last_ident = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse the `fn` at `fn_idx` into IR; returns it plus the index of
+/// the body's closing `}`.
+fn parse_fn(
+    path: &str,
+    toks: &[Tok],
+    fn_idx: usize,
+    impl_type: Option<&str>,
+    in_test: &dyn Fn(u32) -> bool,
+) -> Option<(FnIr, usize)> {
+    let name = toks[fn_idx + 1].text.clone();
+    let line = toks[fn_idx + 1].line;
+    // Parameter list: first `(` after the name (generics hold no parens
+    // in this codebase).
+    let mut open = fn_idx + 2;
+    while open < toks.len() && !toks[open].is_punct('(') {
+        if toks[open].is_punct('{') || toks[open].is_punct(';') {
+            return None;
+        }
+        open += 1;
+    }
+    if open >= toks.len() {
+        return None;
+    }
+    let params_close = crate::match_delim_pub(toks, open, '(', ')');
+    let params = parse_params(&toks[open + 1..params_close]);
+    // Return type: tokens between `)` and the body `{` (or `;`),
+    // minus any `where` clause.
+    let mut body_open = params_close + 1;
+    let mut ret_ty = Vec::new();
+    let mut in_where = false;
+    while body_open < toks.len() && !toks[body_open].is_punct('{') {
+        let t = &toks[body_open];
+        if t.is_punct(';') {
+            return None; // trait method declaration, no body
+        }
+        if t.is_ident("where") {
+            in_where = true;
+        }
+        if !in_where && t.kind == TokKind::Ident && !is_keyword(&t.text) {
+            ret_ty.push(t.text.clone());
+        }
+        body_open += 1;
+    }
+    if body_open >= toks.len() {
+        return None;
+    }
+    let close = crate::match_delim_pub(toks, body_open, '{', '}');
+    let qual = impl_type.map(|t| format!("{}::{}", t, name));
+    let mut ir = FnIr::blank(name, qual, path, line, in_test(line));
+    ir.params = params;
+    ir.ret_ty = ret_ty;
+    walk_body(&mut ir, toks, body_open, close, in_test);
+    Some((ir, close))
+}
+
+/// `a: &T, mut b: Vec<U>, &self` → params (self forms skipped).
+fn parse_params(toks: &[Tok]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut k = 0usize;
+    let flush = |range: &[Tok], params: &mut Vec<Param>| {
+        // name is the first ident that is not a modifier keyword.
+        let mut name = None;
+        let mut ty = Vec::new();
+        let mut seen_colon = false;
+        for t in range {
+            if t.is_punct(':') {
+                seen_colon = true;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if !seen_colon {
+                if t.text == "mut" || t.text == "ref" {
+                    continue;
+                }
+                if name.is_none() {
+                    name = Some(t.text.clone());
+                }
+            } else if !is_keyword(&t.text) {
+                ty.push(t.text.clone());
+            }
+        }
+        if let Some(name) = name {
+            if name != "self" {
+                params.push(Param { name, ty });
+            }
+        }
+    };
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth <= 0 {
+            flush(&toks[start..k], &mut params);
+            start = k + 1;
+        }
+        k += 1;
+    }
+    if start < toks.len() {
+        flush(&toks[start..], &mut params);
+    }
+    params
+}
+
+/// Walk a `{ … }` body emitting events. `open`/`close` index the
+/// braces; depth inside the body starts at 1.
+fn walk_body(
+    ir: &mut FnIr,
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    in_test: &dyn Fn(u32) -> bool,
+) {
+    let mut depth: u32 = 1;
+    // Innermost-first stack of (depth, let-name, init-start-index).
+    let mut lets: Vec<(u32, String, usize)> = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct => match t.text.as_bytes()[0] as char {
+                '{' => depth += 1,
+                '}' => {
+                    ir.events.push(Ev::Close { depth });
+                    while lets.last().is_some_and(|(d, _, _)| *d >= depth) {
+                        let (_, name, start) = lets.pop().unwrap();
+                        flush_let_init(ir, toks, &name, start, i);
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => {
+                    ir.events.push(Ev::Stmt { depth });
+                    while lets.last().is_some_and(|(d, _, _)| *d >= depth) {
+                        let (_, name, start) = lets.pop().unwrap();
+                        flush_let_init(ir, toks, &name, start, i);
+                    }
+                }
+                // Closure-param aliases: `.method(|p| …)`,
+                // `.method(move |p| …)`, `.map(|(name, t)| …)` —
+                // every param ident aliases to the receiver chain
+                // of the owning call, so element locks resolve
+                // (`t.lock()` through `self.timers.read().iter()`).
+                '|' if i > 0
+                    && (toks[i - 1].is_punct('(')
+                        || toks[i - 1].is_punct(',')
+                        || toks[i - 1].is_ident("move"))
+                    && toks.get(i + 1).is_some_and(|n| !n.is_punct('|')) =>
+                {
+                    let mut j = i + 1;
+                    let mut names = Vec::new();
+                    while j < close && j - i <= 12 && !toks[j].is_punct('|') {
+                        let p = &toks[j];
+                        if p.kind == TokKind::Ident && !is_keyword(&p.text) {
+                            names.push(p.text.clone());
+                        }
+                        j += 1;
+                    }
+                    if j < close && toks[j].is_punct('|') && !names.is_empty() {
+                        let chain = chain_before_call(toks, i + 1);
+                        if !chain.is_empty() {
+                            for n in names {
+                                ir.closure_aliases.push((n, chain.clone()));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                if !is_keyword(name) {
+                    ir.body_idents.insert(name.to_string());
+                }
+                // `let [mut] x = …` — record the binding and where its
+                // init expression starts.
+                if name == "let"
+                    && i + 1 < close
+                    && !matches!(
+                        toks.get(i + 1),
+                        Some(n) if n.is_punct('(') // tuple patterns: skip
+                    )
+                {
+                    let mut j = i + 1;
+                    while j < close && toks[j].is_ident("mut") {
+                        j += 1;
+                    }
+                    if j < close && toks[j].kind == TokKind::Ident && !is_keyword(&toks[j].text) {
+                        lets.push((depth, toks[j].text.clone(), j + 1));
+                    }
+                }
+                // `drop(x)` / `mem::drop(x)`.
+                if name == "drop"
+                    && i + 2 < close
+                    && toks[i + 1].is_punct('(')
+                    && toks[i + 2].kind == TokKind::Ident
+                    && !(i > 0 && toks[i - 1].is_punct('.'))
+                {
+                    ir.events.push(Ev::Drop {
+                        name: toks[i + 2].text.clone(),
+                        depth,
+                    });
+                }
+                // `obs::global()` emit marker.
+                if name == "global"
+                    && i + 2 < close
+                    && toks[i + 1].is_punct('(')
+                    && toks[i + 2].is_punct(')')
+                {
+                    ir.emits_directly = true;
+                }
+                // Acquisitions: `.lock()` / `.read()` / `.write()` with
+                // empty args, receiver walked back over `)`/`]` chains.
+                if i > 0 && toks[i - 1].is_punct('.') {
+                    let acq = match name {
+                        "lock" => Some(AcqKind::Lock),
+                        "read" => Some(AcqKind::Read),
+                        "write" => Some(AcqKind::Write),
+                        _ => None,
+                    };
+                    if let Some(kind) = acq {
+                        if i + 2 < toks.len()
+                            && toks[i + 1].is_punct('(')
+                            && toks[i + 2].is_punct(')')
+                        {
+                            if let Some(recv) = receiver_name(toks, i - 1) {
+                                // `let g = m.lock();` binds the guard —
+                                // but only when the acquisition *ends*
+                                // the init. In `let v = m.read().get(k)`
+                                // the guard is a chain temporary that
+                                // dies at the `;`, and binding it to `v`
+                                // would keep it falsely live for the
+                                // rest of the block.
+                                let chain_continues =
+                                    toks.get(i + 3).is_some_and(|n| n.is_punct('.'));
+                                let binding = if chain_continues {
+                                    None
+                                } else {
+                                    lets.last()
+                                        .filter(|(d, _, _)| *d == depth)
+                                        .map(|(_, n, _)| n.clone())
+                                };
+                                ir.events.push(Ev::Acquire {
+                                    recv,
+                                    kind,
+                                    line: t.line,
+                                    binding,
+                                    depth,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Calls: `name(` (free, possibly `Type::name(`) or
+                // `.name(` (method). Skip keywords, capitalized names
+                // (constructors/variants), macro bangs, and fn defs.
+                if i + 1 < close
+                    && toks[i + 1].is_punct('(')
+                    && !is_keyword(name)
+                    && !matches!(name, "lock" | "read" | "write" | "drop")
+                    && name.chars().next().is_some_and(|c| !c.is_ascii_uppercase())
+                    && !(i > 0 && toks[i - 1].is_ident("fn"))
+                    && !(i + 1 < close && toks[i + 1].is_punct('!'))
+                {
+                    let method = i > 0 && toks[i - 1].is_punct('.');
+                    let qual = if !method
+                        && i >= 3
+                        && toks[i - 1].is_punct(':')
+                        && toks[i - 2].is_punct(':')
+                        && toks[i - 3].kind == TokKind::Ident
+                    {
+                        let q = &toks[i - 3].text;
+                        Some(if q == "Self" {
+                            ir.qual_name
+                                .as_deref()
+                                .and_then(|qn| qn.split("::").next())
+                                .unwrap_or("Self")
+                                .to_string()
+                        } else {
+                            q.clone()
+                        })
+                    } else {
+                        None
+                    };
+                    let call_close = crate::match_delim_pub(toks, i + 1, '(', ')');
+                    // Detached spawn closures: extract `spawn(move || …)`
+                    // bodies into separate IRs and skip them here.
+                    if name == "spawn" {
+                        if let Some((body_open, body_close)) =
+                            closure_block(toks, i + 1, call_close)
+                        {
+                            let cl_line = toks[body_open].line;
+                            let mut sub = FnIr::blank(
+                                format!("{}@spawn:{}", ir.name, cl_line),
+                                None,
+                                &ir.file,
+                                cl_line,
+                                ir.is_test || in_test(cl_line),
+                            );
+                            walk_body(&mut sub, toks, body_open, body_close, in_test);
+                            // The parent lexically mentions whatever
+                            // the closure captures — handing a ctx
+                            // param to a spawned closure *is* passing
+                            // it through, so the propagation pass must
+                            // still see those idents.
+                            ir.body_idents.extend(sub.body_idents.iter().cloned());
+                            let mut nested = std::mem::take(&mut sub.detached_hack);
+                            ir.detached_hack.push(sub);
+                            ir.detached_hack.append(&mut nested);
+                            // Walk the rest of the spawn args (rare)
+                            // then continue after the call.
+                            ir.events.push(Ev::Call {
+                                name: name.to_string(),
+                                qual,
+                                method,
+                                line: t.line,
+                                args: Vec::new(),
+                                arity: 1,
+                            });
+                            i = call_close + 1;
+                            continue;
+                        }
+                    }
+                    let args: Vec<String> = toks[i + 2..call_close.min(toks.len())]
+                        .iter()
+                        .filter(|a| a.kind == TokKind::Ident && !is_keyword(&a.text))
+                        .map(|a| a.text.clone())
+                        .collect();
+                    ir.events.push(Ev::Call {
+                        name: name.to_string(),
+                        qual,
+                        method,
+                        line: t.line,
+                        args,
+                        arity: call_arity(toks, i + 1, call_close),
+                    });
+                }
+                // For-loop element aliases: `for <pat> in <chain> { … }`
+                // maps each pattern ident to the chain's idents, so
+                // `for shard in &self.shards { shard.lock() }` resolves
+                // `shard` to the `shards` class.
+                if name == "for" {
+                    let mut j = i + 1;
+                    let mut pat = Vec::new();
+                    while j < close && !toks[j].is_ident("in") && !toks[j].is_punct('{') {
+                        let p = &toks[j];
+                        if p.kind == TokKind::Ident
+                            && !is_keyword(&p.text)
+                            && p.text
+                                .chars()
+                                .next()
+                                .is_some_and(|c| !c.is_ascii_uppercase())
+                        {
+                            pat.push(p.text.clone());
+                        }
+                        j += 1;
+                    }
+                    if j < close && toks[j].is_ident("in") && !pat.is_empty() {
+                        let mut chain = Vec::new();
+                        let mut k = j + 1;
+                        while k < close && !toks[k].is_punct('{') {
+                            if toks[k].kind == TokKind::Ident && !is_keyword(&toks[k].text) {
+                                chain.push(toks[k].text.clone());
+                            }
+                            k += 1;
+                        }
+                        if !chain.is_empty() {
+                            for p in pat {
+                                ir.closure_aliases.push((p, chain.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    ir.events.push(Ev::Close { depth: 1 });
+    while let Some((_, name, start)) = lets.pop() {
+        flush_let_init(ir, toks, &name, start, close);
+    }
+}
+
+/// Top-level argument count of the call whose parens span
+/// `open..close`: 0 for `()`, else 1 + commas at delimiter depth 0.
+/// Commas inside nested `()`/`[]`/`{}` don't count; commas in a
+/// closure's `|a, b|` params do (callers treat arity as a filter with
+/// fallback for exactly this reason).
+fn call_arity(toks: &[Tok], open: usize, close: usize) -> usize {
+    if close <= open + 1 {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    for t in &toks[open + 1..close.min(toks.len())] {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth <= 0 {
+            commas += 1;
+        }
+    }
+    commas + 1
+}
+
+/// Record the identifiers of `let name = <init upto end>` (used for
+/// guard-through-block and element-lock resolution).
+fn flush_let_init(ir: &mut FnIr, toks: &[Tok], name: &str, start: usize, end: usize) {
+    let line = toks.get(start).map_or(0, |t| t.line);
+    let idents: Vec<String> = toks[start..end.min(toks.len())]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
+        .map(|t| t.text.clone())
+        .collect();
+    if !idents.is_empty() {
+        ir.let_inits.push((name.to_string(), idents, line));
+    }
+}
+
+/// Walk back from the `.` at `dot` to name the receiver of a lock
+/// method: `self.field.lock()` → field; `arr[i].lock()` → arr;
+/// `f(x).lock()` → f; plain `g.lock()` → g.
+fn receiver_name(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(']') {
+            k = match_back(toks, k, '[', ']')?;
+            continue;
+        }
+        if t.is_punct(')') {
+            k = match_back(toks, k, '(', ')')?;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text == "self" {
+                return None; // bare `self.lock()` — not a thing here
+            }
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+}
+
+/// Index of the `open_ch` matching the `close_ch` at `close` (backward).
+fn match_back(toks: &[Tok], close: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close;
+    loop {
+        let t = &toks[k];
+        if t.is_punct(close_ch) {
+            depth += 1;
+        } else if t.is_punct(open_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// For a closure starting at the `|` before token `param_idx`, collect
+/// the identifier chain of the expression its owning method was called
+/// on: in `self.histos.read().get(n).map(|h| …)`, returns the idents
+/// back through the chain (histos, read, get, n, map, …).
+fn chain_before_call(toks: &[Tok], param_idx: usize) -> Vec<String> {
+    // param_idx-1 is `|`; before that `(` or `move` or `,`. Find the
+    // `(` of the owning call, then the method ident, then walk the
+    // receiver chain back collecting idents.
+    let mut k = param_idx - 1;
+    while k > 0 && !toks[k].is_punct('(') {
+        k -= 1;
+    }
+    if k == 0 {
+        return Vec::new();
+    }
+    // toks[k] is `(`; toks[k-1] should be the method ident.
+    let mut out = Vec::new();
+    let mut j = k;
+    let mut steps = 0;
+    while j > 0 && steps < 40 {
+        j -= 1;
+        steps += 1;
+        let t = &toks[j];
+        if t.is_punct(')') {
+            if let Some(open) = match_back(toks, j, '(', ')') {
+                // Collect idents inside the skipped parens too (arg
+                // names can matter for map-get chains).
+                for a in &toks[open..=j] {
+                    if a.kind == TokKind::Ident && !is_keyword(&a.text) {
+                        out.push(a.text.clone());
+                    }
+                }
+                j = open;
+            }
+            continue;
+        }
+        if t.is_punct(']') {
+            if let Some(open) = match_back(toks, j, '[', ']') {
+                j = open;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text != "self" && !is_keyword(&t.text) {
+                out.push(t.text.clone());
+            }
+            // Chain continues only through `.` or `::`.
+            if j == 0 || !(toks[j - 1].is_punct('.') || toks[j - 1].is_punct(':')) {
+                break;
+            }
+            continue;
+        }
+        if t.is_punct('.') || t.is_punct(':') {
+            continue;
+        }
+        break;
+    }
+    out
+}
+
+/// Find a closure body inside a call's parens: returns the `{`/`}`
+/// indices of a block closure, if present.
+fn closure_block(toks: &[Tok], call_open: usize, call_close: usize) -> Option<(usize, usize)> {
+    let mut k = call_open + 1;
+    // Skip to the first `|` (closure params start).
+    while k < call_close && !toks[k].is_punct('|') {
+        k += 1;
+    }
+    if k >= call_close {
+        return None;
+    }
+    // Skip past closure params: `||` or `|a, b|`.
+    k += 1;
+    if k < call_close && toks[k].is_punct('|') {
+        k += 1; // `||`
+    } else {
+        while k < call_close && !toks[k].is_punct('|') {
+            k += 1;
+        }
+        k += 1;
+    }
+    // Optional `-> Type` then `{`.
+    while k < call_close && !toks[k].is_punct('{') {
+        if toks[k].is_punct(',') || toks[k].is_punct(')') {
+            return None; // expression closure, no block
+        }
+        k += 1;
+    }
+    if k >= call_close {
+        return None;
+    }
+    let body_close = crate::match_delim_pub(toks, k, '{', '}');
+    Some((k, body_close))
+}

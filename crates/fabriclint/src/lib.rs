@@ -32,7 +32,11 @@
 //! [`ALLOW_FILE`] baseline. Stale baseline entries are themselves
 //! findings, so the exception list can only shrink by itself.
 
+pub mod callgraph;
+pub mod cfg;
+pub mod flow;
 pub mod lexer;
+pub mod locks;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -53,6 +57,15 @@ pub enum Rule {
     ErrorTaxonomy,
     PanicHygiene,
     SafetyComment,
+    /// Flow-sensitive: static lock-order cycles and lost guards.
+    StaticLockOrder,
+    /// Flow-sensitive: a call that may sleep/park under a live guard.
+    BlockingUnderLock,
+    /// Flow-sensitive: a Deadline/TraceCtx parameter that is dropped
+    /// on a path that sleeps or emits.
+    ContextPropagation,
+    /// Lexical: callers of `#[deprecated]` save shims.
+    DeprecatedApi,
     /// Meta-rule: problems with the allowlist itself (stale entries).
     Allowlist,
 }
@@ -65,6 +78,10 @@ impl Rule {
             Rule::ErrorTaxonomy => "error-taxonomy",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::SafetyComment => "safety-comment",
+            Rule::StaticLockOrder => "static-lock-order",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::ContextPropagation => "context-propagation",
+            Rule::DeprecatedApi => "deprecated-api",
             Rule::Allowlist => "allowlist",
         }
     }
@@ -109,6 +126,14 @@ pub struct Config {
     pub panic_path_prefixes: Vec<String>,
     /// Identifiers that leak ambient time/entropy into seeded code.
     pub banned_idents: Vec<String>,
+    /// Base functions that can sleep/park the calling thread
+    /// (blocking-under-lock's leaves; propagation is transitive).
+    pub blocking_fns: Vec<String>,
+    /// Context types the propagation pass tracks.
+    pub ctx_types: Vec<String>,
+    /// `(fn name, defining-file suffix)` of deprecated shims; callers
+    /// outside the defining file are flagged.
+    pub deprecated_fns: Vec<(String, String)>,
 }
 
 impl Default for Config {
@@ -132,6 +157,22 @@ impl Default for Config {
             .into_iter()
             .map(String::from)
             .collect(),
+            blocking_fns: callgraph::default_blocking_fns(),
+            ctx_types: vec!["Deadline".to_string(), "TraceCtx".to_string()],
+            deprecated_fns: vec![
+                (
+                    "save".to_string(),
+                    "crates/connector/src/lib.rs".to_string(),
+                ),
+                (
+                    "save_to_db".to_string(),
+                    "crates/connector/src/s2v.rs".to_string(),
+                ),
+                (
+                    "save_via_dfs".to_string(),
+                    "crates/connector/src/two_stage.rs".to_string(),
+                ),
+            ],
         }
     }
 }
@@ -358,6 +399,19 @@ fn parse_registry(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> Reg
 // Token helpers
 // ---------------------------------------------------------------------
 
+/// Crate-internal re-exports for the flow modules.
+pub(crate) fn match_delim_pub(toks: &[Tok], open: usize, open_ch: char, close_ch: char) -> usize {
+    match_delim(toks, open, open_ch, close_ch)
+}
+
+pub(crate) fn find_test_regions_pub(toks: &[Tok]) -> (Vec<(u32, u32)>, bool) {
+    find_test_regions(toks)
+}
+
+pub(crate) fn is_test_path_pub(path: &str) -> bool {
+    is_test_path(path)
+}
+
 /// Index of the delimiter closing the one at `open` (inclusive scan;
 /// returns the last token index if unbalanced).
 fn match_delim(toks: &[Tok], open: usize, open_ch: char, close_ch: char) -> usize {
@@ -429,7 +483,7 @@ struct FileFacts {
 /// A taxonomy enum declaration: (name, decl line, variants with lines).
 type EnumDecl = (String, u32, Vec<(String, u32)>);
 
-const EMIT_METHODS: &[&str] = &[
+pub(crate) const EMIT_METHODS: &[&str] = &[
     "incr",
     "add",
     "record_time",
@@ -816,7 +870,20 @@ fn find_test_regions(toks: &[Tok]) -> (Vec<(u32, u32)>, bool) {
 /// Lint an in-memory file set. The entry point fixture tests use;
 /// [`lint_workspace`] feeds it from disk.
 pub fn lint_files(files: &[SourceFile], allow: &Allowlist, cfg: &Config) -> Vec<Finding> {
-    let mut findings: Vec<Finding> = Vec::new();
+    lint_files_with_graph(files, allow, cfg).0
+}
+
+/// Like [`lint_files`], but also returns the static lock graph the
+/// flow passes computed (the `--lock-graph` diff and the subgraph
+/// tests reuse it instead of re-analyzing).
+pub fn lint_files_with_graph(
+    files: &[SourceFile],
+    allow: &Allowlist,
+    cfg: &Config,
+) -> (Vec<Finding>, locks::LockGraph) {
+    let flow = flow::run(files, cfg);
+    let graph = flow.graph;
+    let mut findings: Vec<Finding> = flow.findings;
     let mut registry = Registry::default();
     for f in files {
         if f.path == cfg.names_path {
@@ -1054,16 +1121,34 @@ pub fn lint_files(files: &[SourceFile], allow: &Allowlist, cfg: &Config) -> Vec<
     }
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    findings
+    (findings, graph)
 }
 
-/// Lint the workspace rooted at `root` from disk.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Compute only the static lock graph for a file set (no findings,
+/// no allowlist) — what the per-suite subgraph tests call.
+pub fn lock_graph_files(files: &[SourceFile], cfg: &Config) -> locks::LockGraph {
+    flow::run(files, cfg).graph
+}
+
+/// Static lock graph of the workspace rooted at `root`.
+pub fn lock_graph_workspace(root: &Path) -> std::io::Result<locks::LockGraph> {
+    let files = workspace_files(root)?;
+    Ok(lock_graph_files(&files, &Config::default()))
+}
+
+/// Collect every workspace `.rs` file (the set `lint_workspace` lints).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for top in ["src", "crates", "tests", "examples", "vendor"] {
         collect_rs_files(&root.join(top), root, &mut files)?;
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Lint the workspace rooted at `root` from disk.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = workspace_files(root)?;
     let allow_text = std::fs::read_to_string(root.join(ALLOW_FILE)).unwrap_or_default();
     let allow = Allowlist::parse(&allow_text);
     Ok(lint_files(&files, &allow, &Config::default()))

@@ -1,0 +1,936 @@
+//! Static lock classes and the static lock-order graph.
+//!
+//! Mirrors the runtime witness in `vendor/parking_lot/src/witness.rs`:
+//! a lock *class* is a creation site (`file:line` of the `Mutex::new` /
+//! `RwLock::new` token), exactly what `#[track_caller]` hands the
+//! witness at runtime, so static and dynamic edges live in the same
+//! namespace and can be diffed. Two wrinkles make the mapping total:
+//!
+//! * `#[derive(Default)]` structs create their lock fields inside the
+//!   vendored crate's `impl Default` blanket (its `Mutex::new` /
+//!   `RwLock::new` line) — every such field shares that one "default"
+//!   class at runtime, so the static side maps those field names to
+//!   the same vendor site.
+//! * `std::sync` locks are invisible to the witness; creations that
+//!   are `std::sync`-qualified (or in files importing std's lock
+//!   types) are skipped.
+//!
+//! Resolution from an acquisition's receiver name to classes is a
+//! name-keyed over-approximation: same-file creations win when they
+//! exist, otherwise every same-named creation in the workspace
+//! matches, filtered by kind (`.lock()` ⇒ Mutex, `.read()`/`.write()`
+//! ⇒ RwLock). Let-init and closure-param aliases resolve guards bound
+//! through map-element chains (`.map(|h| h.lock())`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::cfg::{AcqKind, Ev, FnIr};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Which primitive a class wraps (resolution kind filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// `file:line` of the creation — the witness's class key.
+    pub site: String,
+    pub kind: LockKind,
+    /// Names this class answers to (field/let bindings; the vendor
+    /// default classes collect every Default-created lock field name).
+    pub names: Vec<String>,
+    /// Lock-container bindings mentioned in the creation statement
+    /// (element locks: the Mutex inside `timers`' map is tagged
+    /// "timers" so `.map(|h| h.lock())` chains resolve).
+    pub containers: Vec<String>,
+    pub file: String,
+}
+
+pub type ClassId = usize;
+
+#[derive(Debug, Default)]
+pub struct LockRegistry {
+    pub classes: Vec<LockClass>,
+    by_name: HashMap<String, Vec<ClassId>>,
+    by_container: HashMap<String, Vec<ClassId>>,
+}
+
+impl LockRegistry {
+    fn add(&mut self, class: LockClass) -> ClassId {
+        // Merge classes with the same site (the vendor default site
+        // accumulates names from every Default-created field).
+        if let Some(id) = self.classes.iter().position(|c| c.site == class.site) {
+            for n in class.names {
+                if !self.classes[id].names.contains(&n) {
+                    self.classes[id].names.push(n.clone());
+                    self.by_name.entry(n).or_default().push(id);
+                }
+            }
+            for c in class.containers {
+                if !self.classes[id].containers.contains(&c) {
+                    self.classes[id].containers.push(c.clone());
+                    self.by_container.entry(c).or_default().push(id);
+                }
+            }
+            return id;
+        }
+        let id = self.classes.len();
+        for n in &class.names {
+            self.by_name.entry(n.clone()).or_default().push(id);
+        }
+        for c in &class.containers {
+            self.by_container.entry(c.clone()).or_default().push(id);
+        }
+        self.classes.push(class);
+        id
+    }
+
+    fn kind_ok(&self, id: ClassId, acq: AcqKind) -> bool {
+        match acq {
+            AcqKind::Lock => self.classes[id].kind == LockKind::Mutex,
+            AcqKind::Read | AcqKind::Write => self.classes[id].kind == LockKind::RwLock,
+        }
+    }
+
+    /// Classes named `name`, kind-filtered; same-file creations narrow
+    /// the set when any exist.
+    pub fn resolve_name(&self, name: &str, file: &str, acq: AcqKind) -> Vec<ClassId> {
+        let Some(ids) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let kinded: Vec<ClassId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| self.kind_ok(id, acq))
+            .collect();
+        let same_file: Vec<ClassId> = kinded
+            .iter()
+            .copied()
+            .filter(|&id| self.classes[id].file == file)
+            .collect();
+        if !same_file.is_empty() {
+            same_file
+        } else {
+            kinded
+        }
+    }
+
+    /// Element classes whose creation statement mentioned container
+    /// binding `name` (kind-filtered).
+    pub fn resolve_container(&self, name: &str, acq: AcqKind) -> Vec<ClassId> {
+        self.by_container
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.kind_ok(id, acq))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    pub fn is_lock_name(&self, name: &str) -> bool {
+        self.by_name.contains_key(name) || self.by_container.contains_key(name)
+    }
+
+    /// Register a `#[derive(Default)]` lock field under the vendored
+    /// blanket-impl creation site (all such fields share one class at
+    /// runtime, because `default()` is not `#[track_caller]`).
+    pub fn add_default_field(&mut self, site: String, kind: LockKind, field: String) {
+        let file = site
+            .rsplit_once(':')
+            .map(|(f, _)| f.to_string())
+            .unwrap_or_default();
+        self.add(LockClass {
+            site,
+            kind,
+            names: vec![field],
+            containers: Vec::new(),
+            file,
+        });
+    }
+}
+
+/// The vendored blanket-Default creation sites. Located by scanning
+/// the vendored source so line drift cannot desynchronize the map.
+#[derive(Debug, Default, Clone)]
+pub struct DefaultSites {
+    pub mutex: Option<String>,
+    pub rwlock: Option<String>,
+}
+
+pub const VENDOR_LOT: &str = "vendor/parking_lot/src/lib.rs";
+
+/// Scan one file for creation sites. `files` supplies text for import
+/// analysis; `default_fields` collects lock-typed fields of
+/// `#[derive(Default)]` structs for the vendor-default classes.
+pub fn scan_creations(
+    path: &str,
+    lexed: &Lexed,
+    reg: &mut LockRegistry,
+    default_fields: &mut Vec<(String, LockKind, String)>,
+) {
+    let toks = &lexed.tokens;
+    let std_locks = file_uses_std_locks(toks);
+    let mut i = 0usize;
+    // Statement-context tracking for binding inference: the nearest
+    // `let` name and pending `field:` bindings, plus every known-ident
+    // in the current statement (container tagging, resolved later).
+    let mut stmt_start = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(';') {
+            stmt_start = i + 1;
+        }
+        if t.kind == TokKind::Ident
+            && (t.text == "Mutex" || t.text == "RwLock")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && i + 4 < toks.len()
+            && toks[i + 4].is_punct('(')
+        {
+            let kind = if t.text == "Mutex" {
+                LockKind::Mutex
+            } else {
+                LockKind::RwLock
+            };
+            // `std::sync::Mutex::new` (or a file that imports std's
+            // locks unqualified) is not witness-instrumented.
+            let std_qualified = i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && i >= 3
+                && toks[i - 3].is_ident("sync");
+            let lot_qualified = i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("parking_lot");
+            let skip = std_qualified || (std_locks && !lot_qualified);
+            if !skip {
+                let names = binding_names(toks, stmt_start, i);
+                let containers = Vec::new(); // tagged in a second pass
+                reg.add(LockClass {
+                    site: format!("{}:{}", path, t.line),
+                    kind,
+                    names,
+                    containers,
+                    file: path.to_string(),
+                });
+            }
+            i += 4;
+            continue;
+        }
+        // Struct field declarations `name: Mutex<..>` / `name: RwLock<..>`
+        // under a `#[derive(.. Default ..)]` struct: those locks are
+        // created by the vendored blanket impl (one shared class).
+        if t.is_ident("struct") && struct_derives_default(toks, i) {
+            if let Some(open) = (i..toks.len()).find(|&k| toks[k].is_punct('{')) {
+                if toks[i..open].iter().all(|x| !x.is_punct(';')) {
+                    let close = crate::match_delim_pub(toks, open, '{', '}');
+                    let mut k = open + 1;
+                    while k + 2 < close {
+                        if toks[k].kind == TokKind::Ident
+                            && toks[k + 1].is_punct(':')
+                            && !toks[k + 2].is_punct(':')
+                        {
+                            // Field type: idents until the `,` at field level.
+                            let mut w = k + 2;
+                            let mut angle = 0i32;
+                            while w < close {
+                                let ft = &toks[w];
+                                if ft.is_punct('<') {
+                                    angle += 1;
+                                } else if ft.is_punct('>') {
+                                    angle -= 1;
+                                } else if ft.is_punct(',') && angle <= 0 {
+                                    break;
+                                } else if ft.is_ident("Mutex") && !std_locks {
+                                    default_fields.push((
+                                        toks[k].text.clone(),
+                                        LockKind::Mutex,
+                                        path.to_string(),
+                                    ));
+                                } else if ft.is_ident("RwLock") && !std_locks {
+                                    default_fields.push((
+                                        toks[k].text.clone(),
+                                        LockKind::RwLock,
+                                        path.to_string(),
+                                    ));
+                                }
+                                w += 1;
+                            }
+                            k = w;
+                            continue;
+                        }
+                        k += 1;
+                    }
+                    i = close;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Does this file import `std::sync`'s `Mutex`/`RwLock` unqualified?
+fn file_uses_std_locks(toks: &[Tok]) -> bool {
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_ident("use")
+            && toks.get(k + 1).is_some_and(|n| n.is_ident("std"))
+            && toks.iter().skip(k).take(12).any(|n| n.is_ident("sync"))
+            && toks
+                .iter()
+                .skip(k)
+                .take(20)
+                .take_while(|n| !n.is_punct(';'))
+                .any(|n| n.is_ident("Mutex") || n.is_ident("RwLock"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is the `struct` at `idx` preceded by `#[derive(.. Default ..)]`?
+/// Scans back over attributes and visibility/doc tokens.
+fn struct_derives_default(toks: &[Tok], idx: usize) -> bool {
+    let mut k = idx;
+    let mut budget = 80;
+    while k > 0 && budget > 0 {
+        budget -= 1;
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(']') {
+            // Walk back to the matching `[`, check for derive+Default.
+            let mut depth = 1i32;
+            let mut j = k;
+            let mut has_derive = false;
+            let mut has_default = false;
+            while j > 0 {
+                j -= 1;
+                let a = &toks[j];
+                if a.is_punct(']') {
+                    depth += 1;
+                } else if a.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.is_ident("derive") {
+                    has_derive = true;
+                } else if a.is_ident("Default") {
+                    has_default = true;
+                }
+            }
+            if has_derive && has_default {
+                return true;
+            }
+            k = j;
+            continue;
+        }
+        if t.is_punct('#') || t.is_ident("pub") || t.is_punct('(') || t.is_punct(')') {
+            continue;
+        }
+        if t.kind == TokKind::Ident && (t.text == "crate" || t.text == "super") {
+            continue;
+        }
+        // Anything else ends the attribute run.
+        if t.is_punct('}') || t.is_punct(';') || t.is_punct('{') {
+            return false;
+        }
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "derive" | "Default") {
+            return false;
+        }
+    }
+    false
+}
+
+/// Binding names for the creation at `at`: the innermost pending
+/// `ident :` (struct-literal field init or let with type annotation)
+/// plus the nearest `let` name in the statement slice.
+fn binding_names(toks: &[Tok], stmt_start: usize, at: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    // Walk back from the creation looking for `ident :` at shallower
+    // delimiter depth (field init like `commit_lock: Mutex::new(())`,
+    // or `stores: RwLock::new(..)`), skipping over closed delimiters.
+    let mut depth = 0i32;
+    let mut k = at;
+    while k > stmt_start {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth -= 1;
+        } else if depth <= 0
+            && t.is_punct(':')
+            && k > 0
+            && toks[k - 1].kind == TokKind::Ident
+            && !toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks[k - 1].is_ident("mut")
+        {
+            // Skip `::` path separators (second `:` right before).
+            if !(k >= 2 && toks[k - 2].is_punct(':')) {
+                names.push(toks[k - 1].text.clone());
+                break;
+            }
+        } else if depth <= 0 && t.is_ident("let") {
+            break;
+        }
+    }
+    // The statement's `let` binding, if any.
+    let mut j = stmt_start;
+    while j < at {
+        if toks[j].is_ident("let") {
+            let mut w = j + 1;
+            while w < at && toks[w].is_ident("mut") {
+                w += 1;
+            }
+            if w < at && toks[w].kind == TokKind::Ident {
+                let n = toks[w].text.clone();
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+        }
+        j += 1;
+    }
+    names
+}
+
+/// Tag element classes with their containers: a creation whose
+/// surrounding statement mentions another lock binding (`timers`,
+/// `histos`, …) is an element of that container. Runs after all
+/// creations are known. `stmts` maps each class site to the idents of
+/// its creation statement.
+pub fn tag_containers(reg: &mut LockRegistry, stmts: &HashMap<String, Vec<String>>) {
+    let lock_names: HashSet<String> = reg.by_name.keys().cloned().collect();
+    let mut tags: Vec<(ClassId, String)> = Vec::new();
+    for (id, class) in reg.classes.iter().enumerate() {
+        if let Some(idents) = stmts.get(&class.site) {
+            for ident in idents {
+                if lock_names.contains(ident) && !class.names.contains(ident) {
+                    tags.push((id, ident.clone()));
+                }
+            }
+        }
+    }
+    for (id, name) in tags {
+        if !reg.classes[id].containers.contains(&name) {
+            reg.classes[id].containers.push(name.clone());
+            reg.by_container.entry(name).or_default().push(id);
+        }
+    }
+}
+
+/// Collect, per creation site, the identifiers of the receiver chain
+/// *before* it in its statement — but only when that prefix contains
+/// an insertion method (`entry(..).or_insert_with(..)`, `insert`,
+/// `push`): those are the map/vec element creations container tagging
+/// exists for. A struct literal mentions every other field's lock in
+/// the same "statement", so tagging on mere co-occurrence would make
+/// every field look like an element of every other (phantom static
+/// cycles between unrelated locks).
+pub fn creation_stmt_idents(path: &str, lexed: &Lexed) -> HashMap<String, Vec<String>> {
+    const INSERT_METHODS: &[&str] = &["or_insert_with", "or_insert", "insert", "push", "entry"];
+    let toks = &lexed.tokens;
+    let mut out: HashMap<String, Vec<String>> = HashMap::new();
+    let mut stmt_start = 0usize;
+    for i in 0..toks.len() {
+        if toks[i].is_punct(';') {
+            stmt_start = i + 1;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "Mutex" || t.text == "RwLock")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|x| x.is_ident("new"))
+        {
+            let prefix: Vec<String> = toks[stmt_start..i]
+                .iter()
+                .filter(|x| x.kind == TokKind::Ident)
+                .map(|x| x.text.clone())
+                .collect();
+            if prefix.iter().any(|p| INSERT_METHODS.contains(&p.as_str())) {
+                out.insert(format!("{}:{}", path, t.line), prefix);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Static graph
+// ---------------------------------------------------------------------
+
+/// One static lock-order edge: a guard of `from` was (possibly
+/// transitively) live while `to` was acquired. `via` is the
+/// `file:line` of the acquisition or call that induced it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaticEdge {
+    pub from: String,
+    pub to: String,
+    pub via: String,
+}
+
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub registry: LockRegistry,
+    /// Deduped edges keyed (from-site, to-site) → provenance.
+    pub edges: BTreeMap<(String, String), String>,
+    /// Cycles found in the static graph (site lists), with a flag for
+    /// "every participating acquisition is in test code".
+    pub cycles: Vec<(Vec<String>, bool)>,
+    /// Receivers of `.lock()` that resolved to no class (analysis
+    /// lost a guard) — (file, line, receiver).
+    pub unresolved: Vec<(String, u32, String)>,
+}
+
+impl LockGraph {
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.edges.contains_key(&(from.to_string(), to.to_string()))
+    }
+
+    /// The witness's text format: `from\tto` per line, sorted.
+    pub fn edges_text(&self) -> String {
+        let mut s = String::new();
+        for (from, to) in self.edges.keys() {
+            s.push_str(from);
+            s.push('\t');
+            s.push_str(to);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// A guard inferred live during replay.
+#[derive(Debug, Clone)]
+struct LiveGuard {
+    classes: Vec<ClassId>,
+    binding: Option<String>,
+    depth: u32,
+    /// Bound guards survive statement ends; temporaries do not.
+    temp: bool,
+}
+
+/// Per-function summary used interprocedurally: the classes a call to
+/// this function may acquire (transitively).
+#[derive(Debug, Default, Clone)]
+pub struct FnLockSummary {
+    pub acquires: BTreeSet<ClassId>,
+}
+
+/// Resolve an acquisition receiver to classes using every alias layer.
+pub fn resolve_recv(
+    reg: &LockRegistry,
+    ir: &FnIr,
+    fn_lock_rets: &HashMap<String, Vec<String>>,
+    recv: &str,
+    acq: AcqKind,
+) -> Vec<ClassId> {
+    let direct = reg.resolve_name(recv, &ir.file, acq);
+    if !direct.is_empty() {
+        return direct;
+    }
+    // Let-init alias: `let timer = { .. Mutex::new(..) .. }` — the
+    // init's idents include creation-statement context; resolve any
+    // lock-ish ident in the init through name/container maps.
+    for (name, idents, line) in &ir.let_inits {
+        if name == recv {
+            let mut out = Vec::new();
+            // A creation inside the init binds directly: classes whose
+            // site is this file near the init line get priority.
+            for (id, class) in reg.classes.iter().enumerate() {
+                if class.file == ir.file && reg.kind_ok(id, acq) {
+                    if let Some(cl) = class
+                        .site
+                        .rsplit(':')
+                        .next()
+                        .and_then(|l| l.parse::<u32>().ok())
+                    {
+                        if idents.iter().any(|i| i == "new")
+                            && cl >= *line
+                            && cl <= line + 30
+                            && idents.iter().any(|i| i == "Mutex" || i == "RwLock")
+                        {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+            for ident in idents {
+                for id in reg.resolve_container(ident, acq) {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+        }
+    }
+    // Closure-param / for-loop alias: `.map(|h| h.lock())` or
+    // `for shard in &self.shards` — resolve through the chain idents.
+    // Containers first (element classes), then direct names with the
+    // kind filter (`for shard in &self.shards` + `shard.lock()` hits
+    // the `shards` element class itself).
+    for (param, chain) in &ir.closure_aliases {
+        if param == recv {
+            let mut out = Vec::new();
+            for ident in chain {
+                for id in reg.resolve_container(ident, acq) {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+            if out.is_empty() {
+                for ident in chain {
+                    for id in reg.resolve_name(ident, &ir.file, acq) {
+                        if !out.contains(&id) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+        }
+    }
+    // Fn-returning-lock alias: `self.node(i).lock()` where
+    // `fn node(..) -> &Mutex<..>` — resolve through the fn's body locks.
+    if let Some(names) = fn_lock_rets.get(recv) {
+        let mut out = Vec::new();
+        for n in names {
+            for id in reg.resolve_name(n, &ir.file, acq) {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+            for id in reg.resolve_container(n, acq) {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    } else {
+        Vec::new()
+    }
+}
+
+/// Fixpoint over the call graph: which classes can each function
+/// (transitively) acquire? `call_map` resolves a Call event to
+/// candidate function indices.
+pub fn lock_summaries(
+    irs: &[FnIr],
+    reg: &LockRegistry,
+    fn_lock_rets: &HashMap<String, Vec<String>>,
+    call_map: &dyn Fn(&FnIr, &Ev) -> Vec<usize>,
+) -> Vec<FnLockSummary> {
+    let mut sums: Vec<FnLockSummary> = vec![FnLockSummary::default(); irs.len()];
+    // Seed with direct acquisitions.
+    for (idx, ir) in irs.iter().enumerate() {
+        for ev in &ir.events {
+            if let Ev::Acquire { recv, kind, .. } = ev {
+                for id in resolve_recv(reg, ir, fn_lock_rets, recv, *kind) {
+                    sums[idx].acquires.insert(id);
+                }
+            }
+        }
+    }
+    // Propagate through calls to fixpoint.
+    loop {
+        let mut changed = false;
+        for (idx, ir) in irs.iter().enumerate() {
+            let mut add: BTreeSet<ClassId> = BTreeSet::new();
+            for ev in &ir.events {
+                if matches!(ev, Ev::Call { .. }) {
+                    for callee in call_map(ir, ev) {
+                        for &id in &sums[callee].acquires {
+                            if !sums[idx].acquires.contains(&id) {
+                                add.insert(id);
+                            }
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                sums[idx].acquires.extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+/// Replay one function's events deriving edges: every class acquired
+/// (directly or via a call's summary) while guards are live yields an
+/// edge from each live guard's classes. Self-edges (same class) are
+/// recorded like the witness records re-acquisition of a class but —
+/// also like the witness — excluded from cycle detection.
+#[allow(clippy::too_many_arguments)]
+pub fn derive_edges(
+    ir: &FnIr,
+    idx_of: &HashMap<String, Vec<usize>>,
+    irs: &[FnIr],
+    sums: &[FnLockSummary],
+    reg: &LockRegistry,
+    fn_lock_rets: &HashMap<String, Vec<String>>,
+    call_map: &dyn Fn(&FnIr, &Ev) -> Vec<usize>,
+    graph: &mut LockGraph,
+    edge_in_test: &mut BTreeMap<(String, String), bool>,
+) {
+    let _ = (idx_of, irs);
+    let mut live: Vec<LiveGuard> = Vec::new();
+    // Guards dropped inside a nested block (conditional drop): revived
+    // when that block closes, since the untaken branch keeps them.
+    let mut suspended: Vec<(u32, LiveGuard)> = Vec::new();
+    for ev in &ir.events {
+        match ev {
+            Ev::Acquire {
+                recv,
+                kind,
+                line,
+                binding,
+                depth,
+            } => {
+                let classes = resolve_recv(reg, ir, fn_lock_rets, recv, *kind);
+                if classes.is_empty() {
+                    if *kind == AcqKind::Lock {
+                        graph
+                            .unresolved
+                            .push((ir.file.clone(), *line, recv.clone()));
+                    }
+                    continue;
+                }
+                let via = format!("{}:{}", ir.file, line);
+                for g in &live {
+                    for &from in &g.classes {
+                        for &to in &classes {
+                            let key =
+                                (reg.classes[from].site.clone(), reg.classes[to].site.clone());
+                            let t = edge_in_test.entry(key.clone()).or_insert(true);
+                            *t = *t && ir.is_test;
+                            graph.edges.entry(key).or_insert_with(|| via.clone());
+                        }
+                    }
+                }
+                live.push(LiveGuard {
+                    classes,
+                    binding: binding.clone(),
+                    depth: *depth,
+                    temp: binding.is_none(),
+                });
+            }
+            Ev::Drop { name, depth } => {
+                let mut kept = Vec::with_capacity(live.len());
+                for g in live.drain(..) {
+                    if g.binding.as_deref() != Some(name) {
+                        kept.push(g);
+                    } else if g.depth < *depth {
+                        suspended.push((*depth, g));
+                    }
+                }
+                live = kept;
+            }
+            Ev::Stmt { depth } => {
+                live.retain(|g| !(g.temp && g.depth >= *depth));
+            }
+            Ev::Close { depth } => {
+                live.retain(|g| g.depth < *depth);
+                let mut still = Vec::with_capacity(suspended.len());
+                for (d, g) in suspended.drain(..) {
+                    if d >= *depth && g.depth < *depth {
+                        live.push(g);
+                    } else if g.depth < *depth {
+                        still.push((d, g));
+                    }
+                }
+                suspended = still;
+            }
+            Ev::Call {
+                name, args, line, ..
+            } => {
+                if live.is_empty() {
+                    continue;
+                }
+                // Condvar waits release the guard passed by `&mut`.
+                let wait_call = name == "wait" || name == "wait_until";
+                let mut acquired: BTreeSet<ClassId> = BTreeSet::new();
+                for callee in call_map(ir, ev) {
+                    acquired.extend(sums[callee].acquires.iter().copied());
+                }
+                if acquired.is_empty() {
+                    continue;
+                }
+                let via = format!("{}:{}", ir.file, line);
+                for g in &live {
+                    if wait_call
+                        && g.binding
+                            .as_deref()
+                            .is_some_and(|b| args.iter().any(|a| a == b))
+                    {
+                        continue;
+                    }
+                    for &from in &g.classes {
+                        for &to in &acquired {
+                            let key =
+                                (reg.classes[from].site.clone(), reg.classes[to].site.clone());
+                            let t = edge_in_test.entry(key.clone()).or_insert(true);
+                            *t = *t && ir.is_test;
+                            graph.edges.entry(key).or_insert_with(|| via.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cycle detection over the deduped edge set, mirroring the runtime
+/// witness's semantics (self-edges are not cycles). Strongly connected
+/// components are found first (iterative Tarjan); each non-trivial SCC
+/// is reported as ONE representative cycle — the shortest loop through
+/// the SCC's smallest site — so a dense inversion cluster produces one
+/// actionable finding instead of a combinatorial list.
+pub fn find_cycles(graph: &mut LockGraph, edge_in_test: &BTreeMap<(String, String), bool>) {
+    let nodes: Vec<String> = {
+        let mut s: BTreeSet<String> = BTreeSet::new();
+        for (from, to) in graph.edges.keys() {
+            if from != to {
+                s.insert(from.clone());
+                s.insert(to.clone());
+            }
+        }
+        s.into_iter().collect()
+    };
+    let index_of: HashMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (from, to) in graph.edges.keys() {
+        if from != to {
+            adj[index_of[from.as_str()]].push(index_of[to.as_str()]);
+        }
+    }
+    let sccs = tarjan_sccs(&adj);
+    for scc in sccs {
+        if scc.len() < 2 {
+            continue;
+        }
+        let in_scc: HashSet<usize> = scc.iter().copied().collect();
+        // Representative: shortest loop from the smallest site back to
+        // itself, found by BFS restricted to the SCC.
+        let start = scc
+            .iter()
+            .copied()
+            .min_by_key(|&i| nodes[i].as_str())
+            .unwrap_or(scc[0]);
+        let mut prev: HashMap<usize, usize> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        let mut found = None;
+        'bfs: while let Some(n) = queue.pop_front() {
+            for &next in &adj[n] {
+                if !in_scc.contains(&next) {
+                    continue;
+                }
+                if next == start {
+                    found = Some(n);
+                    break 'bfs;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(next) {
+                    e.insert(n);
+                    queue.push_back(next);
+                }
+            }
+        }
+        let Some(mut tail) = found else { continue };
+        let mut cycle_idx = vec![tail];
+        while tail != start {
+            tail = prev[&tail];
+            cycle_idx.push(tail);
+        }
+        cycle_idx.reverse();
+        let cycle: Vec<String> = cycle_idx.iter().map(|&i| nodes[i].clone()).collect();
+        let all_test = cycle.iter().enumerate().all(|(i, from)| {
+            let to = &cycle[(i + 1) % cycle.len()];
+            edge_in_test
+                .get(&(from.clone(), to.clone()))
+                .copied()
+                .unwrap_or(false)
+        });
+        graph.cycles.push((cycle, all_test));
+    }
+    graph.cycles.sort();
+    graph.cycles.dedup();
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+    // Explicit call stack: (node, child-iterator position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}

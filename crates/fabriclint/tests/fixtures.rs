@@ -489,6 +489,224 @@ fn safety_comment_required_for_unsafe() {
 }
 
 // ---------------------------------------------------------------------
+// static-lock-order
+// ---------------------------------------------------------------------
+
+/// Two distinctly-named lock fields created on lines 8 and 9; each
+/// test appends fns that acquire them in some order. Field names use
+/// the `fix_` prefix so the in-memory classes never alias real
+/// workspace lock names.
+fn pair_file(body: &str) -> SourceFile {
+    file(
+        "crates/app/src/pair.rs",
+        &format!(
+            r#"
+pub struct FixPair {{
+    fix_front: Mutex<u32>,
+    fix_rear: Mutex<u32>,
+}}
+pub fn mk_pair() -> FixPair {{
+    FixPair {{
+        fix_front: Mutex::new(0),
+        fix_rear: Mutex::new(1),
+    }}
+}}
+{body}
+"#
+        ),
+    )
+}
+
+#[test]
+fn lock_order_flags_inverted_acquisitions() {
+    let body = "pub fn fr(p: &FixPair) { let f = p.fix_front.lock(); let r = p.fix_rear.lock(); }\n\
+                pub fn rf(p: &FixPair) { let r = p.fix_rear.lock(); let f = p.fix_front.lock(); }\n";
+    let f = lint(&[pair_file(body)]);
+    assert_eq!(rules(&f), vec![Rule::StaticLockOrder], "{f:?}");
+    assert!(f[0].message.contains("cycle"), "{:?}", f[0]);
+}
+
+#[test]
+fn lock_order_accepts_guard_dropped_before_inversion() {
+    let body = "pub fn fr(p: &FixPair) { let f = p.fix_front.lock(); let r = p.fix_rear.lock(); }\n\
+                pub fn rf(p: &FixPair) { let r = p.fix_rear.lock(); drop(r); let f = p.fix_front.lock(); }\n";
+    assert!(lint(&[pair_file(body)]).is_empty());
+}
+
+#[test]
+fn lock_order_revives_conditionally_dropped_guards() {
+    // `drop(r)` inside the `if` releases the guard only on that
+    // branch; the fall-through still holds it across the second
+    // acquisition, so the inversion (and the cycle) is real.
+    let body =
+        "pub fn fr(p: &FixPair) { let f = p.fix_front.lock(); let r = p.fix_rear.lock(); }\n\
+                pub fn rf(p: &FixPair, c: bool) {\n\
+                    let r = p.fix_rear.lock();\n\
+                    if c { drop(r); return; }\n\
+                    let f = p.fix_front.lock();\n\
+                }\n";
+    let f = lint(&[pair_file(body)]);
+    assert_eq!(rules(&f), vec![Rule::StaticLockOrder], "{f:?}");
+}
+
+#[test]
+fn lock_order_honors_inline_allow() {
+    let body = "pub fn fr(p: &FixPair) {\n\
+                    let f = p.fix_front.lock();\n\
+                    // fabriclint: allow(static-lock-order): fixture inversion\n\
+                    let r = p.fix_rear.lock();\n\
+                }\n\
+                pub fn rf(p: &FixPair) {\n\
+                    let r = p.fix_rear.lock();\n\
+                    // fabriclint: allow(static-lock-order): fixture inversion\n\
+                    let f = p.fix_front.lock();\n\
+                }\n";
+    assert!(lint(&[pair_file(body)]).is_empty());
+}
+
+#[test]
+fn lock_graph_exposes_witness_keyed_edges() {
+    let body =
+        "pub fn fr(p: &FixPair) { let f = p.fix_front.lock(); let r = p.fix_rear.lock(); }\n";
+    let g = fabriclint::lock_graph_files(&[pair_file(body)], &Config::default());
+    // Classes are keyed by creation site — the same `file:line` format
+    // the runtime witness exports, so the two sides diff directly.
+    assert!(g.has_edge("crates/app/src/pair.rs:8", "crates/app/src/pair.rs:9"));
+    assert!(!g.has_edge("crates/app/src/pair.rs:9", "crates/app/src/pair.rs:8"));
+    assert!(g
+        .edges_text()
+        .contains("crates/app/src/pair.rs:8\tcrates/app/src/pair.rs:9"));
+}
+
+// ---------------------------------------------------------------------
+// blocking-under-lock
+// ---------------------------------------------------------------------
+
+#[test]
+fn blocking_under_lock_flags_sleep_with_guard_live() {
+    let body = "pub fn stall(p: &FixPair, d: Duration) { let f = p.fix_front.lock(); sleep(d); }\n";
+    let f = lint(&[pair_file(body)]);
+    assert_eq!(rules(&f), vec![Rule::BlockingUnderLock], "{f:?}");
+}
+
+#[test]
+fn blocking_under_lock_sees_through_calls() {
+    // The sleep is one call away: the transitive may-block summary of
+    // `fix_nap` carries it back under the guard.
+    let body = "pub fn fix_nap(d: Duration) { sleep(d); }\n\
+                pub fn stall(p: &FixPair, d: Duration) { let f = p.fix_front.lock(); fix_nap(d); }\n";
+    let f = lint(&[pair_file(body)]);
+    assert_eq!(rules(&f), vec![Rule::BlockingUnderLock], "{f:?}");
+}
+
+#[test]
+fn blocking_under_lock_accepts_dropped_guard_and_inline_allow() {
+    let ok =
+        "pub fn stall(p: &FixPair, d: Duration) { let f = p.fix_front.lock(); drop(f); sleep(d); }\n";
+    assert!(lint(&[pair_file(ok)]).is_empty());
+    let allowed = "pub fn stall(p: &FixPair, d: Duration) {\n\
+                       let f = p.fix_front.lock();\n\
+                       // fabriclint: allow(blocking-under-lock): fixture, bounded wait\n\
+                       sleep(d);\n\
+                   }\n";
+    assert!(lint(&[pair_file(allowed)]).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// context-propagation
+// ---------------------------------------------------------------------
+
+#[test]
+fn ctx_propagation_flags_unused_deadline_on_blocking_path() {
+    let bad = file(
+        "crates/app/src/ctx.rs",
+        "pub fn run_fix(d: Deadline, t: Duration) { sleep(t); }\n",
+    );
+    let f = lint(&[bad]);
+    assert_eq!(rules(&f), vec![Rule::ContextPropagation], "{f:?}");
+    assert!(f[0].message.contains("Deadline"), "{:?}", f[0]);
+}
+
+#[test]
+fn ctx_propagation_accepts_used_discarded_or_nonblocking_ctx() {
+    let used = file(
+        "crates/app/src/ctx.rs",
+        "pub fn run_fix(d: Deadline) { sleep(d.remaining()); }\n",
+    );
+    assert!(lint(&[used]).is_empty());
+    // `_`-prefixed params are an explicit discard, not a lost ctx.
+    let discarded = file(
+        "crates/app/src/ctx.rs",
+        "pub fn run_fix(_d: Deadline, t: Duration) { sleep(t); }\n",
+    );
+    assert!(lint(&[discarded]).is_empty());
+    // A fn that neither sleeps nor emits owes the ctx nothing.
+    let nonblocking = file(
+        "crates/app/src/ctx.rs",
+        "pub fn peek_fix(d: Deadline) -> u32 { 7 }\n",
+    );
+    assert!(lint(&[nonblocking]).is_empty());
+    let allowed = file(
+        "crates/app/src/ctx.rs",
+        "// fabriclint: allow(context-propagation): fixture trait signature\n\
+         pub fn run_fix(d: Deadline, t: Duration) { sleep(t); }\n",
+    );
+    assert!(lint(&[allowed]).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// deprecated-api
+// ---------------------------------------------------------------------
+
+#[test]
+fn deprecated_api_flags_shim_callers() {
+    let bare = file(
+        "crates/app/src/save.rs",
+        "pub fn go(s: &Session) { save_to_db(s, rows, opts); }\n",
+    );
+    let f = lint(&[bare]);
+    assert_eq!(rules(&f), vec![Rule::DeprecatedApi], "{f:?}");
+    assert!(f[0].message.contains("save_to_db"), "{:?}", f[0]);
+
+    let qualified = file(
+        "crates/app/src/save2.rs",
+        "pub fn go(df: &DataFrame) { connector::save(df, mode); }\n",
+    );
+    let f = lint(&[qualified]);
+    assert_eq!(rules(&f), vec![Rule::DeprecatedApi], "{f:?}");
+}
+
+#[test]
+fn deprecated_api_accepts_writer_method_local_helper_and_defining_file() {
+    // `.save(` is the DataFrameWriter API, not the shim.
+    let method = file(
+        "crates/app/src/w.rs",
+        "pub fn go(w: DataFrameWriter) { w.save(t); }\n",
+    );
+    assert!(lint(&[method]).is_empty());
+    // A file with its own `fn save` shadows the shim for bare calls.
+    let local = file(
+        "crates/app/src/local.rs",
+        "fn save(x: u32) -> u32 { x }\npub fn go_fix() { save(3); }\n",
+    );
+    assert!(lint(&[local]).is_empty());
+    // The shim's defining file is exempt (it defines and doc-tests it).
+    let defining = file(
+        "crates/connector/src/s2v.rs",
+        "pub fn save_to_db(s: &Session) { body(s) }\n",
+    );
+    assert!(lint(&[defining]).is_empty());
+    let allowed = file(
+        "crates/app/src/save3.rs",
+        "pub fn go(s: &Session) {\n\
+         \x20   // fabriclint: allow(deprecated-api): migration staged for next PR\n\
+         \x20   save_to_db(s, rows, opts)\n\
+         }\n",
+    );
+    assert!(lint(&[allowed]).is_empty());
+}
+
+// ---------------------------------------------------------------------
 // allowlist baseline
 // ---------------------------------------------------------------------
 

@@ -456,10 +456,16 @@ impl Cluster {
     /// commit lock so no commit can stamp epochs mid-copy; pending rows
     /// of still-open transactions are copied too, so their eventual
     /// commit or abort applies to the rebuilt replica as well.
+    ///
+    /// Lock order: commit lock strictly before the catalog — rebalance
+    /// paths hold the commit lock while registering nodes (which reads
+    /// the catalog), so taking the catalog first here would close a
+    /// cycle: a queued `catalog.write()` between the two readers turns
+    /// the inversion into a deadlock under a write-preferring RwLock.
     fn rebuild_node_stores(&self, node: usize) {
         let k = self.config.k_safety;
-        let catalog = self.catalog.read();
         let _commit_guard = self.commit_lock.lock();
+        let catalog = self.catalog.read();
         let map = self.segment_map();
         for name in catalog.table_names() {
             let Ok(def) = catalog.table(&name) else {

@@ -478,6 +478,10 @@ fn scan_dc_counters(_cluster: &Cluster) -> (Schema, Vec<Row>) {
     if parking_lot::witness::active() {
         for (name, value) in [
             (
+                obs::names::LOCKWITNESS_CLASSES,
+                parking_lot::witness::class_count(),
+            ),
+            (
                 obs::names::LOCKWITNESS_EDGES,
                 parking_lot::witness::edge_count(),
             ),

@@ -41,6 +41,8 @@ pub const FAULT_DELAY: &str = "fault.delay";
 pub const FAULT_INJECTED: &str = "fault.injected";
 /// Span for one arm (primary or buddy) of a hedged read.
 pub const HEDGE_ATTEMPT: &str = "hedge.attempt";
+/// Distinct lock classes (creation sites) the witness has registered.
+pub const LOCKWITNESS_CLASSES: &str = "lockwitness.classes";
 /// The lock-order witness recorded a new acquisition-order edge.
 pub const LOCKWITNESS_EDGES: &str = "lockwitness.edges";
 /// The lock-order witness found a cycle: a potential deadlock.
@@ -351,6 +353,11 @@ pub static DEFS: &[NameDef] = &[
         name: "hedge.wins",
         kind: NameKind::Counter,
         help: "hedged reads won by the buddy attempt",
+    },
+    NameDef {
+        name: LOCKWITNESS_CLASSES,
+        kind: NameKind::Builtin,
+        help: "distinct lock classes (creation sites) registered",
     },
     NameDef {
         name: LOCKWITNESS_CYCLES,

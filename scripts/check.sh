@@ -8,10 +8,16 @@ cargo fmt --all --check
 
 # The workspace linter runs first among the custom gates: it is
 # dependency-free, builds in seconds, and fails on any determinism /
-# obs-registry / error-taxonomy / panic-hygiene / SAFETY violation not
-# explicitly excepted in fabriclint.allow or an inline allow comment.
+# obs-registry / error-taxonomy / panic-hygiene / SAFETY violation —
+# or, via the flow-sensitive passes, any static lock-order cycle,
+# blocking call under a live guard, dropped Deadline/TraceCtx, or
+# deprecated save-shim caller — not explicitly excepted in
+# fabriclint.allow or an inline allow comment. The JSON report lands
+# in target/ for tooling that wants machine-readable findings.
 echo "== fabriclint --workspace"
 cargo run -q -p fabriclint -- --workspace
+mkdir -p target
+cargo run -q -p fabriclint -- --workspace --format json > target/fabriclint.json
 
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
@@ -42,6 +48,20 @@ cargo test -q --test tuple_mover
 # chaos schedules with epoch-pinned reads across the map flip.
 echo "== cargo test -q --test rebalance"
 cargo test -q --test rebalance
+
+# Static-vs-dynamic lock-order diff: the suites above exported their
+# runtime-witnessed acquisition edges (target/lockwitness-*.edges);
+# every witnessed edge must be derivable from source by the static
+# lock-order pass (exit 1 if not — an analysis soundness hole), while
+# statically-possible-but-never-witnessed edges are only reported as
+# coverage. The suites assert the same inclusion as tests; this step
+# re-runs the diff through the CLI so the edge lists land in the log.
+echo "== fabriclint --lock-graph"
+witness_args=()
+for f in target/lockwitness-*.edges; do
+    if [ -e "$f" ]; then witness_args+=(--witness "$f"); fi
+done
+cargo run -q -p fabriclint -- --lock-graph ${witness_args[@]+"${witness_args[@]}"} > /dev/null
 
 # The skipping/pushdown ablation regenerates BENCH_pushdown.json and
 # asserts every cell returns the identical aggregate; its ≥5x scan and

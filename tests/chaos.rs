@@ -21,6 +21,8 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+mod common;
+
 use vertica_spark_fabric::prelude::*;
 use vertica_spark_fabric::{connector, mppdb, obs};
 
@@ -933,4 +935,16 @@ fn retries_exhaust_into_typed_errors_and_recover() {
         .unwrap();
     assert_eq!(report.rows_loaded, 50);
     assert_eq!(table_ids(&db, "dark_tgt"), (0..50).collect::<Vec<_>>());
+}
+
+/// Static/dynamic lock-graph cross-check: drive one seeded chaos
+/// schedule, then require every runtime-witnessed lock-order edge (from
+/// this whole binary's run so far) to be derivable by fabriclint's
+/// static lock-order pass. Also exports the witnessed edges for the
+/// `fabriclint --lock-graph --witness` CLI diff in check.sh.
+#[test]
+fn witnessed_lock_edges_are_statically_derivable() {
+    let _g = lock();
+    run_schedule(0x10CD);
+    common::assert_witness_subgraph("chaos");
 }

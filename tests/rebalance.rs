@@ -25,6 +25,8 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+mod common;
+
 use vertica_spark_fabric::prelude::*;
 use vertica_spark_fabric::{connector, mppdb, obs};
 
@@ -463,4 +465,14 @@ fn rebalance_system_tables_reflect_the_flip() {
         .unwrap();
     assert_eq!(row1.get(1).to_string(), "false", "node 1 down");
     assert_eq!(row1.get(2).to_string(), "true", "node 1 retired");
+}
+
+/// Static/dynamic lock-graph cross-check over the rebalance paths: one
+/// node-add schedule under faults, then every runtime-witnessed
+/// lock-order edge must be statically derivable (see tests/common).
+#[test]
+fn witnessed_lock_edges_are_statically_derivable() {
+    let _g = lock();
+    run_add_schedule(0x10CD);
+    common::assert_witness_subgraph("rebalance");
 }

@@ -7,6 +7,8 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
+mod common;
+
 use vertica_spark_fabric::prelude::*;
 use vertica_spark_fabric::{mppdb, obs};
 
@@ -350,4 +352,18 @@ fn background_mover_with_concurrent_dml_has_zero_lock_cycles() {
             witness::snapshot().cycles
         );
     }
+}
+
+/// Static/dynamic lock-graph cross-check over the tuple-mover paths:
+/// trickle, moveout, and mergeout, then every runtime-witnessed
+/// lock-order edge must be statically derivable (see tests/common).
+#[test]
+fn witnessed_lock_edges_are_statically_derivable() {
+    let _g = lock();
+    let db = cluster();
+    let mut s = db.connect(0).unwrap();
+    trickle(&mut s, 4, 40);
+    db.moveout_all();
+    db.mergeout_all();
+    common::assert_witness_subgraph("tuple_mover");
 }

@@ -274,6 +274,34 @@ pub fn snapshot() -> WitnessSnapshot {
     }
 }
 
+/// The recorded edge set in the interchange text format the static
+/// analyzer's `--lock-graph` mode diffs against: one
+/// `from-site<TAB>to-site<TAB>count` line per distinct edge, sorted.
+/// Suites write this next to their artifacts (e.g.
+/// `target/lockwitness-chaos.edges`) so the lint CLI can cross-check
+/// that every witnessed edge is statically derivable.
+pub fn export_edges_text() -> String {
+    let snap = snapshot();
+    let mut s = String::new();
+    for e in &snap.edges {
+        s.push_str(&e.from_site);
+        s.push('\t');
+        s.push_str(&e.to_site);
+        s.push('\t');
+        s.push_str(&e.count.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Number of distinct lock classes (creation sites) registered.
+pub fn class_count() -> u64 {
+    if !active() {
+        return 0;
+    }
+    lock_registry(registry()).classes.len() as u64
+}
+
 /// Number of distinct acquisition-order edges recorded.
 pub fn edge_count() -> u64 {
     if !active() {
